@@ -1,0 +1,52 @@
+(* Benchmark harness entry point.
+
+   dune exec bench/main.exe              -- everything (tables + claims + micro)
+   dune exec bench/main.exe -- table1    -- Table 1 reproduction
+   dune exec bench/main.exe -- table2    -- Table 2 reproduction
+   dune exec bench/main.exe -- quick     -- fast subset of Table 1
+   dune exec bench/main.exe -- bcp|sharing|pingpong|scheduler|bluehorizon|micro *)
+
+let usage () =
+  print_endline
+    "usage: main.exe \
+     [all|quick|table1|table2|bcp|sharing|pingpong|scheduler|bluehorizon|profile|ablation|micro]"
+
+let section name f =
+  Printf.printf "\n%s\n%s\n\n" (String.make 72 '=') name;
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "\n(%s finished in %.0fs)\n" name (Unix.gettimeofday () -. t0)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args = List.filter (fun a -> a <> "--") args in
+  let run_all () =
+    section "Table 1" (fun () -> ignore (Bench_lib.Table1.run ()));
+    section "Table 2" (fun () -> ignore (Bench_lib.Table2.run ()));
+    section "Claim C1 (BCP dominance)" Bench_lib.Claims.bcp;
+    section "Claim C2 (share length)" Bench_lib.Claims.sharing;
+    section "Claim C3 (ping-pong)" Bench_lib.Claims.pingpong;
+    section "Claim C4 (scheduler)" Bench_lib.Claims.scheduler;
+    section "Claim C5 (Blue Horizon)" Bench_lib.Claims.bluehorizon;
+    section "Claim C6 (parallelism profile)" Bench_lib.Claims.profile;
+    section "Claim C7 (solver ablation)" Bench_lib.Claims.solver_ablation;
+    section "Claim C8 (fault tolerance)" Bench_lib.Claims.fault_tolerance;
+    section "Claim C9 (splitting vs portfolio)" Bench_lib.Claims.par_modes;
+    section "Micro-benchmarks" Bench_lib.Micro.run
+  in
+  match args with
+  | [] | [ "all" ] -> run_all ()
+  | [ "quick" ] -> ignore (Bench_lib.Table1.run ~quick:true ())
+  | [ "table1" ] -> ignore (Bench_lib.Table1.run ())
+  | [ "table2" ] -> ignore (Bench_lib.Table2.run ())
+  | [ "bcp" ] -> Bench_lib.Claims.bcp ()
+  | [ "sharing" ] -> Bench_lib.Claims.sharing ()
+  | [ "pingpong" ] -> Bench_lib.Claims.pingpong ()
+  | [ "scheduler" ] -> Bench_lib.Claims.scheduler ()
+  | [ "bluehorizon" ] -> Bench_lib.Claims.bluehorizon ()
+  | [ "profile" ] -> Bench_lib.Claims.profile ()
+  | [ "ablation" ] -> Bench_lib.Claims.solver_ablation ()
+  | [ "faults" ] -> Bench_lib.Claims.fault_tolerance ()
+  | [ "parmodes" ] -> Bench_lib.Claims.par_modes ()
+  | [ "micro" ] -> Bench_lib.Micro.run ()
+  | _ -> usage ()

@@ -1,0 +1,38 @@
+(* Reproduction of Table 1: all 42 SAT2002-analog instances, zChaff-model
+   baseline on the fastest dedicated GrADS host vs GridSAT on the shared
+   34-host testbed (share length 10, 100 s split heuristic). *)
+
+module R = Workloads.Registry
+
+let run ?(quick = false) () =
+  Printf.printf "== Table 1: GridSAT vs zChaff on the GrADS testbed ==\n";
+  Printf.printf "(virtual seconds, 1 paper second = %.0f virtual ms; paper columns right)\n\n"
+    (1000. /. Scale.time_scale);
+  let entries =
+    if quick then
+      List.filter
+        (fun (e : R.entry) ->
+          match e.R.paper_zchaff with
+          | R.Seconds s -> s < 3_000.
+          | R.Timeout | R.Memout | R.Hours_bh -> false)
+        R.table1
+    else R.table1
+  in
+  let testbed = Scale.grads () in
+  let rows = ref [] in
+  List.iter
+    (fun category ->
+      let in_cat = List.filter (fun e -> e.R.category = category) entries in
+      if in_cat <> [] then begin
+        Printf.printf "\n-- %s --\n" (Runner.category_header category);
+        Runner.print_table1_header ();
+        List.iter
+          (fun e ->
+            let row = Runner.run_row ~testbed e in
+            rows := row :: !rows;
+            Runner.print_row row)
+          in_cat
+      end)
+    [ R.Both_solved; R.Gridsat_only; R.Neither_solved ];
+  Runner.print_category_summary (List.rev !rows);
+  List.rev !rows

@@ -1,0 +1,66 @@
+(* Calibration sweep for the registry: runs the zChaff-model baseline on
+   every Table 1 analog at the benchmark scale and reports where each row
+   lands, so the generator parameters can be tuned to reproduce the
+   paper's bands.  Not part of the reproduction itself. *)
+
+let scale = 40.
+
+let zchaff_timeout = 18_000. /. scale
+
+let speed = 3000.
+
+let mem_limit = 16 * 1024 * 1024 * 6 / 10 (* fastest grads host at 1/64 memory, 60% usable *)
+
+let run_row (e : Workloads.Registry.entry) =
+  let t0 = Unix.gettimeofday () in
+  let cnf = e.Workloads.Registry.gen () in
+  let gen_time = Unix.gettimeofday () -. t0 in
+  let config =
+    {
+      Sat.Solver.default_config with
+      Sat.Solver.reduce_db_enabled = false;
+      mem_limit_bytes = mem_limit;
+    }
+  in
+  let solver = Sat.Solver.create ~config cnf in
+  let budget_total = int_of_float (zchaff_timeout *. speed) in
+  let chunk = 30_000 in
+  let peak_db = ref 0 in
+  let rec loop () =
+    if !peak_db < Sat.Solver.db_bytes solver then peak_db := Sat.Solver.db_bytes solver;
+    if (Sat.Solver.stats solver).Sat.Stats.propagations >= budget_total then "TIMEOUT"
+    else
+      match Sat.Solver.run solver ~budget:chunk with
+      | Sat.Solver.Sat _ -> "SAT"
+      | Sat.Solver.Unsat -> "UNSAT"
+      | Sat.Solver.Mem_pressure -> "MEMOUT"
+      | Sat.Solver.Budget_exhausted -> loop ()
+  in
+  let t1 = Unix.gettimeofday () in
+  let outcome = loop () in
+  let real = Unix.gettimeofday () -. t1 in
+  let st = Sat.Solver.stats solver in
+  let vtime = float_of_int st.Sat.Stats.propagations /. speed in
+  Printf.printf "%-32s %-18s exp=%-5s cat=%-8s got=%-7s vtime=%7.0f props=%9d db=%8d real=%5.1fs gen=%4.1fs\n%!"
+    e.Workloads.Registry.name e.Workloads.Registry.family
+    (match e.Workloads.Registry.status with
+    | Workloads.Registry.Sat -> "SAT"
+    | Workloads.Registry.Unsat -> "UNSAT"
+    | Workloads.Registry.Open -> "?")
+    (match e.Workloads.Registry.category with
+    | Workloads.Registry.Both_solved -> "both"
+    | Workloads.Registry.Gridsat_only -> "gs-only"
+    | Workloads.Registry.Neither_solved -> "neither")
+    outcome vtime st.Sat.Stats.propagations !peak_db real gen_time
+
+let () =
+  let only = if Array.length Sys.argv > 1 then Some Sys.argv.(1) else None in
+  List.iter
+    (fun e ->
+      match only with
+      | Some prefix
+        when not (String.length e.Workloads.Registry.name >= String.length prefix
+                  && String.sub e.Workloads.Registry.name 0 (String.length prefix) = prefix) ->
+          ()
+      | _ -> run_row e)
+    Workloads.Registry.table1

@@ -1,0 +1,269 @@
+(* The gridsat command-line tool.
+
+   gridsat solve problem.cnf                 sequential CDCL
+   gridsat solve -m grid -t grads p.cnf      distributed, simulated testbed
+   gridsat solve -m par -j 8 p.cnf           parallel on OCaml domains
+   gridsat solve --proof p.drup p.cnf        emit + self-check a DRUP proof
+   gridsat gen php --pigeons 9 --holes 8     generate instances to DIMACS
+   gridsat check p.cnf p.drup                verify an UNSAT proof
+   gridsat registry                          list the SAT2002 analog rows *)
+
+open Cmdliner
+
+(* ---------- solve ---------- *)
+
+let read_cnf path =
+  try Ok (Sat.Dimacs.parse_file path) with
+  | Sat.Dimacs.Parse_error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Sys_error e -> Error e
+
+let print_stats st =
+  Format.printf "@.statistics:@.%a@." Sat.Stats.pp st
+
+let solve_sequential ~preprocess ~proof_out ~stats ~budget cnf =
+  let original = cnf in
+  let pre = if preprocess then Some (Sat.Preprocess.run cnf) else None in
+  let cnf = match pre with Some r -> r.Sat.Preprocess.cnf | None -> cnf in
+  (match pre with
+  | Some r ->
+      Format.printf "c preprocessing: %d -> %d clauses (%d vars eliminated)@."
+        r.Sat.Preprocess.clauses_before r.Sat.Preprocess.clauses_after
+        r.Sat.Preprocess.eliminated
+  | None -> ());
+  let config =
+    { Sat.Solver.default_config with Sat.Solver.emit_proof = proof_out <> None }
+  in
+  let solver = Sat.Solver.create ~config cnf in
+  (match Sat.Solver.solve ?budget solver with
+  | Sat.Solver.Sat model ->
+      let model =
+        match pre with Some r -> Sat.Preprocess.extend r model | None -> model
+      in
+      assert (Sat.Model.satisfies original model);
+      Format.printf "s SATISFIABLE@.v %a@." Sat.Model.pp model
+  | Sat.Solver.Unsat -> (
+      Format.printf "s UNSATISFIABLE@.";
+      match proof_out with
+      | None -> ()
+      | Some path ->
+          let proof = Sat.Solver.proof solver in
+          (match Sat.Drup.check cnf proof with
+          | Ok () -> Format.printf "c proof checked (%d steps)@." (List.length proof)
+          | Error e -> Format.printf "c WARNING: proof does not check: %s@." e);
+          let oc = open_out path in
+          output_string oc (Sat.Drup.to_string proof);
+          close_out oc;
+          Format.printf "c proof written to %s@." path)
+  | Sat.Solver.Budget_exhausted -> Format.printf "s UNKNOWN@.c budget exhausted@."
+  | Sat.Solver.Mem_pressure -> Format.printf "s UNKNOWN@.c memory limit reached@.");
+  if stats then print_stats (Sat.Solver.stats solver);
+  0
+
+let testbed_of_string ~hosts = function
+  | "uniform" -> Ok (Gridsat_core.Testbed.uniform ~n:hosts ~speed:2000. ())
+  | "grads" -> Ok (Gridsat_core.Testbed.grads ())
+  | "set2" -> Ok (Gridsat_core.Testbed.set2 ())
+  | other -> Error (Printf.sprintf "unknown testbed %S (uniform|grads|set2)" other)
+
+let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout cnf =
+  match testbed_of_string ~hosts testbed with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok testbed ->
+      let config =
+        {
+          Gridsat_core.Config.default with
+          Gridsat_core.Config.share_max_len = share_len;
+          overall_timeout = timeout;
+          split_timeout = 5.;
+        }
+      in
+      let result = Gridsat_core.Gridsat.solve ~config ~testbed cnf in
+      (match result.Gridsat_core.Master.answer with
+      | Gridsat_core.Master.Sat model -> Format.printf "s SATISFIABLE@.v %a@." Sat.Model.pp model
+      | Gridsat_core.Master.Unsat -> Format.printf "s UNSATISFIABLE@."
+      | Gridsat_core.Master.Unknown why -> Format.printf "s UNKNOWN@.c %s@." why);
+      if stats then Format.printf "@.%a@." Gridsat_core.Gridsat.pp_result result;
+      0
+
+let solve_par ~jobs ~stats ~share_len cnf =
+  let outcome, st = Par.Par_solver.solve ~num_domains:jobs ~share_max_len:share_len cnf in
+  (match outcome with
+  | Par.Par_solver.Sat model -> Format.printf "s SATISFIABLE@.v %a@." Sat.Model.pp model
+  | Par.Par_solver.Unsat -> Format.printf "s UNSATISFIABLE@."
+  | Par.Par_solver.Budget_exhausted -> Format.printf "s UNKNOWN@.");
+  if stats then
+    Format.printf "c domains=%d splits=%d shared=%d subproblems=%d propagations=%d@."
+      st.Par.Par_solver.domains st.Par.Par_solver.splits st.Par.Par_solver.shared_clauses
+      st.Par.Par_solver.subproblems_solved st.Par.Par_solver.propagations;
+  0
+
+let solve_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf") in
+  let mode =
+    Arg.(value & opt string "seq" & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"seq, grid or par")
+  in
+  let testbed =
+    Arg.(value & opt string "uniform" & info [ "t"; "testbed" ] ~doc:"uniform, grads or set2")
+  in
+  let hosts = Arg.(value & opt int 8 & info [ "hosts" ] ~doc:"hosts for the uniform testbed") in
+  let jobs = Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~doc:"domains for par mode") in
+  let share_len = Arg.(value & opt int 10 & info [ "share-len" ] ~doc:"max shared clause length") in
+  let timeout =
+    Arg.(value & opt float 100_000. & info [ "timeout" ] ~doc:"grid overall timeout (virtual s)")
+  in
+  let budget = Arg.(value & opt (some int) None & info [ "budget" ] ~doc:"propagation budget") in
+  let proof =
+    Arg.(value & opt (some string) None & info [ "proof" ] ~doc:"write a DRUP proof here (seq mode)")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"print run statistics") in
+  let preprocess =
+    Arg.(value & flag & info [ "preprocess" ] ~doc:"simplify before solving (seq mode)")
+  in
+  let run file mode testbed hosts jobs share_len timeout budget proof stats preprocess =
+    match read_cnf file with
+    | Error e ->
+        prerr_endline e;
+        2
+    | Ok cnf -> (
+        match mode with
+        | "seq" -> solve_sequential ~preprocess ~proof_out:proof ~stats ~budget cnf
+        | "grid" -> solve_grid ~testbed ~hosts ~stats ~share_len ~timeout cnf
+        | "par" -> solve_par ~jobs ~stats ~share_len cnf
+        | other ->
+            Printf.eprintf "unknown mode %S (seq|grid|par)\n" other;
+            2)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve a DIMACS CNF file")
+    Term.(
+      const run $ file $ mode $ testbed $ hosts $ jobs $ share_len $ timeout $ budget $ proof
+      $ stats $ preprocess)
+
+(* ---------- gen ---------- *)
+
+let write_cnf out cnf =
+  match out with
+  | None -> print_string (Sat.Dimacs.to_string cnf)
+  | Some path ->
+      Sat.Dimacs.write_file path cnf;
+      Printf.printf "c wrote %s (%d vars, %d clauses)\n" path (Sat.Cnf.nvars cnf)
+        (Sat.Cnf.nclauses cnf)
+
+let gen_cmd =
+  let family =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FAMILY"
+          ~doc:
+            "php, random, planted, parity, tseitin, mixer, factor-sat, factor-unsat, qg, hanoi, \
+             coloring, mycielski, mitre")
+  in
+  let n = Arg.(value & opt int 100 & info [ "n" ] ~doc:"size parameter") in
+  let m = Arg.(value & opt (some int) None & info [ "m" ] ~doc:"secondary size parameter") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed") in
+  let ratio = Arg.(value & opt float 4.26 & info [ "ratio" ] ~doc:"clause/variable ratio") in
+  let pigeons = Arg.(value & opt int 8 & info [ "pigeons" ] ~doc:"php: pigeons") in
+  let holes = Arg.(value & opt int 7 & info [ "holes" ] ~doc:"php: holes") in
+  let colors = Arg.(value & opt int 3 & info [ "colors" ] ~doc:"coloring: colours") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"output file") in
+  let run family n m seed ratio pigeons holes colors out =
+    let second default = Option.value ~default m in
+    let cnf =
+      match family with
+      | "php" -> Ok (Workloads.Php.instance ~pigeons ~holes)
+      | "random" -> Ok (Workloads.Random_sat.instance ~nvars:n ~ratio ~seed ())
+      | "planted" -> Ok (Workloads.Random_sat.planted ~nvars:n ~ratio ~seed ())
+      | "parity" ->
+          Ok
+            (Workloads.Parity.instance ~nbits:n
+               ~nsamples:(second (n + (n / 20)))
+               ~subset:4 ~corrupted:0 ~seed)
+      | "tseitin" ->
+          Ok (Workloads.Tseitin.instance ~nvertices:n ~degree:4 ~charge:`Odd ~seed)
+      | "mixer" -> Ok (Workloads.Counter.mixer_preimage ~bits:n ~rounds:(second 9) ~seed)
+      | "factor-sat" ->
+          Ok
+            (Workloads.Factoring.instance ~abits:n ~bbits:n
+               ~product:(Workloads.Factoring.semiprime ~bits:n ~seed))
+      | "factor-unsat" ->
+          Ok
+            (Workloads.Factoring.instance ~abits:n ~bbits:n
+               ~product:(Workloads.Factoring.prime ~bits:n ~seed))
+      | "qg" -> Ok (Workloads.Quasigroup.instance ~n ~idempotent:true ~symmetric:true)
+      | "hanoi" ->
+          Ok (Workloads.Hanoi.instance ~disks:n ~steps:(second (Workloads.Hanoi.optimal_steps n)))
+      | "coloring" ->
+          Ok (Workloads.Coloring.random_graph ~n ~avg_degree:9.2 ~colors ~seed)
+      | "mycielski" -> Ok (Workloads.Coloring.mycielski ~levels:n ~colors)
+      | "mitre" -> Ok (Workloads.Equiv.multiplier_mitre ~bits:n ~bug:false)
+      | other -> Error (Printf.sprintf "unknown family %S" other)
+    in
+    match cnf with
+    | Ok cnf ->
+        write_cnf out cnf;
+        0
+    | Error e ->
+        prerr_endline e;
+        2
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark instance as DIMACS")
+    Term.(const run $ family $ n $ m $ seed $ ratio $ pigeons $ holes $ colors $ out)
+
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let cnf_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf") in
+  let proof_file = Arg.(required & pos 1 (some file) None & info [] ~docv:"PROOF.drup") in
+  let run cnf_file proof_file =
+    match read_cnf cnf_file with
+    | Error e ->
+        prerr_endline e;
+        2
+    | Ok cnf -> (
+        let text = In_channel.with_open_text proof_file In_channel.input_all in
+        match Sat.Drup.of_string text with
+        | exception Failure e ->
+            prerr_endline e;
+            2
+        | proof -> (
+            match Sat.Drup.check cnf proof with
+            | Ok () ->
+                Printf.printf "VERIFIED (%d steps)\n" (List.length proof);
+                0
+            | Error e ->
+                Printf.printf "NOT VERIFIED: %s\n" e;
+                1))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Verify a DRUP unsatisfiability proof")
+    Term.(const run $ cnf_file $ proof_file)
+
+(* ---------- registry ---------- *)
+
+let registry_cmd =
+  let run () =
+    Printf.printf "%-32s %-20s %-6s %s\n" "paper instance" "analog family" "status" "category";
+    Printf.printf "%s\n" (String.make 78 '-');
+    List.iter
+      (fun (e : Workloads.Registry.entry) ->
+        Printf.printf "%-32s %-20s %-6s %s\n" e.Workloads.Registry.name e.Workloads.Registry.family
+          (match e.Workloads.Registry.status with
+          | Workloads.Registry.Sat -> "SAT"
+          | Workloads.Registry.Unsat -> "UNSAT"
+          | Workloads.Registry.Open -> "*")
+          (match e.Workloads.Registry.category with
+          | Workloads.Registry.Both_solved -> "both"
+          | Workloads.Registry.Gridsat_only -> "gridsat-only"
+          | Workloads.Registry.Neither_solved -> "neither"))
+      Workloads.Registry.table1;
+    0
+  in
+  Cmd.v (Cmd.info "registry" ~doc:"List the SAT2002 analog registry") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "gridsat" ~version:"1.0" ~doc:"GridSAT: a Chaff-based distributed SAT solver" in
+  exit (Cmd.eval' (Cmd.group info [ solve_cmd; gen_cmd; check_cmd; registry_cmd ]))

@@ -1,0 +1,61 @@
+(* The Table 2 scenario: a hard instance starts on the interactive grid
+   while a Blue Horizon batch job waits in the queue; if the problem is
+   still open when the allocation arrives, the batch nodes join the
+   computation.  Here the instance is sized so the batch nodes matter.
+
+   Run with: dune exec examples/bluehorizon.exe *)
+
+module C = Gridsat_core
+
+let () =
+  Format.printf "=== interactive grid + batch-queued Blue Horizon ===@.@.";
+  let cnf =
+    Workloads.Parity.instance ~nbits:110 ~nsamples:115 ~subset:4 ~corrupted:0 ~seed:1
+  in
+  Format.printf "instance: planted parity, %d vars (a par32-style problem)@.@."
+    (Sat.Cnf.nvars cnf);
+  (* a modest interactive pool, and a batch job that arrives after ~60 s *)
+  let base = C.Testbed.uniform ~n:3 ~speed:800. () in
+  let testbed =
+    {
+      base with
+      C.Testbed.name = "interactive+batch";
+      batch =
+        Some
+          {
+            C.Testbed.site = "sdsc";
+            nodes = 8;
+            node_speed = 4000.;
+            node_mem = 1024 * 1024 * 1024;
+            duration = 4000.;
+            mean_wait = 60.;
+            queue_seed = 0;
+          };
+    }
+  in
+  let config =
+    {
+      C.Config.default with
+      C.Config.split_timeout = 10.;
+      overall_timeout = 20_000.;
+      share_max_len = 3 (* the paper's second experiment set *);
+    }
+  in
+  let result = C.Gridsat.solve ~config ~testbed cnf in
+  let batchy = function
+    | C.Events.Batch_job_submitted _ | C.Events.Batch_job_started _ | C.Events.Batch_job_cancelled
+      ->
+        true
+    | C.Events.Client_started id -> id >= 1000
+    | _ -> false
+  in
+  Format.printf "--- batch-related events ---@.";
+  List.iter
+    (fun ev -> if batchy ev.C.Events.kind then Format.printf "%a@." C.Events.pp ev)
+    result.C.Master.events;
+  Format.printf "@.--- run summary ---@.%a@." C.Gridsat.pp_result result;
+  match result.C.Master.answer with
+  | C.Master.Sat _ ->
+      Format.printf "@.solved; if this happened before the batch start, the job was cancelled@."
+  | C.Master.Unsat -> Format.printf "@.unsat@."
+  | C.Master.Unknown r -> Format.printf "@.no answer: %s@." r

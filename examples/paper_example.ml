@@ -1,0 +1,92 @@
+(* Replays the worked example of the paper's Section 2.3 / Figure 1:
+   conflict analysis with FirstUIP learning and non-chronological
+   backtracking on a 9-clause, 14-variable formula.
+
+   Note: the paper's prose assigns V10 := false while its figure and the
+   learned clause (~V10 + ~V7 + V8 + V9 + ~V5) require V10 to be true on
+   the reason side; we follow the figure (clause 8 is (~V10 | ~V13) so the
+   prose's "clause 8 implies ~V13" step still happens).
+
+   Run with: dune exec examples/paper_example.exe *)
+
+module T = Sat.Types
+module Solver = Sat.Solver
+
+let formula =
+  Sat.Cnf.make ~nvars:14
+    [
+      [ -11; 12 ] (* c1 *);
+      [ -12; -10; 5 ] (* c2 *);
+      [ -5; -7; 1 ] (* c3 *);
+      [ -5; 8; 2 ] (* c4 *);
+      [ 4; -6; 14 ] (* c5 *);
+      [ -1; -10; 9; 3 ] (* c6 *);
+      [ -2; -3 ] (* c7 *);
+      [ -10; -13 ] (* c8 *);
+      [ 14 ] (* c9 *);
+    ]
+
+let lit_name l = Printf.sprintf "%sV%d" (if T.is_pos l then "" else "~") (T.var l)
+
+let print_stack s =
+  Format.printf "  decision stack:@.";
+  let by_level = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      let lvl = Solver.level_of_var s (T.var l) in
+      Hashtbl.replace by_level lvl (l :: (Option.value ~default:[] (Hashtbl.find_opt by_level lvl))))
+    (Solver.trail_literals s);
+  for lvl = 0 to Solver.decision_level s do
+    match Hashtbl.find_opt by_level lvl with
+    | None -> ()
+    | Some lits ->
+        Format.printf "    level %d: %s@." lvl
+          (String.concat " " (List.rev_map lit_name lits))
+  done
+
+let () =
+  Format.printf "=== Figure 1: conflict analysis with learning ===@.@.";
+  let s = Solver.create formula in
+  Format.printf "after reading the formula, clause 9 (V14) is unit:@.";
+  print_stack s;
+
+  Format.printf "@.making the scripted decisions of the example:@.";
+  List.iter
+    (fun d ->
+      Solver.decide_manual s (T.lit_of_int d);
+      (match Solver.propagate_manual s with
+      | `Ok -> ()
+      | `Conflict _ -> failwith "unexpected conflict");
+      Format.printf "  decide %s (level %d)@." (lit_name (T.lit_of_int d))
+        (Solver.decision_level s))
+    [ 10; 7; -8; -9; 6 ];
+  print_stack s;
+
+  Format.printf "@.level 6: decide V11 -> implication cascade -> conflict@.";
+  Solver.decide_manual s (T.lit_of_int 11);
+  match Solver.propagate_manual s with
+  | `Ok -> failwith "expected the example's conflict"
+  | `Conflict info ->
+      Format.printf "@.implication graph at the conflict (level-6 nodes):@.";
+      List.iter
+        (fun (v, lvl, antecedent) ->
+          if lvl = 6 then
+            match antecedent with
+            | None -> Format.printf "    V%d  <- decision@." v
+            | Some lits -> Format.printf "    V%d  <- implied by %a@." v T.pp_clause lits)
+        info.Solver.implication_graph;
+      Format.printf "@.conflict: V%d implied both ways (clauses 6 and 7)@."
+        info.Solver.conflicting_var;
+      Format.printf "conflicting clause: %a@." T.pp_clause info.Solver.conflicting_clause;
+      Format.printf "@.FirstUIP node: V%d (every path from V11 to the conflict passes it)@."
+        info.Solver.uip_var;
+      Format.printf "learned clause:  %a   (paper: (~V10 | ~V7 | V8 | V9 | ~V5))@."
+        T.pp_clause info.Solver.learned;
+      Format.printf "backjump: to level %d, the level of ~V9@." info.Solver.backjump_level;
+      Format.printf "@.after backjumping, the learned clause asserts ~V5:@.";
+      (match Solver.propagate_manual s with `Ok -> () | `Conflict _ -> failwith "unexpected");
+      print_stack s;
+      Format.printf "@.(search can now continue; the formula is satisfiable)@.";
+      (match Solver.solve s with
+      | Solver.Sat m -> Format.printf "final answer: SAT, e.g. %a@." Sat.Model.pp m
+      | _ -> failwith "expected sat")

@@ -1,0 +1,45 @@
+module Solver = Sat.Solver
+
+type outcome = Sat of Sat.Model.t | Unsat | Timeout | Memout
+
+type run = { outcome : outcome; time : float; stats : Sat.Stats.t }
+
+let run ?config ?(timeout = 18_000.) ~host cnf =
+  let resource = host.Testbed.resource in
+  let base =
+    match config with
+    | Some c -> c
+    | None ->
+        (* zChaff 2001 kept every learned clause until memory overflowed *)
+        { Solver.default_config with Solver.reduce_db_enabled = false }
+  in
+  let config =
+    {
+      base with
+      Solver.mem_limit_bytes = min base.Solver.mem_limit_bytes (Grid.Resource.usable_memory resource);
+    }
+  in
+  let solver = Solver.create ~config cnf in
+  let speed = resource.Grid.Resource.speed in
+  let total_budget = timeout *. speed in
+  (* run in chunks so the propagation count (hence virtual time) is exact
+     enough without letting one call overshoot the timeout by much *)
+  let chunk = max 1 (int_of_float (speed *. 10.)) in
+  let rec loop () =
+    let used = float_of_int (Solver.stats solver).Sat.Stats.propagations in
+    if used >= total_budget then Timeout
+    else
+      match Solver.run solver ~budget:chunk with
+      | Solver.Sat m -> Sat m
+      | Solver.Unsat -> Unsat
+      | Solver.Mem_pressure -> Memout
+      | Solver.Budget_exhausted -> loop ()
+  in
+  let outcome = loop () in
+  let stats = Sat.Stats.copy (Solver.stats solver) in
+  let time =
+    match outcome with
+    | Timeout -> timeout
+    | Sat _ | Unsat | Memout -> float_of_int stats.Sat.Stats.propagations /. speed
+  in
+  { outcome; time; stats }

@@ -1,0 +1,27 @@
+(** The sequential comparator: zChaff on the fastest dedicated host.
+
+    The paper times plain zChaff (augmented with the same root-level
+    pruning optimisation as GridSAT's clients) on the fastest processor
+    available, dedicated, with a wall-clock timeout and the host's memory
+    as a hard limit.  This module reproduces that measurement in virtual
+    time: the solver runs alone at full speed, and its propagation count
+    divided by the host speed is its solution time. *)
+
+type outcome = Sat of Sat.Model.t | Unsat | Timeout | Memout
+
+type run = {
+  outcome : outcome;
+  time : float;  (** virtual seconds consumed (= timeout when [Timeout]) *)
+  stats : Sat.Stats.t;
+}
+
+val run :
+  ?config:Sat.Solver.config ->
+  ?timeout:float ->
+  host:Testbed.host ->
+  Sat.Cnf.t ->
+  run
+(** [run ~host cnf] solves on [host] in dedicated mode (availability 1).
+    The memory limit is the host's usable memory unless the solver config
+    overrides it lower.  Default timeout: 18000 virtual seconds (the
+    paper's zChaff allowance). *)

@@ -1,0 +1,40 @@
+type entry = { sp : Subproblem.t; bytes : int; light : bool }
+
+type t = {
+  cnf : Sat.Cnf.t;
+  store : (int, entry) Hashtbl.t;
+  mutable saves : int;
+}
+
+let create cnf = { cnf; store = Hashtbl.create 16; saves = 0 }
+
+let save t ~client ~mode sp =
+  match mode with
+  | Config.No_checkpoint -> 0
+  | Config.Light ->
+      (* only the root assignment is persisted; clauses come back from the
+         problem file on restore *)
+      let stripped = { sp with Subproblem.clauses = [] } in
+      let bytes = Subproblem.bytes stripped in
+      Hashtbl.replace t.store client { sp = stripped; bytes; light = true };
+      t.saves <- t.saves + 1;
+      bytes
+  | Config.Heavy ->
+      let bytes = Subproblem.bytes sp in
+      Hashtbl.replace t.store client { sp; bytes; light = false };
+      t.saves <- t.saves + 1;
+      bytes
+
+let restore t ~client =
+  match Hashtbl.find_opt t.store client with
+  | None -> None
+  | Some { sp; light; _ } ->
+      if light then
+        Some (Subproblem.prune { sp with Subproblem.clauses = Sat.Cnf.clauses t.cnf })
+      else Some sp
+
+let drop t ~client = Hashtbl.remove t.store client
+
+let total_bytes t = Hashtbl.fold (fun _ e acc -> acc + e.bytes) t.store 0
+
+let saves t = t.saves

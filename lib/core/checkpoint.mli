@@ -1,0 +1,28 @@
+(** Checkpoint store (paper Section 3.4).
+
+    [Light] checkpoints persist only the root assignment of a client's
+    subproblem (the clause set is recovered from the original problem
+    file); [Heavy] checkpoints also persist the learned-clause database.
+    The paper estimates ~0.5 GB per client for heavy checkpoints — the
+    store tracks sizes so benchmarks can report that cost. *)
+
+type t
+
+val create : Sat.Cnf.t -> t
+(** The original formula, used to rebuild clause sets for light
+    checkpoints. *)
+
+val save : t -> client:int -> mode:Config.checkpoint_mode -> Subproblem.t -> int
+(** Stores (replacing) the client's checkpoint; returns stored bytes
+    (0 for [No_checkpoint]). *)
+
+val restore : t -> client:int -> Subproblem.t option
+(** The subproblem to restart from, reconstructed per the stored mode:
+    a light checkpoint yields the original clauses plus the saved root
+    assignment; a heavy checkpoint yields the full saved state. *)
+
+val drop : t -> client:int -> unit
+
+val total_bytes : t -> int
+
+val saves : t -> int

@@ -1,0 +1,247 @@
+module R = Grid.Resource
+module Solver = Sat.Solver
+
+type callbacks = {
+  log : Events.kind -> unit;
+  save_checkpoint : client:int -> Subproblem.t -> unit;
+}
+
+type solving = {
+  solver : Solver.t;
+  started_at : float;
+  transfer_time : float;  (* how long the problem took to reach us *)
+  mutable split_epoch : float;  (* start of the current run-time-heuristic window *)
+  mutable split_pending : bool;
+  mutable last_share_flush : float;
+  mutable last_checkpoint : float;
+  mutable hard_mem_strikes : int;  (* consecutive slices at the hard memory limit *)
+}
+
+type state = Idle | Solving of solving
+
+type t = {
+  cid : int;
+  master : int;
+  sim : Grid.Sim.t;
+  bus : Protocol.msg Grid.Everyware.t;
+  cfg : Config.t;
+  resource : R.t;
+  trace : Grid.Trace.t;
+  callbacks : callbacks;
+  mem_budget : int;
+  mutable state : state;
+  mutable alive : bool;
+  mutable token : int;  (* bumped on every state change to invalidate stale slices *)
+  stats_acc : Sat.Stats.t;
+}
+
+let id t = t.cid
+
+let is_busy t = match t.state with Solving _ -> true | Idle -> false
+
+let is_alive t = t.alive
+
+let busy_since t = match t.state with Solving s -> Some s.started_at | Idle -> None
+
+let mem_bytes_in_use t = match t.state with Solving s -> Solver.db_bytes s.solver | Idle -> 0
+
+let solver_stats t =
+  let acc = Sat.Stats.copy t.stats_acc in
+  (match t.state with Solving s -> Sat.Stats.add acc (Solver.stats s.solver) | Idle -> ());
+  acc
+
+let send t ~dst msg = Grid.Everyware.send t.bus ~src:t.cid ~dst ~bytes:(Protocol.size msg) msg
+
+let now t = Grid.Sim.now t.sim
+
+(* How many consecutive hard-memory slices a client survives before the
+   operating system kills it (paper: the Linux OOM killer). *)
+let oom_strikes = 50
+
+let finish_problem t =
+  (match t.state with
+  | Solving s -> Sat.Stats.add t.stats_acc (Solver.stats s.solver)
+  | Idle -> ());
+  t.state <- Idle;
+  t.token <- t.token + 1
+
+let die t =
+  if t.alive then begin
+    t.alive <- false;
+    t.state <- Idle;
+    t.token <- t.token + 1;
+    Grid.Everyware.unregister t.bus ~id:t.cid
+  end
+
+let kill t = die t
+
+(* The run-time split heuristic (Section 3.3): a client asks for help after
+   working for twice the time its problem took to arrive, but never sooner
+   than the configured floor. *)
+let split_deadline t s = s.split_epoch +. Float.max (2. *. s.transfer_time) t.cfg.split_timeout
+
+let flush_shares t s =
+  let shares = Solver.drain_shares s.solver ~max_len:t.cfg.share_max_len in
+  s.last_share_flush <- now t;
+  if shares <> [] then send t ~dst:t.master (Protocol.Shares { clauses = shares })
+
+let maybe_checkpoint t s =
+  match t.cfg.checkpoint with
+  | Config.No_checkpoint -> ()
+  | Config.Light | Config.Heavy ->
+      if now t -. s.last_checkpoint >= 5. *. t.cfg.slice then begin
+        s.last_checkpoint <- now t;
+        t.callbacks.save_checkpoint ~client:t.cid (Subproblem.capture s.solver)
+      end
+
+let request_split t s reason =
+  if not s.split_pending then begin
+    s.split_pending <- true;
+    t.callbacks.log (Events.Split_requested { client = t.cid; reason });
+    send t ~dst:t.master (Protocol.Split_request reason)
+  end
+
+let rec schedule_slice t delay =
+  let token = t.token in
+  ignore (Grid.Sim.schedule t.sim ~delay (fun () -> slice t token))
+
+and slice t token =
+  if t.alive && token = t.token then
+    match t.state with
+    | Idle -> ()
+    | Solving s ->
+        let avail = Grid.Trace.availability t.trace (now t) in
+        let budget = max 1 (int_of_float (t.cfg.slice *. t.resource.R.speed *. avail)) in
+        (match Solver.run s.solver ~budget with
+        | Solver.Sat model ->
+            t.callbacks.log (Events.Client_found_model t.cid);
+            send t ~dst:t.master (Protocol.Found_model model);
+            finish_problem t
+        | Solver.Unsat ->
+            t.callbacks.log (Events.Client_finished_unsat t.cid);
+            flush_shares t s;
+            send t ~dst:t.master Protocol.Finished_unsat;
+            finish_problem t
+        | Solver.Mem_pressure ->
+            (* at the hard limit the solver cannot even store new learned
+               clauses; without relief the OS eventually kills us *)
+            s.hard_mem_strikes <- s.hard_mem_strikes + 1;
+            request_split t s `Memory;
+            if s.hard_mem_strikes > oom_strikes then begin
+              t.callbacks.log (Events.Client_killed t.cid);
+              die t
+            end
+            else schedule_slice t t.cfg.slice
+        | Solver.Budget_exhausted ->
+            s.hard_mem_strikes <- 0;
+            if Solver.db_bytes s.solver > int_of_float (t.cfg.mem_headroom *. float_of_int t.mem_budget)
+            then request_split t s `Memory
+            else if now t >= split_deadline t s then request_split t s `Long_running;
+            if now t -. s.last_share_flush >= t.cfg.share_flush_interval then flush_shares t s;
+            maybe_checkpoint t s;
+            schedule_slice t t.cfg.slice)
+
+let start_problem t ~src ~transfer_time sp =
+  let solver_config =
+    {
+      t.cfg.solver_config with
+      Solver.mem_limit_bytes = t.mem_budget;
+      Solver.share_export_max = max t.cfg.share_max_len t.cfg.solver_config.Solver.share_export_max;
+      Solver.seed = t.cfg.solver_config.Solver.seed + t.cid;
+    }
+  in
+  let solver = Subproblem.to_solver ~config:solver_config sp in
+  t.token <- t.token + 1;
+  t.state <-
+    Solving
+      {
+        solver;
+        started_at = now t;
+        transfer_time;
+        split_epoch = now t;
+        split_pending = false;
+        last_share_flush = now t;
+        last_checkpoint = now t;
+        hard_mem_strikes = 0;
+      };
+  send t ~dst:t.master
+    (Protocol.Problem_received { from = src; bytes = Subproblem.bytes sp; depth = Subproblem.depth sp });
+  (* an initial checkpoint covers the window before the first periodic one *)
+  (match t.cfg.checkpoint with
+  | Config.No_checkpoint -> ()
+  | Config.Light | Config.Heavy -> t.callbacks.save_checkpoint ~client:t.cid sp);
+  schedule_slice t t.cfg.slice
+
+let handle_split_partner t partner =
+  match t.state with
+  | Idle -> send t ~dst:t.master Protocol.Split_failed
+  | Solving s -> (
+      s.split_pending <- false;
+      match Subproblem.split_from s.solver with
+      | None -> send t ~dst:t.master Protocol.Split_failed
+      | Some sp ->
+          let bytes = Subproblem.bytes sp in
+          s.split_epoch <- now t;
+          s.hard_mem_strikes <- 0;
+          send t ~dst:partner (Protocol.Problem { sp; sent_at = now t });
+          send t ~dst:t.master (Protocol.Split_ok { dst = partner; bytes }))
+
+let handle_migrate t target =
+  match t.state with
+  | Idle -> ()
+  | Solving s ->
+      let sp = Subproblem.capture s.solver in
+      send t ~dst:target (Protocol.Problem { sp; sent_at = now t });
+      finish_problem t
+
+let handle t ~src msg =
+  if t.alive then
+    match msg with
+    | Protocol.Problem { sp; sent_at } ->
+        if is_busy t then
+          (* protocol violation under normal operation; drop defensively *)
+          ()
+        else start_problem t ~src ~transfer_time:(Float.max 0.1 (now t -. sent_at)) sp
+    | Protocol.Split_partner { partner } -> handle_split_partner t partner
+    | Protocol.Share_relay { origin = _; clauses } -> (
+        match t.state with
+        | Solving s -> Solver.queue_foreign_clauses s.solver clauses
+        | Idle -> ())
+    | Protocol.Migrate_to { target } -> handle_migrate t target
+    | Protocol.Stop ->
+        finish_problem t;
+        t.alive <- false
+    | Protocol.Register | Protocol.Problem_received _ | Protocol.Split_request _
+    | Protocol.Split_ok _ | Protocol.Split_failed | Protocol.Shares _ | Protocol.Finished_unsat
+    | Protocol.Found_model _ ->
+        (* master-bound messages; a client should never receive them *)
+        ()
+
+(* Empty clients take a moment to launch before they can register
+   (process start-up on the remote host). *)
+let launch_delay = 1.0
+
+let create ~sim ~bus ~cfg ~resource ~trace ~master callbacks =
+  let t =
+    {
+      cid = resource.R.id;
+      master;
+      sim;
+      bus;
+      cfg;
+      resource;
+      trace;
+      callbacks;
+      mem_budget = R.usable_memory resource;
+      state = Idle;
+      alive = resource.R.mem_bytes >= cfg.Config.min_client_memory;
+      token = 0;
+      stats_acc = Sat.Stats.create ();
+    }
+  in
+  if t.alive then begin
+    Grid.Everyware.register bus ~id:t.cid ~site:resource.R.site ~handler:(fun ~src msg ->
+        handle t ~src msg);
+    ignore (Grid.Sim.schedule sim ~delay:launch_delay (fun () -> send t ~dst:master Protocol.Register))
+  end;
+  t

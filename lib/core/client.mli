@@ -1,0 +1,49 @@
+(** A GridSAT client: one solver process on one Grid host.
+
+    A client is launched "empty", registers with the master, and waits for
+    a subproblem.  While solving it runs in compute slices whose step
+    budget follows the host's speed and current availability; it monitors
+    its own memory and run time to decide when to ask the master for a
+    split (paper Section 3.3: "the decision to add a resource is made
+    locally by a client"), broadcasts freshly learned short clauses, and
+    merges clauses received from peers.  On a split directive it performs
+    the Figure 2 transformation and ships the complementary subproblem
+    directly to its partner (peer-to-peer, the large message of
+    Figure 3). *)
+
+type t
+
+type callbacks = {
+  log : Events.kind -> unit;  (** master-side event log *)
+  save_checkpoint : client:int -> Subproblem.t -> unit;
+}
+
+val create :
+  sim:Grid.Sim.t ->
+  bus:Protocol.msg Grid.Everyware.t ->
+  cfg:Config.t ->
+  resource:Grid.Resource.t ->
+  trace:Grid.Trace.t ->
+  master:int ->
+  callbacks ->
+  t
+(** Registers the client's endpoint and schedules its startup
+    registration with the master (a short launch delay applies). *)
+
+val id : t -> int
+
+val is_busy : t -> bool
+
+val is_alive : t -> bool
+
+val kill : t -> unit
+(** Failure injection: the host dies.  The endpoint is unregistered; any
+    in-flight messages to it are dropped.  The master is {e not} notified
+    (it discovers the death through its own monitoring). *)
+
+val solver_stats : t -> Sat.Stats.t
+(** Accumulated statistics over every subproblem this client worked on. *)
+
+val busy_since : t -> float option
+
+val mem_bytes_in_use : t -> int

@@ -1,0 +1,40 @@
+type scheduler_policy = Nws_rank | Random_pick | First_fit
+
+type checkpoint_mode = No_checkpoint | Light | Heavy
+
+type t = {
+  share_max_len : int;
+  split_timeout : float;
+  overall_timeout : float;
+  slice : float;
+  share_flush_interval : float;
+  mem_headroom : float;
+  min_client_memory : int;
+  scheduler : scheduler_policy;
+  nws_probe_interval : float;
+  migration_enabled : bool;
+  checkpoint : checkpoint_mode;
+  solver_config : Sat.Solver.config;
+  seed : int;
+}
+
+let default =
+  {
+    share_max_len = 10;
+    split_timeout = 100.;
+    overall_timeout = 6000.;
+    slice = 2.0;
+    share_flush_interval = 10.;
+    mem_headroom = 0.9;
+    min_client_memory = Grid.Resource.min_client_memory;
+    scheduler = Nws_rank;
+    nws_probe_interval = 30.;
+    migration_enabled = true;
+    checkpoint = No_checkpoint;
+    solver_config = Sat.Solver.default_config;
+    seed = 0;
+  }
+
+let experiment_set_1 = default
+
+let experiment_set_2 = { default with share_max_len = 3; overall_timeout = 12_000. }

@@ -1,0 +1,39 @@
+(** GridSAT run configuration.
+
+    The defaults correspond to the paper's first experiment set
+    (Section 4): learned clauses of length at most 10 are shared, a client
+    asks for a split after running for twice its problem-transfer time
+    (never less than 100 s), and the run aborts after 6000 s. *)
+
+type scheduler_policy =
+  | Nws_rank  (** rank idle resources by NWS forecast x speed and memory (the paper's scheduler) *)
+  | Random_pick  (** ablation: pick an idle resource uniformly at random *)
+  | First_fit  (** ablation: pick the first idle resource by id *)
+
+type checkpoint_mode = No_checkpoint | Light | Heavy
+(** Section 3.4: [Light] persists only root-level assignments; [Heavy]
+    additionally persists the learned clauses. *)
+
+type t = {
+  share_max_len : int;  (** maximum length of shared learned clauses (paper: 10 or 3) *)
+  split_timeout : float;  (** floor for the run-time split heuristic, seconds (paper: 100) *)
+  overall_timeout : float;  (** give up after this much virtual time (paper: 6000/12000) *)
+  slice : float;  (** compute-slice quantum in virtual seconds *)
+  share_flush_interval : float;  (** how often a client broadcasts fresh short clauses *)
+  mem_headroom : float;  (** request a split when the DB exceeds this fraction of the budget *)
+  min_client_memory : int;  (** hosts below this memory refuse to run a client (paper: 128 MB) *)
+  scheduler : scheduler_policy;
+  nws_probe_interval : float;  (** how often the master samples host availability *)
+  migration_enabled : bool;
+  checkpoint : checkpoint_mode;
+  solver_config : Sat.Solver.config;
+  seed : int;
+}
+
+val default : t
+
+val experiment_set_1 : t
+(** Share length 10, 100 s split timeout, 6000 s overall — Table 1 solvable runs. *)
+
+val experiment_set_2 : t
+(** Share length 3 — Table 2 runs (the harder instances). *)

@@ -1,0 +1,54 @@
+type kind =
+  | Client_started of int
+  | Problem_assigned of { src : int; dst : int; bytes : int; depth : int }
+  | Split_requested of { client : int; reason : [ `Memory | `Long_running ] }
+  | Split_granted of { client : int; partner : int }
+  | Split_denied of { client : int }
+  | Split_completed of { src : int; dst : int; bytes : int }
+  | Migration of { src : int; dst : int; bytes : int }
+  | Shares_broadcast of { origin : int; count : int; recipients : int }
+  | Client_finished_unsat of int
+  | Client_found_model of int
+  | Model_verified of bool
+  | Client_killed of int
+  | Checkpoint_saved of { client : int; bytes : int }
+  | Recovered_from_checkpoint of { client : int; onto : int }
+  | Batch_job_submitted of { nodes : int }
+  | Batch_job_started of { nodes : int }
+  | Batch_job_cancelled
+  | Terminated of string
+
+type t = { time : float; kind : kind }
+
+let make time kind = { time; kind }
+
+let pp_kind ppf = function
+  | Client_started id -> Format.fprintf ppf "client %d started" id
+  | Problem_assigned { src; dst; bytes; depth } ->
+      Format.fprintf ppf "problem (depth %d, %d bytes) sent %d -> %d" depth bytes src dst
+  | Split_requested { client; reason } ->
+      Format.fprintf ppf "client %d requests split (%s)" client
+        (match reason with `Memory -> "memory pressure" | `Long_running -> "long-running")
+  | Split_granted { client; partner } ->
+      Format.fprintf ppf "master pairs client %d with idle client %d" client partner
+  | Split_denied { client } -> Format.fprintf ppf "no idle resource for client %d (backlogged)" client
+  | Split_completed { src; dst; bytes } ->
+      Format.fprintf ppf "split completed: %d bytes moved %d -> %d" bytes src dst
+  | Migration { src; dst; bytes } ->
+      Format.fprintf ppf "migration: %d bytes moved %d -> %d" bytes src dst
+  | Shares_broadcast { origin; count; recipients } ->
+      Format.fprintf ppf "client %d shared %d clauses with %d peers" origin count recipients
+  | Client_finished_unsat id -> Format.fprintf ppf "client %d: subproblem unsatisfiable" id
+  | Client_found_model id -> Format.fprintf ppf "client %d: found a satisfying assignment" id
+  | Model_verified ok -> Format.fprintf ppf "master verified model: %b" ok
+  | Client_killed id -> Format.fprintf ppf "client %d killed" id
+  | Checkpoint_saved { client; bytes } ->
+      Format.fprintf ppf "checkpoint of client %d saved (%d bytes)" client bytes
+  | Recovered_from_checkpoint { client; onto } ->
+      Format.fprintf ppf "client %d's work recovered onto client %d" client onto
+  | Batch_job_submitted { nodes } -> Format.fprintf ppf "batch job submitted (%d nodes)" nodes
+  | Batch_job_started { nodes } -> Format.fprintf ppf "batch job started (%d nodes)" nodes
+  | Batch_job_cancelled -> Format.fprintf ppf "batch job cancelled"
+  | Terminated why -> Format.fprintf ppf "terminated: %s" why
+
+let pp ppf t = Format.fprintf ppf "[%10.1f] %a" t.time pp_kind t.kind

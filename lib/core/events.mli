@@ -1,0 +1,30 @@
+(** Timestamped event log of a GridSAT run.
+
+    The log is how tests assert protocol behaviour (e.g. the five-message
+    split sequence of Figure 3) and how examples narrate a run. *)
+
+type kind =
+  | Client_started of int  (** client id registered with the master *)
+  | Problem_assigned of { src : int; dst : int; bytes : int; depth : int }
+  | Split_requested of { client : int; reason : [ `Memory | `Long_running ] }
+  | Split_granted of { client : int; partner : int }
+  | Split_denied of { client : int }  (** no idle resource: request backlogged *)
+  | Split_completed of { src : int; dst : int; bytes : int }
+  | Migration of { src : int; dst : int; bytes : int }
+  | Shares_broadcast of { origin : int; count : int; recipients : int }
+  | Client_finished_unsat of int
+  | Client_found_model of int
+  | Model_verified of bool
+  | Client_killed of int
+  | Checkpoint_saved of { client : int; bytes : int }
+  | Recovered_from_checkpoint of { client : int; onto : int }
+  | Batch_job_submitted of { nodes : int }
+  | Batch_job_started of { nodes : int }
+  | Batch_job_cancelled
+  | Terminated of string
+
+type t = { time : float; kind : kind }
+
+val make : float -> kind -> t
+
+val pp : Format.formatter -> t -> unit

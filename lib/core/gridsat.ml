@@ -1,0 +1,29 @@
+let solve ?(config = Config.default) ?on_master ~testbed cnf =
+  let sim = Grid.Sim.create () in
+  let net = Grid.Network.create () in
+  let bus = Grid.Everyware.create sim net in
+  let master = Master.create ~sim ~net ~bus ~cfg:config ~testbed cnf in
+  (match on_master with Some f -> f master | None -> ());
+  (* Drive the simulation until the master reaches a verdict.  The master
+     always arms an overall-timeout event, so this terminates. *)
+  while (not (Master.finished master)) && Grid.Sim.step sim do
+    ()
+  done;
+  if not (Master.finished master) then
+    (* queue drained without a verdict: should be impossible, but never
+       leave the caller without a result *)
+    invalid_arg "Gridsat.solve: simulation stalled before termination"
+  else Master.result master
+
+let answer_string = function
+  | Master.Sat _ -> "SAT"
+  | Master.Unsat -> "UNSAT"
+  | Master.Unknown reason -> Printf.sprintf "UNKNOWN(%s)" reason
+
+let pp_result ppf (r : Master.result) =
+  Format.fprintf ppf
+    "@[<v>answer          %s@,time            %.1f s@,max clients     %d@,splits          %d@,\
+     shared clauses  %d (in %d batches)@,messages        %d (%d bytes)@,events          %d@]"
+    (answer_string r.Master.answer) r.Master.time r.Master.max_clients r.Master.splits
+    r.Master.shared_clauses r.Master.share_batches r.Master.messages r.Master.bytes
+    (List.length r.Master.events)

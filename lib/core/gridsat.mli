@@ -1,0 +1,31 @@
+(** GridSAT: the distributed solver, end to end.
+
+    [solve ~testbed cnf] stands up the whole apparatus on the simulated
+    Grid — network, messaging, NWS probes, master, one client per host,
+    the batch job if any — runs the master-client protocol to completion,
+    and returns the answer with full run metrics and the event log.
+
+    {[
+      let testbed = Gridsat_core.Testbed.grads () in
+      let result = Gridsat_core.Gridsat.solve ~testbed cnf in
+      match result.Gridsat_core.Master.answer with
+      | Gridsat_core.Master.Sat model -> ...
+      | Gridsat_core.Master.Unsat -> ...
+      | Gridsat_core.Master.Unknown reason -> ...
+    ]} *)
+
+val solve :
+  ?config:Config.t ->
+  ?on_master:(Master.t -> unit) ->
+  testbed:Testbed.t ->
+  Sat.Cnf.t ->
+  Master.result
+(** Runs to termination (answer, timeout, or unrecoverable failure).
+    [on_master] exposes the master right after construction — tests use it
+    to inject failures at scheduled times. *)
+
+val answer_string : Master.answer -> string
+(** "SAT", "UNSAT" or "UNKNOWN(reason)". *)
+
+val pp_result : Format.formatter -> Master.result -> unit
+(** One-paragraph run summary (answer, time, peak clients, traffic). *)

@@ -1,0 +1,466 @@
+module R = Grid.Resource
+
+type answer = Sat of Sat.Model.t | Unsat | Unknown of string
+
+type result = {
+  answer : answer;
+  time : float;
+  max_clients : int;
+  splits : int;
+  share_batches : int;
+  shared_clauses : int;
+  messages : int;
+  bytes : int;
+  checkpoint_bytes : int;
+  solver_stats : Sat.Stats.t;
+  events : Events.t list;
+}
+
+type rstate = Launching | Idle | Reserved | Busy | Dead
+
+type hostinfo = {
+  client : Client.t;
+  resource : R.t;
+  trace : Grid.Trace.t;
+  nws : Grid.Nws.t;
+  mutable rstate : rstate;
+  mutable busy_since : float;
+}
+
+type t = {
+  sim : Grid.Sim.t;
+  bus : Protocol.msg Grid.Everyware.t;
+  cfg : Config.t;
+  cnf : Sat.Cnf.t;
+  testbed : Testbed.t;
+  hosts : (int, hostinfo) Hashtbl.t;
+  checkpoints : Checkpoint.t;
+  mutable backlog : (int * float) list;  (* requester, busy-since at request time *)
+  mutable pending_partner : (int * int) list;  (* requester -> reserved partner *)
+  mutable migrating : (int * int) list;  (* source -> reserved target *)
+  mutable active_problems : int;
+  mutable problem_assigned : bool;
+  mutable finished : bool;
+  mutable answer : answer option;
+  mutable max_clients : int;
+  mutable splits : int;
+  mutable share_batches : int;
+  mutable shared_clauses : int;
+  mutable checkpoint_bytes_peak : int;
+  mutable events : Events.t list;  (* newest first *)
+  mutable batch_job : (Grid.Batch.t * Grid.Batch.job) option;
+  mutable next_batch_id : int;
+  rng : Random.State.t;
+  started_at : float;
+}
+
+let master_id = 0
+
+let log t kind = t.events <- Events.make (Grid.Sim.now t.sim) kind :: t.events
+
+let events_so_far t = List.rev t.events
+
+let schedule t ~delay f = ignore (Grid.Sim.schedule t.sim ~delay f)
+
+let busy_clients t =
+  Hashtbl.fold (fun _ h acc -> if h.rstate = Busy then acc + 1 else acc) t.hosts 0
+
+let busy_client_ids t =
+  Hashtbl.fold (fun id h acc -> if h.rstate = Busy then id :: acc else acc) t.hosts []
+  |> List.sort compare
+
+let finished t = t.finished
+
+let send t ~dst msg = Grid.Everyware.send t.bus ~src:master_id ~dst ~bytes:(Protocol.size msg) msg
+
+let update_max t =
+  let b = busy_clients t in
+  if b > t.max_clients then t.max_clients <- b
+
+let aggregate_stats t =
+  let acc = Sat.Stats.create () in
+  Hashtbl.iter (fun _ h -> Sat.Stats.add acc (Client.solver_stats h.client)) t.hosts;
+  acc
+
+let result t =
+  match t.answer with
+  | None -> invalid_arg "Master.result: run not finished"
+  | Some answer ->
+      {
+        answer;
+        time = Grid.Sim.now t.sim -. t.started_at;
+        max_clients = t.max_clients;
+        splits = t.splits;
+        share_batches = t.share_batches;
+        shared_clauses = t.shared_clauses;
+        messages = Grid.Everyware.messages_sent t.bus;
+        bytes = Grid.Everyware.bytes_sent t.bus;
+        checkpoint_bytes = t.checkpoint_bytes_peak;
+        solver_stats = aggregate_stats t;
+        events = events_so_far t;
+      }
+
+let terminate t answer why =
+  if not t.finished then begin
+    t.finished <- true;
+    t.answer <- Some answer;
+    log t (Events.Terminated why);
+    Hashtbl.iter
+      (fun id h -> if h.rstate <> Dead && Client.is_alive h.client then send t ~dst:id Protocol.Stop)
+      t.hosts;
+    match t.batch_job with
+    | Some (ctl, job)
+      when Grid.Batch.state job = Grid.Batch.Queued || Grid.Batch.state job = Grid.Batch.Running ->
+        Grid.Batch.cancel ctl job;
+        log t Events.Batch_job_cancelled
+    | Some _ | None -> ()
+  end
+
+(* ---------- scheduling ---------- *)
+
+let idle_candidates t =
+  Hashtbl.fold
+    (fun _ h acc ->
+      if h.rstate = Idle && Client.is_alive h.client then
+        { Scheduler.resource = h.resource; forecast = Grid.Nws.forecast h.nws } :: acc
+      else acc)
+    t.hosts []
+  (* stable order so Random_pick and ties are reproducible *)
+  |> List.sort (fun a b -> compare a.Scheduler.resource.R.id b.Scheduler.resource.R.id)
+
+let host t id = Hashtbl.find t.hosts id
+
+let grant_split t requester =
+  match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
+  | None -> false
+  | Some cand ->
+      let partner = cand.Scheduler.resource.R.id in
+      (host t partner).rstate <- Reserved;
+      t.pending_partner <- (requester, partner) :: t.pending_partner;
+      log t (Events.Split_granted { client = requester; partner });
+      send t ~dst:requester (Protocol.Split_partner { partner });
+      true
+
+let release_partner t requester =
+  match List.assoc_opt requester t.pending_partner with
+  | None -> None
+  | Some partner ->
+      t.pending_partner <- List.remove_assoc requester t.pending_partner;
+      Some partner
+
+(* Serve the backlog with a freshly idle resource: the paper splits the
+   client that has been running the same subproblem the longest. *)
+let rec serve_backlog t =
+  if (not t.finished) && t.backlog <> [] then begin
+    let live =
+      List.filter
+        (fun (c, _) ->
+          match Hashtbl.find_opt t.hosts c with
+          | Some h -> h.rstate = Busy && Client.is_alive h.client
+          | None -> false)
+        t.backlog
+    in
+    t.backlog <- live;
+    match Scheduler.pick_backlog live with
+    | None -> ()
+    | Some requester ->
+        if grant_split t requester then begin
+          t.backlog <- List.filter (fun (c, _) -> c <> requester) t.backlog;
+          serve_backlog t
+        end
+  end
+
+let rank_of (h : hostinfo) =
+  Scheduler.rank { Scheduler.resource = h.resource; forecast = Grid.Nws.forecast h.nws }
+
+(* Migration (Section 3.4): with an empty backlog, move the subproblem of the
+   weakest busy host onto a much stronger idle host. *)
+let consider_migration t =
+  if (not t.finished) && t.cfg.migration_enabled && t.backlog = [] && t.migrating = [] then begin
+    let busy =
+      Hashtbl.fold (fun _ h acc -> if h.rstate = Busy then h :: acc else acc) t.hosts []
+    in
+    let weakest =
+      List.fold_left
+        (fun acc h ->
+          match acc with
+          | None -> Some h
+          | Some best -> if rank_of h < rank_of best then Some h else acc)
+        None busy
+    in
+    match (weakest, Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t)) with
+    | Some src, Some cand ->
+        let dst = cand.Scheduler.resource.R.id in
+        if
+          dst <> src.resource.R.id
+          && Scheduler.should_migrate ~enabled:true ~busy_rank:(rank_of src)
+               ~idle_rank:(Scheduler.rank cand)
+        then begin
+          (host t dst).rstate <- Reserved;
+          t.migrating <- (src.resource.R.id, dst) :: t.migrating;
+          send t ~dst:src.resource.R.id (Protocol.Migrate_to { target = dst })
+        end
+    | _ -> ()
+  end
+
+(* ---------- message handling ---------- *)
+
+let assign_initial_problem t dst =
+  let sp = Subproblem.initial t.cnf in
+  t.problem_assigned <- true;
+  t.active_problems <- 1;
+  (host t dst).rstate <- Reserved;
+  send t ~dst (Protocol.Problem { sp; sent_at = Grid.Sim.now t.sim })
+
+let on_register t src =
+  let h = host t src in
+  h.rstate <- Idle;
+  log t (Events.Client_started src);
+  if not t.problem_assigned then assign_initial_problem t src
+  else begin
+    serve_backlog t;
+    consider_migration t
+  end
+
+let on_problem_received t src ~from ~bytes ~depth =
+  let h = host t src in
+  (* a migration target becoming busy frees its source *)
+  (match List.find_opt (fun (_, dst) -> dst = src) t.migrating with
+  | Some (s, _) ->
+      t.migrating <- List.filter (fun (_, dst) -> dst <> src) t.migrating;
+      let sh = host t s in
+      if sh.rstate = Busy then sh.rstate <- Idle;
+      log t (Events.Migration { src = s; dst = src; bytes })
+  | None -> ());
+  h.rstate <- Busy;
+  h.busy_since <- Grid.Sim.now t.sim;
+  log t (Events.Problem_assigned { src = from; dst = src; bytes; depth });
+  update_max t;
+  serve_backlog t;
+  consider_migration t
+
+let on_split_request t src _reason =
+  (* the requesting client already logged the Split_requested event *)
+  if not (grant_split t src) then begin
+    let h = host t src in
+    t.backlog <- t.backlog @ [ (src, h.busy_since) ];
+    log t (Events.Split_denied { client = src })
+  end
+
+let on_split_ok t src dst bytes =
+  t.splits <- t.splits + 1;
+  t.active_problems <- t.active_problems + 1;
+  t.pending_partner <- List.remove_assoc src t.pending_partner;
+  log t (Events.Split_completed { src; dst; bytes })
+
+let on_split_failed t src =
+  (match release_partner t src with
+  | Some partner ->
+      let h = host t partner in
+      if h.rstate = Reserved then h.rstate <- Idle
+  | None -> ());
+  serve_backlog t
+
+let on_shares t src clauses =
+  t.share_batches <- t.share_batches + 1;
+  t.shared_clauses <- t.shared_clauses + List.length clauses;
+  let recipients = ref 0 in
+  Hashtbl.iter
+    (fun id h ->
+      if id <> src && h.rstate = Busy && Client.is_alive h.client then begin
+        incr recipients;
+        send t ~dst:id (Protocol.Share_relay { origin = src; clauses })
+      end)
+    t.hosts;
+  log t (Events.Shares_broadcast { origin = src; count = List.length clauses; recipients = !recipients })
+
+let on_finished_unsat t src =
+  let h = host t src in
+  if h.rstate = Busy then h.rstate <- Idle;
+  Checkpoint.drop t.checkpoints ~client:src;
+  t.backlog <- List.filter (fun (c, _) -> c <> src) t.backlog;
+  log t (Events.Client_finished_unsat src);
+  t.active_problems <- t.active_problems - 1;
+  if t.active_problems <= 0 then terminate t Unsat "all clients idle: unsatisfiable"
+  else begin
+    serve_backlog t;
+    consider_migration t
+  end
+
+let on_found_model t src model =
+  log t (Events.Client_found_model src);
+  let ok = Sat.Model.satisfies t.cnf model in
+  log t (Events.Model_verified ok);
+  if ok then terminate t (Sat model) "model found and verified"
+  else begin
+    (* never expected: treat as a fatal protocol error *)
+    terminate t (Unknown "model verification failed") "model verification failed"
+  end
+
+let handle t ~src msg =
+  if not t.finished then
+    match msg with
+    | Protocol.Register -> on_register t src
+    | Protocol.Problem_received { from; bytes; depth } ->
+        on_problem_received t src ~from ~bytes ~depth
+    | Protocol.Split_request reason -> on_split_request t src reason
+    | Protocol.Split_ok { dst; bytes } -> on_split_ok t src dst bytes
+    | Protocol.Split_failed -> on_split_failed t src
+    | Protocol.Shares { clauses } -> on_shares t src clauses
+    | Protocol.Finished_unsat -> on_finished_unsat t src
+    | Protocol.Found_model m -> on_found_model t src m
+    | Protocol.Problem _ | Protocol.Split_partner _ | Protocol.Share_relay _
+    | Protocol.Migrate_to _ | Protocol.Stop ->
+        (* client-bound messages; the master should never receive them *)
+        ()
+
+(* ---------- failure handling ---------- *)
+
+let kill_client t id =
+  match Hashtbl.find_opt t.hosts id with
+  | None -> ()
+  | Some h ->
+      if h.rstate <> Dead then begin
+        let was_busy = h.rstate = Busy in
+        Client.kill h.client;
+        h.rstate <- Dead;
+        t.backlog <- List.filter (fun (c, _) -> c <> id) t.backlog;
+        log t (Events.Client_killed id);
+        if was_busy && not t.finished then begin
+          match Checkpoint.restore t.checkpoints ~client:id with
+          | Some sp -> (
+              match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
+              | Some cand ->
+                  let dst = cand.Scheduler.resource.R.id in
+                  (host t dst).rstate <- Reserved;
+                  log t (Events.Recovered_from_checkpoint { client = id; onto = dst });
+                  Checkpoint.drop t.checkpoints ~client:id;
+                  send t ~dst (Protocol.Problem { sp; sent_at = Grid.Sim.now t.sim })
+              | None ->
+                  terminate t (Unknown "client crashed; no idle resource for recovery")
+                    "unrecoverable client failure")
+          | None ->
+              (* the paper's current implementation does not tolerate the
+                 death of a working client without checkpoints *)
+              terminate t (Unknown "busy client crashed without checkpoint")
+                "unrecoverable client failure"
+        end
+      end
+
+(* ---------- periodic monitoring ---------- *)
+
+let rec nws_probe t =
+  if not t.finished then begin
+    Hashtbl.iter
+      (fun _ h ->
+        if h.rstate <> Dead then
+          Grid.Nws.observe h.nws (Grid.Trace.availability h.trace (Grid.Sim.now t.sim)))
+      t.hosts;
+    ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.nws_probe_interval (fun () -> nws_probe t))
+  end
+
+(* ---------- construction ---------- *)
+
+let add_host t (th : Testbed.host) callbacks =
+  let client =
+    Client.create ~sim:t.sim ~bus:t.bus ~cfg:t.cfg ~resource:th.Testbed.resource
+      ~trace:th.Testbed.trace ~master:master_id callbacks
+  in
+  Hashtbl.replace t.hosts th.Testbed.resource.R.id
+    {
+      client;
+      resource = th.Testbed.resource;
+      trace = th.Testbed.trace;
+      nws = Grid.Nws.create ();
+      rstate = Launching;
+      busy_since = 0.;
+    }
+
+let batch_hosts t (spec : Testbed.batch_spec) =
+  List.init spec.Testbed.nodes (fun i ->
+      let id = t.next_batch_id + i in
+      {
+        Testbed.resource =
+          R.make ~id
+            ~name:(Printf.sprintf "bh-%03d" i)
+            ~site:spec.Testbed.site ~speed:spec.Testbed.node_speed ~mem_bytes:spec.Testbed.node_mem
+            ~kind:R.Batch;
+        trace = Grid.Trace.constant 1.0 (* batch nodes run dedicated *);
+      })
+
+let create ~sim ~net ~bus ~cfg ~testbed cnf =
+  testbed.Testbed.configure_network net;
+  let t =
+    {
+      sim;
+      bus;
+      cfg;
+      cnf;
+      testbed;
+      hosts = Hashtbl.create 64;
+      checkpoints = Checkpoint.create cnf;
+      backlog = [];
+      pending_partner = [];
+      migrating = [];
+      active_problems = 0;
+      problem_assigned = false;
+      finished = false;
+      answer = None;
+      max_clients = 0;
+      splits = 0;
+      share_batches = 0;
+      shared_clauses = 0;
+      checkpoint_bytes_peak = 0;
+      events = [];
+      batch_job = None;
+      next_batch_id = 1000;
+      rng = Random.State.make [| cfg.Config.seed; 77 |];
+      started_at = Grid.Sim.now sim;
+    }
+  in
+  Grid.Everyware.register bus ~id:master_id ~site:testbed.Testbed.master_site
+    ~handler:(fun ~src msg -> handle t ~src msg);
+  let callbacks =
+    {
+      Client.log = (fun kind -> log t kind);
+      save_checkpoint =
+        (fun ~client sp ->
+          let bytes = Checkpoint.save t.checkpoints ~client ~mode:cfg.Config.checkpoint sp in
+          if bytes > 0 then begin
+            log t (Events.Checkpoint_saved { client; bytes });
+            let total = Checkpoint.total_bytes t.checkpoints in
+            if total > t.checkpoint_bytes_peak then t.checkpoint_bytes_peak <- total
+          end);
+    }
+  in
+  List.iter (fun th -> add_host t th callbacks) testbed.Testbed.hosts;
+  (match testbed.Testbed.batch with
+  | None -> ()
+  | Some spec ->
+      let batch =
+        Grid.Batch.create sim ~mean_wait:spec.Testbed.mean_wait ~seed:spec.Testbed.queue_seed
+      in
+      log t (Events.Batch_job_submitted { nodes = spec.Testbed.nodes });
+      let job =
+        Grid.Batch.submit batch ~nodes:spec.Testbed.nodes ~duration:spec.Testbed.duration
+          ~on_start:(fun () ->
+            if not t.finished then begin
+              log t (Events.Batch_job_started { nodes = spec.Testbed.nodes });
+              List.iter (fun th -> add_host t th callbacks) (batch_hosts t spec)
+            end)
+          ~on_end:(fun () ->
+            if not t.finished then
+              terminate t (Unknown "batch job expired") "batch job reached its duration limit")
+      in
+      t.batch_job <- Some (batch, job));
+  List.iter
+    (fun (time, th) ->
+      ignore
+        (Grid.Sim.schedule sim ~delay:time (fun () ->
+             if not t.finished then add_host t th callbacks)))
+    testbed.Testbed.late_hosts;
+  ignore
+    (Grid.Sim.schedule sim ~delay:cfg.Config.overall_timeout (fun () ->
+         terminate t (Unknown "timeout") "overall timeout"));
+  nws_probe t;
+  t

@@ -1,0 +1,61 @@
+(** The GridSAT master (paper Section 3.3).
+
+    The master owns the resource pool, launches empty clients, assigns the
+    initial problem to the first registrant, brokers splits (including the
+    backlog of denied requests, served longest-running-first), relays
+    clause shares, directs migrations toward stronger idle resources,
+    verifies reported models, submits/cancels the batch job, and decides
+    termination: all subproblems exhausted means UNSAT, a verified model
+    means SAT, and the overall timeout or an unrecoverable client death
+    means no answer. *)
+
+type answer = Sat of Sat.Model.t | Unsat | Unknown of string
+
+type result = {
+  answer : answer;
+  time : float;  (** virtual seconds from start to termination *)
+  max_clients : int;  (** peak number of simultaneously busy clients *)
+  splits : int;
+  share_batches : int;
+  shared_clauses : int;
+  messages : int;
+  bytes : int;
+  checkpoint_bytes : int;
+  solver_stats : Sat.Stats.t;  (** aggregated over all clients *)
+  events : Events.t list;  (** chronological *)
+}
+
+type t
+
+val create :
+  sim:Grid.Sim.t ->
+  net:Grid.Network.t ->
+  bus:Protocol.msg Grid.Everyware.t ->
+  cfg:Config.t ->
+  testbed:Testbed.t ->
+  Sat.Cnf.t ->
+  t
+(** Sets up the run: registers the master endpoint, launches clients on
+    every interactive host, submits the batch job if the testbed has one,
+    arms the overall timeout and the NWS probes. *)
+
+val finished : t -> bool
+
+val result : t -> result
+(** Raises [Invalid_argument] before the run has finished. *)
+
+val busy_clients : t -> int
+
+val busy_client_ids : t -> int list
+(** Ids of currently busy clients, ascending (for fault injection). *)
+
+val kill_client : t -> int -> unit
+(** Failure injection for tests: kills the client and lets the master's
+    monitoring react (free an idle resource; recover a busy client's
+    subproblem from its checkpoint, or fail the run if there is none). *)
+
+val events_so_far : t -> Events.t list
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Schedules an action on the run's simulator clock.  Used by tests and
+    examples to inject failures or observe the run at chosen instants. *)

@@ -1,0 +1,29 @@
+type msg =
+  | Register
+  | Problem of { sp : Subproblem.t; sent_at : float }
+  | Problem_received of { from : int; bytes : int; depth : int }
+  | Split_request of [ `Memory | `Long_running ]
+  | Split_partner of { partner : int }
+  | Split_ok of { dst : int; bytes : int }
+  | Split_failed
+  | Shares of { clauses : Sat.Types.lit array list }
+  | Share_relay of { origin : int; clauses : Sat.Types.lit array list }
+  | Finished_unsat
+  | Found_model of Sat.Model.t
+  | Migrate_to of { target : int }
+  | Stop
+
+let control_bytes = 64
+
+let shares_bytes clauses =
+  List.fold_left (fun acc c -> acc + 16 + (8 * Array.length c)) control_bytes clauses
+
+let model_bytes m = control_bytes + Sat.Model.nvars m
+
+let size = function
+  | Problem { sp; _ } -> Subproblem.bytes sp
+  | Shares { clauses } | Share_relay { clauses; _ } -> shares_bytes clauses
+  | Found_model m -> model_bytes m
+  | Register | Problem_received _ | Split_request _ | Split_partner _ | Split_ok _ | Split_failed
+  | Finished_unsat | Migrate_to _ | Stop ->
+      control_bytes

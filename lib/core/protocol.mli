@@ -1,0 +1,37 @@
+(** Wire protocol between the GridSAT master and its clients.
+
+    Mirrors the paper's message flows: the five-message split sequence of
+    Figure 3 ([Split_request] / [Split_partner] / peer-to-peer [Problem] /
+    [Problem_received] / [Split_ok]), clause-share broadcasts, result
+    reporting, and the master's control directives. *)
+
+type msg =
+  | Register  (** client -> master: the empty client is up *)
+  | Problem of { sp : Subproblem.t; sent_at : float }
+      (** problem transfer — master -> first client, or peer -> peer after a
+          split/migration.  This is the large message (Figure 3, message 3). *)
+  | Problem_received of { from : int; bytes : int; depth : int }
+      (** receiver -> master (Figure 3, message 4): who sent the problem,
+          its size, and its guiding-path depth *)
+  | Split_request of [ `Memory | `Long_running ]  (** client -> master (message 1) *)
+  | Split_partner of { partner : int }  (** master -> client (message 2) *)
+  | Split_ok of { dst : int; bytes : int }  (** donor -> master (message 5) *)
+  | Split_failed  (** donor -> master: nothing to split *)
+  | Shares of { clauses : Sat.Types.lit array list }  (** client -> master *)
+  | Share_relay of { origin : int; clauses : Sat.Types.lit array list }
+      (** master -> every other active client *)
+  | Finished_unsat  (** client -> master: subproblem exhausted *)
+  | Found_model of Sat.Model.t  (** client -> master: candidate assignment *)
+  | Migrate_to of { target : int }  (** master -> client directive *)
+  | Stop  (** master -> everyone: run is over *)
+
+val control_bytes : int
+(** Nominal size of a control message. *)
+
+val shares_bytes : Sat.Types.lit array list -> int
+(** Serialised size of a clause-share batch. *)
+
+val model_bytes : Sat.Model.t -> int
+
+val size : msg -> int
+(** Size charged to the network for a message. *)

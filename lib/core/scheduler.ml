@@ -1,0 +1,38 @@
+type candidate = { resource : Grid.Resource.t; forecast : float }
+
+(* Rank = forecast effective speed, weighted by a slowly growing memory
+   factor: a host with four times the memory ranks twice as high at equal
+   speed.  Clients are memory-bound as often as CPU-bound (Section 1). *)
+let rank c =
+  let mem_gb = float_of_int c.resource.Grid.Resource.mem_bytes /. (1024. *. 1024. *. 1024.) in
+  c.resource.Grid.Resource.speed *. c.forecast *. sqrt (Float.max 0.25 mem_gb)
+
+let pick policy ~rng candidates =
+  match candidates with
+  | [] -> None
+  | first :: _ -> (
+      match policy with
+      | Config.Nws_rank ->
+          Some
+            (List.fold_left
+               (fun best c -> if rank c > rank best then c else best)
+               first candidates)
+      | Config.Random_pick ->
+          Some (List.nth candidates (Random.State.int rng (List.length candidates)))
+      | Config.First_fit ->
+          Some
+            (List.fold_left
+               (fun best c ->
+                 if c.resource.Grid.Resource.id < best.resource.Grid.Resource.id then c else best)
+               first candidates))
+
+let pick_backlog entries =
+  match entries with
+  | [] -> None
+  | (c0, t0) :: rest ->
+      let client, _ =
+        List.fold_left (fun (bc, bt) (c, t) -> if t < bt then (c, t) else (bc, bt)) (c0, t0) rest
+      in
+      Some client
+
+let should_migrate ~enabled ~busy_rank ~idle_rank = enabled && idle_rank >= 2. *. busy_rank

@@ -1,0 +1,116 @@
+module T = Sat.Types
+
+type t = {
+  nvars : int;
+  facts : T.lit list;
+  path : T.lit list;
+  clauses : T.lit array list;
+}
+
+let initial cnf =
+  { nvars = Sat.Cnf.nvars cnf; facts = []; path = []; clauses = Sat.Cnf.clauses cnf }
+
+let nclauses t = List.length t.clauses
+
+let depth t = List.length t.path
+
+let bytes t =
+  let clause_bytes = List.fold_left (fun acc c -> acc + 48 + (8 * Array.length c)) 0 t.clauses in
+  clause_bytes + (8 * (List.length t.facts + List.length t.path)) + 64
+
+let to_solver ~config t =
+  let cnf = Sat.Cnf.of_lit_arrays ~nvars:t.nvars t.clauses in
+  Sat.Solver.create_with_roots ~config ~facts:t.facts cnf t.path
+
+let capture solver =
+  {
+    nvars = Sat.Solver.nvars solver;
+    facts = Sat.Solver.root_facts solver;
+    path = Sat.Solver.root_path solver;
+    clauses = Sat.Solver.active_clauses solver;
+  }
+
+let prune t =
+  let root = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace root l ()) t.facts;
+  List.iter (fun l -> Hashtbl.replace root l ()) t.path;
+  let fact_vars = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace fact_vars (T.var l) ()) t.facts;
+  let satisfied c = Array.exists (fun l -> Hashtbl.mem root l) c in
+  let strippable l = Hashtbl.mem root (T.negate l) && Hashtbl.mem fact_vars (T.var l) in
+  let simplify c =
+    if satisfied c then None
+    else Some (Array.of_list (List.filter (fun l -> not (strippable l)) (Array.to_list c)))
+  in
+  { t with clauses = List.filter_map simplify t.clauses }
+
+let split_from solver =
+  let clauses = Sat.Solver.active_clauses solver in
+  match Sat.Solver.split solver with
+  | None -> None
+  | Some (facts, path) -> Some (prune { nvars = Sat.Solver.nvars solver; facts; path; clauses })
+
+(* Wire format:
+     p subproblem <nvars> <nclauses>
+     f <facts as DIMACS ints> 0
+     a <path as DIMACS ints> 0
+     <clause> 0
+     ... *)
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "p subproblem %d %d\n" t.nvars (List.length t.clauses));
+  let add_ints prefix lits =
+    Buffer.add_string buf prefix;
+    List.iter (fun l -> Buffer.add_string buf (string_of_int (T.to_int l) ^ " ")) lits;
+    Buffer.add_string buf "0\n"
+  in
+  add_ints "f " t.facts;
+  add_ints "a " t.path;
+  List.iter
+    (fun c ->
+      Array.iter (fun l -> Buffer.add_string buf (string_of_int (T.to_int l) ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    t.clauses;
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "") in
+  let parse_ints body =
+    let ints =
+      String.split_on_char ' ' body
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match int_of_string_opt s with
+             | Some i -> i
+             | None -> failwith ("Subproblem.of_string: not an integer: " ^ s))
+    in
+    match List.rev ints with
+    | 0 :: rev -> List.rev_map T.lit_of_int rev
+    | _ -> failwith "Subproblem.of_string: line not terminated by 0"
+  in
+  match lines with
+  | header :: rest -> (
+      match String.split_on_char ' ' header |> List.filter (fun s -> s <> "") with
+      | [ "p"; "subproblem"; nv; _nc ] ->
+          let nvars =
+            match int_of_string_opt nv with
+            | Some n when n >= 0 -> n
+            | _ -> failwith "Subproblem.of_string: bad variable count"
+          in
+          let facts = ref [] and path = ref [] and clauses = ref [] in
+          List.iter
+            (fun line ->
+              if String.length line >= 2 && line.[0] = 'f' && line.[1] = ' ' then
+                facts := parse_ints (String.sub line 2 (String.length line - 2))
+              else if String.length line >= 2 && line.[0] = 'a' && line.[1] = ' ' then
+                path := parse_ints (String.sub line 2 (String.length line - 2))
+              else clauses := Array.of_list (parse_ints line) :: !clauses)
+            rest;
+          { nvars; facts = !facts; path = !path; clauses = List.rev !clauses }
+      | _ -> failwith "Subproblem.of_string: missing header")
+  | [] -> failwith "Subproblem.of_string: empty document"
+
+let pp ppf t =
+  Format.fprintf ppf "subproblem: %d vars, %d clauses, %d facts, path depth %d (%d bytes)"
+    t.nvars (nclauses t) (List.length t.facts) (depth t) (bytes t)

@@ -1,0 +1,56 @@
+(** Transferable search subproblems.
+
+    A subproblem is what travels between clients when the search space is
+    split or a problem migrates (paper Figure 2): a root assignment — the
+    globally valid [facts] plus the guiding-path [path] — and a clause set
+    (original clauses and surviving learned clauses, already simplified
+    against the root).  The paper reports these messages ranging from
+    10 KB to 500 MB; {!bytes} provides the size the network model
+    charges for. *)
+
+type t = {
+  nvars : int;
+  facts : Sat.Types.lit list;  (** root literals implied by the global formula *)
+  path : Sat.Types.lit list;  (** guiding-path assumptions accumulated by splits *)
+  clauses : Sat.Types.lit array list;
+}
+
+val initial : Sat.Cnf.t -> t
+(** The whole problem, as handed to the first client. *)
+
+val bytes : t -> int
+(** Serialised size estimate (what a transfer costs on the network). *)
+
+val nclauses : t -> int
+
+val depth : t -> int
+(** Length of the guiding path (number of splits on this branch). *)
+
+val to_solver : config:Sat.Solver.config -> t -> Sat.Solver.t
+(** Instantiates a solver for the subproblem. *)
+
+val capture : Sat.Solver.t -> t
+(** Snapshot of a solver's current problem (for migration or
+    checkpointing): its root assignment and active clauses. *)
+
+val split_from : Sat.Solver.t -> t option
+(** Performs the Figure 2 split on a running solver: captures the clause
+    set, commits the solver's first-decision branch locally, and returns
+    the complementary subproblem (pruned against its own root).  [None]
+    if the solver has no decision to split on. *)
+
+val prune : t -> t
+(** The paper's "inconsequential clause removal": drops clauses satisfied
+    by the root assignment and strips false literals whose negation is a
+    root {e fact} (path literals are kept so clauses stay globally
+    valid). *)
+
+val to_string : t -> string
+(** Compact wire format: a DIMACS-like document with [f]/[a] header lines
+    for the root facts and guiding-path assumptions.  This is what a
+    non-simulated deployment would put on the socket. *)
+
+val of_string : string -> t
+(** Parses {!to_string}'s format.  Raises [Failure] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

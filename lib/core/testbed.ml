@@ -1,0 +1,129 @@
+module R = Grid.Resource
+
+type host = { resource : R.t; trace : Grid.Trace.t }
+
+type batch_spec = {
+  site : string;
+  nodes : int;
+  node_speed : float;
+  node_mem : int;
+  duration : float;
+  mean_wait : float;
+  queue_seed : int;
+}
+
+type t = {
+  name : string;
+  master_site : string;
+  hosts : host list;
+  batch : batch_spec option;
+  late_hosts : (float * host) list;
+  configure_network : Grid.Network.t -> unit;
+}
+
+let mb n = n * 1024 * 1024
+
+(* Build [count] hosts of one site/class, ids assigned by the caller. *)
+let host_group ~seed ~next_id ~site ~prefix ~count ~speed ~mem_mb ~load_mean =
+  List.init count (fun i ->
+      let id = next_id + i in
+      let resource =
+        R.make ~id ~name:(Printf.sprintf "%s-%02d" prefix i) ~site ~speed ~mem_bytes:(mb mem_mb)
+          ~kind:R.Interactive
+      in
+      (* every shared host sees its own noise on top of a site-wide
+         diurnal pattern *)
+      let trace =
+        Grid.Trace.overlay
+          (Grid.Trace.periodic ~mean:1.0 ~amplitude:0.08 ~period:900. ~phase:(float_of_int id *. 37.))
+          (Grid.Trace.noisy ~seed:(seed + id) ~mean:load_mean ~amplitude:0.15 ~interval:60.)
+      in
+      { resource; trace })
+
+(* WAN links roughly matching a 2003 national testbed. *)
+let national_links net =
+  let set = Grid.Network.set_link net in
+  set "utk" "uiuc" ~latency:0.025 ~bandwidth:4e6;
+  set "utk" "ucsd" ~latency:0.055 ~bandwidth:2e6;
+  set "uiuc" "ucsd" ~latency:0.05 ~bandwidth:2.5e6;
+  set "utk" "ucsb" ~latency:0.055 ~bandwidth:2e6;
+  set "uiuc" "ucsb" ~latency:0.05 ~bandwidth:2.5e6;
+  set "ucsd" "ucsb" ~latency:0.01 ~bandwidth:8e6;
+  set "ucsd" "sdsc" ~latency:0.005 ~bandwidth:10e6;
+  set "ucsb" "sdsc" ~latency:0.012 ~bandwidth:8e6;
+  set "uiuc" "sdsc" ~latency:0.05 ~bandwidth:2.5e6;
+  set "utk" "sdsc" ~latency:0.055 ~bandwidth:2e6
+
+let grads ?(seed = 11) ?(base_speed = 1000.) () =
+  let s f = base_speed *. f in
+  let g = host_group ~seed in
+  let utk_a = g ~next_id:1 ~site:"utk" ~prefix:"utk-a" ~count:8 ~speed:(s 3.0) ~mem_mb:1024 ~load_mean:0.85 in
+  let utk_b = g ~next_id:9 ~site:"utk" ~prefix:"utk-b" ~count:6 ~speed:(s 2.2) ~mem_mb:512 ~load_mean:0.8 in
+  let uiuc_a = g ~next_id:15 ~site:"uiuc" ~prefix:"uiuc-a" ~count:8 ~speed:(s 1.8) ~mem_mb:512 ~load_mean:0.75 in
+  let uiuc_b = g ~next_id:23 ~site:"uiuc" ~prefix:"uiuc-b" ~count:4 ~speed:(s 0.8) ~mem_mb:256 ~load_mean:0.7 in
+  let ucsd = g ~next_id:27 ~site:"ucsd" ~prefix:"ucsd" ~count:8 ~speed:(s 1.5) ~mem_mb:512 ~load_mean:0.65 in
+  {
+    name = "grads-34";
+    master_site = "ucsd";
+    hosts = utk_a @ utk_b @ uiuc_a @ uiuc_b @ ucsd;
+    batch = None;
+    late_hosts = [];
+    configure_network = national_links;
+  }
+
+let set2 ?(seed = 23) ?(base_speed = 1000.) ?(batch_nodes = 24) ?(batch_mean_wait = 118_800.)
+    ?(batch_duration = 43_200.) () =
+  let s f = base_speed *. f in
+  let g = host_group ~seed in
+  let uiuc = g ~next_id:1 ~site:"uiuc" ~prefix:"uiuc-c" ~count:16 ~speed:(s 2.0) ~mem_mb:512 ~load_mean:0.8 in
+  let ucsd = g ~next_id:17 ~site:"ucsd" ~prefix:"ucsd" ~count:3 ~speed:(s 1.5) ~mem_mb:512 ~load_mean:0.7 in
+  let ucsb = g ~next_id:20 ~site:"ucsb" ~prefix:"ucsb" ~count:8 ~speed:(s 2.5) ~mem_mb:1024 ~load_mean:0.85 in
+  {
+    name = "set2-27+bh";
+    master_site = "ucsb";
+    hosts = uiuc @ ucsd @ ucsb;
+    batch =
+      Some
+        {
+          site = "sdsc";
+          nodes = batch_nodes;
+          node_speed = s 3.5;
+          node_mem = mb 4096;
+          duration = batch_duration;
+          mean_wait = batch_mean_wait;
+          queue_seed = 0;
+        };
+    late_hosts = [];
+    configure_network = national_links;
+  }
+
+let uniform ?(seed = 5) ?(site = "local") ?(mem_mb = 1024) ~n ~speed () =
+  let hosts =
+    List.init n (fun i ->
+        let id = i + 1 in
+        {
+          resource =
+            R.make ~id ~name:(Printf.sprintf "node-%02d" i) ~site ~speed ~mem_bytes:(mb mem_mb)
+              ~kind:R.Interactive;
+          trace = Grid.Trace.constant 1.0;
+        })
+  in
+  ignore seed;
+  {
+    name = Printf.sprintf "uniform-%d" n;
+    master_site = site;
+    hosts;
+    batch = None;
+    late_hosts = [];
+    configure_network = (fun _ -> ());
+  }
+
+let fastest t =
+  match t.hosts with
+  | [] -> invalid_arg "Testbed.fastest: empty testbed"
+  | h :: rest ->
+      List.fold_left
+        (fun best x -> if x.resource.R.speed > best.resource.R.speed then x else best)
+        h rest
+
+let nhosts t = List.length t.hosts

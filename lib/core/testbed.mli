@@ -1,0 +1,56 @@
+(** Descriptions of the simulated Grids the benchmarks run on.
+
+    {!grads} models the paper's first apparatus: 34 shared machines across
+    UTK, UIUC and UCSD, heterogeneous in speed and memory, with the master
+    at UCSD.  {!set2} models the second apparatus: 27 machines (UIUC
+    cluster, UCSD and UCSB desktops) plus an IBM Blue Horizon batch
+    allocation that joins after a long queue wait.
+
+    Host speeds are in solver propagation steps per virtual second; they
+    set the scale of virtual time, and only ratios matter for the
+    reproduced results. *)
+
+type host = { resource : Grid.Resource.t; trace : Grid.Trace.t }
+
+type batch_spec = {
+  site : string;
+  nodes : int;
+  node_speed : float;
+  node_mem : int;
+  duration : float;
+  mean_wait : float;
+  queue_seed : int;  (** seed of the queue-wait draw (independent of the run seed) *)
+}
+
+type t = {
+  name : string;
+  master_site : string;
+  hosts : host list;
+  batch : batch_spec option;
+  late_hosts : (float * host) list;
+      (** interactive resources that become available mid-run (paper
+          Section 3.3: "more clients [can] join at runtime") *)
+  configure_network : Grid.Network.t -> unit;
+}
+
+val grads : ?seed:int -> ?base_speed:float -> unit -> t
+(** The 34-host GrADS testbed (experiment set 1). *)
+
+val set2 :
+  ?seed:int ->
+  ?base_speed:float ->
+  ?batch_nodes:int ->
+  ?batch_mean_wait:float ->
+  ?batch_duration:float ->
+  unit ->
+  t
+(** The second apparatus: 27 interactive hosts + Blue Horizon batch job. *)
+
+val uniform : ?seed:int -> ?site:string -> ?mem_mb:int -> n:int -> speed:float -> unit -> t
+(** A homogeneous dedicated cluster (for tests and controlled ablations). *)
+
+val fastest : t -> host
+(** The highest-speed interactive host (where the sequential baseline is
+    timed, "the fastest processor available in dedicated mode"). *)
+
+val nhosts : t -> int

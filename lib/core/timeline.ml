@@ -1,0 +1,80 @@
+(* Reconstruct the busy-client step function by replaying the events that
+   change a client's busy state, mirroring the master's bookkeeping. *)
+let busy_curve events =
+  let busy = Hashtbl.create 64 in
+  let points = ref [] in
+  let record time = points := (time, Hashtbl.length busy) :: !points in
+  (match events with e :: _ -> record e.Events.time | [] -> ());
+  List.iter
+    (fun e ->
+      let changed =
+        match e.Events.kind with
+        | Events.Problem_assigned { dst; _ } ->
+            Hashtbl.replace busy dst ();
+            true
+        | Events.Client_finished_unsat id | Events.Client_found_model id
+        | Events.Client_killed id ->
+            Hashtbl.remove busy id;
+            true
+        | Events.Migration { src; _ } ->
+            Hashtbl.remove busy src;
+            true
+        | Events.Terminated _ ->
+            Hashtbl.reset busy;
+            true
+        | _ -> false
+      in
+      if changed then record e.Events.time)
+    events;
+  List.rev !points
+
+let peak curve = List.fold_left (fun acc (_, n) -> max acc n) 0 curve
+
+let span curve =
+  match (curve, List.rev curve) with
+  | (t0, _) :: _, (t1, _) :: _ -> (t0, t1)
+  | _ -> (0., 0.)
+
+let client_seconds curve =
+  let rec loop acc = function
+    | (t0, n) :: ((t1, _) :: _ as rest) -> loop (acc +. (float_of_int n *. (t1 -. t0))) rest
+    | [ _ ] | [] -> acc
+  in
+  loop 0. curve
+
+let average curve =
+  let t0, t1 = span curve in
+  if t1 <= t0 then 0. else client_seconds curve /. (t1 -. t0)
+
+(* Value of the step function at a given time. *)
+let value_at curve time =
+  let rec loop last = function
+    | (t, n) :: rest -> if t <= time then loop n rest else last
+    | [] -> last
+  in
+  loop 0 curve
+
+let ascii_chart ?(width = 60) ?(height = 10) curve =
+  match curve with
+  | [] -> "(empty timeline)\n"
+  | _ ->
+      let t0, t1 = span curve in
+      let top = max 1 (peak curve) in
+      let samples =
+        Array.init width (fun i ->
+            let time = t0 +. ((t1 -. t0) *. (float_of_int i +. 0.5) /. float_of_int width) in
+            value_at curve time)
+      in
+      let buf = Buffer.create ((width + 12) * (height + 2)) in
+      for row = height downto 1 do
+        let threshold = float_of_int row /. float_of_int height *. float_of_int top in
+        Buffer.add_string buf (Printf.sprintf "%4d | " (int_of_float (Float.ceil threshold)));
+        Array.iter
+          (fun v -> Buffer.add_char buf (if float_of_int v >= threshold then '#' else ' '))
+          samples;
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf ("     +" ^ String.make width '-' ^ "\n");
+      Buffer.add_string buf
+        (Printf.sprintf "      %-8.0f%*s\n" t0 (width - 8) (Printf.sprintf "%.0f vs" t1));
+      Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Parallelism profile of a run, derived from the event log.
+
+    The paper notes that the number of active clients "starts at one and
+    varies during the run", collapsing to zero when the problem is solved.
+    This module reconstructs that curve from a {!Master.result}'s events,
+    computes utilisation summaries, and renders a terminal chart — the
+    repository's stand-in for a clients-over-time figure. *)
+
+val busy_curve : Events.t list -> (float * int) list
+(** Step function of simultaneously busy clients: [(time, count)] points
+    at every change, in chronological order, starting from [(t0, 0)]. *)
+
+val peak : (float * int) list -> int
+
+val average : (float * int) list -> float
+(** Time-weighted mean number of busy clients over the curve's span. *)
+
+val client_seconds : (float * int) list -> float
+(** The integral of the curve: total busy client-time consumed. *)
+
+val ascii_chart : ?width:int -> ?height:int -> (float * int) list -> string
+(** A bar chart of the curve ([width] time buckets, [height] rows). *)

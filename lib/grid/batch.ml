@@ -1,0 +1,60 @@
+type job_state = Queued | Running | Finished | Cancelled
+
+type job = {
+  id : int;
+  nodes : int;
+  wait : float;
+  mutable state : job_state;
+  mutable start_event : Sim.event_id option;
+  mutable end_event : Sim.event_id option;
+}
+
+type t = { sim : Sim.t; mean_wait : float; seed : int; mutable next_id : int }
+
+let create sim ~mean_wait ~seed =
+  if mean_wait < 0. then invalid_arg "Batch.create: negative mean wait";
+  { sim; mean_wait; seed; next_id = 0 }
+
+(* Deterministic exponential draw from (seed, job id). *)
+let draw_wait t id =
+  let h = Hashtbl.hash (t.seed, id, 0x5bd1e995) in
+  let u = (float_of_int (h land 0x3FFFFFFF) +. 1.) /. float_of_int 0x40000000 in
+  t.mean_wait *. -.log u
+
+let submit t ~nodes ~duration ~on_start ~on_end =
+  if nodes <= 0 then invalid_arg "Batch.submit: nodes must be positive";
+  if duration <= 0. then invalid_arg "Batch.submit: duration must be positive";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let job = { id; nodes; wait = draw_wait t id; state = Queued; start_event = None; end_event = None } in
+  let start () =
+    if job.state = Queued then begin
+      job.state <- Running;
+      job.end_event <-
+        Some
+          (Sim.schedule t.sim ~delay:duration (fun () ->
+               if job.state = Running then begin
+                 job.state <- Finished;
+                 on_end ()
+               end));
+      on_start ()
+    end
+  in
+  job.start_event <- Some (Sim.schedule t.sim ~delay:job.wait start);
+  job
+
+let cancel t job =
+  match job.state with
+  | Queued ->
+      (match job.start_event with Some e -> Sim.cancel t.sim e | None -> ());
+      job.state <- Cancelled
+  | Running ->
+      (match job.end_event with Some e -> Sim.cancel t.sim e | None -> ());
+      job.state <- Cancelled
+  | Finished | Cancelled -> ()
+
+let state job = job.state
+
+let queue_wait _t job = job.wait
+
+let nodes job = job.nodes

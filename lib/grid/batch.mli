@@ -1,0 +1,39 @@
+(** Batch-controlled system (the IBM Blue Horizon in the paper).
+
+    A job asks for a number of nodes for a maximum duration.  It waits in
+    the queue for a long, variable time (the paper reports ~33 hours on
+    average for a 100-node, 12-hour job), then runs with exclusive access
+    and ends when its duration expires or it is cancelled.  GridSAT
+    submits such a job at startup, absorbs the queue wait with interactive
+    resources, and cancels the job if the instance is solved early. *)
+
+type t
+
+type job
+
+type job_state = Queued | Running | Finished | Cancelled
+
+val create : Sim.t -> mean_wait:float -> seed:int -> t
+(** Queue waits are deterministic draws from an exponential-ish
+    distribution with the given mean (hash-seeded). *)
+
+val submit :
+  t ->
+  nodes:int ->
+  duration:float ->
+  on_start:(unit -> unit) ->
+  on_end:(unit -> unit) ->
+  job
+(** [on_start] fires when the nodes are allocated; [on_end] when the job
+    reaches its duration limit (not on cancellation). *)
+
+val cancel : t -> job -> unit
+(** Cancels a queued job (it never starts) or kills a running one
+    ([on_end] is not called). *)
+
+val state : job -> job_state
+
+val queue_wait : t -> job -> float
+(** The wait this job was/will be assigned. *)
+
+val nodes : job -> int

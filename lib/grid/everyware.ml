@@ -1,0 +1,41 @@
+type 'msg endpoint = { site : string; handler : src:int -> 'msg -> unit }
+
+type 'msg t = {
+  sim : Sim.t;
+  net : Network.t;
+  endpoints : (int, 'msg endpoint) Hashtbl.t;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+let create sim net = { sim; net; endpoints = Hashtbl.create 64; messages = 0; bytes = 0 }
+
+let register t ~id ~site ~handler = Hashtbl.replace t.endpoints id { site; handler }
+
+let unregister t ~id = Hashtbl.remove t.endpoints id
+
+let site_of t id =
+  match Hashtbl.find_opt t.endpoints id with
+  | Some e -> e.site
+  | None -> invalid_arg (Printf.sprintf "Everyware: endpoint %d not registered" id)
+
+let transfer_time t ~src ~dst ~bytes =
+  Network.transfer_time t.net ~src:(site_of t src) ~dst:(site_of t dst) ~bytes
+
+let send t ~src ~dst ~bytes msg =
+  let src_site = site_of t src in
+  let dst_site =
+    match Hashtbl.find_opt t.endpoints dst with Some e -> e.site | None -> src_site
+  in
+  let delay = Network.transfer_time t.net ~src:src_site ~dst:dst_site ~bytes in
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + bytes;
+  ignore
+    (Sim.schedule t.sim ~delay (fun () ->
+         match Hashtbl.find_opt t.endpoints dst with
+         | Some e -> e.handler ~src msg
+         | None -> () (* endpoint vanished while the message was in flight *)))
+
+let messages_sent t = t.messages
+
+let bytes_sent t = t.bytes

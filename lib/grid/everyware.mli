@@ -1,0 +1,33 @@
+(** EveryWare-style messaging between simulated processes.
+
+    The paper's GridSAT components communicate through the EveryWare
+    toolkit.  This layer provides the same service over the simulator:
+    typed point-to-point messages between registered endpoints, delivered
+    after the network transfer time for their payload size, with global
+    traffic accounting.  Peer-to-peer subproblem transfers and
+    master/client control traffic both go through here. *)
+
+type 'msg t
+
+val create : Sim.t -> Network.t -> 'msg t
+
+val register : 'msg t -> id:int -> site:string -> handler:(src:int -> 'msg -> unit) -> unit
+(** Registers endpoint [id] at [site].  Re-registering replaces the
+    handler (used when a client restarts on the same host). *)
+
+val unregister : 'msg t -> id:int -> unit
+(** Messages in flight to an unregistered endpoint are dropped silently
+    (a crashed host). *)
+
+val send : 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> unit
+(** Schedules delivery of [msg] after the transfer time from [src]'s site
+    to [dst]'s site.  Raises [Invalid_argument] if [src] is not
+    registered; unknown destinations drop the message at delivery time. *)
+
+val messages_sent : 'msg t -> int
+
+val bytes_sent : 'msg t -> int
+
+val transfer_time : 'msg t -> src:int -> dst:int -> bytes:int -> float
+(** The delay {!send} would apply right now (used by clients to record
+    how long their problem took to arrive — the split-timeout base). *)

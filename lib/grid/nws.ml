@@ -1,0 +1,89 @@
+let window_size = 10
+
+type predictor = {
+  name : string;
+  mutable prediction : float;
+  mutable abs_error : float;
+  update : t -> float -> float; (* series state + new value -> next prediction *)
+}
+
+and t = {
+  mutable last : float;
+  mutable count : int;
+  mutable sum : float;
+  window : float array; (* ring buffer of the last [window_size] values *)
+  mutable window_fill : int;
+  mutable window_pos : int;
+  mutable predictors : predictor list;
+  mutable adaptive_error : float;
+}
+
+let window_values t =
+  let n = min t.window_fill window_size in
+  Array.init n (fun i -> t.window.((t.window_pos - n + i + (2 * window_size)) mod window_size))
+
+let predict_last t _v = t.last
+
+let predict_mean t _v = if t.count = 0 then 1.0 else t.sum /. float_of_int t.count
+
+let predict_window_mean t _v =
+  let w = window_values t in
+  if Array.length w = 0 then 1.0
+  else Array.fold_left ( +. ) 0. w /. float_of_int (Array.length w)
+
+let predict_window_median t _v =
+  let w = window_values t in
+  if Array.length w = 0 then 1.0
+  else begin
+    Array.sort Float.compare w;
+    w.(Array.length w / 2)
+  end
+
+let create () =
+  let mk name update = { name; prediction = 1.0; abs_error = 0.; update } in
+  {
+    last = 1.0;
+    count = 0;
+    sum = 0.;
+    window = Array.make window_size 0.;
+    window_fill = 0;
+    window_pos = 0;
+    predictors =
+      [
+        mk "last" predict_last;
+        mk "mean" predict_mean;
+        mk "window_mean" predict_window_mean;
+        mk "window_median" predict_window_median;
+      ];
+    adaptive_error = 0.;
+  }
+
+let best t =
+  match t.predictors with
+  | [] -> assert false
+  | first :: rest ->
+      List.fold_left (fun acc p -> if p.abs_error < acc.abs_error then p else acc) first rest
+
+let forecast t = if t.count = 0 then 1.0 else (best t).prediction
+
+let best_predictor t = (best t).name
+
+let observations t = t.count
+
+let mae t = if t.count <= 1 then 0. else t.adaptive_error /. float_of_int (t.count - 1)
+
+let observe t v =
+  (* score the standing forecasts against the new measurement *)
+  if t.count > 0 then begin
+    t.adaptive_error <- t.adaptive_error +. Float.abs (forecast t -. v);
+    List.iter (fun p -> p.abs_error <- p.abs_error +. Float.abs (p.prediction -. v)) t.predictors
+  end;
+  (* update series state *)
+  t.last <- v;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  t.window.(t.window_pos) <- v;
+  t.window_pos <- (t.window_pos + 1) mod window_size;
+  t.window_fill <- min (t.window_fill + 1) window_size;
+  (* refresh every predictor's next-step forecast *)
+  List.iter (fun p -> p.prediction <- p.update t v) t.predictors

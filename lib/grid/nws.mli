@@ -1,0 +1,27 @@
+(** Network Weather Service style forecaster.
+
+    The real NWS runs a family of cheap predictors over each measurement
+    series and forecasts with whichever predictor has accumulated the
+    lowest error so far (a mixture of experts).  GridSAT's master uses
+    these forecasts to rank resources (paper Section 3.3).  This module
+    reproduces that scheme over the simulated availability traces. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Feeds the next measurement of the series. *)
+
+val forecast : t -> float
+(** Predicted next value.  Before any observation, returns [1.0]
+    (optimistic, like an unloaded host). *)
+
+val best_predictor : t -> string
+(** Name of the currently winning predictor ("last", "mean",
+    "window_mean" or "window_median"). *)
+
+val observations : t -> int
+
+val mae : t -> float
+(** Mean absolute error of the adaptive forecast so far. *)

@@ -1,0 +1,66 @@
+type event_id = int
+
+module Key = struct
+  type t = { time : float; seq : int }
+
+  let compare a b =
+    match Float.compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+end
+
+module Pq = Map.Make (Key)
+
+type t = {
+  mutable clock : float;
+  mutable queue : (unit -> unit) Pq.t;
+  mutable next_seq : int;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable fired : int;
+}
+
+let create () =
+  { clock = 0.; queue = Pq.empty; next_seq = 0; cancelled = Hashtbl.create 64; fired = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  let time = Float.max time t.clock in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.queue <- Pq.add { Key.time; seq } f t.queue;
+  seq
+
+let schedule t ~delay f = schedule_at t ~time:(t.clock +. Float.max 0. delay) f
+
+let cancel t id = Hashtbl.replace t.cancelled id ()
+
+let pending t = Pq.cardinal t.queue - Hashtbl.length t.cancelled
+
+let events_fired t = t.fired
+
+let rec step t =
+  match Pq.min_binding_opt t.queue with
+  | None -> false
+  | Some (key, f) ->
+      t.queue <- Pq.remove key t.queue;
+      if Hashtbl.mem t.cancelled key.Key.seq then begin
+        Hashtbl.remove t.cancelled key.Key.seq;
+        step t
+      end
+      else begin
+        t.clock <- key.Key.time;
+        t.fired <- t.fired + 1;
+        f ();
+        true
+      end
+
+let run ?(max_events = max_int) t ~until =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue && !fired < max_events do
+    match Pq.min_binding_opt t.queue with
+    | None -> continue := false
+    | Some (key, _) ->
+        if key.Key.time > until then continue := false
+        else if step t then incr fired
+        else continue := false
+  done

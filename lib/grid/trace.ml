@@ -1,0 +1,27 @@
+type t = float -> float
+
+let clamp x = Float.max 0.05 (Float.min 1.0 x)
+
+let constant a =
+  let a = clamp a in
+  fun _ -> a
+
+let periodic ~mean ~amplitude ~period ~phase =
+  if period <= 0. then invalid_arg "Trace.periodic: period must be positive";
+  fun time -> clamp (mean +. (amplitude *. sin (((2. *. Float.pi) *. (time +. phase)) /. period)))
+
+(* Deterministic uniform value in [0,1) from (seed, step). *)
+let hash01 seed step =
+  let h = Hashtbl.hash (seed, step, 0x9e3779b9) in
+  float_of_int (h land 0x3FFFFFFF) /. float_of_int 0x40000000
+
+let noisy ~seed ~mean ~amplitude ~interval =
+  if interval <= 0. then invalid_arg "Trace.noisy: interval must be positive";
+  fun time ->
+    let step = int_of_float (Float.max 0. time /. interval) in
+    let u = hash01 seed step in
+    clamp (mean +. (amplitude *. ((2. *. u) -. 1.)))
+
+let overlay a b time = clamp (a time *. b time)
+
+let availability t time = clamp (t time)

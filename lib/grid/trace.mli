@@ -1,0 +1,27 @@
+(** Deterministic background-load traces.
+
+    The paper's testbed was shared: "none of the resources we used were
+    dedicated to our use".  A trace gives, for every instant of virtual
+    time, the fraction of a host's CPU available to a GridSAT client.
+    Traces are pure functions of time (seeded hashing, no hidden state),
+    so simulations replay identically. *)
+
+type t
+
+val constant : float -> t
+(** Always the given availability (clamped to [0.05, 1]). *)
+
+val periodic : mean:float -> amplitude:float -> period:float -> phase:float -> t
+(** Sinusoidal load (diurnal patterns): [mean + amplitude * sin]. *)
+
+val noisy : seed:int -> mean:float -> amplitude:float -> interval:float -> t
+(** Piecewise-constant noise: a fresh pseudo-random availability in
+    [mean - amplitude, mean + amplitude] every [interval] seconds,
+    derived by hashing [(seed, step index)]. *)
+
+val overlay : t -> t -> t
+(** Pointwise product of two traces (compose load sources). *)
+
+val availability : t -> float -> float
+(** [availability t time] is in [0.05, 1.0] — a host never stalls
+    completely, matching time-shared Unix scheduling. *)

@@ -1,0 +1,32 @@
+type result = Sat of Model.t | Unsat
+
+let check_size cnf =
+  let n = Cnf.nvars cnf in
+  if n > 26 then invalid_arg "Brute: too many variables";
+  n
+
+let assignment_of_bits n bits =
+  let a = Array.make (n + 1) false in
+  for v = 1 to n do
+    a.(v) <- bits land (1 lsl (v - 1)) <> 0
+  done;
+  a
+
+let solve cnf =
+  let n = check_size cnf in
+  let rec loop bits =
+    if bits >= 1 lsl n then Unsat
+    else begin
+      let a = assignment_of_bits n bits in
+      if Cnf.eval cnf a then Sat (Model.of_array a) else loop (bits + 1)
+    end
+  in
+  loop 0
+
+let count_models cnf =
+  let n = check_size cnf in
+  let count = ref 0 in
+  for bits = 0 to (1 lsl n) - 1 do
+    if Cnf.eval cnf (assignment_of_bits n bits) then incr count
+  done;
+  !count

@@ -1,0 +1,13 @@
+(** Reference solver by exhaustive enumeration.
+
+    Only usable for small variable counts; it exists so the test suite can
+    cross-check the CDCL solver on randomly generated formulas. *)
+
+type result = Sat of Model.t | Unsat
+
+val solve : Cnf.t -> result
+(** [solve cnf] enumerates all assignments.  Raises [Invalid_argument] for
+    formulas with more than 26 variables. *)
+
+val count_models : Cnf.t -> int
+(** Number of satisfying assignments (same size restriction). *)

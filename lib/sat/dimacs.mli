@@ -1,0 +1,23 @@
+(** DIMACS CNF reader and writer.
+
+    Accepts the usual format: optional [c ...] comment lines, one
+    [p cnf <vars> <clauses>] header, then whitespace-separated signed
+    integers with [0] terminating each clause.  The declared clause count
+    is checked loosely (a mismatch is tolerated, as many archive files get
+    it wrong), but literals must respect the declared variable count. *)
+
+exception Parse_error of string
+
+val parse_string : string -> Cnf.t
+(** Parses a DIMACS document from a string.  Raises {!Parse_error}. *)
+
+val parse_channel : in_channel -> Cnf.t
+
+val parse_file : string -> Cnf.t
+
+val to_string : Cnf.t -> string
+(** Serialises a formula back to DIMACS. *)
+
+val write_channel : out_channel -> Cnf.t -> unit
+
+val write_file : string -> Cnf.t -> unit

@@ -1,0 +1,175 @@
+module T = Types
+
+type step = Add of T.lit array | Delete of T.lit array
+
+type t = step list
+
+(* A small, self-contained unit-propagation engine over occurrence lists.
+   Deliberately independent of the CDCL solver: it shares no code with it,
+   so a checked proof does not trust the solver's propagation. *)
+module Engine = struct
+  type engine = {
+    nvars : int;
+    mutable clauses : T.lit array array;
+    mutable nclauses : int;
+    mutable deleted : bool array;
+    occ : int list array; (* literal -> indices of clauses containing it *)
+  }
+
+  let create nvars =
+    {
+      nvars;
+      clauses = Array.make 16 [||];
+      nclauses = 0;
+      deleted = Array.make 16 false;
+      occ = Array.make (2 * (nvars + 1)) [];
+    }
+
+  let add e lits =
+    if e.nclauses = Array.length e.clauses then begin
+      let clauses = Array.make (2 * e.nclauses) [||] in
+      Array.blit e.clauses 0 clauses 0 e.nclauses;
+      e.clauses <- clauses;
+      let deleted = Array.make (2 * e.nclauses) false in
+      Array.blit e.deleted 0 deleted 0 e.nclauses;
+      e.deleted <- deleted
+    end;
+    let idx = e.nclauses in
+    e.clauses.(idx) <- lits;
+    e.nclauses <- idx + 1;
+    Array.iter (fun l -> e.occ.(l) <- idx :: e.occ.(l)) lits
+
+  (* Lenient deletion (standard for DRUP): remove one clause with exactly
+     these literals as a set; ignore if absent. *)
+  let delete e lits =
+    let target = List.sort_uniq compare (Array.to_list lits) in
+    let matches idx =
+      (not e.deleted.(idx))
+      && List.sort_uniq compare (Array.to_list e.clauses.(idx)) = target
+    in
+    match lits with
+    | [||] -> ()
+    | _ ->
+        let candidates = e.occ.(lits.(0)) in
+        (match List.find_opt matches candidates with
+        | Some idx -> e.deleted.(idx) <- true
+        | None -> ())
+
+  (* Unit propagation starting from [assumptions] (literals taken as true).
+     Returns [true] iff a conflict is reached.  Fresh assignment state per
+     call. *)
+  let propagates_to_conflict e assumptions =
+    let value = Array.make (e.nvars + 1) T.Unknown in
+    let lit_value l = T.lit_value value.(T.var l) l in
+    let queue = Queue.create () in
+    let conflict = ref false in
+    let assign l =
+      match lit_value l with
+      | T.True -> ()
+      | T.False -> conflict := true
+      | T.Unknown ->
+          value.(T.var l) <- (if T.is_pos l then T.True else T.False);
+          Queue.push l queue
+    in
+    List.iter assign assumptions;
+    (* also propagate pre-existing unit clauses *)
+    for idx = 0 to e.nclauses - 1 do
+      if (not e.deleted.(idx)) && Array.length e.clauses.(idx) = 1 then
+        assign e.clauses.(idx).(0)
+    done;
+    while (not !conflict) && not (Queue.is_empty queue) do
+      let l = Queue.pop queue in
+      let falsified = T.negate l in
+      List.iter
+        (fun idx ->
+          if (not !conflict) && not e.deleted.(idx) then begin
+            let lits = e.clauses.(idx) in
+            let satisfied = ref false in
+            let unassigned = ref [] in
+            Array.iter
+              (fun q ->
+                match lit_value q with
+                | T.True -> satisfied := true
+                | T.Unknown -> unassigned := q :: !unassigned
+                | T.False -> ())
+              lits;
+            if not !satisfied then
+              match !unassigned with
+              | [] -> conflict := true
+              | [ u ] -> assign u
+              | _ -> ()
+          end)
+        e.occ.(falsified)
+    done;
+    !conflict
+end
+
+let check_clause_rup cnf earlier clause =
+  let e = Engine.create (Cnf.nvars cnf) in
+  Cnf.iter (Engine.add e) cnf;
+  List.iter (Engine.add e) earlier;
+  Engine.propagates_to_conflict e (List.map T.negate (Array.to_list clause))
+
+let check cnf proof =
+  let e = Engine.create (Cnf.nvars cnf) in
+  Cnf.iter (Engine.add e) cnf;
+  let rec replay i = function
+    | [] ->
+        (* implicit final empty clause: the accumulated database must be
+           unit-refutable *)
+        if Engine.propagates_to_conflict e [] then Ok ()
+        else Error "proof does not derive the empty clause"
+    | Add [||] :: _ ->
+        if Engine.propagates_to_conflict e [] then Ok ()
+        else Error (Printf.sprintf "step %d: explicit empty clause is not RUP" i)
+    | Add lits :: rest ->
+        let negated = List.map T.negate (Array.to_list lits) in
+        if Engine.propagates_to_conflict e negated then begin
+          Engine.add e lits;
+          replay (i + 1) rest
+        end
+        else
+          Error
+            (Format.asprintf "step %d: clause %a is not RUP" i T.pp_clause lits)
+    | Delete lits :: rest ->
+        Engine.delete e lits;
+        replay (i + 1) rest
+  in
+  if Cnf.has_empty_clause cnf then Ok () else replay 0 proof
+
+(* ---------- DRUP text format ---------- *)
+
+let to_string proof =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun step ->
+      let lits, prefix = match step with Add l -> (l, "") | Delete l -> (l, "d ") in
+      Buffer.add_string buf prefix;
+      Array.iter (fun l -> Buffer.add_string buf (string_of_int (T.to_int l) ^ " ")) lits;
+      Buffer.add_string buf "0\n")
+    proof;
+  Buffer.contents buf
+
+let of_string text =
+  let parse_line line =
+    let line = String.trim line in
+    if line = "" then None
+    else begin
+      let is_delete = String.length line >= 2 && line.[0] = 'd' && line.[1] = ' ' in
+      let body = if is_delete then String.sub line 2 (String.length line - 2) else line in
+      let ints =
+        String.split_on_char ' ' body
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun s ->
+               match int_of_string_opt s with
+               | Some i -> i
+               | None -> failwith ("Drup.of_string: not an integer: " ^ s))
+      in
+      match List.rev ints with
+      | 0 :: rev_lits ->
+          let lits = Array.of_list (List.rev_map T.lit_of_int rev_lits) in
+          Some (if is_delete then Delete lits else Add lits)
+      | _ -> failwith "Drup.of_string: line not terminated by 0"
+    end
+  in
+  String.split_on_char '\n' text |> List.filter_map parse_line

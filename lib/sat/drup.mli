@@ -1,0 +1,37 @@
+(** DRUP proof logging and checking.
+
+    The paper's master verifies SAT answers by evaluating the model;
+    nothing in 2003 verified UNSAT answers.  This module adds that,
+    modern-style: the solver can log every learned clause (and deletion)
+    as a DRUP proof, and {!check} replays the proof with a small,
+    independent unit-propagation engine — each learned clause must be a
+    reverse-unit-propagation (RUP) consequence of the clauses before it,
+    and the proof must end in the empty clause.  A checked proof gives an
+    end-to-end soundness guarantee that does not trust the solver.
+
+    Proofs can also be (de)serialised in the standard DRUP text format
+    used by SAT-competition checkers. *)
+
+type step =
+  | Add of Types.lit array  (** a learned clause, in derivation order *)
+  | Delete of Types.lit array  (** an explicit deletion (optional in DRUP) *)
+
+type t = step list
+(** A proof, in derivation order. *)
+
+val check : Cnf.t -> t -> (unit, string) result
+(** [check cnf proof] verifies that every added clause is RUP with respect
+    to the formula plus the previously added (and not yet deleted) clauses,
+    and that the proof derives the empty clause (or an immediate root
+    conflict).  Returns a diagnostic on failure. *)
+
+val check_clause_rup : Cnf.t -> Types.lit array list -> Types.lit array -> bool
+(** [check_clause_rup cnf earlier clause] checks a single RUP step:
+    asserting the negation of [clause] and unit-propagating over
+    [cnf @ earlier] must yield a conflict. *)
+
+val to_string : t -> string
+(** Standard DRUP text ("d" lines for deletions, "0"-terminated). *)
+
+val of_string : string -> t
+(** Parses DRUP text.  Raises [Failure] on malformed input. *)

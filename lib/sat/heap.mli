@@ -1,0 +1,32 @@
+(** Indexed binary max-heap over variables, used for VSIDS decision order.
+
+    The heap stores variable indices and orders them with a caller-supplied
+    comparison (normally "has a higher activity score").  Because scores
+    change while a variable sits in the heap, the owner must call {!update}
+    after every score change. *)
+
+type t
+
+val create : nvars:int -> gt:(int -> int -> bool) -> t
+(** [create ~nvars ~gt] makes an empty heap able to hold variables
+    [1 .. nvars].  [gt a b] must return [true] iff variable [a] should be
+    popped before variable [b]. *)
+
+val insert : t -> int -> unit
+(** Inserts a variable; no-op if already present. *)
+
+val mem : t -> int -> bool
+
+val is_empty : t -> bool
+
+val size : t -> int
+
+val remove_max : t -> int
+(** Pops the greatest variable.  Raises [Not_found] when empty. *)
+
+val update : t -> int -> unit
+(** Restores heap order after the score of a member variable changed;
+    no-op if the variable is not in the heap. *)
+
+val rebuild : t -> unit
+(** Re-heapifies the whole structure (after a global score rescale). *)

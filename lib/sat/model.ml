@@ -1,0 +1,30 @@
+type t = bool array (* index 0 unused *)
+
+let of_array a =
+  if Array.length a = 0 then invalid_arg "Model.of_array: empty";
+  Array.copy a
+
+let nvars t = Array.length t - 1
+
+let value t v =
+  if v < 1 || v >= Array.length t then invalid_arg "Model.value: variable out of range";
+  t.(v)
+
+let to_array t = Array.copy t
+
+let true_literals t =
+  let rec loop v acc = if v < 1 then acc else loop (v - 1) ((if t.(v) then v else -v) :: acc) in
+  loop (nvars t) []
+
+let satisfies cnf m =
+  if nvars m < Cnf.nvars cnf then invalid_arg "Model.satisfies: model too small";
+  Cnf.eval cnf m
+
+let pp ppf t =
+  Format.pp_print_char ppf '[';
+  List.iteri
+    (fun i l ->
+      if i > 0 then Format.pp_print_char ppf ' ';
+      Format.pp_print_int ppf l)
+    (true_literals t);
+  Format.pp_print_char ppf ']'

@@ -1,0 +1,28 @@
+(** Satisfying assignments.
+
+    A model is a total assignment of the variables [1 .. nvars].  GridSAT's
+    master verifies every model reported by a client before declaring the
+    instance satisfiable (paper Section 3.4); {!satisfies} is that check. *)
+
+type t
+
+val of_array : bool array -> t
+(** [of_array a] wraps an assignment; [a.(v)] is the value of variable [v],
+    index 0 is ignored. *)
+
+val nvars : t -> int
+
+val value : t -> int -> bool
+(** [value m v] is the value of variable [v]. *)
+
+val to_array : t -> bool array
+(** Returns a copy of the underlying assignment. *)
+
+val true_literals : t -> int list
+(** The model as DIMACS-style signed integers, one per variable. *)
+
+val satisfies : Cnf.t -> t -> bool
+(** [satisfies cnf m] checks the model against every clause of [cnf].
+    Raises [Invalid_argument] if the model covers fewer variables. *)
+
+val pp : Format.formatter -> t -> unit

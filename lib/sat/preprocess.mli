@@ -1,0 +1,39 @@
+(** CNF preprocessing (an extension beyond the paper's 2003 toolchain).
+
+    Three classic equisatisfiability-preserving simplifications, applied to
+    fixpoint in rounds:
+    - {b subsumption}: drop any clause that is a superset of another;
+    - {b self-subsuming resolution}: if resolving two clauses on a pivot
+      yields a subset of one of them, strengthen that clause by removing
+      the pivot literal;
+    - {b bounded variable elimination} (SatELite-style): eliminate a
+      variable by replacing its occurrences with all resolvents when that
+      does not grow the clause count.
+
+    Eliminated variables are recorded so that a model of the simplified
+    formula can be {!extend}ed to a model of the original one. *)
+
+type elimination
+(** Reconstruction data for one eliminated variable. *)
+
+type result = {
+  cnf : Cnf.t;  (** the simplified formula (same variable space) *)
+  clauses_before : int;
+  clauses_after : int;
+  eliminated : int;  (** variables removed by elimination *)
+  subsumed : int;  (** clauses dropped by subsumption *)
+  strengthened : int;  (** literals removed by self-subsumption *)
+  elims : elimination list;  (** consumed by {!extend} *)
+}
+
+val run : ?max_rounds:int -> ?elim_growth:int -> Cnf.t -> result
+(** [run cnf] simplifies.  [elim_growth] (default 0) is how many extra
+    clauses variable elimination may introduce net. *)
+
+val extend : result -> Model.t -> Model.t
+(** Completes a model of [result.cnf] into a model of the original
+    formula by choosing values for the eliminated variables. *)
+
+val solve : ?config:Solver.config -> Cnf.t -> Solver.outcome
+(** Preprocess-then-solve convenience: runs {!run}, solves the simplified
+    formula, and extends any model back to the original variables. *)

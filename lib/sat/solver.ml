@@ -1,0 +1,890 @@
+module T = Types
+
+type clause = {
+  mutable lits : T.lit array; (* lits.(0) and lits.(1) are the watched literals *)
+  learned : bool;
+  mutable activity : float;
+  mutable deleted : bool;
+}
+
+type restart_strategy = Luby | Geometric of float | Fixed
+
+type config = {
+  decay_interval : int;
+  decay_factor : float;
+  restarts_enabled : bool;
+  restart_base : int;
+  restart_strategy : restart_strategy;
+  mem_limit_bytes : int;
+  learned_cap_factor : float;
+  learned_cap_min : int;
+  reduce_db_enabled : bool;
+  share_export_max : int;
+  capture_conflicts : bool;
+  random_decision_freq : float;
+  emit_proof : bool;
+  minimize_learned : bool;
+  phase_saving : bool;
+  seed : int;
+}
+
+let default_config =
+  {
+    decay_interval = 256;
+    decay_factor = 0.5;
+    restarts_enabled = true;
+    restart_base = 128;
+    restart_strategy = Luby;
+    mem_limit_bytes = 256 * 1024 * 1024;
+    learned_cap_factor = 2.0;
+    learned_cap_min = 5_000;
+    reduce_db_enabled = true;
+    share_export_max = 16;
+    capture_conflicts = false;
+    random_decision_freq = 0.02;
+    emit_proof = false;
+    minimize_learned = false;
+    phase_saving = false;
+    seed = 0;
+  }
+
+type outcome = Sat of Model.t | Unsat | Budget_exhausted | Mem_pressure
+
+type conflict_info = {
+  conflicting_clause : T.lit array;
+  conflicting_var : int;
+  implication_graph : (int * int * T.lit array option) list;
+  learned : T.lit array;
+  uip_var : int;
+  backjump_level : int;
+}
+
+let dummy_clause = { lits = [||]; learned = false; activity = 0.; deleted = true }
+
+(* A watch-list entry: the clause plus a "blocker" literal (some other
+   literal of the clause, usually the other watch).  If the blocker is
+   true the clause is satisfied and need not be dereferenced at all —
+   the classic mem-traffic optimisation for two-watched-literal BCP. *)
+type watcher = { c : clause; blocker : T.lit }
+
+let dummy_watcher = { c = dummy_clause; blocker = 0 }
+
+type t = {
+  cfg : config;
+  nvars : int;
+  cnf : Cnf.t; (* the original formula, kept for model building *)
+  assigns : T.value array; (* var -> value *)
+  levels : int array; (* var -> decision level (valid when assigned) *)
+  reasons : clause option array; (* var -> antecedent *)
+  tainted : bool array;
+      (* var -> the root-level assignment of this variable depends on a
+         guiding-path assumption (so it is NOT implied by the global
+         formula).  Tainted literals are kept inside clauses and re-enter
+         learned clauses, which keeps every clause in the database — and
+         hence every shared clause — valid for the global problem. *)
+  score : float array; (* literal -> VSIDS counter *)
+  watches : watcher Vec.t array; (* literal -> clauses watching that literal *)
+  order : Heap.t;
+  trail : T.lit Vec.t;
+  trail_lim : int Vec.t; (* trail index where each decision level starts *)
+  mutable qhead : int;
+  clauses : clause Vec.t; (* original problem clauses *)
+  learnts : clause Vec.t;
+  mutable ok : bool;
+  seen : bool array;
+  phase : bool array; (* var -> last assigned polarity (for phase saving) *)
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  stats : Stats.t;
+  mutable conflicts_since_restart : int;
+  mutable restart_limit : int;
+  mutable luby_index : int;
+  mutable n_active_clauses : int;
+  mutable db_lits : int; (* total literal slots across active clauses *)
+  pending_foreign : T.lit array Queue.t;
+  fresh_shares : T.lit array Queue.t;
+  mutable last_learned : (T.lit array * int) option;
+  mutable last_simplify_trail : int; (* root trail size at last simplification *)
+  mutable proof_rev : Drup.step list; (* DRUP proof, newest step first *)
+  rng : Random.State.t;
+}
+
+let nvars t = t.nvars
+
+let decision_level t = Vec.size t.trail_lim
+
+let n_learned t = Vec.size t.learnts
+
+let is_ok t = t.ok
+
+let stats t = t.stats
+
+(* Accounting: 48 bytes of per-clause overhead + 8 per literal slot. *)
+let db_bytes t = (48 * t.n_active_clauses) + (8 * t.db_lits)
+
+let value_of_var t v = t.assigns.(v)
+
+let value_of_lit t l = T.lit_value t.assigns.(T.var l) l
+
+(* Hot-path truth tests: pattern matches compile to constant-tag checks,
+   unlike [=] which would call the polymorphic comparison. *)
+let lit_true t l = match value_of_lit t l with T.True -> true | T.False | T.Unknown -> false
+
+let lit_false t l = match value_of_lit t l with T.False -> true | T.True | T.Unknown -> false
+
+let lit_unknown t l = match value_of_lit t l with T.Unknown -> true | T.True | T.False -> false
+
+let var_unknown t v = match t.assigns.(v) with T.Unknown -> true | T.True | T.False -> false
+
+let level_of_var t v =
+  match t.assigns.(v) with
+  | T.Unknown -> invalid_arg "Solver.level_of_var: unassigned variable"
+  | T.True | T.False -> t.levels.(v)
+
+let antecedent_of_var t v =
+  match t.reasons.(v) with
+  | Some c when not c.deleted -> Some (Array.copy c.lits)
+  | Some _ | None -> None
+
+let trail_literals t = Vec.to_list t.trail
+
+let last_learned t = t.last_learned
+
+let log_proof t step = if t.cfg.emit_proof then t.proof_rev <- step :: t.proof_rev
+
+let proof t = List.rev t.proof_rev
+
+let root_lits t =
+  let stop = if Vec.is_empty t.trail_lim then Vec.size t.trail else Vec.get t.trail_lim 0 in
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (Vec.get t.trail i :: acc) in
+  loop (stop - 1) []
+
+let root_facts t = List.filter (fun l -> not t.tainted.(T.var l)) (root_lits t)
+
+let root_path t = List.filter (fun l -> t.tainted.(T.var l)) (root_lits t)
+
+(* ---------- VSIDS ---------- *)
+
+let var_score score v = Float.max score.(T.pos v) score.(T.neg v)
+
+let rescale_scores t =
+  for l = 0 to Array.length t.score - 1 do
+    t.score.(l) <- t.score.(l) *. 1e-100
+  done;
+  t.var_inc <- t.var_inc *. 1e-100;
+  Heap.rebuild t.order
+
+let bump_lit t l =
+  t.score.(l) <- t.score.(l) +. t.var_inc;
+  if t.score.(l) > 1e100 then rescale_scores t;
+  Heap.update t.order (T.var l)
+
+let decay_scores t = t.var_inc <- t.var_inc /. t.cfg.decay_factor
+
+let bump_clause_activity t (c : clause) =
+  if c.learned then begin
+    c.activity <- c.activity +. t.cla_inc;
+    if c.activity > 1e100 then begin
+      Vec.iter (fun cl -> cl.activity <- cl.activity *. 1e-100) t.learnts;
+      t.cla_inc <- t.cla_inc *. 1e-100
+    end
+  end
+
+(* ---------- assignment primitives ---------- *)
+
+(* [taint] is only consulted for root-level assignments without an
+   antecedent clause; with an antecedent the taint is inherited from the
+   clause's other literals. *)
+let enqueue ?(taint = false) t l reason =
+  let v = T.var l in
+  t.assigns.(v) <- (if T.is_pos l then T.True else T.False);
+  t.levels.(v) <- decision_level t;
+  t.reasons.(v) <- reason;
+  if decision_level t = 0 then
+    t.tainted.(v) <-
+      (match reason with
+      | Some c -> Array.exists (fun q -> T.var q <> v && t.tainted.(T.var q)) c.lits
+      | None -> taint)
+  else t.tainted.(v) <- false;
+  Vec.push t.trail l
+
+let backtrack t level =
+  if decision_level t > level then begin
+    let keep = Vec.get t.trail_lim level in
+    for i = Vec.size t.trail - 1 downto keep do
+      let v = T.var (Vec.get t.trail i) in
+      (match t.assigns.(v) with
+      | T.True -> t.phase.(v) <- true
+      | T.False -> t.phase.(v) <- false
+      | T.Unknown -> ());
+      t.assigns.(v) <- T.Unknown;
+      t.reasons.(v) <- None;
+      Heap.insert t.order v
+    done;
+    Vec.shrink t.trail keep;
+    Vec.shrink t.trail_lim level;
+    t.qhead <- keep
+  end
+
+(* ---------- propagation ---------- *)
+
+let propagate t =
+  let start = Sys.time () in
+  let confl = ref None in
+  let conflicted = ref false in
+  while (not !conflicted) && t.qhead < Vec.size t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.stats.propagations <- t.stats.propagations + 1;
+    let false_lit = T.negate p in
+    let ws = t.watches.(false_lit) in
+    let n = Vec.size ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let w = Vec.get ws !i in
+      incr i;
+      let c = w.c in
+      if c.deleted then () (* lazily dropped from the watch list *)
+      else if !conflicted || lit_true t w.blocker then begin
+        Vec.set ws !j w;
+        incr j
+      end
+      else begin
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        let first = c.lits.(0) in
+        if lit_true t first then begin
+          Vec.set ws !j { c; blocker = first };
+          incr j
+        end
+        else begin
+          let len = Array.length c.lits in
+          let k = ref 2 in
+          while !k < len && lit_false t c.lits.(!k) do
+            incr k
+          done;
+          if !k < len then begin
+            (* found a replacement watch; move the clause to its list *)
+            c.lits.(1) <- c.lits.(!k);
+            c.lits.(!k) <- false_lit;
+            Vec.push t.watches.(c.lits.(1)) { c; blocker = first }
+          end
+          else begin
+            Vec.set ws !j w;
+            incr j;
+            if lit_false t first then begin
+              confl := Some c;
+              conflicted := true
+            end
+            else enqueue t first (Some c)
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  t.stats.bcp_seconds <- t.stats.bcp_seconds +. (Sys.time () -. start);
+  !confl
+
+(* ---------- conflict analysis (FirstUIP) ---------- *)
+
+let analyze t confl =
+  let learnt = Vec.create 0 in
+  Vec.push learnt 0 (* placeholder for the asserting literal *);
+  let to_clear = Vec.create 0 in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let reason_clause = ref confl in
+  let index = ref (Vec.size t.trail - 1) in
+  let dlevel = decision_level t in
+  let finished = ref false in
+  while not !finished do
+    let c = !reason_clause in
+    bump_clause_activity t c;
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length c.lits - 1 do
+      let q = c.lits.(k) in
+      let v = T.var q in
+      if not t.seen.(v) then begin
+        if t.levels.(v) > 0 then begin
+          t.seen.(v) <- true;
+          Vec.push to_clear v;
+          if t.levels.(v) >= dlevel then incr counter else Vec.push learnt q
+        end
+        else if t.tainted.(v) then begin
+          (* root assumption: keep it so the learned clause stays
+             globally valid and can be shared with every client *)
+          t.seen.(v) <- true;
+          Vec.push to_clear v;
+          Vec.push learnt q
+        end
+      end
+    done;
+    while not t.seen.(T.var (Vec.get t.trail !index)) do
+      decr index
+    done;
+    p := Vec.get t.trail !index;
+    decr index;
+    t.seen.(T.var !p) <- false;
+    decr counter;
+    if !counter = 0 then finished := true
+    else
+      reason_clause :=
+        (match t.reasons.(T.var !p) with
+        | Some c -> c
+        | None -> assert false (* only the UIP can lack an antecedent *))
+  done;
+  Vec.set learnt 0 (T.negate !p);
+  (* Optional local clause minimization (an extension beyond zChaff-2001):
+     a non-asserting literal is redundant if every literal of its
+     antecedent is already in the learned clause (seen) or is an untainted
+     root fact.  Removing it is a self-subsuming resolution step, so the
+     clause stays globally valid. *)
+  let lits =
+    if not t.cfg.minimize_learned then Array.init (Vec.size learnt) (Vec.get learnt)
+    else begin
+      let redundant q =
+        let v = T.var q in
+        t.levels.(v) > 0
+        &&
+        match t.reasons.(v) with
+        | None -> false
+        | Some c ->
+            Array.for_all
+              (fun r ->
+                let rv = T.var r in
+                rv = v || t.seen.(rv) || (t.levels.(rv) = 0 && not t.tainted.(rv)))
+              c.lits
+      in
+      let kept = ref [ Vec.get learnt 0 ] in
+      for k = Vec.size learnt - 1 downto 1 do
+        let q = Vec.get learnt k in
+        if not (redundant q) then kept := !kept @ [ q ]
+      done;
+      Array.of_list !kept
+    end
+  in
+  Vec.iter (fun v -> t.seen.(v) <- false) to_clear;
+  (* Backjump level: the highest level among the non-asserting literals;
+     put that literal in slot 1 so it can be watched. *)
+  let blevel = ref 0 in
+  let pos = ref 1 in
+  for k = 1 to Array.length lits - 1 do
+    let lv = t.levels.(T.var lits.(k)) in
+    if lv > !blevel then begin
+      blevel := lv;
+      pos := k
+    end
+  done;
+  if Array.length lits > 1 then begin
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!pos);
+    lits.(!pos) <- tmp
+  end;
+  (lits, !blevel)
+
+(* ---------- clause construction ---------- *)
+
+let attach_clause t c =
+  Vec.push t.watches.(c.lits.(0)) { c; blocker = c.lits.(1) };
+  Vec.push t.watches.(c.lits.(1)) { c; blocker = c.lits.(0) };
+  t.n_active_clauses <- t.n_active_clauses + 1;
+  t.db_lits <- t.db_lits + Array.length c.lits
+
+let delete_clause t c =
+  if not c.deleted then begin
+    log_proof t (Drup.Delete (Array.copy c.lits));
+    c.deleted <- true;
+    t.n_active_clauses <- t.n_active_clauses - 1;
+    t.db_lits <- t.db_lits - Array.length c.lits
+  end
+
+let record_share t lits =
+  if Array.length lits <= t.cfg.share_export_max then begin
+    if Queue.length t.fresh_shares >= 8192 then ignore (Queue.pop t.fresh_shares);
+    Queue.push (Array.copy lits) t.fresh_shares
+  end
+
+(* Record a learned clause (already backjumped to its assertion level) and
+   enqueue its asserting literal. *)
+let record_learned t lits =
+  log_proof t (Drup.Add (Array.copy lits));
+  t.stats.learned <- t.stats.learned + 1;
+  t.stats.learned_literals <- t.stats.learned_literals + Array.length lits;
+  record_share t lits;
+  Array.iter (bump_lit t) lits;
+  if Array.length lits = 1 then enqueue t lits.(0) None
+  else begin
+    let c = { lits; learned = true; activity = t.cla_inc; deleted = false } in
+    attach_clause t c;
+    Vec.push t.learnts c;
+    enqueue t lits.(0) (Some c)
+  end;
+  t.last_learned <- Some (Array.copy lits, decision_level t)
+
+(* Add an original (or foreign) clause while at decision level 0, after
+   simplifying it against the root assignment.  Returns false if the clause
+   is already satisfied at the root (and was therefore discarded). *)
+(* A false root literal may only be stripped when it is untainted (its
+   negation is implied by the global formula); tainted literals stay so the
+   clause remains globally valid. *)
+let strippable t l = lit_false t l && not t.tainted.(T.var l)
+
+(* Install a clause while at decision level 0: discard if satisfied, strip
+   untainted false literals, then either record the conflict, enqueue the
+   root implication (taint inherited from the surviving false literals), or
+   store the clause with its unknown literals in the watched slots. *)
+let install_clause_root t ~learned ~activity lits =
+  assert (decision_level t = 0);
+  if Array.exists (fun l -> lit_true t l) lits then `Satisfied
+  else begin
+    let kept = List.filter (fun l -> not (strippable t l)) (Array.to_list lits) in
+    let unknowns, falses = List.partition (fun l -> lit_unknown t l) kept in
+    match unknowns with
+    | [] ->
+        log_proof t (Drup.Add [||]);
+        t.ok <- false;
+        `Conflict
+    | [ l ] ->
+        let taint = List.exists (fun q -> t.tainted.(T.var q)) falses in
+        log_proof t (Drup.Add [| l |]);
+        enqueue ~taint t l None;
+        `Implication
+    | _ ->
+        let arr = Array.of_list (unknowns @ falses) in
+        log_proof t (Drup.Add (Array.copy arr));
+        let c = { lits = arr; learned; activity; deleted = false } in
+        attach_clause t c;
+        if learned then Vec.push t.learnts c else Vec.push t.clauses c;
+        Array.iter (bump_lit t) arr;
+        `Added
+  end
+
+(* ---------- learned-DB reduction ---------- *)
+
+let clause_locked t c =
+  Array.length c.lits > 0
+  &&
+  let v = T.var c.lits.(0) in
+  (match t.reasons.(v) with Some r -> r == c | None -> false)
+  && not (var_unknown t v)
+
+let reduce_db t =
+  let live = Vec.fold (fun acc c -> if c.deleted then acc else c :: acc) [] t.learnts in
+  let arr = Array.of_list live in
+  Array.sort (fun a b -> Float.compare a.activity b.activity) arr;
+  let target = Array.length arr / 2 in
+  let removed = ref 0 in
+  Array.iter
+    (fun c ->
+      if !removed < target && (not (clause_locked t c)) && Array.length c.lits > 2 then begin
+        delete_clause t c;
+        incr removed
+      end)
+    arr;
+  t.stats.deleted <- t.stats.deleted + !removed;
+  (* compact the learnts vector *)
+  let keep = List.rev (Vec.fold (fun acc c -> if c.deleted then acc else c :: acc) [] t.learnts) in
+  Vec.clear t.learnts;
+  List.iter (Vec.push t.learnts) keep
+
+(* ---------- root-level simplification (the paper's pruning pass) ---------- *)
+
+let rebuild_watches t =
+  Array.iter Vec.clear t.watches;
+  let rewatch c =
+    if not c.deleted then begin
+      Vec.push t.watches.(c.lits.(0)) { c; blocker = c.lits.(1) };
+      Vec.push t.watches.(c.lits.(1)) { c; blocker = c.lits.(0) }
+    end
+  in
+  Vec.iter rewatch t.clauses;
+  Vec.iter rewatch t.learnts
+
+let simplify_clause_root t c =
+  if not c.deleted then begin
+    if Array.exists (fun l -> lit_true t l) c.lits then delete_clause t c
+    else begin
+      let kept = List.filter (fun l -> not (strippable t l)) (Array.to_list c.lits) in
+      let unknowns, falses = List.partition (fun l -> lit_unknown t l) kept in
+      match unknowns with
+      | [] ->
+          log_proof t (Drup.Add [||]);
+          t.ok <- false;
+          delete_clause t c
+      | [ l ] ->
+          let taint = List.exists (fun q -> t.tainted.(T.var q)) falses in
+          log_proof t (Drup.Add [| l |]);
+          enqueue ~taint t l None;
+          delete_clause t c
+      | _ ->
+          let n = List.length kept in
+          if n < Array.length c.lits then begin
+            let strengthened = Array.of_list (unknowns @ falses) in
+            log_proof t (Drup.Add (Array.copy strengthened));
+            log_proof t (Drup.Delete (Array.copy c.lits));
+            t.db_lits <- t.db_lits - (Array.length c.lits - n);
+            c.lits <- strengthened
+          end
+    end
+  end
+
+let compact_clause_vec vec =
+  let keep = List.rev (Vec.fold (fun acc c -> if c.deleted then acc else c :: acc) [] vec) in
+  Vec.clear vec;
+  List.iter (Vec.push vec) keep
+
+let simplify_db t =
+  assert (decision_level t = 0);
+  (* Root-assigned variables never participate in conflict analysis, so
+     their antecedents may be forgotten before clauses are deleted. *)
+  Vec.iter (fun l -> t.reasons.(T.var l) <- None) t.trail;
+  Vec.iter (simplify_clause_root t) t.clauses;
+  Vec.iter (simplify_clause_root t) t.learnts;
+  compact_clause_vec t.clauses;
+  compact_clause_vec t.learnts;
+  rebuild_watches t;
+  t.last_simplify_trail <- Vec.size t.trail;
+  t.stats.root_simplifications <- t.stats.root_simplifications + 1
+
+(* ---------- foreign clause merging (paper Section 3.2, four cases) ---------- *)
+
+let pending_foreign t = Queue.length t.pending_foreign
+
+let queue_foreign_clauses t cs = List.iter (fun c -> Queue.push c t.pending_foreign) cs
+
+let merge_foreign t =
+  assert (decision_level t = 0);
+  while t.ok && not (Queue.is_empty t.pending_foreign) do
+    let lits = Queue.pop t.pending_foreign in
+    match install_clause_root t ~learned:true ~activity:t.cla_inc lits with
+    | `Satisfied -> t.stats.foreign_discarded <- t.stats.foreign_discarded + 1
+    | `Conflict -> () (* all literals false: the subproblem is unsatisfiable *)
+    | `Implication -> t.stats.foreign_implications <- t.stats.foreign_implications + 1
+    | `Added -> t.stats.foreign_merged <- t.stats.foreign_merged + 1
+  done
+
+(* ---------- shares export ---------- *)
+
+let drain_shares t ~max_len =
+  let out = ref [] in
+  while not (Queue.is_empty t.fresh_shares) do
+    let c = Queue.pop t.fresh_shares in
+    if Array.length c <= max_len then out := c :: !out
+  done;
+  List.rev !out
+
+(* ---------- decisions ---------- *)
+
+let random_unassigned t =
+  let rec attempt k =
+    if k = 0 then None
+    else
+      let v = 1 + Random.State.int t.rng t.nvars in
+      if var_unknown t v then Some v else attempt (k - 1)
+  in
+  attempt 8
+
+let pick_branch_var t =
+  let from_heap () =
+    let rec pop () =
+      if Heap.is_empty t.order then None
+      else
+        let v = Heap.remove_max t.order in
+        if var_unknown t v then Some v else pop ()
+    in
+    pop ()
+  in
+  if t.cfg.random_decision_freq > 0. && Random.State.float t.rng 1.0 < t.cfg.random_decision_freq
+  then (match random_unassigned t with Some v -> Some v | None -> from_heap ())
+  else from_heap ()
+
+let decide t =
+  match pick_branch_var t with
+  | None -> false
+  | Some v ->
+      let l =
+        if t.cfg.phase_saving then if t.phase.(v) then T.pos v else T.neg v
+        else if t.score.(T.pos v) >= t.score.(T.neg v) then T.pos v
+        else T.neg v
+      in
+      Vec.push t.trail_lim (Vec.size t.trail);
+      enqueue t l None;
+      t.stats.decisions <- t.stats.decisions + 1;
+      if decision_level t > t.stats.max_decision_level then
+        t.stats.max_decision_level <- decision_level t;
+      true
+
+(* ---------- restarts ---------- *)
+
+(* Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby i =
+  (* find the k with 2^(k-1) <= i < 2^k *)
+  let rec size k = if (1 lsl k) - 1 >= i then k else size (k + 1) in
+  let k = size 1 in
+  if i = (1 lsl k) - 1 then 1 lsl (k - 1) else luby (i - (1 lsl (k - 1)) + 1)
+
+let restart t =
+  backtrack t 0;
+  t.conflicts_since_restart <- 0;
+  t.luby_index <- t.luby_index + 1;
+  (t.restart_limit <-
+    (match t.cfg.restart_strategy with
+    | Luby -> t.cfg.restart_base * luby t.luby_index
+    | Geometric factor -> max 1 (int_of_float (float_of_int t.restart_limit *. factor))
+    | Fixed -> t.cfg.restart_base));
+  t.stats.restarts <- t.stats.restarts + 1
+
+(* ---------- construction ---------- *)
+
+let create_internal cfg cnf ~facts ~assumptions =
+  let nvars = Cnf.nvars cnf in
+  let score = Array.make (2 * (nvars + 1)) 0. in
+  let order = Heap.create ~nvars ~gt:(fun a b -> var_score score a > var_score score b) in
+  let t =
+    {
+      cfg;
+      nvars;
+      cnf;
+      assigns = Array.make (nvars + 1) T.Unknown;
+      tainted = Array.make (nvars + 1) false;
+      levels = Array.make (nvars + 1) 0;
+      reasons = Array.make (nvars + 1) None;
+      score;
+      watches = Array.init (2 * (nvars + 1)) (fun _ -> Vec.create ~capacity:4 dummy_watcher);
+      order;
+      trail = Vec.create 0;
+      trail_lim = Vec.create 0;
+      qhead = 0;
+      clauses = Vec.create dummy_clause;
+      learnts = Vec.create dummy_clause;
+      ok = not (Cnf.has_empty_clause cnf);
+      seen = Array.make (nvars + 1) false;
+      phase = Array.make (nvars + 1) false;
+      var_inc = 1.0;
+      cla_inc = 1.0;
+      stats = Stats.create ();
+      conflicts_since_restart = 0;
+      restart_limit = cfg.restart_base;
+      luby_index = 1;
+      n_active_clauses = 0;
+      db_lits = 0;
+      pending_foreign = Queue.create ();
+      fresh_shares = Queue.create ();
+      last_learned = None;
+      last_simplify_trail = 0;
+      proof_rev = [];
+      rng = Random.State.make [| cfg.seed; nvars; Cnf.nclauses cnf |];
+    }
+  in
+  for v = 1 to nvars do
+    Heap.insert order v
+  done;
+  let assert_root taint l =
+    match value_of_lit t l with
+    | T.Unknown -> enqueue ~taint t l None
+    | T.True -> ()
+    | T.False -> t.ok <- false
+  in
+  List.iter (assert_root false) facts;
+  List.iter (assert_root true) assumptions;
+  if t.ok then
+    Cnf.iter
+      (fun lits ->
+        if t.ok then ignore (install_clause_root t ~learned:false ~activity:0. (Array.copy lits)))
+      cnf;
+  if t.ok then (match propagate t with Some _ -> t.ok <- false | None -> ());
+  t
+
+let create ?(config = default_config) cnf = create_internal config cnf ~facts:[] ~assumptions:[]
+
+let create_with_roots ?(config = default_config) ?(facts = []) cnf assumptions =
+  create_internal config cnf ~facts ~assumptions
+
+(* ---------- model extraction ---------- *)
+
+let extract_model t =
+  let a = Array.make (t.nvars + 1) false in
+  for v = 1 to t.nvars do
+    a.(v) <- (match t.assigns.(v) with T.True -> true | T.False | T.Unknown -> false)
+  done;
+  Model.of_array a
+
+(* ---------- conflict-info capture ---------- *)
+
+let capture_graph t =
+  List.map
+    (fun l ->
+      let v = T.var l in
+      (v, t.levels.(v), antecedent_of_var t v))
+    (Vec.to_list t.trail)
+
+(* ---------- main search ---------- *)
+
+let learned_cap t =
+  int_of_float (t.cfg.learned_cap_factor *. float_of_int (Vec.size t.clauses))
+  + t.cfg.learned_cap_min
+
+let handle_conflict t confl =
+  t.stats.conflicts <- t.stats.conflicts + 1;
+  t.conflicts_since_restart <- t.conflicts_since_restart + 1;
+  if decision_level t = 0 then begin
+    log_proof t (Drup.Add [||]);
+    t.ok <- false;
+    None
+  end
+  else begin
+    let lits, blevel = analyze t confl in
+    backtrack t blevel;
+    record_learned t lits;
+    if t.stats.conflicts mod t.cfg.decay_interval = 0 then decay_scores t;
+    t.cla_inc <- t.cla_inc /. 0.999;
+    Some (lits, blevel)
+  end
+
+let over_mem_limit t = db_bytes t > t.cfg.mem_limit_bytes
+
+let run t ~budget =
+  let start = Sys.time () in
+  let start_props = t.stats.propagations in
+  let result = ref None in
+  while !result = None do
+    if not t.ok then result := Some Unsat
+    else begin
+      if decision_level t = 0 then begin
+        merge_foreign t;
+        if t.ok && Vec.size t.trail > t.last_simplify_trail && t.qhead = Vec.size t.trail then
+          simplify_db t
+      end;
+      if not t.ok then result := Some Unsat
+      else
+        match propagate t with
+        | Some confl -> (
+            match handle_conflict t confl with
+            | None -> result := Some Unsat
+            | Some _ ->
+                if t.cfg.reduce_db_enabled && Vec.size t.learnts > learned_cap t then reduce_db t;
+                if over_mem_limit t then begin
+                  if t.cfg.reduce_db_enabled then reduce_db t;
+                  if over_mem_limit t then result := Some Mem_pressure
+                end)
+        | None ->
+            if t.stats.propagations - start_props >= budget then result := Some Budget_exhausted
+            else if
+              t.cfg.restarts_enabled
+              && t.conflicts_since_restart >= t.restart_limit
+              && decision_level t > 0
+            then restart t
+            else if decision_level t = 0 && pending_foreign t > 0 then
+              () (* loop back to merge before deciding *)
+            else if not (decide t) then result := Some (Sat (extract_model t))
+    end
+  done;
+  t.stats.total_seconds <- t.stats.total_seconds +. (Sys.time () -. start);
+  match !result with Some r -> r | None -> assert false
+
+let solve ?(budget = max_int) t = run t ~budget
+
+(* ---------- splitting (paper Figure 2) ---------- *)
+
+let split t =
+  if decision_level t = 0 then None
+  else begin
+    let level1_start = Vec.get t.trail_lim 0 in
+    let level1_end =
+      if Vec.size t.trail_lim > 1 then Vec.get t.trail_lim 1 else Vec.size t.trail
+    in
+    let first_decision = Vec.get t.trail level1_start in
+    let roots_before = root_lits t in
+    let facts = List.filter (fun l -> not t.tainted.(T.var l)) roots_before in
+    let path = List.filter (fun l -> t.tainted.(T.var l)) roots_before in
+    let level1 = ref [] in
+    for i = level1_end - 1 downto level1_start do
+      level1 := Vec.get t.trail i :: !level1
+    done;
+    backtrack t 0;
+    (* commit this side of the branch: the whole first decision level moves
+       into the root as (tainted) guiding-path assumptions *)
+    List.iter
+      (fun l ->
+        match value_of_lit t l with
+        | T.Unknown -> enqueue ~taint:true t l None
+        | T.True -> ()
+        | T.False -> t.ok <- false)
+      !level1;
+    Some (facts, path @ [ T.negate first_decision ])
+  end
+
+(* ---------- transfer helpers ---------- *)
+
+let visible_clause t c =
+  if c.deleted then None
+  else if Array.exists (fun l -> lit_true t l && t.levels.(T.var l) = 0) c.lits
+  then None
+  else
+    Some
+      (Array.of_list
+         (List.filter
+            (fun l ->
+              not (lit_false t l && t.levels.(T.var l) = 0 && not t.tainted.(T.var l)))
+            (Array.to_list c.lits)))
+
+let active_clauses t =
+  let collect acc vec =
+    Vec.fold
+      (fun acc c -> match visible_clause t c with Some lits -> lits :: acc | None -> acc)
+      acc vec
+  in
+  List.rev (collect (collect [] t.clauses) t.learnts)
+
+let transfer_bytes t =
+  let roots = List.length (root_lits t) in
+  db_bytes t + (8 * roots) + 64
+
+(* ---------- manual driving (Figure 1 replay) ---------- *)
+
+let decide_manual t l =
+  if t.qhead <> Vec.size t.trail then
+    invalid_arg "Solver.decide_manual: propagation pending";
+  if not (lit_unknown t l) then invalid_arg "Solver.decide_manual: variable assigned";
+  Vec.push t.trail_lim (Vec.size t.trail);
+  enqueue t l None;
+  t.stats.decisions <- t.stats.decisions + 1
+
+let propagate_manual t =
+  match propagate t with
+  | None -> `Ok
+  | Some confl ->
+      let conflicting_clause = Array.copy confl.lits in
+      let conflicting_var = T.var confl.lits.(0) in
+      let implication_graph = capture_graph t in
+      if decision_level t = 0 then begin
+        t.ok <- false;
+        `Conflict
+          {
+            conflicting_clause;
+            conflicting_var;
+            implication_graph;
+            learned = [||];
+            uip_var = 0;
+            backjump_level = 0;
+          }
+      end
+      else begin
+        t.stats.conflicts <- t.stats.conflicts + 1;
+        let lits, blevel = analyze t confl in
+        backtrack t blevel;
+        record_learned t lits;
+        `Conflict
+          {
+            conflicting_clause;
+            conflicting_var;
+            implication_graph;
+            learned = Array.copy lits;
+            uip_var = T.var lits.(0);
+            backjump_level = blevel;
+          }
+      end

@@ -1,0 +1,49 @@
+type lit = int
+
+type value = True | False | Unknown
+
+let pos v = v * 2
+
+let neg v = (v * 2) + 1
+
+let lit_of_int i =
+  if i = 0 then invalid_arg "Types.lit_of_int: zero"
+  else if i > 0 then pos i
+  else neg (-i)
+
+let to_int l =
+  let v = l lsr 1 in
+  if l land 1 = 0 then v else -v
+
+let var l = l lsr 1
+
+let is_pos l = l land 1 = 0
+
+let negate l = l lxor 1
+
+let lit_value v l =
+  match v with
+  | Unknown -> Unknown
+  | True -> if is_pos l then True else False
+  | False -> if is_pos l then False else True
+
+let value_not = function
+  | True -> False
+  | False -> True
+  | Unknown -> Unknown
+
+let pp_lit ppf l = Format.fprintf ppf "%d" (to_int l)
+
+let pp_value ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Unknown -> Format.pp_print_string ppf "unknown"
+
+let pp_clause ppf lits =
+  Format.pp_print_char ppf '(';
+  Array.iteri
+    (fun i l ->
+      if i > 0 then Format.pp_print_string ppf " | ";
+      pp_lit ppf l)
+    lits;
+  Format.pp_print_char ppf ')'

@@ -1,0 +1,89 @@
+type 'a t = { mutable data : 'a array; mutable sz : int; dummy : 'a }
+
+let create ?(capacity = 16) dummy =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; sz = 0; dummy }
+
+let size t = t.sz
+
+let is_empty t = t.sz = 0
+
+let check t i =
+  if i < 0 || i >= t.sz then invalid_arg "Vec: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i v =
+  check t i;
+  t.data.(i) <- v
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) t.dummy in
+  Array.blit t.data 0 data 0 t.sz;
+  t.data <- data
+
+let push t v =
+  if t.sz = Array.length t.data then grow t;
+  t.data.(t.sz) <- v;
+  t.sz <- t.sz + 1
+
+let pop t =
+  if t.sz = 0 then invalid_arg "Vec.pop: empty";
+  t.sz <- t.sz - 1;
+  let v = t.data.(t.sz) in
+  t.data.(t.sz) <- t.dummy;
+  v
+
+let last t =
+  if t.sz = 0 then invalid_arg "Vec.last: empty";
+  t.data.(t.sz - 1)
+
+let clear t =
+  Array.fill t.data 0 t.sz t.dummy;
+  t.sz <- 0
+
+let shrink t n =
+  if n < 0 || n > t.sz then invalid_arg "Vec.shrink";
+  Array.fill t.data n (t.sz - n) t.dummy;
+  t.sz <- n
+
+let swap_remove t i =
+  check t i;
+  t.data.(i) <- t.data.(t.sz - 1);
+  t.data.(t.sz - 1) <- t.dummy;
+  t.sz <- t.sz - 1
+
+let iter f t =
+  for i = 0 to t.sz - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.sz - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.sz - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.sz && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.sz - 1) []
+
+let of_list dummy xs =
+  let t = create ~capacity:(max 1 (List.length xs)) dummy in
+  List.iter (push t) xs;
+  t
+
+let copy t = { data = Array.copy t.data; sz = t.sz; dummy = t.dummy }

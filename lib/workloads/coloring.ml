@@ -1,0 +1,80 @@
+let coloring_cnf ~nvertices ~colors edges =
+  let var v c = (v * colors) + c + 1 in
+  let at_least = List.init nvertices (fun v -> List.init colors (fun c -> var v c)) in
+  let at_most =
+    List.concat_map
+      (fun v ->
+        List.concat_map
+          (fun c1 ->
+            List.filter_map
+              (fun c2 -> if c2 > c1 then Some [ -var v c1; -var v c2 ] else None)
+              (List.init colors (fun i -> i)))
+          (List.init colors (fun i -> i)))
+      (List.init nvertices (fun v -> v))
+  in
+  let conflicts =
+    List.concat_map
+      (fun (a, b) -> List.init colors (fun c -> [ -var a c; -var b c ]))
+      edges
+  in
+  Sat.Cnf.make ~nvars:(nvertices * colors) (at_least @ at_most @ conflicts)
+
+let grid ~rows ~cols ~colors =
+  if rows < 2 || cols < 2 then invalid_arg "Coloring.grid: need at least a 2x2 grid";
+  if colors < 1 then invalid_arg "Coloring.grid: need at least one colour";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges;
+      if r + 1 < rows && c + 1 < cols then begin
+        edges := (id r c, id (r + 1) (c + 1)) :: !edges;
+        edges := (id r (c + 1), id (r + 1) c) :: !edges
+      end
+    done
+  done;
+  coloring_cnf ~nvertices:(rows * cols) ~colors !edges
+
+let cycle ~n ~colors =
+  if n < 3 then invalid_arg "Coloring.cycle: need at least 3 vertices";
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  coloring_cnf ~nvertices:n ~colors edges
+
+(* Mycielski construction: from G with vertices 0..n-1, build G' with
+   vertices 0..n-1 (original), n..2n-1 (shadows), 2n (apex).  Shadow i is
+   adjacent to the neighbours of i; the apex is adjacent to all shadows. *)
+let mycielski_step (n, edges) =
+  let shadow i = n + i in
+  let apex = 2 * n in
+  let shadow_edges =
+    List.concat_map (fun (a, b) -> [ (shadow a, b); (a, shadow b) ]) edges
+  in
+  let apex_edges = List.init n (fun i -> (shadow i, apex)) in
+  ((2 * n) + 1, edges @ shadow_edges @ apex_edges)
+
+let mycielski ~levels ~colors =
+  if levels < 2 then invalid_arg "Coloring.mycielski: levels must be >= 2";
+  if colors < 1 then invalid_arg "Coloring.mycielski: need at least one colour";
+  let rec build k g = if k = 0 then g else build (k - 1) (mycielski_step g) in
+  let nvertices, edges = build (levels - 2) (2, [ (0, 1) ]) in
+  coloring_cnf ~nvertices ~colors edges
+
+let random_graph ~n ~avg_degree ~colors ~seed =
+  if n < 2 then invalid_arg "Coloring.random_graph: need at least 2 vertices";
+  let st = Random.State.make [| seed; n; colors |] in
+  let nedges = int_of_float (avg_degree *. float_of_int n /. 2.) in
+  let seen = Hashtbl.create (2 * nedges) in
+  let rec draw acc k =
+    if k = 0 then acc
+    else begin
+      let a = Random.State.int st n and b = Random.State.int st n in
+      let key = (min a b, max a b) in
+      if a = b || Hashtbl.mem seen key then draw acc k
+      else begin
+        Hashtbl.replace seen key ();
+        draw (key :: acc) (k - 1)
+      end
+    end
+  in
+  coloring_cnf ~nvertices:n ~colors (draw [] nedges)

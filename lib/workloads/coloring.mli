@@ -1,0 +1,22 @@
+(** Graph-colouring instances (grid_* analog).
+
+    [grid ~rows ~cols ~colors] asks for a proper [colors]-colouring of the
+    [rows x cols] grid graph {e with both diagonals in every cell} (a king
+    graph minus wrap-around), whose chromatic number is 4 — so 3 colours
+    is unsatisfiable and 4 is satisfiable.  [cycle ~n ~colors] colours an
+    odd cycle (2 colours unsatisfiable). *)
+
+val grid : rows:int -> cols:int -> colors:int -> Sat.Cnf.t
+
+val cycle : n:int -> colors:int -> Sat.Cnf.t
+
+val mycielski : levels:int -> colors:int -> Sat.Cnf.t
+(** Colour the Mycielski graph M_k ([levels = k], starting from a single
+    edge M_2 = K2).  M_k is triangle-free for k >= 3 yet has chromatic
+    number exactly [levels], so [colors = levels - 1] is unsatisfiable
+    with no small witness — the hard UNSAT colouring family. *)
+
+val random_graph : n:int -> avg_degree:float -> colors:int -> seed:int -> Sat.Cnf.t
+(** k-colouring of an Erdos-Renyi graph near the colourability threshold;
+    status depends on the draw (fixed by [seed]) and is verified during
+    benchmark calibration. *)

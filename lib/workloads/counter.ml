@@ -1,0 +1,92 @@
+let reachable ~bits ~steps = steps mod (1 lsl bits)
+
+let instance ~bits ~steps ~target =
+  if bits < 1 || bits > 20 then invalid_arg "Counter.instance: bits out of range";
+  if steps < 0 then invalid_arg "Counter.instance: negative steps";
+  let c = Circuit.create () in
+  (* state bits are free inputs per step; the transition relation is
+     asserted between consecutive steps — the standard BMC unrolling *)
+  let state = Array.init (steps + 1) (fun _ -> List.init bits (fun _ -> Circuit.input c)) in
+  Circuit.assert_equal_const c state.(0) 0;
+  let increment bits_in =
+    let rec loop carry = function
+      | [] -> []
+      | b :: rest -> Circuit.sxor c b carry :: loop (Circuit.sand c b carry) rest
+    in
+    loop Circuit.tru bits_in
+  in
+  for step = 0 to steps - 1 do
+    let next = increment state.(step) in
+    List.iter2
+      (fun actual expected -> Circuit.assert_sig c (Circuit.eq c actual expected))
+      state.(step + 1) next
+  done;
+  Circuit.assert_equal_const c state.(steps) target;
+  Circuit.to_cnf c
+
+(* Taps chosen per width for a long (not necessarily maximal) period;
+   correctness only needs the LFSR to be a bijection on states, which a
+   Fibonacci LFSR always is. *)
+let taps_for bits = [ 0; (bits / 2) - 1; bits - 2; bits - 1 ] |> List.sort_uniq compare
+
+let lfsr ~bits ~steps ~target =
+  if bits < 4 || bits > 60 then invalid_arg "Counter.lfsr: bits out of range";
+  if steps < 1 then invalid_arg "Counter.lfsr: need at least one step";
+  if target <= 0 || target lsr bits <> 0 then invalid_arg "Counter.lfsr: bad target";
+  let c = Circuit.create () in
+  let taps = taps_for bits in
+  let state = ref (List.init bits (fun _ -> Circuit.input c)) in
+  for _ = 1 to steps do
+    let s = !state in
+    let feedback = Circuit.big_xor c (List.filteri (fun i _ -> List.mem i taps) s) in
+    (* shift right: new bit enters at the top *)
+    state := List.tl s @ [ feedback ]
+  done;
+  Circuit.assert_equal_const c !state target;
+  Circuit.to_cnf c
+
+(* Rotate-left of an LSB-first signal list. *)
+let rotl k bits =
+  let n = List.length bits in
+  let k = k mod n in
+  List.init n (fun i -> List.nth bits ((i - k + n) mod n))
+
+let rotl_int ~bits k x =
+  let mask = (1 lsl bits) - 1 in
+  ((x lsl k) lor (x lsr (bits - k))) land mask
+
+let mixer_round_const ~bits ~seed r =
+  Hashtbl.hash (seed, r, 0x2545F491) land ((1 lsl bits) - 1)
+
+let mixer_step_int ~bits ~seed r x =
+  let ( ^^ ) = ( lxor ) in
+  rotl_int ~bits 1 x land rotl_int ~bits 8 x
+  ^^ rotl_int ~bits 2 x ^^ x ^^ mixer_round_const ~bits ~seed r
+
+let mixer_preimage ~bits ~rounds ~seed =
+  if bits < 10 || bits > 60 then invalid_arg "Counter.mixer_preimage: bits out of range";
+  if rounds < 1 then invalid_arg "Counter.mixer_preimage: need at least one round";
+  (* plant a concrete input and compute the reachable target *)
+  let st = Random.State.make [| seed; bits; rounds |] in
+  let mask = (1 lsl bits) - 1 in
+  let planted = (Random.State.bits st lor (Random.State.bits st lsl 30)) land mask in
+  let target = ref planted in
+  for r = 0 to rounds - 1 do
+    target := mixer_step_int ~bits ~seed r !target
+  done;
+  (* the same function as a circuit over a free input *)
+  let c = Circuit.create () in
+  let state = ref (List.init bits (fun _ -> Circuit.input c)) in
+  for r = 0 to rounds - 1 do
+    let s = !state in
+    let anded = List.map2 (Circuit.sand c) (rotl 1 s) (rotl 8 s) in
+    let xored = List.map2 (Circuit.sxor c) anded (rotl 2 s) in
+    let xored = List.map2 (Circuit.sxor c) xored s in
+    let konst = mixer_round_const ~bits ~seed r in
+    state :=
+      List.mapi
+        (fun i b -> if konst land (1 lsl i) <> 0 then Circuit.snot b else b)
+        xored
+  done;
+  Circuit.assert_equal_const c !state !target;
+  Circuit.to_cnf c

@@ -1,0 +1,30 @@
+(** Bounded-model-checking of a hardware counter (cnt09/cnt10 analog).
+
+    An [n]-bit register starts at zero and increments each cycle.  The
+    instance asserts that after [steps] cycles the register equals
+    [target] — satisfiable iff [target = steps mod 2^n].  The unrolled
+    transition relation gives the long implication chains typical of BMC
+    instances. *)
+
+val instance : bits:int -> steps:int -> target:int -> Sat.Cnf.t
+
+val reachable : bits:int -> steps:int -> int
+(** The value actually reached: [steps mod 2^bits]. *)
+
+val lfsr : bits:int -> steps:int -> target:int -> Sat.Cnf.t
+(** Inversion of a Fibonacci LFSR: the initial state is free, the circuit
+    is unrolled [steps] times, and the final state must equal [target].
+    Satisfiable for any nonzero [target].  NOTE: shift registers are
+    backward-deterministic, so plain unit propagation inverts them; this
+    family is kept as an {e easy} structured workload and as a circuit
+    regression test.  Use {!mixer_preimage} for the hard variant. *)
+
+val mixer_preimage : bits:int -> rounds:int -> seed:int -> Sat.Cnf.t
+(** Preimage of a SIMON-like mixing function: each round computes
+    [s' = (s <<< 1 & s <<< 8) ^ (s <<< 2) ^ s ^ round_constant].  A random
+    [bits]-wide input is drawn from [seed], the mixer is evaluated
+    concretely to obtain the target, and the instance asks for {e any}
+    input reaching that target — satisfiable by construction (the planted
+    input), and hard because the AND gates stop backward propagation.
+    This is the sequential-circuit/inversion analog (cache_05, cnt*,
+    sha1). *)

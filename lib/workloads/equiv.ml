@@ -1,0 +1,57 @@
+module C = Circuit
+
+(* Carry-select adder: compute the high half for both carry hypotheses and
+   pick with the actual carry out of the low half. *)
+let carry_select c a b =
+  let n = List.length a in
+  let half = n / 2 in
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  let drop k l = List.filteri (fun i _ -> i >= k) l in
+  let add_with_cin cin xs ys =
+    let rec loop carry xs ys acc =
+      match (xs, ys) with
+      | [], [] -> (List.rev acc, carry)
+      | x :: xs', y :: ys' ->
+          let s, carry' = C.full_adder c x y carry in
+          loop carry' xs' ys' (s :: acc)
+      | _ -> assert false
+    in
+    loop cin xs ys []
+  in
+  let lo_sum, lo_carry = add_with_cin C.fls (take half a) (take half b) in
+  let hi0, c0 = add_with_cin C.fls (drop half a) (drop half b) in
+  let hi1, c1 = add_with_cin C.tru (drop half a) (drop half b) in
+  let hi = List.map2 (fun s0 s1 -> C.mux c ~sel:lo_carry s0 s1) hi0 hi1 in
+  let carry_out = C.mux c ~sel:lo_carry c0 c1 in
+  lo_sum @ hi @ [ carry_out ]
+
+let adder_mitre ~bits ~bug =
+  if bits < 2 then invalid_arg "Equiv.adder_mitre: need at least 2 bits";
+  let c = C.create () in
+  let a = List.init bits (fun _ -> C.input c) in
+  let b = List.init bits (fun _ -> C.input c) in
+  let reference = C.ripple_add c a b in
+  let implementation = carry_select c a b in
+  let implementation =
+    if bug then
+      (* invert one mid-range sum bit of the implementation *)
+      List.mapi (fun i s -> if i = bits / 2 then C.snot s else s) implementation
+    else implementation
+  in
+  let diffs = List.map2 (fun x y -> C.sxor c x y) reference implementation in
+  C.assert_sig c (C.big_or c diffs);
+  C.to_cnf c
+
+let multiplier_mitre ~bits ~bug =
+  if bits < 2 then invalid_arg "Equiv.multiplier_mitre: need at least 2 bits";
+  let c = C.create () in
+  let a = List.init bits (fun _ -> C.input c) in
+  let b = List.init bits (fun _ -> C.input c) in
+  let ab = C.multiplier c a b in
+  let ba = C.multiplier c b a in
+  let ba =
+    if bug then List.mapi (fun i s -> if i = bits then C.snot s else s) ba else ba
+  in
+  let diffs = List.map2 (fun x y -> C.sxor c x y) ab ba in
+  C.assert_sig c (C.big_or c diffs);
+  C.to_cnf c

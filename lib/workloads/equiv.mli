@@ -1,0 +1,19 @@
+(** Circuit-equivalence checking instances (the 6pipe/7pipe verification
+    analog).
+
+    Two adder implementations — a ripple-carry adder and a
+    carry-lookahead-style two-block adder — are compared with a mitre:
+    the instance is satisfiable iff some input makes their outputs
+    differ.  Without an injected bug the designs are equivalent (UNSAT,
+    the hard verification case, like 6pipe/7pipe); [bug:true] flips one
+    gate so a distinguishing input exists (SAT, like 7pipe_bug). *)
+
+val adder_mitre : bits:int -> bug:bool -> Sat.Cnf.t
+
+val multiplier_mitre : bits:int -> bug:bool -> Sat.Cnf.t
+(** The hard verification instance: a mitre asserting
+    [a * b <> b * a] over two [bits x bits] array multipliers.  Equivalent
+    (UNSAT) unless [bug] flips a gate; multiplier equivalence is the
+    classic CDCL-hostile structure, scaling very steeply with [bits] —
+    the analog of the 6pipe/7pipe/comb microprocessor-verification
+    rows. *)

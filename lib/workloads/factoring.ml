@@ -1,0 +1,60 @@
+let instance ~abits ~bbits ~product =
+  if abits < 2 || bbits < 2 then invalid_arg "Factoring.instance: factors need >= 2 bits";
+  if product < 0 then invalid_arg "Factoring.instance: negative product";
+  let c = Circuit.create () in
+  let a = List.init abits (fun _ -> Circuit.input c) in
+  let b = List.init bbits (fun _ -> Circuit.input c) in
+  let prod = Circuit.multiplier c a b in
+  Circuit.assert_equal_const c prod product;
+  (* both factors > 1: some bit above bit 0 must be set *)
+  let nontrivial bits =
+    match bits with
+    | _ :: high -> Circuit.assert_sig c (Circuit.big_or c high)
+    | [] -> ()
+  in
+  nontrivial a;
+  nontrivial b;
+  Circuit.to_cnf c
+
+let is_prime n =
+  if n < 2 then false
+  else begin
+    let rec loop d = d * d > n || (n mod d <> 0 && loop (d + 1)) in
+    loop 2
+  end
+
+(* Deterministic prime pick: walk upward from a seeded start point. *)
+let nth_prime_in ~bits ~index =
+  let lo = 1 lsl (bits - 1) and hi = (1 lsl bits) - 1 in
+  let span = hi - lo + 1 in
+  let start = lo + (Hashtbl.hash (bits, index, 0x9e37) mod span) in
+  let rec walk candidate remaining =
+    if remaining = 0 then invalid_arg "Factoring: no prime of that size"
+    else begin
+      let candidate = if candidate > hi then lo else candidate in
+      if is_prime candidate then candidate else walk (candidate + 1) (remaining - 1)
+    end
+  in
+  walk start (span + 1)
+
+let semiprime ~bits ~seed =
+  let p = nth_prime_in ~bits ~index:seed in
+  let q = nth_prime_in ~bits ~index:(seed + 3) in
+  p * q
+
+let decode_factors ~abits ~bbits model =
+  let bit v = if Sat.Model.value model v then 1 else 0 in
+  let decode offset nbits =
+    let rec loop i acc = if i < 0 then acc else loop (i - 1) ((acc lsl 1) lor bit (offset + i + 1)) in
+    loop (nbits - 1) 0
+  in
+  (decode 0 abits, decode abits bbits)
+
+let prime ~bits ~seed =
+  (* a prime needing the full 2*bits width: no bits x bits factorisation
+     with both factors > 1 can exist *)
+  let rec find i =
+    let candidate = nth_prime_in ~bits:(2 * bits) ~index:(seed + i) in
+    if candidate > (1 lsl bits) - 1 then candidate else find (i + 1)
+  in
+  find 0

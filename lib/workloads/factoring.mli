@@ -1,0 +1,22 @@
+(** Integer-factoring circuit instances (ezfact / pyhala-braun analog).
+
+    An [abits x bbits] array multiplier is constrained to produce a given
+    product, with both factors required to be non-trivial (> 1).  The
+    instance is satisfiable iff the target has a factorisation of the
+    requested shape — so a (semi)prime target of the right size gives SAT
+    and a prime target gives UNSAT. *)
+
+val instance : abits:int -> bbits:int -> product:int -> Sat.Cnf.t
+
+val semiprime : bits:int -> seed:int -> int
+(** A product of two primes that each fit in [bits] bits (both > 1),
+    chosen deterministically from [seed]. *)
+
+val prime : bits:int -> seed:int -> int
+(** A prime that fits in [2 * bits] bits but exceeds what any single
+    [bits]-bit factor pair could produce trivially; factoring it with
+    [bits x bits] factors is unsatisfiable. *)
+
+val decode_factors : abits:int -> bbits:int -> Sat.Model.t -> int * int
+(** Reads the two factors out of a satisfying assignment of {!instance}
+    (the factor inputs are the first [abits + bbits] variables). *)

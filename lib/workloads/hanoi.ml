@@ -1,0 +1,101 @@
+let optimal_steps disks = (1 lsl disks) - 1
+
+(* Disks are numbered 0 (smallest) to disks-1 (largest); pegs 0..2.
+   All disks start on peg 0 and must reach peg 2 after [steps] moves,
+   with at most one move per step (idle steps allowed). *)
+let instance ~disks ~steps =
+  if disks < 1 || disks > 10 then invalid_arg "Hanoi.instance: disks out of range";
+  if steps < 0 then invalid_arg "Hanoi.instance: negative steps";
+  let pegs = 3 in
+  let on d p t = (((d * pegs) + p) * (steps + 1)) + t + 1 in
+  let non_base = disks * pegs * (steps + 1) in
+  let mv d p q t = non_base + ((((((d * pegs) + p) * pegs) + q) * steps) + t) + 1 in
+  let nvars = non_base + (disks * pegs * pegs * steps) in
+  let clauses = ref [] in
+  let add c = clauses := c :: !clauses in
+  let drange = List.init disks (fun i -> i)
+  and prange = List.init pegs (fun i -> i)
+  and trange = List.init steps (fun i -> i) in
+  (* degenerate move variables (p = q) are forbidden outright *)
+  List.iter
+    (fun d -> List.iter (fun p -> List.iter (fun t -> add [ -mv d p p t ]) trange) prange)
+    drange;
+  (* each disk sits on exactly one peg at every time *)
+  List.iter
+    (fun d ->
+      List.iter
+        (fun t ->
+          add (List.map (fun p -> on d p t) prange);
+          List.iter
+            (fun p1 ->
+              List.iter
+                (fun p2 -> if p2 > p1 then add [ -on d p1 t; -on d p2 t ])
+                prange)
+            prange)
+        (List.init (steps + 1) (fun i -> i)))
+    drange;
+  (* initial and goal states *)
+  List.iter
+    (fun d ->
+      add [ on d 0 0 ];
+      add [ on d 2 steps ])
+    drange;
+  (* at most one move per step *)
+  let moves_at t =
+    List.concat_map
+      (fun d ->
+        List.concat_map
+          (fun p -> List.filter_map (fun q -> if p <> q then Some (mv d p q t) else None) prange)
+          prange)
+      drange
+  in
+  List.iter
+    (fun t ->
+      let ms = moves_at t in
+      List.iteri
+        (fun i m1 ->
+          List.iteri (fun j m2 -> if j > i then add [ -m1; -m2 ]) ms)
+        ms)
+    trange;
+  (* preconditions and effects *)
+  List.iter
+    (fun t ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun p ->
+              List.iter
+                (fun q ->
+                  if p <> q then begin
+                    let m = mv d p q t in
+                    add [ -m; on d p t ] (* disk is where it moves from *);
+                    add [ -m; on d q (t + 1) ] (* and lands where it moves to *);
+                    (* no smaller disk on the source (d must be the top)
+                       nor on the destination (no stacking on smaller) *)
+                    List.iter
+                      (fun d' ->
+                        if d' < d then begin
+                          add [ -m; -on d' p t ];
+                          add [ -m; -on d' q t ]
+                        end)
+                      drange
+                  end)
+                prange)
+            prange)
+        drange)
+    trange;
+  (* frame axioms: a disk stays put unless one of its moves fires *)
+  List.iter
+    (fun t ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun p ->
+              let departures =
+                List.filter_map (fun q -> if q <> p then Some (mv d p q t) else None) prange
+              in
+              add ((-on d p t :: departures) @ [ on d p (t + 1) ]))
+            prange)
+        drange)
+    trange;
+  Sat.Cnf.make ~nvars (List.rev !clauses)

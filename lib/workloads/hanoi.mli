@@ -1,0 +1,12 @@
+(** Towers-of-Hanoi planning instances (hanoi5/hanoi6 analog).
+
+    SAT planning encoding: state variables give the peg of every disk at
+    every time step, action variables pick the move; frame axioms and
+    legality constraints complete the encoding.  The instance is
+    satisfiable iff the puzzle is solvable within [steps] moves, i.e. iff
+    [steps >= 2^disks - 1]. *)
+
+val instance : disks:int -> steps:int -> Sat.Cnf.t
+
+val optimal_steps : int -> int
+(** [2^disks - 1]. *)

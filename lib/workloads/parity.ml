@@ -1,0 +1,23 @@
+let instance ~nbits ~nsamples ~subset ~corrupted ~seed =
+  if subset < 1 || subset > nbits then invalid_arg "Parity.instance: bad subset size";
+  if corrupted < 0 || corrupted > nsamples then invalid_arg "Parity.instance: bad corruption";
+  let st = Random.State.make [| seed; nbits; nsamples; subset |] in
+  let hidden = Array.init (nbits + 1) (fun _ -> Random.State.bool st) in
+  let sample () =
+    let rec pick acc n =
+      if n = 0 then acc
+      else
+        let v = 1 + Random.State.int st nbits in
+        if List.mem v acc then pick acc n else pick (v :: acc) (n - 1)
+    in
+    let vars = pick [] subset in
+    let parity = List.fold_left (fun acc v -> if hidden.(v) then not acc else acc) false vars in
+    (vars, parity)
+  in
+  let samples = List.init nsamples (fun _ -> sample ()) in
+  let samples =
+    List.mapi (fun i (vars, parity) -> if i < corrupted then (vars, not parity) else (vars, parity))
+      samples
+  in
+  let clauses = List.concat_map (fun (vars, parity) -> Tseitin.xor_clauses vars parity) samples in
+  Sat.Cnf.make ~nvars:nbits clauses

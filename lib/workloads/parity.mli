@@ -1,0 +1,13 @@
+(** Parity-learning instances (the par8/par16/par32 family analog).
+
+    A hidden bit vector is sampled; each sample XORs a random subset of
+    its bits, and a fraction of the reported parities is corrupted.  The
+    instance asks for an assignment consistent with {e all} reports —
+    satisfiable when nothing is corrupted, and hard for CDCL solvers well
+    before the sizes that stumped them in 2002 (par32 was only solved by
+    GridSAT). *)
+
+val instance :
+  nbits:int -> nsamples:int -> subset:int -> corrupted:int -> seed:int -> Sat.Cnf.t
+(** [corrupted = 0] gives a satisfiable (planted) instance; corrupting
+    samples usually makes it unsatisfiable (and always leaves it hard). *)

@@ -1,0 +1,20 @@
+let variable ~holes p h = ((p - 1) * holes) + h
+
+let instance ~pigeons ~holes =
+  if pigeons < 1 || holes < 1 then invalid_arg "Php.instance: need at least one of each";
+  let v = variable ~holes in
+  let at_least =
+    List.init pigeons (fun p -> List.init holes (fun h -> v (p + 1) (h + 1)))
+  in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 -> if p2 > p1 then Some [ -v p1 h; -v p2 h ] else None)
+              (List.init pigeons (fun i -> i + 1)))
+          (List.init pigeons (fun i -> i + 1)))
+      (List.init holes (fun i -> i + 1))
+  in
+  Sat.Cnf.make ~nvars:(pigeons * holes) (at_least @ at_most)

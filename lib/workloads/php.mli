@@ -1,0 +1,12 @@
+(** Pigeonhole instances.
+
+    [instance ~pigeons ~holes] asks whether [pigeons] pigeons fit into
+    [holes] holes, one per hole.  Unsatisfiable iff [pigeons > holes], and
+    famously exponential for resolution-based solvers — the stand-in for
+    the "hand-made" hard UNSAT families of the SAT2002 suite. *)
+
+val instance : pigeons:int -> holes:int -> Sat.Cnf.t
+
+val variable : holes:int -> int -> int -> int
+(** [variable ~holes p h] is the DIMACS variable meaning "pigeon [p] sits
+    in hole [h]" (1-based). *)

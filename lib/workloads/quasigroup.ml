@@ -1,0 +1,40 @@
+let instance ~n ~idempotent ~symmetric =
+  if n < 2 then invalid_arg "Quasigroup.instance: order must be >= 2";
+  (* var r c v <=> cell (r,c) holds value v  (all 0-based here) *)
+  let var r c v = (((r * n) + c) * n) + v + 1 in
+  let range = List.init n (fun i -> i) in
+  let pairs =
+    List.concat_map
+      (fun a -> List.filter_map (fun b -> if b > a then Some (a, b) else None) range)
+      range
+  in
+  let clauses = ref [] in
+  let add c = clauses := c :: !clauses in
+  (* every cell holds at least one value, and at most one *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun c ->
+          add (List.map (fun v -> var r c v) range);
+          List.iter (fun (v1, v2) -> add [ -var r c v1; -var r c v2 ]) pairs)
+        range)
+    range;
+  (* each value appears at most once per row and per column (with the
+     at-least constraint this makes every line a permutation) *)
+  List.iter
+    (fun v ->
+      List.iter
+        (fun line ->
+          List.iter
+            (fun (a, b) ->
+              add [ -var line a v; -var line b v ] (* row *);
+              add [ -var a line v; -var b line v ] (* column *))
+            pairs)
+        range)
+    range;
+  if idempotent then List.iter (fun i -> add [ var i i i ]) range;
+  if symmetric then
+    List.iter
+      (fun (r, c) -> List.iter (fun v -> add [ -var r c v; var c r v ]) range)
+      pairs;
+  Sat.Cnf.make ~nvars:(n * n * n) (List.rev !clauses)

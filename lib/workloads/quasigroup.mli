@@ -1,0 +1,10 @@
+(** Quasigroup (Latin square) existence instances (qg* analog).
+
+    A quasigroup of order [n] is an [n x n] Latin square.  Optional
+    axioms: idempotency (a*a = a) and commutativity (a*b = b*a).  An
+    idempotent {e commutative} quasigroup exists iff [n] is odd, so
+    requesting both axioms at an even order yields a genuinely hard
+    unsatisfiable instance, while odd orders (or fewer axioms) are
+    satisfiable. *)
+
+val instance : n:int -> idempotent:bool -> symmetric:bool -> Sat.Cnf.t

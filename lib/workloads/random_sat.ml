@@ -1,0 +1,29 @@
+let draw_clause st ~k ~nvars =
+  let rec pick acc n =
+    if n = 0 then acc
+    else
+      let v = 1 + Random.State.int st nvars in
+      if List.exists (fun (v', _) -> v' = v) acc then pick acc n
+      else pick ((v, Random.State.bool st) :: acc) (n - 1)
+  in
+  List.map (fun (v, sign) -> if sign then v else -v) (pick [] k)
+
+let instance ?(k = 3) ~nvars ~ratio ~seed () =
+  if k < 1 || k > nvars then invalid_arg "Random_sat.instance: bad clause width";
+  let st = Random.State.make [| seed; nvars; k |] in
+  let nclauses = int_of_float (Float.round (ratio *. float_of_int nvars)) in
+  Sat.Cnf.make ~nvars (List.init nclauses (fun _ -> draw_clause st ~k ~nvars))
+
+let planted ?(k = 3) ~nvars ~ratio ~seed () =
+  if k < 1 || k > nvars then invalid_arg "Random_sat.planted: bad clause width";
+  let st = Random.State.make [| seed; nvars; k; 1 |] in
+  let hidden = Array.init (nvars + 1) (fun _ -> Random.State.bool st) in
+  let satisfied_by_hidden clause =
+    List.exists (fun l -> if l > 0 then hidden.(l) else not hidden.(-l)) clause
+  in
+  let rec draw () =
+    let c = draw_clause st ~k ~nvars in
+    if satisfied_by_hidden c then c else draw ()
+  in
+  let nclauses = int_of_float (Float.round (ratio *. float_of_int nvars)) in
+  Sat.Cnf.make ~nvars (List.init nclauses (fun _ -> draw ()))

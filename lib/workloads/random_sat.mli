@@ -1,0 +1,15 @@
+(** Uniform random k-SAT.
+
+    Stand-in for the competition's random category (and the rand_net*
+    instances).  At clause/variable ratio ~4.26 random 3-SAT sits at the
+    phase transition where instances are hardest; below it they are almost
+    surely satisfiable, above it almost surely not. *)
+
+val instance : ?k:int -> nvars:int -> ratio:float -> seed:int -> unit -> Sat.Cnf.t
+(** [instance ~nvars ~ratio ~seed ()] draws [round (ratio * nvars)]
+    clauses of [k] (default 3) distinct literals each, deterministically
+    from [seed]. *)
+
+val planted : ?k:int -> nvars:int -> ratio:float -> seed:int -> unit -> Sat.Cnf.t
+(** Like {!instance} but every clause is made to agree with a hidden
+    assignment, so the result is guaranteed satisfiable (at any ratio). *)

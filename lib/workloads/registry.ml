@@ -1,0 +1,188 @@
+type status = Sat | Unsat | Open
+
+type paper_time = Seconds of float | Timeout | Memout | Hours_bh
+
+type category = Both_solved | Gridsat_only | Neither_solved
+
+type entry = {
+  name : string;
+  family : string;
+  status : status;
+  category : category;
+  paper_zchaff : paper_time;
+  paper_gridsat : paper_time;
+  paper_max_clients : int option;
+  gen : unit -> Sat.Cnf.t;
+}
+
+(* Generator parameters are calibrated (see EXPERIMENTS.md) so that at the
+   benchmark's virtual-time scale each row lands in the paper's band: easy
+   rows stay easy, long rows are long, MEM_OUT rows exhaust the baseline
+   host's scaled memory before its time budget, and "neither" rows defeat
+   both solvers.  Everything is seeded, so the mapping is deterministic. *)
+
+let par4 ~n ~m ~seed () = Parity.instance ~nbits:n ~nsamples:m ~subset:4 ~corrupted:0 ~seed
+
+let rnd_unsat ~n ~seed () = Random_sat.instance ~nvars:n ~ratio:5.0 ~seed ()
+
+let entry ~name ~family ~status ~category ~zchaff ~gridsat ?clients gen =
+  {
+    name;
+    family;
+    status;
+    category;
+    paper_zchaff = zchaff;
+    paper_gridsat = gridsat;
+    paper_max_clients = clients;
+    gen;
+  }
+
+let table1 =
+  [
+    (* ---- problems solved by both zChaff and GridSAT ---- *)
+    entry ~name:"6pipe.cnf" ~family:"circuit-equivalence" ~status:Unsat ~category:Both_solved
+      ~zchaff:(Seconds 6322.) ~gridsat:(Seconds 4877.) ~clients:34 (fun () ->
+        Equiv.multiplier_mitre ~bits:6 ~bug:false);
+    entry ~name:"avg-checker-5-34.cnf" ~family:"random-unsat" ~status:Unsat ~category:Both_solved
+      ~zchaff:(Seconds 1222.) ~gridsat:(Seconds 1107.) ~clients:9 (rnd_unsat ~n:170 ~seed:1);
+    entry ~name:"bart15.cnf" ~family:"mixer-preimage" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 5507.) ~gridsat:(Seconds 673.) ~clients:34 (fun () ->
+        Counter.mixer_preimage ~bits:40 ~rounds:9 ~seed:5);
+    entry ~name:"cache_05.cnf" ~family:"mixer-preimage" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 1730.) ~gridsat:(Seconds 1565.) ~clients:34 (fun () ->
+        Counter.mixer_preimage ~bits:42 ~rounds:9 ~seed:5);
+    entry ~name:"cnt09.cnf" ~family:"mixer-preimage" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 3651.) ~gridsat:(Seconds 1610.) ~clients:12 (fun () ->
+        Counter.mixer_preimage ~bits:38 ~rounds:9 ~seed:5);
+    entry ~name:"dp12s12.cnf" ~family:"parity-planted" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 10587.) ~gridsat:(Seconds 532.) ~clients:8 (par4 ~n:105 ~m:110 ~seed:1);
+    entry ~name:"homer11.cnf" ~family:"pigeonhole" ~status:Unsat ~category:Both_solved
+      ~zchaff:(Seconds 2545.) ~gridsat:(Seconds 1794.) ~clients:10 (fun () ->
+        Php.instance ~pigeons:10 ~holes:9);
+    entry ~name:"homer12.cnf" ~family:"graph-coloring" ~status:Unsat ~category:Both_solved
+      ~zchaff:(Seconds 14250.) ~gridsat:(Seconds 4400.) ~clients:33 (fun () ->
+        Coloring.random_graph ~n:110 ~avg_degree:9.2 ~colors:4 ~seed:1);
+    entry ~name:"ip38.cnf" ~family:"random-unsat" ~status:Unsat ~category:Both_solved
+      ~zchaff:(Seconds 4794.) ~gridsat:(Seconds 1278.) ~clients:11 (rnd_unsat ~n:210 ~seed:1);
+    entry ~name:"rand_net50-60-5.cnf" ~family:"random-unsat" ~status:Unsat ~category:Both_solved
+      ~zchaff:(Seconds 16242.) ~gridsat:(Seconds 1725.) ~clients:20 (rnd_unsat ~n:225 ~seed:1);
+    entry ~name:"vda_gr_rcs_w8.cnf" ~family:"graph-coloring" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 1427.) ~gridsat:(Seconds 681.) ~clients:15 (fun () ->
+        Coloring.random_graph ~n:130 ~avg_degree:11.0 ~colors:5 ~seed:1);
+    entry ~name:"w08_14.cnf" ~family:"parity-planted" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 14449.) ~gridsat:(Seconds 1906.) ~clients:34 (par4 ~n:115 ~m:120 ~seed:1);
+    entry ~name:"w10_75.cnf" ~family:"parity-planted" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 506.) ~gridsat:(Seconds 252.) ~clients:2 (par4 ~n:100 ~m:105 ~seed:2);
+    entry ~name:"Urquhart-s3-b1.cnf" ~family:"tseitin-expander" ~status:Unsat
+      ~category:Both_solved ~zchaff:(Seconds 529.) ~gridsat:(Seconds 526.) ~clients:4 (fun () ->
+        Tseitin.instance ~nvertices:15 ~degree:4 ~charge:`Odd ~seed:1);
+    entry ~name:"ezfact48_5.cnf" ~family:"factoring" ~status:Unsat ~category:Both_solved
+      ~zchaff:(Seconds 127.) ~gridsat:(Seconds 196.) ~clients:1 (fun () ->
+        Factoring.instance ~abits:9 ~bbits:9 ~product:(Factoring.prime ~bits:9 ~seed:1));
+    entry ~name:"glassy-sat-sel_N210_n.cnf" ~family:"random-planted" ~status:Sat
+      ~category:Both_solved ~zchaff:(Seconds 7.) ~gridsat:(Seconds 68.) ~clients:1 (fun () ->
+        Random_sat.planted ~nvars:210 ~ratio:4.2 ~seed:109 ());
+    entry ~name:"grid_10_20.cnf" ~family:"graph-coloring" ~status:Unsat ~category:Both_solved
+      ~zchaff:(Seconds 967.) ~gridsat:(Seconds 3165.) ~clients:12 (fun () ->
+        Coloring.random_graph ~n:80 ~avg_degree:9.2 ~colors:4 ~seed:1);
+    entry ~name:"hanoi5.cnf" ~family:"hanoi-planning" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 2961.) ~gridsat:(Seconds 1852.) ~clients:33 (fun () ->
+        Hanoi.instance ~disks:5 ~steps:(Hanoi.optimal_steps 5 + 4));
+    entry ~name:"hanoi6_fast.cnf" ~family:"hanoi-planning" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 1116.) ~gridsat:(Seconds 831.) ~clients:4 (fun () ->
+        Hanoi.instance ~disks:5 ~steps:(Hanoi.optimal_steps 5 + 2));
+    entry ~name:"lisa20_1_a.cnf" ~family:"random-planted" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 181.) ~gridsat:(Seconds 243.) ~clients:2 (fun () ->
+        Random_sat.planted ~nvars:280 ~ratio:4.2 ~seed:110 ());
+    entry ~name:"lisa21_3_a.cnf" ~family:"parity-planted" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 1792.) ~gridsat:(Seconds 337.) ~clients:4 (par4 ~n:95 ~m:99 ~seed:1);
+    entry ~name:"pyhala-braun-sat-30-4-02.cnf" ~family:"factoring" ~status:Sat
+      ~category:Both_solved ~zchaff:(Seconds 18.) ~gridsat:(Seconds 84.) ~clients:1 (fun () ->
+        Factoring.instance ~abits:8 ~bbits:8 ~product:(Factoring.semiprime ~bits:8 ~seed:2));
+    entry ~name:"qg2-8.cnf" ~family:"quasigroup" ~status:Sat ~category:Both_solved
+      ~zchaff:(Seconds 180.) ~gridsat:(Seconds 224.) ~clients:2 (fun () ->
+        Quasigroup.instance ~n:13 ~idempotent:true ~symmetric:true);
+    (* ---- problems solved by GridSAT only ---- *)
+    entry ~name:"7pipe_bug.cnf" ~family:"mixer-preimage" ~status:Sat ~category:Gridsat_only
+      ~zchaff:Timeout ~gridsat:(Seconds 5058.) ~clients:34 (fun () ->
+        Counter.mixer_preimage ~bits:40 ~rounds:10 ~seed:5);
+    entry ~name:"dp10u09.cnf" ~family:"random-unsat" ~status:Unsat ~category:Gridsat_only
+      ~zchaff:Timeout ~gridsat:(Seconds 2566.) ~clients:26 (rnd_unsat ~n:250 ~seed:1);
+    entry ~name:"rand_net40-60-10.cnf" ~family:"random-unsat" ~status:Unsat
+      ~category:Gridsat_only ~zchaff:Timeout ~gridsat:(Seconds 1690.) ~clients:30
+      (rnd_unsat ~n:250 ~seed:2);
+    entry ~name:"f2clk_40.cnf" ~family:"graph-coloring" ~status:Open ~category:Gridsat_only
+      ~zchaff:Timeout ~gridsat:(Seconds 3304.) ~clients:23 (fun () ->
+        Coloring.random_graph ~n:130 ~avg_degree:9.2 ~colors:4 ~seed:1);
+    entry ~name:"Mat26.cnf" ~family:"tseitin-expander" ~status:Unsat ~category:Gridsat_only
+      ~zchaff:Memout ~gridsat:(Seconds 1886.) ~clients:21 (fun () ->
+        Tseitin.instance ~nvertices:22 ~degree:4 ~charge:`Odd ~seed:1);
+    entry ~name:"7pipe.cnf" ~family:"circuit-equivalence" ~status:Unsat ~category:Gridsat_only
+      ~zchaff:Memout ~gridsat:(Seconds 6673.) ~clients:34 (fun () ->
+        Equiv.multiplier_mitre ~bits:7 ~bug:false);
+    entry ~name:"comb2.cnf" ~family:"tseitin-expander" ~status:Open ~category:Gridsat_only
+      ~zchaff:Memout ~gridsat:(Seconds 9951.) ~clients:34 (fun () ->
+        Tseitin.instance ~nvertices:24 ~degree:4 ~charge:`Odd ~seed:1);
+    entry ~name:"pyhala-braun-unsat-40-4-01.cnf" ~family:"factoring" ~status:Unsat
+      ~category:Gridsat_only ~zchaff:Memout ~gridsat:(Seconds 2425.) ~clients:34 (fun () ->
+        Factoring.instance ~abits:15 ~bbits:15 ~product:(Factoring.prime ~bits:15 ~seed:3));
+    entry ~name:"pyhala-braun-unsat-40-4-02.cnf" ~family:"factoring" ~status:Unsat
+      ~category:Gridsat_only ~zchaff:Memout ~gridsat:(Seconds 2564.) ~clients:34 (fun () ->
+        Factoring.instance ~abits:15 ~bbits:15 ~product:(Factoring.prime ~bits:15 ~seed:7));
+    entry ~name:"w08_15.cnf" ~family:"parity-planted" ~status:Open ~category:Gridsat_only
+      ~zchaff:Memout ~gridsat:(Seconds 3141.) ~clients:34 (par4 ~n:120 ~m:126 ~seed:1);
+    (* ---- problems solved by neither ---- *)
+    entry ~name:"comb1.cnf" ~family:"circuit-equivalence" ~status:Open ~category:Neither_solved
+      ~zchaff:Timeout ~gridsat:Timeout ~clients:34 (fun () ->
+        Equiv.multiplier_mitre ~bits:9 ~bug:false);
+    entry ~name:"par32-1-c.cnf" ~family:"parity-planted" ~status:Sat ~category:Neither_solved
+      ~zchaff:Timeout ~gridsat:Timeout ~clients:34 (par4 ~n:155 ~m:155 ~seed:3);
+    entry ~name:"rand_net70-25-5.cnf" ~family:"random-unsat" ~status:Unsat
+      ~category:Neither_solved ~zchaff:Timeout ~gridsat:Timeout ~clients:34
+      (rnd_unsat ~n:300 ~seed:1);
+    entry ~name:"sha1.cnf" ~family:"random-planted" ~status:Sat ~category:Neither_solved
+      ~zchaff:Timeout ~gridsat:Timeout ~clients:34 (fun () ->
+        Random_sat.planted ~nvars:1500 ~ratio:4.25 ~seed:1 ());
+    entry ~name:"3bitadd_31.cnf" ~family:"random-unsat" ~status:Unsat
+      ~category:Neither_solved ~zchaff:Timeout ~gridsat:Timeout ~clients:34
+      (rnd_unsat ~n:360 ~seed:9);
+    entry ~name:"cnt10.cnf" ~family:"random-planted" ~status:Sat ~category:Neither_solved
+      ~zchaff:Timeout ~gridsat:Timeout ~clients:34 (fun () ->
+        Random_sat.planted ~nvars:1200 ~ratio:4.25 ~seed:1 ());
+    entry ~name:"glassybp-v399-s499089820.cnf" ~family:"parity-planted" ~status:Sat
+      ~category:Neither_solved ~zchaff:Timeout ~gridsat:Timeout ~clients:34
+      (par4 ~n:170 ~m:170 ~seed:1);
+    entry ~name:"hgen3-v300-s1766565160.cnf" ~family:"random-unsat" ~status:Open
+      ~category:Neither_solved ~zchaff:Timeout ~gridsat:Timeout ~clients:34
+      (rnd_unsat ~n:360 ~seed:2);
+    entry ~name:"hanoi6.cnf" ~family:"hanoi-planning" ~status:Sat ~category:Neither_solved
+      ~zchaff:Timeout ~gridsat:Timeout ~clients:34 (fun () ->
+        Hanoi.instance ~disks:7 ~steps:(Hanoi.optimal_steps 7));
+  ]
+
+(* Table 2 reruns the "remaining problems" on the second apparatus; the
+   generators are shared with the Table 1 rows of the same name. *)
+let table2_row name gridsat =
+  match List.find_opt (fun e -> e.name = name) table1 with
+  | Some e -> { e with paper_zchaff = Timeout; paper_gridsat = gridsat }
+  | None -> invalid_arg ("Registry.table2: unknown row " ^ name)
+
+let table2 =
+  [
+    table2_row "comb1.cnf" Timeout;
+    table2_row "par32-1-c.cnf" Hours_bh;
+    table2_row "rand_net70-25-5.cnf" (Seconds 30837.);
+    table2_row "sha1.cnf" Timeout;
+    table2_row "3bitadd_31.cnf" Timeout;
+    table2_row "cnt10.cnf" Timeout;
+    table2_row "glassybp-v399-s499089820.cnf" (Seconds 5472.);
+    table2_row "hgen3-v300-s1766565160.cnf" Timeout;
+    table2_row "hanoi6.cnf" Timeout;
+  ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) table1 with
+  | Some e -> Some e
+  | None -> List.find_opt (fun e -> e.name = name) table2
+
+let families = List.sort_uniq compare (List.map (fun e -> e.family) table1)

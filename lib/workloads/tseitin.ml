@@ -1,0 +1,69 @@
+(* Parity (XOR) constraint over [vars] with right-hand side [b], encoded by
+   forbidding every assignment of the wrong parity: 2^(n-1) clauses. *)
+let xor_clauses vars b =
+  let n = List.length vars in
+  let clauses = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let parity = ref false in
+    List.iteri (fun i _ -> if mask land (1 lsl i) <> 0 then parity := not !parity) vars;
+    (* assignment [mask] (bit=1 means variable true) violates the
+       constraint when its parity differs from [b]; forbid it *)
+    if !parity <> b then begin
+      let clause =
+        List.mapi (fun i v -> if mask land (1 lsl i) <> 0 then -v else v) vars
+      in
+      clauses := clause :: !clauses
+    end
+  done;
+  !clauses
+
+(* Configuration-model d-regular multigraph without self-loops. *)
+let random_regular_graph st ~nvertices ~degree =
+  let stubs = Array.concat (List.init nvertices (fun v -> Array.make degree v)) in
+  let n = Array.length stubs in
+  let shuffle () =
+    for i = n - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let tmp = stubs.(i) in
+      stubs.(i) <- stubs.(j);
+      stubs.(j) <- tmp
+    done
+  in
+  let rec attempt tries =
+    if tries = 0 then invalid_arg "Tseitin: could not build a loop-free regular graph";
+    shuffle ();
+    let edges = ref [] in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let a = stubs.(!i) and b = stubs.(!i + 1) in
+      if a = b then ok := false else edges := (a, b) :: !edges;
+      i := !i + 2
+    done;
+    if !ok then !edges else attempt (tries - 1)
+  in
+  attempt 200
+
+let instance ~nvertices ~degree ~charge ~seed =
+  if degree < 2 then invalid_arg "Tseitin.instance: degree must be >= 2";
+  if nvertices * degree mod 2 <> 0 then
+    invalid_arg "Tseitin.instance: nvertices * degree must be even";
+  let st = Random.State.make [| seed; nvertices; degree |] in
+  let edges = random_regular_graph st ~nvertices ~degree in
+  let nedges = List.length edges in
+  (* edge i -> variable i+1; collect incident edge variables per vertex *)
+  let incident = Array.make nvertices [] in
+  List.iteri
+    (fun i (a, b) ->
+      incident.(a) <- (i + 1) :: incident.(a);
+      incident.(b) <- (i + 1) :: incident.(b))
+    edges;
+  (* random charges with the requested total parity *)
+  let charges = Array.init nvertices (fun _ -> Random.State.bool st) in
+  let total = Array.fold_left (fun acc c -> if c then not acc else acc) false charges in
+  let want_odd = match charge with `Odd -> true | `Even -> false in
+  if total <> want_odd then charges.(0) <- not charges.(0);
+  let clauses =
+    List.concat (List.init nvertices (fun v -> xor_clauses incident.(v) charges.(v)))
+  in
+  Sat.Cnf.make ~nvars:nedges clauses

@@ -1,0 +1,17 @@
+(** Tseitin parity formulas on random regular graphs.
+
+    The analog of the Urquhart instances: assign a variable to every edge
+    of a connected d-regular multigraph and a charge to every vertex;
+    require each vertex's incident edges to XOR to its charge.  The
+    formula is satisfiable iff the total charge is even, and when the
+    graph is an expander the UNSAT instances are exponentially hard for
+    resolution. *)
+
+val instance : nvertices:int -> degree:int -> charge:[ `Even | `Odd ] -> seed:int -> Sat.Cnf.t
+(** [degree] must be at least 2; [`Odd] total charge makes the instance
+    unsatisfiable. *)
+
+val xor_clauses : int list -> bool -> int list list
+(** [xor_clauses vars b] is the direct CNF of "the XOR of [vars] equals
+    [b]" (2^(n-1) clauses — keep [vars] short).  Shared with the parity
+    family. *)

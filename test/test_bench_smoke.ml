@@ -1,0 +1,51 @@
+(* Smoke tests for the benchmark harness: the scale constants are
+   coherent, a real Table 1 row runs end to end, and the category logic
+   classifies outcomes correctly. *)
+
+module R = Workloads.Registry
+module C = Gridsat_core
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let test_scale_constants () =
+  check bool "timeouts ordered" true
+    (Bench_lib.Scale.gridsat_timeout_solvable < Bench_lib.Scale.gridsat_timeout_challenge);
+  check bool "zchaff allowance largest" true
+    (Bench_lib.Scale.zchaff_timeout > Bench_lib.Scale.gridsat_timeout_challenge);
+  check bool "paper scaling" true (Bench_lib.Scale.paper_seconds 6000. = 150.)
+
+let test_scaled_testbed () =
+  let tb = Bench_lib.Scale.grads () in
+  check bool "34 hosts" true (C.Testbed.nhosts tb = 34);
+  let fast = C.Testbed.fastest tb in
+  check bool "memory scaled down" true
+    (fast.C.Testbed.resource.Grid.Resource.mem_bytes <= 64 * 1024 * 1024)
+
+let test_run_row_easy () =
+  let entry =
+    match R.find "glassy-sat-sel_N210_n.cnf" with Some e -> e | None -> Alcotest.fail "missing row"
+  in
+  let row = Bench_lib.Runner.run_row ~testbed:(Bench_lib.Scale.grads ()) entry in
+  check bool "status consistent" true (Bench_lib.Runner.status_consistent row);
+  check bool "lands in paper band" true
+    (Bench_lib.Runner.measured_category row = R.Both_solved)
+
+let test_row_timeouts_by_category () =
+  let get name = match R.find name with Some e -> e | None -> Alcotest.fail "missing" in
+  check bool "solvable rows get the short window" true
+    (Bench_lib.Scale.row_timeout (get "qg2-8.cnf") = Bench_lib.Scale.gridsat_timeout_solvable);
+  check bool "challenge rows get the long window" true
+    (Bench_lib.Scale.row_timeout (get "7pipe.cnf") = Bench_lib.Scale.gridsat_timeout_challenge)
+
+let () =
+  Alcotest.run "bench_smoke"
+    [
+      ( "bench",
+        [
+          Alcotest.test_case "scale constants" `Quick test_scale_constants;
+          Alcotest.test_case "scaled testbed" `Quick test_scaled_testbed;
+          Alcotest.test_case "run one row" `Slow test_run_row_easy;
+          Alcotest.test_case "timeout by category" `Quick test_row_timeouts_by_category;
+        ] );
+    ]

@@ -1,0 +1,781 @@
+(* Tests for the distributed GridSAT layer: subproblems, scheduler,
+   checkpoints, the master/client protocol, and full end-to-end runs on
+   simulated testbeds. *)
+
+module T = Sat.Types
+module Cnf = Sat.Cnf
+module Solver = Sat.Solver
+module Brute = Sat.Brute
+module C = Gridsat_core
+module Sub = C.Subproblem
+module Cfg = C.Config
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ---------- instances ---------- *)
+
+let php ~pigeons ~holes =
+  let v p h = ((p - 1) * holes) + h in
+  let at_least = List.init pigeons (fun p -> List.init holes (fun h -> v (p + 1) (h + 1))) in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 -> if p2 > p1 then Some [ -v p1 h; -v p2 h ] else None)
+              (List.init pigeons (fun i -> i + 1)))
+          (List.init pigeons (fun i -> i + 1)))
+      (List.init holes (fun i -> i + 1))
+  in
+  Cnf.make ~nvars:(pigeons * holes) (at_least @ at_most)
+
+let random_cnf_gen ~max_vars ~max_clauses ~max_len =
+  let open QCheck.Gen in
+  int_range 1 max_vars >>= fun nv ->
+  int_range 0 max_clauses >>= fun nc ->
+  let lit_gen = map2 (fun v s -> if s then v else -v) (int_range 1 nv) bool in
+  let clause_gen = list_size (int_range 1 max_len) lit_gen in
+  list_size (return nc) clause_gen >|= fun clauses -> Cnf.make ~nvars:nv clauses
+
+(* A config that splits eagerly so small instances still exercise the
+   distributed machinery. *)
+let eager_config =
+  {
+    Cfg.default with
+    Cfg.split_timeout = 2.;
+    slice = 0.5;
+    share_flush_interval = 1.;
+    overall_timeout = 100_000.;
+    nws_probe_interval = 5.;
+  }
+
+let testbed4 = C.Testbed.uniform ~n:4 ~speed:500. ()
+
+let answer_of_result (r : C.Master.result) = r.C.Master.answer
+
+let is_sat = function C.Master.Sat _ -> true | _ -> false
+let is_unsat = function C.Master.Unsat -> true | _ -> false
+let is_unknown = function C.Master.Unknown _ -> true | _ -> false
+
+let has_event p (r : C.Master.result) = List.exists (fun e -> p e.C.Events.kind) r.C.Master.events
+
+(* ---------- Subproblem ---------- *)
+
+let test_subproblem_initial () =
+  let cnf = php ~pigeons:4 ~holes:3 in
+  let sp = Sub.initial cnf in
+  check int "all clauses" (Cnf.nclauses cnf) (Sub.nclauses sp);
+  check int "no path" 0 (Sub.depth sp);
+  check bool "bytes positive" true (Sub.bytes sp > 0)
+
+let test_subproblem_prune () =
+  let sp =
+    {
+      Sub.nvars = 4;
+      facts = [ T.pos 1 ];
+      path = [ T.neg 2 ];
+      clauses =
+        [
+          [| T.pos 1; T.pos 3 |] (* satisfied by fact 1: dropped *);
+          [| T.neg 2; T.pos 4 |] (* satisfied by path ~2: dropped *);
+          [| T.neg 1; T.pos 3 |] (* ~1 false by fact: stripped to (3) *);
+          [| T.pos 2; T.pos 4 |] (* 2 false by path: kept whole (taint) *);
+        ];
+    }
+  in
+  let pruned = Sub.prune sp in
+  let as_lists = List.map Array.to_list pruned.Sub.clauses in
+  check int "two clauses survive" 2 (List.length as_lists);
+  check bool "fact-false literal stripped" true (List.mem [ T.pos 3 ] as_lists);
+  check bool "path literal kept" true (List.mem [ T.pos 2; T.pos 4 ] as_lists)
+
+let test_subproblem_split_roundtrip () =
+  (* split a solver mid-search; both halves together must preserve the
+     answer (Figure 2 semantics) *)
+  let cnf = php ~pigeons:5 ~holes:4 in
+  let solver = Solver.create cnf in
+  let rec drive n =
+    if n = 0 then None
+    else
+      match Solver.run solver ~budget:20 with
+      | Solver.Budget_exhausted ->
+          if Solver.decision_level solver > 0 then Sub.split_from solver else drive (n - 1)
+      | _ -> None
+  in
+  match drive 1000 with
+  | None -> Alcotest.fail "could not reach a splittable state"
+  | Some sp ->
+      check int "path extended" 1 (Sub.depth sp);
+      let b = Sub.to_solver ~config:Solver.default_config sp in
+      let sat_a = match Solver.solve solver with Solver.Sat _ -> true | _ -> false in
+      let sat_b = match Solver.solve b with Solver.Sat _ -> true | _ -> false in
+      check bool "unsat on both branches" false (sat_a || sat_b)
+
+let test_subproblem_capture () =
+  let cnf = Cnf.make ~nvars:3 [ [ 1 ]; [ -1; 2 ]; [ 2; 3 ] ] in
+  let solver = Solver.create cnf in
+  let sp = Sub.capture solver in
+  check bool "facts include propagated roots" true
+    (List.mem (T.pos 1) sp.Sub.facts && List.mem (T.pos 2) sp.Sub.facts);
+  (* both clauses are satisfied at the root: nothing left to transfer *)
+  check int "clauses pruned" 0 (Sub.nclauses sp)
+
+let prop_subproblem_wire_roundtrip =
+  QCheck.Test.make ~name:"subproblem wire format roundtrips" ~count:100
+    (QCheck.make (random_cnf_gen ~max_vars:10 ~max_clauses:30 ~max_len:4))
+    (fun cnf ->
+      let nv = Cnf.nvars cnf in
+      let sp =
+        {
+          Sub.nvars = nv;
+          facts = (if nv >= 1 then [ T.pos 1 ] else []);
+          path = (if nv >= 2 then [ T.neg 2 ] else []);
+          clauses = Cnf.clauses cnf;
+        }
+      in
+      let back = Sub.of_string (Sub.to_string sp) in
+      back.Sub.nvars = sp.Sub.nvars
+      && back.Sub.facts = sp.Sub.facts
+      && back.Sub.path = sp.Sub.path
+      && List.map Array.to_list back.Sub.clauses = List.map Array.to_list sp.Sub.clauses)
+
+let test_subproblem_wire_errors () =
+  let expect_fail text =
+    match Sub.of_string text with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected Failure"
+  in
+  expect_fail "";
+  expect_fail "p wrong 3 1\nf 0\na 0\n1 0\n";
+  expect_fail "p subproblem 3 1\nf 0\na 0\n1 2\n"
+
+let prop_prune_idempotent =
+  QCheck.Test.make ~name:"subproblem pruning is idempotent" ~count:100
+    (QCheck.make (random_cnf_gen ~max_vars:10 ~max_clauses:40 ~max_len:4))
+    (fun cnf ->
+      let nv = Cnf.nvars cnf in
+      let sp =
+        {
+          Sub.nvars = nv;
+          facts = (if nv >= 1 then [ T.pos 1 ] else []);
+          path = (if nv >= 2 then [ T.neg 2 ] else []);
+          clauses = Cnf.clauses cnf;
+        }
+      in
+      let once = Sub.prune sp in
+      let twice = Sub.prune once in
+      List.map Array.to_list once.Sub.clauses = List.map Array.to_list twice.Sub.clauses)
+
+let prop_prune_never_grows =
+  QCheck.Test.make ~name:"pruning never grows a subproblem" ~count:100
+    (QCheck.make (random_cnf_gen ~max_vars:10 ~max_clauses:40 ~max_len:4))
+    (fun cnf ->
+      let sp = Sub.initial cnf in
+      let sp = { sp with Sub.facts = (if Cnf.nvars cnf >= 1 then [ T.neg 1 ] else []) } in
+      Sub.bytes (Sub.prune sp) <= Sub.bytes sp)
+
+(* ---------- Scheduler ---------- *)
+
+let cand ~id ~speed ~mem_gb ~forecast =
+  {
+    C.Scheduler.resource =
+      Grid.Resource.make ~id ~name:(Printf.sprintf "r%d" id) ~site:"s" ~speed
+        ~mem_bytes:(int_of_float (mem_gb *. 1024. *. 1024. *. 1024.))
+        ~kind:Grid.Resource.Interactive;
+    forecast;
+  }
+
+let test_scheduler_rank_monotone () =
+  let base = cand ~id:1 ~speed:100. ~mem_gb:1. ~forecast:0.5 in
+  let faster = cand ~id:2 ~speed:200. ~mem_gb:1. ~forecast:0.5 in
+  let freer = cand ~id:3 ~speed:100. ~mem_gb:1. ~forecast:1.0 in
+  let bigger = cand ~id:4 ~speed:100. ~mem_gb:4. ~forecast:0.5 in
+  check bool "speed raises rank" true (C.Scheduler.rank faster > C.Scheduler.rank base);
+  check bool "availability raises rank" true (C.Scheduler.rank freer > C.Scheduler.rank base);
+  check bool "memory raises rank" true (C.Scheduler.rank bigger > C.Scheduler.rank base)
+
+let test_scheduler_pick_policies () =
+  let rng = Random.State.make [| 1 |] in
+  let cands =
+    [ cand ~id:1 ~speed:100. ~mem_gb:1. ~forecast:0.9; cand ~id:2 ~speed:300. ~mem_gb:1. ~forecast:0.9 ]
+  in
+  (match C.Scheduler.pick Cfg.Nws_rank ~rng cands with
+  | Some c -> check int "nws picks fastest" 2 c.C.Scheduler.resource.Grid.Resource.id
+  | None -> Alcotest.fail "expected a pick");
+  (match C.Scheduler.pick Cfg.First_fit ~rng cands with
+  | Some c -> check int "first-fit picks lowest id" 1 c.C.Scheduler.resource.Grid.Resource.id
+  | None -> Alcotest.fail "expected a pick");
+  check bool "empty pool" true (C.Scheduler.pick Cfg.Nws_rank ~rng [] = None)
+
+let test_scheduler_backlog () =
+  check bool "longest-running first" true
+    (C.Scheduler.pick_backlog [ (7, 100.); (3, 10.); (9, 50.) ] = Some 3);
+  check bool "empty backlog" true (C.Scheduler.pick_backlog [] = None)
+
+let test_scheduler_migration_rule () =
+  check bool "2x rule fires" true (C.Scheduler.should_migrate ~enabled:true ~busy_rank:10. ~idle_rank:20.);
+  check bool "below 2x no" false (C.Scheduler.should_migrate ~enabled:true ~busy_rank:10. ~idle_rank:19.);
+  check bool "disabled" false (C.Scheduler.should_migrate ~enabled:false ~busy_rank:1. ~idle_rank:100.)
+
+(* ---------- Checkpoint ---------- *)
+
+let test_checkpoint_light_restores_original_clauses () =
+  let cnf = Cnf.make ~nvars:3 [ [ 1; 2 ]; [ -1; 3 ] ] in
+  let store = C.Checkpoint.create cnf in
+  let sp = { Sub.nvars = 3; facts = []; path = [ T.pos 1 ]; clauses = [ [| T.neg 1; T.pos 3 |] ] } in
+  let bytes = C.Checkpoint.save store ~client:5 ~mode:Cfg.Light sp in
+  check bool "light checkpoint small" true (bytes < Sub.bytes sp + 64);
+  match C.Checkpoint.restore store ~client:5 with
+  | None -> Alcotest.fail "expected a checkpoint"
+  | Some restored ->
+      check bool "path preserved" true (restored.Sub.path = [ T.pos 1 ]);
+      (* clause (1 2) is satisfied by path 1 => pruned; (-1 3) loses nothing
+         (the false literal is a path literal, kept for soundness) *)
+      check int "clauses rebuilt from the problem file" 1 (Sub.nclauses restored)
+
+let test_checkpoint_heavy_roundtrip () =
+  let cnf = Cnf.make ~nvars:2 [ [ 1; 2 ] ] in
+  let store = C.Checkpoint.create cnf in
+  let sp = { Sub.nvars = 2; facts = [ T.pos 2 ]; path = []; clauses = [ [| T.pos 1; T.neg 2 |] ] } in
+  ignore (C.Checkpoint.save store ~client:1 ~mode:Cfg.Heavy sp);
+  (match C.Checkpoint.restore store ~client:1 with
+  | Some restored -> check int "heavy keeps stored clauses" 1 (Sub.nclauses restored)
+  | None -> Alcotest.fail "expected a checkpoint");
+  check int "saves counted" 1 (C.Checkpoint.saves store);
+  C.Checkpoint.drop store ~client:1;
+  check bool "dropped" true (C.Checkpoint.restore store ~client:1 = None)
+
+let test_checkpoint_none_mode () =
+  let store = C.Checkpoint.create (Cnf.make ~nvars:1 []) in
+  let sp = Sub.initial (Cnf.make ~nvars:1 []) in
+  check int "no-checkpoint stores nothing" 0
+    (C.Checkpoint.save store ~client:1 ~mode:Cfg.No_checkpoint sp)
+
+(* ---------- end-to-end runs ---------- *)
+
+let test_gridsat_unsat () =
+  let r = C.Gridsat.solve ~config:eager_config ~testbed:testbed4 (php ~pigeons:7 ~holes:6) in
+  check bool "unsat" true (is_unsat (answer_of_result r));
+  check bool "used several clients" true (r.C.Master.max_clients >= 2);
+  check bool "split happened" true (r.C.Master.splits >= 1);
+  check bool "positive virtual time" true (r.C.Master.time > 0.)
+
+let test_gridsat_sat_verified () =
+  let cnf = php ~pigeons:8 ~holes:8 in
+  let r = C.Gridsat.solve ~config:eager_config ~testbed:testbed4 cnf in
+  (match answer_of_result r with
+  | C.Master.Sat m -> check bool "model satisfies" true (Sat.Model.satisfies cnf m)
+  | _ -> Alcotest.fail "expected sat");
+  check bool "verification logged" true
+    (has_event (function C.Events.Model_verified true -> true | _ -> false) r)
+
+let test_gridsat_trivial_stays_sequential () =
+  (* an easy instance must never spread beyond one client (the scheduler's
+     goal is "to keep the execution as sequential as possible") *)
+  let cnf = Cnf.make ~nvars:4 [ [ 1; 2 ]; [ -1; 3 ]; [ 2; 4 ] ] in
+  let r = C.Gridsat.solve ~config:{ eager_config with Cfg.split_timeout = 50. } ~testbed:testbed4 cnf in
+  check bool "sat" true (is_sat (answer_of_result r));
+  check int "one client" 1 r.C.Master.max_clients;
+  check int "no splits" 0 r.C.Master.splits
+
+let test_gridsat_timeout () =
+  let cnf = php ~pigeons:9 ~holes:8 in
+  let config = { eager_config with Cfg.overall_timeout = 3. } in
+  let r = C.Gridsat.solve ~config ~testbed:testbed4 cnf in
+  check bool "unknown on timeout" true (is_unknown (answer_of_result r));
+  check bool "time at timeout" true (r.C.Master.time >= 3.)
+
+let test_gridsat_figure3_sequence () =
+  (* the five-message split protocol must appear in order in the log *)
+  let r = C.Gridsat.solve ~config:eager_config ~testbed:testbed4 (php ~pigeons:7 ~holes:6) in
+  let times p =
+    List.filter_map (fun e -> if p e.C.Events.kind then Some e.C.Events.time else None) r.C.Master.events
+  in
+  let first p = match times p with [] -> None | t :: _ -> Some t in
+  let requested = first (function C.Events.Split_requested _ -> true | _ -> false) in
+  let granted = first (function C.Events.Split_granted _ -> true | _ -> false) in
+  let completed = first (function C.Events.Split_completed _ -> true | _ -> false) in
+  match (requested, granted, completed) with
+  | Some t1, Some t2, Some t3 ->
+      check bool "request before grant" true (t1 <= t2);
+      check bool "grant before completion" true (t2 <= t3)
+  | _ -> Alcotest.fail "split protocol events missing"
+
+let test_gridsat_sharing_counts () =
+  let r = C.Gridsat.solve ~config:eager_config ~testbed:testbed4 (php ~pigeons:7 ~holes:6) in
+  check bool "clauses were shared" true (r.C.Master.shared_clauses > 0);
+  check bool "broadcast events logged" true
+    (has_event (function C.Events.Shares_broadcast _ -> true | _ -> false) r)
+
+let test_gridsat_deterministic () =
+  let run () =
+    let r = C.Gridsat.solve ~config:eager_config ~testbed:testbed4 (php ~pigeons:6 ~holes:5) in
+    (C.Gridsat.answer_string r.C.Master.answer, r.C.Master.time, r.C.Master.splits,
+     r.C.Master.messages, List.length r.C.Master.events)
+  in
+  check bool "identical reruns" true (run () = run ())
+
+let test_gridsat_memory_pressure_splits () =
+  (* tiny hosts: the client must split under memory pressure rather than die *)
+  let testbed = C.Testbed.uniform ~n:8 ~speed:500. ~mem_mb:1 () in
+  let config =
+    {
+      eager_config with
+      Cfg.min_client_memory = 0;
+      split_timeout = 1000. (* only memory splits *);
+      mem_headroom = 0.3 (* ask early, before the solver's own reduction kicks in *);
+    }
+  in
+  let r = C.Gridsat.solve ~config ~testbed (php ~pigeons:9 ~holes:8) in
+  check bool "still unsat" true (is_unsat (answer_of_result r));
+  check bool "memory split requested" true
+    (has_event
+       (function C.Events.Split_requested { reason = `Memory; _ } -> true | _ -> false)
+       r)
+
+let test_gridsat_solves_where_baseline_memouts () =
+  (* the paper's headline: problems zChaff cannot fit in one host's memory
+     fall to the distributed solver *)
+  let testbed = C.Testbed.uniform ~n:8 ~speed:500. ~mem_mb:1 () in
+  let cnf = php ~pigeons:9 ~holes:8 in
+  let baseline = C.Baseline.run ~host:(C.Testbed.fastest testbed) cnf in
+  check bool "baseline memouts" true (baseline.C.Baseline.outcome = C.Baseline.Memout);
+  let config = { eager_config with Cfg.min_client_memory = 0 } in
+  let r = C.Gridsat.solve ~config ~testbed cnf in
+  check bool "gridsat solves it" true (is_unsat (answer_of_result r))
+
+let test_gridsat_backlog_served () =
+  (* 2 hosts, eager splitting: some requests must be denied then served *)
+  let testbed = C.Testbed.uniform ~n:2 ~speed:400. () in
+  let config = { eager_config with Cfg.split_timeout = 1. } in
+  let r = C.Gridsat.solve ~config ~testbed (php ~pigeons:7 ~holes:6) in
+  check bool "unsat" true (is_unsat (answer_of_result r));
+  check bool "some request was backlogged" true
+    (has_event (function C.Events.Split_denied _ -> true | _ -> false) r)
+
+let test_gridsat_scheduler_policies_all_correct () =
+  List.iter
+    (fun policy ->
+      let config = { eager_config with Cfg.scheduler = policy } in
+      let r = C.Gridsat.solve ~config ~testbed:testbed4 (php ~pigeons:6 ~holes:5) in
+      check bool "unsat under every policy" true (is_unsat (answer_of_result r)))
+    [ Cfg.Nws_rank; Cfg.Random_pick; Cfg.First_fit ]
+
+let test_gridsat_no_sharing_still_correct () =
+  let config = { eager_config with Cfg.share_max_len = 0 } in
+  let r = C.Gridsat.solve ~config ~testbed:testbed4 (php ~pigeons:6 ~holes:5) in
+  check bool "unsat without sharing" true (is_unsat (answer_of_result r));
+  check int "nothing shared" 0 r.C.Master.shared_clauses
+
+let test_gridsat_heterogeneous_testbed () =
+  let r = C.Gridsat.solve ~config:eager_config ~testbed:(C.Testbed.grads ()) (php ~pigeons:7 ~holes:6) in
+  check bool "unsat on grads testbed" true (is_unsat (answer_of_result r))
+
+let test_gridsat_migration () =
+  (* host 1 is slow, host 2 is much faster: after both register, the master
+     should migrate the initial problem from 1 to 2 *)
+  let slow =
+    Grid.Resource.make ~id:1 ~name:"slow" ~site:"a" ~speed:50. ~mem_bytes:(512 * 1024 * 1024)
+      ~kind:Grid.Resource.Interactive
+  in
+  let fast =
+    Grid.Resource.make ~id:2 ~name:"fast" ~site:"a" ~speed:1000. ~mem_bytes:(512 * 1024 * 1024)
+      ~kind:Grid.Resource.Interactive
+  in
+  let testbed =
+    {
+      C.Testbed.name = "mig";
+      master_site = "a";
+      hosts =
+        [
+          { C.Testbed.resource = slow; trace = Grid.Trace.constant 1.0 };
+          { C.Testbed.resource = fast; trace = Grid.Trace.constant 1.0 };
+        ];
+      batch = None;
+      late_hosts = [];
+      configure_network = (fun _ -> ());
+    }
+  in
+  let config = { eager_config with Cfg.split_timeout = 1000. } in
+  let r = C.Gridsat.solve ~config ~testbed (php ~pigeons:7 ~holes:6) in
+  check bool "unsat" true (is_unsat (answer_of_result r));
+  check bool "migration happened" true
+    (has_event (function C.Events.Migration { src = 1; dst = 2; _ } -> true | _ -> false) r)
+
+let test_gridsat_migration_disabled () =
+  let config = { eager_config with Cfg.migration_enabled = false } in
+  let r = C.Gridsat.solve ~config ~testbed:testbed4 (php ~pigeons:6 ~holes:5) in
+  check bool "no migration events" false
+    (has_event (function C.Events.Migration _ -> true | _ -> false) r)
+
+let test_late_host_joins () =
+  (* one slow host starts alone; a fast host joins at t=5 and is used *)
+  let mk id speed =
+    {
+      C.Testbed.resource =
+        Grid.Resource.make ~id ~name:(Printf.sprintf "h%d" id) ~site:"a" ~speed
+          ~mem_bytes:(512 * 1024 * 1024) ~kind:Grid.Resource.Interactive;
+      trace = Grid.Trace.constant 1.0;
+    }
+  in
+  let testbed =
+    {
+      C.Testbed.name = "late";
+      master_site = "a";
+      hosts = [ mk 1 400. ];
+      batch = None;
+      late_hosts = [ (5., mk 2 800.) ];
+      configure_network = (fun _ -> ());
+    }
+  in
+  let config = { eager_config with Cfg.split_timeout = 1. } in
+  let r = C.Gridsat.solve ~config ~testbed (php ~pigeons:7 ~holes:6) in
+  check bool "unsat" true (is_unsat (answer_of_result r));
+  check bool "late client registered" true
+    (has_event (function C.Events.Client_started 2 -> true | _ -> false) r);
+  check int "both hosts were busy at some point" 2 r.C.Master.max_clients
+
+(* ---------- batch (Blue Horizon) ---------- *)
+
+let batch_testbed ~mean_wait ~duration =
+  let interactive = C.Testbed.uniform ~n:2 ~speed:300. () in
+  {
+    interactive with
+    C.Testbed.name = "batch-test";
+    batch =
+      Some
+        {
+          C.Testbed.site = "local";
+          nodes = 4;
+          node_speed = 800.;
+          node_mem = 1024 * 1024 * 1024;
+          duration;
+          mean_wait;
+          queue_seed = 0;
+        };
+  }
+
+let test_batch_cancelled_when_solved_early () =
+  let testbed = batch_testbed ~mean_wait:1.0e7 ~duration:100. in
+  let r = C.Gridsat.solve ~config:eager_config ~testbed (php ~pigeons:6 ~holes:5) in
+  check bool "solved before batch start" true (is_unsat (answer_of_result r));
+  check bool "job submitted" true
+    (has_event (function C.Events.Batch_job_submitted _ -> true | _ -> false) r);
+  check bool "job cancelled" true
+    (has_event (function C.Events.Batch_job_cancelled -> true | _ -> false) r)
+
+let test_batch_nodes_join () =
+  let testbed = batch_testbed ~mean_wait:0.001 ~duration:1.0e6 in
+  let r = C.Gridsat.solve ~config:eager_config ~testbed (php ~pigeons:7 ~holes:6) in
+  check bool "unsat" true (is_unsat (answer_of_result r));
+  check bool "batch job started" true
+    (has_event (function C.Events.Batch_job_started _ -> true | _ -> false) r);
+  check bool "batch clients registered" true
+    (has_event (function C.Events.Client_started id -> id >= 1000 | _ -> false) r)
+
+let test_batch_expiry_terminates () =
+  let testbed = batch_testbed ~mean_wait:0.001 ~duration:2.0 in
+  let config = { eager_config with Cfg.overall_timeout = 1.0e6 } in
+  let r = C.Gridsat.solve ~config ~testbed (php ~pigeons:9 ~holes:8) in
+  (* either we solved before the 2-second job expired, or the expiry ended
+     the run; with this hard instance expiry wins *)
+  check bool "batch expiry ends the run" true (is_unknown (answer_of_result r))
+
+(* ---------- failures and checkpointing ---------- *)
+
+let solve_with_kill ~config ~testbed ~tkill cnf =
+  let killed = ref None in
+  C.Gridsat.solve ~config ~testbed
+    ~on_master:(fun m ->
+      let sim_kill () =
+        (* find a busy client and kill it *)
+        let events = C.Master.events_so_far m in
+        let busy =
+          List.fold_left
+            (fun acc e ->
+              match e.C.Events.kind with
+              | C.Events.Problem_assigned { dst; _ } -> Some dst
+              | C.Events.Client_finished_unsat id when acc = Some id -> None
+              | _ -> acc)
+            None events
+        in
+        match busy with
+        | Some id when not (C.Master.finished m) ->
+            killed := Some id;
+            C.Master.kill_client m id
+        | _ -> ()
+      in
+      C.Master.schedule m ~delay:tkill sim_kill)
+    cnf
+  |> fun r -> (r, !killed)
+
+let test_kill_busy_without_checkpoint_fails () =
+  let config = { eager_config with Cfg.split_timeout = 1000. } in
+  let r, killed = solve_with_kill ~config ~testbed:testbed4 ~tkill:5. (php ~pigeons:8 ~holes:7) in
+  check bool "a client was killed" true (killed <> None);
+  check bool "run fails without checkpoints" true (is_unknown (answer_of_result r))
+
+let test_kill_busy_with_checkpoint_recovers () =
+  let config =
+    { eager_config with Cfg.split_timeout = 1000.; checkpoint = Cfg.Light; slice = 0.5 }
+  in
+  let r, killed = solve_with_kill ~config ~testbed:testbed4 ~tkill:9. (php ~pigeons:7 ~holes:6) in
+  check bool "a client was killed" true (killed <> None);
+  check bool "recovery event logged" true
+    (has_event (function C.Events.Recovered_from_checkpoint _ -> true | _ -> false) r);
+  check bool "answer still correct" true (is_unsat (answer_of_result r))
+
+let test_kill_idle_is_tolerated () =
+  let config = { eager_config with Cfg.split_timeout = 1000. } in
+  let r =
+    C.Gridsat.solve ~config ~testbed:testbed4
+      ~on_master:(fun m ->
+        C.Master.schedule m ~delay:3. (fun () ->
+            (* client 4 is idle on this easy run; killing it must not
+               disturb the answer *)
+            C.Master.kill_client m 4))
+      (php ~pigeons:6 ~holes:5)
+  in
+  check bool "still unsat" true (is_unsat (answer_of_result r))
+
+let test_checkpoint_events_logged () =
+  let config = { eager_config with Cfg.checkpoint = Cfg.Heavy } in
+  let r = C.Gridsat.solve ~config ~testbed:testbed4 (php ~pigeons:7 ~holes:6) in
+  check bool "checkpoints saved" true
+    (has_event (function C.Events.Checkpoint_saved _ -> true | _ -> false) r);
+  check bool "checkpoint bytes reported" true (r.C.Master.checkpoint_bytes > 0)
+
+(* ---------- Protocol / Events / Config / Testbed coverage ---------- *)
+
+let test_protocol_sizes () =
+  let sp = Sub.initial (php ~pigeons:4 ~holes:3) in
+  check bool "problem message dominated by the subproblem" true
+    (C.Protocol.size (C.Protocol.Problem { sp; sent_at = 0. }) = Sub.bytes sp);
+  check bool "control messages are small" true
+    (C.Protocol.size C.Protocol.Stop = C.Protocol.control_bytes);
+  let shares = [ [| T.pos 1; T.neg 2 |]; [| T.pos 3 |] ] in
+  check bool "share size counts literals" true
+    (C.Protocol.shares_bytes shares > C.Protocol.control_bytes);
+  check bool "share and relay sizes agree" true
+    (C.Protocol.size (C.Protocol.Shares { clauses = shares })
+    = C.Protocol.size (C.Protocol.Share_relay { origin = 1; clauses = shares }))
+
+let test_events_printing () =
+  (* every constructor renders without raising *)
+  let kinds =
+    [
+      C.Events.Client_started 1;
+      C.Events.Problem_assigned { src = 0; dst = 1; bytes = 10; depth = 2 };
+      C.Events.Split_requested { client = 1; reason = `Memory };
+      C.Events.Split_requested { client = 1; reason = `Long_running };
+      C.Events.Split_granted { client = 1; partner = 2 };
+      C.Events.Split_denied { client = 1 };
+      C.Events.Split_completed { src = 1; dst = 2; bytes = 5 };
+      C.Events.Migration { src = 1; dst = 2; bytes = 5 };
+      C.Events.Shares_broadcast { origin = 1; count = 3; recipients = 4 };
+      C.Events.Client_finished_unsat 1;
+      C.Events.Client_found_model 1;
+      C.Events.Model_verified true;
+      C.Events.Client_killed 1;
+      C.Events.Checkpoint_saved { client = 1; bytes = 9 };
+      C.Events.Recovered_from_checkpoint { client = 1; onto = 2 };
+      C.Events.Batch_job_submitted { nodes = 4 };
+      C.Events.Batch_job_started { nodes = 4 };
+      C.Events.Batch_job_cancelled;
+      C.Events.Terminated "why";
+    ]
+  in
+  List.iter
+    (fun kind ->
+      let s = Format.asprintf "%a" C.Events.pp (C.Events.make 1.5 kind) in
+      check bool "nonempty rendering" true (String.length s > 5))
+    kinds
+
+let test_config_experiment_sets () =
+  check int "set 1 shares length 10" 10 Cfg.experiment_set_1.Cfg.share_max_len;
+  check int "set 2 shares length 3" 3 Cfg.experiment_set_2.Cfg.share_max_len;
+  check bool "set 2 doubles the timeout" true
+    (Cfg.experiment_set_2.Cfg.overall_timeout > Cfg.experiment_set_1.Cfg.overall_timeout)
+
+let test_testbed_shapes () =
+  let grads = C.Testbed.grads () in
+  check int "grads has 34 hosts" 34 (C.Testbed.nhosts grads);
+  check bool "grads has no batch" true (grads.C.Testbed.batch = None);
+  let set2 = C.Testbed.set2 () in
+  check int "set2 has 27 hosts" 27 (C.Testbed.nhosts set2);
+  check bool "set2 has a batch spec" true (set2.C.Testbed.batch <> None);
+  let fast = C.Testbed.fastest grads in
+  List.iter
+    (fun (h : C.Testbed.host) ->
+      check bool "fastest is max" true
+        (h.C.Testbed.resource.Grid.Resource.speed <= fast.C.Testbed.resource.Grid.Resource.speed))
+    grads.C.Testbed.hosts;
+  (* host ids are unique *)
+  let ids = List.map (fun h -> h.C.Testbed.resource.Grid.Resource.id) grads.C.Testbed.hosts in
+  check int "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+let test_answer_strings () =
+  check bool "unsat string" true (C.Gridsat.answer_string C.Master.Unsat = "UNSAT");
+  check bool "unknown string" true
+    (C.Gridsat.answer_string (C.Master.Unknown "x") = "UNKNOWN(x)")
+
+let test_subproblem_bytes_monotone () =
+  let small = Sub.initial (php ~pigeons:3 ~holes:3) in
+  let big = Sub.initial (php ~pigeons:6 ~holes:6) in
+  check bool "more clauses cost more bytes" true (Sub.bytes big > Sub.bytes small)
+
+(* ---------- Timeline ---------- *)
+
+let test_timeline_curve () =
+  let ev t k = C.Events.make t k in
+  let events =
+    [
+      ev 0. (C.Events.Client_started 1);
+      ev 1. (C.Events.Problem_assigned { src = 0; dst = 1; bytes = 10; depth = 0 });
+      ev 5. (C.Events.Problem_assigned { src = 1; dst = 2; bytes = 10; depth = 1 });
+      ev 9. (C.Events.Client_finished_unsat 2);
+      ev 12. (C.Events.Client_finished_unsat 1);
+      ev 12. (C.Events.Terminated "done");
+    ]
+  in
+  let curve = C.Timeline.busy_curve events in
+  check int "peak" 2 (C.Timeline.peak curve);
+  (* busy: 1 during [1,5), 2 during [5,9), 1 during [9,12) => 15 client-seconds *)
+  check bool "client seconds" true (abs_float (C.Timeline.client_seconds curve -. 15.) < 1e-6);
+  check bool "average" true (abs_float (C.Timeline.average curve -. (15. /. 12.)) < 1e-6)
+
+let test_timeline_migration_frees_source () =
+  let ev t k = C.Events.make t k in
+  let events =
+    [
+      ev 0. (C.Events.Problem_assigned { src = 0; dst = 1; bytes = 1; depth = 0 });
+      ev 2. (C.Events.Migration { src = 1; dst = 2; bytes = 1 });
+      ev 2. (C.Events.Problem_assigned { src = 1; dst = 2; bytes = 1; depth = 0 });
+      ev 6. (C.Events.Client_found_model 2);
+    ]
+  in
+  let curve = C.Timeline.busy_curve events in
+  check bool "peak stays 1-2" true (C.Timeline.peak curve <= 2);
+  check int "final count zero" 0 (snd (List.nth curve (List.length curve - 1)))
+
+let test_timeline_chart_renders () =
+  let r = C.Gridsat.solve ~config:eager_config ~testbed:testbed4 (php ~pigeons:6 ~holes:5) in
+  let curve = C.Timeline.busy_curve r.C.Master.events in
+  let chart = C.Timeline.ascii_chart ~width:30 ~height:5 curve in
+  check bool "chart nonempty" true (String.length chart > 0);
+  check bool "has bars" true (String.contains chart '#');
+  check bool "empty curve handled" true (C.Timeline.ascii_chart [] = "(empty timeline)\n")
+
+(* ---------- the answer-correctness property ---------- *)
+
+let prop_gridsat_matches_brute =
+  QCheck.Test.make ~name:"gridsat agrees with brute force" ~count:60
+    (QCheck.make (random_cnf_gen ~max_vars:10 ~max_clauses:44 ~max_len:3))
+    (fun cnf ->
+      let config = { eager_config with Cfg.split_timeout = 0.5 } in
+      let r = C.Gridsat.solve ~config ~testbed:testbed4 cnf in
+      match (answer_of_result r, Brute.solve cnf) with
+      | C.Master.Sat m, Brute.Sat _ -> Sat.Model.satisfies cnf m
+      | C.Master.Unsat, Brute.Unsat -> true
+      | _ -> false)
+
+(* ---------- baseline ---------- *)
+
+let test_baseline_outcomes () =
+  let host = C.Testbed.fastest testbed4 in
+  let sat = C.Baseline.run ~host (php ~pigeons:5 ~holes:5) in
+  (match sat.C.Baseline.outcome with
+  | C.Baseline.Sat m -> check bool "model ok" true (Sat.Model.satisfies (php ~pigeons:5 ~holes:5) m)
+  | _ -> Alcotest.fail "expected sat");
+  let unsat = C.Baseline.run ~host (php ~pigeons:5 ~holes:4) in
+  check bool "unsat" true (unsat.C.Baseline.outcome = C.Baseline.Unsat);
+  check bool "time positive" true (unsat.C.Baseline.time > 0.);
+  let tout = C.Baseline.run ~timeout:0.001 ~host (php ~pigeons:9 ~holes:8) in
+  check bool "timeout" true (tout.C.Baseline.outcome = C.Baseline.Timeout)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "subproblem",
+        [
+          Alcotest.test_case "initial" `Quick test_subproblem_initial;
+          Alcotest.test_case "prune" `Quick test_subproblem_prune;
+          Alcotest.test_case "split roundtrip" `Quick test_subproblem_split_roundtrip;
+          Alcotest.test_case "capture" `Quick test_subproblem_capture;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "rank monotone" `Quick test_scheduler_rank_monotone;
+          Alcotest.test_case "pick policies" `Quick test_scheduler_pick_policies;
+          Alcotest.test_case "backlog order" `Quick test_scheduler_backlog;
+          Alcotest.test_case "migration rule" `Quick test_scheduler_migration_rule;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "light restore" `Quick test_checkpoint_light_restores_original_clauses;
+          Alcotest.test_case "heavy roundtrip" `Quick test_checkpoint_heavy_roundtrip;
+          Alcotest.test_case "none mode" `Quick test_checkpoint_none_mode;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "unsat run" `Slow test_gridsat_unsat;
+          Alcotest.test_case "sat verified" `Slow test_gridsat_sat_verified;
+          Alcotest.test_case "easy stays sequential" `Quick test_gridsat_trivial_stays_sequential;
+          Alcotest.test_case "timeout" `Slow test_gridsat_timeout;
+          Alcotest.test_case "figure 3 sequence" `Slow test_gridsat_figure3_sequence;
+          Alcotest.test_case "sharing counts" `Slow test_gridsat_sharing_counts;
+          Alcotest.test_case "deterministic" `Slow test_gridsat_deterministic;
+          Alcotest.test_case "memory-pressure splits" `Slow test_gridsat_memory_pressure_splits;
+          Alcotest.test_case "beats baseline memout" `Slow test_gridsat_solves_where_baseline_memouts;
+          Alcotest.test_case "backlog served" `Slow test_gridsat_backlog_served;
+          Alcotest.test_case "all scheduler policies" `Slow test_gridsat_scheduler_policies_all_correct;
+          Alcotest.test_case "no sharing still correct" `Slow test_gridsat_no_sharing_still_correct;
+          Alcotest.test_case "heterogeneous testbed" `Slow test_gridsat_heterogeneous_testbed;
+          Alcotest.test_case "migration" `Slow test_gridsat_migration;
+          Alcotest.test_case "migration disabled" `Slow test_gridsat_migration_disabled;
+          Alcotest.test_case "late host joins" `Slow test_late_host_joins;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "cancel on early solve" `Slow test_batch_cancelled_when_solved_early;
+          Alcotest.test_case "nodes join" `Slow test_batch_nodes_join;
+          Alcotest.test_case "expiry terminates" `Slow test_batch_expiry_terminates;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "busy kill without checkpoint" `Slow test_kill_busy_without_checkpoint_fails;
+          Alcotest.test_case "busy kill with checkpoint" `Slow test_kill_busy_with_checkpoint_recovers;
+          Alcotest.test_case "idle kill tolerated" `Slow test_kill_idle_is_tolerated;
+          Alcotest.test_case "checkpoint events" `Slow test_checkpoint_events_logged;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "message sizes" `Quick test_protocol_sizes;
+          Alcotest.test_case "event rendering" `Quick test_events_printing;
+          Alcotest.test_case "experiment configs" `Quick test_config_experiment_sets;
+          Alcotest.test_case "testbed shapes" `Quick test_testbed_shapes;
+          Alcotest.test_case "answer strings" `Quick test_answer_strings;
+          Alcotest.test_case "subproblem bytes" `Quick test_subproblem_bytes_monotone;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "curve arithmetic" `Quick test_timeline_curve;
+          Alcotest.test_case "migration frees source" `Quick test_timeline_migration_frees_source;
+          Alcotest.test_case "chart renders" `Quick test_timeline_chart_renders;
+        ] );
+      ( "correctness",
+        [ Alcotest.test_case "wire format errors" `Quick test_subproblem_wire_errors ]
+        @ qsuite
+            [
+              prop_gridsat_matches_brute;
+              prop_prune_idempotent;
+              prop_prune_never_grows;
+              prop_subproblem_wire_roundtrip;
+            ] );
+      ("baseline", [ Alcotest.test_case "outcomes" `Slow test_baseline_outcomes ]);
+    ]

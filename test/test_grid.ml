@@ -1,0 +1,468 @@
+(* Tests for the Grid substrate: simulator, traces, NWS, network, batch,
+   messaging. *)
+
+module Sim = Grid.Sim
+module Trace = Grid.Trace
+module Nws = Grid.Nws
+module Network = Grid.Network
+module Everyware = Grid.Everyware
+module Batch = Grid.Batch
+module Resource = Grid.Resource
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let flt = Alcotest.float 1e-9
+
+(* ---------- Sim ---------- *)
+
+let test_sim_ordering () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule sim ~delay:2.0 (fun () -> log := 2 :: !log));
+  ignore (Sim.schedule sim ~delay:1.0 (fun () -> log := 1 :: !log));
+  ignore (Sim.schedule sim ~delay:3.0 (fun () -> log := 3 :: !log));
+  Sim.run sim ~until:10.;
+  check (Alcotest.list int) "events in time order" [ 1; 2; 3 ] (List.rev !log);
+  check flt "clock at last event" 3.0 (Sim.now sim)
+
+let test_sim_fifo_ties () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.schedule sim ~delay:1.0 (fun () -> log := i :: !log))
+  done;
+  Sim.run sim ~until:2.;
+  check (Alcotest.list int) "same-time events fire in scheduling order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let e = Sim.schedule sim ~delay:1.0 (fun () -> fired := true) in
+  Sim.cancel sim e;
+  Sim.run sim ~until:10.;
+  check bool "cancelled event does not fire" false !fired;
+  check int "pending empty" 0 (Sim.pending sim)
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~delay:1.0 (fun () ->
+         log := "a" :: !log;
+         ignore (Sim.schedule sim ~delay:0.5 (fun () -> log := "b" :: !log))));
+  Sim.run sim ~until:10.;
+  check (Alcotest.list Alcotest.string) "nested event fires" [ "a"; "b" ] (List.rev !log);
+  check flt "clock advanced" 1.5 (Sim.now sim)
+
+let test_sim_until_boundary () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  ignore (Sim.schedule sim ~delay:1.0 (fun () -> incr fired));
+  ignore (Sim.schedule sim ~delay:5.0 (fun () -> incr fired));
+  Sim.run sim ~until:2.0;
+  check int "only the early event fired" 1 !fired;
+  check int "late event still pending" 1 (Sim.pending sim);
+  Sim.run sim ~until:10.0;
+  check int "late event fires later" 2 !fired
+
+let test_sim_negative_delay_clamped () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  ignore (Sim.schedule sim ~delay:(-5.) (fun () -> fired := true));
+  Sim.run sim ~until:0.;
+  check bool "clamped to now" true !fired
+
+let test_sim_determinism () =
+  let run () =
+    let sim = Sim.create () in
+    let log = ref [] in
+    for i = 0 to 20 do
+      ignore
+        (Sim.schedule sim ~delay:(float_of_int ((i * 7) mod 5)) (fun () -> log := i :: !log))
+    done;
+    Sim.run sim ~until:100.;
+    !log
+  in
+  check bool "two identical runs agree" true (run () = run ())
+
+(* ---------- Trace ---------- *)
+
+let test_trace_constant () =
+  let t = Trace.constant 0.7 in
+  check flt "constant" 0.7 (Trace.availability t 0.);
+  check flt "constant later" 0.7 (Trace.availability t 1e6)
+
+let test_trace_clamping () =
+  let hi = Trace.constant 5.0 and lo = Trace.constant (-1.0) in
+  check flt "clamped high" 1.0 (Trace.availability hi 0.);
+  check flt "clamped low" 0.05 (Trace.availability lo 0.)
+
+let test_trace_periodic_bounds () =
+  let t = Trace.periodic ~mean:0.6 ~amplitude:0.3 ~period:100. ~phase:0. in
+  let ok = ref true in
+  for i = 0 to 200 do
+    let a = Trace.availability t (float_of_int i) in
+    if a < 0.05 || a > 1.0 then ok := false
+  done;
+  check bool "periodic stays in bounds" true !ok
+
+let test_trace_noisy_deterministic () =
+  let t1 = Trace.noisy ~seed:42 ~mean:0.5 ~amplitude:0.4 ~interval:10. in
+  let t2 = Trace.noisy ~seed:42 ~mean:0.5 ~amplitude:0.4 ~interval:10. in
+  let same = ref true in
+  for i = 0 to 100 do
+    let time = float_of_int i *. 3.3 in
+    if Trace.availability t1 time <> Trace.availability t2 time then same := false
+  done;
+  check bool "same seed, same trace" true !same;
+  let t3 = Trace.noisy ~seed:43 ~mean:0.5 ~amplitude:0.4 ~interval:10. in
+  let differs = ref false in
+  for i = 0 to 100 do
+    let time = float_of_int i *. 13.7 in
+    if Trace.availability t1 time <> Trace.availability t3 time then differs := true
+  done;
+  check bool "different seed differs somewhere" true !differs
+
+let test_trace_overlay () =
+  let t = Trace.overlay (Trace.constant 0.8) (Trace.constant 0.5) in
+  check flt "product" 0.4 (Trace.availability t 0.)
+
+(* ---------- NWS ---------- *)
+
+let test_nws_empty_forecast () =
+  let f = Nws.create () in
+  check flt "optimistic before data" 1.0 (Nws.forecast f)
+
+let test_nws_constant_series () =
+  let f = Nws.create () in
+  for _ = 1 to 50 do
+    Nws.observe f 0.42
+  done;
+  check flt "constant series forecast" 0.42 (Nws.forecast f);
+  check bool "near-zero error" true (Nws.mae f < 0.05)
+
+let test_nws_tracks_shift () =
+  let f = Nws.create () in
+  for _ = 1 to 30 do
+    Nws.observe f 0.9
+  done;
+  for _ = 1 to 30 do
+    Nws.observe f 0.2
+  done;
+  let fc = Nws.forecast f in
+  check bool "forecast moved to the new regime" true (fc < 0.5)
+
+let test_nws_adaptive_beats_worst () =
+  (* On an alternating series the running mean is the best predictor;
+     the adaptive choice must not be worse than 2x the best expert. *)
+  let f = Nws.create () in
+  for i = 1 to 200 do
+    Nws.observe f (if i mod 2 = 0 then 0.2 else 0.8)
+  done;
+  check bool "adaptive error bounded" true (Nws.mae f <= 0.65);
+  check int "observation count" 200 (Nws.observations f)
+
+(* ---------- Network ---------- *)
+
+let test_network_intra_vs_inter () =
+  let net = Network.create () in
+  let intra = Network.transfer_time net ~src:"ucsb" ~dst:"ucsb" ~bytes:1_000_000 in
+  let inter = Network.transfer_time net ~src:"ucsb" ~dst:"utk" ~bytes:1_000_000 in
+  check bool "LAN much faster than WAN" true (intra *. 10. < inter)
+
+let test_network_custom_link () =
+  let net = Network.create () in
+  Network.set_link net "a" "b" ~latency:1.0 ~bandwidth:10.;
+  check flt "custom link time" (1.0 +. 10.) (Network.transfer_time net ~src:"a" ~dst:"b" ~bytes:100);
+  check flt "symmetric" (1.0 +. 10.) (Network.transfer_time net ~src:"b" ~dst:"a" ~bytes:100)
+
+let test_network_size_monotone () =
+  let net = Network.create () in
+  let t1 = Network.transfer_time net ~src:"a" ~dst:"b" ~bytes:1_000 in
+  let t2 = Network.transfer_time net ~src:"a" ~dst:"b" ~bytes:1_000_000 in
+  check bool "bigger messages take longer" true (t2 > t1)
+
+(* ---------- Everyware ---------- *)
+
+let test_everyware_delivery () =
+  let sim = Sim.create () in
+  let net = Network.create () in
+  let bus = Everyware.create sim net in
+  let received = ref [] in
+  Everyware.register bus ~id:1 ~site:"ucsb" ~handler:(fun ~src msg -> received := (src, msg) :: !received);
+  Everyware.register bus ~id:2 ~site:"utk" ~handler:(fun ~src:_ _ -> ());
+  Everyware.send bus ~src:2 ~dst:1 ~bytes:1000 "hello";
+  check int "not yet delivered" 0 (List.length !received);
+  Sim.run sim ~until:10.;
+  check (Alcotest.list (Alcotest.pair int Alcotest.string)) "delivered with source" [ (2, "hello") ]
+    !received;
+  check int "counted" 1 (Everyware.messages_sent bus);
+  check int "bytes counted" 1000 (Everyware.bytes_sent bus)
+
+let test_everyware_big_messages_slower () =
+  let sim = Sim.create () in
+  let net = Network.create () in
+  let bus = Everyware.create sim net in
+  let t_small = ref 0. and t_big = ref 0. in
+  Everyware.register bus ~id:1 ~site:"ucsb" ~handler:(fun ~src:_ -> function
+    | "small" -> t_small := Sim.now sim
+    | _ -> t_big := Sim.now sim);
+  Everyware.register bus ~id:2 ~site:"utk" ~handler:(fun ~src:_ _ -> ());
+  Everyware.send bus ~src:2 ~dst:1 ~bytes:100 "small";
+  Everyware.send bus ~src:2 ~dst:1 ~bytes:100_000_000 "big";
+  Sim.run sim ~until:1e9;
+  check bool "big after small" true (!t_big > !t_small)
+
+let test_everyware_unregistered_drop () =
+  let sim = Sim.create () in
+  let bus = Everyware.create sim (Network.create ()) in
+  Everyware.register bus ~id:1 ~site:"a" ~handler:(fun ~src:_ _ -> ());
+  Everyware.send bus ~src:1 ~dst:99 ~bytes:10 "lost";
+  Sim.run sim ~until:10. (* must not raise *)
+
+let test_everyware_unregister_in_flight () =
+  let sim = Sim.create () in
+  let bus = Everyware.create sim (Network.create ()) in
+  let got = ref false in
+  Everyware.register bus ~id:1 ~site:"a" ~handler:(fun ~src:_ _ -> got := true);
+  Everyware.register bus ~id:2 ~site:"b" ~handler:(fun ~src:_ _ -> ());
+  Everyware.send bus ~src:2 ~dst:1 ~bytes:10 "x";
+  Everyware.unregister bus ~id:1;
+  Sim.run sim ~until:10.;
+  check bool "message to dead endpoint dropped" false !got
+
+(* ---------- Batch ---------- *)
+
+let test_batch_lifecycle () =
+  let sim = Sim.create () in
+  let batch = Batch.create sim ~mean_wait:100. ~seed:7 in
+  let started = ref (-1.) and ended = ref (-1.) in
+  let job =
+    Batch.submit batch ~nodes:100 ~duration:50.
+      ~on_start:(fun () -> started := Sim.now sim)
+      ~on_end:(fun () -> ended := Sim.now sim)
+  in
+  check bool "queued" true (Batch.state job = Batch.Queued);
+  Sim.run sim ~until:1e9;
+  check bool "ran" true (Batch.state job = Batch.Finished);
+  check bool "started after a wait" true (!started > 0.);
+  check flt "duration honoured" 50. (!ended -. !started);
+  check int "nodes recorded" 100 (Batch.nodes job)
+
+let test_batch_cancel_queued () =
+  let sim = Sim.create () in
+  let batch = Batch.create sim ~mean_wait:100. ~seed:7 in
+  let started = ref false in
+  let job =
+    Batch.submit batch ~nodes:10 ~duration:50.
+      ~on_start:(fun () -> started := true)
+      ~on_end:(fun () -> ())
+  in
+  Batch.cancel batch job;
+  Sim.run sim ~until:1e9;
+  check bool "never started" false !started;
+  check bool "cancelled" true (Batch.state job = Batch.Cancelled)
+
+let test_batch_cancel_running () =
+  let sim = Sim.create () in
+  let batch = Batch.create sim ~mean_wait:10. ~seed:7 in
+  let ended = ref false in
+  let job =
+    Batch.submit batch ~nodes:10 ~duration:1000.
+      ~on_start:(fun () -> ())
+      ~on_end:(fun () -> ended := true)
+  in
+  (* run until it starts, then cancel *)
+  while Batch.state job = Batch.Queued && Sim.step sim do
+    ()
+  done;
+  check bool "running" true (Batch.state job = Batch.Running);
+  Batch.cancel batch job;
+  Sim.run sim ~until:1e9;
+  check bool "on_end suppressed" false !ended;
+  check bool "cancelled" true (Batch.state job = Batch.Cancelled)
+
+let test_batch_deterministic_wait () =
+  let wait seed =
+    let sim = Sim.create () in
+    let batch = Batch.create sim ~mean_wait:118_800. ~seed in
+    let job =
+      Batch.submit batch ~nodes:100 ~duration:1. ~on_start:(fun () -> ()) ~on_end:(fun () -> ())
+    in
+    Batch.queue_wait batch job
+  in
+  check flt "same seed same wait" (wait 3) (wait 3);
+  check bool "positive wait" true (wait 3 > 0.)
+
+(* ---------- more NWS / Sim / Trace coverage ---------- *)
+
+let test_nws_best_predictor_named () =
+  let f = Nws.create () in
+  for _ = 1 to 20 do
+    Nws.observe f 0.5
+  done;
+  check bool "winner is one of the experts" true
+    (List.mem (Nws.best_predictor f) [ "last"; "mean"; "window_mean"; "window_median" ])
+
+let test_nws_forecast_in_range () =
+  let f = Nws.create () in
+  let trace = Trace.noisy ~seed:3 ~mean:0.6 ~amplitude:0.3 ~interval:5. in
+  for i = 1 to 100 do
+    Nws.observe f (Trace.availability trace (float_of_int i))
+  done;
+  let fc = Nws.forecast f in
+  check bool "forecast within trace bounds" true (fc >= 0.05 && fc <= 1.0)
+
+let test_sim_events_fired_counter () =
+  let sim = Sim.create () in
+  for _ = 1 to 7 do
+    ignore (Sim.schedule sim ~delay:1.0 (fun () -> ()))
+  done;
+  Sim.run sim ~until:5.;
+  check int "events fired" 7 (Sim.events_fired sim)
+
+let test_sim_max_events_valve () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  for _ = 1 to 10 do
+    ignore (Sim.schedule sim ~delay:1.0 (fun () -> incr fired))
+  done;
+  Sim.run ~max_events:3 sim ~until:5.;
+  check int "stopped at the valve" 3 !fired
+
+let test_trace_noisy_piecewise_constant () =
+  let t = Trace.noisy ~seed:4 ~mean:0.5 ~amplitude:0.3 ~interval:10. in
+  check bool "constant within an interval" true
+    (Trace.availability t 12.0 = Trace.availability t 17.9)
+
+let test_everyware_fifo_per_link () =
+  (* equal-size messages on the same link arrive in send order *)
+  let sim = Sim.create () in
+  let bus = Everyware.create sim (Network.create ()) in
+  let received = ref [] in
+  Everyware.register bus ~id:1 ~site:"a" ~handler:(fun ~src:_ msg -> received := msg :: !received);
+  Everyware.register bus ~id:2 ~site:"b" ~handler:(fun ~src:_ _ -> ());
+  for i = 1 to 10 do
+    Everyware.send bus ~src:2 ~dst:1 ~bytes:100 i
+  done;
+  Sim.run sim ~until:10.;
+  check (Alcotest.list int) "fifo" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] (List.rev !received)
+
+let prop_heap_random_updates =
+  (* interleave inserts, score bumps and pops; the heap must always pop a
+     maximal member *)
+  let gen = QCheck.(list_of_size (QCheck.Gen.int_range 1 120) (int_range 0 2)) in
+  QCheck.Test.make ~name:"heap under random updates" ~count:50 gen (fun ops ->
+      let n = 40 in
+      let score = Array.make (n + 1) 0. in
+      let h = Sat.Heap.create ~nvars:n ~gt:(fun a b -> score.(a) > score.(b)) in
+      let next = ref 1 in
+      let ok = ref true in
+      List.iteri
+        (fun i op ->
+          match op with
+          | 0 ->
+              if !next <= n then begin
+                Sat.Heap.insert h !next;
+                incr next
+              end
+          | 1 ->
+              if !next > 1 then begin
+                let v = 1 + (i mod (!next - 1)) in
+                score.(v) <- score.(v) +. float_of_int (i + 1);
+                Sat.Heap.update h v
+              end
+          | _ ->
+              if not (Sat.Heap.is_empty h) then begin
+                let top = Sat.Heap.remove_max h in
+                (* no remaining member may beat the popped one *)
+                for v = 1 to !next - 1 do
+                  if Sat.Heap.mem h v && score.(v) > score.(top) then ok := false
+                done
+              end)
+        ops;
+      !ok)
+
+(* ---------- Resource ---------- *)
+
+let test_resource_memory_rule () =
+  let r =
+    Resource.make ~id:0 ~name:"n0" ~site:"ucsb" ~speed:100. ~mem_bytes:(1024 * 1024 * 1024)
+      ~kind:Resource.Interactive
+  in
+  check bool "60% rule" true
+    (Resource.usable_memory r = int_of_float (0.6 *. float_of_int (1024 * 1024 * 1024)));
+  check bool "min memory is 128MB" true (Resource.min_client_memory = 128 * 1024 * 1024)
+
+let test_resource_validation () =
+  Alcotest.check_raises "zero speed rejected" (Invalid_argument "Resource.make: speed must be positive")
+    (fun () ->
+      ignore
+        (Resource.make ~id:0 ~name:"x" ~site:"s" ~speed:0. ~mem_bytes:1 ~kind:Resource.Interactive))
+
+let () =
+  Alcotest.run "grid"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "time ordering" `Quick test_sim_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_sim_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "nested schedule" `Quick test_sim_nested_schedule;
+          Alcotest.test_case "until boundary" `Quick test_sim_until_boundary;
+          Alcotest.test_case "negative delay" `Quick test_sim_negative_delay_clamped;
+          Alcotest.test_case "determinism" `Quick test_sim_determinism;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "constant" `Quick test_trace_constant;
+          Alcotest.test_case "clamping" `Quick test_trace_clamping;
+          Alcotest.test_case "periodic bounds" `Quick test_trace_periodic_bounds;
+          Alcotest.test_case "noisy determinism" `Quick test_trace_noisy_deterministic;
+          Alcotest.test_case "overlay" `Quick test_trace_overlay;
+        ] );
+      ( "nws",
+        [
+          Alcotest.test_case "empty forecast" `Quick test_nws_empty_forecast;
+          Alcotest.test_case "constant series" `Quick test_nws_constant_series;
+          Alcotest.test_case "regime shift" `Quick test_nws_tracks_shift;
+          Alcotest.test_case "adaptive error bounded" `Quick test_nws_adaptive_beats_worst;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "intra vs inter" `Quick test_network_intra_vs_inter;
+          Alcotest.test_case "custom link" `Quick test_network_custom_link;
+          Alcotest.test_case "size monotone" `Quick test_network_size_monotone;
+        ] );
+      ( "everyware",
+        [
+          Alcotest.test_case "delivery" `Quick test_everyware_delivery;
+          Alcotest.test_case "size-dependent latency" `Quick test_everyware_big_messages_slower;
+          Alcotest.test_case "unknown destination" `Quick test_everyware_unregistered_drop;
+          Alcotest.test_case "unregister in flight" `Quick test_everyware_unregister_in_flight;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_batch_lifecycle;
+          Alcotest.test_case "cancel queued" `Quick test_batch_cancel_queued;
+          Alcotest.test_case "cancel running" `Quick test_batch_cancel_running;
+          Alcotest.test_case "deterministic wait" `Quick test_batch_deterministic_wait;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "everyware fifo" `Quick test_everyware_fifo_per_link;
+          QCheck_alcotest.to_alcotest prop_heap_random_updates;
+          Alcotest.test_case "nws best predictor" `Quick test_nws_best_predictor_named;
+          Alcotest.test_case "nws forecast range" `Quick test_nws_forecast_in_range;
+          Alcotest.test_case "sim fired counter" `Quick test_sim_events_fired_counter;
+          Alcotest.test_case "sim max events" `Quick test_sim_max_events_valve;
+          Alcotest.test_case "trace piecewise" `Quick test_trace_noisy_piecewise_constant;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "memory rules" `Quick test_resource_memory_rule;
+          Alcotest.test_case "validation" `Quick test_resource_validation;
+        ] );
+    ]

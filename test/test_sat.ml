@@ -1,0 +1,972 @@
+(* Unit, integration and property tests for the CDCL core (lib/sat). *)
+
+module T = Sat.Types
+module Cnf = Sat.Cnf
+module Solver = Sat.Solver
+module Brute = Sat.Brute
+module Model = Sat.Model
+module Vec = Sat.Vec
+module Heap = Sat.Heap
+module Dimacs = Sat.Dimacs
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ---------- helpers ---------- *)
+
+let solve_cnf ?config cnf =
+  let s = Solver.create ?config cnf in
+  Solver.solve s
+
+let is_sat = function Solver.Sat _ -> true | _ -> false
+let is_unsat = function Solver.Unsat -> true | _ -> false
+
+let random_cnf_gen ~max_vars ~max_clauses ~max_len =
+  let open QCheck.Gen in
+  int_range 1 max_vars >>= fun nv ->
+  int_range 0 max_clauses >>= fun nc ->
+  let lit_gen = map2 (fun v s -> if s then v else -v) (int_range 1 nv) bool in
+  let clause_gen = list_size (int_range 1 max_len) lit_gen in
+  list_size (return nc) clause_gen >|= fun clauses -> Cnf.make ~nvars:nv clauses
+
+let arbitrary_cnf =
+  QCheck.make
+    ~print:(fun c -> Format.asprintf "%a" Cnf.pp c)
+    (random_cnf_gen ~max_vars:10 ~max_clauses:40 ~max_len:4)
+
+(* ---------- Types ---------- *)
+
+let test_lit_encoding () =
+  check int "pos var" 3 (T.var (T.pos 3));
+  check int "neg var" 3 (T.var (T.neg 3));
+  check bool "pos polarity" true (T.is_pos (T.pos 5));
+  check bool "neg polarity" false (T.is_pos (T.neg 5));
+  check int "negate pos" (T.neg 4) (T.negate (T.pos 4));
+  check int "negate neg" (T.pos 4) (T.negate (T.neg 4));
+  check int "dimacs roundtrip pos" 7 (T.to_int (T.lit_of_int 7));
+  check int "dimacs roundtrip neg" (-7) (T.to_int (T.lit_of_int (-7)))
+
+let test_lit_of_int_zero () =
+  Alcotest.check_raises "zero rejected" (Invalid_argument "Types.lit_of_int: zero") (fun () ->
+      ignore (T.lit_of_int 0))
+
+let test_lit_value () =
+  check bool "pos under true" true (T.lit_value T.True (T.pos 1) = T.True);
+  check bool "neg under true" true (T.lit_value T.True (T.neg 1) = T.False);
+  check bool "pos under false" true (T.lit_value T.False (T.pos 1) = T.False);
+  check bool "neg under false" true (T.lit_value T.False (T.neg 1) = T.True);
+  check bool "unknown" true (T.lit_value T.Unknown (T.pos 1) = T.Unknown)
+
+let prop_lit_roundtrip =
+  QCheck.Test.make ~name:"lit_of_int/to_int roundtrip" ~count:200
+    QCheck.(map (fun i -> if i = 0 then 1 else i) (int_range (-1000) 1000))
+    (fun i -> T.to_int (T.lit_of_int i) = i)
+
+let prop_negate_involution =
+  QCheck.Test.make ~name:"negate is an involution" ~count:200
+    QCheck.(int_range 1 1000)
+    (fun v -> T.negate (T.negate (T.pos v)) = T.pos v)
+
+(* ---------- Vec ---------- *)
+
+let test_vec_basic () =
+  let v = Vec.create 0 in
+  check bool "empty" true (Vec.is_empty v);
+  for i = 1 to 100 do
+    Vec.push v i
+  done;
+  check int "size" 100 (Vec.size v);
+  check int "get" 50 (Vec.get v 49);
+  check int "last" 100 (Vec.last v);
+  check int "pop" 100 (Vec.pop v);
+  check int "size after pop" 99 (Vec.size v);
+  Vec.shrink v 10;
+  check int "size after shrink" 10 (Vec.size v);
+  check int "fold sum" 55 (Vec.fold ( + ) 0 v);
+  Vec.clear v;
+  check bool "cleared" true (Vec.is_empty v)
+
+let test_vec_swap_remove () =
+  let v = Vec.of_list 0 [ 1; 2; 3; 4 ] in
+  Vec.swap_remove v 0;
+  check int "size" 3 (Vec.size v);
+  check int "moved last into slot" 4 (Vec.get v 0);
+  check bool "contents" true (List.sort compare (Vec.to_list v) = [ 2; 3; 4 ])
+
+let test_vec_bounds () =
+  let v = Vec.of_list 0 [ 1 ] in
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 1))
+
+let prop_vec_to_of_list =
+  QCheck.Test.make ~name:"Vec.of_list/to_list roundtrip" ~count:200
+    QCheck.(list int)
+    (fun xs -> Vec.to_list (Vec.of_list 0 xs) = xs)
+
+(* ---------- Heap ---------- *)
+
+let test_heap_pop_order () =
+  let score = [| 0.; 5.; 1.; 9.; 3.; 7. |] in
+  let h = Heap.create ~nvars:5 ~gt:(fun a b -> score.(a) > score.(b)) in
+  List.iter (Heap.insert h) [ 1; 2; 3; 4; 5 ];
+  let order = List.init 5 (fun _ -> Heap.remove_max h) in
+  check bool "pops by descending score" true (order = [ 3; 5; 1; 4; 2 ]);
+  check bool "empty afterwards" true (Heap.is_empty h)
+
+let test_heap_update () =
+  let score = Array.make 6 0. in
+  let h = Heap.create ~nvars:5 ~gt:(fun a b -> score.(a) > score.(b)) in
+  List.iter (Heap.insert h) [ 1; 2; 3; 4; 5 ];
+  score.(2) <- 100.;
+  Heap.update h 2;
+  check int "updated var first" 2 (Heap.remove_max h)
+
+let test_heap_duplicate_insert () =
+  let h = Heap.create ~nvars:3 ~gt:(fun a b -> a > b) in
+  Heap.insert h 2;
+  Heap.insert h 2;
+  check int "no duplicate" 1 (Heap.size h)
+
+let prop_heap_sorts =
+  let gen = QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range 0. 100.)) in
+  QCheck.Test.make ~name:"heap pops in score order" ~count:100 gen (fun scores ->
+      let n = List.length scores in
+      QCheck.assume (n > 0);
+      let score = Array.of_list (0. :: scores) in
+      let h = Heap.create ~nvars:n ~gt:(fun a b -> score.(a) > score.(b)) in
+      for v = 1 to n do
+        Heap.insert h v
+      done;
+      let popped = List.init n (fun _ -> Heap.remove_max h) in
+      let keys = List.map (fun v -> score.(v)) popped in
+      List.sort (fun a b -> Float.compare b a) keys = keys)
+
+(* ---------- more Vec / Stats / Model coverage ---------- *)
+
+let test_vec_copy_independent () =
+  let v = Vec.of_list 0 [ 1; 2; 3 ] in
+  let w = Vec.copy v in
+  Vec.push w 4;
+  Vec.set w 0 9;
+  check int "original unchanged" 1 (Vec.get v 0);
+  check int "original size unchanged" 3 (Vec.size v);
+  check int "copy updated" 4 (Vec.size w)
+
+let test_vec_iteri_exists () =
+  let v = Vec.of_list 0 [ 10; 20; 30 ] in
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check bool "iteri pairs" true (List.rev !acc = [ (0, 10); (1, 20); (2, 30) ]);
+  check bool "exists true" true (Vec.exists (fun x -> x = 20) v);
+  check bool "exists false" false (Vec.exists (fun x -> x = 99) v)
+
+let test_stats_add_and_averages () =
+  let a = Sat.Stats.create () and b = Sat.Stats.create () in
+  a.Sat.Stats.learned <- 2;
+  a.Sat.Stats.learned_literals <- 10;
+  a.Sat.Stats.max_decision_level <- 4;
+  b.Sat.Stats.learned <- 3;
+  b.Sat.Stats.learned_literals <- 5;
+  b.Sat.Stats.max_decision_level <- 9;
+  Sat.Stats.add a b;
+  check int "learned summed" 5 a.Sat.Stats.learned;
+  check bool "avg length" true (abs_float (Sat.Stats.avg_learned_length a -. 3.) < 1e-9);
+  check int "max level maxed" 9 a.Sat.Stats.max_decision_level;
+  check bool "bcp fraction zero without time" true (Sat.Stats.bcp_fraction a = 0.)
+
+let test_model_accessors () =
+  let m = Model.of_array [| false; true; false; true |] in
+  check int "nvars" 3 (Model.nvars m);
+  check bool "value" true (Model.value m 1);
+  check bool "signed literals" true (Model.true_literals m = [ 1; -2; 3 ]);
+  Alcotest.check_raises "out of range" (Invalid_argument "Model.value: variable out of range")
+    (fun () -> ignore (Model.value m 4))
+
+let test_cnf_with_extra_clauses () =
+  let base = Cnf.make ~nvars:3 [ [ 1; 2 ] ] in
+  let extended = Cnf.with_extra_clauses base [ [| T.neg 1 |]; [| T.neg 2 |] ] in
+  check int "clauses appended" 3 (Cnf.nclauses extended);
+  check bool "combination unsat" true (Brute.solve extended = Brute.Unsat);
+  check bool "base unchanged" true (Cnf.nclauses base = 1)
+
+let test_dimacs_file_roundtrip () =
+  let cnf = Cnf.make ~nvars:4 [ [ 1; 2 ]; [ -1; 3 ]; [ 2; -4 ]; [ -3 ] ] in
+  let path = Filename.temp_file "gridsat_test" ".cnf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dimacs.write_file path cnf;
+      let back = Dimacs.parse_file path in
+      check int "vars survive" (Cnf.nvars cnf) (Cnf.nvars back);
+      check int "clauses survive" (Cnf.nclauses cnf) (Cnf.nclauses back))
+
+(* ---------- Cnf ---------- *)
+
+let test_cnf_normalisation () =
+  let cnf = Cnf.make ~nvars:3 [ [ 1; 1; 2 ]; [ 1; -1 ]; [ 3 ] ] in
+  check int "tautology dropped" 1 (Cnf.dropped_tautologies cnf);
+  check int "clauses kept" 2 (Cnf.nclauses cnf);
+  check int "duplicate literal removed" 3 (Cnf.nliterals cnf)
+
+let test_cnf_empty_clause () =
+  let cnf = Cnf.make ~nvars:2 [ []; [ 1 ] ] in
+  check bool "empty clause detected" true (Cnf.has_empty_clause cnf);
+  check bool "solver reports unsat" true (is_unsat (solve_cnf cnf))
+
+let test_cnf_out_of_range () =
+  Alcotest.check_raises "literal out of range"
+    (Invalid_argument "Cnf: literal 5 out of range (nvars = 3)") (fun () ->
+      ignore (Cnf.make ~nvars:3 [ [ 5 ] ]))
+
+let test_cnf_eval () =
+  let cnf = Cnf.make ~nvars:3 [ [ 1; -2 ]; [ 3 ] ] in
+  check bool "satisfying" true (Cnf.eval cnf [| false; true; true; true |]);
+  check bool "falsifying" false (Cnf.eval cnf [| false; false; true; true |])
+
+let prop_cnf_eval_total =
+  QCheck.Test.make ~name:"eval agrees with clause-wise eval" ~count:100 arbitrary_cnf
+    (fun cnf ->
+      let n = Cnf.nvars cnf in
+      let a = Array.init (n + 1) (fun i -> i mod 2 = 0) in
+      Cnf.eval cnf a
+      = List.for_all (fun c -> Cnf.clause_eval c a) (Cnf.clauses cnf))
+
+(* ---------- Dimacs ---------- *)
+
+let test_dimacs_parse () =
+  let doc = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let cnf = Dimacs.parse_string doc in
+  check int "nvars" 3 (Cnf.nvars cnf);
+  check int "nclauses" 2 (Cnf.nclauses cnf)
+
+let test_dimacs_multiline_clause () =
+  let doc = "p cnf 3 1\n1\n-2\n3 0\n" in
+  let cnf = Dimacs.parse_string doc in
+  check int "one clause across lines" 1 (Cnf.nclauses cnf)
+
+let test_dimacs_errors () =
+  let expect_fail doc =
+    match Dimacs.parse_string doc with
+    | exception Dimacs.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected Parse_error"
+  in
+  expect_fail "1 2 0\n";
+  expect_fail "p cnf x y\n";
+  expect_fail "p cnf 2 1\n3 0\n";
+  expect_fail "p cnf 2 1\np cnf 2 1\n1 0\n"
+
+let prop_dimacs_roundtrip =
+  QCheck.Test.make ~name:"dimacs print/parse roundtrip" ~count:100 arbitrary_cnf (fun cnf ->
+      let cnf' = Dimacs.parse_string (Dimacs.to_string cnf) in
+      Cnf.nvars cnf' = Cnf.nvars cnf
+      && List.map Array.to_list (Cnf.clauses cnf')
+         = List.map Array.to_list (Cnf.clauses cnf))
+
+(* ---------- Brute ---------- *)
+
+let test_brute_simple () =
+  let sat = Cnf.make ~nvars:2 [ [ 1; 2 ]; [ -1; 2 ] ] in
+  (match Brute.solve sat with
+  | Brute.Sat m -> check bool "model satisfies" true (Model.satisfies sat m)
+  | Brute.Unsat -> Alcotest.fail "expected sat");
+  let unsat = Cnf.make ~nvars:1 [ [ 1 ]; [ -1 ] ] in
+  check bool "unsat" true (Brute.solve unsat = Brute.Unsat)
+
+let test_brute_count () =
+  (* x1 or x2 has 3 models out of 4 *)
+  let cnf = Cnf.make ~nvars:2 [ [ 1; 2 ] ] in
+  check int "model count" 3 (Brute.count_models cnf)
+
+(* ---------- Solver: basic behaviours ---------- *)
+
+let test_solver_empty_formula () =
+  let cnf = Cnf.make ~nvars:3 [] in
+  check bool "trivially sat" true (is_sat (solve_cnf cnf))
+
+let test_solver_unit_propagation () =
+  let cnf = Cnf.make ~nvars:3 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ] in
+  match solve_cnf cnf with
+  | Solver.Sat m ->
+      check bool "v1" true (Model.value m 1);
+      check bool "v2" true (Model.value m 2);
+      check bool "v3" true (Model.value m 3)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_solver_conflict_at_root () =
+  let cnf = Cnf.make ~nvars:2 [ [ 1 ]; [ -1; 2 ]; [ -2 ] ] in
+  check bool "root conflict unsat" true (is_unsat (solve_cnf cnf))
+
+let php ~pigeons ~holes =
+  (* pigeon p in hole h is variable (p-1)*holes + h *)
+  let v p h = ((p - 1) * holes) + h in
+  let at_least =
+    List.init pigeons (fun p -> List.init holes (fun h -> v (p + 1) (h + 1)))
+  in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 -> if p2 > p1 then Some [ -v p1 h; -v p2 h ] else None)
+              (List.init pigeons (fun i -> i + 1)))
+          (List.init pigeons (fun i -> i + 1)))
+      (List.init holes (fun i -> i + 1))
+  in
+  Cnf.make ~nvars:(pigeons * holes) (at_least @ at_most)
+
+let test_solver_php () =
+  check bool "php(4,3) unsat" true (is_unsat (solve_cnf (php ~pigeons:4 ~holes:3)));
+  check bool "php(5,4) unsat" true (is_unsat (solve_cnf (php ~pigeons:5 ~holes:4)));
+  check bool "php(4,4) sat" true (is_sat (solve_cnf (php ~pigeons:4 ~holes:4)))
+
+let test_solver_model_verified () =
+  let cnf = php ~pigeons:4 ~holes:4 in
+  match solve_cnf cnf with
+  | Solver.Sat m -> check bool "model checks" true (Model.satisfies cnf m)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_solver_budget_resume () =
+  let cnf = php ~pigeons:7 ~holes:6 in
+  let s = Solver.create cnf in
+  let steps = ref 0 in
+  let rec loop () =
+    incr steps;
+    if !steps > 1_000_000 then Alcotest.fail "did not terminate";
+    match Solver.run s ~budget:100 with
+    | Solver.Budget_exhausted -> loop ()
+    | r -> r
+  in
+  check bool "resumable run finds unsat" true (is_unsat (loop ()));
+  check bool "took several slices" true (!steps > 1)
+
+let test_solver_budget_matches_single_run () =
+  (* Chunked execution must reach the same answer as one big run. *)
+  let cnf = php ~pigeons:6 ~holes:5 in
+  let one = solve_cnf cnf in
+  let s = Solver.create cnf in
+  let rec loop () =
+    match Solver.run s ~budget:57 with Solver.Budget_exhausted -> loop () | r -> r
+  in
+  check bool "same answer" true (is_unsat one && is_unsat (loop ()))
+
+let test_solver_stats_populated () =
+  let cnf = php ~pigeons:5 ~holes:4 in
+  let s = Solver.create cnf in
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  check bool "decisions > 0" true (st.Sat.Stats.decisions > 0);
+  check bool "propagations > 0" true (st.Sat.Stats.propagations > 0);
+  check bool "conflicts > 0" true (st.Sat.Stats.conflicts > 0);
+  check bool "learned > 0" true (st.Sat.Stats.learned > 0)
+
+let test_solver_mem_pressure () =
+  let cnf = php ~pigeons:8 ~holes:7 in
+  let config = { Solver.default_config with mem_limit_bytes = 2_000 } in
+  let s = Solver.create ~config cnf in
+  let rec loop n =
+    if n = 0 then Alcotest.fail "never reported memory pressure"
+    else
+      match Solver.run s ~budget:10_000 with
+      | Solver.Mem_pressure -> ()
+      | Solver.Budget_exhausted -> loop (n - 1)
+      | Solver.Unsat -> Alcotest.fail "solved despite tiny memory (unexpected for this test)"
+      | Solver.Sat _ -> Alcotest.fail "php is unsat"
+  in
+  loop 10_000
+
+let test_solver_roots () =
+  let cnf = Cnf.make ~nvars:3 [ [ 1; 2 ]; [ -1; 3 ] ] in
+  let s = Solver.create_with_roots cnf [ T.neg 2 ] in
+  (match Solver.solve s with
+  | Solver.Sat m ->
+      check bool "root respected" false (Model.value m 2);
+      check bool "v1 forced" true (Model.value m 1);
+      check bool "v3 forced" true (Model.value m 3)
+  | _ -> Alcotest.fail "expected sat");
+  let s2 = Solver.create_with_roots cnf [ T.neg 2; T.neg 1 ] in
+  check bool "contradictory roots unsat" true (is_unsat (Solver.solve s2))
+
+let test_solver_restarts_happen () =
+  let cnf = php ~pigeons:7 ~holes:6 in
+  let config = { Solver.default_config with restart_base = 8 } in
+  let s = Solver.create ~config cnf in
+  ignore (Solver.solve s);
+  check bool "restarted" true ((Solver.stats s).Sat.Stats.restarts > 0)
+
+let test_solver_no_restarts () =
+  let cnf = php ~pigeons:5 ~holes:4 in
+  let config = { Solver.default_config with restarts_enabled = false } in
+  let s = Solver.create ~config cnf in
+  ignore (Solver.solve s);
+  check int "no restarts" 0 (Solver.stats s).Sat.Stats.restarts
+
+(* ---------- Solver vs Brute (the key correctness property) ---------- *)
+
+let prop_solver_matches_brute =
+  QCheck.Test.make ~name:"CDCL agrees with brute force" ~count:400 arbitrary_cnf (fun cnf ->
+      match (solve_cnf cnf, Brute.solve cnf) with
+      | Solver.Sat m, Brute.Sat _ -> Model.satisfies cnf m
+      | Solver.Unsat, Brute.Unsat -> true
+      | Solver.Sat _, Brute.Unsat | Solver.Unsat, Brute.Sat _ -> false
+      | (Solver.Budget_exhausted | Solver.Mem_pressure), _ -> false)
+
+let prop_solver_deterministic =
+  QCheck.Test.make ~name:"same seed => same statistics" ~count:50 arbitrary_cnf (fun cnf ->
+      let run () =
+        let s = Solver.create cnf in
+        ignore (Solver.solve s);
+        let st = Solver.stats s in
+        (st.Sat.Stats.decisions, st.Sat.Stats.conflicts, st.Sat.Stats.propagations)
+      in
+      run () = run ())
+
+let prop_learned_clauses_implied =
+  (* Any clause the solver learns must be implied by the original formula:
+     formula AND (negation of learned clause) must be unsatisfiable. *)
+  QCheck.Test.make ~name:"learned clauses are implied" ~count:60
+    (QCheck.make (random_cnf_gen ~max_vars:8 ~max_clauses:30 ~max_len:3))
+    (fun cnf ->
+      let config = { Solver.default_config with share_export_max = 100 } in
+      let s = Solver.create ~config cnf in
+      ignore (Solver.solve s);
+      let learned = Solver.drain_shares s ~max_len:100 in
+      List.for_all
+        (fun clause ->
+          let negation = List.map (fun l -> [ T.to_int (T.negate l) ]) (Array.to_list clause) in
+          let augmented = Cnf.make ~nvars:(Cnf.nvars cnf) negation in
+          let combined = Cnf.with_extra_clauses augmented (Cnf.clauses cnf) in
+          Brute.solve combined = Brute.Unsat)
+        learned)
+
+(* ---------- Split ---------- *)
+
+let force_split s =
+  (* Drive the solver until it has at least one decision, then split.
+     Clauses are captured before the split commits the branch, exactly as
+     a GridSAT client does. *)
+  let rec loop n =
+    if n = 0 then None
+    else
+      match Solver.run s ~budget:30 with
+      | Solver.Budget_exhausted ->
+          if Solver.decision_level s > 0 then begin
+            let clauses = Solver.active_clauses s in
+            match Solver.split s with
+            | Some (facts, path) -> Some (clauses, facts, path)
+            | None -> None
+          end
+          else loop (n - 1)
+      | _ -> None
+  in
+  loop 2000
+
+let prop_split_preserves_satisfiability =
+  QCheck.Test.make ~name:"split: sat(P) = sat(A) || sat(B)" ~count:150
+    (QCheck.make (random_cnf_gen ~max_vars:10 ~max_clauses:42 ~max_len:3))
+    (fun cnf ->
+      let expected = Brute.solve cnf <> Brute.Unsat in
+      let s = Solver.create cnf in
+      match force_split s with
+      | None -> QCheck.assume_fail () (* solved before any split opportunity *)
+      | Some (clauses, facts, path) ->
+          (* side A: the mutated original solver; side B: fresh solver on the
+             transferred clauses + new roots *)
+          let b =
+            Solver.create_with_roots ~facts (Cnf.of_lit_arrays ~nvars:(Cnf.nvars cnf) clauses) path
+          in
+          let sat_a = is_sat (Solver.solve s) in
+          let sat_b = is_sat (Solver.solve b) in
+          (sat_a || sat_b) = expected)
+
+let prop_split_branches_disjoint =
+  QCheck.Test.make ~name:"split: branches disagree on the split literal" ~count:100
+    (QCheck.make (random_cnf_gen ~max_vars:10 ~max_clauses:42 ~max_len:3))
+    (fun cnf ->
+      let s = Solver.create cnf in
+      match force_split s with
+      | None -> QCheck.assume_fail ()
+      | Some (_, _, path) ->
+          (* the last path literal of B complements a root literal of A,
+             and A's committed branch is tracked as tainted *)
+          let d = List.nth path (List.length path - 1) in
+          List.mem (T.negate d) (Solver.root_path s))
+
+let test_split_at_root_is_none () =
+  let cnf = Cnf.make ~nvars:2 [ [ 1 ] ] in
+  let s = Solver.create cnf in
+  check bool "no decision yet" true (Solver.split s = None)
+
+(* ---------- Clause sharing ---------- *)
+
+let test_foreign_merge_implication () =
+  let cnf = Cnf.make ~nvars:3 [ [ 1; 2; 3 ] ] in
+  let s = Solver.create cnf in
+  Solver.queue_foreign_clauses s [ [| T.pos 2 |] ];
+  check int "queued" 1 (Solver.pending_foreign s);
+  (match Solver.solve s with
+  | Solver.Sat m -> check bool "foreign unit forced" true (Model.value m 2)
+  | _ -> Alcotest.fail "expected sat");
+  check int "queue drained" 0 (Solver.pending_foreign s);
+  check bool "implication recorded" true
+    ((Solver.stats s).Sat.Stats.foreign_implications >= 1)
+
+let test_foreign_merge_conflict () =
+  let cnf = Cnf.make ~nvars:2 [ [ 1 ] ] in
+  let s = Solver.create cnf in
+  Solver.queue_foreign_clauses s [ [| T.neg 1 |] ];
+  check bool "conflicting foreign clause => unsat" true (is_unsat (Solver.solve s))
+
+let test_foreign_merge_discard_satisfied () =
+  let cnf = Cnf.make ~nvars:2 [ [ 1 ] ] in
+  let s = Solver.create cnf in
+  Solver.queue_foreign_clauses s [ [| T.pos 1; T.pos 2 |] ];
+  ignore (Solver.solve s);
+  check bool "satisfied clause discarded" true
+    ((Solver.stats s).Sat.Stats.foreign_discarded >= 1)
+
+let prop_sharing_preserves_answer =
+  (* Feeding a solver clauses learned from the *same* formula by a peer
+     never changes the answer. *)
+  QCheck.Test.make ~name:"clause sharing is sound" ~count:100
+    (QCheck.make (random_cnf_gen ~max_vars:10 ~max_clauses:40 ~max_len:3))
+    (fun cnf ->
+      let peer = Solver.create ~config:{ Solver.default_config with seed = 1 } cnf in
+      ignore (Solver.solve peer);
+      let shares = Solver.drain_shares peer ~max_len:10 in
+      let s = Solver.create cnf in
+      Solver.queue_foreign_clauses s shares;
+      let expected = Brute.solve cnf <> Brute.Unsat in
+      (match Solver.solve s with
+      | Solver.Sat m -> expected && Model.satisfies cnf m
+      | Solver.Unsat -> not expected
+      | Solver.Budget_exhausted | Solver.Mem_pressure -> false))
+
+let random_assumptions nv seed =
+  (* a deterministic pseudo-random guiding path over distinct variables *)
+  let st = Random.State.make [| seed; nv |] in
+  let k = Random.State.int st (max 1 (nv / 2)) in
+  let vars = List.sort_uniq compare (List.init k (fun _ -> 1 + Random.State.int st nv)) in
+  List.map (fun v -> if Random.State.bool st then T.pos v else T.neg v) vars
+
+let prop_shares_from_assumed_solver_globally_valid =
+  (* The crux of sound distributed sharing: clauses exported by a client
+     working under guiding-path assumptions must be implied by the ORIGINAL
+     formula alone (taint tracking re-introduces the assumptions). *)
+  QCheck.Test.make ~name:"shares under assumptions are globally valid" ~count:120
+    QCheck.(
+      pair (QCheck.make (random_cnf_gen ~max_vars:8 ~max_clauses:28 ~max_len:3)) (int_range 0 1000))
+    (fun (cnf, seed) ->
+      let path = random_assumptions (Cnf.nvars cnf) seed in
+      let config = { Solver.default_config with share_export_max = 100 } in
+      let s = Solver.create_with_roots ~config cnf path in
+      ignore (Solver.solve s);
+      let shares = Solver.drain_shares s ~max_len:100 in
+      List.for_all
+        (fun clause ->
+          Array.length clause > 0
+          &&
+          let negation = List.map (fun l -> [ T.to_int (T.negate l) ]) (Array.to_list clause) in
+          let augmented = Cnf.make ~nvars:(Cnf.nvars cnf) negation in
+          let combined = Cnf.with_extra_clauses augmented (Cnf.clauses cnf) in
+          Brute.solve combined = Brute.Unsat)
+        shares)
+
+let prop_cross_subproblem_sharing_sound =
+  (* Full distributed scenario: split a problem, let one side share into the
+     other, answers must still combine to the brute-force answer. *)
+  QCheck.Test.make ~name:"cross-subproblem sharing preserves the answer" ~count:100
+    (QCheck.make (random_cnf_gen ~max_vars:10 ~max_clauses:42 ~max_len:3))
+    (fun cnf ->
+      let expected = Brute.solve cnf <> Brute.Unsat in
+      let s = Solver.create ~config:{ Solver.default_config with share_export_max = 100 } cnf in
+      match force_split s with
+      | None -> QCheck.assume_fail ()
+      | Some (clauses, facts, path) ->
+          let b =
+            Solver.create_with_roots
+              ~config:{ Solver.default_config with share_export_max = 100 }
+              ~facts
+              (Cnf.of_lit_arrays ~nvars:(Cnf.nvars cnf) clauses)
+              path
+          in
+          (* run A a bit more so it learns under its committed assumptions,
+             then inject its shares into B, and vice versa *)
+          ignore (Solver.run s ~budget:200);
+          Solver.queue_foreign_clauses b (Solver.drain_shares s ~max_len:100);
+          ignore (Solver.run b ~budget:200);
+          Solver.queue_foreign_clauses s (Solver.drain_shares b ~max_len:100);
+          let sat_a = is_sat (Solver.solve s) in
+          let sat_b = is_sat (Solver.solve b) in
+          (sat_a || sat_b) = expected)
+
+let test_drain_shares_respects_length () =
+  let cnf = php ~pigeons:5 ~holes:4 in
+  let s = Solver.create cnf in
+  ignore (Solver.solve s);
+  let shares = Solver.drain_shares s ~max_len:3 in
+  check bool "all short" true (List.for_all (fun c -> Array.length c <= 3) shares);
+  check bool "drained" true (Solver.drain_shares s ~max_len:10 = [])
+
+(* ---------- root simplification / transfer ---------- *)
+
+let test_active_clauses_pruned () =
+  (* clause (1 2) is satisfied once root forces 1: it must not be transferred *)
+  let cnf = Cnf.make ~nvars:3 [ [ 1 ]; [ 1; 2 ]; [ -1; 2; 3 ] ] in
+  let s = Solver.create cnf in
+  let active = Solver.active_clauses s in
+  check bool "satisfied clause dropped" true
+    (not
+       (List.exists
+          (fun c -> List.sort compare (Array.to_list c) = List.sort compare [ T.pos 1; T.pos 2 ])
+          active));
+  (* the false literal -1 must have been stripped from the last clause *)
+  check bool "false literal stripped" true
+    (List.exists (fun c -> Array.to_list c = [ T.pos 2; T.pos 3 ] || Array.to_list c = [ T.pos 3; T.pos 2 ]) active
+    || List.for_all (fun c -> not (Array.exists (fun l -> l = T.neg 1) c)) active)
+
+let test_transfer_bytes_positive () =
+  let cnf = php ~pigeons:4 ~holes:3 in
+  let s = Solver.create cnf in
+  check bool "positive size" true (Solver.transfer_bytes s > 0)
+
+let test_db_bytes_tracks_learning () =
+  let cnf = php ~pigeons:6 ~holes:5 in
+  let s = Solver.create cnf in
+  let before = Solver.db_bytes s in
+  ignore (Solver.run s ~budget:20_000);
+  check bool "db grows with learning" true (Solver.db_bytes s >= before)
+
+let prop_restart_strategies_preserve_answers =
+  QCheck.Test.make ~name:"all restart strategies agree" ~count:100 arbitrary_cnf (fun cnf ->
+      let answers =
+        List.map
+          (fun strategy ->
+            let config =
+              { Solver.default_config with Solver.restart_strategy = strategy; restart_base = 16 }
+            in
+            is_sat (solve_cnf ~config cnf))
+          [ Solver.Luby; Solver.Geometric 1.5; Solver.Fixed ]
+      in
+      match answers with
+      | [ a; b; c ] -> a = b && b = c && a = (Brute.solve cnf <> Brute.Unsat)
+      | _ -> false)
+
+let test_fixed_restarts_more_frequent () =
+  let cnf = php ~pigeons:7 ~holes:6 in
+  let restarts strategy =
+    let config =
+      { Solver.default_config with Solver.restart_strategy = strategy; restart_base = 16 }
+    in
+    let s = Solver.create ~config cnf in
+    ignore (Solver.solve s);
+    (Solver.stats s).Sat.Stats.restarts
+  in
+  check bool "fixed restarts at least as often as luby" true
+    (restarts Solver.Fixed >= restarts Solver.Luby)
+
+(* ---------- Preprocess ---------- *)
+
+module Pre = Sat.Preprocess
+
+let prop_preprocess_equisatisfiable =
+  QCheck.Test.make ~name:"preprocessing preserves satisfiability" ~count:300 arbitrary_cnf
+    (fun cnf ->
+      let r = Pre.run cnf in
+      let before = Brute.solve cnf <> Brute.Unsat in
+      let after = Brute.solve r.Pre.cnf <> Brute.Unsat in
+      before = after)
+
+let prop_preprocess_models_extend =
+  QCheck.Test.make ~name:"extended models satisfy the original" ~count:300 arbitrary_cnf
+    (fun cnf ->
+      match Pre.solve cnf with
+      | Solver.Sat m -> Model.satisfies cnf m
+      | Solver.Unsat -> Brute.solve cnf = Brute.Unsat
+      | Solver.Budget_exhausted | Solver.Mem_pressure -> false)
+
+let test_preprocess_subsumption () =
+  (* (1 2) subsumes (1 2 3); (1) self-subsumes (-1 2) to (2) *)
+  let cnf = Cnf.make ~nvars:3 [ [ 1; 2 ]; [ 1; 2; 3 ] ] in
+  let r = Pre.run cnf in
+  check bool "clause count shrinks" true (r.Pre.clauses_after < r.Pre.clauses_before)
+
+let test_preprocess_pure_literal () =
+  (* variable 3 occurs only positively: eliminated for free *)
+  let cnf = Cnf.make ~nvars:3 [ [ 1; 3 ]; [ 2; 3 ]; [ 1; -2 ] ] in
+  let r = Pre.run cnf in
+  check bool "eliminations happened" true (r.Pre.eliminated > 0);
+  match Pre.solve cnf with
+  | Solver.Sat m -> check bool "model valid" true (Model.satisfies cnf m)
+  | _ -> Alcotest.fail "expected sat"
+
+let test_preprocess_keeps_unsat () =
+  let cnf = php ~pigeons:5 ~holes:4 in
+  let r = Pre.run cnf in
+  check bool "still unsat after preprocessing" true (is_unsat (solve_cnf r.Pre.cnf))
+
+let test_preprocess_empty_formula () =
+  let r = Pre.run (Cnf.make ~nvars:2 []) in
+  check int "nothing to do" 0 r.Pre.clauses_after;
+  match Pre.solve (Cnf.make ~nvars:2 []) with
+  | Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "expected sat"
+
+(* ---------- extensions: minimization and phase saving ---------- *)
+
+let minimize_config = { Solver.default_config with Solver.minimize_learned = true }
+let phase_config = { Solver.default_config with Solver.phase_saving = true }
+
+let prop_minimization_preserves_answers =
+  QCheck.Test.make ~name:"clause minimization preserves answers" ~count:200 arbitrary_cnf
+    (fun cnf ->
+      match (solve_cnf ~config:minimize_config cnf, Brute.solve cnf) with
+      | Solver.Sat m, Brute.Sat _ -> Model.satisfies cnf m
+      | Solver.Unsat, Brute.Unsat -> true
+      | _ -> false)
+
+let prop_phase_saving_preserves_answers =
+  QCheck.Test.make ~name:"phase saving preserves answers" ~count:200 arbitrary_cnf (fun cnf ->
+      let config = { phase_config with Solver.minimize_learned = true } in
+      match (solve_cnf ~config cnf, Brute.solve cnf) with
+      | Solver.Sat m, Brute.Sat _ -> Model.satisfies cnf m
+      | Solver.Unsat, Brute.Unsat -> true
+      | _ -> false)
+
+let prop_minimized_learned_still_implied =
+  QCheck.Test.make ~name:"minimized learned clauses are implied" ~count:60
+    (QCheck.make (random_cnf_gen ~max_vars:8 ~max_clauses:30 ~max_len:3))
+    (fun cnf ->
+      let config = { minimize_config with Solver.share_export_max = 100 } in
+      let s = Solver.create ~config cnf in
+      ignore (Solver.solve s);
+      List.for_all
+        (fun clause ->
+          let negation = List.map (fun l -> [ T.to_int (T.negate l) ]) (Array.to_list clause) in
+          let augmented = Cnf.make ~nvars:(Cnf.nvars cnf) negation in
+          Brute.solve (Cnf.with_extra_clauses augmented (Cnf.clauses cnf)) = Brute.Unsat)
+        (Solver.drain_shares s ~max_len:100))
+
+let test_minimization_shortens_clauses () =
+  let cnf = php ~pigeons:7 ~holes:6 in
+  let run config =
+    let s = Solver.create ~config cnf in
+    ignore (Solver.solve s);
+    Sat.Stats.avg_learned_length (Solver.stats s)
+  in
+  let base = run Solver.default_config in
+  let minimized = run minimize_config in
+  check bool "average learned clause no longer" true (minimized <= base)
+
+let prop_minimized_proofs_check =
+  QCheck.Test.make ~name:"proofs with minimization still check" ~count:80
+    (QCheck.make (random_cnf_gen ~max_vars:8 ~max_clauses:40 ~max_len:3))
+    (fun cnf ->
+      QCheck.assume (Brute.solve cnf = Brute.Unsat);
+      let config = { minimize_config with Solver.emit_proof = true } in
+      let s = Solver.create ~config cnf in
+      match Solver.solve s with
+      | Solver.Unsat -> Sat.Drup.check cnf (Solver.proof s) = Ok ()
+      | _ -> false)
+
+(* ---------- DRUP proofs ---------- *)
+
+module Drup = Sat.Drup
+
+let proof_config = { Solver.default_config with Solver.emit_proof = true }
+
+let unsat_with_proof cnf =
+  let s = Solver.create ~config:proof_config cnf in
+  match Solver.solve s with
+  | Solver.Unsat -> Some (Solver.proof s)
+  | _ -> None
+
+let test_drup_php_proof () =
+  let cnf = php ~pigeons:6 ~holes:5 in
+  match unsat_with_proof cnf with
+  | None -> Alcotest.fail "expected unsat"
+  | Some proof ->
+      check bool "proof nonempty" true (proof <> []);
+      check bool "proof checks" true (Drup.check cnf proof = Ok ())
+
+let test_drup_tampered_proof_fails () =
+  let cnf = php ~pigeons:5 ~holes:4 in
+  match unsat_with_proof cnf with
+  | None -> Alcotest.fail "expected unsat"
+  | Some proof ->
+      (* drop all Add steps: the remaining proof cannot reach the empty clause *)
+      let holes_only =
+        List.filter (function Drup.Add _ -> false | Drup.Delete _ -> true) proof
+      in
+      (match Drup.check cnf holes_only with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "gutted proof must fail");
+      (* inserting a non-RUP clause must fail *)
+      let bogus = Drup.Add [| T.pos 1 |] :: Drup.Add [| T.neg 1 |] :: [] in
+      let cnf2 = Cnf.make ~nvars:2 [ [ 1; 2 ] ] in
+      match Drup.check cnf2 bogus with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "non-RUP step must fail"
+
+let test_drup_sat_run_has_no_refutation () =
+  let cnf = Cnf.make ~nvars:3 [ [ 1; 2 ]; [ -1; 3 ] ] in
+  let s = Solver.create ~config:proof_config cnf in
+  (match Solver.solve s with Solver.Sat _ -> () | _ -> Alcotest.fail "expected sat");
+  match Drup.check cnf (Solver.proof s) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "a satisfiable formula must not have a checking refutation"
+
+let test_drup_rup_single () =
+  let cnf = Cnf.make ~nvars:2 [ [ 1; 2 ]; [ 1; -2 ] ] in
+  check bool "unit 1 is RUP" true (Drup.check_clause_rup cnf [] [| T.pos 1 |]);
+  check bool "unit 2 is not RUP" false (Drup.check_clause_rup cnf [] [| T.pos 2 |])
+
+let test_drup_text_roundtrip () =
+  let proof =
+    [ Drup.Add [| T.pos 1; T.neg 2 |]; Drup.Delete [| T.pos 3 |]; Drup.Add [||] ]
+  in
+  check bool "roundtrip" true (Drup.of_string (Drup.to_string proof) = proof);
+  (match Drup.of_string "1 2 0\nd 3 0\n0\n" with
+  | [ Drup.Add _; Drup.Delete _; Drup.Add [||] ] -> ()
+  | _ -> Alcotest.fail "parse shape");
+  Alcotest.check_raises "unterminated line" (Failure "Drup.of_string: line not terminated by 0")
+    (fun () -> ignore (Drup.of_string "1 2\n"))
+
+let prop_drup_random_unsat_proofs_check =
+  QCheck.Test.make ~name:"random UNSAT proofs check" ~count:120
+    (QCheck.make (random_cnf_gen ~max_vars:8 ~max_clauses:40 ~max_len:3))
+    (fun cnf ->
+      QCheck.assume (Brute.solve cnf = Brute.Unsat);
+      match unsat_with_proof cnf with
+      | None -> false
+      | Some proof -> Drup.check cnf proof = Ok ())
+
+(* ---------- suite ---------- *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "literal encoding" `Quick test_lit_encoding;
+          Alcotest.test_case "zero literal rejected" `Quick test_lit_of_int_zero;
+          Alcotest.test_case "literal valuation" `Quick test_lit_value;
+        ]
+        @ qsuite [ prop_lit_roundtrip; prop_negate_involution ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/pop/shrink" `Quick test_vec_basic;
+          Alcotest.test_case "swap_remove" `Quick test_vec_swap_remove;
+          Alcotest.test_case "bounds checking" `Quick test_vec_bounds;
+        ]
+        @ qsuite [ prop_vec_to_of_list ] );
+      ( "heap",
+        [
+          Alcotest.test_case "pop order" `Quick test_heap_pop_order;
+          Alcotest.test_case "update" `Quick test_heap_update;
+          Alcotest.test_case "duplicate insert" `Quick test_heap_duplicate_insert;
+        ]
+        @ qsuite [ prop_heap_sorts ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "vec copy" `Quick test_vec_copy_independent;
+          Alcotest.test_case "vec iteri/exists" `Quick test_vec_iteri_exists;
+          Alcotest.test_case "stats arithmetic" `Quick test_stats_add_and_averages;
+          Alcotest.test_case "model accessors" `Quick test_model_accessors;
+          Alcotest.test_case "cnf extension" `Quick test_cnf_with_extra_clauses;
+          Alcotest.test_case "dimacs file roundtrip" `Quick test_dimacs_file_roundtrip;
+        ] );
+      ( "cnf",
+        [
+          Alcotest.test_case "normalisation" `Quick test_cnf_normalisation;
+          Alcotest.test_case "empty clause" `Quick test_cnf_empty_clause;
+          Alcotest.test_case "range check" `Quick test_cnf_out_of_range;
+          Alcotest.test_case "eval" `Quick test_cnf_eval;
+        ]
+        @ qsuite [ prop_cnf_eval_total ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "parse" `Quick test_dimacs_parse;
+          Alcotest.test_case "multiline clause" `Quick test_dimacs_multiline_clause;
+          Alcotest.test_case "errors" `Quick test_dimacs_errors;
+        ]
+        @ qsuite [ prop_dimacs_roundtrip ] );
+      ( "brute",
+        [
+          Alcotest.test_case "simple" `Quick test_brute_simple;
+          Alcotest.test_case "model count" `Quick test_brute_count;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "empty formula" `Quick test_solver_empty_formula;
+          Alcotest.test_case "unit propagation" `Quick test_solver_unit_propagation;
+          Alcotest.test_case "root conflict" `Quick test_solver_conflict_at_root;
+          Alcotest.test_case "pigeonhole" `Slow test_solver_php;
+          Alcotest.test_case "model verified" `Quick test_solver_model_verified;
+          Alcotest.test_case "budgeted resume" `Slow test_solver_budget_resume;
+          Alcotest.test_case "chunked = monolithic" `Slow test_solver_budget_matches_single_run;
+          Alcotest.test_case "stats populated" `Quick test_solver_stats_populated;
+          Alcotest.test_case "memory pressure" `Slow test_solver_mem_pressure;
+          Alcotest.test_case "root assumptions" `Quick test_solver_roots;
+          Alcotest.test_case "restarts happen" `Quick test_solver_restarts_happen;
+          Alcotest.test_case "restarts disabled" `Quick test_solver_no_restarts;
+        ]
+        @ qsuite
+            [ prop_solver_matches_brute; prop_solver_deterministic; prop_learned_clauses_implied ]
+      );
+      ( "split",
+        [ Alcotest.test_case "no decision => no split" `Quick test_split_at_root_is_none ]
+        @ qsuite [ prop_split_preserves_satisfiability; prop_split_branches_disjoint ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "foreign implication" `Quick test_foreign_merge_implication;
+          Alcotest.test_case "foreign conflict" `Quick test_foreign_merge_conflict;
+          Alcotest.test_case "foreign discard" `Quick test_foreign_merge_discard_satisfied;
+          Alcotest.test_case "drain respects length" `Quick test_drain_shares_respects_length;
+        ]
+        @ qsuite
+            [
+              prop_sharing_preserves_answer;
+              prop_shares_from_assumed_solver_globally_valid;
+              prop_cross_subproblem_sharing_sound;
+            ] );
+      ( "preprocess",
+        [
+          Alcotest.test_case "subsumption" `Quick test_preprocess_subsumption;
+          Alcotest.test_case "pure literal" `Quick test_preprocess_pure_literal;
+          Alcotest.test_case "unsat preserved" `Quick test_preprocess_keeps_unsat;
+          Alcotest.test_case "empty formula" `Quick test_preprocess_empty_formula;
+        ]
+        @ qsuite [ prop_preprocess_equisatisfiable; prop_preprocess_models_extend ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "minimization shortens" `Slow test_minimization_shortens_clauses;
+          Alcotest.test_case "fixed restart cadence" `Quick test_fixed_restarts_more_frequent;
+        ]
+        @ qsuite [ prop_restart_strategies_preserve_answers ]
+        @ qsuite
+            [
+              prop_minimization_preserves_answers;
+              prop_phase_saving_preserves_answers;
+              prop_minimized_learned_still_implied;
+              prop_minimized_proofs_check;
+            ] );
+      ( "drup",
+        [
+          Alcotest.test_case "pigeonhole proof" `Slow test_drup_php_proof;
+          Alcotest.test_case "tampered proof fails" `Quick test_drup_tampered_proof_fails;
+          Alcotest.test_case "sat run refutes nothing" `Quick test_drup_sat_run_has_no_refutation;
+          Alcotest.test_case "single RUP check" `Quick test_drup_rup_single;
+          Alcotest.test_case "text roundtrip" `Quick test_drup_text_roundtrip;
+        ]
+        @ qsuite [ prop_drup_random_unsat_proofs_check ] );
+      ( "transfer",
+        [
+          Alcotest.test_case "active clauses pruned" `Quick test_active_clauses_pruned;
+          Alcotest.test_case "transfer bytes" `Quick test_transfer_bytes_positive;
+          Alcotest.test_case "db bytes track learning" `Quick test_db_bytes_tracks_learning;
+        ] );
+    ]
