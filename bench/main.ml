@@ -9,7 +9,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [all|quick|table1|table2|bcp|sharing|pingpong|scheduler|bluehorizon|profile|ablation|micro]"
+     [all|quick|table1|table2|bcp|sharing|pingpong|scheduler|bluehorizon|profile|ablation|faults|chaos|parmodes|micro]"
 
 let section name f =
   Printf.printf "\n%s\n%s\n\n" (String.make 72 '=') name;
@@ -32,6 +32,7 @@ let () =
     section "Claim C7 (solver ablation)" Bench_lib.Claims.solver_ablation;
     section "Claim C8 (fault tolerance)" Bench_lib.Claims.fault_tolerance;
     section "Claim C9 (splitting vs portfolio)" Bench_lib.Claims.par_modes;
+    section "Claim C10 (chaos)" Bench_lib.Claims.chaos;
     section "Micro-benchmarks" Bench_lib.Micro.run
   in
   match args with
@@ -47,6 +48,7 @@ let () =
   | [ "profile" ] -> Bench_lib.Claims.profile ()
   | [ "ablation" ] -> Bench_lib.Claims.solver_ablation ()
   | [ "faults" ] -> Bench_lib.Claims.fault_tolerance ()
+  | [ "chaos" ] -> Bench_lib.Claims.chaos ()
   | [ "parmodes" ] -> Bench_lib.Claims.par_modes ()
   | [ "micro" ] -> Bench_lib.Micro.run ()
   | _ -> usage ()

@@ -8,6 +8,7 @@ type callbacks = {
 
 type solving = {
   solver : Solver.t;
+  pid : Protocol.pid;  (* identity of the subproblem being worked on *)
   started_at : float;
   transfer_time : float;  (* how long the problem took to reach us *)
   mutable split_epoch : float;  (* start of the current run-time-heuristic window *)
@@ -31,7 +32,10 @@ type t = {
   mem_budget : int;
   mutable state : state;
   mutable alive : bool;
+  mutable hung : bool;  (* fault injection: process wedged, not known dead *)
   mutable token : int;  (* bumped on every state change to invalidate stale slices *)
+  mutable next_branch : int;  (* stamps pids of branches this client donates *)
+  mutable rel : Reliable.t option;  (* set once in create; never None afterwards *)
   stats_acc : Sat.Stats.t;
 }
 
@@ -40,6 +44,8 @@ let id t = t.cid
 let is_busy t = match t.state with Solving _ -> true | Idle -> false
 
 let is_alive t = t.alive
+
+let is_hung t = t.hung
 
 let busy_since t = match t.state with Solving s -> Some s.started_at | Idle -> None
 
@@ -50,7 +56,14 @@ let solver_stats t =
   (match t.state with Solving s -> Sat.Stats.add acc (Solver.stats s.solver) | Idle -> ());
   acc
 
-let send t ~dst msg = Grid.Everyware.send t.bus ~src:t.cid ~dst ~bytes:(Protocol.size msg) msg
+let send_raw t ~dst msg = Grid.Everyware.send t.bus ~src:t.cid ~dst ~bytes:(Protocol.size msg) msg
+
+let reliable t = match t.rel with Some r -> r | None -> assert false
+
+(* Critical control messages ride the ack/retry channel; shares and other
+   safe-to-lose traffic goes straight out. *)
+let send t ~dst msg =
+  if Protocol.critical msg then Reliable.send (reliable t) ~dst msg else send_raw t ~dst msg
 
 let now t = Grid.Sim.now t.sim
 
@@ -70,10 +83,21 @@ let die t =
     t.alive <- false;
     t.state <- Idle;
     t.token <- t.token + 1;
+    (match t.rel with Some r -> Reliable.stop r | None -> ());
     Grid.Everyware.unregister t.bus ~id:t.cid
   end
 
 let kill t = die t
+
+(* A hung host stops computing, heartbeating and answering, but its
+   endpoint stays registered: to the rest of the grid it is
+   indistinguishable from a live-but-unreachable process. *)
+let hang t =
+  if t.alive && not t.hung then begin
+    t.hung <- true;
+    t.token <- t.token + 1;
+    match t.rel with Some r -> Reliable.stop r | None -> ()
+  end
 
 (* The run-time split heuristic (Section 3.3): a client asks for help after
    working for twice the time its problem took to arrive, but never sooner
@@ -89,7 +113,7 @@ let maybe_checkpoint t s =
   match t.cfg.checkpoint with
   | Config.No_checkpoint -> ()
   | Config.Light | Config.Heavy ->
-      if now t -. s.last_checkpoint >= 5. *. t.cfg.slice then begin
+      if now t -. s.last_checkpoint >= t.cfg.checkpoint_period then begin
         s.last_checkpoint <- now t;
         t.callbacks.save_checkpoint ~client:t.cid (Subproblem.capture s.solver)
       end
@@ -106,7 +130,7 @@ let rec schedule_slice t delay =
   ignore (Grid.Sim.schedule t.sim ~delay (fun () -> slice t token))
 
 and slice t token =
-  if t.alive && token = t.token then
+  if t.alive && (not t.hung) && token = t.token then
     match t.state with
     | Idle -> ()
     | Solving s ->
@@ -120,7 +144,7 @@ and slice t token =
         | Solver.Unsat ->
             t.callbacks.log (Events.Client_finished_unsat t.cid);
             flush_shares t s;
-            send t ~dst:t.master Protocol.Finished_unsat;
+            send t ~dst:t.master (Protocol.Finished_unsat { pid = s.pid });
             finish_problem t
         | Solver.Mem_pressure ->
             (* at the hard limit the solver cannot even store new learned
@@ -141,7 +165,7 @@ and slice t token =
             maybe_checkpoint t s;
             schedule_slice t t.cfg.slice)
 
-let start_problem t ~src ~transfer_time sp =
+let start_problem t ~src ~pid ~transfer_time sp =
   let solver_config =
     {
       t.cfg.solver_config with
@@ -156,6 +180,7 @@ let start_problem t ~src ~transfer_time sp =
     Solving
       {
         solver;
+        pid;
         started_at = now t;
         transfer_time;
         split_epoch = now t;
@@ -165,12 +190,18 @@ let start_problem t ~src ~transfer_time sp =
         hard_mem_strikes = 0;
       };
   send t ~dst:t.master
-    (Protocol.Problem_received { from = src; bytes = Subproblem.bytes sp; depth = Subproblem.depth sp });
+    (Protocol.Problem_received
+       { pid; from = src; bytes = Subproblem.bytes sp; depth = Subproblem.depth sp });
   (* an initial checkpoint covers the window before the first periodic one *)
   (match t.cfg.checkpoint with
   | Config.No_checkpoint -> ()
   | Config.Light | Config.Heavy -> t.callbacks.save_checkpoint ~client:t.cid sp);
   schedule_slice t t.cfg.slice
+
+let fresh_branch_pid t =
+  let n = t.next_branch in
+  t.next_branch <- n + 1;
+  (t.cid, n)
 
 let handle_split_partner t partner =
   match t.state with
@@ -181,45 +212,64 @@ let handle_split_partner t partner =
       | None -> send t ~dst:t.master Protocol.Split_failed
       | Some sp ->
           let bytes = Subproblem.bytes sp in
+          let pid = fresh_branch_pid t in
           s.split_epoch <- now t;
           s.hard_mem_strikes <- 0;
-          send t ~dst:partner (Protocol.Problem { sp; sent_at = now t });
-          send t ~dst:t.master (Protocol.Split_ok { dst = partner; bytes }))
+          send t ~dst:partner (Protocol.Problem { pid; sp; sent_at = now t });
+          send t ~dst:t.master (Protocol.Split_ok { pid; dst = partner; bytes }))
 
 let handle_migrate t target =
   match t.state with
   | Idle -> ()
   | Solving s ->
       let sp = Subproblem.capture s.solver in
-      send t ~dst:target (Protocol.Problem { sp; sent_at = now t });
+      send t ~dst:target (Protocol.Problem { pid = s.pid; sp; sent_at = now t });
       finish_problem t
 
+let handle_payload t ~src msg =
+  match msg with
+  | Protocol.Problem { pid; sp; sent_at } ->
+      if is_busy t then
+        (* double-assignment race (e.g. the master re-homed work while a
+           peer handoff was still in flight): never swallow a subproblem —
+           hand it back to the master for re-homing *)
+        send t ~dst:t.master (Protocol.Orphaned { pid; sp })
+      else start_problem t ~src ~pid ~transfer_time:(Float.max 0.1 (now t -. sent_at)) sp
+  | Protocol.Split_partner { partner } -> handle_split_partner t partner
+  | Protocol.Share_relay { origin = _; clauses } -> (
+      match t.state with
+      | Solving s -> Solver.queue_foreign_clauses s.solver clauses
+      | Idle -> ())
+  | Protocol.Migrate_to { target } -> handle_migrate t target
+  | Protocol.Stop ->
+      finish_problem t;
+      (match t.rel with Some r -> Reliable.stop r | None -> ());
+      t.alive <- false
+  | Protocol.Register | Protocol.Problem_received _ | Protocol.Split_request _
+  | Protocol.Split_ok _ | Protocol.Split_failed | Protocol.Shares _ | Protocol.Finished_unsat _
+  | Protocol.Found_model _ | Protocol.Orphaned _ | Protocol.Heartbeat ->
+      (* master-bound messages; a client should never receive them *)
+      ()
+  | Protocol.Ack _ | Protocol.Reliable _ -> (* unwrapped below; never nested *) ()
+
 let handle t ~src msg =
-  if t.alive then
+  if t.alive && not t.hung then
     match msg with
-    | Protocol.Problem { sp; sent_at } ->
-        if is_busy t then
-          (* protocol violation under normal operation; drop defensively *)
-          ()
-        else start_problem t ~src ~transfer_time:(Float.max 0.1 (now t -. sent_at)) sp
-    | Protocol.Split_partner { partner } -> handle_split_partner t partner
-    | Protocol.Share_relay { origin = _; clauses } -> (
-        match t.state with
-        | Solving s -> Solver.queue_foreign_clauses s.solver clauses
-        | Idle -> ())
-    | Protocol.Migrate_to { target } -> handle_migrate t target
-    | Protocol.Stop ->
-        finish_problem t;
-        t.alive <- false
-    | Protocol.Register | Protocol.Problem_received _ | Protocol.Split_request _
-    | Protocol.Split_ok _ | Protocol.Split_failed | Protocol.Shares _ | Protocol.Finished_unsat
-    | Protocol.Found_model _ ->
-        (* master-bound messages; a client should never receive them *)
-        ()
+    | Protocol.Reliable { mid; payload } ->
+        send_raw t ~dst:src (Protocol.Ack { mid });
+        if Reliable.admit (reliable t) ~src ~mid then handle_payload t ~src payload
+    | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
+    | _ -> handle_payload t ~src msg
 
 (* Empty clients take a moment to launch before they can register
    (process start-up on the remote host). *)
 let launch_delay = 1.0
+
+let rec heartbeat_loop t =
+  if t.alive && not t.hung then begin
+    send_raw t ~dst:t.master Protocol.Heartbeat;
+    ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.Config.heartbeat_period (fun () -> heartbeat_loop t))
+  end
 
 let create ~sim ~bus ~cfg ~resource ~trace ~master callbacks =
   let t =
@@ -235,13 +285,39 @@ let create ~sim ~bus ~cfg ~resource ~trace ~master callbacks =
       mem_budget = R.usable_memory resource;
       state = Idle;
       alive = resource.R.mem_bytes >= cfg.Config.min_client_memory;
+      hung = false;
       token = 0;
+      next_branch = 0;
+      rel = None;
       stats_acc = Sat.Stats.create ();
     }
   in
+  let rel =
+    Reliable.create ~sim ~send_raw:(fun ~dst msg -> send_raw t ~dst msg)
+      ~active:(fun () -> t.alive && not t.hung)
+      ~retry_base:cfg.Config.retry_base ~max_attempts:cfg.Config.retry_max_attempts
+      ~on_retry:(fun ~dst ~attempt ->
+        callbacks.log (Events.Message_retried { src = t.cid; dst; attempt }))
+      ~on_give_up:(fun ~dst msg ->
+        callbacks.log (Events.Message_given_up { src = t.cid; dst });
+        (* a lost peer-to-peer handoff must not swallow the branch: hand
+           the subproblem back to the master for re-homing *)
+        match msg with
+        | Protocol.Problem { pid; sp; _ } ->
+            callbacks.log (Events.Orphan_returned { donor = t.cid });
+            Reliable.send (reliable t) ~dst:t.master (Protocol.Orphaned { pid; sp })
+        | _ -> ())
+      ()
+  in
+  t.rel <- Some rel;
   if t.alive then begin
     Grid.Everyware.register bus ~id:t.cid ~site:resource.R.site ~handler:(fun ~src msg ->
         handle t ~src msg);
-    ignore (Grid.Sim.schedule sim ~delay:launch_delay (fun () -> send t ~dst:master Protocol.Register))
+    ignore
+      (Grid.Sim.schedule sim ~delay:launch_delay (fun () ->
+           if t.alive && not t.hung then begin
+             send t ~dst:master Protocol.Register;
+             heartbeat_loop t
+           end))
   end;
   t

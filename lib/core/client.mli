@@ -9,7 +9,12 @@
     merges clauses received from peers.  On a split directive it performs
     the Figure 2 transformation and ships the complementary subproblem
     directly to its partner (peer-to-peer, the large message of
-    Figure 3). *)
+    Figure 3).
+
+    Liveness: every client beacons a {!Protocol.Heartbeat} to the master
+    each [heartbeat_period], and all critical control messages ride a
+    reliable (ack + bounded-retry) channel.  Clause shares remain
+    fire-and-forget. *)
 
 type t
 
@@ -36,10 +41,18 @@ val is_busy : t -> bool
 
 val is_alive : t -> bool
 
+val is_hung : t -> bool
+
 val kill : t -> unit
 (** Failure injection: the host dies.  The endpoint is unregistered; any
     in-flight messages to it are dropped.  The master is {e not} notified
     (it discovers the death through its own monitoring). *)
+
+val hang : t -> unit
+(** Failure injection: the process wedges.  It stops computing,
+    heartbeating, answering and retrying, but its endpoint stays
+    registered, so to the rest of the grid it is indistinguishable from a
+    live-but-unreachable process. *)
 
 val solver_stats : t -> Sat.Stats.t
 (** Accumulated statistics over every subproblem this client worked on. *)

@@ -14,6 +14,11 @@ type t = {
   nws_probe_interval : float;
   migration_enabled : bool;
   checkpoint : checkpoint_mode;
+  checkpoint_period : float;
+  heartbeat_period : float;
+  suspect_timeout : float;
+  retry_base : float;
+  retry_max_attempts : int;
   solver_config : Sat.Solver.config;
   seed : int;
 }
@@ -31,6 +36,11 @@ let default =
     nws_probe_interval = 30.;
     migration_enabled = true;
     checkpoint = No_checkpoint;
+    checkpoint_period = 10.;
+    heartbeat_period = 10.;
+    suspect_timeout = 60.;
+    retry_base = 2.;
+    retry_max_attempts = 6;
     solver_config = Sat.Solver.default_config;
     seed = 0;
   }

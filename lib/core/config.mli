@@ -26,6 +26,17 @@ type t = {
   nws_probe_interval : float;  (** how often the master samples host availability *)
   migration_enabled : bool;
   checkpoint : checkpoint_mode;
+  checkpoint_period : float;
+      (** how often a busy client persists its state (virtual seconds), so
+          it stays recoverable even if it never splits *)
+  heartbeat_period : float;  (** client liveness beacon interval *)
+  suspect_timeout : float;
+      (** lease length of the master's failure detector: a monitored host
+          silent for longer is declared dead and its work recovered.  Must
+          comfortably exceed [heartbeat_period]. *)
+  retry_base : float;  (** first backoff delay of the reliable channel *)
+  retry_max_attempts : int;
+      (** reliable sends abandoned after this many unacked transmissions *)
   solver_config : Sat.Solver.config;
   seed : int;
 }

@@ -11,6 +11,14 @@ type kind =
   | Client_found_model of int
   | Model_verified of bool
   | Client_killed of int
+  | Host_crashed of int
+  | Host_hung of int
+  | Client_suspected of { client : int }
+  | False_suspicion of { client : int }
+  | Message_retried of { src : int; dst : int; attempt : int }
+  | Message_given_up of { src : int; dst : int }
+  | Recovery_requeued of { client : int }
+  | Orphan_returned of { donor : int }
   | Checkpoint_saved of { client : int; bytes : int }
   | Recovered_from_checkpoint of { client : int; onto : int }
   | Batch_job_submitted of { nodes : int }
@@ -42,6 +50,20 @@ let pp_kind ppf = function
   | Client_found_model id -> Format.fprintf ppf "client %d: found a satisfying assignment" id
   | Model_verified ok -> Format.fprintf ppf "master verified model: %b" ok
   | Client_killed id -> Format.fprintf ppf "client %d killed" id
+  | Host_crashed id -> Format.fprintf ppf "fault: host %d crashed (silently)" id
+  | Host_hung id -> Format.fprintf ppf "fault: host %d hung (unresponsive)" id
+  | Client_suspected { client } ->
+      Format.fprintf ppf "client %d suspected dead (lease expired)" client
+  | False_suspicion { client } ->
+      Format.fprintf ppf "client %d was falsely suspected; fencing it" client
+  | Message_retried { src; dst; attempt } ->
+      Format.fprintf ppf "message %d -> %d retried (attempt %d)" src dst attempt
+  | Message_given_up { src; dst } ->
+      Format.fprintf ppf "message %d -> %d abandoned after max retries" src dst
+  | Recovery_requeued { client } ->
+      Format.fprintf ppf "no idle host: client %d's work queued for recovery" client
+  | Orphan_returned { donor } ->
+      Format.fprintf ppf "client %d returned an orphaned subproblem (handoff failed)" donor
   | Checkpoint_saved { client; bytes } ->
       Format.fprintf ppf "checkpoint of client %d saved (%d bytes)" client bytes
   | Recovered_from_checkpoint { client; onto } ->

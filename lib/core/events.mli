@@ -16,6 +16,18 @@ type kind =
   | Client_found_model of int
   | Model_verified of bool
   | Client_killed of int
+  | Host_crashed of int  (** fault injection ground truth: silent crash *)
+  | Host_hung of int  (** fault injection ground truth: silent hang *)
+  | Client_suspected of { client : int }
+      (** the failure detector's lease on this client expired *)
+  | False_suspicion of { client : int }
+      (** a message arrived from a host already declared dead; it is fenced *)
+  | Message_retried of { src : int; dst : int; attempt : int }
+  | Message_given_up of { src : int; dst : int }
+  | Recovery_requeued of { client : int }
+      (** a recovered subproblem is parked until a host frees up *)
+  | Orphan_returned of { donor : int }
+      (** a donor's peer-to-peer handoff exhausted its retries *)
   | Checkpoint_saved of { client : int; bytes : int }
   | Recovered_from_checkpoint of { client : int; onto : int }
   | Batch_job_submitted of { nodes : int }

@@ -1,8 +1,19 @@
-let solve ?(config = Config.default) ?on_master ~testbed cnf =
+let solve ?(config = Config.default) ?(fault_plan = []) ?on_master ~testbed cnf =
   let sim = Grid.Sim.create () in
   let net = Grid.Network.create () in
   let bus = Grid.Everyware.create sim net in
   let master = Master.create ~sim ~net ~bus ~cfg:config ~testbed cnf in
+  (match fault_plan with
+  | [] -> ()
+  | specs ->
+      let ctl =
+        Grid.Fault.arm ~sim ~seed:config.Config.seed
+          ~on_crash:(fun host -> Master.crash_host master host)
+          ~on_hang:(fun host -> Master.hang_host master host)
+          specs
+      in
+      Grid.Everyware.set_fault bus (fun ~src_site ~dst_site ~bytes ->
+          Grid.Fault.decide ctl ~src_site ~dst_site ~bytes));
   (match on_master with Some f -> f master | None -> ());
   (* Drive the simulation until the master reaches a verdict.  The master
      always arms an overall-timeout event, so this terminates. *)

@@ -16,11 +16,17 @@
 
 val solve :
   ?config:Config.t ->
+  ?fault_plan:Grid.Fault.spec list ->
   ?on_master:(Master.t -> unit) ->
   testbed:Testbed.t ->
   Sat.Cnf.t ->
   Master.result
 (** Runs to termination (answer, timeout, or unrecoverable failure).
+    [fault_plan] arms the fault-injection subsystem against the run: host
+    crashes and hangs fire on the simulation clock, and message faults
+    (drops, delays, duplicates, partitions) are applied to every send.
+    The plan is evaluated with a private RNG seeded from the config, so
+    the same plan and seed replay the identical failure schedule.
     [on_master] exposes the master right after construction — tests use it
     to inject failures at scheduled times. *)
 

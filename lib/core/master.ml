@@ -11,6 +11,11 @@ type result = {
   shared_clauses : int;
   messages : int;
   bytes : int;
+  dropped_messages : int;
+  dropped_bytes : int;
+  retries : int;
+  false_suspicions : int;
+  recoveries : int;
   checkpoint_bytes : int;
   solver_stats : Sat.Stats.t;
   events : Events.t list;
@@ -25,6 +30,9 @@ type hostinfo = {
   nws : Grid.Nws.t;
   mutable rstate : rstate;
   mutable busy_since : float;
+  mutable last_heard : float;  (* failure-detector lease anchor *)
+  mutable fenced : bool;  (* a declared-dead host that spoke again was told to stop *)
+  mutable pid : Protocol.pid option;  (* the subproblem this host is working on *)
 }
 
 type t = {
@@ -38,7 +46,14 @@ type t = {
   mutable backlog : (int * float) list;  (* requester, busy-since at request time *)
   mutable pending_partner : (int * int) list;  (* requester -> reserved partner *)
   mutable migrating : (int * int) list;  (* source -> reserved target *)
-  mutable active_problems : int;
+  live_problems : (Protocol.pid, unit) Hashtbl.t;
+      (* every subproblem not yet refuted; UNSAT iff it drains empty.
+         Keyed by pid so duplicated or re-homed copies count once. *)
+  in_flight : (int, Protocol.pid * Subproblem.t) Hashtbl.t;
+      (* problems the master itself sent that are not yet acknowledged by a
+         Problem_received; recoverable without a checkpoint *)
+  mutable pending_recovery : (Protocol.pid * Subproblem.t * int * bool) list;
+      (* pid, subproblem, failed client, came-from-checkpoint *)
   mutable problem_assigned : bool;
   mutable finished : bool;
   mutable answer : answer option;
@@ -50,11 +65,14 @@ type t = {
   mutable events : Events.t list;  (* newest first *)
   mutable batch_job : (Grid.Batch.t * Grid.Batch.job) option;
   mutable next_batch_id : int;
+  mutable rel : Reliable.t option;  (* set once in create; never None afterwards *)
   rng : Random.State.t;
   started_at : float;
 }
 
 let master_id = 0
+
+let initial_pid : Protocol.pid = (master_id, 0)
 
 let log t kind = t.events <- Events.make (Grid.Sim.now t.sim) kind :: t.events
 
@@ -71,7 +89,13 @@ let busy_client_ids t =
 
 let finished t = t.finished
 
-let send t ~dst msg = Grid.Everyware.send t.bus ~src:master_id ~dst ~bytes:(Protocol.size msg) msg
+let reliable t = match t.rel with Some r -> r | None -> assert false
+
+let send_raw t ~dst msg =
+  Grid.Everyware.send t.bus ~src:master_id ~dst ~bytes:(Protocol.size msg) msg
+
+let send t ~dst msg =
+  if Protocol.critical msg then Reliable.send (reliable t) ~dst msg else send_raw t ~dst msg
 
 let update_max t =
   let b = busy_clients t in
@@ -81,6 +105,8 @@ let aggregate_stats t =
   let acc = Sat.Stats.create () in
   Hashtbl.iter (fun _ h -> Sat.Stats.add acc (Client.solver_stats h.client)) t.hosts;
   acc
+
+let count_events t f = List.fold_left (fun acc e -> if f e.Events.kind then acc + 1 else acc) 0 t.events
 
 let result t =
   match t.answer with
@@ -95,18 +121,46 @@ let result t =
         shared_clauses = t.shared_clauses;
         messages = Grid.Everyware.messages_sent t.bus;
         bytes = Grid.Everyware.bytes_sent t.bus;
+        dropped_messages = Grid.Everyware.messages_dropped t.bus;
+        dropped_bytes = Grid.Everyware.bytes_dropped t.bus;
+        retries = count_events t (function Events.Message_retried _ -> true | _ -> false);
+        false_suspicions = count_events t (function Events.False_suspicion _ -> true | _ -> false);
+        recoveries =
+          count_events t (function Events.Recovered_from_checkpoint _ -> true | _ -> false);
         checkpoint_bytes = t.checkpoint_bytes_peak;
         solver_stats = aggregate_stats t;
         events = events_so_far t;
       }
+
+let host t id = Hashtbl.find t.hosts id
+
+let unreserve t id =
+  match Hashtbl.find_opt t.hosts id with
+  | Some h when h.rstate = Reserved -> h.rstate <- Idle
+  | _ -> ()
+
+let reserved_hosts t =
+  Hashtbl.fold (fun id h acc -> if h.rstate = Reserved then id :: acc else acc) t.hosts []
+  |> List.sort compare
 
 let terminate t answer why =
   if not t.finished then begin
     t.finished <- true;
     t.answer <- Some answer;
     log t (Events.Terminated why);
+    (* a finished run must not leave hosts parked in Reserved: clear every
+       outstanding reservation before the Stop broadcast *)
+    List.iter (fun (_, partner) -> unreserve t partner) t.pending_partner;
+    List.iter (fun (_, target) -> unreserve t target) t.migrating;
+    Hashtbl.iter (fun dst _ -> unreserve t dst) t.in_flight;
+    t.pending_partner <- [];
+    t.migrating <- [];
+    t.backlog <- [];
+    t.pending_recovery <- [];
+    Hashtbl.reset t.in_flight;
+    (match t.rel with Some r -> Reliable.stop r | None -> ());
     Hashtbl.iter
-      (fun id h -> if h.rstate <> Dead && Client.is_alive h.client then send t ~dst:id Protocol.Stop)
+      (fun id h -> if h.rstate <> Dead && Client.is_alive h.client then send_raw t ~dst:id Protocol.Stop)
       t.hosts;
     match t.batch_job with
     | Some (ctl, job)
@@ -128,8 +182,6 @@ let idle_candidates t =
   (* stable order so Random_pick and ties are reproducible *)
   |> List.sort (fun a b -> compare a.Scheduler.resource.R.id b.Scheduler.resource.R.id)
 
-let host t id = Hashtbl.find t.hosts id
-
 let grant_split t requester =
   match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
   | None -> false
@@ -147,6 +199,39 @@ let release_partner t requester =
   | Some partner ->
       t.pending_partner <- List.remove_assoc requester t.pending_partner;
       Some partner
+
+(* Re-home a subproblem that lost its host (checkpoint recovery or a
+   returned orphan).  The pid is already in [live_problems]; if no idle
+   host is available the work parks in [pending_recovery] — never lost,
+   so the run cannot answer UNSAT while it waits. *)
+let assign_recovered t ~failed ~from_checkpoint pid sp =
+  match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
+  | Some cand ->
+      let dst = cand.Scheduler.resource.R.id in
+      (host t dst).rstate <- Reserved;
+      Hashtbl.replace t.in_flight dst (pid, sp);
+      if from_checkpoint then log t (Events.Recovered_from_checkpoint { client = failed; onto = dst });
+      send t ~dst (Protocol.Problem { pid; sp; sent_at = Grid.Sim.now t.sim })
+  | None ->
+      log t (Events.Recovery_requeued { client = failed });
+      t.pending_recovery <- t.pending_recovery @ [ (pid, sp, failed, from_checkpoint) ]
+
+let rec serve_recovery t =
+  if (not t.finished) && t.pending_recovery <> [] then
+    match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
+    | None -> ()
+    | Some cand ->
+        let dst = cand.Scheduler.resource.R.id in
+        let (pid, sp, failed, from_checkpoint), rest =
+          (List.hd t.pending_recovery, List.tl t.pending_recovery)
+        in
+        t.pending_recovery <- rest;
+        (host t dst).rstate <- Reserved;
+        Hashtbl.replace t.in_flight dst (pid, sp);
+        if from_checkpoint then
+          log t (Events.Recovered_from_checkpoint { client = failed; onto = dst });
+        send t ~dst (Protocol.Problem { pid; sp; sent_at = Grid.Sim.now t.sim });
+        serve_recovery t
 
 (* Serve the backlog with a freshly idle resource: the paper splits the
    client that has been running the same subproblem the longest. *)
@@ -203,41 +288,48 @@ let consider_migration t =
     | _ -> ()
   end
 
+let dispatch t =
+  serve_recovery t;
+  serve_backlog t;
+  consider_migration t
+
 (* ---------- message handling ---------- *)
 
 let assign_initial_problem t dst =
   let sp = Subproblem.initial t.cnf in
   t.problem_assigned <- true;
-  t.active_problems <- 1;
+  Hashtbl.replace t.live_problems initial_pid ();
   (host t dst).rstate <- Reserved;
-  send t ~dst (Protocol.Problem { sp; sent_at = Grid.Sim.now t.sim })
+  Hashtbl.replace t.in_flight dst (initial_pid, sp);
+  send t ~dst (Protocol.Problem { pid = initial_pid; sp; sent_at = Grid.Sim.now t.sim })
 
 let on_register t src =
   let h = host t src in
   h.rstate <- Idle;
   log t (Events.Client_started src);
-  if not t.problem_assigned then assign_initial_problem t src
-  else begin
-    serve_backlog t;
-    consider_migration t
-  end
+  if not t.problem_assigned then assign_initial_problem t src else dispatch t
 
-let on_problem_received t src ~from ~bytes ~depth =
+let on_problem_received t src ~pid ~from ~bytes ~depth =
   let h = host t src in
+  Hashtbl.remove t.in_flight src;
   (* a migration target becoming busy frees its source *)
   (match List.find_opt (fun (_, dst) -> dst = src) t.migrating with
   | Some (s, _) ->
       t.migrating <- List.filter (fun (_, dst) -> dst <> src) t.migrating;
       let sh = host t s in
-      if sh.rstate = Busy then sh.rstate <- Idle;
+      if sh.rstate = Busy then begin
+        sh.rstate <- Idle;
+        sh.pid <- None
+      end;
       log t (Events.Migration { src = s; dst = src; bytes })
   | None -> ());
+  Hashtbl.replace t.live_problems pid ();
   h.rstate <- Busy;
+  h.pid <- Some pid;
   h.busy_since <- Grid.Sim.now t.sim;
   log t (Events.Problem_assigned { src = from; dst = src; bytes; depth });
   update_max t;
-  serve_backlog t;
-  consider_migration t
+  dispatch t
 
 let on_split_request t src _reason =
   (* the requesting client already logged the Split_requested event *)
@@ -247,19 +339,17 @@ let on_split_request t src _reason =
     log t (Events.Split_denied { client = src })
   end
 
-let on_split_ok t src dst bytes =
+let on_split_ok t src ~pid ~dst ~bytes =
   t.splits <- t.splits + 1;
-  t.active_problems <- t.active_problems + 1;
+  Hashtbl.replace t.live_problems pid ();
   t.pending_partner <- List.remove_assoc src t.pending_partner;
   log t (Events.Split_completed { src; dst; bytes })
 
 let on_split_failed t src =
   (match release_partner t src with
-  | Some partner ->
-      let h = host t partner in
-      if h.rstate = Reserved then h.rstate <- Idle
+  | Some partner -> unreserve t partner
   | None -> ());
-  serve_backlog t
+  dispatch t
 
 let on_shares t src clauses =
   t.share_batches <- t.share_batches + 1;
@@ -274,18 +364,32 @@ let on_shares t src clauses =
     t.hosts;
   log t (Events.Shares_broadcast { origin = src; count = List.length clauses; recipients = !recipients })
 
-let on_finished_unsat t src =
+let on_finished_unsat t src pid =
   let h = host t src in
-  if h.rstate = Busy then h.rstate <- Idle;
+  if h.rstate = Busy then begin
+    h.rstate <- Idle;
+    h.pid <- None
+  end;
+  (* a finished requester no longer needs the partner reserved for it *)
+  (match release_partner t src with
+  | Some partner -> unreserve t partner
+  | None -> ());
   Checkpoint.drop t.checkpoints ~client:src;
   t.backlog <- List.filter (fun (c, _) -> c <> src) t.backlog;
   log t (Events.Client_finished_unsat src);
-  t.active_problems <- t.active_problems - 1;
-  if t.active_problems <= 0 then terminate t Unsat "all clients idle: unsatisfiable"
-  else begin
-    serve_backlog t;
-    consider_migration t
+  (* removal is idempotent by pid: a duplicated or re-homed copy of the
+     same subproblem cannot drive the live count negative.  UNSAT also
+     waits out pending split pairs — a granted split whose Split_ok has
+     not arrived yet may be about to register a new live branch. *)
+  if Hashtbl.mem t.live_problems pid then begin
+    Hashtbl.remove t.live_problems pid;
+    if
+      Hashtbl.length t.live_problems = 0
+      && t.pending_recovery = [] && t.pending_partner = []
+    then terminate t Unsat "all subproblems refuted: unsatisfiable"
+    else dispatch t
   end
+  else dispatch t
 
 let on_found_model t src model =
   log t (Events.Client_found_model src);
@@ -297,57 +401,192 @@ let on_found_model t src model =
     terminate t (Unknown "model verification failed") "model verification failed"
   end
 
+(* A donor exhausted the retries of a peer-to-peer Problem handoff and
+   returned the branch.  Undo whatever reservation backed the handoff and
+   re-home the subproblem; a late copy reaching the original addressee
+   only duplicates work, which the pid accounting absorbs. *)
+let on_orphaned t src pid sp =
+  let h = host t src in
+  (match release_partner t src with
+  | Some partner -> unreserve t partner
+  | None -> ());
+  (match List.assoc_opt src t.migrating with
+  | Some target ->
+      t.migrating <- List.remove_assoc src t.migrating;
+      unreserve t target
+  | None -> ());
+  (* a migration source already dropped its solver state; it is idle now *)
+  if h.pid = Some pid then begin
+    if h.rstate = Busy then h.rstate <- Idle;
+    h.pid <- None
+  end;
+  Hashtbl.replace t.live_problems pid ();
+  assign_recovered t ~failed:src ~from_checkpoint:false pid sp
+
+let handle_payload t ~src msg =
+  match msg with
+  | Protocol.Register -> on_register t src
+  | Protocol.Problem_received { pid; from; bytes; depth } ->
+      on_problem_received t src ~pid ~from ~bytes ~depth
+  | Protocol.Split_request reason -> on_split_request t src reason
+  | Protocol.Split_ok { pid; dst; bytes } -> on_split_ok t src ~pid ~dst ~bytes
+  | Protocol.Split_failed -> on_split_failed t src
+  | Protocol.Shares { clauses } -> on_shares t src clauses
+  | Protocol.Finished_unsat { pid } -> on_finished_unsat t src pid
+  | Protocol.Found_model m -> on_found_model t src m
+  | Protocol.Orphaned { pid; sp } -> on_orphaned t src pid sp
+  | Protocol.Heartbeat -> ()
+  | Protocol.Problem _ | Protocol.Split_partner _ | Protocol.Share_relay _
+  | Protocol.Migrate_to _ | Protocol.Stop ->
+      (* client-bound messages; the master should never receive them *)
+      ()
+  | Protocol.Ack _ | Protocol.Reliable _ -> (* unwrapped by [handle]; never nested *) ()
+
+(* A message from a host we already declared dead.  Acks still settle our
+   own retries; a model is always worth verifying; a heartbeat is proof of
+   life, i.e. a false suspicion.  Everything else is fenced: the host's
+   work was re-homed, so letting it talk again would double-count. *)
+let handle_zombie t ~src h msg =
+  let fence () =
+    if not h.fenced then begin
+      h.fenced <- true;
+      (match msg with
+      | Protocol.Heartbeat -> log t (Events.False_suspicion { client = src })
+      | _ -> ());
+      send_raw t ~dst:src Protocol.Stop
+    end
+  in
+  match msg with
+  | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
+  | Protocol.Reliable { mid; payload } -> (
+      (* ack even zombies, to quiet their retry timers *)
+      send_raw t ~dst:src (Protocol.Ack { mid });
+      fence ();
+      match payload with
+      | Protocol.Found_model m when Reliable.admit (reliable t) ~src ~mid -> on_found_model t src m
+      | _ -> ())
+  | Protocol.Found_model m ->
+      fence ();
+      on_found_model t src m
+  | _ -> fence ()
+
 let handle t ~src msg =
   if not t.finished then
-    match msg with
-    | Protocol.Register -> on_register t src
-    | Protocol.Problem_received { from; bytes; depth } ->
-        on_problem_received t src ~from ~bytes ~depth
-    | Protocol.Split_request reason -> on_split_request t src reason
-    | Protocol.Split_ok { dst; bytes } -> on_split_ok t src dst bytes
-    | Protocol.Split_failed -> on_split_failed t src
-    | Protocol.Shares { clauses } -> on_shares t src clauses
-    | Protocol.Finished_unsat -> on_finished_unsat t src
-    | Protocol.Found_model m -> on_found_model t src m
-    | Protocol.Problem _ | Protocol.Split_partner _ | Protocol.Share_relay _
-    | Protocol.Migrate_to _ | Protocol.Stop ->
-        (* client-bound messages; the master should never receive them *)
-        ()
+    match Hashtbl.find_opt t.hosts src with
+    | None -> ()
+    | Some h when h.rstate = Dead -> handle_zombie t ~src h msg
+    | Some h -> (
+        h.last_heard <- Grid.Sim.now t.sim;
+        match msg with
+        | Protocol.Reliable { mid; payload } ->
+            send_raw t ~dst:src (Protocol.Ack { mid });
+            if Reliable.admit (reliable t) ~src ~mid then handle_payload t ~src payload
+        | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
+        | _ -> handle_payload t ~src msg)
 
 (* ---------- failure handling ---------- *)
+
+(* Write [id] off and recover whatever it was responsible for.  Shared by
+   the failure detector (lease expiry) and direct test injection. *)
+let declare_dead t id =
+  match Hashtbl.find_opt t.hosts id with
+  | None -> ()
+  | Some h ->
+      if h.rstate <> Dead then begin
+        let prev = h.rstate in
+        let prev_pid = h.pid in
+        h.rstate <- Dead;
+        h.pid <- None;
+        t.backlog <- List.filter (fun (c, _) -> c <> id) t.backlog;
+        (* a split requester died while its partner sat reserved *)
+        (match release_partner t id with
+        | Some partner -> unreserve t partner
+        | None -> ());
+        (* if [id] was someone's reserved partner, the donor's own
+           retry/orphan path brings the branch back; just forget the pair *)
+        t.pending_partner <- List.filter (fun (_, p) -> p <> id) t.pending_partner;
+        (match List.assoc_opt id t.migrating with
+        | Some target ->
+            t.migrating <- List.remove_assoc id t.migrating;
+            unreserve t target
+        | None -> ());
+        t.migrating <- List.filter (fun (_, d) -> d <> id) t.migrating;
+        if not t.finished then begin
+          match Hashtbl.find_opt t.in_flight id with
+          | Some (pid, sp) ->
+              (* we still hold the very subproblem we sent it *)
+              Hashtbl.remove t.in_flight id;
+              assign_recovered t ~failed:id ~from_checkpoint:false pid sp
+          | None -> (
+              if prev = Busy then
+                match (prev_pid, Checkpoint.restore t.checkpoints ~client:id) with
+                | Some pid, Some sp ->
+                    Checkpoint.drop t.checkpoints ~client:id;
+                    assign_recovered t ~failed:id ~from_checkpoint:true pid sp
+                | _, None ->
+                    (* without a checkpoint the lost search space cannot be
+                       reconstructed; the run has no sound answer *)
+                    terminate t (Unknown "busy client crashed without checkpoint")
+                      "unrecoverable client failure"
+                | None, Some _ -> ())
+        end
+      end
 
 let kill_client t id =
   match Hashtbl.find_opt t.hosts id with
   | None -> ()
   | Some h ->
       if h.rstate <> Dead then begin
-        let was_busy = h.rstate = Busy in
         Client.kill h.client;
-        h.rstate <- Dead;
-        t.backlog <- List.filter (fun (c, _) -> c <> id) t.backlog;
         log t (Events.Client_killed id);
-        if was_busy && not t.finished then begin
-          match Checkpoint.restore t.checkpoints ~client:id with
-          | Some sp -> (
-              match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
-              | Some cand ->
-                  let dst = cand.Scheduler.resource.R.id in
-                  (host t dst).rstate <- Reserved;
-                  log t (Events.Recovered_from_checkpoint { client = id; onto = dst });
-                  Checkpoint.drop t.checkpoints ~client:id;
-                  send t ~dst (Protocol.Problem { sp; sent_at = Grid.Sim.now t.sim })
-              | None ->
-                  terminate t (Unknown "client crashed; no idle resource for recovery")
-                    "unrecoverable client failure")
-          | None ->
-              (* the paper's current implementation does not tolerate the
-                 death of a working client without checkpoints *)
-              terminate t (Unknown "busy client crashed without checkpoint")
-                "unrecoverable client failure"
-        end
+        declare_dead t id
+      end
+
+(* Silent fault injection: the grid layer flips the host; the master only
+   finds out when the failure detector's lease expires. *)
+let crash_host t id =
+  match Hashtbl.find_opt t.hosts id with
+  | None -> ()
+  | Some h ->
+      if h.rstate <> Dead && Client.is_alive h.client then begin
+        log t (Events.Host_crashed id);
+        Client.kill h.client
+      end
+
+let hang_host t id =
+  match Hashtbl.find_opt t.hosts id with
+  | None -> ()
+  | Some h ->
+      if h.rstate <> Dead && Client.is_alive h.client && not (Client.is_hung h.client) then begin
+        log t (Events.Host_hung id);
+        Client.hang h.client
       end
 
 (* ---------- periodic monitoring ---------- *)
+
+let rec monitor t =
+  if not t.finished then begin
+    let now = Grid.Sim.now t.sim in
+    let expired =
+      Hashtbl.fold
+        (fun id h acc ->
+          match h.rstate with
+          | (Idle | Reserved | Busy) when now -. h.last_heard > t.cfg.Config.suspect_timeout ->
+              id :: acc
+          | _ -> acc)
+        t.hosts []
+      |> List.sort compare
+    in
+    List.iter
+      (fun id ->
+        if not t.finished then begin
+          log t (Events.Client_suspected { client = id });
+          declare_dead t id
+        end)
+      expired;
+    if not t.finished then
+      schedule t ~delay:t.cfg.Config.heartbeat_period (fun () -> monitor t)
+  end
 
 let rec nws_probe t =
   if not t.finished then begin
@@ -374,6 +613,9 @@ let add_host t (th : Testbed.host) callbacks =
       nws = Grid.Nws.create ();
       rstate = Launching;
       busy_since = 0.;
+      last_heard = Grid.Sim.now t.sim;
+      fenced = false;
+      pid = None;
     }
 
 let batch_hosts t (spec : Testbed.batch_spec) =
@@ -402,7 +644,9 @@ let create ~sim ~net ~bus ~cfg ~testbed cnf =
       backlog = [];
       pending_partner = [];
       migrating = [];
-      active_problems = 0;
+      live_problems = Hashtbl.create 64;
+      in_flight = Hashtbl.create 16;
+      pending_recovery = [];
       problem_assigned = false;
       finished = false;
       answer = None;
@@ -414,10 +658,46 @@ let create ~sim ~net ~bus ~cfg ~testbed cnf =
       events = [];
       batch_job = None;
       next_batch_id = 1000;
+      rel = None;
       rng = Random.State.make [| cfg.Config.seed; 77 |];
       started_at = Grid.Sim.now sim;
     }
   in
+  t.rel <-
+    Some
+      (Reliable.create ~sim ~send_raw:(fun ~dst msg -> send_raw t ~dst msg)
+         ~active:(fun () -> not t.finished)
+         ~retry_base:cfg.Config.retry_base ~max_attempts:cfg.Config.retry_max_attempts
+         ~on_retry:(fun ~dst ~attempt ->
+           log t (Events.Message_retried { src = master_id; dst; attempt }))
+         ~on_give_up:(fun ~dst msg ->
+           log t (Events.Message_given_up { src = master_id; dst });
+           if not t.finished then
+             match msg with
+             | Protocol.Problem { pid; sp; _ } -> (
+                 (* the addressee is alive (its heartbeats keep the lease)
+                    but unreachable; take the problem back *)
+                 match Hashtbl.find_opt t.in_flight dst with
+                 | Some (p, _) when p = pid ->
+                     Hashtbl.remove t.in_flight dst;
+                     unreserve t dst;
+                     assign_recovered t ~failed:dst ~from_checkpoint:false pid sp
+                 | _ -> ())
+             | Protocol.Split_partner { partner } ->
+                 (* the requester never learned about its partner *)
+                 (match release_partner t dst with
+                 | Some p when p = partner -> unreserve t p
+                 | Some p -> unreserve t p
+                 | None -> ());
+                 dispatch t
+             | Protocol.Migrate_to { target } -> (
+                 match List.assoc_opt dst t.migrating with
+                 | Some tgt when tgt = target ->
+                     t.migrating <- List.remove_assoc dst t.migrating;
+                     unreserve t tgt
+                 | _ -> ())
+             | _ -> ())
+         ());
   Grid.Everyware.register bus ~id:master_id ~site:testbed.Testbed.master_site
     ~handler:(fun ~src msg -> handle t ~src msg);
   let callbacks =
@@ -463,4 +743,5 @@ let create ~sim ~net ~bus ~cfg ~testbed cnf =
     (Grid.Sim.schedule sim ~delay:cfg.Config.overall_timeout (fun () ->
          terminate t (Unknown "timeout") "overall timeout"));
   nws_probe t;
+  monitor t;
   t

@@ -7,7 +7,16 @@
     verifies reported models, submits/cancels the batch job, and decides
     termination: all subproblems exhausted means UNSAT, a verified model
     means SAT, and the overall timeout or an unrecoverable client death
-    means no answer. *)
+    means no answer.
+
+    Fault tolerance: the master runs a lease-based failure detector over
+    client heartbeats ([heartbeat_period] / [suspect_timeout]); a silent
+    monitored host is declared dead and its subproblem recovered from its
+    checkpoint (or from the master's own in-flight copy) onto an idle
+    host, parking in a recovery queue when none is free.  Subproblems are
+    tracked by identity (pid), so duplicated deliveries or re-homed copies
+    cannot make the live count drift and cause a premature UNSAT.
+    Messages from hosts already declared dead are fenced. *)
 
 type answer = Sat of Sat.Model.t | Unsat | Unknown of string
 
@@ -20,6 +29,12 @@ type result = {
   shared_clauses : int;
   messages : int;
   bytes : int;
+  dropped_messages : int;  (** messages eaten by injected faults *)
+  dropped_bytes : int;
+  retries : int;  (** reliable-channel retransmissions, all senders *)
+  false_suspicions : int;
+      (** suspected-dead hosts that later proved alive (and were fenced) *)
+  recoveries : int;  (** subproblems recovered from a checkpoint *)
   checkpoint_bytes : int;
   solver_stats : Sat.Stats.t;  (** aggregated over all clients *)
   events : Events.t list;  (** chronological *)
@@ -37,7 +52,7 @@ val create :
   t
 (** Sets up the run: registers the master endpoint, launches clients on
     every interactive host, submits the batch job if the testbed has one,
-    arms the overall timeout and the NWS probes. *)
+    arms the overall timeout, the NWS probes and the failure detector. *)
 
 val finished : t -> bool
 
@@ -49,10 +64,22 @@ val busy_clients : t -> int
 val busy_client_ids : t -> int list
 (** Ids of currently busy clients, ascending (for fault injection). *)
 
+val reserved_hosts : t -> int list
+(** Ids of hosts currently parked in the [Reserved] state, ascending.
+    Empty after termination (reservations are released). *)
+
 val kill_client : t -> int -> unit
-(** Failure injection for tests: kills the client and lets the master's
-    monitoring react (free an idle resource; recover a busy client's
+(** Failure injection for tests: kills the client and lets the master
+    react immediately (free an idle resource; recover a busy client's
     subproblem from its checkpoint, or fail the run if there is none). *)
+
+val crash_host : t -> int -> unit
+(** Silent fault injection: the process dies but the master is not told —
+    it discovers the death when the heartbeat lease expires. *)
+
+val hang_host : t -> int -> unit
+(** Silent fault injection: the process wedges (stops computing and
+    heartbeating) but stays registered on the network. *)
 
 val events_so_far : t -> Events.t list
 

@@ -1,17 +1,23 @@
+type pid = int * int
+
 type msg =
   | Register
-  | Problem of { sp : Subproblem.t; sent_at : float }
-  | Problem_received of { from : int; bytes : int; depth : int }
+  | Problem of { pid : pid; sp : Subproblem.t; sent_at : float }
+  | Problem_received of { pid : pid; from : int; bytes : int; depth : int }
   | Split_request of [ `Memory | `Long_running ]
   | Split_partner of { partner : int }
-  | Split_ok of { dst : int; bytes : int }
+  | Split_ok of { pid : pid; dst : int; bytes : int }
   | Split_failed
   | Shares of { clauses : Sat.Types.lit array list }
   | Share_relay of { origin : int; clauses : Sat.Types.lit array list }
-  | Finished_unsat
+  | Finished_unsat of { pid : pid }
   | Found_model of Sat.Model.t
   | Migrate_to of { target : int }
+  | Orphaned of { pid : pid; sp : Subproblem.t }
   | Stop
+  | Heartbeat
+  | Ack of { mid : int }
+  | Reliable of { mid : int; payload : msg }
 
 let control_bytes = 64
 
@@ -20,10 +26,21 @@ let shares_bytes clauses =
 
 let model_bytes m = control_bytes + Sat.Model.nvars m
 
-let size = function
-  | Problem { sp; _ } -> Subproblem.bytes sp
+let rec size = function
+  | Problem { sp; _ } | Orphaned { sp; _ } -> Subproblem.bytes sp
   | Shares { clauses } | Share_relay { clauses; _ } -> shares_bytes clauses
   | Found_model m -> model_bytes m
+  | Reliable { payload; _ } -> size payload
   | Register | Problem_received _ | Split_request _ | Split_partner _ | Split_ok _ | Split_failed
-  | Finished_unsat | Migrate_to _ | Stop ->
+  | Finished_unsat _ | Migrate_to _ | Stop | Heartbeat | Ack _ ->
       control_bytes
+
+(* Clause shares are semantically safe to lose (a learned clause is only an
+   accelerant), so they — like the liveness traffic itself — stay
+   fire-and-forget.  Everything else is control state whose loss can wedge
+   the run and must ride the ack/retry layer. *)
+let critical = function
+  | Register | Problem _ | Problem_received _ | Split_request _ | Split_partner _ | Split_ok _
+  | Split_failed | Finished_unsat _ | Found_model _ | Migrate_to _ | Orphaned _ ->
+      true
+  | Shares _ | Share_relay _ | Stop | Heartbeat | Ack _ | Reliable _ -> false

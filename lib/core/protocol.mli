@@ -3,27 +3,50 @@
     Mirrors the paper's message flows: the five-message split sequence of
     Figure 3 ([Split_request] / [Split_partner] / peer-to-peer [Problem] /
     [Problem_received] / [Split_ok]), clause-share broadcasts, result
-    reporting, and the master's control directives. *)
+    reporting, and the master's control directives.
+
+    On top of the paper's flows the protocol carries the failure-handling
+    machinery: every live subproblem has a {!pid} so duplicated or
+    re-homed copies cannot corrupt the master's accounting, clients
+    [Heartbeat] so the master's lease-based detector can declare silent
+    hosts dead, and critical control messages travel inside a {!Reliable}
+    envelope that is [Ack]ed, deduplicated, and retried with bounded
+    exponential backoff.  Clause [Shares] stay fire-and-forget: losing a
+    learned clause is semantically safe. *)
+
+type pid = int * int
+(** Identity of a live subproblem: [(origin client, local counter)].  The
+    initial problem is [(0, 0)]; a split branch is stamped by its donor.
+    Pids make re-delivery and recovery idempotent at the master. *)
 
 type msg =
   | Register  (** client -> master: the empty client is up *)
-  | Problem of { sp : Subproblem.t; sent_at : float }
+  | Problem of { pid : pid; sp : Subproblem.t; sent_at : float }
       (** problem transfer — master -> first client, or peer -> peer after a
           split/migration.  This is the large message (Figure 3, message 3). *)
-  | Problem_received of { from : int; bytes : int; depth : int }
+  | Problem_received of { pid : pid; from : int; bytes : int; depth : int }
       (** receiver -> master (Figure 3, message 4): who sent the problem,
           its size, and its guiding-path depth *)
   | Split_request of [ `Memory | `Long_running ]  (** client -> master (message 1) *)
   | Split_partner of { partner : int }  (** master -> client (message 2) *)
-  | Split_ok of { dst : int; bytes : int }  (** donor -> master (message 5) *)
+  | Split_ok of { pid : pid; dst : int; bytes : int }
+      (** donor -> master (message 5); [pid] stamps the handed-off branch *)
   | Split_failed  (** donor -> master: nothing to split *)
   | Shares of { clauses : Sat.Types.lit array list }  (** client -> master *)
   | Share_relay of { origin : int; clauses : Sat.Types.lit array list }
       (** master -> every other active client *)
-  | Finished_unsat  (** client -> master: subproblem exhausted *)
+  | Finished_unsat of { pid : pid }  (** client -> master: subproblem exhausted *)
   | Found_model of Sat.Model.t  (** client -> master: candidate assignment *)
   | Migrate_to of { target : int }  (** master -> client directive *)
+  | Orphaned of { pid : pid; sp : Subproblem.t }
+      (** donor -> master: a peer-to-peer handoff was given up on after
+          exhausting retries; the branch comes back for re-homing so a dead
+          partner cannot silently swallow part of the search space *)
   | Stop  (** master -> everyone: run is over *)
+  | Heartbeat  (** client -> master liveness beacon, fire-and-forget *)
+  | Ack of { mid : int }  (** receiver -> sender: reliable envelope received *)
+  | Reliable of { mid : int; payload : msg }
+      (** retry envelope for critical control messages *)
 
 val control_bytes : int
 (** Nominal size of a control message. *)
@@ -34,4 +57,10 @@ val shares_bytes : Sat.Types.lit array list -> int
 val model_bytes : Sat.Model.t -> int
 
 val size : msg -> int
-(** Size charged to the network for a message. *)
+(** Size charged to the network for a message.  A [Reliable] envelope
+    costs what its payload costs. *)
+
+val critical : msg -> bool
+(** Whether a message must be sent through the reliable (ack/retry)
+    channel.  [Shares]/[Share_relay], [Heartbeat], [Stop] and the
+    envelope machinery itself are not critical. *)

@@ -1,0 +1,96 @@
+type pending = {
+  dst : int;
+  msg : Protocol.msg;
+  mutable attempt : int;  (* retries performed so far *)
+  mutable timer : Grid.Sim.event_id;
+}
+
+type t = {
+  sim : Grid.Sim.t;
+  send_raw : dst:int -> Protocol.msg -> unit;
+  active : unit -> bool;
+  retry_base : float;
+  max_attempts : int;
+  on_retry : dst:int -> attempt:int -> unit;
+  on_give_up : dst:int -> Protocol.msg -> unit;
+  mutable next_mid : int;
+  outstanding : (int, pending) Hashtbl.t;
+  seen : (int * int, unit) Hashtbl.t;  (* (src, mid) already delivered *)
+  mutable retries : int;
+  mutable gave_up : int;
+}
+
+let create ~sim ~send_raw ~active ~retry_base ~max_attempts ~on_retry ~on_give_up () =
+  {
+    sim;
+    send_raw;
+    active;
+    retry_base = Float.max 0.001 retry_base;
+    max_attempts = max 1 max_attempts;
+    on_retry;
+    on_give_up;
+    next_mid = 0;
+    outstanding = Hashtbl.create 16;
+    seen = Hashtbl.create 64;
+    retries = 0;
+    gave_up = 0;
+  }
+
+let backoff t attempt =
+  (* bounded exponential: base, 2*base, 4*base, ... capped at 32*base *)
+  t.retry_base *. Float.min 32. (Float.pow 2. (float_of_int attempt))
+
+let rec arm_timer t mid p =
+  p.timer <-
+    Grid.Sim.schedule t.sim ~delay:(backoff t p.attempt) (fun () -> fire t mid)
+
+and fire t mid =
+  match Hashtbl.find_opt t.outstanding mid with
+  | None -> ()
+  | Some p ->
+      if not (t.active ()) then Hashtbl.remove t.outstanding mid
+      else if p.attempt >= t.max_attempts then begin
+        Hashtbl.remove t.outstanding mid;
+        t.gave_up <- t.gave_up + 1;
+        t.on_give_up ~dst:p.dst p.msg
+      end
+      else begin
+        p.attempt <- p.attempt + 1;
+        t.retries <- t.retries + 1;
+        t.on_retry ~dst:p.dst ~attempt:p.attempt;
+        t.send_raw ~dst:p.dst (Protocol.Reliable { mid; payload = p.msg });
+        arm_timer t mid p
+      end
+
+let send t ~dst msg =
+  let mid = t.next_mid in
+  t.next_mid <- mid + 1;
+  let p = { dst; msg; attempt = 0; timer = Grid.Sim.schedule t.sim ~delay:0. (fun () -> ()) } in
+  Grid.Sim.cancel t.sim p.timer;
+  Hashtbl.replace t.outstanding mid p;
+  t.send_raw ~dst (Protocol.Reliable { mid; payload = msg });
+  arm_timer t mid p
+
+let handle_ack t ~mid =
+  match Hashtbl.find_opt t.outstanding mid with
+  | None -> ()
+  | Some p ->
+      Grid.Sim.cancel t.sim p.timer;
+      Hashtbl.remove t.outstanding mid
+
+let admit t ~src ~mid =
+  if Hashtbl.mem t.seen (src, mid) then false
+  else begin
+    Hashtbl.replace t.seen (src, mid) ();
+    true
+  end
+
+let stop t =
+  Hashtbl.iter (fun _ p -> Grid.Sim.cancel t.sim p.timer) t.outstanding;
+  Hashtbl.reset t.outstanding
+
+let outstanding t = Hashtbl.length t.outstanding
+
+let retries t = t.retries
+
+let gave_up t = t.gave_up

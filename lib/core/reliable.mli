@@ -1,0 +1,53 @@
+(** At-least-once delivery with receiver-side dedup for critical control
+    messages.
+
+    Both the master and every client own one instance.  {!send} wraps the
+    payload in a {!Protocol.Reliable} envelope with a per-sender message
+    id and retries it on a bounded exponential backoff until an
+    {!Protocol.Ack} arrives or the attempt budget is exhausted, at which
+    point the owner's [on_give_up] decides what the loss means (a donor
+    returns the orphaned subproblem to the master; the master releases a
+    reserved partner).  {!admit} is the receive side: it records
+    [(src, mid)] pairs so retried or network-duplicated envelopes are
+    acked again but delivered only once. *)
+
+type t
+
+val create :
+  sim:Grid.Sim.t ->
+  send_raw:(dst:int -> Protocol.msg -> unit) ->
+  active:(unit -> bool) ->
+  retry_base:float ->
+  max_attempts:int ->
+  on_retry:(dst:int -> attempt:int -> unit) ->
+  on_give_up:(dst:int -> Protocol.msg -> unit) ->
+  unit ->
+  t
+(** [active] gates retries: a dead client must not keep transmitting.
+    [retry_base] is the first backoff delay; attempt [k] waits
+    [retry_base * 2^k], capped at [32 * retry_base].  After
+    [max_attempts] unacked (re)transmissions, [on_give_up] fires with the
+    original payload. *)
+
+val send : t -> dst:int -> Protocol.msg -> unit
+(** Transmits the envelope immediately and arms the first retry timer. *)
+
+val handle_ack : t -> mid:int -> unit
+(** Settles an outstanding send; unknown mids (duplicate acks, acks after
+    give-up) are ignored. *)
+
+val admit : t -> src:int -> mid:int -> bool
+(** [true] exactly once per [(src, mid)]: the caller should ack every
+    envelope but deliver only admitted ones. *)
+
+val stop : t -> unit
+(** Cancels all retry timers (owner is shutting down). *)
+
+val outstanding : t -> int
+(** Envelopes still awaiting an ack. *)
+
+val retries : t -> int
+(** Total retransmissions performed. *)
+
+val gave_up : t -> int
+(** Sends abandoned after exhausting [max_attempts]. *)

@@ -16,6 +16,11 @@ let busy_curve events =
         | Events.Client_killed id ->
             Hashtbl.remove busy id;
             true
+        | Events.Client_suspected { client } ->
+            (* the master writes the host off; its work re-enters the curve
+               when the recovered problem is assigned *)
+            Hashtbl.remove busy client;
+            true
         | Events.Migration { src; _ } ->
             Hashtbl.remove busy src;
             true

@@ -1,3 +1,5 @@
+type fault_decision = Deliver | Drop | Delay of float | Duplicate of float
+
 type 'msg endpoint = { site : string; handler : src:int -> 'msg -> unit }
 
 type 'msg t = {
@@ -6,13 +8,30 @@ type 'msg t = {
   endpoints : (int, 'msg endpoint) Hashtbl.t;
   mutable messages : int;
   mutable bytes : int;
+  mutable dropped : int;
+  mutable dropped_bytes : int;
+  mutable fault : (src_site:string -> dst_site:string -> bytes:int -> fault_decision) option;
 }
 
-let create sim net = { sim; net; endpoints = Hashtbl.create 64; messages = 0; bytes = 0 }
+let create sim net =
+  {
+    sim;
+    net;
+    endpoints = Hashtbl.create 64;
+    messages = 0;
+    bytes = 0;
+    dropped = 0;
+    dropped_bytes = 0;
+    fault = None;
+  }
 
 let register t ~id ~site ~handler = Hashtbl.replace t.endpoints id { site; handler }
 
 let unregister t ~id = Hashtbl.remove t.endpoints id
+
+let set_fault t f = t.fault <- Some f
+
+let clear_fault t = t.fault <- None
 
 let site_of t id =
   match Hashtbl.find_opt t.endpoints id with
@@ -30,12 +49,30 @@ let send t ~src ~dst ~bytes msg =
   let delay = Network.transfer_time t.net ~src:src_site ~dst:dst_site ~bytes in
   t.messages <- t.messages + 1;
   t.bytes <- t.bytes + bytes;
-  ignore
-    (Sim.schedule t.sim ~delay (fun () ->
-         match Hashtbl.find_opt t.endpoints dst with
-         | Some e -> e.handler ~src msg
-         | None -> () (* endpoint vanished while the message was in flight *)))
+  let deliver extra =
+    ignore
+      (Sim.schedule t.sim ~delay:(delay +. extra) (fun () ->
+           match Hashtbl.find_opt t.endpoints dst with
+           | Some e -> e.handler ~src msg
+           | None -> () (* endpoint vanished while the message was in flight *)))
+  in
+  let decision =
+    match t.fault with None -> Deliver | Some f -> f ~src_site ~dst_site ~bytes
+  in
+  match decision with
+  | Deliver -> deliver 0.
+  | Drop ->
+      t.dropped <- t.dropped + 1;
+      t.dropped_bytes <- t.dropped_bytes + bytes
+  | Delay extra -> deliver (Float.max 0. extra)
+  | Duplicate extra ->
+      deliver 0.;
+      deliver (Float.max 0. extra)
 
 let messages_sent t = t.messages
 
 let bytes_sent t = t.bytes
+
+let messages_dropped t = t.dropped
+
+let bytes_dropped t = t.dropped_bytes

@@ -5,7 +5,18 @@
     typed point-to-point messages between registered endpoints, delivered
     after the network transfer time for their payload size, with global
     traffic accounting.  Peer-to-peer subproblem transfers and
-    master/client control traffic both go through here. *)
+    master/client control traffic both go through here.
+
+    Delivery is perfect unless a fault hook is installed (see
+    {!set_fault}): fault injection can drop, delay, or duplicate any
+    message at send time, which is how {!Fault} plans model lossy WAN
+    links, partitions, and latency spikes. *)
+
+type fault_decision =
+  | Deliver  (** normal delivery after the transfer time *)
+  | Drop  (** the message is lost; counted in {!messages_dropped} *)
+  | Delay of float  (** delivered, but this many extra seconds late *)
+  | Duplicate of float  (** delivered normally, plus a second copy this much later *)
 
 type 'msg t
 
@@ -21,12 +32,26 @@ val unregister : 'msg t -> id:int -> unit
 
 val send : 'msg t -> src:int -> dst:int -> bytes:int -> 'msg -> unit
 (** Schedules delivery of [msg] after the transfer time from [src]'s site
-    to [dst]'s site.  Raises [Invalid_argument] if [src] is not
-    registered; unknown destinations drop the message at delivery time. *)
+    to [dst]'s site, subject to the fault hook.  Raises [Invalid_argument]
+    if [src] is not registered; unknown destinations drop the message at
+    delivery time. *)
+
+val set_fault :
+  'msg t -> (src_site:string -> dst_site:string -> bytes:int -> fault_decision) -> unit
+(** Installs a delivery hook consulted once per {!send}.  The hook must be
+    deterministic given the send sequence (seed any randomness) or runs
+    stop being reproducible. *)
+
+val clear_fault : 'msg t -> unit
 
 val messages_sent : 'msg t -> int
 
 val bytes_sent : 'msg t -> int
+
+val messages_dropped : 'msg t -> int
+(** Messages the fault hook decided to drop. *)
+
+val bytes_dropped : 'msg t -> int
 
 val transfer_time : 'msg t -> src:int -> dst:int -> bytes:int -> float
 (** The delay {!send} would apply right now (used by clients to record

@@ -1,0 +1,144 @@
+type spec =
+  | Crash_host of { host : int; at : float }
+  | Hang_host of { host : int; at : float }
+  | Drop_messages of {
+      src_site : string option;
+      dst_site : string option;
+      p : float;
+      from_t : float;
+      until_t : float;
+    }
+  | Partition_site of { site : string; from_t : float; until_t : float }
+  | Latency_spike of {
+      src_site : string option;
+      dst_site : string option;
+      extra : float;
+      from_t : float;
+      until_t : float;
+    }
+  | Duplicate_messages of { p : float; extra : float; from_t : float; until_t : float }
+
+type counters = {
+  crashes : int;
+  hangs : int;
+  dropped : int;
+  delayed : int;
+  duplicated : int;
+}
+
+type t = {
+  sim : Sim.t;
+  specs : spec list;
+  rng : Random.State.t;
+  mutable crashes : int;
+  mutable hangs : int;
+  mutable dropped : int;
+  mutable delayed : int;
+  mutable duplicated : int;
+}
+
+let arm ~sim ~seed ~on_crash ~on_hang specs =
+  let t =
+    {
+      sim;
+      specs;
+      rng = Random.State.make [| seed; 0x5eed |];
+      crashes = 0;
+      hangs = 0;
+      dropped = 0;
+      delayed = 0;
+      duplicated = 0;
+    }
+  in
+  List.iter
+    (function
+      | Crash_host { host; at } ->
+          ignore
+            (Sim.schedule_at sim ~time:at (fun () ->
+                 t.crashes <- t.crashes + 1;
+                 on_crash host))
+      | Hang_host { host; at } ->
+          ignore
+            (Sim.schedule_at sim ~time:at (fun () ->
+                 t.hangs <- t.hangs + 1;
+                 on_hang host))
+      | Drop_messages _ | Partition_site _ | Latency_spike _ | Duplicate_messages _ -> ())
+    specs;
+  t
+
+let site_matches pattern site =
+  match pattern with None -> true | Some s -> String.equal s site
+
+(* A link spec matches in either direction: the paper's faults (expired
+   reservations, saturated links) do not care who initiated the transfer. *)
+let link_matches ~a ~b ~src_site ~dst_site =
+  (site_matches a src_site && site_matches b dst_site)
+  || (site_matches a dst_site && site_matches b src_site)
+
+let in_window now ~from_t ~until_t = now >= from_t && now < until_t
+
+(* Evaluated once per message at send time.  A partition or probabilistic
+   drop short-circuits; otherwise latency spikes accumulate and a
+   duplication draw may fire on top. *)
+let decide t ~src_site ~dst_site ~bytes:_ =
+  let now = Sim.now t.sim in
+  let dropped =
+    List.exists
+      (function
+        | Partition_site { site; from_t; until_t } ->
+            in_window now ~from_t ~until_t
+            && (String.equal site src_site <> String.equal site dst_site)
+        | Drop_messages { src_site = a; dst_site = b; p; from_t; until_t } ->
+            in_window now ~from_t ~until_t
+            && link_matches ~a ~b ~src_site ~dst_site
+            && Random.State.float t.rng 1.0 < p
+        | Crash_host _ | Hang_host _ | Latency_spike _ | Duplicate_messages _ -> false)
+      t.specs
+  in
+  if dropped then begin
+    t.dropped <- t.dropped + 1;
+    Everyware.Drop
+  end
+  else begin
+    let extra_delay =
+      List.fold_left
+        (fun acc spec ->
+          match spec with
+          | Latency_spike { src_site = a; dst_site = b; extra; from_t; until_t }
+            when in_window now ~from_t ~until_t && link_matches ~a ~b ~src_site ~dst_site ->
+              acc +. extra
+          | _ -> acc)
+        0. t.specs
+    in
+    let duplicate_after =
+      List.fold_left
+        (fun acc spec ->
+          match (acc, spec) with
+          | None, Duplicate_messages { p; extra; from_t; until_t }
+            when in_window now ~from_t ~until_t && Random.State.float t.rng 1.0 < p ->
+              Some extra
+          | _ -> acc)
+        None t.specs
+    in
+    match (extra_delay, duplicate_after) with
+    | 0., None -> Everyware.Deliver
+    | 0., Some extra ->
+        t.duplicated <- t.duplicated + 1;
+        Everyware.Duplicate extra
+    | d, None ->
+        t.delayed <- t.delayed + 1;
+        Everyware.Delay d
+    | d, Some _ ->
+        (* a delayed link also duplicating: count the dominant effect *)
+        t.delayed <- t.delayed + 1;
+        Everyware.Delay d
+  end
+
+let counters t =
+  {
+    crashes = t.crashes;
+    hangs = t.hangs;
+    dropped = t.dropped;
+    delayed = t.delayed;
+    duplicated = t.duplicated;
+  }

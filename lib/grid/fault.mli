@@ -1,0 +1,68 @@
+(** Deterministic, seeded fault injection (paper Section 3.3's premise).
+
+    Grid resources are unreliable: clients die, batch partitions expire,
+    and wide-area links are slow and lossy.  A fault {e plan} scripts such
+    conditions against the {!Sim} clock so a run can be subjected to the
+    same faults, in the same order, on every execution:
+
+    - {!Crash_host}: the host process dies silently at time [at] — nothing
+      tells the master; it must {e detect} the death (missed heartbeats).
+    - {!Hang_host}: the host stops responding at [at] but is not known
+      dead (a wedged process or an unreachable NAT'd node).
+    - {!Drop_messages}: each message on a link (either direction; [None]
+      matches any site) is lost with probability [p] during a window.
+    - {!Partition_site}: every message crossing the site boundary is lost
+      during the window (an expired reservation, a downed uplink).
+    - {!Latency_spike}: messages on a link arrive [extra] seconds late
+      during the window.
+    - {!Duplicate_messages}: each message is delivered twice with
+      probability [p] (retransmission storms); the receiver-side dedup of
+      the reliable-delivery layer must absorb the copies.
+
+    Crash/hang actions are scheduled on the simulator when the plan is
+    {!arm}ed; message faults are evaluated per send through
+    {!Everyware.set_fault} with a private seeded RNG, so the whole run
+    stays reproducible. *)
+
+type spec =
+  | Crash_host of { host : int; at : float }
+  | Hang_host of { host : int; at : float }
+  | Drop_messages of {
+      src_site : string option;
+      dst_site : string option;
+      p : float;
+      from_t : float;
+      until_t : float;
+    }
+  | Partition_site of { site : string; from_t : float; until_t : float }
+  | Latency_spike of {
+      src_site : string option;
+      dst_site : string option;
+      extra : float;
+      from_t : float;
+      until_t : float;
+    }
+  | Duplicate_messages of { p : float; extra : float; from_t : float; until_t : float }
+
+type counters = {
+  crashes : int;
+  hangs : int;
+  dropped : int;  (** messages the plan decided to lose *)
+  delayed : int;
+  duplicated : int;
+}
+
+type t
+
+val arm :
+  sim:Sim.t -> seed:int -> on_crash:(int -> unit) -> on_hang:(int -> unit) -> spec list -> t
+(** Schedules the plan's crash/hang actions on [sim] and returns the
+    controller whose {!decide} implements the message faults.  [on_crash]
+    and [on_hang] receive the host id at the scripted instant. *)
+
+val decide :
+  t -> src_site:string -> dst_site:string -> bytes:int -> Everyware.fault_decision
+(** The {!Everyware.set_fault} hook for this plan. *)
+
+val counters : t -> counters
+(** How many faults the plan has injected so far. *)

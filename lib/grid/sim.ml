@@ -13,12 +13,20 @@ type t = {
   mutable clock : float;
   mutable queue : (unit -> unit) Pq.t;
   mutable next_seq : int;
+  queued : (int, unit) Hashtbl.t;  (* seqs currently in the queue *)
   cancelled : (int, unit) Hashtbl.t;
   mutable fired : int;
 }
 
 let create () =
-  { clock = 0.; queue = Pq.empty; next_seq = 0; cancelled = Hashtbl.create 64; fired = 0 }
+  {
+    clock = 0.;
+    queue = Pq.empty;
+    next_seq = 0;
+    queued = Hashtbl.create 64;
+    cancelled = Hashtbl.create 64;
+    fired = 0;
+  }
 
 let now t = t.clock
 
@@ -27,11 +35,14 @@ let schedule_at t ~time f =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.queue <- Pq.add { Key.time; seq } f t.queue;
+  Hashtbl.replace t.queued seq ();
   seq
 
 let schedule t ~delay f = schedule_at t ~time:(t.clock +. Float.max 0. delay) f
 
-let cancel t id = Hashtbl.replace t.cancelled id ()
+(* Only ids still in the queue are recorded: cancelling an already-fired or
+   unknown id must stay a no-op, or [pending] undercounts forever. *)
+let cancel t id = if Hashtbl.mem t.queued id then Hashtbl.replace t.cancelled id ()
 
 let pending t = Pq.cardinal t.queue - Hashtbl.length t.cancelled
 
@@ -42,6 +53,7 @@ let rec step t =
   | None -> false
   | Some (key, f) ->
       t.queue <- Pq.remove key t.queue;
+      Hashtbl.remove t.queued key.Key.seq;
       if Hashtbl.mem t.cancelled key.Key.seq then begin
         Hashtbl.remove t.cancelled key.Key.seq;
         step t

@@ -1,0 +1,199 @@
+(* Chaos suite: every fault plan must leave the answer untouched.
+
+   Each scenario runs a workload fault-free, then under an injected fault
+   plan, and checks that (1) the verdict is identical, (2) the recovery
+   machinery is visible in the event log, and (3) the same plan and seed
+   replay the identical event timeline.
+
+   Fault instants are derived from the workload's fault-free duration so
+   every plan actually lands mid-run regardless of instance size. *)
+
+module C = Gridsat_core
+module Cfg = C.Config
+module F = Grid.Fault
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+(* ---------- apparatus ---------- *)
+
+(* Six uniform hosts split across two sites, master on the east side, so
+   site partitions cut real traffic.  Inter-site links use the default
+   wide-area parameters (40 ms, 2 MB/s). *)
+let testbed2site () =
+  let base = C.Testbed.uniform ~n:6 ~speed:500. () in
+  let hosts =
+    List.mapi
+      (fun i (h : C.Testbed.host) ->
+        let r = h.C.Testbed.resource in
+        let site = if i < 3 then "east" else "west" in
+        {
+          h with
+          C.Testbed.resource =
+            Grid.Resource.make ~id:r.Grid.Resource.id ~name:r.Grid.Resource.name ~site
+              ~speed:r.Grid.Resource.speed ~mem_bytes:r.Grid.Resource.mem_bytes
+              ~kind:r.Grid.Resource.kind;
+        })
+      base.C.Testbed.hosts
+  in
+  { base with C.Testbed.name = "chaos-2site"; master_site = "east"; hosts }
+
+(* Eager splitting, light checkpoints on a short period, quick failure
+   detection: the fault-tolerance machinery gets exercised even on small
+   instances. *)
+let chaos_config =
+  {
+    Cfg.default with
+    Cfg.split_timeout = 2.;
+    slice = 0.5;
+    share_flush_interval = 1.;
+    overall_timeout = 100_000.;
+    nws_probe_interval = 5.;
+    checkpoint = Cfg.Light;
+    checkpoint_period = 5.;
+    heartbeat_period = 5.;
+    suspect_timeout = 30.;
+  }
+
+let workloads =
+  [
+    ("php-6-5", Workloads.Php.instance ~pigeons:6 ~holes:5);
+    ("php-7-6", Workloads.Php.instance ~pigeons:7 ~holes:6);
+    ("planted-30", Workloads.Random_sat.planted ~nvars:30 ~ratio:5.0 ~seed:11 ());
+  ]
+
+let answer_kind = function
+  | C.Master.Sat _ -> "SAT"
+  | C.Master.Unsat -> "UNSAT"
+  | C.Master.Unknown _ -> "UNKNOWN"
+
+let has_event p (r : C.Master.result) = List.exists (fun e -> p e.C.Events.kind) r.C.Master.events
+
+let solve ?(config = chaos_config) ?(fault_plan = []) cnf =
+  C.Gridsat.solve ~config ~fault_plan ~testbed:(testbed2site ()) cnf
+
+(* A scenario bundles a fault plan (parameterised by the fault-free run
+   time) with the events that prove the machinery reacted.  Proof events
+   are only required of UNSAT workloads: those cannot terminate while the
+   faulted host's subproblem is unaccounted for, so detection and
+   recovery must appear; a SAT run may legitimately finish first. *)
+type scenario = {
+  sname : string;
+  config : Cfg.t;
+  plan : float -> F.spec list;
+  proof : (C.Events.kind -> bool) list;
+}
+
+(* host 1 registers first and receives the initial problem; it saves an
+   initial checkpoint the moment the problem arrives *)
+let crash_time t = Float.max 3. (0.3 *. t)
+
+let scenarios =
+  [
+    {
+      sname = "crash";
+      config = chaos_config;
+      plan = (fun t -> [ F.Crash_host { host = 1; at = crash_time t } ]);
+      proof =
+        [
+          (function C.Events.Host_crashed 1 -> true | _ -> false);
+          (function C.Events.Client_suspected { client = 1 } -> true | _ -> false);
+          (function C.Events.Recovered_from_checkpoint { client = 1; _ } -> true | _ -> false);
+        ];
+    };
+    {
+      sname = "hang";
+      config = chaos_config;
+      plan = (fun t -> [ F.Hang_host { host = 1; at = crash_time t } ]);
+      proof =
+        [
+          (function C.Events.Host_hung 1 -> true | _ -> false);
+          (function C.Events.Client_suspected { client = 1 } -> true | _ -> false);
+          (function C.Events.Recovered_from_checkpoint { client = 1; _ } -> true | _ -> false);
+        ];
+    };
+    {
+      sname = "partition";
+      (* the lease must outlive the partition or the whole west side gets
+         written off; the default retry schedule spans the outage *)
+      config = { chaos_config with Cfg.suspect_timeout = 1000. };
+      plan =
+        (fun t ->
+          [ F.Partition_site { site = "west"; from_t = 0.2 *. t; until_t = 0.65 *. t } ]);
+      proof = [];
+    };
+    {
+      sname = "loss-p02";
+      config = chaos_config;
+      plan =
+        (fun _ ->
+          [
+            F.Drop_messages
+              { src_site = None; dst_site = None; p = 0.2; from_t = 0.; until_t = infinity };
+          ]);
+      proof = [ (function C.Events.Message_retried _ -> true | _ -> false) ];
+    };
+  ]
+
+(* ---------- the matrix ---------- *)
+
+let run_scenario s (wname, cnf) () =
+  let baseline = solve ~config:s.config cnf in
+  let plan = s.plan baseline.C.Master.time in
+  let faulted = solve ~config:s.config ~fault_plan:plan cnf in
+  check bool "fault-free run produces a real verdict" true
+    (answer_kind baseline.C.Master.answer <> "UNKNOWN");
+  check Alcotest.string
+    (Printf.sprintf "%s/%s: verdict unchanged under faults" s.sname wname)
+    (answer_kind baseline.C.Master.answer)
+    (answer_kind faulted.C.Master.answer);
+  if answer_kind baseline.C.Master.answer = "UNSAT" then
+    List.iteri
+      (fun i p ->
+        check bool (Printf.sprintf "%s/%s: proof event %d present" s.sname wname i) true
+          (has_event p faulted))
+      s.proof;
+  (* same plan, same seed: the timeline must replay exactly *)
+  let again = solve ~config:s.config ~fault_plan:plan cnf in
+  check bool
+    (Printf.sprintf "%s/%s: identical event timeline on replay" s.sname wname)
+    true
+    (faulted.C.Master.events = again.C.Master.events)
+
+(* Partition runs generate retries only when critical traffic crosses the
+   cut; assert it on the workload where splitting reliably spans sites. *)
+let test_partition_retries () =
+  let s = List.find (fun s -> s.sname = "partition") scenarios in
+  let cnf = Workloads.Php.instance ~pigeons:7 ~holes:6 in
+  let baseline = solve ~config:s.config cnf in
+  let r = solve ~config:s.config ~fault_plan:(s.plan baseline.C.Master.time) cnf in
+  check bool "messages were dropped by the cut" true (r.C.Master.dropped_messages > 0);
+  check bool "reliable channel retried across the cut" true
+    (has_event (function C.Events.Message_retried _ -> true | _ -> false) r)
+
+let test_loss_counters_surface () =
+  let s = List.find (fun s -> s.sname = "loss-p02") scenarios in
+  let r = solve ~config:s.config ~fault_plan:(s.plan 0.) (Workloads.Php.instance ~pigeons:6 ~holes:5) in
+  check bool "drops surfaced in the result" true
+    (r.C.Master.dropped_messages > 0 && r.C.Master.dropped_bytes > 0);
+  check bool "retries surfaced in the result" true (r.C.Master.retries > 0)
+
+let () =
+  let matrix =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun w ->
+            Alcotest.test_case (Printf.sprintf "%s on %s" s.sname (fst w)) `Slow (run_scenario s w))
+          workloads)
+      scenarios
+  in
+  Alcotest.run "chaos"
+    [
+      ("matrix", matrix);
+      ( "counters",
+        [
+          Alcotest.test_case "partition retries" `Slow test_partition_retries;
+          Alcotest.test_case "loss counters" `Slow test_loss_counters_surface;
+        ] );
+    ]

@@ -541,6 +541,120 @@ let test_kill_idle_is_tolerated () =
   in
   check bool "still unsat" true (is_unsat (answer_of_result r))
 
+(* A four-host testbed with every host on its own site and slow, high-
+   latency links, so control and handoff messages spend observable
+   virtual time in flight and failures can be injected mid-handoff. *)
+let testbed4_slow =
+  let base = C.Testbed.uniform ~n:4 ~speed:500. () in
+  let sites = [| "s1"; "s2"; "s3"; "s4" |] in
+  let hosts =
+    List.mapi
+      (fun i (h : C.Testbed.host) ->
+        let r = h.C.Testbed.resource in
+        {
+          h with
+          C.Testbed.resource =
+            Grid.Resource.make ~id:r.Grid.Resource.id ~name:r.Grid.Resource.name ~site:sites.(i)
+              ~speed:r.Grid.Resource.speed ~mem_bytes:r.Grid.Resource.mem_bytes
+              ~kind:r.Grid.Resource.kind;
+        })
+      base.C.Testbed.hosts
+  in
+  {
+    base with
+    C.Testbed.name = "uniform-4-slow";
+    master_site = "s1";
+    hosts;
+    configure_network =
+      (fun net ->
+        Array.iter
+          (fun a ->
+            Array.iter
+              (fun b ->
+                if a < b then Grid.Network.set_link net a b ~latency:0.5 ~bandwidth:1e6)
+              sites)
+          sites);
+  }
+
+(* Kill the reserved split partner the moment the pairing is announced:
+   the donor's peer-to-peer handoff can never be acknowledged, so its
+   retry budget runs out and the branch must come back to the master as
+   an orphan instead of being silently lost. *)
+let test_kill_reserved_partner_mid_handoff () =
+  let killed = ref None in
+  let config =
+    {
+      eager_config with
+      Cfg.checkpoint = Cfg.Light;
+      retry_base = 0.5;
+      retry_max_attempts = 3;
+    }
+  in
+  let r =
+    C.Gridsat.solve ~config ~testbed:testbed4_slow
+      ~on_master:(fun m ->
+        let rec poll () =
+          if (not (C.Master.finished m)) && !killed = None then begin
+            (match
+               List.find_map
+                 (fun e ->
+                   match e.C.Events.kind with
+                   | C.Events.Split_granted { partner; _ } -> Some partner
+                   | _ -> None)
+                 (C.Master.events_so_far m)
+             with
+            | Some partner ->
+                killed := Some partner;
+                C.Master.kill_client m partner
+            | None -> ());
+            if !killed = None then C.Master.schedule m ~delay:0.2 poll
+          end
+        in
+        C.Master.schedule m ~delay:0.2 poll)
+      (php ~pigeons:7 ~holes:6)
+  in
+  check bool "a reserved partner was killed" true (!killed <> None);
+  check bool "the branch came back as an orphan" true
+    (has_event (function C.Events.Orphan_returned _ -> true | _ -> false) r);
+  check bool "answer still correct" true (is_unsat (answer_of_result r))
+
+(* Kill a split requester right after its partner was reserved: the
+   partner must not be left parked in Reserved, and after termination no
+   host may remain Reserved at all. *)
+let test_terminate_releases_reservations () =
+  let killed = ref None in
+  let master = ref None in
+  let config = { eager_config with Cfg.checkpoint = Cfg.Light } in
+  let r =
+    C.Gridsat.solve ~config ~testbed:testbed4
+      ~on_master:(fun m ->
+        master := Some m;
+        let rec poll () =
+          if (not (C.Master.finished m)) && !killed = None then begin
+            (match
+               List.find_map
+                 (fun e ->
+                   match e.C.Events.kind with
+                   | C.Events.Split_granted { client; _ } -> Some client
+                   | _ -> None)
+                 (C.Master.events_so_far m)
+             with
+            | Some requester ->
+                killed := Some requester;
+                C.Master.kill_client m requester
+            | None -> ());
+            if !killed = None then C.Master.schedule m ~delay:0.2 poll
+          end
+        in
+        C.Master.schedule m ~delay:0.2 poll)
+      (php ~pigeons:7 ~holes:6)
+  in
+  check bool "a split requester was killed" true (!killed <> None);
+  check bool "its work was recovered" true (is_unsat (answer_of_result r));
+  match !master with
+  | Some m -> check (Alcotest.list Alcotest.int) "no host left Reserved" [] (C.Master.reserved_hosts m)
+  | None -> Alcotest.fail "master not captured"
+
 let test_checkpoint_events_logged () =
   let config = { eager_config with Cfg.checkpoint = Cfg.Heavy } in
   let r = C.Gridsat.solve ~config ~testbed:testbed4 (php ~pigeons:7 ~holes:6) in
@@ -553,9 +667,21 @@ let test_checkpoint_events_logged () =
 let test_protocol_sizes () =
   let sp = Sub.initial (php ~pigeons:4 ~holes:3) in
   check bool "problem message dominated by the subproblem" true
-    (C.Protocol.size (C.Protocol.Problem { sp; sent_at = 0. }) = Sub.bytes sp);
+    (C.Protocol.size (C.Protocol.Problem { pid = (1, 0); sp; sent_at = 0. }) = Sub.bytes sp);
   check bool "control messages are small" true
     (C.Protocol.size C.Protocol.Stop = C.Protocol.control_bytes);
+  check bool "heartbeats and acks are small" true
+    (C.Protocol.size C.Protocol.Heartbeat = C.Protocol.control_bytes
+    && C.Protocol.size (C.Protocol.Ack { mid = 7 }) = C.Protocol.control_bytes);
+  check bool "reliable envelope weighs what its payload weighs" true
+    (C.Protocol.size
+       (C.Protocol.Reliable { mid = 3; payload = C.Protocol.Problem { pid = (1, 0); sp; sent_at = 0. } })
+    = Sub.bytes sp);
+  check bool "critical classification" true
+    (C.Protocol.critical (C.Protocol.Finished_unsat { pid = (1, 0) })
+    && C.Protocol.critical (C.Protocol.Orphaned { pid = (1, 0); sp })
+    && (not (C.Protocol.critical C.Protocol.Heartbeat))
+    && not (C.Protocol.critical (C.Protocol.Shares { clauses = [] })));
   let shares = [ [| T.pos 1; T.neg 2 |]; [| T.pos 3 |] ] in
   check bool "share size counts literals" true
     (C.Protocol.shares_bytes shares > C.Protocol.control_bytes);
@@ -580,6 +706,14 @@ let test_events_printing () =
       C.Events.Client_found_model 1;
       C.Events.Model_verified true;
       C.Events.Client_killed 1;
+      C.Events.Host_crashed 1;
+      C.Events.Host_hung 1;
+      C.Events.Client_suspected { client = 1 };
+      C.Events.False_suspicion { client = 1 };
+      C.Events.Message_retried { src = 1; dst = 2; attempt = 3 };
+      C.Events.Message_given_up { src = 1; dst = 2 };
+      C.Events.Recovery_requeued { client = 1 };
+      C.Events.Orphan_returned { donor = 1 };
       C.Events.Checkpoint_saved { client = 1; bytes = 9 };
       C.Events.Recovered_from_checkpoint { client = 1; onto = 2 };
       C.Events.Batch_job_submitted { nodes = 4 };
@@ -751,6 +885,9 @@ let () =
           Alcotest.test_case "busy kill without checkpoint" `Slow test_kill_busy_without_checkpoint_fails;
           Alcotest.test_case "busy kill with checkpoint" `Slow test_kill_busy_with_checkpoint_recovers;
           Alcotest.test_case "idle kill tolerated" `Slow test_kill_idle_is_tolerated;
+          Alcotest.test_case "partner killed mid-handoff" `Slow
+            test_kill_reserved_partner_mid_handoff;
+          Alcotest.test_case "reservations released" `Slow test_terminate_releases_reservations;
           Alcotest.test_case "checkpoint events" `Slow test_checkpoint_events_logged;
         ] );
       ( "protocol",

@@ -45,6 +45,28 @@ let test_sim_cancel () =
   check bool "cancelled event does not fire" false !fired;
   check int "pending empty" 0 (Sim.pending sim)
 
+let test_sim_cancel_fired_no_leak () =
+  let sim = Sim.create () in
+  let e = Sim.schedule sim ~delay:1.0 (fun () -> ()) in
+  Sim.run sim ~until:10.;
+  Sim.cancel sim e;
+  (* cancelling an already-fired id must not leave a tombstone behind *)
+  check int "late cancel leaves pending at zero" 0 (Sim.pending sim);
+  ignore (Sim.schedule sim ~delay:1.0 (fun () -> ()));
+  check int "fresh event counted correctly" 1 (Sim.pending sim)
+
+let test_sim_cancel_twice () =
+  let sim = Sim.create () in
+  let fired = ref 0 in
+  let e = Sim.schedule sim ~delay:1.0 (fun () -> incr fired) in
+  ignore (Sim.schedule sim ~delay:2.0 (fun () -> incr fired));
+  Sim.cancel sim e;
+  Sim.cancel sim e;
+  check int "double cancel counts once" 1 (Sim.pending sim);
+  Sim.run sim ~until:10.;
+  check int "only the live event fired" 1 !fired;
+  check int "queue drained" 0 (Sim.pending sim)
+
 let test_sim_nested_schedule () =
   let sim = Sim.create () in
   let log = ref [] in
@@ -233,6 +255,100 @@ let test_everyware_unregister_in_flight () =
   Sim.run sim ~until:10.;
   check bool "message to dead endpoint dropped" false !got
 
+let test_everyware_fault_drop () =
+  let sim = Sim.create () in
+  let bus = Everyware.create sim (Network.create ()) in
+  let got = ref 0 in
+  Everyware.register bus ~id:1 ~site:"a" ~handler:(fun ~src:_ _ -> incr got);
+  Everyware.register bus ~id:2 ~site:"b" ~handler:(fun ~src:_ _ -> incr got);
+  Everyware.set_fault bus (fun ~src_site:_ ~dst_site ~bytes:_ ->
+      if String.equal dst_site "a" then Everyware.Drop else Everyware.Deliver);
+  Everyware.send bus ~src:2 ~dst:1 ~bytes:10 "eaten";
+  Everyware.send bus ~src:1 ~dst:2 ~bytes:10 "through";
+  Sim.run sim ~until:100.;
+  check int "only the unfaulted direction delivered" 1 !got;
+  check int "drop counted" 1 (Everyware.messages_dropped bus);
+  check int "dropped bytes counted" 10 (Everyware.bytes_dropped bus);
+  check int "sends counted regardless" 2 (Everyware.messages_sent bus)
+
+let test_everyware_fault_delay_and_duplicate () =
+  let sim = Sim.create () in
+  let bus = Everyware.create sim (Network.create ()) in
+  let arrivals = ref [] in
+  Everyware.register bus ~id:1 ~site:"a" ~handler:(fun ~src:_ msg ->
+      arrivals := (msg, Sim.now sim) :: !arrivals);
+  Everyware.register bus ~id:2 ~site:"b" ~handler:(fun ~src:_ _ -> ());
+  Everyware.set_fault bus (fun ~src_site:_ ~dst_site:_ ~bytes:_ -> Everyware.Delay 5.0);
+  Everyware.send bus ~src:2 ~dst:1 ~bytes:10 "slow";
+  Everyware.clear_fault bus;
+  Everyware.send bus ~src:2 ~dst:1 ~bytes:10 "plain";
+  Everyware.set_fault bus (fun ~src_site:_ ~dst_site:_ ~bytes:_ -> Everyware.Duplicate 1.0);
+  Everyware.send bus ~src:2 ~dst:1 ~bytes:10 "twice";
+  Sim.run sim ~until:100.;
+  let count m = List.length (List.filter (fun (x, _) -> String.equal x m) !arrivals) in
+  check int "duplicated delivered twice" 2 (count "twice");
+  check int "delayed delivered once" 1 (count "slow");
+  check bool "delay adds latency" true (List.assoc "slow" !arrivals > List.assoc "plain" !arrivals)
+
+(* ---------- Fault plans ---------- *)
+
+let test_fault_crash_hang_schedule () =
+  let sim = Sim.create () in
+  let crashed = ref [] and hung = ref [] in
+  let ctl =
+    Grid.Fault.arm ~sim ~seed:1
+      ~on_crash:(fun h -> crashed := (h, Sim.now sim) :: !crashed)
+      ~on_hang:(fun h -> hung := (h, Sim.now sim) :: !hung)
+      [ Grid.Fault.Crash_host { host = 3; at = 5. }; Grid.Fault.Hang_host { host = 4; at = 7. } ]
+  in
+  Sim.run sim ~until:100.;
+  check bool "crash fired at its scripted instant" true (!crashed = [ (3, 5.) ]);
+  check bool "hang fired at its scripted instant" true (!hung = [ (4, 7.) ]);
+  let c = Grid.Fault.counters ctl in
+  check int "crash counted" 1 c.Grid.Fault.crashes;
+  check int "hang counted" 1 c.Grid.Fault.hangs
+
+let test_fault_partition_window () =
+  let sim = Sim.create () in
+  let ctl =
+    Grid.Fault.arm ~sim ~seed:1 ~on_crash:ignore ~on_hang:ignore
+      [ Grid.Fault.Partition_site { site = "isolated"; from_t = 10.; until_t = 20. } ]
+  in
+  let decide ~src ~dst = Grid.Fault.decide ctl ~src_site:src ~dst_site:dst ~bytes:1 in
+  let inside = ref Everyware.Deliver
+  and inbound = ref Everyware.Deliver
+  and intra = ref Everyware.Drop
+  and after = ref Everyware.Drop in
+  ignore
+    (Sim.schedule_at sim ~time:15. (fun () ->
+         inside := decide ~src:"isolated" ~dst:"other";
+         inbound := decide ~src:"other" ~dst:"isolated";
+         intra := decide ~src:"isolated" ~dst:"isolated"));
+  ignore (Sim.schedule_at sim ~time:25. (fun () -> after := decide ~src:"isolated" ~dst:"other"));
+  Sim.run sim ~until:100.;
+  check bool "outbound crossing dropped in window" true (!inside = Everyware.Drop);
+  check bool "inbound crossing dropped in window" true (!inbound = Everyware.Drop);
+  check bool "intra-site traffic unaffected" true (!intra = Everyware.Deliver);
+  check bool "traffic flows again after healing" true (!after = Everyware.Deliver)
+
+let test_fault_drop_probability_and_determinism () =
+  let run seed =
+    let sim = Sim.create () in
+    let ctl =
+      Grid.Fault.arm ~sim ~seed ~on_crash:ignore ~on_hang:ignore
+        [
+          Grid.Fault.Drop_messages
+            { src_site = None; dst_site = None; p = 0.3; from_t = 0.; until_t = 1e9 };
+        ]
+    in
+    List.init 500 (fun _ -> Grid.Fault.decide ctl ~src_site:"a" ~dst_site:"b" ~bytes:1)
+  in
+  let a = run 42 and b = run 42 and c = run 7 in
+  check bool "same seed replays the same decisions" true (a = b);
+  check bool "different seed differs" true (a <> c);
+  let drops = List.length (List.filter (fun d -> d = Everyware.Drop) a) in
+  check bool "drop rate in the ballpark of p" true (drops > 100 && drops < 200)
+
 (* ---------- Batch ---------- *)
 
 let test_batch_lifecycle () =
@@ -410,6 +526,8 @@ let () =
           Alcotest.test_case "time ordering" `Quick test_sim_ordering;
           Alcotest.test_case "fifo ties" `Quick test_sim_fifo_ties;
           Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "cancel after fire" `Quick test_sim_cancel_fired_no_leak;
+          Alcotest.test_case "cancel twice" `Quick test_sim_cancel_twice;
           Alcotest.test_case "nested schedule" `Quick test_sim_nested_schedule;
           Alcotest.test_case "until boundary" `Quick test_sim_until_boundary;
           Alcotest.test_case "negative delay" `Quick test_sim_negative_delay_clamped;
@@ -442,6 +560,15 @@ let () =
           Alcotest.test_case "size-dependent latency" `Quick test_everyware_big_messages_slower;
           Alcotest.test_case "unknown destination" `Quick test_everyware_unregistered_drop;
           Alcotest.test_case "unregister in flight" `Quick test_everyware_unregister_in_flight;
+          Alcotest.test_case "fault drop" `Quick test_everyware_fault_drop;
+          Alcotest.test_case "fault delay and duplicate" `Quick
+            test_everyware_fault_delay_and_duplicate;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "crash/hang schedule" `Quick test_fault_crash_hang_schedule;
+          Alcotest.test_case "partition window" `Quick test_fault_partition_window;
+          Alcotest.test_case "drop probability" `Quick test_fault_drop_probability_and_determinism;
         ] );
       ( "batch",
         [
