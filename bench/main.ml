@@ -9,7 +9,8 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [all|quick|table1|table2|bcp|sharing|pingpong|scheduler|bluehorizon|profile|ablation|faults|chaos|parmodes|micro]"
+     [all|quick|table1|table2|bcp|sharing|pingpong|scheduler|bluehorizon|profile|ablation|faults|chaos \
+     [seed]|mastercrash|parmodes|micro]"
 
 let section name f =
   Printf.printf "\n%s\n%s\n\n" (String.make 72 '=') name;
@@ -32,7 +33,8 @@ let () =
     section "Claim C7 (solver ablation)" Bench_lib.Claims.solver_ablation;
     section "Claim C8 (fault tolerance)" Bench_lib.Claims.fault_tolerance;
     section "Claim C9 (splitting vs portfolio)" Bench_lib.Claims.par_modes;
-    section "Claim C10 (chaos)" Bench_lib.Claims.chaos;
+    section "Claim C10 (chaos)" (Bench_lib.Claims.chaos ?seed:None);
+    section "Claim C11 (master crash)" Bench_lib.Claims.master_crash;
     section "Micro-benchmarks" Bench_lib.Micro.run
   in
   match args with
@@ -49,6 +51,11 @@ let () =
   | [ "ablation" ] -> Bench_lib.Claims.solver_ablation ()
   | [ "faults" ] -> Bench_lib.Claims.fault_tolerance ()
   | [ "chaos" ] -> Bench_lib.Claims.chaos ()
+  | [ "chaos"; s ] -> (
+      match int_of_string_opt s with
+      | Some seed -> Bench_lib.Claims.chaos ~seed ()
+      | None -> usage ())
+  | [ "mastercrash" ] -> Bench_lib.Claims.master_crash ()
   | [ "parmodes" ] -> Bench_lib.Claims.par_modes ()
   | [ "micro" ] -> Bench_lib.Micro.run ()
   | _ -> usage ()

@@ -1,16 +1,19 @@
-(* GridSAT under fire: a run with crashes, a site partition and message
-   loss injected, narrated through the failure-detection and recovery
-   events.
+(* GridSAT under fire: a run with crashes, a site partition, message
+   loss and a master outage injected, narrated through the
+   failure-detection and recovery events.
 
-   Three faults are scripted against the simulation clock:
+   Four faults are scripted against the simulation clock:
    - the busiest client is crashed (silently) mid-search,
    - the "west" site is partitioned off the grid for 60 s,
-   - 10% of all messages are dropped for the whole run.
+   - 10% of all messages are dropped for the whole run,
+   - the master itself is crashed late in the run and restarted 20 s
+     later from its write-ahead journal.
 
    The run must still terminate with the fault-free answer: the master's
    heartbeat lease detects the crash, the subproblem is recovered from
-   its checkpoint, and the ack/retry channel pushes critical messages
-   through the lossy links.
+   its checkpoint, the ack/retry channel pushes critical messages
+   through the lossy links, and the replacement master re-adopts the
+   surviving clients' work through the resync protocol.
 
    Run with: dune exec examples/chaos.exe *)
 
@@ -68,15 +71,19 @@ let () =
      mid-search on any machine *)
   let t = clean.C.Master.time in
   let p_from = 0.25 *. t and p_until = (0.25 *. t) +. 60. in
+  let m_at = Float.max (p_until +. 10.) (0.6 *. t) in
   let fault_plan =
     [
       F.Partition_site { site = "west"; from_t = p_from; until_t = p_until };
       F.Drop_messages { src_site = None; dst_site = None; p = 0.1; from_t = 0.; until_t = infinity };
+      F.Crash_master { at = m_at; restart_after = 20. };
     ]
   in
   Format.printf "--- chaos run ---@.";
-  Format.printf "plan: partition west [%.0f s, %.0f s], drop 10%% of messages, crash busiest@.@."
-    p_from p_until;
+  Format.printf
+    "plan: partition west [%.0f s, %.0f s], drop 10%% of messages, crash busiest,@.\
+    \      crash the master at %.0f s and restart it 20 s later@.@."
+    p_from p_until m_at;
   let crashed = ref None in
   let on_master m =
     (* crash whichever client is busiest once the search is underway *)
@@ -94,7 +101,8 @@ let () =
     | C.Events.Host_crashed _ | C.Events.Host_hung _ | C.Events.Client_suspected _
     | C.Events.False_suspicion _ | C.Events.Recovered_from_checkpoint _
     | C.Events.Recovery_requeued _ | C.Events.Orphan_returned _ | C.Events.Message_given_up _
-    | C.Events.Terminated _ ->
+    | C.Events.Master_crashed | C.Events.Master_restarted | C.Events.Master_outage_detected _
+    | C.Events.Client_resynced _ | C.Events.Rederived_from_lineage _ | C.Events.Terminated _ ->
         true
     | _ -> false
   in
@@ -116,6 +124,8 @@ let () =
     r.C.Master.dropped_bytes;
   Format.printf "retransmissions:   %d@." retries;
   Format.printf "recoveries:        %d@." r.C.Master.recoveries;
+  Format.printf "rederivations:     %d@." r.C.Master.rederivations;
+  Format.printf "master crashes:    %d@." r.C.Master.master_crashes;
   Format.printf "false suspicions:  %d@." r.C.Master.false_suspicions;
 
   Format.printf "@.--- run summary ---@.%a@.@." C.Gridsat.pp_result r;

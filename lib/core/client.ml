@@ -36,6 +36,9 @@ type t = {
   mutable token : int;  (* bumped on every state change to invalidate stale slices *)
   mutable next_branch : int;  (* stamps pids of branches this client donates *)
   mutable rel : Reliable.t option;  (* set once in create; never None afterwards *)
+  mutable master_down : bool;  (* retry exhaustion toward the master flipped this *)
+  mutable outbox : Protocol.msg list;  (* master-bound traffic parked during the outage *)
+  mutable probing : bool;  (* the outage probe loop is armed *)
   stats_acc : Sat.Stats.t;
 }
 
@@ -60,10 +63,76 @@ let send_raw t ~dst msg = Grid.Everyware.send t.bus ~src:t.cid ~dst ~bytes:(Prot
 
 let reliable t = match t.rel with Some r -> r | None -> assert false
 
+let master_down t = t.master_down
+
+(* During a master outage the client keeps solving autonomously and parks
+   its master-bound traffic here instead of burning retries into a void.
+   Shares are capped (they are only accelerants and accrue every flush
+   interval); control messages are never dropped. *)
+let max_buffered_shares = 32
+
+let buffer_for_master t msg =
+  match msg with
+  | Protocol.Shares _
+    when List.length (List.filter (function Protocol.Shares _ -> true | _ -> false) t.outbox)
+         >= max_buffered_shares ->
+      ()
+  | _ -> t.outbox <- t.outbox @ [ msg ]
+
 (* Critical control messages ride the ack/retry channel; shares and other
-   safe-to-lose traffic goes straight out. *)
+   safe-to-lose traffic goes straight out.  Anything aimed at a downed
+   master is buffered for redelivery instead. *)
 let send t ~dst msg =
-  if Protocol.critical msg then Reliable.send (reliable t) ~dst msg else send_raw t ~dst msg
+  if dst = t.master && t.master_down then buffer_for_master t msg
+  else if Protocol.critical msg then Reliable.send (reliable t) ~dst msg
+  else send_raw t ~dst msg
+
+let flush_outbox t =
+  let pending = t.outbox in
+  t.outbox <- [];
+  List.iter (fun m -> send t ~dst:t.master m) pending
+
+(* Any delivery from the master is proof of life: end the outage and
+   redeliver everything that accumulated during it. *)
+let master_reachable t =
+  if t.master_down then begin
+    t.master_down <- false;
+    flush_outbox t
+  end
+
+let rec take_first_critical acc = function
+  | [] -> None
+  | m :: rest when Protocol.critical m -> Some (m, List.rev_append acc rest)
+  | m :: rest -> take_first_critical (m :: acc) rest
+
+(* While the master is down, periodically re-offer the oldest buffered
+   control message through the reliable channel (one probe chain at a
+   time).  If the master is still gone the send exhausts its retries and
+   the message returns to the outbox; once a replacement master acks or
+   sends anything, [master_reachable] flushes the rest. *)
+let rec probe_master t =
+  if t.alive && (not t.hung) && t.master_down then begin
+    (if Reliable.outstanding_to (reliable t) ~dst:t.master = 0 then
+       match take_first_critical [] t.outbox with
+       | Some (m, rest) ->
+           t.outbox <- rest;
+           Reliable.send (reliable t) ~dst:t.master m
+       | None -> ());
+    ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.Config.heartbeat_period (fun () -> probe_master t))
+  end
+  else t.probing <- false
+
+let note_master_down t msg =
+  if not t.master_down then begin
+    t.master_down <- true;
+    t.callbacks.log (Events.Master_outage_detected { client = t.cid })
+  end;
+  (* the given-up message is the oldest outstanding one: requeue it first *)
+  t.outbox <- msg :: t.outbox;
+  if not t.probing then begin
+    t.probing <- true;
+    ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.Config.heartbeat_period (fun () -> probe_master t))
+  end
 
 let now t = Grid.Sim.now t.sim
 
@@ -191,7 +260,7 @@ let start_problem t ~src ~pid ~transfer_time sp =
       };
   send t ~dst:t.master
     (Protocol.Problem_received
-       { pid; from = src; bytes = Subproblem.bytes sp; depth = Subproblem.depth sp });
+       { pid; from = src; bytes = Subproblem.bytes sp; path = sp.Subproblem.path });
   (* an initial checkpoint covers the window before the first periodic one *)
   (match t.cfg.checkpoint with
   | Config.No_checkpoint -> ()
@@ -216,7 +285,17 @@ let handle_split_partner t partner =
           s.split_epoch <- now t;
           s.hard_mem_strikes <- 0;
           send t ~dst:partner (Protocol.Problem { pid; sp; sent_at = now t });
-          send t ~dst:t.master (Protocol.Split_ok { pid; dst = partner; bytes }))
+          (* [split_from] just committed the donor's first decision level
+             into its own root, so both lineages are final here *)
+          send t ~dst:t.master
+            (Protocol.Split_ok
+               {
+                 pid;
+                 dst = partner;
+                 bytes;
+                 path = sp.Subproblem.path;
+                 donor_path = Solver.root_path s.solver;
+               }))
 
 let handle_migrate t target =
   match t.state with
@@ -241,25 +320,43 @@ let handle_payload t ~src msg =
       | Solving s -> Solver.queue_foreign_clauses s.solver clauses
       | Idle -> ())
   | Protocol.Migrate_to { target } -> handle_migrate t target
+  | Protocol.Resync_request ->
+      (* a replacement master is reconciling: report what we are doing.
+         Everything still unacked toward the master was transmitted into
+         the outage — retransmit it now, before the reconciliation grace
+         expires, so the new master counts our results and orphans rather
+         than re-deriving work that is already done.  Any split
+         negotiation that was in flight died with the old master, so
+         clear the pending flag and let the heuristics ask again. *)
+      Reliable.nudge (reliable t) ~dst:t.master;
+      (match t.state with
+      | Solving s ->
+          s.split_pending <- false;
+          send t ~dst:t.master
+            (Protocol.Resync
+               { pid = Some s.pid; path = Solver.root_path s.solver; busy_since = s.started_at })
+      | Idle -> send t ~dst:t.master (Protocol.Resync { pid = None; path = []; busy_since = 0. }))
   | Protocol.Stop ->
       finish_problem t;
       (match t.rel with Some r -> Reliable.stop r | None -> ());
       t.alive <- false
   | Protocol.Register | Protocol.Problem_received _ | Protocol.Split_request _
   | Protocol.Split_ok _ | Protocol.Split_failed | Protocol.Shares _ | Protocol.Finished_unsat _
-  | Protocol.Found_model _ | Protocol.Orphaned _ | Protocol.Heartbeat ->
+  | Protocol.Found_model _ | Protocol.Orphaned _ | Protocol.Resync _ | Protocol.Heartbeat ->
       (* master-bound messages; a client should never receive them *)
       ()
   | Protocol.Ack _ | Protocol.Reliable _ -> (* unwrapped below; never nested *) ()
 
 let handle t ~src msg =
-  if t.alive && not t.hung then
+  if t.alive && not t.hung then begin
+    if src = t.master then master_reachable t;
     match msg with
     | Protocol.Reliable { mid; payload } ->
         send_raw t ~dst:src (Protocol.Ack { mid });
         if Reliable.admit (reliable t) ~src ~mid then handle_payload t ~src payload
     | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
     | _ -> handle_payload t ~src msg
+  end
 
 (* Empty clients take a moment to launch before they can register
    (process start-up on the remote host). *)
@@ -289,6 +386,9 @@ let create ~sim ~bus ~cfg ~resource ~trace ~master callbacks =
       token = 0;
       next_branch = 0;
       rel = None;
+      master_down = false;
+      outbox = [];
+      probing = false;
       stats_acc = Sat.Stats.create ();
     }
   in
@@ -298,15 +398,22 @@ let create ~sim ~bus ~cfg ~resource ~trace ~master callbacks =
       ~retry_base:cfg.Config.retry_base ~max_attempts:cfg.Config.retry_max_attempts
       ~on_retry:(fun ~dst ~attempt ->
         callbacks.log (Events.Message_retried { src = t.cid; dst; attempt }))
+      ~on_exhausted:(fun ~dst ~attempts ->
+        callbacks.log (Events.Retries_exhausted { src = t.cid; dst; attempts }))
       ~on_give_up:(fun ~dst msg ->
         callbacks.log (Events.Message_given_up { src = t.cid; dst });
-        (* a lost peer-to-peer handoff must not swallow the branch: hand
-           the subproblem back to the master for re-homing *)
-        match msg with
-        | Protocol.Problem { pid; sp; _ } ->
-            callbacks.log (Events.Orphan_returned { donor = t.cid });
-            Reliable.send (reliable t) ~dst:t.master (Protocol.Orphaned { pid; sp })
-        | _ -> ())
+        if dst = t.master then
+          (* retry exhaustion toward the master is how a client detects a
+             master outage: keep the message and switch to buffering *)
+          note_master_down t msg
+        else
+          (* a lost peer-to-peer handoff must not swallow the branch: hand
+             the subproblem back to the master for re-homing *)
+          match msg with
+          | Protocol.Problem { pid; sp; _ } ->
+              callbacks.log (Events.Orphan_returned { donor = t.cid });
+              send t ~dst:t.master (Protocol.Orphaned { pid; sp })
+          | _ -> ())
       ()
   in
   t.rel <- Some rel;

@@ -14,7 +14,17 @@
     Liveness: every client beacons a {!Protocol.Heartbeat} to the master
     each [heartbeat_period], and all critical control messages ride a
     reliable (ack + bounded-retry) channel.  Clause shares remain
-    fire-and-forget. *)
+    fire-and-forget.
+
+    Master outages: when a reliable send toward the master exhausts its
+    retry budget the client concludes the master is down, keeps solving
+    autonomously, and buffers its master-bound traffic (results, split
+    requests, orphan returns, a bounded number of clause-share batches).
+    It periodically re-offers the oldest buffered control message; the
+    moment anything arrives from a (restarted) master the buffer is
+    flushed, and a {!Protocol.Resync_request} is answered with the
+    client's current pid and guiding-path lineage so the new master can
+    adopt the work. *)
 
 type t
 
@@ -60,3 +70,7 @@ val solver_stats : t -> Sat.Stats.t
 val busy_since : t -> float option
 
 val mem_bytes_in_use : t -> int
+
+val master_down : t -> bool
+(** Whether this client currently believes the master is unreachable
+    (retry exhaustion flipped it; any delivery from the master clears it). *)

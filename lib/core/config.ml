@@ -19,6 +19,8 @@ type t = {
   suspect_timeout : float;
   retry_base : float;
   retry_max_attempts : int;
+  journal_compact_every : int;
+  resync_grace : float;
   solver_config : Sat.Solver.config;
   seed : int;
 }
@@ -41,6 +43,8 @@ let default =
     suspect_timeout = 60.;
     retry_base = 2.;
     retry_max_attempts = 6;
+    journal_compact_every = 64;
+    resync_grace = 10.;
     solver_config = Sat.Solver.default_config;
     seed = 0;
   }
@@ -48,3 +52,38 @@ let default =
 let experiment_set_1 = default
 
 let experiment_set_2 = { default with share_max_len = 3; overall_timeout = 12_000. }
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.heartbeat_period <= 0. then
+    err "heartbeat_period must be positive, got %g" t.heartbeat_period
+  else if t.suspect_timeout <= t.heartbeat_period then
+    err
+      "suspect_timeout (%g) must exceed heartbeat_period (%g): a lease shorter than one beacon \
+       interval declares every healthy client dead"
+      t.suspect_timeout t.heartbeat_period
+  else if t.checkpoint_period <= 0. then
+    err "checkpoint_period must be positive, got %g" t.checkpoint_period
+  else if t.retry_max_attempts < 1 then
+    err "retry_max_attempts must be at least 1, got %d" t.retry_max_attempts
+  else if t.retry_base <= 0. then err "retry_base must be positive, got %g" t.retry_base
+  else if t.slice <= 0. then err "slice must be positive, got %g" t.slice
+  else if t.overall_timeout <= 0. then
+    err "overall_timeout must be positive, got %g" t.overall_timeout
+  else if t.share_flush_interval <= 0. then
+    err "share_flush_interval must be positive, got %g" t.share_flush_interval
+  else if not (t.mem_headroom > 0. && t.mem_headroom <= 1.) then
+    err "mem_headroom must lie in (0, 1], got %g" t.mem_headroom
+  else if t.share_max_len < 0 then err "share_max_len must be non-negative, got %d" t.share_max_len
+  else if t.split_timeout < 0. then err "split_timeout must be non-negative, got %g" t.split_timeout
+  else if t.nws_probe_interval <= 0. then
+    err "nws_probe_interval must be positive, got %g" t.nws_probe_interval
+  else if t.min_client_memory < 0 then
+    err "min_client_memory must be non-negative, got %d" t.min_client_memory
+  else if t.journal_compact_every < 1 then
+    err "journal_compact_every must be at least 1, got %d" t.journal_compact_every
+  else if t.resync_grace <= 0. then err "resync_grace must be positive, got %g" t.resync_grace
+  else Ok ()
+
+let validate_exn t =
+  match validate t with Ok () -> () | Error msg -> invalid_arg ("Config.validate: " ^ msg)

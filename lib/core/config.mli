@@ -37,6 +37,12 @@ type t = {
   retry_base : float;  (** first backoff delay of the reliable channel *)
   retry_max_attempts : int;
       (** reliable sends abandoned after this many unacked transmissions *)
+  journal_compact_every : int;
+      (** fold the master's write-ahead journal into a snapshot every this
+          many entries (bounds replay work after a master crash) *)
+  resync_grace : float;
+      (** how long a restarted master waits for client [Resync] reports
+          before treating unclaimed live subproblems as orphans *)
   solver_config : Sat.Solver.config;
   seed : int;
 }
@@ -48,3 +54,14 @@ val experiment_set_1 : t
 
 val experiment_set_2 : t
 (** Share length 3 — Table 2 runs (the harder instances). *)
+
+val validate : t -> (unit, string) result
+(** Rejects inconsistent configurations with a descriptive message:
+    non-positive periods/timeouts, [suspect_timeout <= heartbeat_period]
+    (every healthy client would be declared dead), [retry_max_attempts <
+    1], [mem_headroom] outside [(0, 1]], and similar contradictions that
+    would silently wedge or corrupt a run. *)
+
+val validate_exn : t -> unit
+(** Raises [Invalid_argument] where {!validate} returns [Error].  Called
+    by the {!Gridsat} entry points before a run starts. *)

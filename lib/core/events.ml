@@ -19,8 +19,14 @@ type kind =
   | Message_given_up of { src : int; dst : int }
   | Recovery_requeued of { client : int }
   | Orphan_returned of { donor : int }
+  | Retries_exhausted of { src : int; dst : int; attempts : int }
   | Checkpoint_saved of { client : int; bytes : int }
   | Recovered_from_checkpoint of { client : int; onto : int }
+  | Rederived_from_lineage of { holder : int option; depth : int }
+  | Master_crashed
+  | Master_restarted
+  | Master_outage_detected of { client : int }
+  | Client_resynced of { client : int; busy : bool }
   | Batch_job_submitted of { nodes : int }
   | Batch_job_started of { nodes : int }
   | Batch_job_cancelled
@@ -64,10 +70,21 @@ let pp_kind ppf = function
       Format.fprintf ppf "no idle host: client %d's work queued for recovery" client
   | Orphan_returned { donor } ->
       Format.fprintf ppf "client %d returned an orphaned subproblem (handoff failed)" donor
+  | Retries_exhausted { src; dst; attempts } ->
+      Format.fprintf ppf "retry budget %d -> %d exhausted after %d attempts" src dst attempts
   | Checkpoint_saved { client; bytes } ->
       Format.fprintf ppf "checkpoint of client %d saved (%d bytes)" client bytes
   | Recovered_from_checkpoint { client; onto } ->
       Format.fprintf ppf "client %d's work recovered onto client %d" client onto
+  | Rederived_from_lineage { holder; depth } ->
+      Format.fprintf ppf "lost subproblem (depth %d%s) re-derived from its split lineage" depth
+        (match holder with Some h -> Printf.sprintf ", last held by %d" h | None -> "")
+  | Master_crashed -> Format.fprintf ppf "fault: master crashed (volatile state lost)"
+  | Master_restarted -> Format.fprintf ppf "master restarted; journal replayed, resyncing clients"
+  | Master_outage_detected { client } ->
+      Format.fprintf ppf "client %d detected the master outage (retries exhausted); buffering" client
+  | Client_resynced { client; busy } ->
+      Format.fprintf ppf "client %d resynced (%s)" client (if busy then "busy" else "idle")
   | Batch_job_submitted { nodes } -> Format.fprintf ppf "batch job submitted (%d nodes)" nodes
   | Batch_job_started { nodes } -> Format.fprintf ppf "batch job started (%d nodes)" nodes
   | Batch_job_cancelled -> Format.fprintf ppf "batch job cancelled"

@@ -28,8 +28,21 @@ type kind =
       (** a recovered subproblem is parked until a host frees up *)
   | Orphan_returned of { donor : int }
       (** a donor's peer-to-peer handoff exhausted its retries *)
+  | Retries_exhausted of { src : int; dst : int; attempts : int }
+      (** a reliable send ran out its whole retry budget (precedes the
+          owner's give-up recovery) *)
   | Checkpoint_saved of { client : int; bytes : int }
   | Recovered_from_checkpoint of { client : int; onto : int }
+  | Rederived_from_lineage of { holder : int option; depth : int }
+      (** a lost subproblem with no usable checkpoint was reconstructed
+          from the original CNF and its journaled guiding-path lineage *)
+  | Master_crashed  (** fault injection ground truth: the master process died *)
+  | Master_restarted  (** a fresh master came up and replayed the journal *)
+  | Master_outage_detected of { client : int }
+      (** a client exhausted its retries toward the master and switched to
+          buffering its master-bound traffic *)
+  | Client_resynced of { client : int; busy : bool }
+      (** reconciliation: the client reported its state to the new master *)
   | Batch_job_submitted of { nodes : int }
   | Batch_job_started of { nodes : int }
   | Batch_job_cancelled

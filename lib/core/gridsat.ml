@@ -1,4 +1,5 @@
 let solve ?(config = Config.default) ?(fault_plan = []) ?on_master ~testbed cnf =
+  Config.validate_exn config;
   let sim = Grid.Sim.create () in
   let net = Grid.Network.create () in
   let bus = Grid.Everyware.create sim net in
@@ -10,6 +11,8 @@ let solve ?(config = Config.default) ?(fault_plan = []) ?on_master ~testbed cnf 
         Grid.Fault.arm ~sim ~seed:config.Config.seed
           ~on_crash:(fun host -> Master.crash_host master host)
           ~on_hang:(fun host -> Master.hang_host master host)
+          ~on_master_crash:(fun () -> Master.crash_master master)
+          ~on_master_restart:(fun () -> Master.restart_master master)
           specs
       in
       Grid.Everyware.set_fault bus (fun ~src_site ~dst_site ~bytes ->

@@ -22,13 +22,15 @@ val solve :
   Sat.Cnf.t ->
   Master.result
 (** Runs to termination (answer, timeout, or unrecoverable failure).
-    [fault_plan] arms the fault-injection subsystem against the run: host
-    crashes and hangs fire on the simulation clock, and message faults
-    (drops, delays, duplicates, partitions) are applied to every send.
-    The plan is evaluated with a private RNG seeded from the config, so
-    the same plan and seed replay the identical failure schedule.
-    [on_master] exposes the master right after construction — tests use it
-    to inject failures at scheduled times. *)
+    Raises [Invalid_argument] if [config] is inconsistent (see
+    {!Config.validate}).  [fault_plan] arms the fault-injection subsystem
+    against the run: host crashes, hangs, and master crash/restart cycles
+    fire on the simulation clock, and message faults (drops, delays,
+    duplicates, partitions) are applied to every send.  The plan is
+    evaluated with a private RNG seeded from the config, so the same plan
+    and seed replay the identical failure schedule.  [on_master] exposes
+    the master right after construction — tests use it to inject failures
+    at scheduled times. *)
 
 val answer_string : Master.answer -> string
 (** "SAT", "UNSAT" or "UNKNOWN(reason)". *)

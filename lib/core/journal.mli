@@ -1,0 +1,89 @@
+(** The master's write-ahead journal (durability layer).
+
+    Every master state transition that matters for recovery — client
+    registration, problem assignment, split grants and completions,
+    clause-share accounting, suspicion, death, adoption, verdict — is
+    appended to the journal {e before} the transition's messages go out.
+    The journal models the master's stable storage: a crashed master loses
+    all volatile state (reservations, in-flight transfers, backlogs) but
+    the journal survives, and {!replay} folds it back into the state a
+    restarted master needs to resume the run.
+
+    Entries pending since the last snapshot are folded into a base
+    snapshot every [compact_every] appends, bounding replay work — the
+    classical WAL + checkpoint compaction scheme.
+
+    Replay is deterministic: {!digest} renders the replayed state in
+    canonical (sorted) order, so two replays of the same journal always
+    produce identical digests. *)
+
+type entry =
+  | Registered of { client : int }
+  | Assigned of { pid : Protocol.pid; dst : int; path : Sat.Types.lit list }
+      (** the master sent [pid] (with guiding-path lineage [path]) to [dst] *)
+  | Started of { pid : Protocol.pid; client : int }
+      (** [client] confirmed it is working on [pid] *)
+  | Granted of { requester : int; partner : int }
+  | Split of {
+      donor : int;
+      donor_pid : Protocol.pid;
+      donor_path : Sat.Types.lit list;
+      pid : Protocol.pid;
+      dst : int;
+      path : Sat.Types.lit list;
+    }
+      (** a completed split: the donor kept [donor_pid] (its lineage grew
+          to [donor_path]) and handed the complementary branch [pid] with
+          lineage [path] to [dst] *)
+  | Refuted of { pid : Protocol.pid }
+  | Shared of { clauses : int }
+  | Suspected of { client : int }
+  | Died of { client : int }
+  | Adopted of { pid : Protocol.pid; client : int; path : Sat.Types.lit list }
+      (** reconciliation: a resyncing client reported live work *)
+  | Verdict of { answer : string }
+
+type client_state = Alive | Dead
+
+type state = {
+  clients : (int, client_state) Hashtbl.t;
+  live : (Protocol.pid, Sat.Types.lit list) Hashtbl.t;
+      (** every unrefuted subproblem and its guiding-path lineage — enough
+          to re-derive the subproblem from the original CNF *)
+  holder : (Protocol.pid, int) Hashtbl.t;  (** last known holder of each live pid *)
+  refuted : (Protocol.pid, unit) Hashtbl.t;
+      (** tombstones: every pid ever refuted.  Pids are never reused, so a
+          registration entry for a tombstoned pid is ignored on replay —
+          a [Refuted] that was journaled before a reordered [Split] or
+          [Adopted] entry must not resurrect the subproblem. *)
+  mutable problem_assigned : bool;
+  mutable splits : int;
+  mutable share_batches : int;
+  mutable shared_clauses : int;
+  mutable verdict : string option;
+}
+
+type t
+
+val create : compact_every:int -> t
+
+val append : t -> entry -> unit
+(** Appends one entry, compacting into the snapshot when [compact_every]
+    entries have accumulated since the last compaction. *)
+
+val replay : t -> state
+(** Snapshot plus pending entries, folded into a fresh state.  Never
+    mutates the journal: replaying twice yields equal states. *)
+
+val digest : state -> string
+(** Canonical hex digest of a replayed state (order-independent). *)
+
+val appended : t -> int
+(** Total entries ever appended. *)
+
+val compactions : t -> int
+(** How many times pending entries were folded into the snapshot. *)
+
+val entries_since_snapshot : t -> int
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -16,6 +16,8 @@ type result = {
   retries : int;
   false_suspicions : int;
   recoveries : int;
+  rederivations : int;
+  master_crashes : int;
   checkpoint_bytes : int;
   solver_stats : Sat.Stats.t;
   events : Events.t list;
@@ -54,6 +56,19 @@ type t = {
          Problem_received; recoverable without a checkpoint *)
   mutable pending_recovery : (Protocol.pid * Subproblem.t * int * bool) list;
       (* pid, subproblem, failed client, came-from-checkpoint *)
+  journal : Journal.t;
+      (* write-ahead log on stable storage: survives a master crash *)
+  lineage : (Protocol.pid, Sat.Types.lit list) Hashtbl.t;
+      (* guiding-path lineage of every live subproblem — enough to
+         re-derive any of them from the original CNF *)
+  last_holder : (Protocol.pid, int) Hashtbl.t;
+  refuted_pids : (Protocol.pid, unit) Hashtbl.t;
+      (* tombstones: pids are never reused, so a registration arriving
+         after the pid's refutation (a Split_ok or Problem_received
+         reordered behind the holder's own Finished_unsat) must be
+         absorbed, not resurrected as live work *)
+  mutable down : bool;  (* the master process is crashed right now *)
+  mutable resyncing : bool;  (* restarted; waiting out the resync grace *)
   mutable problem_assigned : bool;
   mutable finished : bool;
   mutable answer : answer option;
@@ -91,8 +106,14 @@ let finished t = t.finished
 
 let reliable t = match t.rel with Some r -> r | None -> assert false
 
+(* A crashed master cannot transmit: its volatile state (and endpoint) are
+   gone until restart.  Guarding here keeps stray timers harmless. *)
 let send_raw t ~dst msg =
-  Grid.Everyware.send t.bus ~src:master_id ~dst ~bytes:(Protocol.size msg) msg
+  if not t.down then Grid.Everyware.send t.bus ~src:master_id ~dst ~bytes:(Protocol.size msg) msg
+
+let jlog t entry = Journal.append t.journal entry
+
+let journal t = t.journal
 
 let send t ~dst msg =
   if Protocol.critical msg then Reliable.send (reliable t) ~dst msg else send_raw t ~dst msg
@@ -127,6 +148,9 @@ let result t =
         false_suspicions = count_events t (function Events.False_suspicion _ -> true | _ -> false);
         recoveries =
           count_events t (function Events.Recovered_from_checkpoint _ -> true | _ -> false);
+        rederivations =
+          count_events t (function Events.Rederived_from_lineage _ -> true | _ -> false);
+        master_crashes = count_events t (function Events.Master_crashed -> true | _ -> false);
         checkpoint_bytes = t.checkpoint_bytes_peak;
         solver_stats = aggregate_stats t;
         events = events_so_far t;
@@ -147,6 +171,9 @@ let terminate t answer why =
   if not t.finished then begin
     t.finished <- true;
     t.answer <- Some answer;
+    jlog t
+      (Journal.Verdict
+         { answer = (match answer with Sat _ -> "SAT" | Unsat -> "UNSAT" | Unknown _ -> "UNKNOWN") });
     log t (Events.Terminated why);
     (* a finished run must not leave hosts parked in Reserved: clear every
        outstanding reservation before the Stop broadcast *)
@@ -173,14 +200,18 @@ let terminate t answer why =
 (* ---------- scheduling ---------- *)
 
 let idle_candidates t =
-  Hashtbl.fold
-    (fun _ h acc ->
-      if h.rstate = Idle && Client.is_alive h.client then
-        { Scheduler.resource = h.resource; forecast = Grid.Nws.forecast h.nws } :: acc
-      else acc)
-    t.hosts []
-  (* stable order so Random_pick and ties are reproducible *)
-  |> List.sort (fun a b -> compare a.Scheduler.resource.R.id b.Scheduler.resource.R.id)
+  (* while resyncing, "idle" hosts may in fact hold live work that has not
+     reported back yet: assign nothing until reconciliation closes *)
+  if t.resyncing then []
+  else
+    Hashtbl.fold
+      (fun _ h acc ->
+        if h.rstate = Idle && Client.is_alive h.client then
+          { Scheduler.resource = h.resource; forecast = Grid.Nws.forecast h.nws } :: acc
+        else acc)
+      t.hosts []
+    (* stable order so Random_pick and ties are reproducible *)
+    |> List.sort (fun a b -> compare a.Scheduler.resource.R.id b.Scheduler.resource.R.id)
 
 let grant_split t requester =
   match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
@@ -189,6 +220,7 @@ let grant_split t requester =
       let partner = cand.Scheduler.resource.R.id in
       (host t partner).rstate <- Reserved;
       t.pending_partner <- (requester, partner) :: t.pending_partner;
+      jlog t (Journal.Granted { requester; partner });
       log t (Events.Split_granted { client = requester; partner });
       send t ~dst:requester (Protocol.Split_partner { partner });
       true
@@ -200,6 +232,18 @@ let release_partner t requester =
       t.pending_partner <- List.remove_assoc requester t.pending_partner;
       Some partner
 
+(* Every problem the master sends is journaled as an assignment first: the
+   WAL records the pid, the addressee and the guiding-path lineage, so a
+   replacement master can re-derive the branch if everything else is
+   lost. *)
+let send_problem t ~dst pid sp =
+  (host t dst).rstate <- Reserved;
+  Hashtbl.replace t.in_flight dst (pid, sp);
+  Hashtbl.replace t.lineage pid sp.Subproblem.path;
+  Hashtbl.replace t.last_holder pid dst;
+  jlog t (Journal.Assigned { pid; dst; path = sp.Subproblem.path });
+  send t ~dst (Protocol.Problem { pid; sp; sent_at = Grid.Sim.now t.sim })
+
 (* Re-home a subproblem that lost its host (checkpoint recovery or a
    returned orphan).  The pid is already in [live_problems]; if no idle
    host is available the work parks in [pending_recovery] — never lost,
@@ -208,10 +252,8 @@ let assign_recovered t ~failed ~from_checkpoint pid sp =
   match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
   | Some cand ->
       let dst = cand.Scheduler.resource.R.id in
-      (host t dst).rstate <- Reserved;
-      Hashtbl.replace t.in_flight dst (pid, sp);
       if from_checkpoint then log t (Events.Recovered_from_checkpoint { client = failed; onto = dst });
-      send t ~dst (Protocol.Problem { pid; sp; sent_at = Grid.Sim.now t.sim })
+      send_problem t ~dst pid sp
   | None ->
       log t (Events.Recovery_requeued { client = failed });
       t.pending_recovery <- t.pending_recovery @ [ (pid, sp, failed, from_checkpoint) ]
@@ -226,12 +268,27 @@ let rec serve_recovery t =
           (List.hd t.pending_recovery, List.tl t.pending_recovery)
         in
         t.pending_recovery <- rest;
-        (host t dst).rstate <- Reserved;
-        Hashtbl.replace t.in_flight dst (pid, sp);
         if from_checkpoint then
           log t (Events.Recovered_from_checkpoint { client = failed; onto = dst });
-        send t ~dst (Protocol.Problem { pid; sp; sent_at = Grid.Sim.now t.sim });
+        send_problem t ~dst pid sp;
         serve_recovery t
+
+(* The last line of defence: a subproblem whose holder and checkpoint are
+   both gone is reconstructed from the original CNF and its journaled
+   guiding-path lineage (Figure 2: the lineage fully determines the
+   branch), then requeued.  No component loss ends the run [Unknown]. *)
+let rederive_lost t ~holder pid =
+  match Hashtbl.find_opt t.lineage pid with
+  | Some path ->
+      let sp = Subproblem.of_lineage t.cnf path in
+      log t (Events.Rederived_from_lineage { holder; depth = List.length path });
+      Hashtbl.replace t.live_problems pid ();
+      let failed = match holder with Some h -> h | None -> master_id in
+      assign_recovered t ~failed ~from_checkpoint:false pid sp
+  | None ->
+      (* unreachable by construction: every assignment, split and adoption
+         journals its lineage before any message leaves the master *)
+      terminate t (Unknown "lost subproblem with no recorded lineage") "unrecoverable loss"
 
 (* Serve the backlog with a freshly idle resource: the paper splits the
    client that has been running the same subproblem the longest. *)
@@ -289,9 +346,47 @@ let consider_migration t =
   end
 
 let dispatch t =
-  serve_recovery t;
-  serve_backlog t;
-  consider_migration t
+  if not (t.down || t.resyncing) then begin
+    serve_recovery t;
+    serve_backlog t;
+    consider_migration t
+  end
+
+(* Refute [pid]: drop it everywhere, remember the tombstone, and settle the
+   verdict if the pool drained.  Removal is idempotent by pid: a duplicated
+   or re-homed copy of the same subproblem cannot drive the live count
+   negative.  UNSAT also waits out pending split pairs — a granted split
+   whose Split_ok has not arrived yet may be about to register a new live
+   branch — and the resync window: a split granted just before a master
+   crash may exist only on the partner, whose Resync is the sole record of
+   it. *)
+let refute_pid t pid =
+  if not (Hashtbl.mem t.refuted_pids pid) then begin
+    Hashtbl.replace t.refuted_pids pid ();
+    jlog t (Journal.Refuted { pid })
+  end;
+  Hashtbl.remove t.live_problems pid;
+  Hashtbl.remove t.lineage pid;
+  Hashtbl.remove t.last_holder pid;
+  if
+    Hashtbl.length t.live_problems = 0
+    && t.pending_recovery = [] && t.pending_partner = []
+    && (not t.resyncing) && t.problem_assigned
+  then terminate t Unsat "all subproblems refuted: unsatisfiable"
+  else dispatch t
+
+(* A registration that raced behind the holder's own Finished_unsat (the
+   refutation was journaled first): undo the registration we just recorded
+   and free the reporting host instead of believing it busy forever. *)
+let absorb_if_refuted t ~holder pid =
+  if Hashtbl.mem t.refuted_pids pid then begin
+    (match Hashtbl.find_opt t.hosts holder with
+    | Some h when h.pid = Some pid ->
+        if h.rstate = Busy then h.rstate <- Idle;
+        h.pid <- None
+    | _ -> ());
+    refute_pid t pid
+  end
 
 (* ---------- message handling ---------- *)
 
@@ -299,17 +394,16 @@ let assign_initial_problem t dst =
   let sp = Subproblem.initial t.cnf in
   t.problem_assigned <- true;
   Hashtbl.replace t.live_problems initial_pid ();
-  (host t dst).rstate <- Reserved;
-  Hashtbl.replace t.in_flight dst (initial_pid, sp);
-  send t ~dst (Protocol.Problem { pid = initial_pid; sp; sent_at = Grid.Sim.now t.sim })
+  send_problem t ~dst initial_pid sp
 
 let on_register t src =
   let h = host t src in
   h.rstate <- Idle;
+  jlog t (Journal.Registered { client = src });
   log t (Events.Client_started src);
   if not t.problem_assigned then assign_initial_problem t src else dispatch t
 
-let on_problem_received t src ~pid ~from ~bytes ~depth =
+let on_problem_received t src ~pid ~from ~bytes ~path =
   let h = host t src in
   Hashtbl.remove t.in_flight src;
   (* a migration target becoming busy frees its source *)
@@ -324,11 +418,19 @@ let on_problem_received t src ~pid ~from ~bytes ~depth =
       log t (Events.Migration { src = s; dst = src; bytes })
   | None -> ());
   Hashtbl.replace t.live_problems pid ();
+  (* the receiver reports its lineage, closing the gap where a split's
+     [Split_ok] has not arrived yet: the branch is re-derivable from the
+     journal the moment anyone confirms holding it *)
+  Hashtbl.replace t.lineage pid path;
+  Hashtbl.replace t.last_holder pid src;
+  jlog t (Journal.Started { pid; client = src });
+  jlog t (Journal.Adopted { pid; client = src; path });
   h.rstate <- Busy;
   h.pid <- Some pid;
   h.busy_since <- Grid.Sim.now t.sim;
-  log t (Events.Problem_assigned { src = from; dst = src; bytes; depth });
+  log t (Events.Problem_assigned { src = from; dst = src; bytes; depth = List.length path });
   update_max t;
+  absorb_if_refuted t ~holder:src pid;
   dispatch t
 
 let on_split_request t src _reason =
@@ -339,11 +441,24 @@ let on_split_request t src _reason =
     log t (Events.Split_denied { client = src })
   end
 
-let on_split_ok t src ~pid ~dst ~bytes =
+let on_split_ok t src ~pid ~dst ~bytes ~path ~donor_path =
   t.splits <- t.splits + 1;
   Hashtbl.replace t.live_problems pid ();
+  Hashtbl.replace t.lineage pid path;
+  Hashtbl.replace t.last_holder pid dst;
+  (* the donor committed its first decision level into its own root, so
+     its lineage grew too: journal both sides of the split *)
+  (match (host t src).pid with
+  | Some donor_pid ->
+      Hashtbl.replace t.lineage donor_pid donor_path;
+      jlog t (Journal.Split { donor = src; donor_pid; donor_path; pid; dst; path })
+  | None ->
+      (* reordered delivery: the donor's own branch already concluded;
+         only the new branch needs journaling *)
+      jlog t (Journal.Assigned { pid; dst; path }));
   t.pending_partner <- List.remove_assoc src t.pending_partner;
-  log t (Events.Split_completed { src; dst; bytes })
+  log t (Events.Split_completed { src; dst; bytes });
+  absorb_if_refuted t ~holder:dst pid
 
 let on_split_failed t src =
   (match release_partner t src with
@@ -362,6 +477,7 @@ let on_shares t src clauses =
         send t ~dst:id (Protocol.Share_relay { origin = src; clauses })
       end)
     t.hosts;
+  jlog t (Journal.Shared { clauses = List.length clauses });
   log t (Events.Shares_broadcast { origin = src; count = List.length clauses; recipients = !recipients })
 
 let on_finished_unsat t src pid =
@@ -377,19 +493,11 @@ let on_finished_unsat t src pid =
   Checkpoint.drop t.checkpoints ~client:src;
   t.backlog <- List.filter (fun (c, _) -> c <> src) t.backlog;
   log t (Events.Client_finished_unsat src);
-  (* removal is idempotent by pid: a duplicated or re-homed copy of the
-     same subproblem cannot drive the live count negative.  UNSAT also
-     waits out pending split pairs — a granted split whose Split_ok has
-     not arrived yet may be about to register a new live branch. *)
-  if Hashtbl.mem t.live_problems pid then begin
-    Hashtbl.remove t.live_problems pid;
-    if
-      Hashtbl.length t.live_problems = 0
-      && t.pending_recovery = [] && t.pending_partner = []
-    then terminate t Unsat "all subproblems refuted: unsatisfiable"
-    else dispatch t
-  end
-  else dispatch t
+  (* tombstone even a pid we have no record of: under loss and retries a
+     finish can overtake the Split_ok / Problem_received that would have
+     registered it, and the journaled tombstone makes the late
+     registration harmless across a master crash too *)
+  refute_pid t pid
 
 let on_found_model t src model =
   log t (Events.Client_found_model src);
@@ -420,24 +528,62 @@ let on_orphaned t src pid sp =
     if h.rstate = Busy then h.rstate <- Idle;
     h.pid <- None
   end;
-  Hashtbl.replace t.live_problems pid ();
-  assign_recovered t ~failed:src ~from_checkpoint:false pid sp
+  if Hashtbl.mem t.refuted_pids pid then dispatch t  (* already refuted elsewhere *)
+  else begin
+    Hashtbl.replace t.live_problems pid ();
+    Hashtbl.replace t.lineage pid sp.Subproblem.path;
+    assign_recovered t ~failed:src ~from_checkpoint:false pid sp
+  end
+
+(* Reconciliation after a master restart: each surviving client reports
+   what it is doing.  Busy reports are adopted (journaled, so the next
+   crash can replay them too); idle reports release any stale Busy/
+   Reserved marking the replayed journal implied. *)
+let on_resync t src ~pid ~path ~busy_since =
+  let h = host t src in
+  log t (Events.Client_resynced { client = src; busy = pid <> None });
+  (match pid with
+  | Some p when Hashtbl.mem t.refuted_pids p ->
+      (* the client is still solving a branch another copy of which was
+         already refuted — harmless duplicate work; its own finish will
+         free it, but the dead pid must not be re-adopted *)
+      h.rstate <- Busy;
+      h.pid <- Some p;
+      h.busy_since <- busy_since;
+      update_max t
+  | Some p ->
+      h.rstate <- Busy;
+      h.pid <- Some p;
+      h.busy_since <- busy_since;
+      Hashtbl.replace t.live_problems p ();
+      Hashtbl.replace t.lineage p path;
+      Hashtbl.replace t.last_holder p src;
+      jlog t (Journal.Adopted { pid = p; client = src; path });
+      update_max t
+  | None ->
+      (match h.rstate with
+      | Busy | Reserved -> h.rstate <- Idle
+      | Launching | Idle | Dead -> ());
+      h.pid <- None);
+  dispatch t
 
 let handle_payload t ~src msg =
   match msg with
   | Protocol.Register -> on_register t src
-  | Protocol.Problem_received { pid; from; bytes; depth } ->
-      on_problem_received t src ~pid ~from ~bytes ~depth
+  | Protocol.Problem_received { pid; from; bytes; path } ->
+      on_problem_received t src ~pid ~from ~bytes ~path
   | Protocol.Split_request reason -> on_split_request t src reason
-  | Protocol.Split_ok { pid; dst; bytes } -> on_split_ok t src ~pid ~dst ~bytes
+  | Protocol.Split_ok { pid; dst; bytes; path; donor_path } ->
+      on_split_ok t src ~pid ~dst ~bytes ~path ~donor_path
   | Protocol.Split_failed -> on_split_failed t src
   | Protocol.Shares { clauses } -> on_shares t src clauses
   | Protocol.Finished_unsat { pid } -> on_finished_unsat t src pid
   | Protocol.Found_model m -> on_found_model t src m
   | Protocol.Orphaned { pid; sp } -> on_orphaned t src pid sp
+  | Protocol.Resync { pid; path; busy_since } -> on_resync t src ~pid ~path ~busy_since
   | Protocol.Heartbeat -> ()
   | Protocol.Problem _ | Protocol.Split_partner _ | Protocol.Share_relay _
-  | Protocol.Migrate_to _ | Protocol.Stop ->
+  | Protocol.Migrate_to _ | Protocol.Resync_request | Protocol.Stop ->
       (* client-bound messages; the master should never receive them *)
       ()
   | Protocol.Ack _ | Protocol.Reliable _ -> (* unwrapped by [handle]; never nested *) ()
@@ -471,7 +617,7 @@ let handle_zombie t ~src h msg =
   | _ -> fence ()
 
 let handle t ~src msg =
-  if not t.finished then
+  if (not t.finished) && not t.down then
     match Hashtbl.find_opt t.hosts src with
     | None -> ()
     | Some h when h.rstate = Dead -> handle_zombie t ~src h msg
@@ -497,6 +643,7 @@ let declare_dead t id =
         let prev_pid = h.pid in
         h.rstate <- Dead;
         h.pid <- None;
+        jlog t (Journal.Died { client = id });
         t.backlog <- List.filter (fun (c, _) -> c <> id) t.backlog;
         (* a split requester died while its partner sat reserved *)
         (match release_partner t id with
@@ -519,16 +666,17 @@ let declare_dead t id =
               assign_recovered t ~failed:id ~from_checkpoint:false pid sp
           | None -> (
               if prev = Busy then
-                match (prev_pid, Checkpoint.restore t.checkpoints ~client:id) with
-                | Some pid, Some sp ->
-                    Checkpoint.drop t.checkpoints ~client:id;
-                    assign_recovered t ~failed:id ~from_checkpoint:true pid sp
-                | _, None ->
-                    (* without a checkpoint the lost search space cannot be
-                       reconstructed; the run has no sound answer *)
-                    terminate t (Unknown "busy client crashed without checkpoint")
-                      "unrecoverable client failure"
-                | None, Some _ -> ())
+                match prev_pid with
+                | None -> ()
+                | Some pid -> (
+                    match Checkpoint.restore t.checkpoints ~client:id with
+                    | Some sp ->
+                        Checkpoint.drop t.checkpoints ~client:id;
+                        assign_recovered t ~failed:id ~from_checkpoint:true pid sp
+                    | None ->
+                        (* no checkpoint: reconstruct the branch from its
+                           journaled lineage instead of aborting the run *)
+                        rederive_lost t ~holder:(Some id) pid))
         end
       end
 
@@ -562,39 +710,149 @@ let hang_host t id =
         Client.hang h.client
       end
 
+(* ---------- master crash and failover ---------- *)
+
+(* The master process dies: its endpoint disappears from the bus and every
+   piece of volatile state — reservations, in-flight transfers, the split
+   backlog, the recovery queue — is lost.  Only the journal and the
+   checkpoint store (both stable storage) survive.  Clients notice via
+   retry exhaustion and keep solving autonomously. *)
+let crash_master t =
+  if (not t.finished) && not t.down then begin
+    log t Events.Master_crashed;
+    t.down <- true;
+    t.resyncing <- false;
+    Reliable.stop (reliable t);
+    Grid.Everyware.unregister t.bus ~id:master_id;
+    Hashtbl.reset t.in_flight;
+    Hashtbl.reset t.live_problems;
+    Hashtbl.reset t.lineage;
+    Hashtbl.reset t.last_holder;
+    Hashtbl.reset t.refuted_pids;
+    t.pending_partner <- [];
+    t.migrating <- [];
+    t.backlog <- [];
+    t.pending_recovery <- []
+  end
+
+(* Reconciliation closes: any journaled live subproblem that no surviving
+   client adopted and no in-flight transfer covers is an orphan.  Prefer
+   its last holder's checkpoint; otherwise re-derive it from the original
+   CNF and its journaled lineage.  Either way it is requeued, never
+   dropped. *)
+let reconcile t =
+  if (not t.finished) && (not t.down) && t.resyncing then begin
+    t.resyncing <- false;
+    let held = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ h ->
+        match (h.rstate, h.pid) with Busy, Some p -> Hashtbl.replace held p () | _ -> ())
+      t.hosts;
+    Hashtbl.iter (fun _ (p, _) -> Hashtbl.replace held p ()) t.in_flight;
+    let orphans =
+      Hashtbl.fold (fun p () acc -> if Hashtbl.mem held p then acc else p :: acc) t.live_problems []
+      |> List.sort compare
+    in
+    List.iter
+      (fun p ->
+        if not t.finished then
+          match Hashtbl.find_opt t.last_holder p with
+          | Some holder when Checkpoint.restore t.checkpoints ~client:holder <> None -> (
+              match Checkpoint.restore t.checkpoints ~client:holder with
+              | Some sp ->
+                  Checkpoint.drop t.checkpoints ~client:holder;
+                  assign_recovered t ~failed:holder ~from_checkpoint:true p sp
+              | None -> ())
+          | holder -> rederive_lost t ~holder p)
+      orphans;
+    (* the verdict may have become decidable during the window: results
+       that arrived while UNSAT was deferred could have drained the pool *)
+    if
+      (not t.finished)
+      && Hashtbl.length t.live_problems = 0
+      && t.pending_recovery = [] && t.pending_partner = [] && t.problem_assigned
+    then terminate t Unsat "all subproblems refuted: unsatisfiable"
+    else dispatch t
+  end
+
+(* A replacement master comes up: replay the journal from stable storage,
+   re-register the endpoint, reset the failure detector's leases (the old
+   [last_heard] anchors died with the old process), and ask every
+   not-known-dead client to resync.  Assignment stays gated until the
+   resync grace elapses and [reconcile] runs. *)
+let restart_master t =
+  if (not t.finished) && t.down then begin
+    t.down <- false;
+    Grid.Everyware.register t.bus ~id:master_id ~site:t.testbed.Testbed.master_site
+      ~handler:(fun ~src msg -> handle t ~src msg);
+    let st = Journal.replay t.journal in
+    Hashtbl.iter
+      (fun pid path ->
+        Hashtbl.replace t.live_problems pid ();
+        Hashtbl.replace t.lineage pid path)
+      st.Journal.live;
+    Hashtbl.iter (fun pid h -> Hashtbl.replace t.last_holder pid h) st.Journal.holder;
+    Hashtbl.iter (fun pid () -> Hashtbl.replace t.refuted_pids pid ()) st.Journal.refuted;
+    t.problem_assigned <- st.Journal.problem_assigned;
+    t.splits <- st.Journal.splits;
+    t.share_batches <- st.Journal.share_batches;
+    t.shared_clauses <- st.Journal.shared_clauses;
+    let now = Grid.Sim.now t.sim in
+    Hashtbl.iter
+      (fun id h ->
+        h.pid <- None;
+        h.busy_since <- 0.;
+        (match Hashtbl.find_opt st.Journal.clients id with
+        | Some Journal.Dead -> h.rstate <- Dead  (* journal-dead stays fenced *)
+        | Some Journal.Alive -> h.rstate <- Idle  (* provisional until its Resync *)
+        | None -> h.rstate <- Launching);
+        if h.rstate <> Dead then h.last_heard <- now)
+      t.hosts;
+    t.resyncing <- true;
+    log t Events.Master_restarted;
+    Hashtbl.iter (fun id h -> if h.rstate <> Dead then send t ~dst:id Protocol.Resync_request) t.hosts;
+    schedule t ~delay:t.cfg.Config.resync_grace (fun () -> reconcile t)
+  end
+
 (* ---------- periodic monitoring ---------- *)
 
 let rec monitor t =
   if not t.finished then begin
-    let now = Grid.Sim.now t.sim in
-    let expired =
-      Hashtbl.fold
-        (fun id h acc ->
-          match h.rstate with
-          | (Idle | Reserved | Busy) when now -. h.last_heard > t.cfg.Config.suspect_timeout ->
-              id :: acc
-          | _ -> acc)
-        t.hosts []
-      |> List.sort compare
-    in
-    List.iter
-      (fun id ->
-        if not t.finished then begin
-          log t (Events.Client_suspected { client = id });
-          declare_dead t id
-        end)
-      expired;
+    (* a crashed master observes nothing (the loop keeps ticking so the
+       detector resumes cleanly after restart) *)
+    if not (t.down || t.resyncing) then begin
+      let now = Grid.Sim.now t.sim in
+      let expired =
+        Hashtbl.fold
+          (fun id h acc ->
+            match h.rstate with
+            | (Idle | Reserved | Busy) when now -. h.last_heard > t.cfg.Config.suspect_timeout ->
+                id :: acc
+            | _ -> acc)
+          t.hosts []
+        |> List.sort compare
+      in
+      List.iter
+        (fun id ->
+          if not t.finished then begin
+            jlog t (Journal.Suspected { client = id });
+            log t (Events.Client_suspected { client = id });
+            declare_dead t id
+          end)
+        expired
+    end;
     if not t.finished then
       schedule t ~delay:t.cfg.Config.heartbeat_period (fun () -> monitor t)
   end
 
 let rec nws_probe t =
   if not t.finished then begin
-    Hashtbl.iter
-      (fun _ h ->
-        if h.rstate <> Dead then
-          Grid.Nws.observe h.nws (Grid.Trace.availability h.trace (Grid.Sim.now t.sim)))
-      t.hosts;
+    if not t.down then
+      Hashtbl.iter
+        (fun _ h ->
+          if h.rstate <> Dead then
+            Grid.Nws.observe h.nws (Grid.Trace.availability h.trace (Grid.Sim.now t.sim)))
+        t.hosts;
     ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.nws_probe_interval (fun () -> nws_probe t))
   end
 
@@ -647,6 +905,12 @@ let create ~sim ~net ~bus ~cfg ~testbed cnf =
       live_problems = Hashtbl.create 64;
       in_flight = Hashtbl.create 16;
       pending_recovery = [];
+      journal = Journal.create ~compact_every:cfg.Config.journal_compact_every;
+      lineage = Hashtbl.create 64;
+      last_holder = Hashtbl.create 64;
+      refuted_pids = Hashtbl.create 64;
+      down = false;
+      resyncing = false;
       problem_assigned = false;
       finished = false;
       answer = None;
@@ -670,6 +934,8 @@ let create ~sim ~net ~bus ~cfg ~testbed cnf =
          ~retry_base:cfg.Config.retry_base ~max_attempts:cfg.Config.retry_max_attempts
          ~on_retry:(fun ~dst ~attempt ->
            log t (Events.Message_retried { src = master_id; dst; attempt }))
+         ~on_exhausted:(fun ~dst ~attempts ->
+           log t (Events.Retries_exhausted { src = master_id; dst; attempts }))
          ~on_give_up:(fun ~dst msg ->
            log t (Events.Message_given_up { src = master_id; dst });
            if not t.finished then

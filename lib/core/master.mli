@@ -13,10 +13,21 @@
     client heartbeats ([heartbeat_period] / [suspect_timeout]); a silent
     monitored host is declared dead and its subproblem recovered from its
     checkpoint (or from the master's own in-flight copy) onto an idle
-    host, parking in a recovery queue when none is free.  Subproblems are
-    tracked by identity (pid), so duplicated deliveries or re-homed copies
-    cannot make the live count drift and cause a premature UNSAT.
-    Messages from hosts already declared dead are fenced. *)
+    host, parking in a recovery queue when none is free.  When a dead
+    client left no checkpoint its subproblem is re-derived from the
+    original CNF and the guiding-path lineage journaled at every split —
+    losing a client never loses search space.  Subproblems are tracked by
+    identity (pid), so duplicated deliveries or re-homed copies cannot
+    make the live count drift and cause a premature UNSAT.  Messages from
+    hosts already declared dead are fenced.
+
+    Master durability: every state transition is appended to a
+    write-ahead {!Journal} (stable storage, with periodic compaction into
+    snapshots).  {!crash_master} wipes all volatile state and drops the
+    endpoint off the bus; {!restart_master} replays the journal, asks the
+    surviving clients to resync, and after a grace window reconciles —
+    adopting work the clients still hold, re-homing orphans from
+    checkpoints or lineage, and fencing journal-dead hosts. *)
 
 type answer = Sat of Sat.Model.t | Unsat | Unknown of string
 
@@ -35,6 +46,9 @@ type result = {
   false_suspicions : int;
       (** suspected-dead hosts that later proved alive (and were fenced) *)
   recoveries : int;  (** subproblems recovered from a checkpoint *)
+  rederivations : int;
+      (** lost subproblems rebuilt from the original CNF + journaled lineage *)
+  master_crashes : int;  (** injected master failures survived *)
   checkpoint_bytes : int;
   solver_stats : Sat.Stats.t;  (** aggregated over all clients *)
   events : Events.t list;  (** chronological *)
@@ -80,6 +94,25 @@ val crash_host : t -> int -> unit
 val hang_host : t -> int -> unit
 (** Silent fault injection: the process wedges (stops computing and
     heartbeating) but stays registered on the network. *)
+
+val crash_master : t -> unit
+(** Failure injection: the master process dies.  Its endpoint disappears
+    from the bus and every piece of volatile state is lost; only the
+    journal and the checkpoint store (stable storage) survive.  Clients
+    are not told — they discover the outage through retry exhaustion and
+    keep solving autonomously.  No-op once finished or already down. *)
+
+val restart_master : t -> unit
+(** Failure injection: a replacement master starts.  It replays the
+    journal, re-registers the endpoint, sends {!Protocol.Resync_request}
+    to every not-known-dead client, and after [resync_grace] reconciles:
+    subproblems the clients still hold are adopted, orphans are re-homed
+    from their last holder's checkpoint or re-derived from lineage, and
+    dispatching resumes.  No-op unless currently down. *)
+
+val journal : t -> Journal.t
+(** The master's write-ahead journal (for tests and bench: replay
+    determinism, append/compaction counters). *)
 
 val events_so_far : t -> Events.t list
 

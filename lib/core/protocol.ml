@@ -3,10 +3,16 @@ type pid = int * int
 type msg =
   | Register
   | Problem of { pid : pid; sp : Subproblem.t; sent_at : float }
-  | Problem_received of { pid : pid; from : int; bytes : int; depth : int }
+  | Problem_received of { pid : pid; from : int; bytes : int; path : Sat.Types.lit list }
   | Split_request of [ `Memory | `Long_running ]
   | Split_partner of { partner : int }
-  | Split_ok of { pid : pid; dst : int; bytes : int }
+  | Split_ok of {
+      pid : pid;
+      dst : int;
+      bytes : int;
+      path : Sat.Types.lit list;
+      donor_path : Sat.Types.lit list;
+    }
   | Split_failed
   | Shares of { clauses : Sat.Types.lit array list }
   | Share_relay of { origin : int; clauses : Sat.Types.lit array list }
@@ -14,6 +20,8 @@ type msg =
   | Found_model of Sat.Model.t
   | Migrate_to of { target : int }
   | Orphaned of { pid : pid; sp : Subproblem.t }
+  | Resync_request
+  | Resync of { pid : pid option; path : Sat.Types.lit list; busy_since : float }
   | Stop
   | Heartbeat
   | Ack of { mid : int }
@@ -31,8 +39,11 @@ let rec size = function
   | Shares { clauses } | Share_relay { clauses; _ } -> shares_bytes clauses
   | Found_model m -> model_bytes m
   | Reliable { payload; _ } -> size payload
-  | Register | Problem_received _ | Split_request _ | Split_partner _ | Split_ok _ | Split_failed
-  | Finished_unsat _ | Migrate_to _ | Stop | Heartbeat | Ack _ ->
+  | Problem_received { path; _ } | Resync { path; _ } -> control_bytes + (8 * List.length path)
+  | Split_ok { path; donor_path; _ } ->
+      control_bytes + (8 * (List.length path + List.length donor_path))
+  | Register | Split_request _ | Split_partner _ | Split_failed | Finished_unsat _ | Migrate_to _
+  | Resync_request | Stop | Heartbeat | Ack _ ->
       control_bytes
 
 (* Clause shares are semantically safe to lose (a learned clause is only an
@@ -41,6 +52,7 @@ let rec size = function
    the run and must ride the ack/retry layer. *)
 let critical = function
   | Register | Problem _ | Problem_received _ | Split_request _ | Split_partner _ | Split_ok _
-  | Split_failed | Finished_unsat _ | Found_model _ | Migrate_to _ | Orphaned _ ->
+  | Split_failed | Finished_unsat _ | Found_model _ | Migrate_to _ | Orphaned _ | Resync_request
+  | Resync _ ->
       true
   | Shares _ | Share_relay _ | Stop | Heartbeat | Ack _ | Reliable _ -> false

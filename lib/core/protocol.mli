@@ -24,13 +24,24 @@ type msg =
   | Problem of { pid : pid; sp : Subproblem.t; sent_at : float }
       (** problem transfer — master -> first client, or peer -> peer after a
           split/migration.  This is the large message (Figure 3, message 3). *)
-  | Problem_received of { pid : pid; from : int; bytes : int; depth : int }
+  | Problem_received of { pid : pid; from : int; bytes : int; path : Sat.Types.lit list }
       (** receiver -> master (Figure 3, message 4): who sent the problem,
-          its size, and its guiding-path depth *)
+          its size, and its guiding-path lineage (journaled so the branch
+          stays re-derivable even before any checkpoint exists) *)
   | Split_request of [ `Memory | `Long_running ]  (** client -> master (message 1) *)
   | Split_partner of { partner : int }  (** master -> client (message 2) *)
-  | Split_ok of { pid : pid; dst : int; bytes : int }
-      (** donor -> master (message 5); [pid] stamps the handed-off branch *)
+  | Split_ok of {
+      pid : pid;
+      dst : int;
+      bytes : int;
+      path : Sat.Types.lit list;
+      donor_path : Sat.Types.lit list;
+    }
+      (** donor -> master (message 5); [pid] stamps the handed-off branch.
+          Carries both sides' guiding-path lineages — the new branch's
+          [path] and the donor's grown [donor_path] — so the master can
+          journal them and later re-derive either branch from the original
+          CNF alone. *)
   | Split_failed  (** donor -> master: nothing to split *)
   | Shares of { clauses : Sat.Types.lit array list }  (** client -> master *)
   | Share_relay of { origin : int; clauses : Sat.Types.lit array list }
@@ -42,6 +53,13 @@ type msg =
       (** donor -> master: a peer-to-peer handoff was given up on after
           exhausting retries; the branch comes back for re-homing so a dead
           partner cannot silently swallow part of the search space *)
+  | Resync_request
+      (** restarted master -> every known client: report what you are
+          doing so the replayed journal can be reconciled with reality *)
+  | Resync of { pid : pid option; path : Sat.Types.lit list; busy_since : float }
+      (** client -> restarted master: [Some pid] with the current
+          guiding-path lineage if busy (the master adopts the work),
+          [None] if idle *)
   | Stop  (** master -> everyone: run is over *)
   | Heartbeat  (** client -> master liveness beacon, fire-and-forget *)
   | Ack of { mid : int }  (** receiver -> sender: reliable envelope received *)

@@ -12,6 +12,7 @@ type t = {
   retry_base : float;
   max_attempts : int;
   on_retry : dst:int -> attempt:int -> unit;
+  on_exhausted : dst:int -> attempts:int -> unit;
   on_give_up : dst:int -> Protocol.msg -> unit;
   mutable next_mid : int;
   outstanding : (int, pending) Hashtbl.t;
@@ -20,7 +21,8 @@ type t = {
   mutable gave_up : int;
 }
 
-let create ~sim ~send_raw ~active ~retry_base ~max_attempts ~on_retry ~on_give_up () =
+let create ~sim ~send_raw ~active ~retry_base ~max_attempts ~on_retry
+    ?(on_exhausted = fun ~dst:_ ~attempts:_ -> ()) ~on_give_up () =
   {
     sim;
     send_raw;
@@ -28,6 +30,7 @@ let create ~sim ~send_raw ~active ~retry_base ~max_attempts ~on_retry ~on_give_u
     retry_base = Float.max 0.001 retry_base;
     max_attempts = max 1 max_attempts;
     on_retry;
+    on_exhausted;
     on_give_up;
     next_mid = 0;
     outstanding = Hashtbl.create 16;
@@ -52,6 +55,7 @@ and fire t mid =
       else if p.attempt >= t.max_attempts then begin
         Hashtbl.remove t.outstanding mid;
         t.gave_up <- t.gave_up + 1;
+        t.on_exhausted ~dst:p.dst ~attempts:p.attempt;
         t.on_give_up ~dst:p.dst p.msg
       end
       else begin
@@ -78,6 +82,22 @@ let handle_ack t ~mid =
       Grid.Sim.cancel t.sim p.timer;
       Hashtbl.remove t.outstanding mid
 
+(* Proof of life for [dst] (a restarted master announced itself): whatever
+   is still outstanding toward it was transmitted into the outage and
+   probably lost, and its exhaustion timer may be about to condemn a link
+   that now works.  Retransmit everything immediately on a fresh budget. *)
+let nudge t ~dst =
+  Hashtbl.iter
+    (fun mid p ->
+      if p.dst = dst then begin
+        Grid.Sim.cancel t.sim p.timer;
+        p.attempt <- 0;
+        t.retries <- t.retries + 1;
+        t.send_raw ~dst (Protocol.Reliable { mid; payload = p.msg });
+        arm_timer t mid p
+      end)
+    t.outstanding
+
 let admit t ~src ~mid =
   if Hashtbl.mem t.seen (src, mid) then false
   else begin
@@ -90,6 +110,9 @@ let stop t =
   Hashtbl.reset t.outstanding
 
 let outstanding t = Hashtbl.length t.outstanding
+
+let outstanding_to t ~dst =
+  Hashtbl.fold (fun _ p acc -> if p.dst = dst then acc + 1 else acc) t.outstanding 0
 
 let retries t = t.retries
 

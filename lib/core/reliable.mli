@@ -20,14 +20,17 @@ val create :
   retry_base:float ->
   max_attempts:int ->
   on_retry:(dst:int -> attempt:int -> unit) ->
+  ?on_exhausted:(dst:int -> attempts:int -> unit) ->
   on_give_up:(dst:int -> Protocol.msg -> unit) ->
   unit ->
   t
 (** [active] gates retries: a dead client must not keep transmitting.
     [retry_base] is the first backoff delay; attempt [k] waits
     [retry_base * 2^k], capped at [32 * retry_base].  After
-    [max_attempts] unacked (re)transmissions, [on_give_up] fires with the
-    original payload. *)
+    [max_attempts] unacked (re)transmissions, [on_exhausted] fires (a
+    distinct signal that the budget ran dry — clients use it to detect a
+    master outage) and then [on_give_up] fires with the original
+    payload. *)
 
 val send : t -> dst:int -> Protocol.msg -> unit
 (** Transmits the envelope immediately and arms the first retry timer. *)
@@ -35,6 +38,13 @@ val send : t -> dst:int -> Protocol.msg -> unit
 val handle_ack : t -> mid:int -> unit
 (** Settles an outstanding send; unknown mids (duplicate acks, acks after
     give-up) are ignored. *)
+
+val nudge : t -> dst:int -> unit
+(** Retransmits every envelope still outstanding toward [dst] right now,
+    on a reset attempt budget.  Called on proof of life from a previously
+    unreachable peer (a restarted master's resync request): transmissions
+    made into the outage were lost, and without the reset a stale
+    exhaustion timer could declare the recovered link dead. *)
 
 val admit : t -> src:int -> mid:int -> bool
 (** [true] exactly once per [(src, mid)]: the caller should ack every
@@ -45,6 +55,10 @@ val stop : t -> unit
 
 val outstanding : t -> int
 (** Envelopes still awaiting an ack. *)
+
+val outstanding_to : t -> dst:int -> int
+(** Envelopes still awaiting an ack from one destination (clients probe a
+    downed master only when no envelope toward it is already in flight). *)
 
 val retries : t -> int
 (** Total retransmissions performed. *)

@@ -44,6 +44,13 @@ let prune t =
   in
   { t with clauses = List.filter_map simplify t.clauses }
 
+(* A subproblem is fully determined by the original formula and its
+   guiding path (the paper's Figure 2 invariant): root facts are globally
+   implied (the solver re-derives them by propagation) and learned clauses
+   are only accelerants.  So the lineage alone reconstructs the branch. *)
+let of_lineage cnf path =
+  prune { nvars = Sat.Cnf.nvars cnf; facts = []; path; clauses = Sat.Cnf.clauses cnf }
+
 let split_from solver =
   let clauses = Sat.Solver.active_clauses solver in
   match Sat.Solver.split solver with

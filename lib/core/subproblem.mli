@@ -33,6 +33,13 @@ val capture : Sat.Solver.t -> t
 (** Snapshot of a solver's current problem (for migration or
     checkpointing): its root assignment and active clauses. *)
 
+val of_lineage : Sat.Cnf.t -> Sat.Types.lit list -> t
+(** Re-derives a subproblem from the original formula and its guiding-path
+    lineage alone (Figure 2: a branch is fully determined by its ordered
+    root assignments).  Root facts and learned clauses are rebuilt by the
+    solver, so a branch whose holder {e and} checkpoint are both lost can
+    still be reconstructed and requeued instead of aborting the run. *)
+
 val split_from : Sat.Solver.t -> t option
 (** Performs the Figure 2 split on a running solver: captures the clause
     set, commits the solver's first-decision branch locally, and returns

@@ -29,6 +29,8 @@ let register t ~id ~site ~handler = Hashtbl.replace t.endpoints id { site; handl
 
 let unregister t ~id = Hashtbl.remove t.endpoints id
 
+let registered t ~id = Hashtbl.mem t.endpoints id
+
 let set_fault t f = t.fault <- Some f
 
 let clear_fault t = t.fault <- None

@@ -26,6 +26,10 @@ val register : 'msg t -> id:int -> site:string -> handler:(src:int -> 'msg -> un
 (** Registers endpoint [id] at [site].  Re-registering replaces the
     handler (used when a client restarts on the same host). *)
 
+val registered : 'msg t -> id:int -> bool
+(** Whether [id] currently has an endpoint (a crashed master's endpoint
+    disappears until its replacement re-registers). *)
+
 val unregister : 'msg t -> id:int -> unit
 (** Messages in flight to an unregistered endpoint are dropped silently
     (a crashed host). *)

@@ -1,6 +1,7 @@
 type spec =
   | Crash_host of { host : int; at : float }
   | Hang_host of { host : int; at : float }
+  | Crash_master of { at : float; restart_after : float }
   | Drop_messages of {
       src_site : string option;
       dst_site : string option;
@@ -21,6 +22,7 @@ type spec =
 type counters = {
   crashes : int;
   hangs : int;
+  master_crashes : int;
   dropped : int;
   delayed : int;
   duplicated : int;
@@ -32,12 +34,14 @@ type t = {
   rng : Random.State.t;
   mutable crashes : int;
   mutable hangs : int;
+  mutable master_crashes : int;
   mutable dropped : int;
   mutable delayed : int;
   mutable duplicated : int;
 }
 
-let arm ~sim ~seed ~on_crash ~on_hang specs =
+let arm ~sim ~seed ~on_crash ~on_hang ?(on_master_crash = fun () -> ())
+    ?(on_master_restart = fun () -> ()) specs =
   let t =
     {
       sim;
@@ -45,6 +49,7 @@ let arm ~sim ~seed ~on_crash ~on_hang specs =
       rng = Random.State.make [| seed; 0x5eed |];
       crashes = 0;
       hangs = 0;
+      master_crashes = 0;
       dropped = 0;
       delayed = 0;
       duplicated = 0;
@@ -62,6 +67,12 @@ let arm ~sim ~seed ~on_crash ~on_hang specs =
             (Sim.schedule_at sim ~time:at (fun () ->
                  t.hangs <- t.hangs + 1;
                  on_hang host))
+      | Crash_master { at; restart_after } ->
+          ignore
+            (Sim.schedule_at sim ~time:at (fun () ->
+                 t.master_crashes <- t.master_crashes + 1;
+                 on_master_crash ()));
+          ignore (Sim.schedule_at sim ~time:(at +. restart_after) (fun () -> on_master_restart ()))
       | Drop_messages _ | Partition_site _ | Latency_spike _ | Duplicate_messages _ -> ())
     specs;
   t
@@ -92,7 +103,8 @@ let decide t ~src_site ~dst_site ~bytes:_ =
             in_window now ~from_t ~until_t
             && link_matches ~a ~b ~src_site ~dst_site
             && Random.State.float t.rng 1.0 < p
-        | Crash_host _ | Hang_host _ | Latency_spike _ | Duplicate_messages _ -> false)
+        | Crash_host _ | Hang_host _ | Crash_master _ | Latency_spike _ | Duplicate_messages _ ->
+            false)
       t.specs
   in
   if dropped then begin
@@ -138,6 +150,7 @@ let counters t =
   {
     crashes = t.crashes;
     hangs = t.hangs;
+    master_crashes = t.master_crashes;
     dropped = t.dropped;
     delayed = t.delayed;
     duplicated = t.duplicated;

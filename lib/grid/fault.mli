@@ -27,6 +27,10 @@
 type spec =
   | Crash_host of { host : int; at : float }
   | Hang_host of { host : int; at : float }
+  | Crash_master of { at : float; restart_after : float }
+      (** the master process dies at [at] (volatile state lost, endpoint
+          gone) and a replacement replays the journal [restart_after]
+          seconds later.  Clients keep solving autonomously in between. *)
   | Drop_messages of {
       src_site : string option;
       dst_site : string option;
@@ -47,6 +51,7 @@ type spec =
 type counters = {
   crashes : int;
   hangs : int;
+  master_crashes : int;
   dropped : int;  (** messages the plan decided to lose *)
   delayed : int;
   duplicated : int;
@@ -55,10 +60,19 @@ type counters = {
 type t
 
 val arm :
-  sim:Sim.t -> seed:int -> on_crash:(int -> unit) -> on_hang:(int -> unit) -> spec list -> t
+  sim:Sim.t ->
+  seed:int ->
+  on_crash:(int -> unit) ->
+  on_hang:(int -> unit) ->
+  ?on_master_crash:(unit -> unit) ->
+  ?on_master_restart:(unit -> unit) ->
+  spec list ->
+  t
 (** Schedules the plan's crash/hang actions on [sim] and returns the
     controller whose {!decide} implements the message faults.  [on_crash]
-    and [on_hang] receive the host id at the scripted instant. *)
+    and [on_hang] receive the host id at the scripted instant;
+    [on_master_crash] / [on_master_restart] (default no-ops) fire at a
+    {!Crash_master} spec's [at] and [at +. restart_after]. *)
 
 val decide :
   t -> src_site:string -> dst_site:string -> bytes:int -> Everyware.fault_decision

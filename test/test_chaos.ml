@@ -69,8 +69,8 @@ let answer_kind = function
 
 let has_event p (r : C.Master.result) = List.exists (fun e -> p e.C.Events.kind) r.C.Master.events
 
-let solve ?(config = chaos_config) ?(fault_plan = []) cnf =
-  C.Gridsat.solve ~config ~fault_plan ~testbed:(testbed2site ()) cnf
+let solve ?(config = chaos_config) ?(fault_plan = []) ?on_master cnf =
+  C.Gridsat.solve ~config ~fault_plan ?on_master ~testbed:(testbed2site ()) cnf
 
 (* A scenario bundles a fault plan (parameterised by the fault-free run
    time) with the events that prove the machinery reacted.  Proof events
@@ -133,6 +133,22 @@ let scenarios =
           ]);
       proof = [ (function C.Events.Message_retried _ -> true | _ -> false) ];
     };
+    {
+      sname = "master-crash";
+      (* a tight retry schedule so clients detect the outage quickly, and a
+         short grace so reconciliation lands well before the run ends *)
+      config =
+        { chaos_config with Cfg.retry_base = 0.5; retry_max_attempts = 4; resync_grace = 5. };
+      plan =
+        (fun t ->
+          [ F.Crash_master { at = Float.max 4. (0.3 *. t); restart_after = Float.max 10. (0.15 *. t) } ]);
+      proof =
+        [
+          (function C.Events.Master_crashed -> true | _ -> false);
+          (function C.Events.Master_restarted -> true | _ -> false);
+          (function C.Events.Client_resynced _ -> true | _ -> false);
+        ];
+    };
   ]
 
 (* ---------- the matrix ---------- *)
@@ -178,6 +194,100 @@ let test_loss_counters_surface () =
     (r.C.Master.dropped_messages > 0 && r.C.Master.dropped_bytes > 0);
   check bool "retries surfaced in the result" true (r.C.Master.retries > 0)
 
+(* ---------- master durability ---------- *)
+
+let master_crash_scenario () = List.find (fun s -> s.sname = "master-crash") scenarios
+
+(* The journal is the failover contract: replaying it must be a pure
+   function of its contents.  Replay the post-run journal twice and demand
+   bit-identical state digests; the journal must also have seen real
+   traffic and compacted along the way. *)
+let test_journal_replay_deterministic () =
+  let s = master_crash_scenario () in
+  let cnf = Workloads.Php.instance ~pigeons:7 ~holes:6 in
+  let captured = ref None in
+  let baseline = solve ~config:s.config cnf in
+  let r =
+    solve ~config:{ s.config with Cfg.journal_compact_every = 8 }
+      ~fault_plan:(s.plan baseline.C.Master.time)
+      ~on_master:(fun m -> captured := Some m)
+      cnf
+  in
+  check bool "faulted run still concludes" true (answer_kind r.C.Master.answer = "UNSAT");
+  match !captured with
+  | None -> Alcotest.fail "master not captured"
+  | Some m ->
+      let j = C.Master.journal m in
+      check bool "journal recorded the run" true (C.Journal.appended j > 0);
+      check bool "journal compacted" true (C.Journal.compactions j > 0);
+      let d1 = C.Journal.digest (C.Journal.replay j) in
+      let d2 = C.Journal.digest (C.Journal.replay j) in
+      check Alcotest.string "replay is deterministic" d1 d2;
+      (match (C.Journal.replay j).C.Journal.verdict with
+      | Some v -> check Alcotest.string "journal carries the verdict" "UNSAT" v
+      | None -> Alcotest.fail "no verdict journaled")
+
+(* Worst case for durability: the master is down, and while it is down the
+   client holding a subproblem dies too — with checkpointing disabled, so
+   there is nothing to restore from.  The replacement master must notice
+   at reconciliation that nobody holds the journaled subproblem and
+   re-derive it from the original CNF plus the journaled lineage.  The
+   verdict must survive. *)
+let test_client_dies_during_outage_no_checkpoint () =
+  let s = master_crash_scenario () in
+  let config = { s.config with Cfg.checkpoint = Cfg.No_checkpoint } in
+  let cnf = Workloads.Php.instance ~pigeons:7 ~holes:6 in
+  let baseline = solve ~config cnf in
+  check bool "baseline is unsat" true (answer_kind baseline.C.Master.answer = "UNSAT");
+  let t = baseline.C.Master.time in
+  let crash_at = Float.max 4. (0.3 *. t) in
+  let plan =
+    [
+      F.Crash_master { at = crash_at; restart_after = Float.max 10. (0.15 *. t) };
+      (* host 1 holds the initial problem; kill it while the master is dark *)
+      F.Crash_host { host = 1; at = crash_at +. 1. };
+    ]
+  in
+  let r = solve ~config ~fault_plan:plan cnf in
+  check Alcotest.string "verdict survives losing both master and holder" "UNSAT"
+    (answer_kind r.C.Master.answer);
+  check bool "the lost subproblem was re-derived from lineage" true
+    (has_event (function C.Events.Rederived_from_lineage _ -> true | _ -> false) r);
+  check bool "rederivations surfaced in the result" true (r.C.Master.rederivations > 0);
+  check bool "master crash surfaced in the result" true (r.C.Master.master_crashes = 1)
+
+(* Regression: under loss and retries a client's Finished_unsat can reach
+   the master before the Split_ok / Problem_received that would register
+   its pid, so the journal can carry the refutation ahead of the
+   registration.  Pids are never reused, so the tombstone must win on
+   replay — otherwise the late registration resurrects a branch nobody
+   holds and the run wedges. *)
+let test_refutation_tombstone_survives_reorder () =
+  let open C.Journal in
+  let pid = (2, 1) and donor_pid = (1, 1) in
+  let path = [ Sat.Types.pos 3 ] and donor_path = [ Sat.Types.neg 3 ] in
+  let j = create ~compact_every:100 in
+  append j (Registered { client = 1 });
+  append j (Assigned { pid = donor_pid; dst = 1; path = [] });
+  append j (Refuted { pid });
+  (* the reordered registrations arrive after the refutation *)
+  append j (Split { donor = 1; donor_pid; donor_path; pid; dst = 5; path });
+  append j (Adopted { pid; client = 5; path });
+  append j (Started { pid; client = 5 });
+  let st = replay j in
+  check bool "refuted pid stays dead" false (Hashtbl.mem st.live pid);
+  check bool "refuted pid has no holder" false (Hashtbl.mem st.holder pid);
+  check bool "tombstone recorded" true (Hashtbl.mem st.refuted pid);
+  check bool "donor branch unaffected" true (Hashtbl.mem st.live donor_pid);
+  (* the gate must also hold across compaction into the snapshot *)
+  let j2 = create ~compact_every:2 in
+  append j2 (Refuted { pid });
+  append j2 (Adopted { pid; client = 5; path });
+  append j2 (Started { pid; client = 5 });
+  let st2 = replay j2 in
+  check bool "tombstone survives compaction" false (Hashtbl.mem st2.live pid);
+  check Alcotest.string "reordered replays agree" (digest st) (digest (replay j))
+
 let () =
   let matrix =
     List.concat_map
@@ -195,5 +305,13 @@ let () =
         [
           Alcotest.test_case "partition retries" `Slow test_partition_retries;
           Alcotest.test_case "loss counters" `Slow test_loss_counters_surface;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "journal replay deterministic" `Slow test_journal_replay_deterministic;
+          Alcotest.test_case "client dies during outage, no checkpoint" `Slow
+            test_client_dies_during_outage_no_checkpoint;
+          Alcotest.test_case "refutation tombstone survives reorder" `Quick
+            test_refutation_tombstone_survives_reorder;
         ] );
     ]

@@ -512,11 +512,16 @@ let solve_with_kill ~config ~testbed ~tkill cnf =
     cnf
   |> fun r -> (r, !killed)
 
-let test_kill_busy_without_checkpoint_fails () =
+let test_kill_busy_without_checkpoint_rederives () =
+  (* no checkpointing is armed, so the dead client's subproblem cannot be
+     restored — it must be re-derived from the original CNF plus the
+     journaled guiding-path lineage, and the run must still conclude *)
   let config = { eager_config with Cfg.split_timeout = 1000. } in
   let r, killed = solve_with_kill ~config ~testbed:testbed4 ~tkill:5. (php ~pigeons:8 ~holes:7) in
   check bool "a client was killed" true (killed <> None);
-  check bool "run fails without checkpoints" true (is_unknown (answer_of_result r))
+  check bool "lineage re-derivation logged" true
+    (has_event (function C.Events.Rederived_from_lineage _ -> true | _ -> false) r);
+  check bool "still unsat despite the loss" true (is_unsat (answer_of_result r))
 
 let test_kill_busy_with_checkpoint_recovers () =
   let config =
@@ -689,6 +694,106 @@ let test_protocol_sizes () =
     (C.Protocol.size (C.Protocol.Shares { clauses = shares })
     = C.Protocol.size (C.Protocol.Share_relay { origin = 1; clauses = shares }))
 
+(* ---------- Reliable channel unit tests ---------- *)
+
+let make_reliable ~sim ?(max_attempts = 3) ?on_exhausted ~sent ~gave () =
+  C.Reliable.create ~sim
+    ~send_raw:(fun ~dst msg -> sent := (dst, msg) :: !sent)
+    ~active:(fun () -> true)
+    ~retry_base:1.0 ~max_attempts
+    ~on_retry:(fun ~dst:_ ~attempt:_ -> ())
+    ?on_exhausted
+    ~on_give_up:(fun ~dst msg -> gave := (dst, msg) :: !gave)
+    ()
+
+let drain sim = while Grid.Sim.step sim do () done
+
+let test_reliable_duplicate_ack () =
+  let sim = Grid.Sim.create () in
+  let sent = ref [] and gave = ref [] in
+  let rel = make_reliable ~sim ~sent ~gave () in
+  C.Reliable.send rel ~dst:7 C.Protocol.Stop;
+  let mid =
+    match !sent with
+    | [ (7, C.Protocol.Reliable { mid; _ }) ] -> mid
+    | _ -> Alcotest.fail "expected one enveloped transmission"
+  in
+  C.Reliable.handle_ack rel ~mid;
+  check int "settled" 0 (C.Reliable.outstanding rel);
+  (* a duplicate ack (retransmission crossed the first ack) is a no-op *)
+  C.Reliable.handle_ack rel ~mid;
+  C.Reliable.handle_ack rel ~mid:999;
+  check int "still settled" 0 (C.Reliable.outstanding rel);
+  drain sim;
+  check int "no retries after the ack" 0 (C.Reliable.retries rel);
+  check bool "never gave up" true (!gave = [])
+
+let test_reliable_dedup_on_admission () =
+  let sim = Grid.Sim.create () in
+  let sent = ref [] and gave = ref [] in
+  let rel = make_reliable ~sim ~sent ~gave () in
+  check bool "first (5,1) admitted" true (C.Reliable.admit rel ~src:5 ~mid:1);
+  check bool "replayed (5,1) rejected" false (C.Reliable.admit rel ~src:5 ~mid:1);
+  check bool "same src, new mid admitted" true (C.Reliable.admit rel ~src:5 ~mid:2);
+  check bool "same mid, other src admitted" true (C.Reliable.admit rel ~src:6 ~mid:1);
+  check bool "replay still rejected" false (C.Reliable.admit rel ~src:5 ~mid:1)
+
+let test_reliable_exhaustion_signal () =
+  let sim = Grid.Sim.create () in
+  let sent = ref [] and gave = ref [] in
+  let exhausted = ref [] in
+  let rel =
+    make_reliable ~sim ~max_attempts:3
+      ~on_exhausted:(fun ~dst ~attempts -> exhausted := (dst, attempts) :: !exhausted)
+      ~sent ~gave ()
+  in
+  C.Reliable.send rel ~dst:9 C.Protocol.Stop;
+  check int "one in flight" 1 (C.Reliable.outstanding_to rel ~dst:9);
+  drain sim (* nobody ever acks *);
+  check (Alcotest.list (Alcotest.pair int int)) "exhaustion fired with the attempt count"
+    [ (9, 3) ] !exhausted;
+  check int "then the owner was told" 1 (List.length !gave);
+  check bool "with the original payload" true (List.hd !gave = (9, C.Protocol.Stop));
+  check int "initial + 3 retries transmitted" 4 (List.length !sent);
+  check int "nothing left outstanding" 0 (C.Reliable.outstanding rel);
+  check int "give-up counted" 1 (C.Reliable.gave_up rel)
+
+(* ---------- Config validation ---------- *)
+
+let test_config_validate () =
+  let ok c = match Cfg.validate c with Ok () -> true | Error _ -> false in
+  let rejects c =
+    match Cfg.validate c with
+    | Error msg -> String.length msg > 0
+    | Ok () -> false
+  in
+  check bool "default config is valid" true (ok Cfg.default);
+  check bool "experiment sets are valid" true
+    (ok Cfg.experiment_set_1 && ok Cfg.experiment_set_2);
+  check bool "suspect timeout must exceed heartbeat" true
+    (rejects { Cfg.default with Cfg.suspect_timeout = Cfg.default.Cfg.heartbeat_period });
+  check bool "checkpoint period must be positive" true
+    (rejects { Cfg.default with Cfg.checkpoint_period = 0. });
+  check bool "at least one delivery attempt" true
+    (rejects { Cfg.default with Cfg.retry_max_attempts = 0 });
+  check bool "heartbeat must be positive" true
+    (rejects { Cfg.default with Cfg.heartbeat_period = 0. });
+  check bool "journal must compact eventually" true
+    (rejects { Cfg.default with Cfg.journal_compact_every = 0 });
+  check bool "resync grace must be positive" true
+    (rejects { Cfg.default with Cfg.resync_grace = 0. });
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match Cfg.validate { Cfg.default with Cfg.retry_max_attempts = -1 } with
+  | Error msg -> check bool "error names the field" true (contains msg "retry")
+  | Ok () -> Alcotest.fail "negative retry budget accepted");
+  match Cfg.validate_exn { Cfg.default with Cfg.suspect_timeout = 1.; heartbeat_period = 5. } with
+  | () -> Alcotest.fail "validate_exn let an inconsistent config through"
+  | exception Invalid_argument _ -> ()
+
 let test_events_printing () =
   (* every constructor renders without raising *)
   let kinds =
@@ -716,6 +821,13 @@ let test_events_printing () =
       C.Events.Orphan_returned { donor = 1 };
       C.Events.Checkpoint_saved { client = 1; bytes = 9 };
       C.Events.Recovered_from_checkpoint { client = 1; onto = 2 };
+      C.Events.Retries_exhausted { src = 1; dst = 2; attempts = 6 };
+      C.Events.Rederived_from_lineage { holder = Some 3; depth = 4 };
+      C.Events.Rederived_from_lineage { holder = None; depth = 0 };
+      C.Events.Master_crashed;
+      C.Events.Master_restarted;
+      C.Events.Master_outage_detected { client = 2 };
+      C.Events.Client_resynced { client = 2; busy = true };
       C.Events.Batch_job_submitted { nodes = 4 };
       C.Events.Batch_job_started { nodes = 4 };
       C.Events.Batch_job_cancelled;
@@ -882,7 +994,8 @@ let () =
         ] );
       ( "failures",
         [
-          Alcotest.test_case "busy kill without checkpoint" `Slow test_kill_busy_without_checkpoint_fails;
+          Alcotest.test_case "busy kill without checkpoint" `Slow
+            test_kill_busy_without_checkpoint_rederives;
           Alcotest.test_case "busy kill with checkpoint" `Slow test_kill_busy_with_checkpoint_recovers;
           Alcotest.test_case "idle kill tolerated" `Slow test_kill_idle_is_tolerated;
           Alcotest.test_case "partner killed mid-handoff" `Slow
@@ -890,10 +1003,17 @@ let () =
           Alcotest.test_case "reservations released" `Slow test_terminate_releases_reservations;
           Alcotest.test_case "checkpoint events" `Slow test_checkpoint_events_logged;
         ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "duplicate ack is a no-op" `Quick test_reliable_duplicate_ack;
+          Alcotest.test_case "dedup on admission" `Quick test_reliable_dedup_on_admission;
+          Alcotest.test_case "retry exhaustion signal" `Quick test_reliable_exhaustion_signal;
+        ] );
       ( "protocol",
         [
           Alcotest.test_case "message sizes" `Quick test_protocol_sizes;
           Alcotest.test_case "event rendering" `Quick test_events_printing;
+          Alcotest.test_case "config validation" `Quick test_config_validate;
           Alcotest.test_case "experiment configs" `Quick test_config_experiment_sets;
           Alcotest.test_case "testbed shapes" `Quick test_testbed_shapes;
           Alcotest.test_case "answer strings" `Quick test_answer_strings;
