@@ -30,15 +30,18 @@ let bcp () =
       ("mixer 40x10", W.Counter.mixer_preimage ~bits:40 ~rounds:10 ~seed:5);
     ]
   in
+  let rows = ref [] in
   List.iter
     (fun (name, cnf) ->
       let s = Sat.Solver.create cnf in
       ignore (Sat.Solver.solve ~budget:6_000_000 s);
       let st = Sat.Solver.stats s in
+      rows := (name, Sat.Stats.json st) :: !rows;
       Printf.printf "%-28s %10d %12d %8.1f%%\n%!" name st.Sat.Stats.conflicts
         st.Sat.Stats.propagations
         (100. *. Sat.Stats.bcp_fraction st))
-    cases
+    cases;
+  Snapshot.write "bcp" (Obs.Json.Obj (List.rev !rows))
 
 (* C2: sharing length ablation (the paper used 10 and 3 and argues short
    clauses trade pruning power against communication volume). *)
@@ -337,9 +340,18 @@ let chaos ?(seed = 0) () =
         ] );
     ]
   in
+  let snaps = ref [] in
   List.iter
     (fun (name, fault_plan) ->
-      let r = C.Gridsat.solve ~config ~fault_plan ~testbed:(testbed ()) cnf in
+      let obs = Snapshot.obs () in
+      let r = C.Gridsat.solve ~config ~fault_plan ~obs ~testbed:(testbed ()) cnf in
+      if Snapshot.enabled () then
+        snaps :=
+          ( name,
+            C.Run_report.build
+              ~meta:[ ("plan", Obs.Json.String name); ("seed", Obs.Json.Int seed) ]
+              ~obs r )
+          :: !snaps;
       Printf.printf "%-18s %-10s %s %8d %8d %10d %8s\n%!" name
         (C.Gridsat.answer_string r.C.Master.answer)
         (grid_time r) r.C.Master.dropped_messages r.C.Master.retries r.C.Master.recoveries
@@ -350,6 +362,7 @@ let chaos ?(seed = 0) () =
          else "NO")
     )
     plans;
+  Snapshot.write (Printf.sprintf "chaos_seed%d" seed) (Obs.Json.Obj (List.rev !snaps));
   Printf.printf
     "\n(crashes are detected by the heartbeat lease and recovered from checkpoints;\n\
      partitions and loss are absorbed by the ack/retry channel)\n"
@@ -385,10 +398,10 @@ let master_crash () =
   let count_events p (r : C.Master.result) =
     List.length (List.filter (fun e -> p e.C.Events.kind) r.C.Master.events)
   in
-  let run name ~fault_plan =
+  let run ?(obs = Obs.disabled) name ~fault_plan =
     let captured = ref None in
     let r =
-      C.Gridsat.solve ~config ~fault_plan ~testbed:(testbed ())
+      C.Gridsat.solve ~config ~fault_plan ~obs ~testbed:(testbed ())
         ~on_master:(fun m -> captured := Some m)
         cnf
     in
@@ -408,14 +421,18 @@ let master_crash () =
   in
   let baseline = run "fault-free" ~fault_plan:[] in
   let t = baseline.C.Master.time in
+  let obs = Snapshot.obs () in
   let crashed =
-    run "crash @30%, +15% down"
+    run ~obs "crash @30%, +15% down"
       ~fault_plan:
         [
           F.Crash_master
             { at = Float.max 4. (0.3 *. t); restart_after = Float.max 10. (0.15 *. t) };
         ]
   in
+  if Snapshot.enabled () then
+    Snapshot.write "mastercrash"
+      (C.Run_report.build ~meta:[ ("scenario", Obs.Json.String "crash@30%+15%down") ] ~obs crashed);
   let same =
     C.Gridsat.answer_string baseline.C.Master.answer
     = C.Gridsat.answer_string crashed.C.Master.answer

@@ -1,0 +1,23 @@
+(* Per-claim metric snapshots: the perf trajectory across PRs.
+
+   When BENCH_SNAPSHOT_DIR is set, instrumented claims write their run
+   report (or stats rows) to $BENCH_SNAPSHOT_DIR/BENCH_<claim>.json so
+   successive revisions can be diffed metric-by-metric.  Unset, every
+   call is a no-op and the claims run exactly as before. *)
+
+let dir () = Sys.getenv_opt "BENCH_SNAPSHOT_DIR"
+
+let enabled () = dir () <> None
+
+let obs () = if enabled () then Obs.create () else Obs.disabled
+
+let write claim doc =
+  match dir () with
+  | None -> ()
+  | Some d ->
+      let path = Filename.concat d (Printf.sprintf "BENCH_%s.json" claim) in
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string doc);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "(snapshot: %s)\n%!" path

@@ -4,8 +4,11 @@
    gridsat solve -m grid -t grads p.cnf      distributed, simulated testbed
    gridsat solve -m par -j 8 p.cnf           parallel on OCaml domains
    gridsat solve --proof p.drup p.cnf        emit + self-check a DRUP proof
+   gridsat solve --report r.json --trace t.json p.cnf
+                                             telemetry: run report + Chrome trace
    gridsat gen php --pigeons 9 --holes 8     generate instances to DIMACS
    gridsat check p.cnf p.drup                verify an UNSAT proof
+   gridsat report r.json                     validate + summarise a run report
    gridsat registry                          list the SAT2002 analog rows *)
 
 open Cmdliner
@@ -20,7 +23,30 @@ let read_cnf path =
 let print_stats st =
   Format.printf "@.statistics:@.%a@." Sat.Stats.pp st
 
-let solve_sequential ~preprocess ~proof_out ~stats ~budget cnf =
+(* ---------- telemetry plumbing ---------- *)
+
+let obs_of ~report ~trace = if report <> None || trace <> None then Obs.create () else Obs.disabled
+
+let write_doc path doc =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc
+
+let emit_telemetry ~report ~trace ~obs build_report =
+  (match report with
+  | None -> ()
+  | Some path ->
+      write_doc path (build_report ());
+      Format.printf "c report written to %s@." path);
+  match trace with
+  | None -> ()
+  | Some path ->
+      write_doc path (Obs.Chrome.export (Obs.spans obs));
+      Format.printf "c trace written to %s@." path
+
+let solve_sequential ~preprocess ~proof_out ~stats ~budget ~report ~trace cnf =
+  let obs = obs_of ~report ~trace in
   let original = cnf in
   let pre = if preprocess then Some (Sat.Preprocess.run cnf) else None in
   let cnf = match pre with Some r -> r.Sat.Preprocess.cnf | None -> cnf in
@@ -33,7 +59,7 @@ let solve_sequential ~preprocess ~proof_out ~stats ~budget cnf =
   let config =
     { Sat.Solver.default_config with Sat.Solver.emit_proof = proof_out <> None }
   in
-  let solver = Sat.Solver.create ~config cnf in
+  let solver = Sat.Solver.create ~config ~obs cnf in
   (match Sat.Solver.solve ?budget solver with
   | Sat.Solver.Sat model ->
       let model =
@@ -57,6 +83,11 @@ let solve_sequential ~preprocess ~proof_out ~stats ~budget cnf =
   | Sat.Solver.Budget_exhausted -> Format.printf "s UNKNOWN@.c budget exhausted@."
   | Sat.Solver.Mem_pressure -> Format.printf "s UNKNOWN@.c memory limit reached@.");
   if stats then print_stats (Sat.Solver.stats solver);
+  emit_telemetry ~report ~trace ~obs (fun () ->
+      Obs.Report.build
+        ~meta:[ ("mode", Obs.Json.String "seq") ]
+        ~sections:[ ("solver", Sat.Stats.json (Sat.Solver.stats solver)) ]
+        ~metrics:(Obs.metrics obs) ~spans:(Obs.spans obs) ());
   0
 
 let testbed_of_string ~hosts = function
@@ -65,26 +96,65 @@ let testbed_of_string ~hosts = function
   | "set2" -> Ok (Gridsat_core.Testbed.set2 ())
   | other -> Error (Printf.sprintf "unknown testbed %S (uniform|grads|set2)" other)
 
-let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout cnf =
+(* A canned deterministic fault plan for demo/CI runs: one host crash,
+   one master outage, background message loss and duplication.  Times are
+   absolute virtual seconds, early enough to fire on small instances. *)
+let chaos_plan () =
+  let module F = Grid.Fault in
+  [
+    F.Crash_host { host = 1; at = 2. };
+    F.Crash_master { at = 6.; restart_after = 4. };
+    F.Drop_messages { src_site = None; dst_site = None; p = 0.1; from_t = 0.; until_t = infinity };
+    F.Duplicate_messages { p = 0.05; extra = 0.5; from_t = 0.; until_t = infinity };
+  ]
+
+let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~report ~trace cnf =
   match testbed_of_string ~hosts testbed with
   | Error e ->
       prerr_endline e;
       2
   | Ok testbed ->
+      let obs = obs_of ~report ~trace in
       let config =
         {
           Gridsat_core.Config.default with
           Gridsat_core.Config.share_max_len = share_len;
           overall_timeout = timeout;
           split_timeout = 5.;
+          seed;
         }
       in
-      let result = Gridsat_core.Gridsat.solve ~config ~testbed cnf in
+      (* --chaos also turns on the recovery machinery the plan targets:
+         light checkpoints, a tight heartbeat lease, eager splitting. *)
+      let config =
+        if chaos then
+          {
+            config with
+            Gridsat_core.Config.checkpoint = Gridsat_core.Config.Light;
+            checkpoint_period = 2.;
+            heartbeat_period = 2.;
+            suspect_timeout = 8.;
+            split_timeout = 1.;
+            slice = 0.5;
+          }
+        else config
+      in
+      let fault_plan = if chaos then chaos_plan () else [] in
+      let result = Gridsat_core.Gridsat.solve ~config ~fault_plan ~obs ~testbed cnf in
       (match result.Gridsat_core.Master.answer with
       | Gridsat_core.Master.Sat model -> Format.printf "s SATISFIABLE@.v %a@." Sat.Model.pp model
       | Gridsat_core.Master.Unsat -> Format.printf "s UNSATISFIABLE@."
       | Gridsat_core.Master.Unknown why -> Format.printf "s UNKNOWN@.c %s@." why);
       if stats then Format.printf "@.%a@." Gridsat_core.Gridsat.pp_result result;
+      emit_telemetry ~report ~trace ~obs (fun () ->
+          Gridsat_core.Run_report.build
+            ~meta:
+              [
+                ("mode", Obs.Json.String "grid");
+                ("seed", Obs.Json.Int seed);
+                ("chaos", Obs.Json.Bool chaos);
+              ]
+            ~obs result);
       0
 
 let solve_par ~jobs ~stats ~share_len cnf =
@@ -121,16 +191,34 @@ let solve_cmd =
   let preprocess =
     Arg.(value & flag & info [ "preprocess" ] ~doc:"simplify before solving (seq mode)")
   in
-  let run file mode testbed hosts jobs share_len timeout budget proof stats preprocess =
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"run seed (grid mode)") in
+  let chaos =
+    Arg.(value & flag & info [ "chaos" ] ~doc:"arm a canned fault plan (grid mode)")
+  in
+  let report =
+    Arg.(value & opt (some string) None & info [ "report" ] ~doc:"write the run report JSON here")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~doc:"write a Chrome trace_event file here (chrome://tracing, Perfetto)")
+  in
+  let run file mode testbed hosts jobs share_len timeout budget proof stats preprocess seed chaos
+      report trace =
     match read_cnf file with
     | Error e ->
         prerr_endline e;
         2
     | Ok cnf -> (
         match mode with
-        | "seq" -> solve_sequential ~preprocess ~proof_out:proof ~stats ~budget cnf
-        | "grid" -> solve_grid ~testbed ~hosts ~stats ~share_len ~timeout cnf
-        | "par" -> solve_par ~jobs ~stats ~share_len cnf
+        | "seq" -> solve_sequential ~preprocess ~proof_out:proof ~stats ~budget ~report ~trace cnf
+        | "grid" ->
+            solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~report ~trace cnf
+        | "par" ->
+            if report <> None || trace <> None then
+              Format.printf "c note: --report/--trace are not wired into par mode@.";
+            solve_par ~jobs ~stats ~share_len cnf
         | other ->
             Printf.eprintf "unknown mode %S (seq|grid|par)\n" other;
             2)
@@ -139,7 +227,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve a DIMACS CNF file")
     Term.(
       const run $ file $ mode $ testbed $ hosts $ jobs $ share_len $ timeout $ budget $ proof
-      $ stats $ preprocess)
+      $ stats $ preprocess $ seed $ chaos $ report $ trace)
 
 (* ---------- gen ---------- *)
 
@@ -242,6 +330,29 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Verify a DRUP unsatisfiability proof")
     Term.(const run $ cnf_file $ proof_file)
 
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"REPORT.json") in
+  let run file =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Obs.Json.of_string text with
+    | Error e ->
+        Printf.eprintf "%s: not valid JSON: %s\n" file e;
+        1
+    | Ok doc -> (
+        match Obs.Report.validate doc with
+        | Error e ->
+            Printf.eprintf "%s: not a gridsat report: %s\n" file e;
+            1
+        | Ok () ->
+            print_string (Obs.Report.summary doc);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Validate and summarise a gridsat run report")
+    Term.(const run $ file)
+
 (* ---------- registry ---------- *)
 
 let registry_cmd =
@@ -266,4 +377,4 @@ let registry_cmd =
 
 let () =
   let info = Cmd.info "gridsat" ~version:"1.0" ~doc:"GridSAT: a Chaff-based distributed SAT solver" in
-  exit (Cmd.eval' (Cmd.group info [ solve_cmd; gen_cmd; check_cmd; registry_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ solve_cmd; gen_cmd; check_cmd; report_cmd; registry_cmd ]))

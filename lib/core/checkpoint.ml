@@ -4,9 +4,41 @@ type t = {
   cnf : Sat.Cnf.t;
   store : (int, entry) Hashtbl.t;
   mutable saves : int;
+  obs : Obs.t;
+  obs_on : bool;
+  c_saves : Obs.Metrics.counter;
+  c_restores : Obs.Metrics.counter;
+  h_bytes : Obs.Metrics.histogram;
 }
 
-let create cnf = { cnf; store = Hashtbl.create 16; saves = 0 }
+let create ?(obs = Obs.disabled) cnf =
+  let m = Obs.metrics obs in
+  {
+    cnf;
+    store = Hashtbl.create 16;
+    saves = 0;
+    obs;
+    obs_on = Obs.enabled obs;
+    c_saves = Obs.Metrics.counter m "checkpoint.saves";
+    c_restores = Obs.Metrics.counter m "checkpoint.restores";
+    h_bytes = Obs.Metrics.histogram m "checkpoint.bytes";
+  }
+
+let record_save t ~client ~light bytes =
+  t.saves <- t.saves + 1;
+  if t.obs_on then begin
+    Obs.Metrics.incr t.c_saves;
+    Obs.Metrics.observe t.h_bytes (float_of_int bytes);
+    ignore
+      (Obs.Span.instant (Obs.spans t.obs) ~tid:Obs.Span.master_tid ~cat:"checkpoint"
+         ~args:
+           [
+             ("client", Obs.Json.Int client);
+             ("bytes", Obs.Json.Int bytes);
+             ("light", Obs.Json.Bool light);
+           ]
+         "checkpoint.save")
+  end
 
 let save t ~client ~mode sp =
   match mode with
@@ -17,18 +49,25 @@ let save t ~client ~mode sp =
       let stripped = { sp with Subproblem.clauses = [] } in
       let bytes = Subproblem.bytes stripped in
       Hashtbl.replace t.store client { sp = stripped; bytes; light = true };
-      t.saves <- t.saves + 1;
+      record_save t ~client ~light:true bytes;
       bytes
   | Config.Heavy ->
       let bytes = Subproblem.bytes sp in
       Hashtbl.replace t.store client { sp; bytes; light = false };
-      t.saves <- t.saves + 1;
+      record_save t ~client ~light:false bytes;
       bytes
 
 let restore t ~client =
   match Hashtbl.find_opt t.store client with
   | None -> None
   | Some { sp; light; _ } ->
+      if t.obs_on then begin
+        Obs.Metrics.incr t.c_restores;
+        ignore
+          (Obs.Span.instant (Obs.spans t.obs) ~tid:Obs.Span.master_tid ~cat:"checkpoint"
+             ~args:[ ("client", Obs.Json.Int client); ("light", Obs.Json.Bool light) ]
+             "checkpoint.restore")
+      end;
       if light then
         Some (Subproblem.prune { sp with Subproblem.clauses = Sat.Cnf.clauses t.cnf })
       else Some sp

@@ -8,9 +8,10 @@
 
 type t
 
-val create : Sat.Cnf.t -> t
+val create : ?obs:Obs.t -> Sat.Cnf.t -> t
 (** The original formula, used to rebuild clause sets for light
-    checkpoints. *)
+    checkpoints.  [obs] (default [Obs.disabled]) receives save/restore
+    counters, a stored-bytes histogram, and instant-spans. *)
 
 val save : t -> client:int -> mode:Config.checkpoint_mode -> Subproblem.t -> int
 (** Stores (replacing) the client's checkpoint; returns stored bytes

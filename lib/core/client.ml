@@ -9,6 +9,7 @@ type callbacks = {
 type solving = {
   solver : Solver.t;
   pid : Protocol.pid;  (* identity of the subproblem being worked on *)
+  span : Obs.Span.id;  (* telemetry span covering this subproblem's solve *)
   started_at : float;
   transfer_time : float;  (* how long the problem took to reach us *)
   mutable split_epoch : float;  (* start of the current run-time-heuristic window *)
@@ -40,6 +41,12 @@ type t = {
   mutable outbox : Protocol.msg list;  (* master-bound traffic parked during the outage *)
   mutable probing : bool;  (* the outage probe loop is armed *)
   stats_acc : Sat.Stats.t;
+  obs : Obs.t;
+  obs_on : bool;
+  c_problems : Obs.Metrics.counter;
+  c_shares_flushed : Obs.Metrics.counter;
+  c_splits_donated : Obs.Metrics.counter;
+  h_transfer : Obs.Metrics.histogram;
 }
 
 let id t = t.cid
@@ -140,9 +147,13 @@ let now t = Grid.Sim.now t.sim
    operating system kills it (paper: the Linux OOM killer). *)
 let oom_strikes = 50
 
-let finish_problem t =
+let finish_problem ?(outcome = "done") t =
   (match t.state with
-  | Solving s -> Sat.Stats.add t.stats_acc (Solver.stats s.solver)
+  | Solving s ->
+      Sat.Stats.add t.stats_acc (Solver.stats s.solver);
+      if t.obs_on then
+        Obs.Span.exit (Obs.spans t.obs) s.span
+          ~args:[ ("outcome", Obs.Json.String outcome) ]
   | Idle -> ());
   t.state <- Idle;
   t.token <- t.token + 1
@@ -150,6 +161,11 @@ let finish_problem t =
 let die t =
   if t.alive then begin
     t.alive <- false;
+    (match t.state with
+    | Solving s when t.obs_on ->
+        Obs.Span.exit (Obs.spans t.obs) s.span
+          ~args:[ ("outcome", Obs.Json.String "died") ]
+    | _ -> ());
     t.state <- Idle;
     t.token <- t.token + 1;
     (match t.rel with Some r -> Reliable.stop r | None -> ());
@@ -176,7 +192,10 @@ let split_deadline t s = s.split_epoch +. Float.max (2. *. s.transfer_time) t.cf
 let flush_shares t s =
   let shares = Solver.drain_shares s.solver ~max_len:t.cfg.share_max_len in
   s.last_share_flush <- now t;
-  if shares <> [] then send t ~dst:t.master (Protocol.Shares { clauses = shares })
+  if shares <> [] then begin
+    if t.obs_on then Obs.Metrics.add t.c_shares_flushed (List.length shares);
+    send t ~dst:t.master (Protocol.Shares { clauses = shares })
+  end
 
 let maybe_checkpoint t s =
   match t.cfg.checkpoint with
@@ -209,12 +228,12 @@ and slice t token =
         | Solver.Sat model ->
             t.callbacks.log (Events.Client_found_model t.cid);
             send t ~dst:t.master (Protocol.Found_model model);
-            finish_problem t
+            finish_problem ~outcome:"sat" t
         | Solver.Unsat ->
             t.callbacks.log (Events.Client_finished_unsat t.cid);
             flush_shares t s;
             send t ~dst:t.master (Protocol.Finished_unsat { pid = s.pid });
-            finish_problem t
+            finish_problem ~outcome:"unsat" t
         | Solver.Mem_pressure ->
             (* at the hard limit the solver cannot even store new learned
                clauses; without relief the OS eventually kills us *)
@@ -243,13 +262,31 @@ let start_problem t ~src ~pid ~transfer_time sp =
       Solver.seed = t.cfg.solver_config.Solver.seed + t.cid;
     }
   in
-  let solver = Subproblem.to_solver ~config:solver_config sp in
+  let solver = Subproblem.to_solver ~config:solver_config ~obs:t.obs ~obs_tid:t.cid sp in
+  let span =
+    if t.obs_on then begin
+      Obs.Metrics.incr t.c_problems;
+      Obs.Metrics.observe t.h_transfer transfer_time;
+      Obs.Span.enter (Obs.spans t.obs) ~tid:t.cid ~cat:"client"
+        ~args:
+          [
+            ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst pid) (snd pid)));
+            ("from", Obs.Json.Int src);
+            ("bytes", Obs.Json.Int (Subproblem.bytes sp));
+            ("depth", Obs.Json.Int (Subproblem.depth sp));
+          ]
+        "solve"
+    end
+    else Obs.Span.none
+  in
+  Solver.set_obs_parent solver span;
   t.token <- t.token + 1;
   t.state <-
     Solving
       {
         solver;
         pid;
+        span;
         started_at = now t;
         transfer_time;
         split_epoch = now t;
@@ -284,6 +321,18 @@ let handle_split_partner t partner =
           let pid = fresh_branch_pid t in
           s.split_epoch <- now t;
           s.hard_mem_strikes <- 0;
+          if t.obs_on then begin
+            Obs.Metrics.incr t.c_splits_donated;
+            ignore
+              (Obs.Span.instant (Obs.spans t.obs) ~parent:s.span ~tid:t.cid ~cat:"protocol"
+                 ~args:
+                   [
+                     ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst pid) (snd pid)));
+                     ("partner", Obs.Json.Int partner);
+                     ("bytes", Obs.Json.Int bytes);
+                   ]
+                 "split.donate")
+          end;
           send t ~dst:partner (Protocol.Problem { pid; sp; sent_at = now t });
           (* [split_from] just committed the donor's first decision level
              into its own root, so both lineages are final here *)
@@ -303,7 +352,7 @@ let handle_migrate t target =
   | Solving s ->
       let sp = Subproblem.capture s.solver in
       send t ~dst:target (Protocol.Problem { pid = s.pid; sp; sent_at = now t });
-      finish_problem t
+      finish_problem ~outcome:"migrated" t
 
 let handle_payload t ~src msg =
   match msg with
@@ -337,7 +386,7 @@ let handle_payload t ~src msg =
                { pid = Some s.pid; path = Solver.root_path s.solver; busy_since = s.started_at })
       | Idle -> send t ~dst:t.master (Protocol.Resync { pid = None; path = []; busy_since = 0. }))
   | Protocol.Stop ->
-      finish_problem t;
+      finish_problem ~outcome:"stopped" t;
       (match t.rel with Some r -> Reliable.stop r | None -> ());
       t.alive <- false
   | Protocol.Register | Protocol.Problem_received _ | Protocol.Split_request _
@@ -368,7 +417,9 @@ let rec heartbeat_loop t =
     ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.Config.heartbeat_period (fun () -> heartbeat_loop t))
   end
 
-let create ~sim ~bus ~cfg ~resource ~trace ~master callbacks =
+let create ?(obs = Obs.disabled) ~sim ~bus ~cfg ~resource ~trace ~master callbacks =
+  let m = Obs.metrics obs in
+  let labels = [ ("client", string_of_int resource.R.id) ] in
   let t =
     {
       cid = resource.R.id;
@@ -390,10 +441,16 @@ let create ~sim ~bus ~cfg ~resource ~trace ~master callbacks =
       outbox = [];
       probing = false;
       stats_acc = Sat.Stats.create ();
+      obs;
+      obs_on = Obs.enabled obs;
+      c_problems = Obs.Metrics.counter m ~labels "client.problems.received";
+      c_shares_flushed = Obs.Metrics.counter m ~labels "client.shares.flushed";
+      c_splits_donated = Obs.Metrics.counter m ~labels "client.splits.donated";
+      h_transfer = Obs.Metrics.histogram m ~labels "client.transfer.seconds";
     }
   in
   let rel =
-    Reliable.create ~sim ~send_raw:(fun ~dst msg -> send_raw t ~dst msg)
+    Reliable.create ~obs ~obs_tid:t.cid ~sim ~send_raw:(fun ~dst msg -> send_raw t ~dst msg)
       ~active:(fun () -> t.alive && not t.hung)
       ~retry_base:cfg.Config.retry_base ~max_attempts:cfg.Config.retry_max_attempts
       ~on_retry:(fun ~dst ~attempt ->

@@ -34,6 +34,7 @@ type callbacks = {
 }
 
 val create :
+  ?obs:Obs.t ->
   sim:Grid.Sim.t ->
   bus:Protocol.msg Grid.Everyware.t ->
   cfg:Config.t ->

@@ -1,9 +1,13 @@
-let solve ?(config = Config.default) ?(fault_plan = []) ?on_master ~testbed cnf =
+let solve ?(config = Config.default) ?(fault_plan = []) ?(obs = Obs.disabled) ?on_master ~testbed
+    cnf =
   Config.validate_exn config;
-  let sim = Grid.Sim.create () in
+  let sim = Grid.Sim.create ~obs () in
+  (* Spans carry virtual time: the whole run's trace lives on the
+     simulation clock, so cross-process causality lines up in Perfetto. *)
+  Obs.set_clock obs (fun () -> Grid.Sim.now sim);
   let net = Grid.Network.create () in
-  let bus = Grid.Everyware.create sim net in
-  let master = Master.create ~sim ~net ~bus ~cfg:config ~testbed cnf in
+  let bus = Grid.Everyware.create ~obs sim net in
+  let master = Master.create ~obs ~sim ~net ~bus ~cfg:config ~testbed cnf in
   (match fault_plan with
   | [] -> ()
   | specs ->

@@ -17,6 +17,7 @@
 val solve :
   ?config:Config.t ->
   ?fault_plan:Grid.Fault.spec list ->
+  ?obs:Obs.t ->
   ?on_master:(Master.t -> unit) ->
   testbed:Testbed.t ->
   Sat.Cnf.t ->
@@ -30,7 +31,10 @@ val solve :
     evaluated with a private RNG seeded from the config, so the same plan
     and seed replay the identical failure schedule.  [on_master] exposes
     the master right after construction — tests use it to inject failures
-    at scheduled times. *)
+    at scheduled times.  [obs] (default [Obs.disabled]) collects metrics
+    and spans across every layer of the run; its span clock is pointed at
+    the simulation's virtual clock, so exported traces are deterministic
+    for a given config and seed. *)
 
 val answer_string : Master.answer -> string
 (** "SAT", "UNSAT" or "UNKNOWN(reason)". *)

@@ -102,9 +102,14 @@ type t = {
   mutable pending_n : int;
   mutable appended : int;
   mutable compactions : int;
+  obs : Obs.t;
+  obs_on : bool;
+  c_appends : Obs.Metrics.counter;
+  c_compactions : Obs.Metrics.counter;
 }
 
-let create ~compact_every =
+let create ?(obs = Obs.disabled) ~compact_every () =
+  let m = Obs.metrics obs in
   {
     compact_every = max 1 compact_every;
     base = empty_state ();
@@ -112,18 +117,31 @@ let create ~compact_every =
     pending_n = 0;
     appended = 0;
     compactions = 0;
+    obs;
+    obs_on = Obs.enabled obs;
+    c_appends = Obs.Metrics.counter m "journal.appends";
+    c_compactions = Obs.Metrics.counter m "journal.compactions";
   }
 
 let compact t =
+  let folded = t.pending_n in
   List.iter (apply t.base) (List.rev t.pending);
   t.pending <- [];
   t.pending_n <- 0;
-  t.compactions <- t.compactions + 1
+  t.compactions <- t.compactions + 1;
+  if t.obs_on then begin
+    Obs.Metrics.incr t.c_compactions;
+    ignore
+      (Obs.Span.instant (Obs.spans t.obs) ~tid:Obs.Span.master_tid ~cat:"journal"
+         ~args:[ ("entries_folded", Obs.Json.Int folded) ]
+         "journal.compact")
+  end
 
 let append t e =
   t.pending <- e :: t.pending;
   t.pending_n <- t.pending_n + 1;
   t.appended <- t.appended + 1;
+  if t.obs_on then Obs.Metrics.incr t.c_appends;
   if t.pending_n >= t.compact_every then compact t
 
 let replay t =

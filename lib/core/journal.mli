@@ -65,7 +65,9 @@ type state = {
 
 type t
 
-val create : compact_every:int -> t
+val create : ?obs:Obs.t -> compact_every:int -> unit -> t
+(** [obs] (default [Obs.disabled]) receives append/compaction counters
+    and a compaction instant-span on the master track. *)
 
 val append : t -> entry -> unit
 (** Appends one entry, compacting into the snapshot when [compact_every]

@@ -83,6 +83,20 @@ type t = {
   mutable rel : Reliable.t option;  (* set once in create; never None afterwards *)
   rng : Random.State.t;
   started_at : float;
+  obs : Obs.t;
+  obs_on : bool;
+  split_spans : (int, Obs.Span.id) Hashtbl.t;  (* requester -> open split span *)
+  mutable outage_span : Obs.Span.id;  (* covers a master crash .. reconciliation *)
+  c_splits_granted : Obs.Metrics.counter;
+  c_splits_denied : Obs.Metrics.counter;
+  c_splits_completed : Obs.Metrics.counter;
+  c_shares_relayed : Obs.Metrics.counter;
+  c_recov_checkpoint : Obs.Metrics.counter;
+  c_recov_rederived : Obs.Metrics.counter;
+  c_recov_requeued : Obs.Metrics.counter;
+  c_migrations : Obs.Metrics.counter;
+  c_deaths : Obs.Metrics.counter;
+  h_share_fanout : Obs.Metrics.histogram;
 }
 
 let master_id = 0
@@ -90,6 +104,11 @@ let master_id = 0
 let initial_pid : Protocol.pid = (master_id, 0)
 
 let log t kind = t.events <- Events.make (Grid.Sim.now t.sim) kind :: t.events
+
+let spanr t = Obs.spans t.obs
+
+let minstant t ?parent ?args ~cat name =
+  if t.obs_on then ignore (Obs.Span.instant (spanr t) ?parent ?args ~tid:Obs.Span.master_tid ~cat name)
 
 let events_so_far t = List.rev t.events
 
@@ -222,6 +241,17 @@ let grant_split t requester =
       t.pending_partner <- (requester, partner) :: t.pending_partner;
       jlog t (Journal.Granted { requester; partner });
       log t (Events.Split_granted { client = requester; partner });
+      if t.obs_on then begin
+        Obs.Metrics.incr t.c_splits_granted;
+        (* the span covers the paper's five-message split sequence: it
+           opens at the grant and closes on Split_ok / Split_failed *)
+        let sp =
+          Obs.Span.enter (spanr t) ~tid:Obs.Span.master_tid ~cat:"protocol"
+            ~args:[ ("requester", Obs.Json.Int requester); ("partner", Obs.Json.Int partner) ]
+            "split"
+        in
+        Hashtbl.replace t.split_spans requester sp
+      end;
       send t ~dst:requester (Protocol.Split_partner { partner });
       true
 
@@ -242,6 +272,14 @@ let send_problem t ~dst pid sp =
   Hashtbl.replace t.lineage pid sp.Subproblem.path;
   Hashtbl.replace t.last_holder pid dst;
   jlog t (Journal.Assigned { pid; dst; path = sp.Subproblem.path });
+  minstant t ~cat:"master"
+    ~args:
+      [
+        ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst pid) (snd pid)));
+        ("dst", Obs.Json.Int dst);
+        ("bytes", Obs.Json.Int (Subproblem.bytes sp));
+      ]
+    "assign";
   send t ~dst (Protocol.Problem { pid; sp; sent_at = Grid.Sim.now t.sim })
 
 (* Re-home a subproblem that lost its host (checkpoint recovery or a
@@ -252,10 +290,14 @@ let assign_recovered t ~failed ~from_checkpoint pid sp =
   match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
   | Some cand ->
       let dst = cand.Scheduler.resource.R.id in
-      if from_checkpoint then log t (Events.Recovered_from_checkpoint { client = failed; onto = dst });
+      if from_checkpoint then begin
+        log t (Events.Recovered_from_checkpoint { client = failed; onto = dst });
+        if t.obs_on then Obs.Metrics.incr t.c_recov_checkpoint
+      end;
       send_problem t ~dst pid sp
   | None ->
       log t (Events.Recovery_requeued { client = failed });
+      if t.obs_on then Obs.Metrics.incr t.c_recov_requeued;
       t.pending_recovery <- t.pending_recovery @ [ (pid, sp, failed, from_checkpoint) ]
 
 let rec serve_recovery t =
@@ -268,8 +310,10 @@ let rec serve_recovery t =
           (List.hd t.pending_recovery, List.tl t.pending_recovery)
         in
         t.pending_recovery <- rest;
-        if from_checkpoint then
+        if from_checkpoint then begin
           log t (Events.Recovered_from_checkpoint { client = failed; onto = dst });
+          if t.obs_on then Obs.Metrics.incr t.c_recov_checkpoint
+        end;
         send_problem t ~dst pid sp;
         serve_recovery t
 
@@ -282,6 +326,14 @@ let rederive_lost t ~holder pid =
   | Some path ->
       let sp = Subproblem.of_lineage t.cnf path in
       log t (Events.Rederived_from_lineage { holder; depth = List.length path });
+      if t.obs_on then Obs.Metrics.incr t.c_recov_rederived;
+      minstant t ~cat:"master"
+        ~args:
+          [
+            ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst pid) (snd pid)));
+            ("depth", Obs.Json.Int (List.length path));
+          ]
+        "rederive";
       Hashtbl.replace t.live_problems pid ();
       let failed = match holder with Some h -> h | None -> master_id in
       assign_recovered t ~failed ~from_checkpoint:false pid sp
@@ -340,6 +392,10 @@ let consider_migration t =
         then begin
           (host t dst).rstate <- Reserved;
           t.migrating <- (src.resource.R.id, dst) :: t.migrating;
+          if t.obs_on then Obs.Metrics.incr t.c_migrations;
+          minstant t ~cat:"master"
+            ~args:[ ("src", Obs.Json.Int src.resource.R.id); ("dst", Obs.Json.Int dst) ]
+            "migrate";
           send t ~dst:src.resource.R.id (Protocol.Migrate_to { target = dst })
         end
     | _ -> ()
@@ -438,11 +494,28 @@ let on_split_request t src _reason =
   if not (grant_split t src) then begin
     let h = host t src in
     t.backlog <- t.backlog @ [ (src, h.busy_since) ];
+    if t.obs_on then Obs.Metrics.incr t.c_splits_denied;
     log t (Events.Split_denied { client = src })
   end
 
+let close_split_span t requester args =
+  if t.obs_on then
+    match Hashtbl.find_opt t.split_spans requester with
+    | Some sp ->
+        Hashtbl.remove t.split_spans requester;
+        Obs.Span.exit (spanr t) sp ~args
+    | None -> ()
+
 let on_split_ok t src ~pid ~dst ~bytes ~path ~donor_path =
   t.splits <- t.splits + 1;
+  if t.obs_on then Obs.Metrics.incr t.c_splits_completed;
+  close_split_span t src
+    [
+      ("outcome", Obs.Json.String "ok");
+      ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst pid) (snd pid)));
+      ("dst", Obs.Json.Int dst);
+      ("bytes", Obs.Json.Int bytes);
+    ];
   Hashtbl.replace t.live_problems pid ();
   Hashtbl.replace t.lineage pid path;
   Hashtbl.replace t.last_holder pid dst;
@@ -461,6 +534,7 @@ let on_split_ok t src ~pid ~dst ~bytes ~path ~donor_path =
   absorb_if_refuted t ~holder:dst pid
 
 let on_split_failed t src =
+  close_split_span t src [ ("outcome", Obs.Json.String "failed") ];
   (match release_partner t src with
   | Some partner -> unreserve t partner
   | None -> ());
@@ -478,6 +552,18 @@ let on_shares t src clauses =
       end)
     t.hosts;
   jlog t (Journal.Shared { clauses = List.length clauses });
+  if t.obs_on then begin
+    Obs.Metrics.add t.c_shares_relayed (List.length clauses);
+    Obs.Metrics.observe t.h_share_fanout (float_of_int !recipients);
+    minstant t ~cat:"protocol"
+      ~args:
+        [
+          ("origin", Obs.Json.Int src);
+          ("clauses", Obs.Json.Int (List.length clauses));
+          ("recipients", Obs.Json.Int !recipients);
+        ]
+      "share.broadcast"
+  end;
   log t (Events.Shares_broadcast { origin = src; count = List.length clauses; recipients = !recipients })
 
 let on_finished_unsat t src pid =
@@ -644,6 +730,9 @@ let declare_dead t id =
         h.rstate <- Dead;
         h.pid <- None;
         jlog t (Journal.Died { client = id });
+        if t.obs_on then Obs.Metrics.incr t.c_deaths;
+        minstant t ~cat:"master" ~args:[ ("client", Obs.Json.Int id) ] "client.dead";
+        close_split_span t id [ ("outcome", Obs.Json.String "requester-died") ];
         t.backlog <- List.filter (fun (c, _) -> c <> id) t.backlog;
         (* a split requester died while its partner sat reserved *)
         (match release_partner t id with
@@ -720,6 +809,11 @@ let hang_host t id =
 let crash_master t =
   if (not t.finished) && not t.down then begin
     log t Events.Master_crashed;
+    if t.obs_on then begin
+      Hashtbl.reset t.split_spans;
+      t.outage_span <-
+        Obs.Span.enter (spanr t) ~tid:Obs.Span.master_tid ~cat:"master" "master.outage"
+    end;
     t.down <- true;
     t.resyncing <- false;
     Reliable.stop (reliable t);
@@ -743,6 +837,10 @@ let crash_master t =
 let reconcile t =
   if (not t.finished) && (not t.down) && t.resyncing then begin
     t.resyncing <- false;
+    if t.obs_on && t.outage_span <> Obs.Span.none then begin
+      Obs.Span.exit (spanr t) t.outage_span;
+      t.outage_span <- Obs.Span.none
+    end;
     let held = Hashtbl.create 16 in
     Hashtbl.iter
       (fun _ h ->
@@ -810,6 +908,7 @@ let restart_master t =
       t.hosts;
     t.resyncing <- true;
     log t Events.Master_restarted;
+    minstant t ~parent:t.outage_span ~cat:"master" "master.restarted";
     Hashtbl.iter (fun id h -> if h.rstate <> Dead then send t ~dst:id Protocol.Resync_request) t.hosts;
     schedule t ~delay:t.cfg.Config.resync_grace (fun () -> reconcile t)
   end
@@ -860,7 +959,7 @@ let rec nws_probe t =
 
 let add_host t (th : Testbed.host) callbacks =
   let client =
-    Client.create ~sim:t.sim ~bus:t.bus ~cfg:t.cfg ~resource:th.Testbed.resource
+    Client.create ~obs:t.obs ~sim:t.sim ~bus:t.bus ~cfg:t.cfg ~resource:th.Testbed.resource
       ~trace:th.Testbed.trace ~master:master_id callbacks
   in
   Hashtbl.replace t.hosts th.Testbed.resource.R.id
@@ -888,8 +987,9 @@ let batch_hosts t (spec : Testbed.batch_spec) =
         trace = Grid.Trace.constant 1.0 (* batch nodes run dedicated *);
       })
 
-let create ~sim ~net ~bus ~cfg ~testbed cnf =
+let create ?(obs = Obs.disabled) ~sim ~net ~bus ~cfg ~testbed cnf =
   testbed.Testbed.configure_network net;
+  let m = Obs.metrics obs in
   let t =
     {
       sim;
@@ -898,14 +998,14 @@ let create ~sim ~net ~bus ~cfg ~testbed cnf =
       cnf;
       testbed;
       hosts = Hashtbl.create 64;
-      checkpoints = Checkpoint.create cnf;
+      checkpoints = Checkpoint.create ~obs cnf;
       backlog = [];
       pending_partner = [];
       migrating = [];
       live_problems = Hashtbl.create 64;
       in_flight = Hashtbl.create 16;
       pending_recovery = [];
-      journal = Journal.create ~compact_every:cfg.Config.journal_compact_every;
+      journal = Journal.create ~obs ~compact_every:cfg.Config.journal_compact_every ();
       lineage = Hashtbl.create 64;
       last_holder = Hashtbl.create 64;
       refuted_pids = Hashtbl.create 64;
@@ -925,11 +1025,26 @@ let create ~sim ~net ~bus ~cfg ~testbed cnf =
       rel = None;
       rng = Random.State.make [| cfg.Config.seed; 77 |];
       started_at = Grid.Sim.now sim;
+      obs;
+      obs_on = Obs.enabled obs;
+      split_spans = Hashtbl.create 8;
+      outage_span = Obs.Span.none;
+      c_splits_granted = Obs.Metrics.counter m "master.splits.granted";
+      c_splits_denied = Obs.Metrics.counter m "master.splits.denied";
+      c_splits_completed = Obs.Metrics.counter m "master.splits.completed";
+      c_shares_relayed = Obs.Metrics.counter m "master.shares.relayed";
+      c_recov_checkpoint = Obs.Metrics.counter m "master.recoveries.checkpoint";
+      c_recov_rederived = Obs.Metrics.counter m "master.recoveries.rederived";
+      c_recov_requeued = Obs.Metrics.counter m "master.recoveries.requeued";
+      c_migrations = Obs.Metrics.counter m "master.migrations";
+      c_deaths = Obs.Metrics.counter m "master.client.deaths";
+      h_share_fanout = Obs.Metrics.histogram m "master.share.fanout";
     }
   in
   t.rel <-
     Some
-      (Reliable.create ~sim ~send_raw:(fun ~dst msg -> send_raw t ~dst msg)
+      (Reliable.create ~obs ~obs_tid:Obs.Span.master_tid ~sim
+         ~send_raw:(fun ~dst msg -> send_raw t ~dst msg)
          ~active:(fun () -> not t.finished)
          ~retry_base:cfg.Config.retry_base ~max_attempts:cfg.Config.retry_max_attempts
          ~on_retry:(fun ~dst ~attempt ->

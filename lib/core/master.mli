@@ -57,6 +57,7 @@ type result = {
 type t
 
 val create :
+  ?obs:Obs.t ->
   sim:Grid.Sim.t ->
   net:Grid.Network.t ->
   bus:Protocol.msg Grid.Everyware.t ->
@@ -66,7 +67,12 @@ val create :
   t
 (** Sets up the run: registers the master endpoint, launches clients on
     every interactive host, submits the batch job if the testbed has one,
-    arms the overall timeout, the NWS probes and the failure detector. *)
+    arms the overall timeout, the NWS probes and the failure detector.
+    [obs] (default [Obs.disabled]) is threaded through every layer the
+    master owns (journal, checkpoints, reliable channel, clients and
+    their solvers): scheduling/recovery counters and instant-spans land
+    on the master track, and the five-message split sequence is covered
+    by a ["split"] span from grant to Split_ok/Split_failed. *)
 
 val finished : t -> bool
 

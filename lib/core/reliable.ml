@@ -1,6 +1,7 @@
 type pending = {
   dst : int;
   msg : Protocol.msg;
+  sent_at : float;  (* virtual send time, for the ack-latency histogram *)
   mutable attempt : int;  (* retries performed so far *)
   mutable timer : Grid.Sim.event_id;
 }
@@ -19,10 +20,20 @@ type t = {
   seen : (int * int, unit) Hashtbl.t;  (* (src, mid) already delivered *)
   mutable retries : int;
   mutable gave_up : int;
+  obs : Obs.t;
+  obs_on : bool;
+  obs_tid : int;
+  c_sends : Obs.Metrics.counter;
+  c_retries : Obs.Metrics.counter;
+  c_exhausted : Obs.Metrics.counter;
+  h_ack : Obs.Metrics.histogram;
 }
 
-let create ~sim ~send_raw ~active ~retry_base ~max_attempts ~on_retry
-    ?(on_exhausted = fun ~dst:_ ~attempts:_ -> ()) ~on_give_up () =
+let create ?(obs = Obs.disabled) ?(obs_tid = Obs.Span.run_tid) ~sim ~send_raw ~active
+    ~retry_base ~max_attempts ~on_retry ?(on_exhausted = fun ~dst:_ ~attempts:_ -> ())
+    ~on_give_up () =
+  let m = Obs.metrics obs in
+  let labels = [ ("owner", string_of_int obs_tid) ] in
   {
     sim;
     send_raw;
@@ -37,6 +48,13 @@ let create ~sim ~send_raw ~active ~retry_base ~max_attempts ~on_retry
     seen = Hashtbl.create 64;
     retries = 0;
     gave_up = 0;
+    obs;
+    obs_on = Obs.enabled obs;
+    obs_tid;
+    c_sends = Obs.Metrics.counter m ~labels "reliable.sends";
+    c_retries = Obs.Metrics.counter m ~labels "reliable.retries";
+    c_exhausted = Obs.Metrics.counter m ~labels "reliable.exhausted";
+    h_ack = Obs.Metrics.histogram m ~labels "reliable.ack.latency";
   }
 
 let backoff t attempt =
@@ -55,12 +73,26 @@ and fire t mid =
       else if p.attempt >= t.max_attempts then begin
         Hashtbl.remove t.outstanding mid;
         t.gave_up <- t.gave_up + 1;
+        if t.obs_on then begin
+          Obs.Metrics.incr t.c_exhausted;
+          ignore
+            (Obs.Span.instant (Obs.spans t.obs) ~tid:t.obs_tid ~cat:"protocol"
+               ~args:[ ("dst", Obs.Json.Int p.dst); ("attempts", Obs.Json.Int p.attempt) ]
+               "reliable.exhausted")
+        end;
         t.on_exhausted ~dst:p.dst ~attempts:p.attempt;
         t.on_give_up ~dst:p.dst p.msg
       end
       else begin
         p.attempt <- p.attempt + 1;
         t.retries <- t.retries + 1;
+        if t.obs_on then begin
+          Obs.Metrics.incr t.c_retries;
+          ignore
+            (Obs.Span.instant (Obs.spans t.obs) ~tid:t.obs_tid ~cat:"protocol"
+               ~args:[ ("dst", Obs.Json.Int p.dst); ("attempt", Obs.Json.Int p.attempt) ]
+               "reliable.retry")
+        end;
         t.on_retry ~dst:p.dst ~attempt:p.attempt;
         t.send_raw ~dst:p.dst (Protocol.Reliable { mid; payload = p.msg });
         arm_timer t mid p
@@ -69,9 +101,18 @@ and fire t mid =
 let send t ~dst msg =
   let mid = t.next_mid in
   t.next_mid <- mid + 1;
-  let p = { dst; msg; attempt = 0; timer = Grid.Sim.schedule t.sim ~delay:0. (fun () -> ()) } in
+  let p =
+    {
+      dst;
+      msg;
+      sent_at = Grid.Sim.now t.sim;
+      attempt = 0;
+      timer = Grid.Sim.schedule t.sim ~delay:0. (fun () -> ());
+    }
+  in
   Grid.Sim.cancel t.sim p.timer;
   Hashtbl.replace t.outstanding mid p;
+  if t.obs_on then Obs.Metrics.incr t.c_sends;
   t.send_raw ~dst (Protocol.Reliable { mid; payload = msg });
   arm_timer t mid p
 
@@ -80,7 +121,8 @@ let handle_ack t ~mid =
   | None -> ()
   | Some p ->
       Grid.Sim.cancel t.sim p.timer;
-      Hashtbl.remove t.outstanding mid
+      Hashtbl.remove t.outstanding mid;
+      if t.obs_on then Obs.Metrics.observe t.h_ack (Grid.Sim.now t.sim -. p.sent_at)
 
 (* Proof of life for [dst] (a restarted master announced itself): whatever
    is still outstanding toward it was transmitted into the outage and

@@ -14,6 +14,8 @@
 type t
 
 val create :
+  ?obs:Obs.t ->
+  ?obs_tid:int ->
   sim:Grid.Sim.t ->
   send_raw:(dst:int -> Protocol.msg -> unit) ->
   active:(unit -> bool) ->
@@ -24,7 +26,10 @@ val create :
   on_give_up:(dst:int -> Protocol.msg -> unit) ->
   unit ->
   t
-(** [active] gates retries: a dead client must not keep transmitting.
+(** [obs]/[obs_tid] label this channel's telemetry (send/retry/exhausted
+    counters, an ack-latency histogram, and retry instant-spans) with the
+    owning endpoint.
+    [active] gates retries: a dead client must not keep transmitting.
     [retry_base] is the first backoff delay; attempt [k] waits
     [retry_base * 2^k], capped at [32 * retry_base].  After
     [max_attempts] unacked (re)transmissions, [on_exhausted] fires (a

@@ -1,0 +1,41 @@
+module J = Obs.Json
+
+let answer_json = function
+  | Master.Sat _ -> J.String "SAT"
+  | Master.Unsat -> J.String "UNSAT"
+  | Master.Unknown reason -> J.String (Printf.sprintf "UNKNOWN(%s)" reason)
+
+let run_section (r : Master.result) =
+  J.Obj
+    [
+      ("answer", answer_json r.Master.answer);
+      ("time", J.Float r.Master.time);
+      ("max_clients", J.Int r.Master.max_clients);
+      ("splits", J.Int r.Master.splits);
+      ("share_batches", J.Int r.Master.share_batches);
+      ("shared_clauses", J.Int r.Master.shared_clauses);
+      ("messages", J.Int r.Master.messages);
+      ("bytes", J.Int r.Master.bytes);
+      ("dropped_messages", J.Int r.Master.dropped_messages);
+      ("dropped_bytes", J.Int r.Master.dropped_bytes);
+      ("retries", J.Int r.Master.retries);
+      ("false_suspicions", J.Int r.Master.false_suspicions);
+      ("recoveries", J.Int r.Master.recoveries);
+      ("rederivations", J.Int r.Master.rederivations);
+      ("master_crashes", J.Int r.Master.master_crashes);
+      ("checkpoint_bytes", J.Int r.Master.checkpoint_bytes);
+      ("events", J.Int (List.length r.Master.events));
+    ]
+
+let build ?(meta = []) ~obs (r : Master.result) =
+  let curve = Timeline.busy_curve r.Master.events in
+  Obs.Report.build ~meta
+    ~sections:
+      [
+        ("run", run_section r);
+        ("solver", Sat.Stats.json r.Master.solver_stats);
+        ("timeline", Timeline.json curve);
+      ]
+    ~metrics:(Obs.metrics obs) ~spans:(Obs.spans obs) ()
+
+let trace ?process_name ~obs () = Obs.Chrome.export ?process_name (Obs.spans obs)

@@ -18,9 +18,9 @@ let bytes t =
   let clause_bytes = List.fold_left (fun acc c -> acc + 48 + (8 * Array.length c)) 0 t.clauses in
   clause_bytes + (8 * (List.length t.facts + List.length t.path)) + 64
 
-let to_solver ~config t =
+let to_solver ~config ?obs ?obs_tid t =
   let cnf = Sat.Cnf.of_lit_arrays ~nvars:t.nvars t.clauses in
-  Sat.Solver.create_with_roots ~config ~facts:t.facts cnf t.path
+  Sat.Solver.create_with_roots ~config ?obs ?obs_tid ~facts:t.facts cnf t.path
 
 let capture solver =
   {

@@ -26,7 +26,7 @@ val nclauses : t -> int
 val depth : t -> int
 (** Length of the guiding path (number of splits on this branch). *)
 
-val to_solver : config:Sat.Solver.config -> t -> Sat.Solver.t
+val to_solver : config:Sat.Solver.config -> ?obs:Obs.t -> ?obs_tid:int -> t -> Sat.Solver.t
 (** Instantiates a solver for the subproblem. *)
 
 val capture : Sat.Solver.t -> t

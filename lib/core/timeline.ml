@@ -61,7 +61,11 @@ let value_at curve time =
 
 let ascii_chart ?(width = 60) ?(height = 10) curve =
   match curve with
-  | [] -> "(empty timeline)\n"
+  | [] -> "(no data)\n"
+  | _ when (let t0, t1 = span curve in t1 <= t0) ->
+      (* a single point (or a zero-width span) has no time axis to chart *)
+      let t0, _ = span curve in
+      Printf.sprintf "(no data: %d client(s) at t=%.0f)\n" (peak curve) t0
   | _ ->
       let t0, t1 = span curve in
       let top = max 1 (peak curve) in
@@ -83,3 +87,17 @@ let ascii_chart ?(width = 60) ?(height = 10) curve =
       Buffer.add_string buf
         (Printf.sprintf "      %-8.0f%*s\n" t0 (width - 8) (Printf.sprintf "%.0f vs" t1));
       Buffer.contents buf
+
+let json curve =
+  let t0, t1 = span curve in
+  Obs.Json.Obj
+    [
+      ("peak", Obs.Json.Int (peak curve));
+      ("average", Obs.Json.Float (average curve));
+      ("client_seconds", Obs.Json.Float (client_seconds curve));
+      ("t0", Obs.Json.Float t0);
+      ("t1", Obs.Json.Float t1);
+      ( "points",
+        Obs.Json.List
+          (List.map (fun (t, n) -> Obs.Json.List [ Obs.Json.Float t; Obs.Json.Int n ]) curve) );
+    ]

@@ -13,10 +13,17 @@ val busy_curve : Events.t list -> (float * int) list
 val peak : (float * int) list -> int
 
 val average : (float * int) list -> float
-(** Time-weighted mean number of busy clients over the curve's span. *)
+(** Time-weighted mean number of busy clients over the curve's span.
+    0.0 for an empty or single-point curve (no elapsed time). *)
 
 val client_seconds : (float * int) list -> float
 (** The integral of the curve: total busy client-time consumed. *)
 
 val ascii_chart : ?width:int -> ?height:int -> (float * int) list -> string
-(** A bar chart of the curve ([width] time buckets, [height] rows). *)
+(** A bar chart of the curve ([width] time buckets, [height] rows).
+    Empty and zero-width (single-point) curves render a defined
+    ["(no data...)"] line instead of a degenerate chart. *)
+
+val json : (float * int) list -> Obs.Json.t
+(** Curve summary (peak, average, client-seconds, span) plus the raw
+    points, for embedding in the run report. *)

@@ -11,9 +11,17 @@ type 'msg t = {
   mutable dropped : int;
   mutable dropped_bytes : int;
   mutable fault : (src_site:string -> dst_site:string -> bytes:int -> fault_decision) option;
+  obs : Obs.t;
+  obs_on : bool;
+  c_sent : Obs.Metrics.counter;
+  c_dropped : Obs.Metrics.counter;
+  c_duplicated : Obs.Metrics.counter;
+  (* per-site-pair histograms, cached so a send never re-derives labels *)
+  pair_hists : (string * string, Obs.Metrics.histogram * Obs.Metrics.histogram) Hashtbl.t;
 }
 
-let create sim net =
+let create ?(obs = Obs.disabled) sim net =
+  let m = Obs.metrics obs in
   {
     sim;
     net;
@@ -23,6 +31,12 @@ let create sim net =
     dropped = 0;
     dropped_bytes = 0;
     fault = None;
+    obs;
+    obs_on = Obs.enabled obs;
+    c_sent = Obs.Metrics.counter m "net.messages.sent";
+    c_dropped = Obs.Metrics.counter m "net.messages.dropped";
+    c_duplicated = Obs.Metrics.counter m "net.messages.duplicated";
+    pair_hists = Hashtbl.create 16;
   }
 
 let register t ~id ~site ~handler = Hashtbl.replace t.endpoints id { site; handler }
@@ -43,6 +57,19 @@ let site_of t id =
 let transfer_time t ~src ~dst ~bytes =
   Network.transfer_time t.net ~src:(site_of t src) ~dst:(site_of t dst) ~bytes
 
+let pair_hists t ~src_site ~dst_site =
+  match Hashtbl.find_opt t.pair_hists (src_site, dst_site) with
+  | Some pair -> pair
+  | None ->
+      let labels = [ ("src", src_site); ("dst", dst_site) ] in
+      let m = Obs.metrics t.obs in
+      let pair =
+        ( Obs.Metrics.histogram m ~labels "net.message.bytes",
+          Obs.Metrics.histogram m ~labels "net.message.latency" )
+      in
+      Hashtbl.replace t.pair_hists (src_site, dst_site) pair;
+      pair
+
 let send t ~src ~dst ~bytes msg =
   let src_site = site_of t src in
   let dst_site =
@@ -51,6 +78,12 @@ let send t ~src ~dst ~bytes msg =
   let delay = Network.transfer_time t.net ~src:src_site ~dst:dst_site ~bytes in
   t.messages <- t.messages + 1;
   t.bytes <- t.bytes + bytes;
+  if t.obs_on then begin
+    Obs.Metrics.incr t.c_sent;
+    let h_bytes, h_latency = pair_hists t ~src_site ~dst_site in
+    Obs.Metrics.observe h_bytes (float_of_int bytes);
+    Obs.Metrics.observe h_latency delay
+  end;
   let deliver extra =
     ignore
       (Sim.schedule t.sim ~delay:(delay +. extra) (fun () ->
@@ -65,9 +98,11 @@ let send t ~src ~dst ~bytes msg =
   | Deliver -> deliver 0.
   | Drop ->
       t.dropped <- t.dropped + 1;
-      t.dropped_bytes <- t.dropped_bytes + bytes
+      t.dropped_bytes <- t.dropped_bytes + bytes;
+      if t.obs_on then Obs.Metrics.incr t.c_dropped
   | Delay extra -> deliver (Float.max 0. extra)
   | Duplicate extra ->
+      if t.obs_on then Obs.Metrics.incr t.c_duplicated;
       deliver 0.;
       deliver (Float.max 0. extra)
 

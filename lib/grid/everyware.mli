@@ -20,7 +20,9 @@ type fault_decision =
 
 type 'msg t
 
-val create : Sim.t -> Network.t -> 'msg t
+val create : ?obs:Obs.t -> Sim.t -> Network.t -> 'msg t
+(** [obs] (default [Obs.disabled]) receives send/drop/duplicate counters
+    and per-site-pair message byte/latency histograms. *)
 
 val register : 'msg t -> id:int -> site:string -> handler:(src:int -> 'msg -> unit) -> unit
 (** Registers endpoint [id] at [site].  Re-registering replaces the

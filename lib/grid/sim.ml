@@ -16,9 +16,12 @@ type t = {
   queued : (int, unit) Hashtbl.t;  (* seqs currently in the queue *)
   cancelled : (int, unit) Hashtbl.t;
   mutable fired : int;
+  obs_on : bool;
+  c_events : Obs.Metrics.counter;
+  g_pending : Obs.Metrics.gauge;
 }
 
-let create () =
+let create ?(obs = Obs.disabled) () =
   {
     clock = 0.;
     queue = Pq.empty;
@@ -26,6 +29,9 @@ let create () =
     queued = Hashtbl.create 64;
     cancelled = Hashtbl.create 64;
     fired = 0;
+    obs_on = Obs.enabled obs;
+    c_events = Obs.Metrics.counter (Obs.metrics obs) "sim.events";
+    g_pending = Obs.Metrics.gauge (Obs.metrics obs) "sim.pending.max";
   }
 
 let now t = t.clock
@@ -36,6 +42,7 @@ let schedule_at t ~time f =
   t.next_seq <- seq + 1;
   t.queue <- Pq.add { Key.time; seq } f t.queue;
   Hashtbl.replace t.queued seq ();
+  if t.obs_on then Obs.Metrics.gauge_max t.g_pending (float_of_int (Pq.cardinal t.queue));
   seq
 
 let schedule t ~delay f = schedule_at t ~time:(t.clock +. Float.max 0. delay) f
@@ -61,6 +68,7 @@ let rec step t =
       else begin
         t.clock <- key.Key.time;
         t.fired <- t.fired + 1;
+        if t.obs_on then Obs.Metrics.incr t.c_events;
         f ();
         true
       end

@@ -9,7 +9,9 @@ type t
 
 type event_id
 
-val create : unit -> t
+val create : ?obs:Obs.t -> unit -> t
+(** [obs] (default [Obs.disabled]) receives an event counter and a
+    max-queue-depth gauge. *)
 
 val now : t -> float
 (** Current virtual time in seconds. *)

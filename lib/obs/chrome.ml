@@ -1,0 +1,111 @@
+let usec seconds = int_of_float (Float.round (seconds *. 1e6))
+
+let tid_name tid =
+  if tid = Span.master_tid then "master"
+  else if tid = Span.run_tid then "run"
+  else Printf.sprintf "client %d" tid
+
+let metadata ~process_name tids =
+  let proc =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String process_name) ]);
+      ]
+  in
+  let threads =
+    List.map
+      (fun tid ->
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int tid);
+            ("args", Json.Obj [ ("name", Json.String (tid_name tid) ) ]);
+          ])
+      tids
+  in
+  proc :: threads
+
+let event_of_span (s : Span.span) =
+  let args =
+    ("sid", Json.Int s.sid)
+    :: (if s.parent = Span.none then [] else [ ("parent", Json.Int s.parent) ])
+    @ s.args
+  in
+  let common =
+    [
+      ("name", Json.String s.name);
+      ("cat", Json.String s.cat);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int s.tid);
+      ("ts", Json.Int (usec s.start));
+    ]
+  in
+  match s.kind with
+  | Span.Complete ->
+      Json.Obj
+        (common
+        @ [ ("ph", Json.String "X"); ("dur", Json.Int (usec (s.stop -. s.start))); ("args", Json.Obj args) ]
+        )
+  | Span.Instant ->
+      Json.Obj (common @ [ ("ph", Json.String "i"); ("s", Json.String "t"); ("args", Json.Obj args) ])
+
+let export ?(process_name = "gridsat") recorder =
+  let spans = Span.spans recorder in
+  let tids =
+    List.fold_left (fun acc (s : Span.span) -> if List.mem s.tid acc then acc else s.tid :: acc) [] spans
+    |> List.sort compare
+  in
+  let events = metadata ~process_name tids @ List.map event_of_span spans in
+  Json.Obj [ ("displayTimeUnit", Json.String "ms"); ("traceEvents", Json.List events) ]
+
+let export_string ?process_name recorder = Json.to_string (export ?process_name recorder) ^ "\n"
+
+(* ---------- validation ---------- *)
+
+let known_phases = [ "X"; "i"; "M"; "B"; "E"; "b"; "e"; "s"; "t"; "f"; "C" ]
+
+let is_number = function Json.Int _ | Json.Float _ -> true | _ -> false
+
+let validate_event i ev =
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "event %d: %s" i m)) fmt in
+  match ev with
+  | Json.Obj _ -> (
+      match Json.member "ph" ev with
+      | Some (Json.String ph) when List.mem ph known_phases -> (
+          match Json.member "name" ev with
+          | Some (Json.String _) -> (
+              if ph = "M" then Ok ()
+              else
+                match Json.member "ts" ev with
+                | Some ts when is_number ts -> (
+                    if ph <> "X" then Ok ()
+                    else
+                      match Json.member "dur" ev with
+                      | Some d when is_number d -> Ok ()
+                      | Some _ -> fail "\"X\" event with non-numeric dur"
+                      | None -> fail "\"X\" event missing dur")
+                | Some _ -> fail "non-numeric ts"
+                | None -> fail "missing ts")
+          | Some _ -> fail "non-string name"
+          | None -> fail "missing name")
+      | Some (Json.String ph) -> fail "unknown phase %S" ph
+      | Some _ -> fail "non-string ph"
+      | None -> fail "missing ph")
+  | _ -> fail "not an object"
+
+let validate doc =
+  match Json.member "traceEvents" doc with
+  | Some (Json.List events) ->
+      let rec check i = function
+        | [] -> Ok ()
+        | ev :: rest -> ( match validate_event i ev with Ok () -> check (i + 1) rest | e -> e)
+      in
+      check 0 events
+  | Some _ -> Error "traceEvents is not an array"
+  | None -> Error "missing traceEvents array"

@@ -1,0 +1,21 @@
+(** Chrome [trace_event] export.
+
+    Renders a span recorder's contents in the JSON Trace Event Format
+    consumed by [chrome://tracing] and Perfetto: complete spans become
+    ["ph":"X"] events, instants become ["ph":"i"], timestamps are integer
+    microseconds.  Output is deterministic for a deterministic clock, so
+    seeded runs export byte-identical traces. *)
+
+val export : ?process_name:string -> Span.t -> Json.t
+(** The full trace document:
+    [{"displayTimeUnit":"ms","traceEvents":[...]}] with process/thread
+    metadata events first. *)
+
+val export_string : ?process_name:string -> Span.t -> string
+(** [export] rendered compactly, with a trailing newline. *)
+
+val validate : Json.t -> (unit, string) result
+(** Check a document against the trace_event schema subset we emit:
+    a [traceEvents] array whose members each carry [name]/[ph]/[ts]
+    (strings/numbers as required), ["X"] events a numeric [dur], and
+    only known phase codes. *)

@@ -1,0 +1,8 @@
+let last = ref 0.0
+
+let now () =
+  let t = Sys.time () in
+  if t > !last then last := t;
+  !last
+
+let elapsed_since t0 = Float.max 0.0 (now () -. t0)

@@ -1,0 +1,13 @@
+(** Monotonic process clock.
+
+    [Sys.time] can stall or (across some runtimes) regress slightly; every
+    timing site in the tree reads this helper instead so solver timing,
+    span timestamps and bench snapshots share one non-decreasing time
+    base. *)
+
+val now : unit -> float
+(** Seconds of CPU time since process start, clamped to be
+    non-decreasing across calls. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [max 0. (now () -. t0)]. *)

@@ -1,0 +1,34 @@
+(** Minimal JSON values: enough to write and read the telemetry files
+    (run reports, Chrome traces, bench snapshots) without an external
+    dependency.
+
+    Serialisation is canonical — object members keep their given order,
+    floats print through one fixed format — so two identical value trees
+    always render to identical bytes (the property the byte-stability
+    tests rely on). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact canonical rendering (no insignificant whitespace). *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering for humans. *)
+
+val of_string : string -> (t, string) result
+(** Parse a JSON document.  Numbers without [.], [e] or [E] load as
+    [Int]; everything else as [Float].  Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to [k], if any. *)
+
+val float_repr : float -> string
+(** The canonical float format used by {!to_string} ([%.12g], with
+    integral values printed without a fractional part). *)

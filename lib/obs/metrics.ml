@@ -1,0 +1,189 @@
+type counter = { mutable c : int }
+
+type gauge = { mutable g : float }
+
+type histogram = {
+  buckets : int array;  (** 4 sub-buckets per octave, exponents clamped to [-40,39] *)
+  mutable count : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = { enabled : bool; table : (string, instrument) Hashtbl.t }
+
+let create ~enabled = { enabled; table = Hashtbl.create (if enabled then 64 else 1) }
+
+let disabled = create ~enabled:false
+
+let is_enabled t = t.enabled
+
+(* Dummy instruments handed out by a disabled registry: recording into
+   them is harmless and they are never exported. *)
+let dummy_counter = { c = 0 }
+
+let dummy_gauge = { g = 0.0 }
+
+let dummy_histogram = { buckets = [| 0 |]; count = 0; sum = 0.0; lo = 0.0; hi = 0.0 }
+
+let canonical_labels labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+      List.sort compare labels
+      |> List.map (fun (k, v) -> k ^ "=" ^ v)
+      |> String.concat ","
+
+let key name labels =
+  match canonical_labels labels with "" -> name | l -> name ^ "{" ^ l ^ "}"
+
+let sub_octaves = 4
+
+let min_exp = -40 (* smallest tracked value ~ 2^-41 *)
+
+let num_exp = 80
+
+let num_buckets = num_exp * sub_octaves
+
+(* gamma = 2^(1/4); boundaries of the sub-buckets inside one octave of
+   the mantissa range [0.5, 1). *)
+let gamma = Float.exp (Float.log 2.0 /. float_of_int sub_octaves)
+
+let sub_bound_1 = 0.5 *. gamma
+
+let sub_bound_2 = 0.5 *. gamma *. gamma
+
+let sub_bound_3 = 0.5 *. gamma *. gamma *. gamma
+
+let bucket_index v =
+  let m, e = Float.frexp v in
+  let e = if e < min_exp then min_exp else if e >= min_exp + num_exp then min_exp + num_exp - 1 else e in
+  let sub =
+    if m < sub_bound_1 then 0 else if m < sub_bound_2 then 1 else if m < sub_bound_3 then 2 else 3
+  in
+  ((e - min_exp) * sub_octaves) + sub
+
+(* Geometric midpoint of bucket [i]'s value range. *)
+let bucket_mid i =
+  let e = (i / sub_octaves) + min_exp in
+  let sub = i mod sub_octaves in
+  let lo = Float.ldexp (0.5 *. (gamma ** float_of_int sub)) e in
+  lo *. Float.sqrt gamma
+
+let counter t ?(labels = []) name =
+  if not t.enabled then dummy_counter
+  else
+    let k = key name labels in
+    match Hashtbl.find_opt t.table k with
+    | Some (C c) -> c
+    | Some _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is not a counter" k)
+    | None ->
+        let c = { c = 0 } in
+        Hashtbl.add t.table k (C c);
+        c
+
+let gauge t ?(labels = []) name =
+  if not t.enabled then dummy_gauge
+  else
+    let k = key name labels in
+    match Hashtbl.find_opt t.table k with
+    | Some (G g) -> g
+    | Some _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is not a gauge" k)
+    | None ->
+        let g = { g = 0.0 } in
+        Hashtbl.add t.table k (G g);
+        g
+
+let histogram t ?(labels = []) name =
+  if not t.enabled then dummy_histogram
+  else
+    let k = key name labels in
+    match Hashtbl.find_opt t.table k with
+    | Some (H h) -> h
+    | Some _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is not a histogram" k)
+    | None ->
+        let h =
+          { buckets = Array.make num_buckets 0; count = 0; sum = 0.0; lo = infinity; hi = neg_infinity }
+        in
+        Hashtbl.add t.table k (H h);
+        h
+
+let incr c = c.c <- c.c + 1
+
+let add c n = c.c <- c.c + n
+
+let counter_value c = c.c
+
+let set g v = g.g <- v
+
+let gauge_max g v = if v > g.g then g.g <- v
+
+let gauge_value g = g.g
+
+let observe h v =
+  h.count <- h.count + 1;
+  if Float.is_finite v && v > 0.0 then begin
+    h.sum <- h.sum +. v;
+    if v < h.lo then h.lo <- v;
+    if v > h.hi then h.hi <- v;
+    let i = bucket_index v in
+    if Array.length h.buckets > i then h.buckets.(i) <- h.buckets.(i) + 1
+  end
+  else if v = 0.0 then begin
+    (* zeros land in the lowest bucket so they still count for quantiles *)
+    if 0.0 < h.lo then h.lo <- 0.0;
+    if 0.0 > h.hi then h.hi <- 0.0;
+    if Array.length h.buckets > 0 then h.buckets.(0) <- h.buckets.(0) + 1
+  end
+
+let hist_count h = h.count
+
+let hist_sum h = h.sum
+
+let bucketed_total h = Array.fold_left ( + ) 0 h.buckets
+
+let quantile h q =
+  let total = bucketed_total h in
+  if total = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = int_of_float (Float.round (q *. float_of_int total)) in
+    let target = if target < 1 then 1 else target in
+    let acc = ref 0 and result = ref h.hi in
+    (try
+       for i = 0 to Array.length h.buckets - 1 do
+         acc := !acc + h.buckets.(i);
+         if !acc >= target then begin
+           result := bucket_mid i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* clamp the midpoint estimate into the observed range *)
+    let r = !result in
+    if h.lo <= h.hi then Float.max h.lo (Float.min h.hi r) else r
+  end
+
+let json_of_instrument = function
+  | C c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int c.c) ]
+  | G g -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float g.g) ]
+  | H h ->
+      let empty = bucketed_total h = 0 in
+      Json.Obj
+        [
+          ("type", Json.String "histogram");
+          ("count", Json.Int h.count);
+          ("sum", Json.Float h.sum);
+          ("min", Json.Float (if empty then 0.0 else h.lo));
+          ("max", Json.Float (if empty then 0.0 else h.hi));
+          ("p50", Json.Float (quantile h 0.50));
+          ("p90", Json.Float (quantile h 0.90));
+          ("p99", Json.Float (quantile h 0.99));
+        ]
+
+let to_json t =
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] in
+  let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
+  Json.Obj (List.map (fun (k, v) -> (k, json_of_instrument v)) entries)

@@ -1,0 +1,66 @@
+(** Metrics registry: counters, gauges, and log-bucketed histograms.
+
+    Instruments are looked up (or created) once by [(name, labels)] and
+    the returned handle is kept by the instrumented code, so recording on
+    the hot path is a single mutable-field update — no hashing, no
+    allocation.
+
+    A registry created with [enabled:false] (or the shared {!disabled}
+    instance) hands out dummy instruments: recording into them is a store
+    into a shared scratch cell, and {!to_json} renders an empty registry.
+    Hot paths that want to skip even that store can branch on
+    {!is_enabled} once at setup. *)
+
+type t
+
+type counter
+
+type gauge
+
+type histogram
+
+val create : enabled:bool -> t
+
+val disabled : t
+(** Shared always-off registry; its instruments are inert. *)
+
+val is_enabled : t -> bool
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+(** Find-or-create.  Same [(name, labels)] returns the same handle. *)
+
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+
+val histogram : t -> ?labels:(string * string) list -> string -> histogram
+(** Log-bucketed: 4 sub-buckets per octave (~12% relative accuracy). *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+
+val gauge_max : gauge -> float -> unit
+(** Keep the maximum of the recorded values. *)
+
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Record a sample.  Non-finite and negative samples count in [count]
+    but not in any bucket. *)
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] with [q] in [0,1]: approximate value below which a
+    fraction [q] of samples fall (bucket-midpoint interpolation).  0.0
+    when empty. *)
+
+val to_json : t -> Json.t
+(** Deterministic export: instruments sorted by name then labels.
+    Counters/gauges carry their value; histograms carry count, sum,
+    min/max and p50/p90/p99. *)

@@ -1,0 +1,22 @@
+module Json = Json
+module Clock = Clock
+module Metrics = Metrics
+module Span = Span
+module Chrome = Chrome
+module Report = Report
+
+type t = { on : bool; metrics : Metrics.t; spans : Span.t }
+
+let create () = { on = true; metrics = Metrics.create ~enabled:true; spans = Span.create ~enabled:true }
+
+let disabled = { on = false; metrics = Metrics.disabled; spans = Span.disabled }
+
+let enabled t = t.on
+
+let metrics t = t.metrics
+
+let spans t = t.spans
+
+let set_clock t clock = Span.set_clock t.spans clock
+
+let now t = Span.now t.spans

@@ -1,0 +1,41 @@
+(** Telemetry context for a run.
+
+    [Obs.t] bundles a metrics registry and a span recorder behind one
+    on/off switch.  Every subsystem takes an optional [?obs] argument
+    defaulting to {!disabled}; the disabled context hands out inert
+    instruments and never records a span, so instrumented code costs a
+    few predictable branches when telemetry is off (verified by the
+    [obs] micro-bench).
+
+    The embedding run owns the clock: grid runs point it at virtual
+    simulation time (making traces deterministic per seed), sequential
+    runs leave the default CPU clock. *)
+
+module Json = Json
+module Clock = Clock
+module Metrics = Metrics
+module Span = Span
+module Chrome = Chrome
+module Report = Report
+
+type t
+
+val create : unit -> t
+(** A live context (metrics + spans enabled), clocked by {!Clock.now}
+    until {!set_clock}. *)
+
+val disabled : t
+(** The shared inert context. *)
+
+val enabled : t -> bool
+
+val metrics : t -> Metrics.t
+
+val spans : t -> Span.t
+
+val set_clock : t -> (unit -> float) -> unit
+(** Point span timestamps at a custom time source (e.g. virtual
+    simulation time). *)
+
+val now : t -> float
+(** Current time on this context's clock. *)

@@ -1,0 +1,122 @@
+let schema = "gridsat-report/1"
+
+let span_summary spans =
+  let cats : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Span.span) ->
+      let n, dur =
+        match Hashtbl.find_opt cats s.cat with
+        | Some cell -> cell
+        | None ->
+            let cell = (ref 0, ref 0.0) in
+            Hashtbl.add cats s.cat cell;
+            cell
+      in
+      incr n;
+      if s.kind = Span.Complete then dur := !dur +. (s.stop -. s.start))
+    spans;
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) cats [] in
+  let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
+  List.map
+    (fun (cat, (n, dur)) ->
+      (cat, Json.Obj [ ("count", Json.Int !n); ("seconds", Json.Float !dur) ]))
+    entries
+
+let build ?(meta = []) ?(sections = []) ~metrics ~spans () =
+  let span_obj =
+    Json.Obj
+      (( "count", Json.Int (Span.count spans) )
+      :: ("dropped", Json.Int (Span.dropped spans))
+      :: [ ("by_category", Json.Obj (span_summary (Span.spans spans))) ])
+  in
+  Json.Obj
+    ([ ("schema", Json.String schema); ("meta", Json.Obj meta) ]
+    @ [ ("metrics", Metrics.to_json metrics); ("spans", span_obj) ]
+    @ sections)
+
+let validate doc =
+  match Json.member "schema" doc with
+  | Some (Json.String s) when s = schema -> (
+      match (Json.member "metrics" doc, Json.member "spans" doc) with
+      | Some (Json.Obj _), Some (Json.Obj _) -> Ok ()
+      | Some (Json.Obj _), _ -> Error "spans is not an object"
+      | _, _ -> Error "metrics is not an object")
+  | Some (Json.String s) -> Error (Printf.sprintf "unrecognised schema %S (expected %S)" s schema)
+  | Some _ -> Error "schema tag is not a string"
+  | None -> Error "missing schema tag"
+
+(* ---------- human summary ---------- *)
+
+let buf_addf buf fmt = Printf.ksprintf (Buffer.add_string buf) fmt
+
+let scalar_to_string = function
+  | Json.Null -> "null"
+  | Json.Bool b -> string_of_bool b
+  | Json.Int i -> string_of_int i
+  | Json.Float f -> Json.float_repr f
+  | Json.String s -> s
+  | (Json.List _ | Json.Obj _) as v -> Json.to_string v
+
+let summary doc =
+  let buf = Buffer.create 1024 in
+  buf_addf buf "gridsat run report\n";
+  (match Json.member "meta" doc with
+  | Some (Json.Obj meta) when meta <> [] ->
+      List.iter (fun (k, v) -> buf_addf buf "  %-22s %s\n" k (scalar_to_string v)) meta
+  | _ -> ());
+  (match Json.member "run" doc with
+  | Some (Json.Obj run) ->
+      buf_addf buf "run:\n";
+      List.iter (fun (k, v) -> buf_addf buf "  %-22s %s\n" k (scalar_to_string v)) run
+  | _ -> ());
+  (match Json.member "solver" doc with
+  | Some (Json.Obj solver) ->
+      buf_addf buf "solver totals:\n";
+      List.iter (fun (k, v) -> buf_addf buf "  %-22s %s\n" k (scalar_to_string v)) solver
+  | _ -> ());
+  (match Json.member "metrics" doc with
+  | Some (Json.Obj metrics) when metrics <> [] ->
+      buf_addf buf "metrics (%d instruments):\n" (List.length metrics);
+      List.iter
+        (fun (name, v) ->
+          match Json.member "type" v with
+          | Some (Json.String "counter") | Some (Json.String "gauge") ->
+              let value = Option.value ~default:Json.Null (Json.member "value" v) in
+              buf_addf buf "  %-38s %s\n" name (scalar_to_string value)
+          | Some (Json.String "histogram") ->
+              let f k = Option.value ~default:Json.Null (Json.member k v) in
+              buf_addf buf "  %-38s n=%s p50=%s p90=%s p99=%s max=%s\n" name
+                (scalar_to_string (f "count"))
+                (scalar_to_string (f "p50"))
+                (scalar_to_string (f "p90"))
+                (scalar_to_string (f "p99"))
+                (scalar_to_string (f "max"))
+          | _ -> buf_addf buf "  %-38s %s\n" name (Json.to_string v))
+        metrics
+  | _ -> buf_addf buf "metrics: (none recorded)\n");
+  (match Json.member "spans" doc with
+  | Some spans ->
+      let count = Option.value ~default:Json.Null (Json.member "count" spans) in
+      let dropped = Option.value ~default:(Json.Int 0) (Json.member "dropped" spans) in
+      buf_addf buf "spans: %s recorded, %s dropped\n" (scalar_to_string count)
+        (scalar_to_string dropped);
+      (match Json.member "by_category" spans with
+      | Some (Json.Obj cats) ->
+          List.iter
+            (fun (cat, v) ->
+              let f k = Option.value ~default:Json.Null (Json.member k v) in
+              buf_addf buf "  %-22s count=%s seconds=%s\n" cat
+                (scalar_to_string (f "count"))
+                (scalar_to_string (f "seconds")))
+            cats
+      | _ -> ())
+  | None -> ());
+  (match Json.member "timeline" doc with
+  | Some tl ->
+      let f k = Option.value ~default:Json.Null (Json.member k tl) in
+      buf_addf buf "timeline: peak=%s avg=%s client_seconds=%s\n"
+        (scalar_to_string (f "peak"))
+        (scalar_to_string (f "average"))
+        (scalar_to_string (f "client_seconds"))
+  | None -> ());
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Aggregated run report.
+
+    One JSON document merging the metrics registry, a summary of the
+    span tree, and any caller-supplied sections (solver stats, timeline
+    busy-curve, run outcome).  The document is self-describing via a
+    [schema] tag so [gridsat report] can refuse files it does not
+    understand. *)
+
+val schema : string
+(** Current schema tag ("gridsat-report/1"). *)
+
+val build :
+  ?meta:(string * Json.t) list ->
+  ?sections:(string * Json.t) list ->
+  metrics:Metrics.t ->
+  spans:Span.t ->
+  unit ->
+  Json.t
+(** Assemble the document: [schema], [meta], [metrics], a [spans]
+    summary (count, dropped, per-category durations), then the extra
+    [sections] in the given order. *)
+
+val validate : Json.t -> (unit, string) result
+(** Structural check: schema tag present and recognised, [metrics] an
+    object, [spans] a summary object. *)
+
+val summary : Json.t -> string
+(** Human terminal rendering of a report document: meta lines, notable
+    counters, histogram quantiles, span category totals, and any
+    [run]/[solver] sections it finds. *)

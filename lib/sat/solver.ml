@@ -107,6 +107,18 @@ type t = {
   mutable last_simplify_trail : int; (* root trail size at last simplification *)
   mutable proof_rev : Drup.step list; (* DRUP proof, newest step first *)
   rng : Random.State.t;
+  (* telemetry: [obs_on] is the single hot-path guard; the instrument
+     handles are resolved once at construction so recording is a mutable
+     store, never a registry lookup *)
+  obs : Obs.t;
+  obs_on : bool;
+  obs_tid : int;
+  mutable obs_parent : Obs.Span.id; (* span to parent solver phases under *)
+  h_bcp : Obs.Metrics.histogram;
+  c_decisions : Obs.Metrics.counter;
+  c_conflicts : Obs.Metrics.counter;
+  c_learned : Obs.Metrics.counter;
+  c_restarts : Obs.Metrics.counter;
 }
 
 let nvars t = t.nvars
@@ -118,6 +130,8 @@ let n_learned t = Vec.size t.learnts
 let is_ok t = t.ok
 
 let stats t = t.stats
+
+let set_obs_parent t sid = t.obs_parent <- sid
 
 (* Accounting: 48 bytes of per-clause overhead + 8 per literal slot. *)
 let db_bytes t = (48 * t.n_active_clauses) + (8 * t.db_lits)
@@ -229,7 +243,7 @@ let backtrack t level =
 (* ---------- propagation ---------- *)
 
 let propagate t =
-  let start = Sys.time () in
+  let start = Obs.Clock.now () in
   let confl = ref None in
   let conflicted = ref false in
   while (not !conflicted) && t.qhead < Vec.size t.trail do
@@ -286,7 +300,9 @@ let propagate t =
     done;
     Vec.shrink ws !j
   done;
-  t.stats.bcp_seconds <- t.stats.bcp_seconds +. (Sys.time () -. start);
+  let dt = Obs.Clock.now () -. start in
+  t.stats.bcp_seconds <- t.stats.bcp_seconds +. dt;
+  if t.obs_on then Obs.Metrics.observe t.h_bcp dt;
   !confl
 
 (* ---------- conflict analysis (FirstUIP) ---------- *)
@@ -413,6 +429,7 @@ let record_share t lits =
 let record_learned t lits =
   log_proof t (Drup.Add (Array.copy lits));
   t.stats.learned <- t.stats.learned + 1;
+  if t.obs_on then Obs.Metrics.incr t.c_learned;
   t.stats.learned_literals <- t.stats.learned_literals + Array.length lits;
   record_share t lits;
   Array.iter (bump_lit t) lits;
@@ -473,6 +490,13 @@ let clause_locked t c =
   && not (var_unknown t v)
 
 let reduce_db t =
+  let sp =
+    if t.obs_on then
+      Obs.Span.enter (Obs.spans t.obs) ~parent:t.obs_parent ~tid:t.obs_tid ~cat:"solver"
+        ~args:[ ("learnts", Obs.Json.Int (Vec.size t.learnts)) ]
+        "reduce_db"
+    else Obs.Span.none
+  in
   let live = Vec.fold (fun acc c -> if c.deleted then acc else c :: acc) [] t.learnts in
   let arr = Array.of_list live in
   Array.sort (fun a b -> Float.compare a.activity b.activity) arr;
@@ -489,7 +513,9 @@ let reduce_db t =
   (* compact the learnts vector *)
   let keep = List.rev (Vec.fold (fun acc c -> if c.deleted then acc else c :: acc) [] t.learnts) in
   Vec.clear t.learnts;
-  List.iter (Vec.push t.learnts) keep
+  List.iter (Vec.push t.learnts) keep;
+  if t.obs_on then
+    Obs.Span.exit (Obs.spans t.obs) sp ~args:[ ("deleted", Obs.Json.Int !removed) ]
 
 (* ---------- root-level simplification (the paper's pruning pass) ---------- *)
 
@@ -539,6 +565,13 @@ let compact_clause_vec vec =
 
 let simplify_db t =
   assert (decision_level t = 0);
+  let sp =
+    if t.obs_on then
+      Obs.Span.enter (Obs.spans t.obs) ~parent:t.obs_parent ~tid:t.obs_tid ~cat:"solver"
+        ~args:[ ("root_lits", Obs.Json.Int (Vec.size t.trail)) ]
+        "simplify_db"
+    else Obs.Span.none
+  in
   (* Root-assigned variables never participate in conflict analysis, so
      their antecedents may be forgotten before clauses are deleted. *)
   Vec.iter (fun l -> t.reasons.(T.var l) <- None) t.trail;
@@ -548,7 +581,8 @@ let simplify_db t =
   compact_clause_vec t.learnts;
   rebuild_watches t;
   t.last_simplify_trail <- Vec.size t.trail;
-  t.stats.root_simplifications <- t.stats.root_simplifications + 1
+  t.stats.root_simplifications <- t.stats.root_simplifications + 1;
+  if t.obs_on then Obs.Span.exit (Obs.spans t.obs) sp
 
 (* ---------- foreign clause merging (paper Section 3.2, four cases) ---------- *)
 
@@ -558,6 +592,15 @@ let queue_foreign_clauses t cs = List.iter (fun c -> Queue.push c t.pending_fore
 
 let merge_foreign t =
   assert (decision_level t = 0);
+  let batch = Queue.length t.pending_foreign in
+  let sp =
+    if t.obs_on && batch > 0 then
+      Obs.Span.enter (Obs.spans t.obs) ~parent:t.obs_parent ~tid:t.obs_tid ~cat:"solver"
+        ~args:[ ("pending", Obs.Json.Int batch) ]
+        "merge_foreign"
+    else Obs.Span.none
+  in
+  let merged0 = t.stats.foreign_merged in
   while t.ok && not (Queue.is_empty t.pending_foreign) do
     let lits = Queue.pop t.pending_foreign in
     match install_clause_root t ~learned:true ~activity:t.cla_inc lits with
@@ -565,7 +608,10 @@ let merge_foreign t =
     | `Conflict -> () (* all literals false: the subproblem is unsatisfiable *)
     | `Implication -> t.stats.foreign_implications <- t.stats.foreign_implications + 1
     | `Added -> t.stats.foreign_merged <- t.stats.foreign_merged + 1
-  done
+  done;
+  if t.obs_on && batch > 0 then
+    Obs.Span.exit (Obs.spans t.obs) sp
+      ~args:[ ("merged", Obs.Json.Int (t.stats.foreign_merged - merged0)) ]
 
 (* ---------- shares export ---------- *)
 
@@ -614,6 +660,7 @@ let decide t =
       Vec.push t.trail_lim (Vec.size t.trail);
       enqueue t l None;
       t.stats.decisions <- t.stats.decisions + 1;
+      if t.obs_on then Obs.Metrics.incr t.c_decisions;
       if decision_level t > t.stats.max_decision_level then
         t.stats.max_decision_level <- decision_level t;
       true
@@ -636,14 +683,23 @@ let restart t =
     | Luby -> t.cfg.restart_base * luby t.luby_index
     | Geometric factor -> max 1 (int_of_float (float_of_int t.restart_limit *. factor))
     | Fixed -> t.cfg.restart_base));
-  t.stats.restarts <- t.stats.restarts + 1
+  t.stats.restarts <- t.stats.restarts + 1;
+  if t.obs_on then begin
+    Obs.Metrics.incr t.c_restarts;
+    ignore
+      (Obs.Span.instant (Obs.spans t.obs) ~parent:t.obs_parent ~tid:t.obs_tid ~cat:"solver"
+         ~args:[ ("restarts", Obs.Json.Int t.stats.restarts) ]
+         "restart")
+  end
 
 (* ---------- construction ---------- *)
 
-let create_internal cfg cnf ~facts ~assumptions =
+let create_internal cfg cnf ~obs ~obs_tid ~facts ~assumptions =
   let nvars = Cnf.nvars cnf in
   let score = Array.make (2 * (nvars + 1)) 0. in
   let order = Heap.create ~nvars ~gt:(fun a b -> var_score score a > var_score score b) in
+  let m = Obs.metrics obs in
+  let labels = [ ("client", string_of_int obs_tid) ] in
   let t =
     {
       cfg;
@@ -678,6 +734,15 @@ let create_internal cfg cnf ~facts ~assumptions =
       last_simplify_trail = 0;
       proof_rev = [];
       rng = Random.State.make [| cfg.seed; nvars; Cnf.nclauses cnf |];
+      obs;
+      obs_on = Obs.enabled obs;
+      obs_tid;
+      obs_parent = Obs.Span.none;
+      h_bcp = Obs.Metrics.histogram m ~labels "solver.bcp.seconds";
+      c_decisions = Obs.Metrics.counter m ~labels "solver.decisions";
+      c_conflicts = Obs.Metrics.counter m ~labels "solver.conflicts";
+      c_learned = Obs.Metrics.counter m ~labels "solver.learned";
+      c_restarts = Obs.Metrics.counter m ~labels "solver.restarts";
     }
   in
   for v = 1 to nvars do
@@ -699,10 +764,12 @@ let create_internal cfg cnf ~facts ~assumptions =
   if t.ok then (match propagate t with Some _ -> t.ok <- false | None -> ());
   t
 
-let create ?(config = default_config) cnf = create_internal config cnf ~facts:[] ~assumptions:[]
+let create ?(config = default_config) ?(obs = Obs.disabled) ?(obs_tid = Obs.Span.run_tid) cnf =
+  create_internal config cnf ~obs ~obs_tid ~facts:[] ~assumptions:[]
 
-let create_with_roots ?(config = default_config) ?(facts = []) cnf assumptions =
-  create_internal config cnf ~facts ~assumptions
+let create_with_roots ?(config = default_config) ?(obs = Obs.disabled)
+    ?(obs_tid = Obs.Span.run_tid) ?(facts = []) cnf assumptions =
+  create_internal config cnf ~obs ~obs_tid ~facts ~assumptions
 
 (* ---------- model extraction ---------- *)
 
@@ -730,6 +797,7 @@ let learned_cap t =
 
 let handle_conflict t confl =
   t.stats.conflicts <- t.stats.conflicts + 1;
+  if t.obs_on then Obs.Metrics.incr t.c_conflicts;
   t.conflicts_since_restart <- t.conflicts_since_restart + 1;
   if decision_level t = 0 then begin
     log_proof t (Drup.Add [||]);
@@ -748,7 +816,7 @@ let handle_conflict t confl =
 let over_mem_limit t = db_bytes t > t.cfg.mem_limit_bytes
 
 let run t ~budget =
-  let start = Sys.time () in
+  let start = Obs.Clock.now () in
   let start_props = t.stats.propagations in
   let result = ref None in
   while !result = None do
@@ -783,7 +851,7 @@ let run t ~budget =
             else if not (decide t) then result := Some (Sat (extract_model t))
     end
   done;
-  t.stats.total_seconds <- t.stats.total_seconds +. (Sys.time () -. start);
+  t.stats.total_seconds <- t.stats.total_seconds +. (Obs.Clock.now () -. start);
   match !result with Some r -> r | None -> assert false
 
 let solve ?(budget = max_int) t = run t ~budget

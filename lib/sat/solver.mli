@@ -62,11 +62,14 @@ type config = {
 
 val default_config : config
 
-val create : ?config:config -> Cnf.t -> t
+val create : ?config:config -> ?obs:Obs.t -> ?obs_tid:int -> Cnf.t -> t
 (** Builds a solver over the formula.  Unit clauses are asserted at the
-    root level and propagated immediately. *)
+    root level and propagated immediately.  [obs] (default
+    [Obs.disabled]) receives per-solver metrics and phase spans; [obs_tid]
+    is the telemetry track — the owning client's id in grid runs. *)
 
-val create_with_roots : ?config:config -> ?facts:Types.lit list -> Cnf.t -> Types.lit list -> t
+val create_with_roots :
+  ?config:config -> ?obs:Obs.t -> ?obs_tid:int -> ?facts:Types.lit list -> Cnf.t -> Types.lit list -> t
 (** [create_with_roots ~facts cnf path] asserts two kinds of literals at
     decision level 0 — this is how a client instantiates a received
     subproblem (root assignments + clause set):
@@ -91,6 +94,10 @@ val solve : ?budget:int -> t -> outcome
 (** Convenience wrapper: runs with a very large (or given) budget. *)
 
 val stats : t -> Stats.t
+
+val set_obs_parent : t -> Obs.Span.id -> unit
+(** Parent subsequent solver phase spans (reduce-DB, simplify, merges)
+    under the given span — the client's per-subproblem solve span. *)
 
 val nvars : t -> int
 

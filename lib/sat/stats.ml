@@ -58,11 +58,37 @@ let bcp_fraction t = if t.total_seconds <= 0. then 0. else t.bcp_seconds /. t.to
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>decisions       %d@,propagations    %d@,conflicts       %d@,\
-     learned         %d (avg len %.1f)@,deleted         %d@,restarts        %d@,\
-     max level       %d@,root simplif.   %d@,foreign merged  %d (+%d impl, -%d drop)@,\
-     bcp fraction    %.1f%%@]"
-    t.decisions t.propagations t.conflicts t.learned (avg_learned_length t) t.deleted
-    t.restarts t.max_decision_level t.root_simplifications t.foreign_merged
-    t.foreign_implications t.foreign_discarded
+    "@[<v>decisions            %d@,propagations         %d@,conflicts            %d@,\
+     learned              %d (avg len %.1f)@,learned literals     %d@,\
+     deleted              %d@,restarts             %d@,max level            %d@,\
+     root simplifications %d@,foreign merged       %d@,foreign implications %d@,\
+     foreign discarded    %d@,bcp seconds          %.3f@,total seconds        %.3f@,\
+     bcp fraction         %.1f%%@]"
+    t.decisions t.propagations t.conflicts t.learned (avg_learned_length t)
+    t.learned_literals t.deleted t.restarts t.max_decision_level t.root_simplifications
+    t.foreign_merged t.foreign_implications t.foreign_discarded t.bcp_seconds
+    t.total_seconds
     (100. *. bcp_fraction t)
+
+let json t =
+  Obs.Json.Obj
+    [
+      ("decisions", Obs.Json.Int t.decisions);
+      ("propagations", Obs.Json.Int t.propagations);
+      ("conflicts", Obs.Json.Int t.conflicts);
+      ("learned", Obs.Json.Int t.learned);
+      ("learned_literals", Obs.Json.Int t.learned_literals);
+      ("deleted", Obs.Json.Int t.deleted);
+      ("restarts", Obs.Json.Int t.restarts);
+      ("max_decision_level", Obs.Json.Int t.max_decision_level);
+      ("root_simplifications", Obs.Json.Int t.root_simplifications);
+      ("foreign_merged", Obs.Json.Int t.foreign_merged);
+      ("foreign_discarded", Obs.Json.Int t.foreign_discarded);
+      ("foreign_implications", Obs.Json.Int t.foreign_implications);
+      ("bcp_seconds", Obs.Json.Float t.bcp_seconds);
+      ("total_seconds", Obs.Json.Float t.total_seconds);
+      ("avg_learned_length", Obs.Json.Float (avg_learned_length t));
+      ("bcp_fraction", Obs.Json.Float (bcp_fraction t));
+    ]
+
+let to_json t = Obs.Json.to_string (json t)

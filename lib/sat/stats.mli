@@ -1,9 +1,9 @@
 (** Mutable counters describing a solver run.
 
     [bcp_seconds] / [total_seconds] back the paper's Section 2.4 claim that
-    Boolean constraint propagation dominates run time (measured with
-    [Sys.time] at propagation-call granularity, so the cost of the
-    instrumentation itself is negligible). *)
+    Boolean constraint propagation dominates run time (measured with the
+    monotonic [Obs.Clock] at propagation-call granularity, so the cost of
+    the instrumentation itself is negligible). *)
 
 type t = {
   mutable decisions : int;
@@ -36,3 +36,11 @@ val bcp_fraction : t -> float
     time was recorded. *)
 
 val pp : Format.formatter -> t -> unit
+(** Print every field (counters, timings, and the derived averages). *)
+
+val json : t -> Obs.Json.t
+(** All fields plus [avg_learned_length]/[bcp_fraction], for embedding
+    in the run report. *)
+
+val to_json : t -> string
+(** [json] rendered compactly. *)

@@ -266,7 +266,7 @@ let test_refutation_tombstone_survives_reorder () =
   let open C.Journal in
   let pid = (2, 1) and donor_pid = (1, 1) in
   let path = [ Sat.Types.pos 3 ] and donor_path = [ Sat.Types.neg 3 ] in
-  let j = create ~compact_every:100 in
+  let j = create ~compact_every:100 () in
   append j (Registered { client = 1 });
   append j (Assigned { pid = donor_pid; dst = 1; path = [] });
   append j (Refuted { pid });
@@ -280,7 +280,7 @@ let test_refutation_tombstone_survives_reorder () =
   check bool "tombstone recorded" true (Hashtbl.mem st.refuted pid);
   check bool "donor branch unaffected" true (Hashtbl.mem st.live donor_pid);
   (* the gate must also hold across compaction into the snapshot *)
-  let j2 = create ~compact_every:2 in
+  let j2 = create ~compact_every:2 () in
   append j2 (Refuted { pid });
   append j2 (Adopted { pid; client = 5; path });
   append j2 (Started { pid; client = 5 });

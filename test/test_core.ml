@@ -913,7 +913,16 @@ let test_timeline_chart_renders () =
   let chart = C.Timeline.ascii_chart ~width:30 ~height:5 curve in
   check bool "chart nonempty" true (String.length chart > 0);
   check bool "has bars" true (String.contains chart '#');
-  check bool "empty curve handled" true (C.Timeline.ascii_chart [] = "(empty timeline)\n")
+  check bool "empty curve handled" true (C.Timeline.ascii_chart [] = "(no data)\n");
+  (* a single-point curve has no elapsed time: defined no-data output,
+     zero average, zero integral *)
+  let point = [ (3., 1) ] in
+  let chart = C.Timeline.ascii_chart point in
+  check bool "single point renders no-data" true
+    (String.length chart > 0 && chart.[0] = '(' && String.contains chart ')');
+  check (Alcotest.float 1e-9) "single point average" 0. (C.Timeline.average point);
+  check (Alcotest.float 1e-9) "empty average" 0. (C.Timeline.average []);
+  check (Alcotest.float 1e-9) "single point integral" 0. (C.Timeline.client_seconds point)
 
 (* ---------- the answer-correctness property ---------- *)
 

@@ -1,0 +1,307 @@
+(* The observability layer: metrics registry, span recorder, exporters.
+
+   The load-bearing properties: histogram quantiles are accurate to the
+   bucket resolution on known distributions, span parent/child nesting
+   is preserved across processes, the Chrome trace export is
+   byte-deterministic under a deterministic clock (golden-file test),
+   and the run report round-trips through the JSON parser. *)
+
+open Alcotest
+module J = Obs.Json
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+module M = Obs.Metrics
+module S = Obs.Span
+
+(* ---------- JSON ---------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [
+        ("null", J.Null);
+        ("flag", J.Bool true);
+        ("n", J.Int (-42));
+        ("x", J.Float 2.5);
+        ("big", J.Float 1e300);
+        ("s", J.String "a \"quoted\" line\nwith unicode \xe2\x86\x92");
+        ("l", J.List [ J.Int 1; J.List []; J.Obj [] ]);
+      ]
+  in
+  match J.of_string (J.to_string doc) with
+  | Ok doc' -> check string "roundtrip" (J.to_string doc) (J.to_string doc')
+  | Error e -> fail e
+
+let test_json_parse_errors () =
+  let bad s =
+    match J.of_string s with Ok _ -> fail (s ^ " should not parse") | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1,}";
+  bad "tru";
+  bad "1 2";
+  bad "\"unterminated";
+  (match J.of_string "  [1, 2e3, {\"k\": null}] " with
+  | Ok _ -> ()
+  | Error e -> fail e);
+  match J.of_string "\"\\u00e9\\u2192\"" with
+  | Ok (J.String s) -> check string "utf8 escapes" "\xc3\xa9\xe2\x86\x92" s
+  | Ok _ -> fail "wrong shape"
+  | Error e -> fail e
+
+let test_json_float_repr () =
+  check string "integral floats stay integral" "[1,2,-0]"
+    (J.to_string (J.List [ J.Float 1.0; J.Float 2.0; J.Float (-0.) ]));
+  check string "nan is null" "null" (J.to_string (J.Float Float.nan));
+  check string "fractions are shortest-ish" "0.1" (J.to_string (J.Float 0.1))
+
+(* ---------- histogram quantiles ---------- *)
+
+(* Log buckets with 4 sub-buckets/octave have ~12% relative width; allow
+   a generous 20% relative error against the exact quantile. *)
+let check_rel name expected got =
+  let err = Float.abs (got -. expected) /. Float.max 1e-9 (Float.abs expected) in
+  if err > 0.20 then
+    failf "%s: expected ~%g, got %g (err %.1f%%)" name expected got (100. *. err)
+
+let test_histogram_uniform () =
+  let m = M.create ~enabled:true in
+  let h = M.histogram m "u" in
+  for i = 1 to 10_000 do
+    M.observe h (float_of_int i)
+  done;
+  check int "count" 10_000 (M.hist_count h);
+  check_rel "p50" 5_000. (M.quantile h 0.5);
+  check_rel "p90" 9_000. (M.quantile h 0.9);
+  check_rel "p99" 9_900. (M.quantile h 0.99);
+  (* quantiles are clamped to the observed range *)
+  check_rel "p0 near min" 1. (M.quantile h 0.);
+  check (float 1e-9) "p100 is max" 10_000. (M.quantile h 1.)
+
+let test_histogram_exponential () =
+  let m = M.create ~enabled:true in
+  let h = M.histogram m "e" in
+  (* deterministic inverse-CDF sampling of Exp(1): x_i = -ln(1 - u_i) *)
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    let u = (float_of_int i +. 0.5) /. float_of_int n in
+    M.observe h (-.Float.log (1. -. u))
+  done;
+  check_rel "p50" (Float.log 2.) (M.quantile h 0.5);
+  check_rel "p90" (Float.log 10.) (M.quantile h 0.9);
+  check_rel "p99" (Float.log 100.) (M.quantile h 0.99)
+
+let test_histogram_point_mass () =
+  let m = M.create ~enabled:true in
+  let h = M.histogram m "p" in
+  for _ = 1 to 100 do
+    M.observe h 7.25
+  done;
+  check_rel "p50" 7.25 (M.quantile h 0.5);
+  check_rel "p99" 7.25 (M.quantile h 0.99);
+  check (float 1e-9) "sum" 725. (M.hist_sum h)
+
+let test_histogram_edge_samples () =
+  let m = M.create ~enabled:true in
+  let h = M.histogram m "edge" in
+  M.observe h 0.;
+  M.observe h Float.nan;
+  M.observe h (-3.);
+  M.observe h Float.infinity;
+  check int "all samples counted" 4 (M.hist_count h);
+  check (float 1e-9) "empty quantile" 0. (M.quantile (M.histogram m "empty") 0.5)
+
+let test_metrics_registry () =
+  let m = M.create ~enabled:true in
+  let c1 = M.counter m ~labels:[ ("client", "1") ] "x" in
+  let c1' = M.counter m ~labels:[ ("client", "1") ] "x" in
+  let c2 = M.counter m ~labels:[ ("client", "2") ] "x" in
+  M.incr c1;
+  M.add c1' 2;
+  M.incr c2;
+  check int "same handle" 3 (M.counter_value c1);
+  check int "distinct labels" 1 (M.counter_value c2);
+  let g = M.gauge m "g" in
+  M.gauge_max g 5.;
+  M.gauge_max g 3.;
+  check (float 1e-9) "gauge_max keeps max" 5. (M.gauge_value g);
+  (* disabled registry: inert instruments, empty export *)
+  let d = M.counter M.disabled "y" in
+  M.incr d;
+  check string "disabled exports empty" "{}" (J.to_string (M.to_json M.disabled))
+
+(* ---------- span nesting ---------- *)
+
+let test_span_nesting () =
+  let r = S.create ~enabled:true in
+  let t = ref 0.0 in
+  S.set_clock r (fun () -> !t);
+  let root = S.enter r ~tid:S.master_tid ~cat:"master" "root" in
+  t := 1.0;
+  let child = S.enter r ~parent:root ~tid:1 ~cat:"client" "solve" in
+  t := 2.0;
+  let leaf = S.instant r ~parent:child ~tid:1 ~cat:"solver" "restart" in
+  t := 5.0;
+  S.exit r child ~args:[ ("outcome", J.String "unsat") ];
+  t := 6.0;
+  S.exit r root;
+  check int "three spans" 3 (S.count r);
+  let get id = match S.find r id with Some s -> s | None -> fail "span lost" in
+  check int "child -> root" root (get child).S.parent;
+  check int "leaf -> child" child (get leaf).S.parent;
+  check int "root is orphan" S.none (get root).S.parent;
+  let c = get child and p = get root in
+  check bool "child nested in parent" true
+    (c.S.start >= p.S.start && c.S.stop <= p.S.stop);
+  check (float 1e-9) "child duration" 4.0 (c.S.stop -. c.S.start);
+  (* closing twice must not move the stop time *)
+  t := 50.0;
+  S.exit r child;
+  check (float 1e-9) "exit is idempotent" 5.0 (get child).S.stop;
+  (* instants stay zero-width and cannot be exited *)
+  S.exit r leaf;
+  check (float 1e-9) "instant zero width" 0.0 ((get leaf).S.stop -. (get leaf).S.start)
+
+let test_span_disabled () =
+  let r = S.disabled in
+  let id = S.enter r ~cat:"x" "nothing" in
+  check int "disabled returns none" S.none id;
+  S.exit r id;
+  check int "nothing recorded" 0 (S.count r)
+
+(* ---------- Chrome trace export: golden file ---------- *)
+
+let test_chrome_golden () =
+  let r = S.create ~enabled:true in
+  let t = ref 0.0 in
+  S.set_clock r (fun () -> !t);
+  let root = S.enter r ~tid:S.master_tid ~cat:"master" "assign" in
+  t := 0.0015;
+  let s = S.enter r ~parent:root ~tid:3 ~cat:"client" ~args:[ ("pid", J.String "0.1") ] "solve" in
+  t := 0.004;
+  ignore (S.instant r ~parent:s ~tid:3 ~cat:"protocol" "split.donate");
+  t := 0.25;
+  S.exit r s ~args:[ ("outcome", J.String "unsat") ];
+  S.exit r root;
+  let golden =
+    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"gridsat\"}},{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":3,\"args\":{\"name\":\"client 3\"}},{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1000,\"args\":{\"name\":\"master\"}},{\"name\":\"assign\",\"cat\":\"master\",\"pid\":1,\"tid\":1000,\"ts\":0,\"ph\":\"X\",\"dur\":250000,\"args\":{\"sid\":1}},{\"name\":\"solve\",\"cat\":\"client\",\"pid\":1,\"tid\":3,\"ts\":1500,\"ph\":\"X\",\"dur\":248500,\"args\":{\"sid\":2,\"parent\":1,\"pid\":\"0.1\",\"outcome\":\"unsat\"}},{\"name\":\"split.donate\",\"cat\":\"protocol\",\"pid\":1,\"tid\":3,\"ts\":4000,\"ph\":\"i\",\"s\":\"t\",\"args\":{\"sid\":3,\"parent\":2}}]}\n"
+  in
+  check string "golden trace bytes" golden (Obs.Chrome.export_string r);
+  match Obs.Chrome.validate (Obs.Chrome.export r) with
+  | Ok () -> ()
+  | Error e -> fail e
+
+let test_chrome_validate_rejects () =
+  let bad = J.Obj [ ("traceEvents", J.Int 3) ] in
+  (match Obs.Chrome.validate bad with Ok () -> fail "should reject" | Error _ -> ());
+  let bad_ph =
+    J.Obj
+      [
+        ( "traceEvents",
+          J.List [ J.Obj [ ("name", J.String "x"); ("ph", J.String "?"); ("ts", J.Int 0) ] ] );
+      ]
+  in
+  match Obs.Chrome.validate bad_ph with Ok () -> fail "unknown phase" | Error _ -> ()
+
+(* ---------- report ---------- *)
+
+let test_report_build_validate () =
+  let obs = Obs.create () in
+  Obs.Metrics.incr (Obs.Metrics.counter (Obs.metrics obs) "c");
+  ignore (S.instant (Obs.spans obs) ~cat:"master" "tick");
+  let doc =
+    Obs.Report.build
+      ~meta:[ ("mode", J.String "test") ]
+      ~sections:[ ("run", J.Obj [ ("answer", J.String "UNSAT") ]) ]
+      ~metrics:(Obs.metrics obs) ~spans:(Obs.spans obs) ()
+  in
+  (match Obs.Report.validate doc with Ok () -> () | Error e -> fail e);
+  (match J.of_string (J.to_string doc) with
+  | Ok doc' -> check string "report roundtrips" (J.to_string doc) (J.to_string doc')
+  | Error e -> fail e);
+  check bool "summary mentions the answer" true (contains (Obs.Report.summary doc) "UNSAT");
+  match Obs.Report.validate (J.Obj [ ("schema", J.String "other/9") ]) with
+  | Ok () -> fail "wrong schema accepted"
+  | Error _ -> ()
+
+(* ---------- determinism across whole runs ---------- *)
+
+let test_grid_trace_deterministic () =
+  let module C = Gridsat_core in
+  let run () =
+    let obs = Obs.create () in
+    let testbed = C.Testbed.uniform ~n:4 ~speed:2000. () in
+    let config =
+      {
+        C.Config.default with
+        C.Config.split_timeout = 0.5;
+        slice = 0.5;
+        overall_timeout = 10_000.;
+        seed = 7;
+      }
+    in
+    let cnf = Workloads.Php.instance ~pigeons:6 ~holes:5 in
+    let r = C.Gridsat.solve ~config ~obs ~testbed cnf in
+    (Obs.Chrome.export_string (Obs.spans obs), C.Run_report.build ~meta:[ ("seed", J.Int 7) ] ~obs r)
+  in
+  let trace1, doc = run () in
+  let trace2, _ = run () in
+  check string "seeded trace is byte-stable" trace1 trace2;
+  (match Obs.Chrome.validate (match J.of_string trace1 with Ok d -> d | Error e -> fail e) with
+  | Ok () -> ()
+  | Error e -> fail e);
+  (* the report carries metrics from every layer of the run *)
+  (match Obs.Report.validate doc with Ok () -> () | Error e -> fail e);
+  let metrics_names =
+    match J.member "metrics" doc with
+    | Some (J.Obj kvs) -> List.map fst kvs
+    | _ -> fail "metrics section missing"
+  in
+  let has prefix =
+    List.exists
+      (fun n ->
+        String.length n >= String.length prefix && String.sub n 0 (String.length prefix) = prefix)
+      metrics_names
+  in
+  List.iter
+    (fun p -> check bool ("layer metric " ^ p) true (has p))
+    [ "solver."; "client."; "master."; "net."; "reliable."; "journal."; "sim." ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          test_case "roundtrip" `Quick test_json_roundtrip;
+          test_case "parse errors" `Quick test_json_parse_errors;
+          test_case "float repr" `Quick test_json_float_repr;
+        ] );
+      ( "histogram",
+        [
+          test_case "uniform quantiles" `Quick test_histogram_uniform;
+          test_case "exponential quantiles" `Quick test_histogram_exponential;
+          test_case "point mass" `Quick test_histogram_point_mass;
+          test_case "edge samples" `Quick test_histogram_edge_samples;
+          test_case "registry semantics" `Quick test_metrics_registry;
+        ] );
+      ( "span",
+        [
+          test_case "nesting invariants" `Quick test_span_nesting;
+          test_case "disabled recorder" `Quick test_span_disabled;
+        ] );
+      ( "chrome",
+        [
+          test_case "golden export" `Quick test_chrome_golden;
+          test_case "validate rejects" `Quick test_chrome_validate_rejects;
+        ] );
+      ( "report",
+        [ test_case "build/validate/summary" `Quick test_report_build_validate ] );
+      ( "end-to-end",
+        [ test_case "seeded trace deterministic" `Slow test_grid_trace_deterministic ] );
+    ]
