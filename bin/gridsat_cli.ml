@@ -108,7 +108,8 @@ let chaos_plan () =
     F.Duplicate_messages { p = 0.05; extra = 0.5; from_t = 0.; until_t = infinity };
   ]
 
-let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~report ~trace cnf =
+let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify ~corrupt_p ~report
+    ~trace cnf =
   match testbed_of_string ~hosts testbed with
   | Error e ->
       prerr_endline e;
@@ -139,12 +140,36 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~report ~
           }
         else config
       in
+      (* --certify implies its own preconditions: integrity framing on and
+         clause sharing off (Config.validate rejects anything else) *)
+      let config =
+        if certify then
+          { config with Gridsat_core.Config.certify = true; integrity_checks = true; share_max_len = 0 }
+        else config
+      in
       let fault_plan = if chaos then chaos_plan () else [] in
+      let fault_plan =
+        if corrupt_p > 0. then
+          Grid.Fault.Corrupt_messages
+            { src_site = None; dst_site = None; p = corrupt_p; from_t = 0.; until_t = infinity }
+          :: fault_plan
+        else fault_plan
+      in
       let result = Gridsat_core.Gridsat.solve ~config ~fault_plan ~obs ~testbed cnf in
       (match result.Gridsat_core.Master.answer with
       | Gridsat_core.Master.Sat model -> Format.printf "s SATISFIABLE@.v %a@." Sat.Model.pp model
       | Gridsat_core.Master.Unsat -> Format.printf "s UNSATISFIABLE@."
       | Gridsat_core.Master.Unknown why -> Format.printf "s UNKNOWN@.c %s@." why);
+      (if certify then
+         match result.Gridsat_core.Master.answer with
+         | Gridsat_core.Master.Unsat ->
+             Format.printf "c certified UNSAT: %d fragments checked, %d quarantines@."
+               result.Gridsat_core.Master.certified_fragments result.Gridsat_core.Master.quarantines
+         | Gridsat_core.Master.Sat _ -> Format.printf "c certified SAT: model re-evaluated@."
+         | Gridsat_core.Master.Unknown _ -> ());
+      (if corrupt_p > 0. then
+         Format.printf "c corruption: %d payloads detected, %d nacked@."
+           result.Gridsat_core.Master.corrupt_detected result.Gridsat_core.Master.nacks);
       if stats then Format.printf "@.%a@." Gridsat_core.Gridsat.pp_result result;
       emit_telemetry ~report ~trace ~obs (fun () ->
           Gridsat_core.Run_report.build
@@ -153,6 +178,8 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~report ~
                 ("mode", Obs.Json.String "grid");
                 ("seed", Obs.Json.Int seed);
                 ("chaos", Obs.Json.Bool chaos);
+                ("certify", Obs.Json.Bool certify);
+                ("corrupt_p", Obs.Json.Float corrupt_p);
               ]
             ~obs result);
       0
@@ -195,6 +222,21 @@ let solve_cmd =
   let chaos =
     Arg.(value & flag & info [ "chaos" ] ~doc:"arm a canned fault plan (grid mode)")
   in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "certify the answer (grid mode): clients attach DRUP fragments to UNSAT claims, the \
+             master checks each one under its branch's guiding path and quarantines clients whose \
+             answers fail.  Implies integrity framing and disables clause sharing.")
+  in
+  let corrupt_p =
+    Arg.(
+      value & opt float 0.
+      & info [ "corrupt-p" ]
+          ~doc:"probability of corrupting each message payload in flight (grid mode fault injection)")
+  in
   let report =
     Arg.(value & opt (some string) None & info [ "report" ] ~doc:"write the run report JSON here")
   in
@@ -205,7 +247,7 @@ let solve_cmd =
       & info [ "trace" ] ~doc:"write a Chrome trace_event file here (chrome://tracing, Perfetto)")
   in
   let run file mode testbed hosts jobs share_len timeout budget proof stats preprocess seed chaos
-      report trace =
+      certify corrupt_p report trace =
     match read_cnf file with
     | Error e ->
         prerr_endline e;
@@ -214,7 +256,8 @@ let solve_cmd =
         match mode with
         | "seq" -> solve_sequential ~preprocess ~proof_out:proof ~stats ~budget ~report ~trace cnf
         | "grid" ->
-            solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~report ~trace cnf
+            solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify ~corrupt_p
+              ~report ~trace cnf
         | "par" ->
             if report <> None || trace <> None then
               Format.printf "c note: --report/--trace are not wired into par mode@.";
@@ -227,7 +270,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve a DIMACS CNF file")
     Term.(
       const run $ file $ mode $ testbed $ hosts $ jobs $ share_len $ timeout $ budget $ proof
-      $ stats $ preprocess $ seed $ chaos $ report $ trace)
+      $ stats $ preprocess $ seed $ chaos $ certify $ corrupt_p $ report $ trace)
 
 (* ---------- gen ---------- *)
 

@@ -20,10 +20,23 @@ val save : t -> client:int -> mode:Config.checkpoint_mode -> Subproblem.t -> int
 val restore : t -> client:int -> Subproblem.t option
 (** The subproblem to restart from, reconstructed per the stored mode:
     a light checkpoint yields the original clauses plus the saved root
-    assignment; a heavy checkpoint yields the full saved state. *)
+    assignment; a heavy checkpoint yields the full saved state.  A
+    snapshot whose at-rest integrity seal (CRC-32 of its serialised form,
+    taken at save time) no longer matches is discarded and [None] is
+    returned — restoring a rotted root assignment could silently narrow
+    the search space, while [None] sends the caller down the safe
+    lineage re-derivation path. *)
+
+val corrupt_all : t -> unit
+(** Fault injection: rot every stored snapshot at rest, so the next
+    {!restore} of each discards it. *)
 
 val drop : t -> client:int -> unit
 
 val total_bytes : t -> int
 
 val saves : t -> int
+
+val discarded : t -> int
+(** Snapshots discarded on restore because their integrity seal no longer
+    matched. *)

@@ -9,6 +9,9 @@ type callbacks = {
 type solving = {
   solver : Solver.t;
   pid : Protocol.pid;  (* identity of the subproblem being worked on *)
+  origin : Subproblem.t;
+      (* the subproblem exactly as received — certified runs derive every
+         outgoing transfer from it so clause sets stay lineage-pure *)
   span : Obs.Span.id;  (* telemetry span covering this subproblem's solve *)
   started_at : float;
   transfer_time : float;  (* how long the problem took to reach us *)
@@ -66,7 +69,9 @@ let solver_stats t =
   (match t.state with Solving s -> Sat.Stats.add acc (Solver.stats s.solver) | Idle -> ());
   acc
 
-let send_raw t ~dst msg = Grid.Everyware.send t.bus ~src:t.cid ~dst ~bytes:(Protocol.size msg) msg
+let send_raw t ~dst msg =
+  let msg = if t.cfg.Config.integrity_checks then Protocol.frame msg else msg in
+  Grid.Everyware.send t.bus ~src:t.cid ~dst ~bytes:(Protocol.size msg) msg
 
 let reliable t = match t.rel with Some r -> r | None -> assert false
 
@@ -232,7 +237,10 @@ and slice t token =
         | Solver.Unsat ->
             t.callbacks.log (Events.Client_finished_unsat t.cid);
             flush_shares t s;
-            send t ~dst:t.master (Protocol.Finished_unsat { pid = s.pid });
+            let proof =
+              if t.cfg.certify then Some (Sat.Drup.to_string (Solver.proof s.solver)) else None
+            in
+            send t ~dst:t.master (Protocol.Finished_unsat { pid = s.pid; proof });
             finish_problem ~outcome:"unsat" t
         | Solver.Mem_pressure ->
             (* at the hard limit the solver cannot even store new learned
@@ -259,6 +267,7 @@ let start_problem t ~src ~pid ~transfer_time sp =
       t.cfg.solver_config with
       Solver.mem_limit_bytes = t.mem_budget;
       Solver.share_export_max = max t.cfg.share_max_len t.cfg.solver_config.Solver.share_export_max;
+      Solver.emit_proof = t.cfg.solver_config.Solver.emit_proof || t.cfg.certify;
       Solver.seed = t.cfg.solver_config.Solver.seed + t.cid;
     }
   in
@@ -286,6 +295,7 @@ let start_problem t ~src ~pid ~transfer_time sp =
       {
         solver;
         pid;
+        origin = sp;
         span;
         started_at = now t;
         transfer_time;
@@ -314,7 +324,13 @@ let handle_split_partner t partner =
   | Idle -> send t ~dst:t.master Protocol.Split_failed
   | Solving s -> (
       s.split_pending <- false;
-      match Subproblem.split_from s.solver with
+      let branch =
+        (* certified runs keep the travelling clause set lineage-pure so the
+           receiver's eventual proof checks under its journaled path alone *)
+        if t.cfg.certify then Subproblem.split_pure ~origin:s.origin s.solver
+        else Subproblem.split_from s.solver
+      in
+      match branch with
       | None -> send t ~dst:t.master Protocol.Split_failed
       | Some sp ->
           let bytes = Subproblem.bytes sp in
@@ -350,7 +366,10 @@ let handle_migrate t target =
   match t.state with
   | Idle -> ()
   | Solving s ->
-      let sp = Subproblem.capture s.solver in
+      let sp =
+        if t.cfg.certify then Subproblem.capture_pure ~origin:s.origin s.solver
+        else Subproblem.capture s.solver
+      in
       send t ~dst:target (Protocol.Problem { pid = s.pid; sp; sent_at = now t });
       finish_problem ~outcome:"migrated" t
 
@@ -394,18 +413,36 @@ let handle_payload t ~src msg =
   | Protocol.Found_model _ | Protocol.Orphaned _ | Protocol.Resync _ | Protocol.Heartbeat ->
       (* master-bound messages; a client should never receive them *)
       ()
-  | Protocol.Ack _ | Protocol.Reliable _ -> (* unwrapped below; never nested *) ()
+  | Protocol.Corrupt_payload ->
+      (* garbled content that slipped through because integrity framing is
+         off: indistinguishable from a lost message *)
+      ()
+  | Protocol.Ack _ | Protocol.Nack _ | Protocol.Reliable _ | Protocol.Framed _ ->
+      (* unwrapped below; never nested *) ()
 
 let handle t ~src msg =
-  if t.alive && not t.hung then begin
-    if src = t.master then master_reachable t;
-    match msg with
-    | Protocol.Reliable { mid; payload } ->
-        send_raw t ~dst:src (Protocol.Ack { mid });
-        if Reliable.admit (reliable t) ~src ~mid then handle_payload t ~src payload
-    | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
-    | _ -> handle_payload t ~src msg
-  end
+  if t.alive && not t.hung then
+    match Protocol.verify msg with
+    | `Corrupt payload -> (
+        (* the frame's digest check failed: refuse the payload.  If the
+           surviving envelope header names a reliable mid, NACK it so the
+           sender retransmits immediately instead of waiting out its
+           backoff timer. *)
+        match payload with
+        | Protocol.Reliable { mid; _ } ->
+            t.callbacks.log (Events.Corrupt_message_detected { receiver = t.cid; nacked = true });
+            send_raw t ~dst:src (Protocol.Nack { mid })
+        | _ -> t.callbacks.log (Events.Corrupt_message_detected { receiver = t.cid; nacked = false })
+        )
+    | `Ok msg -> (
+        if src = t.master then master_reachable t;
+        match msg with
+        | Protocol.Reliable { mid; payload } ->
+            send_raw t ~dst:src (Protocol.Ack { mid });
+            if Reliable.admit (reliable t) ~src ~mid then handle_payload t ~src payload
+        | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
+        | Protocol.Nack { mid } -> Reliable.handle_nack (reliable t) ~mid
+        | _ -> handle_payload t ~src msg)
 
 (* Empty clients take a moment to launch before they can register
    (process start-up on the remote host). *)

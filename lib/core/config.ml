@@ -21,6 +21,8 @@ type t = {
   retry_max_attempts : int;
   journal_compact_every : int;
   resync_grace : float;
+  integrity_checks : bool;
+  certify : bool;
   solver_config : Sat.Solver.config;
   seed : int;
 }
@@ -45,6 +47,8 @@ let default =
     retry_max_attempts = 6;
     journal_compact_every = 64;
     resync_grace = 10.;
+    integrity_checks = true;
+    certify = false;
     solver_config = Sat.Solver.default_config;
     seed = 0;
   }
@@ -83,6 +87,14 @@ let validate t =
   else if t.journal_compact_every < 1 then
     err "journal_compact_every must be at least 1, got %d" t.journal_compact_every
   else if t.resync_grace <= 0. then err "resync_grace must be positive, got %g" t.resync_grace
+  else if t.certify && not t.integrity_checks then
+    err
+      "certify requires integrity_checks: a certified run must not accept answers whose \
+       transport can silently rot"
+  else if t.certify && t.share_max_len > 0 then
+    err
+      "certify requires share_max_len = 0: foreign clauses are not locally derivable, so \
+       clause-sharing runs cannot produce checkable per-branch proofs"
   else Ok ()
 
 let validate_exn t =

@@ -43,6 +43,19 @@ type t = {
   resync_grace : float;
       (** how long a restarted master waits for client [Resync] reports
           before treating unclaimed live subproblems as orphans *)
+  integrity_checks : bool;
+      (** seal every wire message in a digest frame (receivers drop — and
+          NACK, for reliable envelopes — payloads that fail the check),
+          and verify at-rest seals on journal records and checkpoint
+          snapshots.  On by default; the disabled path costs one branch. *)
+  certify : bool;
+      (** distributed UNSAT certification: clients log DRUP proofs and
+          attach the fragment to [Finished_unsat]; the master RUP-checks
+          every fragment against the original formula under the branch's
+          journaled guiding path before tombstoning it, and quarantines
+          clients whose answers fail.  Requires [integrity_checks] and
+          [share_max_len = 0] (foreign clauses are not locally derivable,
+          so sharing runs cannot produce checkable per-branch proofs). *)
   solver_config : Sat.Solver.config;
   seed : int;
 }
@@ -59,8 +72,9 @@ val validate : t -> (unit, string) result
 (** Rejects inconsistent configurations with a descriptive message:
     non-positive periods/timeouts, [suspect_timeout <= heartbeat_period]
     (every healthy client would be declared dead), [retry_max_attempts <
-    1], [mem_headroom] outside [(0, 1]], and similar contradictions that
-    would silently wedge or corrupt a run. *)
+    1], [mem_headroom] outside [(0, 1]], [certify] without
+    [integrity_checks] or with clause sharing enabled, and similar
+    contradictions that would silently wedge or corrupt a run. *)
 
 val validate_exn : t -> unit
 (** Raises [Invalid_argument] where {!validate} returns [Error].  Called

@@ -30,6 +30,11 @@ type kind =
   | Batch_job_submitted of { nodes : int }
   | Batch_job_started of { nodes : int }
   | Batch_job_cancelled
+  | Corrupt_message_detected of { receiver : int; nacked : bool }
+  | Storage_corrupted of { journal_records : int; checkpoints : bool }
+  | Unsat_fragment_certified of { pid : Protocol.pid; client : int; steps : int }
+  | Certification_failed of { pid : Protocol.pid; client : int; reason : string }
+  | Client_quarantined of { client : int }
   | Terminated of string
 
 type t = { time : float; kind : kind }
@@ -88,6 +93,19 @@ let pp_kind ppf = function
   | Batch_job_submitted { nodes } -> Format.fprintf ppf "batch job submitted (%d nodes)" nodes
   | Batch_job_started { nodes } -> Format.fprintf ppf "batch job started (%d nodes)" nodes
   | Batch_job_cancelled -> Format.fprintf ppf "batch job cancelled"
+  | Corrupt_message_detected { receiver; nacked } ->
+      Format.fprintf ppf "endpoint %d received a corrupt payload%s" receiver
+        (if nacked then " (nacked for immediate retransmit)" else " (dropped)")
+  | Storage_corrupted { journal_records; checkpoints } ->
+      Format.fprintf ppf "fault: stable storage rotted (%d journal records%s)" journal_records
+        (if checkpoints then ", all checkpoints" else "")
+  | Unsat_fragment_certified { pid = a, b; client; steps } ->
+      Format.fprintf ppf "UNSAT fragment %d.%d from client %d certified (%d proof steps)" a b
+        client steps
+  | Certification_failed { pid = a, b; client; reason } ->
+      Format.fprintf ppf "certification of %d.%d from client %d FAILED: %s" a b client reason
+  | Client_quarantined { client } ->
+      Format.fprintf ppf "client %d quarantined (unverifiable answer); its work re-derived" client
   | Terminated why -> Format.fprintf ppf "terminated: %s" why
 
 let pp ppf t = Format.fprintf ppf "[%10.1f] %a" t.time pp_kind t.kind

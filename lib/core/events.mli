@@ -46,6 +46,22 @@ type kind =
   | Batch_job_submitted of { nodes : int }
   | Batch_job_started of { nodes : int }
   | Batch_job_cancelled
+  | Corrupt_message_detected of { receiver : int; nacked : bool }
+      (** an integrity frame failed its digest check at [receiver];
+          [nacked] if the corrupt payload was a reliable envelope whose
+          mid survived, triggering an immediate retransmit request *)
+  | Storage_corrupted of { journal_records : int; checkpoints : bool }
+      (** fault injection ground truth: at-rest rot of the master's
+          stable storage *)
+  | Unsat_fragment_certified of { pid : Protocol.pid; client : int; steps : int }
+      (** the client's DRUP fragment for [pid] RUP-checked against the
+          original formula under the branch's journaled guiding path *)
+  | Certification_failed of { pid : Protocol.pid; client : int; reason : string }
+      (** an UNSAT claim whose proof was missing, malformed, or did not
+          check; the claim is rejected and the client quarantined *)
+  | Client_quarantined of { client : int }
+      (** the client's answer failed verification: it is written off and
+          its subproblem re-derived from lineage onto another host *)
   | Terminated of string
 
 type t = { time : float; kind : kind }

@@ -11,14 +11,22 @@ let solve ?(config = Config.default) ?(fault_plan = []) ?(obs = Obs.disabled) ?o
   (match fault_plan with
   | [] -> ()
   | specs ->
+      (match Grid.Fault.validate specs with
+      | Ok () -> ()
+      | Error msg -> invalid_arg ("Gridsat.solve: bad fault plan: " ^ msg));
       let ctl =
         Grid.Fault.arm ~sim ~seed:config.Config.seed
           ~on_crash:(fun host -> Master.crash_host master host)
           ~on_hang:(fun host -> Master.hang_host master host)
           ~on_master_crash:(fun () -> Master.crash_master master)
           ~on_master_restart:(fun () -> Master.restart_master master)
+          ~on_storage_corrupt:(fun ~journal_records ~checkpoints ->
+            Master.corrupt_storage master ~journal_records ~checkpoints)
           specs
       in
+      (* the corruptor garbles a payload in place of delivering it intact:
+         the inner message rots, the framing headers keep their own CRC *)
+      Grid.Everyware.set_corrupt bus Protocol.corrupt;
       Grid.Everyware.set_fault bus (fun ~src_site ~dst_site ~bytes ->
           Grid.Fault.decide ctl ~src_site ~dst_site ~bytes));
   (match on_master with Some f -> f master | None -> ());

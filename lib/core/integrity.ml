@@ -1,0 +1,30 @@
+(* FNV-1a, 64-bit variant.  Computed in Int64 so the multiply wraps the
+   same way on every platform, then truncated to the native int. *)
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fnv1a s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  Int64.to_int !h
+
+(* CRC-32 (IEEE 802.3, reflected).  Table built once at module load. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFF in
+  String.iter (fun ch -> crc := table.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8)) s;
+  !crc lxor 0xFFFFFFFF
+
+let corrupted d = d lxor 0x5A5A5A5A

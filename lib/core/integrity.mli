@@ -1,0 +1,28 @@
+(** Content digests for integrity checking.
+
+    Everything the distributed layer persists or puts on the wire can be
+    corrupted: message payloads in flight, checkpoint snapshots and
+    journal records at rest.  This module provides the two digests the
+    stack seals records with, both dependency-free and deterministic:
+
+    - {!fnv1a}, a 64-bit FNV-1a hash (truncated to OCaml's native int),
+      used for in-flight message frames ({!Protocol.frame}) where speed
+      matters and the adversary is random bit rot, not malice;
+    - {!crc32}, the standard reflected CRC-32 (polynomial 0xEDB88320),
+      used for at-rest records (journal entries, checkpoint snapshots)
+      where we mirror what a storage layer would do.
+
+    A digest detects corruption; it does not authenticate.  Certification
+    of {e answers} (which must not trust the sender at all) is the job of
+    DRUP checking and model re-evaluation, not of this module. *)
+
+val fnv1a : string -> int
+(** 64-bit FNV-1a over the bytes of the string, truncated to [int]. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE, reflected) over the bytes of the string, in [0, 2^32). *)
+
+val corrupted : int -> int
+(** [corrupted d] is a digest guaranteed to differ from [d] — how fault
+    injection models a record whose bytes rotted while its seal (or the
+    data under it) changed. *)

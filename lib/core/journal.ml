@@ -95,17 +95,47 @@ let apply st = function
   | Adopted { pid; client; path } -> register st pid path client
   | Verdict { answer } -> st.verdict <- Some answer
 
+(* Full-fidelity rendering: every field of every entry lands in the
+   output, so the at-rest integrity seal covers the whole record. *)
+let pp_entry ppf e =
+  let lits ppf ls =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+      (fun ppf l -> Format.pp_print_int ppf (T.to_int l))
+      ppf ls
+  in
+  let pid ppf (a, b) = Format.fprintf ppf "%d.%d" a b in
+  match e with
+  | Registered { client } -> Format.fprintf ppf "registered %d" client
+  | Assigned { pid = p; dst; path } -> Format.fprintf ppf "assigned %a -> %d [%a]" pid p dst lits path
+  | Started { pid = p; client } -> Format.fprintf ppf "started %a @ %d" pid p client
+  | Granted { requester; partner } -> Format.fprintf ppf "granted %d + %d" requester partner
+  | Split { donor; donor_pid; donor_path; pid = p; dst; path } ->
+      Format.fprintf ppf "split %a @ %d [%a] -> %a @ %d [%a]" pid donor_pid donor lits donor_path
+        pid p dst lits path
+  | Refuted { pid = p } -> Format.fprintf ppf "refuted %a" pid p
+  | Shared { clauses } -> Format.fprintf ppf "shared %d" clauses
+  | Suspected { client } -> Format.fprintf ppf "suspected %d" client
+  | Died { client } -> Format.fprintf ppf "died %d" client
+  | Adopted { pid = p; client; path } ->
+      Format.fprintf ppf "adopted %a @ %d [%a]" pid p client lits path
+  | Verdict { answer } -> Format.fprintf ppf "verdict %s" answer
+
 type t = {
   compact_every : int;
   mutable base : state;  (* the last snapshot *)
-  mutable pending : entry list;  (* newest first; entries since the snapshot *)
+  mutable pending : (entry * int) list;
+      (* newest first; entries since the snapshot, each sealed with the
+         CRC-32 of its canonical rendering at append time *)
   mutable pending_n : int;
   mutable appended : int;
   mutable compactions : int;
+  mutable records_dropped : int;
   obs : Obs.t;
   obs_on : bool;
   c_appends : Obs.Metrics.counter;
   c_compactions : Obs.Metrics.counter;
+  c_dropped : Obs.Metrics.counter;
 }
 
 let create ?(obs = Obs.disabled) ~compact_every () =
@@ -117,15 +147,36 @@ let create ?(obs = Obs.disabled) ~compact_every () =
     pending_n = 0;
     appended = 0;
     compactions = 0;
+    records_dropped = 0;
     obs;
     obs_on = Obs.enabled obs;
     c_appends = Obs.Metrics.counter m "journal.appends";
     c_compactions = Obs.Metrics.counter m "journal.compactions";
+    c_dropped = Obs.Metrics.counter m "journal.records.dropped";
   }
 
+let seal e = Integrity.crc32 (Format.asprintf "%a" pp_entry e)
+
+(* Drop pending records whose seal no longer matches their content (torn
+   or rotted at rest).  Each bad record is counted once: it disappears
+   from the pending list here, before any replay or compaction reads it.
+   Losing a record degrades recovery precision (a lost lineage means a
+   later re-derivation may have to give up) but never corrupts state —
+   strictly better than folding garbage into the snapshot. *)
+let scrub t =
+  let ok, bad = List.partition (fun (e, d) -> seal e = d) t.pending in
+  if bad <> [] then begin
+    t.pending <- ok;
+    t.pending_n <- List.length ok;
+    t.records_dropped <- t.records_dropped + List.length bad;
+    if t.obs_on then
+      List.iter (fun _ -> Obs.Metrics.incr t.c_dropped) bad
+  end
+
 let compact t =
+  scrub t;
   let folded = t.pending_n in
-  List.iter (apply t.base) (List.rev t.pending);
+  List.iter (fun (e, _) -> apply t.base e) (List.rev t.pending);
   t.pending <- [];
   t.pending_n <- 0;
   t.compactions <- t.compactions + 1;
@@ -138,20 +189,30 @@ let compact t =
   end
 
 let append t e =
-  t.pending <- e :: t.pending;
+  t.pending <- (e, seal e) :: t.pending;
   t.pending_n <- t.pending_n + 1;
   t.appended <- t.appended + 1;
   if t.obs_on then Obs.Metrics.incr t.c_appends;
   if t.pending_n >= t.compact_every then compact t
 
 let replay t =
+  scrub t;
   let st = copy_state t.base in
-  List.iter (apply st) (List.rev t.pending);
+  List.iter (fun (e, _) -> apply st e) (List.rev t.pending);
   st
+
+let corrupt_tail t ~n =
+  let rec rot k = function
+    | (e, d) :: rest when k > 0 -> (e, Integrity.corrupted d) :: rot (k - 1) rest
+    | rest -> rest
+  in
+  t.pending <- rot n t.pending
 
 let appended t = t.appended
 
 let compactions t = t.compactions
+
+let records_dropped t = t.records_dropped
 
 let entries_since_snapshot t = t.pending_n
 
@@ -181,25 +242,3 @@ let digest st =
        (match st.verdict with Some v -> v | None -> "-"));
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-let pp_entry ppf e =
-  let lits ppf ls =
-    Format.pp_print_list
-      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
-      (fun ppf l -> Format.pp_print_int ppf (T.to_int l))
-      ppf ls
-  in
-  let pid ppf (a, b) = Format.fprintf ppf "%d.%d" a b in
-  match e with
-  | Registered { client } -> Format.fprintf ppf "registered %d" client
-  | Assigned { pid = p; dst; path } -> Format.fprintf ppf "assigned %a -> %d [%a]" pid p dst lits path
-  | Started { pid = p; client } -> Format.fprintf ppf "started %a @ %d" pid p client
-  | Granted { requester; partner } -> Format.fprintf ppf "granted %d + %d" requester partner
-  | Split { donor; donor_pid; pid = p; dst; _ } ->
-      Format.fprintf ppf "split %a @ %d -> %a @ %d" pid donor_pid donor pid p dst
-  | Refuted { pid = p } -> Format.fprintf ppf "refuted %a" pid p
-  | Shared { clauses } -> Format.fprintf ppf "shared %d" clauses
-  | Suspected { client } -> Format.fprintf ppf "suspected %d" client
-  | Died { client } -> Format.fprintf ppf "died %d" client
-  | Adopted { pid = p; client; path } ->
-      Format.fprintf ppf "adopted %a @ %d [%a]" pid p client lits path
-  | Verdict { answer } -> Format.fprintf ppf "verdict %s" answer

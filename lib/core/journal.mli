@@ -74,8 +74,10 @@ val append : t -> entry -> unit
     entries have accumulated since the last compaction. *)
 
 val replay : t -> state
-(** Snapshot plus pending entries, folded into a fresh state.  Never
-    mutates the journal: replaying twice yields equal states. *)
+(** Snapshot plus pending entries, folded into a fresh state.  Records
+    whose at-rest integrity seal no longer matches (torn/rotted writes)
+    are discarded — and counted in {!records_dropped} — rather than
+    folded in as garbage.  Replaying twice yields equal states. *)
 
 val digest : state -> string
 (** Canonical hex digest of a replayed state (order-independent). *)
@@ -87,5 +89,14 @@ val compactions : t -> int
 (** How many times pending entries were folded into the snapshot. *)
 
 val entries_since_snapshot : t -> int
+
+val records_dropped : t -> int
+(** Pending records discarded because their integrity seal (CRC-32 of the
+    canonical rendering, taken at append time) no longer matched. *)
+
+val corrupt_tail : t -> n:int -> unit
+(** Fault injection: rot the newest [n] not-yet-compacted records at rest,
+    so their seals stop matching.  The next {!replay} or compaction
+    discards them. *)
 
 val pp_entry : Format.formatter -> entry -> unit

@@ -19,6 +19,12 @@ type result = {
   rederivations : int;
   master_crashes : int;
   checkpoint_bytes : int;
+  corrupt_detected : int;
+  nacks : int;
+  certified_fragments : int;
+  quarantines : int;
+  checkpoints_discarded : int;
+  journal_records_dropped : int;
   solver_stats : Sat.Stats.t;
   events : Events.t list;
 }
@@ -54,8 +60,15 @@ type t = {
   in_flight : (int, Protocol.pid * Subproblem.t) Hashtbl.t;
       (* problems the master itself sent that are not yet acknowledged by a
          Problem_received; recoverable without a checkpoint *)
-  mutable pending_recovery : (Protocol.pid * Subproblem.t * int * bool) list;
-      (* pid, subproblem, failed client, came-from-checkpoint *)
+  pending_recovery : (Protocol.pid * Subproblem.t * int * bool) Queue.t;
+      (* pid, subproblem, failed client, came-from-checkpoint.  A queue,
+         not a list: recoveries are appended at the tail and served from
+         the head, and a mass failure can park hundreds of subproblems —
+         list-append accumulation made that quadratic. *)
+  pending_cert : (Protocol.pid, int * string option) Hashtbl.t;
+      (* certify mode: UNSAT claims that overtook the registration
+         recording their branch's guiding path (client, proof); settled
+         when the lineage arrives *)
   journal : Journal.t;
       (* write-ahead log on stable storage: survives a master crash *)
   lineage : (Protocol.pid, Sat.Types.lit list) Hashtbl.t;
@@ -96,6 +109,10 @@ type t = {
   c_recov_requeued : Obs.Metrics.counter;
   c_migrations : Obs.Metrics.counter;
   c_deaths : Obs.Metrics.counter;
+  c_corrupt_detected : Obs.Metrics.counter;
+  c_nacks : Obs.Metrics.counter;
+  c_certified : Obs.Metrics.counter;
+  c_quarantines : Obs.Metrics.counter;
   h_share_fanout : Obs.Metrics.histogram;
 }
 
@@ -103,7 +120,19 @@ let master_id = 0
 
 let initial_pid : Protocol.pid = (master_id, 0)
 
-let log t kind = t.events <- Events.make (Grid.Sim.now t.sim) kind :: t.events
+(* Every endpoint's events funnel through here (clients log via their
+   callbacks), so this is also where the run-wide integrity and
+   certification counters are kept. *)
+let log t kind =
+  (if t.obs_on then
+     match kind with
+     | Events.Corrupt_message_detected { nacked; _ } ->
+         Obs.Metrics.incr t.c_corrupt_detected;
+         if nacked then Obs.Metrics.incr t.c_nacks
+     | Events.Unsat_fragment_certified _ -> Obs.Metrics.incr t.c_certified
+     | Events.Client_quarantined _ -> Obs.Metrics.incr t.c_quarantines
+     | _ -> ());
+  t.events <- Events.make (Grid.Sim.now t.sim) kind :: t.events
 
 let spanr t = Obs.spans t.obs
 
@@ -128,7 +157,10 @@ let reliable t = match t.rel with Some r -> r | None -> assert false
 (* A crashed master cannot transmit: its volatile state (and endpoint) are
    gone until restart.  Guarding here keeps stray timers harmless. *)
 let send_raw t ~dst msg =
-  if not t.down then Grid.Everyware.send t.bus ~src:master_id ~dst ~bytes:(Protocol.size msg) msg
+  if not t.down then begin
+    let msg = if t.cfg.Config.integrity_checks then Protocol.frame msg else msg in
+    Grid.Everyware.send t.bus ~src:master_id ~dst ~bytes:(Protocol.size msg) msg
+  end
 
 let jlog t entry = Journal.append t.journal entry
 
@@ -171,6 +203,17 @@ let result t =
           count_events t (function Events.Rederived_from_lineage _ -> true | _ -> false);
         master_crashes = count_events t (function Events.Master_crashed -> true | _ -> false);
         checkpoint_bytes = t.checkpoint_bytes_peak;
+        corrupt_detected =
+          count_events t (function Events.Corrupt_message_detected _ -> true | _ -> false);
+        nacks =
+          count_events t (function
+            | Events.Corrupt_message_detected { nacked = true; _ } -> true
+            | _ -> false);
+        certified_fragments =
+          count_events t (function Events.Unsat_fragment_certified _ -> true | _ -> false);
+        quarantines = count_events t (function Events.Client_quarantined _ -> true | _ -> false);
+        checkpoints_discarded = Checkpoint.discarded t.checkpoints;
+        journal_records_dropped = Journal.records_dropped t.journal;
         solver_stats = aggregate_stats t;
         events = events_so_far t;
       }
@@ -202,7 +245,8 @@ let terminate t answer why =
     t.pending_partner <- [];
     t.migrating <- [];
     t.backlog <- [];
-    t.pending_recovery <- [];
+    Queue.clear t.pending_recovery;
+    Hashtbl.reset t.pending_cert;
     Hashtbl.reset t.in_flight;
     (match t.rel with Some r -> Reliable.stop r | None -> ());
     Hashtbl.iter
@@ -262,6 +306,20 @@ let release_partner t requester =
       t.pending_partner <- List.remove_assoc requester t.pending_partner;
       Some partner
 
+(* A client that reported its subproblem finished is idle again: release
+   everything the master held on its behalf. *)
+let free_finisher t src =
+  (match Hashtbl.find_opt t.hosts src with
+  | Some h when h.rstate = Busy ->
+      h.rstate <- Idle;
+      h.pid <- None
+  | _ -> ());
+  (match release_partner t src with
+  | Some partner -> unreserve t partner
+  | None -> ());
+  Checkpoint.drop t.checkpoints ~client:src;
+  t.backlog <- List.filter (fun (c, _) -> c <> src) t.backlog
+
 (* Every problem the master sends is journaled as an assignment first: the
    WAL records the pid, the addressee and the guiding-path lineage, so a
    replacement master can re-derive the branch if everything else is
@@ -298,18 +356,15 @@ let assign_recovered t ~failed ~from_checkpoint pid sp =
   | None ->
       log t (Events.Recovery_requeued { client = failed });
       if t.obs_on then Obs.Metrics.incr t.c_recov_requeued;
-      t.pending_recovery <- t.pending_recovery @ [ (pid, sp, failed, from_checkpoint) ]
+      Queue.add (pid, sp, failed, from_checkpoint) t.pending_recovery
 
 let rec serve_recovery t =
-  if (not t.finished) && t.pending_recovery <> [] then
+  if (not t.finished) && not (Queue.is_empty t.pending_recovery) then
     match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
     | None -> ()
     | Some cand ->
         let dst = cand.Scheduler.resource.R.id in
-        let (pid, sp, failed, from_checkpoint), rest =
-          (List.hd t.pending_recovery, List.tl t.pending_recovery)
-        in
-        t.pending_recovery <- rest;
+        let pid, sp, failed, from_checkpoint = Queue.pop t.pending_recovery in
         if from_checkpoint then begin
           log t (Events.Recovered_from_checkpoint { client = failed; onto = dst });
           if t.obs_on then Obs.Metrics.incr t.c_recov_checkpoint
@@ -424,9 +479,18 @@ let refute_pid t pid =
   Hashtbl.remove t.live_problems pid;
   Hashtbl.remove t.lineage pid;
   Hashtbl.remove t.last_holder pid;
+  (* a certification claim parked for this pid is moot now; its reporter
+     has been sitting idle since it sent the claim *)
+  (match Hashtbl.find_opt t.pending_cert pid with
+  | Some (client, _) ->
+      Hashtbl.remove t.pending_cert pid;
+      free_finisher t client
+  | None -> ());
   if
     Hashtbl.length t.live_problems = 0
-    && t.pending_recovery = [] && t.pending_partner = []
+    && Queue.is_empty t.pending_recovery
+    && t.pending_partner = []
+    && Hashtbl.length t.pending_cert = 0
     && (not t.resyncing) && t.problem_assigned
   then terminate t Unsat "all subproblems refuted: unsatisfiable"
   else dispatch t
@@ -444,60 +508,6 @@ let absorb_if_refuted t ~holder pid =
     refute_pid t pid
   end
 
-(* ---------- message handling ---------- *)
-
-let assign_initial_problem t dst =
-  let sp = Subproblem.initial t.cnf in
-  t.problem_assigned <- true;
-  Hashtbl.replace t.live_problems initial_pid ();
-  send_problem t ~dst initial_pid sp
-
-let on_register t src =
-  let h = host t src in
-  h.rstate <- Idle;
-  jlog t (Journal.Registered { client = src });
-  log t (Events.Client_started src);
-  if not t.problem_assigned then assign_initial_problem t src else dispatch t
-
-let on_problem_received t src ~pid ~from ~bytes ~path =
-  let h = host t src in
-  Hashtbl.remove t.in_flight src;
-  (* a migration target becoming busy frees its source *)
-  (match List.find_opt (fun (_, dst) -> dst = src) t.migrating with
-  | Some (s, _) ->
-      t.migrating <- List.filter (fun (_, dst) -> dst <> src) t.migrating;
-      let sh = host t s in
-      if sh.rstate = Busy then begin
-        sh.rstate <- Idle;
-        sh.pid <- None
-      end;
-      log t (Events.Migration { src = s; dst = src; bytes })
-  | None -> ());
-  Hashtbl.replace t.live_problems pid ();
-  (* the receiver reports its lineage, closing the gap where a split's
-     [Split_ok] has not arrived yet: the branch is re-derivable from the
-     journal the moment anyone confirms holding it *)
-  Hashtbl.replace t.lineage pid path;
-  Hashtbl.replace t.last_holder pid src;
-  jlog t (Journal.Started { pid; client = src });
-  jlog t (Journal.Adopted { pid; client = src; path });
-  h.rstate <- Busy;
-  h.pid <- Some pid;
-  h.busy_since <- Grid.Sim.now t.sim;
-  log t (Events.Problem_assigned { src = from; dst = src; bytes; depth = List.length path });
-  update_max t;
-  absorb_if_refuted t ~holder:src pid;
-  dispatch t
-
-let on_split_request t src _reason =
-  (* the requesting client already logged the Split_requested event *)
-  if not (grant_split t src) then begin
-    let h = host t src in
-    t.backlog <- t.backlog @ [ (src, h.busy_since) ];
-    if t.obs_on then Obs.Metrics.incr t.c_splits_denied;
-    log t (Events.Split_denied { client = src })
-  end
-
 let close_split_span t requester args =
   if t.obs_on then
     match Hashtbl.find_opt t.split_spans requester with
@@ -506,220 +516,11 @@ let close_split_span t requester args =
         Obs.Span.exit (spanr t) sp ~args
     | None -> ()
 
-let on_split_ok t src ~pid ~dst ~bytes ~path ~donor_path =
-  t.splits <- t.splits + 1;
-  if t.obs_on then Obs.Metrics.incr t.c_splits_completed;
-  close_split_span t src
-    [
-      ("outcome", Obs.Json.String "ok");
-      ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst pid) (snd pid)));
-      ("dst", Obs.Json.Int dst);
-      ("bytes", Obs.Json.Int bytes);
-    ];
-  Hashtbl.replace t.live_problems pid ();
-  Hashtbl.replace t.lineage pid path;
-  Hashtbl.replace t.last_holder pid dst;
-  (* the donor committed its first decision level into its own root, so
-     its lineage grew too: journal both sides of the split *)
-  (match (host t src).pid with
-  | Some donor_pid ->
-      Hashtbl.replace t.lineage donor_pid donor_path;
-      jlog t (Journal.Split { donor = src; donor_pid; donor_path; pid; dst; path })
-  | None ->
-      (* reordered delivery: the donor's own branch already concluded;
-         only the new branch needs journaling *)
-      jlog t (Journal.Assigned { pid; dst; path }));
-  t.pending_partner <- List.remove_assoc src t.pending_partner;
-  log t (Events.Split_completed { src; dst; bytes });
-  absorb_if_refuted t ~holder:dst pid
-
-let on_split_failed t src =
-  close_split_span t src [ ("outcome", Obs.Json.String "failed") ];
-  (match release_partner t src with
-  | Some partner -> unreserve t partner
-  | None -> ());
-  dispatch t
-
-let on_shares t src clauses =
-  t.share_batches <- t.share_batches + 1;
-  t.shared_clauses <- t.shared_clauses + List.length clauses;
-  let recipients = ref 0 in
-  Hashtbl.iter
-    (fun id h ->
-      if id <> src && h.rstate = Busy && Client.is_alive h.client then begin
-        incr recipients;
-        send t ~dst:id (Protocol.Share_relay { origin = src; clauses })
-      end)
-    t.hosts;
-  jlog t (Journal.Shared { clauses = List.length clauses });
-  if t.obs_on then begin
-    Obs.Metrics.add t.c_shares_relayed (List.length clauses);
-    Obs.Metrics.observe t.h_share_fanout (float_of_int !recipients);
-    minstant t ~cat:"protocol"
-      ~args:
-        [
-          ("origin", Obs.Json.Int src);
-          ("clauses", Obs.Json.Int (List.length clauses));
-          ("recipients", Obs.Json.Int !recipients);
-        ]
-      "share.broadcast"
-  end;
-  log t (Events.Shares_broadcast { origin = src; count = List.length clauses; recipients = !recipients })
-
-let on_finished_unsat t src pid =
-  let h = host t src in
-  if h.rstate = Busy then begin
-    h.rstate <- Idle;
-    h.pid <- None
-  end;
-  (* a finished requester no longer needs the partner reserved for it *)
-  (match release_partner t src with
-  | Some partner -> unreserve t partner
-  | None -> ());
-  Checkpoint.drop t.checkpoints ~client:src;
-  t.backlog <- List.filter (fun (c, _) -> c <> src) t.backlog;
-  log t (Events.Client_finished_unsat src);
-  (* tombstone even a pid we have no record of: under loss and retries a
-     finish can overtake the Split_ok / Problem_received that would have
-     registered it, and the journaled tombstone makes the late
-     registration harmless across a master crash too *)
-  refute_pid t pid
-
-let on_found_model t src model =
-  log t (Events.Client_found_model src);
-  let ok = Sat.Model.satisfies t.cnf model in
-  log t (Events.Model_verified ok);
-  if ok then terminate t (Sat model) "model found and verified"
-  else begin
-    (* never expected: treat as a fatal protocol error *)
-    terminate t (Unknown "model verification failed") "model verification failed"
-  end
-
-(* A donor exhausted the retries of a peer-to-peer Problem handoff and
-   returned the branch.  Undo whatever reservation backed the handoff and
-   re-home the subproblem; a late copy reaching the original addressee
-   only duplicates work, which the pid accounting absorbs. *)
-let on_orphaned t src pid sp =
-  let h = host t src in
-  (match release_partner t src with
-  | Some partner -> unreserve t partner
-  | None -> ());
-  (match List.assoc_opt src t.migrating with
-  | Some target ->
-      t.migrating <- List.remove_assoc src t.migrating;
-      unreserve t target
-  | None -> ());
-  (* a migration source already dropped its solver state; it is idle now *)
-  if h.pid = Some pid then begin
-    if h.rstate = Busy then h.rstate <- Idle;
-    h.pid <- None
-  end;
-  if Hashtbl.mem t.refuted_pids pid then dispatch t  (* already refuted elsewhere *)
-  else begin
-    Hashtbl.replace t.live_problems pid ();
-    Hashtbl.replace t.lineage pid sp.Subproblem.path;
-    assign_recovered t ~failed:src ~from_checkpoint:false pid sp
-  end
-
-(* Reconciliation after a master restart: each surviving client reports
-   what it is doing.  Busy reports are adopted (journaled, so the next
-   crash can replay them too); idle reports release any stale Busy/
-   Reserved marking the replayed journal implied. *)
-let on_resync t src ~pid ~path ~busy_since =
-  let h = host t src in
-  log t (Events.Client_resynced { client = src; busy = pid <> None });
-  (match pid with
-  | Some p when Hashtbl.mem t.refuted_pids p ->
-      (* the client is still solving a branch another copy of which was
-         already refuted — harmless duplicate work; its own finish will
-         free it, but the dead pid must not be re-adopted *)
-      h.rstate <- Busy;
-      h.pid <- Some p;
-      h.busy_since <- busy_since;
-      update_max t
-  | Some p ->
-      h.rstate <- Busy;
-      h.pid <- Some p;
-      h.busy_since <- busy_since;
-      Hashtbl.replace t.live_problems p ();
-      Hashtbl.replace t.lineage p path;
-      Hashtbl.replace t.last_holder p src;
-      jlog t (Journal.Adopted { pid = p; client = src; path });
-      update_max t
-  | None ->
-      (match h.rstate with
-      | Busy | Reserved -> h.rstate <- Idle
-      | Launching | Idle | Dead -> ());
-      h.pid <- None);
-  dispatch t
-
-let handle_payload t ~src msg =
-  match msg with
-  | Protocol.Register -> on_register t src
-  | Protocol.Problem_received { pid; from; bytes; path } ->
-      on_problem_received t src ~pid ~from ~bytes ~path
-  | Protocol.Split_request reason -> on_split_request t src reason
-  | Protocol.Split_ok { pid; dst; bytes; path; donor_path } ->
-      on_split_ok t src ~pid ~dst ~bytes ~path ~donor_path
-  | Protocol.Split_failed -> on_split_failed t src
-  | Protocol.Shares { clauses } -> on_shares t src clauses
-  | Protocol.Finished_unsat { pid } -> on_finished_unsat t src pid
-  | Protocol.Found_model m -> on_found_model t src m
-  | Protocol.Orphaned { pid; sp } -> on_orphaned t src pid sp
-  | Protocol.Resync { pid; path; busy_since } -> on_resync t src ~pid ~path ~busy_since
-  | Protocol.Heartbeat -> ()
-  | Protocol.Problem _ | Protocol.Split_partner _ | Protocol.Share_relay _
-  | Protocol.Migrate_to _ | Protocol.Resync_request | Protocol.Stop ->
-      (* client-bound messages; the master should never receive them *)
-      ()
-  | Protocol.Ack _ | Protocol.Reliable _ -> (* unwrapped by [handle]; never nested *) ()
-
-(* A message from a host we already declared dead.  Acks still settle our
-   own retries; a model is always worth verifying; a heartbeat is proof of
-   life, i.e. a false suspicion.  Everything else is fenced: the host's
-   work was re-homed, so letting it talk again would double-count. *)
-let handle_zombie t ~src h msg =
-  let fence () =
-    if not h.fenced then begin
-      h.fenced <- true;
-      (match msg with
-      | Protocol.Heartbeat -> log t (Events.False_suspicion { client = src })
-      | _ -> ());
-      send_raw t ~dst:src Protocol.Stop
-    end
-  in
-  match msg with
-  | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
-  | Protocol.Reliable { mid; payload } -> (
-      (* ack even zombies, to quiet their retry timers *)
-      send_raw t ~dst:src (Protocol.Ack { mid });
-      fence ();
-      match payload with
-      | Protocol.Found_model m when Reliable.admit (reliable t) ~src ~mid -> on_found_model t src m
-      | _ -> ())
-  | Protocol.Found_model m ->
-      fence ();
-      on_found_model t src m
-  | _ -> fence ()
-
-let handle t ~src msg =
-  if (not t.finished) && not t.down then
-    match Hashtbl.find_opt t.hosts src with
-    | None -> ()
-    | Some h when h.rstate = Dead -> handle_zombie t ~src h msg
-    | Some h -> (
-        h.last_heard <- Grid.Sim.now t.sim;
-        match msg with
-        | Protocol.Reliable { mid; payload } ->
-            send_raw t ~dst:src (Protocol.Ack { mid });
-            if Reliable.admit (reliable t) ~src ~mid then handle_payload t ~src payload
-        | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
-        | _ -> handle_payload t ~src msg)
-
-(* ---------- failure handling ---------- *)
+(* ---------- client death (also the teeth behind quarantine) ---------- *)
 
 (* Write [id] off and recover whatever it was responsible for.  Shared by
-   the failure detector (lease expiry) and direct test injection. *)
+   the failure detector (lease expiry), direct test injection, and the
+   certification quarantine path. *)
 let declare_dead t id =
   match Hashtbl.find_opt t.hosts id with
   | None -> ()
@@ -758,7 +559,16 @@ let declare_dead t id =
                 match prev_pid with
                 | None -> ()
                 | Some pid -> (
-                    match Checkpoint.restore t.checkpoints ~client:id with
+                    (* a certified run never restores a dead client's
+                       checkpoint: the snapshot carries facts and clauses
+                       the next holder could not re-derive in its own
+                       proof fragment, so the branch is rebuilt from the
+                       original CNF and its journaled lineage instead *)
+                    let restored =
+                      if t.cfg.Config.certify then None
+                      else Checkpoint.restore t.checkpoints ~client:id
+                    in
+                    match restored with
                     | Some sp ->
                         Checkpoint.drop t.checkpoints ~client:id;
                         assign_recovered t ~failed:id ~from_checkpoint:true pid sp
@@ -779,6 +589,435 @@ let kill_client t id =
         declare_dead t id
       end
 
+(* ---------- UNSAT certification ---------- *)
+
+(* Certify a client's UNSAT claim: its DRUP fragment must RUP-check
+   against the original formula under the branch's recorded guiding path
+   (never under anything the client itself reported at finish time).  The
+   fragment is untrusted input: parse failures and out-of-range literals
+   are certification failures, not exceptions. *)
+let check_fragment t ~path proof =
+  match proof with
+  | None -> Error "no proof fragment attached"
+  | Some text -> (
+      match Sat.Drup.of_string text with
+      | exception Failure msg -> Error msg
+      | fragment -> (
+          match Sat.Drup.check_under t.cnf ~assumptions:path fragment with
+          | Ok () -> Ok (List.length fragment)
+          | Error reason -> Error reason))
+
+let pid_homed t pid =
+  Hashtbl.fold (fun _ h acc -> acc || (h.rstate = Busy && h.pid = Some pid)) t.hosts false
+  || Hashtbl.fold (fun _ (p, _) acc -> acc || p = pid) t.in_flight false
+  || Queue.fold (fun acc (p, _, _, _) -> acc || p = pid) false t.pending_recovery
+
+(* A client whose answer failed verification is written off entirely: its
+   solver state, checkpoint and future messages are all suspect.  Its
+   branch is re-derived from the original CNF and the journaled lineage
+   (both trusted) and re-solved elsewhere. *)
+let quarantine t ~client ~pid ~reason =
+  log t (Events.Certification_failed { pid; client; reason });
+  log t (Events.Client_quarantined { client });
+  minstant t ~cat:"master"
+    ~args:[ ("client", Obs.Json.Int client); ("reason", Obs.Json.String reason) ]
+    "quarantine";
+  kill_client t client;
+  (* [kill_client] re-homed whatever the master believed [client] held;
+     if the disputed pid was not that (the claim raced ahead of its
+     registration), re-home it explicitly *)
+  if (not t.finished) && Hashtbl.mem t.live_problems pid && not (pid_homed t pid) then
+    rederive_lost t ~holder:(Some client) pid
+
+let settle_certification t ~src pid ~path proof =
+  match check_fragment t ~path proof with
+  | Ok steps ->
+      log t (Events.Unsat_fragment_certified { pid; client = src; steps });
+      minstant t ~cat:"master"
+        ~args:
+          [
+            ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst pid) (snd pid)));
+            ("client", Obs.Json.Int src);
+            ("steps", Obs.Json.Int steps);
+          ]
+        "certify.ok";
+      free_finisher t src;
+      refute_pid t pid
+  | Error reason -> quarantine t ~client:src ~pid ~reason
+
+(* A registration just recorded the lineage of [pid]; settle any UNSAT
+   claim that was parked waiting for it. *)
+let settle_pending_cert t pid =
+  if t.cfg.Config.certify then
+    match Hashtbl.find_opt t.pending_cert pid with
+    | None -> ()
+    | Some (client, proof) -> (
+        Hashtbl.remove t.pending_cert pid;
+        match Hashtbl.find_opt t.lineage pid with
+        | Some path -> settle_certification t ~src:client pid ~path proof
+        | None -> ())
+
+(* ---------- message handling ---------- *)
+
+let assign_initial_problem t dst =
+  let sp = Subproblem.initial t.cnf in
+  t.problem_assigned <- true;
+  Hashtbl.replace t.live_problems initial_pid ();
+  send_problem t ~dst initial_pid sp
+
+let on_register t src =
+  let h = host t src in
+  h.rstate <- Idle;
+  jlog t (Journal.Registered { client = src });
+  log t (Events.Client_started src);
+  if not t.problem_assigned then assign_initial_problem t src else dispatch t
+
+let on_problem_received t src ~pid ~from ~bytes ~path =
+  let h = host t src in
+  Hashtbl.remove t.in_flight src;
+  (* a migration target becoming busy frees its source *)
+  (match List.find_opt (fun (_, dst) -> dst = src) t.migrating with
+  | Some (s, _) ->
+      t.migrating <- List.filter (fun (_, dst) -> dst <> src) t.migrating;
+      let sh = host t s in
+      if sh.rstate = Busy then begin
+        sh.rstate <- Idle;
+        sh.pid <- None
+      end;
+      log t (Events.Migration { src = s; dst = src; bytes })
+  | None -> ());
+  Hashtbl.replace t.live_problems pid ();
+  (* the receiver reports its lineage, closing the gap where a split's
+     [Split_ok] has not arrived yet: the branch is re-derivable from the
+     journal the moment anyone confirms holding it.  In certify mode a
+     lineage the master already recorded is authoritative — a client
+     report never overwrites the path its fragment will be checked
+     under. *)
+  if (not t.cfg.Config.certify) || not (Hashtbl.mem t.lineage pid) then
+    Hashtbl.replace t.lineage pid path;
+  Hashtbl.replace t.last_holder pid src;
+  jlog t (Journal.Started { pid; client = src });
+  jlog t (Journal.Adopted { pid; client = src; path });
+  h.rstate <- Busy;
+  h.pid <- Some pid;
+  h.busy_since <- Grid.Sim.now t.sim;
+  log t (Events.Problem_assigned { src = from; dst = src; bytes; depth = List.length path });
+  update_max t;
+  settle_pending_cert t pid;
+  absorb_if_refuted t ~holder:src pid;
+  dispatch t
+
+let on_split_request t src _reason =
+  (* the requesting client already logged the Split_requested event *)
+  if not (grant_split t src) then begin
+    let h = host t src in
+    t.backlog <- t.backlog @ [ (src, h.busy_since) ];
+    if t.obs_on then Obs.Metrics.incr t.c_splits_denied;
+    log t (Events.Split_denied { client = src })
+  end
+
+(* Certify mode: a split is only accepted if the two sides structurally
+   cover the donor's old branch.  The child's path must be the donor's
+   old path plus the negation of the committed first decision — i.e. its
+   last element negated appears in the donor's reported path, and every
+   other element does too (the donor's path may additionally carry the
+   decision's level-1 propagations, which unit propagation re-derives
+   during checking, so they are ignored rather than trusted). *)
+let split_covers ~donor_path ~path =
+  match List.rev path with
+  | [] -> false
+  | last :: rev_pre ->
+      List.mem (Sat.Types.negate last) donor_path
+      && List.for_all (fun l -> List.mem l donor_path) rev_pre
+
+let on_split_ok t src ~pid ~dst ~bytes ~path ~donor_path =
+  t.splits <- t.splits + 1;
+  if t.obs_on then Obs.Metrics.incr t.c_splits_completed;
+  close_split_span t src
+    [
+      ("outcome", Obs.Json.String "ok");
+      ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst pid) (snd pid)));
+      ("dst", Obs.Json.Int dst);
+      ("bytes", Obs.Json.Int bytes);
+    ];
+  t.pending_partner <- List.remove_assoc src t.pending_partner;
+  let donor_pid = (host t src).pid in
+  let verdict =
+    if not t.cfg.Config.certify then `Accept donor_path
+    else
+      match donor_pid with
+      | None ->
+          (* the donor's own branch concluded before this Split_ok was
+             processed; in certify mode that conclusion was certified
+             under the pre-split path, which covers both children — the
+             new branch is redundant *)
+          `Covered
+      | Some _ when split_covers ~donor_path ~path -> (
+          (* record the donor's new branch as old-path + committed
+             decision, derived from the child's path rather than taken
+             from the donor's report *)
+          match List.rev path with
+          | last :: rev_pre -> `Accept (List.rev rev_pre @ [ Sat.Types.negate last ])
+          | [] -> assert false)
+      | Some _ -> `Reject
+  in
+  match verdict with
+  | `Accept donor_lineage ->
+      Hashtbl.replace t.live_problems pid ();
+      Hashtbl.replace t.lineage pid path;
+      Hashtbl.replace t.last_holder pid dst;
+      (* the donor committed its first decision level into its own root, so
+         its lineage grew too: journal both sides of the split *)
+      (match donor_pid with
+      | Some donor_pid ->
+          Hashtbl.replace t.lineage donor_pid donor_lineage;
+          jlog t (Journal.Split { donor = src; donor_pid; donor_path = donor_lineage; pid; dst; path })
+      | None ->
+          (* reordered delivery: the donor's own branch already concluded;
+             only the new branch needs journaling *)
+          jlog t (Journal.Assigned { pid; dst; path }));
+      log t (Events.Split_completed { src; dst; bytes });
+      settle_pending_cert t pid;
+      absorb_if_refuted t ~holder:dst pid
+  | `Covered ->
+      log t (Events.Split_completed { src; dst; bytes });
+      refute_pid t pid
+  | `Reject ->
+      (* the two sides do not cover the branch being split: accepting
+         them could certify UNSAT while search space silently vanishes.
+         Write the child out of the cover (its holder is freed when it
+         reports) and quarantine the donor — its pre-split branch, whose
+         lineage was deliberately not advanced, is re-solved whole. *)
+      refute_pid t pid;
+      quarantine t ~client:src
+        ~pid:(match donor_pid with Some p -> p | None -> pid)
+        ~reason:"split paths are not complementary"
+
+let on_split_failed t src =
+  close_split_span t src [ ("outcome", Obs.Json.String "failed") ];
+  (match release_partner t src with
+  | Some partner -> unreserve t partner
+  | None -> ());
+  dispatch t
+
+let on_shares t src clauses =
+  t.share_batches <- t.share_batches + 1;
+  t.shared_clauses <- t.shared_clauses + List.length clauses;
+  let recipients = ref 0 in
+  Hashtbl.iter
+    (fun id h ->
+      if id <> src && h.rstate = Busy && Client.is_alive h.client then begin
+        incr recipients;
+        send t ~dst:id (Protocol.Share_relay { origin = src; clauses })
+      end)
+    t.hosts;
+  jlog t (Journal.Shared { clauses = List.length clauses });
+  if t.obs_on then begin
+    Obs.Metrics.add t.c_shares_relayed (List.length clauses);
+    Obs.Metrics.observe t.h_share_fanout (float_of_int !recipients);
+    minstant t ~cat:"protocol"
+      ~args:
+        [
+          ("origin", Obs.Json.Int src);
+          ("clauses", Obs.Json.Int (List.length clauses));
+          ("recipients", Obs.Json.Int !recipients);
+        ]
+      "share.broadcast"
+  end;
+  log t (Events.Shares_broadcast { origin = src; count = List.length clauses; recipients = !recipients })
+
+let on_finished_unsat t src pid proof =
+  log t (Events.Client_finished_unsat src);
+  if not t.cfg.Config.certify then begin
+    free_finisher t src;
+    (* tombstone even a pid we have no record of: under loss and retries a
+       finish can overtake the Split_ok / Problem_received that would have
+       registered it, and the journaled tombstone makes the late
+       registration harmless across a master crash too *)
+    refute_pid t pid
+  end
+  else if Hashtbl.mem t.refuted_pids pid then begin
+    (* a duplicate of a claim that was already settled *)
+    free_finisher t src;
+    refute_pid t pid
+  end
+  else
+    match Hashtbl.find_opt t.lineage pid with
+    | Some path -> settle_certification t ~src pid ~path proof
+    | None ->
+        (* the claim overtook the registration that records this branch's
+           guiding path; park it (the reporter stays marked busy) until
+           the lineage arrives and the fragment can be checked *)
+        Hashtbl.replace t.pending_cert pid (src, proof)
+
+let on_found_model t src model =
+  log t (Events.Client_found_model src);
+  let ok = Sat.Model.satisfies t.cnf model in
+  log t (Events.Model_verified ok);
+  if ok then terminate t (Sat model) "model found and verified"
+  else if t.cfg.Config.certify then
+    (* a falsified SAT claim: write the claimant off and keep solving —
+       its branch (if it held one) is re-derived and re-solved elsewhere *)
+    match (host t src).pid with
+    | Some pid -> quarantine t ~client:src ~pid ~reason:"model does not satisfy the formula"
+    | None ->
+        log t (Events.Client_quarantined { client = src });
+        kill_client t src
+  else begin
+    (* never expected outside certify mode: treat as a fatal protocol error *)
+    terminate t (Unknown "model verification failed") "model verification failed"
+  end
+
+(* A donor exhausted the retries of a peer-to-peer Problem handoff and
+   returned the branch.  Undo whatever reservation backed the handoff and
+   re-home the subproblem; a late copy reaching the original addressee
+   only duplicates work, which the pid accounting absorbs. *)
+let on_orphaned t src pid sp =
+  let h = host t src in
+  (match release_partner t src with
+  | Some partner -> unreserve t partner
+  | None -> ());
+  (match List.assoc_opt src t.migrating with
+  | Some target ->
+      t.migrating <- List.remove_assoc src t.migrating;
+      unreserve t target
+  | None -> ());
+  (* a migration source already dropped its solver state; it is idle now *)
+  if h.pid = Some pid then begin
+    if h.rstate = Busy then h.rstate <- Idle;
+    h.pid <- None
+  end;
+  if Hashtbl.mem t.refuted_pids pid then dispatch t  (* already refuted elsewhere *)
+  else begin
+    Hashtbl.replace t.live_problems pid ();
+    if (not t.cfg.Config.certify) || not (Hashtbl.mem t.lineage pid) then
+      Hashtbl.replace t.lineage pid sp.Subproblem.path;
+    assign_recovered t ~failed:src ~from_checkpoint:false pid sp
+  end
+
+(* Reconciliation after a master restart: each surviving client reports
+   what it is doing.  Busy reports are adopted (journaled, so the next
+   crash can replay them too); idle reports release any stale Busy/
+   Reserved marking the replayed journal implied. *)
+let on_resync t src ~pid ~path ~busy_since =
+  let h = host t src in
+  log t (Events.Client_resynced { client = src; busy = pid <> None });
+  (match pid with
+  | Some p when Hashtbl.mem t.refuted_pids p ->
+      (* the client is still solving a branch another copy of which was
+         already refuted — harmless duplicate work; its own finish will
+         free it, but the dead pid must not be re-adopted *)
+      h.rstate <- Busy;
+      h.pid <- Some p;
+      h.busy_since <- busy_since;
+      update_max t
+  | Some p ->
+      h.rstate <- Busy;
+      h.pid <- Some p;
+      h.busy_since <- busy_since;
+      Hashtbl.replace t.live_problems p ();
+      (* certify mode: the replayed journal's lineage (what the fragment
+         will be checked under) outranks the client's own report *)
+      if (not t.cfg.Config.certify) || not (Hashtbl.mem t.lineage p) then
+        Hashtbl.replace t.lineage p path;
+      Hashtbl.replace t.last_holder p src;
+      jlog t (Journal.Adopted { pid = p; client = src; path = Hashtbl.find t.lineage p });
+      update_max t;
+      settle_pending_cert t p
+  | None ->
+      (match h.rstate with
+      | Busy | Reserved -> h.rstate <- Idle
+      | Launching | Idle | Dead -> ());
+      h.pid <- None);
+  dispatch t
+
+let handle_payload t ~src msg =
+  match msg with
+  | Protocol.Register -> on_register t src
+  | Protocol.Problem_received { pid; from; bytes; path } ->
+      on_problem_received t src ~pid ~from ~bytes ~path
+  | Protocol.Split_request reason -> on_split_request t src reason
+  | Protocol.Split_ok { pid; dst; bytes; path; donor_path } ->
+      on_split_ok t src ~pid ~dst ~bytes ~path ~donor_path
+  | Protocol.Split_failed -> on_split_failed t src
+  | Protocol.Shares { clauses } -> on_shares t src clauses
+  | Protocol.Finished_unsat { pid; proof } -> on_finished_unsat t src pid proof
+  | Protocol.Found_model m -> on_found_model t src m
+  | Protocol.Orphaned { pid; sp } -> on_orphaned t src pid sp
+  | Protocol.Resync { pid; path; busy_since } -> on_resync t src ~pid ~path ~busy_since
+  | Protocol.Heartbeat -> ()
+  | Protocol.Problem _ | Protocol.Split_partner _ | Protocol.Share_relay _
+  | Protocol.Migrate_to _ | Protocol.Resync_request | Protocol.Stop ->
+      (* client-bound messages; the master should never receive them *)
+      ()
+  | Protocol.Corrupt_payload ->
+      (* garbled content that slipped through because integrity framing is
+         off: indistinguishable from a lost message *)
+      ()
+  | Protocol.Ack _ | Protocol.Nack _ | Protocol.Reliable _ | Protocol.Framed _ ->
+      (* unwrapped by [handle]; never nested *) ()
+
+(* A message from a host we already declared dead.  Acks still settle our
+   own retries; a model is always worth verifying; a heartbeat is proof of
+   life, i.e. a false suspicion.  Everything else is fenced: the host's
+   work was re-homed, so letting it talk again would double-count. *)
+let handle_zombie t ~src h msg =
+  let fence () =
+    if not h.fenced then begin
+      h.fenced <- true;
+      (match msg with
+      | Protocol.Heartbeat -> log t (Events.False_suspicion { client = src })
+      | _ -> ());
+      send_raw t ~dst:src Protocol.Stop
+    end
+  in
+  match msg with
+  | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
+  | Protocol.Reliable { mid; payload } -> (
+      (* ack even zombies, to quiet their retry timers *)
+      send_raw t ~dst:src (Protocol.Ack { mid });
+      fence ();
+      match payload with
+      | Protocol.Found_model m when Reliable.admit (reliable t) ~src ~mid -> on_found_model t src m
+      | _ -> ())
+  | Protocol.Found_model m ->
+      fence ();
+      on_found_model t src m
+  | _ -> fence ()
+
+let handle t ~src msg =
+  if (not t.finished) && not t.down then
+    match Hashtbl.find_opt t.hosts src with
+    | None -> ()
+    | Some h -> (
+        match Protocol.verify msg with
+        | `Corrupt payload ->
+            (* never act on rotten bytes, dead sender or not.  A live
+               reliable envelope whose mid survived in the frame header is
+               NACKed so the sender retransmits immediately instead of
+               waiting out its backoff timer. *)
+            if h.rstate <> Dead then (
+              match payload with
+              | Protocol.Reliable { mid; _ } ->
+                  log t (Events.Corrupt_message_detected { receiver = master_id; nacked = true });
+                  send_raw t ~dst:src (Protocol.Nack { mid })
+              | _ ->
+                  log t (Events.Corrupt_message_detected { receiver = master_id; nacked = false }))
+        | `Ok msg ->
+            if h.rstate = Dead then handle_zombie t ~src h msg
+            else begin
+              h.last_heard <- Grid.Sim.now t.sim;
+              match msg with
+              | Protocol.Reliable { mid; payload } ->
+                  send_raw t ~dst:src (Protocol.Ack { mid });
+                  if Reliable.admit (reliable t) ~src ~mid then handle_payload t ~src payload
+              | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
+              | Protocol.Nack { mid } -> Reliable.handle_nack (reliable t) ~mid
+              | _ -> handle_payload t ~src msg
+            end)
+
+(* ---------- failure handling ---------- *)
+
 (* Silent fault injection: the grid layer flips the host; the master only
    finds out when the failure detector's lease expires. *)
 let crash_host t id =
@@ -798,6 +1037,21 @@ let hang_host t id =
         log t (Events.Host_hung id);
         Client.hang h.client
       end
+
+(* At-rest fault injection: rot the newest [journal_records] seals of the
+   write-ahead journal and (optionally) every checkpoint snapshot.  The
+   damage is silent; it surfaces when a replay scrubs the journal tail or
+   a recovery discards the snapshot and falls back to lineage. *)
+let corrupt_storage t ~journal_records ~checkpoints =
+  log t (Events.Storage_corrupted { journal_records; checkpoints });
+  if journal_records > 0 then Journal.corrupt_tail t.journal ~n:journal_records;
+  if checkpoints then Checkpoint.corrupt_all t.checkpoints
+
+(* Test hook: deliver a forged payload to the master as if [src] had sent
+   it (bypassing the wire, so integrity framing cannot catch it) — for
+   exercising the certification and quarantine paths against answers that
+   are well-formed but wrong. *)
+let inject t ~src msg = handle_payload t ~src msg
 
 (* ---------- master crash and failover ---------- *)
 
@@ -826,7 +1080,8 @@ let crash_master t =
     t.pending_partner <- [];
     t.migrating <- [];
     t.backlog <- [];
-    t.pending_recovery <- []
+    Queue.clear t.pending_recovery;
+    Hashtbl.reset t.pending_cert
   end
 
 (* Reconciliation closes: any journaled live subproblem that no surviving
@@ -855,20 +1110,29 @@ let reconcile t =
       (fun p ->
         if not t.finished then
           match Hashtbl.find_opt t.last_holder p with
-          | Some holder when Checkpoint.restore t.checkpoints ~client:holder <> None -> (
+          | Some holder
+            when (not t.cfg.Config.certify)
+                 && Checkpoint.restore t.checkpoints ~client:holder <> None -> (
               match Checkpoint.restore t.checkpoints ~client:holder with
               | Some sp ->
                   Checkpoint.drop t.checkpoints ~client:holder;
                   assign_recovered t ~failed:holder ~from_checkpoint:true p sp
               | None -> ())
-          | holder -> rederive_lost t ~holder p)
+          | holder ->
+              (* no usable checkpoint — or a certified run, which never
+                 restores snapshots (their facts and clauses would not be
+                 re-derivable in the next holder's proof fragment) *)
+              rederive_lost t ~holder p)
       orphans;
     (* the verdict may have become decidable during the window: results
        that arrived while UNSAT was deferred could have drained the pool *)
     if
       (not t.finished)
       && Hashtbl.length t.live_problems = 0
-      && t.pending_recovery = [] && t.pending_partner = [] && t.problem_assigned
+      && Queue.is_empty t.pending_recovery
+      && t.pending_partner = []
+      && Hashtbl.length t.pending_cert = 0
+      && t.problem_assigned
     then terminate t Unsat "all subproblems refuted: unsatisfiable"
     else dispatch t
   end
@@ -1004,7 +1268,8 @@ let create ?(obs = Obs.disabled) ~sim ~net ~bus ~cfg ~testbed cnf =
       migrating = [];
       live_problems = Hashtbl.create 64;
       in_flight = Hashtbl.create 16;
-      pending_recovery = [];
+      pending_recovery = Queue.create ();
+      pending_cert = Hashtbl.create 8;
       journal = Journal.create ~obs ~compact_every:cfg.Config.journal_compact_every ();
       lineage = Hashtbl.create 64;
       last_holder = Hashtbl.create 64;
@@ -1038,6 +1303,10 @@ let create ?(obs = Obs.disabled) ~sim ~net ~bus ~cfg ~testbed cnf =
       c_recov_requeued = Obs.Metrics.counter m "master.recoveries.requeued";
       c_migrations = Obs.Metrics.counter m "master.migrations";
       c_deaths = Obs.Metrics.counter m "master.client.deaths";
+      c_corrupt_detected = Obs.Metrics.counter m "integrity.corrupt.detected";
+      c_nacks = Obs.Metrics.counter m "integrity.nacks";
+      c_certified = Obs.Metrics.counter m "certify.unsat_fragments";
+      c_quarantines = Obs.Metrics.counter m "certify.quarantines";
       h_share_fanout = Obs.Metrics.histogram m "master.share.fanout";
     }
   in

@@ -50,6 +50,20 @@ type result = {
       (** lost subproblems rebuilt from the original CNF + journaled lineage *)
   master_crashes : int;  (** injected master failures survived *)
   checkpoint_bytes : int;
+  corrupt_detected : int;
+      (** wire payloads that failed their integrity-frame digest check
+          (at any endpoint) and were refused *)
+  nacks : int;
+      (** corrupt reliable envelopes NACKed for immediate retransmit *)
+  certified_fragments : int;
+      (** UNSAT fragments whose DRUP proof checked under the branch's
+          recorded guiding path (certify mode) *)
+  quarantines : int;
+      (** clients written off because an answer failed verification *)
+  checkpoints_discarded : int;
+      (** checkpoint snapshots rejected by their at-rest seal *)
+  journal_records_dropped : int;
+      (** journal records rejected by their at-rest seal during replay *)
   solver_stats : Sat.Stats.t;  (** aggregated over all clients *)
   events : Events.t list;  (** chronological *)
 }
@@ -100,6 +114,20 @@ val crash_host : t -> int -> unit
 val hang_host : t -> int -> unit
 (** Silent fault injection: the process wedges (stops computing and
     heartbeating) but stays registered on the network. *)
+
+val corrupt_storage : t -> journal_records:int -> checkpoints:bool -> unit
+(** At-rest fault injection: flips the integrity seals of the newest
+    [journal_records] journal records and, if [checkpoints], of every
+    checkpoint snapshot.  Silent until a replay scrubs the journal tail
+    or a recovery discards the snapshot and falls back to lineage
+    re-derivation. *)
+
+val inject : t -> src:int -> Protocol.msg -> unit
+(** Test hook: delivers a forged payload to the master as if [src] had
+    sent it, bypassing the wire (so integrity framing cannot catch it).
+    Exercises the certification and quarantine paths against answers
+    that are well-formed but wrong — e.g. a {!Protocol.Finished_unsat}
+    whose proof fragment does not check. *)
 
 val crash_master : t -> unit
 (** Failure injection: the master process dies.  Its endpoint disappears

@@ -16,7 +16,7 @@ type msg =
   | Split_failed
   | Shares of { clauses : Sat.Types.lit array list }
   | Share_relay of { origin : int; clauses : Sat.Types.lit array list }
-  | Finished_unsat of { pid : pid }
+  | Finished_unsat of { pid : pid; proof : string option }
   | Found_model of Sat.Model.t
   | Migrate_to of { target : int }
   | Orphaned of { pid : pid; sp : Subproblem.t }
@@ -25,7 +25,10 @@ type msg =
   | Stop
   | Heartbeat
   | Ack of { mid : int }
+  | Nack of { mid : int }
   | Reliable of { mid : int; payload : msg }
+  | Framed of { digest : int; payload : msg }
+  | Corrupt_payload
 
 let control_bytes = 64
 
@@ -34,16 +37,21 @@ let shares_bytes clauses =
 
 let model_bytes m = control_bytes + Sat.Model.nvars m
 
+let frame_bytes = 8
+
 let rec size = function
   | Problem { sp; _ } | Orphaned { sp; _ } -> Subproblem.bytes sp
   | Shares { clauses } | Share_relay { clauses; _ } -> shares_bytes clauses
   | Found_model m -> model_bytes m
   | Reliable { payload; _ } -> size payload
+  | Framed { payload; _ } -> frame_bytes + size payload
   | Problem_received { path; _ } | Resync { path; _ } -> control_bytes + (8 * List.length path)
   | Split_ok { path; donor_path; _ } ->
       control_bytes + (8 * (List.length path + List.length donor_path))
-  | Register | Split_request _ | Split_partner _ | Split_failed | Finished_unsat _ | Migrate_to _
-  | Resync_request | Stop | Heartbeat | Ack _ ->
+  | Finished_unsat { proof; _ } ->
+      control_bytes + (match proof with None -> 0 | Some p -> String.length p)
+  | Register | Split_request _ | Split_partner _ | Split_failed | Migrate_to _ | Resync_request
+  | Stop | Heartbeat | Ack _ | Nack _ | Corrupt_payload ->
       control_bytes
 
 (* Clause shares are semantically safe to lose (a learned clause is only an
@@ -55,4 +63,94 @@ let critical = function
   | Split_failed | Finished_unsat _ | Found_model _ | Migrate_to _ | Orphaned _ | Resync_request
   | Resync _ ->
       true
-  | Shares _ | Share_relay _ | Stop | Heartbeat | Ack _ | Reliable _ -> false
+  | Shares _ | Share_relay _ | Stop | Heartbeat | Ack _ | Nack _ | Reliable _ | Framed _
+  | Corrupt_payload ->
+      false
+
+(* ---------- integrity framing ---------- *)
+
+(* Canonical rendering for digesting: every field that matters lands in the
+   buffer, in a fixed order.  Not a wire format — just a deterministic byte
+   string two ends can agree on. *)
+let rec render buf msg =
+  let pf fmt = Printf.bprintf buf fmt in
+  let lits ls = List.iter (fun l -> pf "%d " (Sat.Types.to_int l)) ls in
+  let clauses cs =
+    List.iter
+      (fun c ->
+        Array.iter (fun l -> pf "%d " (Sat.Types.to_int l)) c;
+        Buffer.add_char buf '/')
+      cs
+  in
+  match msg with
+  | Register -> pf "register"
+  | Problem { pid = o, n; sp; sent_at } ->
+      pf "problem %d.%d %h " o n sent_at;
+      Buffer.add_string buf (Subproblem.to_string sp)
+  | Problem_received { pid = o, n; from; bytes; path } ->
+      pf "received %d.%d %d %d " o n from bytes;
+      lits path
+  | Split_request `Memory -> pf "split? mem"
+  | Split_request `Long_running -> pf "split? long"
+  | Split_partner { partner } -> pf "partner %d" partner
+  | Split_ok { pid = o, n; dst; bytes; path; donor_path } ->
+      pf "split_ok %d.%d %d %d p " o n dst bytes;
+      lits path;
+      pf "d ";
+      lits donor_path
+  | Split_failed -> pf "split_failed"
+  | Shares { clauses = cs } ->
+      pf "shares ";
+      clauses cs
+  | Share_relay { origin; clauses = cs } ->
+      pf "relay %d " origin;
+      clauses cs
+  | Finished_unsat { pid = o, n; proof } ->
+      pf "unsat %d.%d " o n;
+      Option.iter (Buffer.add_string buf) proof
+  | Found_model m -> List.iter (pf "%d ") (Sat.Model.true_literals m)
+  | Migrate_to { target } -> pf "migrate %d" target
+  | Orphaned { pid = o, n; sp } ->
+      pf "orphaned %d.%d " o n;
+      Buffer.add_string buf (Subproblem.to_string sp)
+  | Resync_request -> pf "resync?"
+  | Resync { pid; path; busy_since } ->
+      (match pid with None -> pf "resync idle " | Some (o, n) -> pf "resync %d.%d " o n);
+      pf "%h " busy_since;
+      lits path
+  | Stop -> pf "stop"
+  | Heartbeat -> pf "hb"
+  | Ack { mid } -> pf "ack %d" mid
+  | Nack { mid } -> pf "nack %d" mid
+  | Reliable { mid; payload } ->
+      pf "rel %d " mid;
+      render buf payload
+  | Framed { digest; payload } ->
+      pf "frame %d " digest;
+      render buf payload
+  | Corrupt_payload -> pf "garbage"
+
+let digest msg =
+  let buf = Buffer.create 256 in
+  render buf msg;
+  Integrity.fnv1a (Buffer.contents buf)
+
+let frame msg = Framed { digest = digest msg; payload = msg }
+
+let verify = function
+  | Framed { digest = d; payload } -> if digest payload = d then `Ok payload else `Corrupt payload
+  | msg -> `Ok msg
+
+(* In-flight bit rot: the payload content becomes unreadable trash, while
+   the small fixed-position headers — the frame digest and a reliable
+   envelope's mid — survive (they carry their own header CRC in any real
+   encoding).  That is exactly the shape that lets a receiver detect the
+   damage and name the envelope to NACK. *)
+let corrupt msg =
+  let garble = function
+    | Reliable { mid; payload = _ } -> Reliable { mid; payload = Corrupt_payload }
+    | _ -> Corrupt_payload
+  in
+  match msg with
+  | Framed { digest; payload } -> Framed { digest; payload = garble payload }
+  | m -> garble m

@@ -46,7 +46,11 @@ type msg =
   | Shares of { clauses : Sat.Types.lit array list }  (** client -> master *)
   | Share_relay of { origin : int; clauses : Sat.Types.lit array list }
       (** master -> every other active client *)
-  | Finished_unsat of { pid : pid }  (** client -> master: subproblem exhausted *)
+  | Finished_unsat of { pid : pid; proof : string option }
+      (** client -> master: subproblem exhausted.  In certified runs
+          [proof] carries the client's DRUP fragment (standard text
+          format); the master RUP-checks it against the original formula
+          under the branch's journaled guiding path before believing it. *)
   | Found_model of Sat.Model.t  (** client -> master: candidate assignment *)
   | Migrate_to of { target : int }  (** master -> client directive *)
   | Orphaned of { pid : pid; sp : Subproblem.t }
@@ -63,8 +67,19 @@ type msg =
   | Stop  (** master -> everyone: run is over *)
   | Heartbeat  (** client -> master liveness beacon, fire-and-forget *)
   | Ack of { mid : int }  (** receiver -> sender: reliable envelope received *)
+  | Nack of { mid : int }
+      (** receiver -> sender: reliable envelope [mid] arrived corrupt;
+          retransmit now instead of waiting out the backoff timer *)
   | Reliable of { mid : int; payload : msg }
       (** retry envelope for critical control messages *)
+  | Framed of { digest : int; payload : msg }
+      (** integrity frame sealing every message put on the wire when
+          [Config.integrity_checks] is on; receivers verify with {!verify}
+          and refuse payloads whose digest does not match *)
+  | Corrupt_payload
+      (** what a garbled message reads as at the receiver: unparseable
+          trash.  Never sent deliberately — produced by {!corrupt} under
+          fault injection. *)
 
 val control_bytes : int
 (** Nominal size of a control message. *)
@@ -82,3 +97,24 @@ val critical : msg -> bool
 (** Whether a message must be sent through the reliable (ack/retry)
     channel.  [Shares]/[Share_relay], [Heartbeat], [Stop] and the
     envelope machinery itself are not critical. *)
+
+(** {1 Integrity framing} *)
+
+val digest : msg -> int
+(** FNV-1a digest of the message's canonical rendering (every semantic
+    field, in a fixed order).  Deterministic across runs. *)
+
+val frame : msg -> msg
+(** Seals a message for the wire: [Framed { digest = digest msg; payload = msg }]. *)
+
+val verify : msg -> [ `Ok of msg | `Corrupt of msg ]
+(** Checks and strips a {!frame}.  Unframed messages pass through as
+    [`Ok] (framing off, or pre-integrity traffic); a framed payload whose
+    digest does not match comes back as [`Corrupt payload] so the receiver
+    can still read surviving envelope headers (to NACK a [Reliable] mid). *)
+
+val corrupt : msg -> msg
+(** Fault injection's payload transform ({!Grid.Everyware.set_corrupt}):
+    garbles the message content to {!Corrupt_payload} while the framing
+    digest and a reliable envelope's [mid] — fixed-position headers with
+    their own CRC in any real encoding — survive readable. *)

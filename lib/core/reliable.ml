@@ -20,6 +20,7 @@ type t = {
   seen : (int * int, unit) Hashtbl.t;  (* (src, mid) already delivered *)
   mutable retries : int;
   mutable gave_up : int;
+  mutable nacked : int;
   obs : Obs.t;
   obs_on : bool;
   obs_tid : int;
@@ -48,6 +49,7 @@ let create ?(obs = Obs.disabled) ?(obs_tid = Obs.Span.run_tid) ~sim ~send_raw ~a
     seen = Hashtbl.create 64;
     retries = 0;
     gave_up = 0;
+    nacked = 0;
     obs;
     obs_on = Obs.enabled obs;
     obs_tid;
@@ -124,6 +126,19 @@ let handle_ack t ~mid =
       Hashtbl.remove t.outstanding mid;
       if t.obs_on then Obs.Metrics.observe t.h_ack (Grid.Sim.now t.sim -. p.sent_at)
 
+(* The receiver saw envelope [mid] arrive corrupt: the link works, the
+   payload rotted.  Retransmit immediately instead of waiting out the
+   backoff timer — the NACK is proof of connectivity, not congestion.
+   [fire] keeps the attempt accounting, so a link that corrupts everything
+   still exhausts its bounded budget and reaches [on_give_up]. *)
+let handle_nack t ~mid =
+  match Hashtbl.find_opt t.outstanding mid with
+  | None -> ()
+  | Some p ->
+      Grid.Sim.cancel t.sim p.timer;
+      t.nacked <- t.nacked + 1;
+      fire t mid
+
 (* Proof of life for [dst] (a restarted master announced itself): whatever
    is still outstanding toward it was transmitted into the outage and
    probably lost, and its exhaustion timer may be about to condemn a link
@@ -159,3 +174,5 @@ let outstanding_to t ~dst =
 let retries t = t.retries
 
 let gave_up t = t.gave_up
+
+let nacked t = t.nacked

@@ -44,6 +44,13 @@ val handle_ack : t -> mid:int -> unit
 (** Settles an outstanding send; unknown mids (duplicate acks, acks after
     give-up) are ignored. *)
 
+val handle_nack : t -> mid:int -> unit
+(** The receiver reported envelope [mid] arrived corrupt: cancel its
+    backoff timer and retransmit immediately.  The retransmission still
+    consumes an attempt, so a link that corrupts every copy exhausts the
+    bounded budget and reaches [on_give_up] rather than retrying forever.
+    Unknown mids are ignored. *)
+
 val nudge : t -> dst:int -> unit
 (** Retransmits every envelope still outstanding toward [dst] right now,
     on a reset attempt budget.  Called on proof of life from a previously
@@ -70,3 +77,6 @@ val retries : t -> int
 
 val gave_up : t -> int
 (** Sends abandoned after exhausting [max_attempts]. *)
+
+val nacked : t -> int
+(** Immediate retransmissions triggered by receiver NACKs. *)

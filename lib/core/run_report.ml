@@ -24,6 +24,12 @@ let run_section (r : Master.result) =
       ("rederivations", J.Int r.Master.rederivations);
       ("master_crashes", J.Int r.Master.master_crashes);
       ("checkpoint_bytes", J.Int r.Master.checkpoint_bytes);
+      ("corrupt_detected", J.Int r.Master.corrupt_detected);
+      ("nacks", J.Int r.Master.nacks);
+      ("certified_fragments", J.Int r.Master.certified_fragments);
+      ("quarantines", J.Int r.Master.quarantines);
+      ("checkpoints_discarded", J.Int r.Master.checkpoints_discarded);
+      ("journal_records_dropped", J.Int r.Master.journal_records_dropped);
       ("events", J.Int (List.length r.Master.events));
     ]
 

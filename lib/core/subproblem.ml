@@ -57,6 +57,28 @@ let split_from solver =
   | None -> None
   | Some (facts, path) -> Some (prune { nvars = Sat.Solver.nvars solver; facts; path; clauses })
 
+(* Certified transfers must stay lineage-pure: the travelling clause set is
+   the clause set this client itself received (inductively, a subset of the
+   original formula — [prune] with no facts only drops satisfied clauses,
+   it never strips literals), and no root facts travel, so the receiver's
+   whole root state is exactly its guiding path.  The master can then check
+   the receiver's eventual DRUP fragment against the original CNF under
+   the journaled path alone. *)
+let split_pure ~origin solver =
+  match Sat.Solver.split solver with
+  | None -> None
+  | Some (_facts, path) ->
+      Some (prune { nvars = origin.nvars; facts = []; path; clauses = origin.clauses })
+
+let capture_pure ~origin solver =
+  prune
+    {
+      nvars = origin.nvars;
+      facts = [];
+      path = Sat.Solver.root_path solver;
+      clauses = origin.clauses;
+    }
+
 (* Wire format:
      p subproblem <nvars> <nclauses>
      f <facts as DIMACS ints> 0

@@ -46,6 +46,20 @@ val split_from : Sat.Solver.t -> t option
     the complementary subproblem (pruned against its own root).  [None]
     if the solver has no decision to split on. *)
 
+val split_pure : origin:t -> Sat.Solver.t -> t option
+(** Like {!split_from}, but {e lineage-pure} for certified runs: instead
+    of the donor's current clause database (learned clauses, stripped
+    literals), the new branch carries [origin]'s clause set — what the
+    donor itself originally received — with no root facts, so the
+    receiver's entire root state is its guiding path.  Inductively every
+    certified transfer stays a subset of the original formula, which is
+    what lets the master check the receiver's DRUP fragment against the
+    original CNF under the journaled path alone. *)
+
+val capture_pure : origin:t -> Sat.Solver.t -> t
+(** Lineage-pure {!capture}: [origin]'s clauses under the solver's current
+    guiding path, for migrations during certified runs. *)
+
 val prune : t -> t
 (** The paper's "inconsequential clause removal": drops clauses satisfied
     by the root assignment and strips false literals whose negation is a

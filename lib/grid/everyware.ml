@@ -1,4 +1,4 @@
-type fault_decision = Deliver | Drop | Delay of float | Duplicate of float
+type fault_decision = Deliver | Drop | Delay of float | Duplicate of float | Corrupt
 
 type 'msg endpoint = { site : string; handler : src:int -> 'msg -> unit }
 
@@ -10,12 +10,15 @@ type 'msg t = {
   mutable bytes : int;
   mutable dropped : int;
   mutable dropped_bytes : int;
+  mutable corrupted : int;
   mutable fault : (src_site:string -> dst_site:string -> bytes:int -> fault_decision) option;
+  mutable corruptor : ('msg -> 'msg) option;
   obs : Obs.t;
   obs_on : bool;
   c_sent : Obs.Metrics.counter;
   c_dropped : Obs.Metrics.counter;
   c_duplicated : Obs.Metrics.counter;
+  c_corrupted : Obs.Metrics.counter;
   (* per-site-pair histograms, cached so a send never re-derives labels *)
   pair_hists : (string * string, Obs.Metrics.histogram * Obs.Metrics.histogram) Hashtbl.t;
 }
@@ -30,12 +33,15 @@ let create ?(obs = Obs.disabled) sim net =
     bytes = 0;
     dropped = 0;
     dropped_bytes = 0;
+    corrupted = 0;
     fault = None;
+    corruptor = None;
     obs;
     obs_on = Obs.enabled obs;
     c_sent = Obs.Metrics.counter m "net.messages.sent";
     c_dropped = Obs.Metrics.counter m "net.messages.dropped";
     c_duplicated = Obs.Metrics.counter m "net.messages.duplicated";
+    c_corrupted = Obs.Metrics.counter m "net.messages.corrupted";
     pair_hists = Hashtbl.create 16;
   }
 
@@ -48,6 +54,8 @@ let registered t ~id = Hashtbl.mem t.endpoints id
 let set_fault t f = t.fault <- Some f
 
 let clear_fault t = t.fault <- None
+
+let set_corrupt t f = t.corruptor <- Some f
 
 let site_of t id =
   match Hashtbl.find_opt t.endpoints id with
@@ -84,13 +92,14 @@ let send t ~src ~dst ~bytes msg =
     Obs.Metrics.observe h_bytes (float_of_int bytes);
     Obs.Metrics.observe h_latency delay
   end;
-  let deliver extra =
+  let deliver_msg extra m =
     ignore
       (Sim.schedule t.sim ~delay:(delay +. extra) (fun () ->
            match Hashtbl.find_opt t.endpoints dst with
-           | Some e -> e.handler ~src msg
+           | Some e -> e.handler ~src m
            | None -> () (* endpoint vanished while the message was in flight *)))
   in
+  let deliver extra = deliver_msg extra msg in
   let decision =
     match t.fault with None -> Deliver | Some f -> f ~src_site ~dst_site ~bytes
   in
@@ -105,6 +114,16 @@ let send t ~src ~dst ~bytes msg =
       if t.obs_on then Obs.Metrics.incr t.c_duplicated;
       deliver 0.;
       deliver (Float.max 0. extra)
+  | Corrupt -> (
+      (* the payload bytes rot in flight; delivery timing is unchanged.
+         Without an installed corruptor the decision degrades to Deliver
+         (the bus does not know the message representation). *)
+      match t.corruptor with
+      | None -> deliver 0.
+      | Some f ->
+          t.corrupted <- t.corrupted + 1;
+          if t.obs_on then Obs.Metrics.incr t.c_corrupted;
+          deliver_msg 0. (f msg))
 
 let messages_sent t = t.messages
 
@@ -113,3 +132,5 @@ let bytes_sent t = t.bytes
 let messages_dropped t = t.dropped
 
 let bytes_dropped t = t.dropped_bytes
+
+let messages_corrupted t = t.corrupted

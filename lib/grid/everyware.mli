@@ -17,6 +17,10 @@ type fault_decision =
   | Drop  (** the message is lost; counted in {!messages_dropped} *)
   | Delay of float  (** delivered, but this many extra seconds late *)
   | Duplicate of float  (** delivered normally, plus a second copy this much later *)
+  | Corrupt
+      (** delivered on time, but the payload is passed through the hook
+          installed with {!set_corrupt} (bit rot in flight); degrades to
+          [Deliver] if no corruptor is installed *)
 
 type 'msg t
 
@@ -50,6 +54,12 @@ val set_fault :
 
 val clear_fault : 'msg t -> unit
 
+val set_corrupt : 'msg t -> ('msg -> 'msg) -> unit
+(** Installs the payload transform applied when the fault hook answers
+    [Corrupt].  The transform models in-flight bit rot and must be
+    deterministic; the protocol layer supplies one that garbles message
+    content while leaving routing/framing headers readable. *)
+
 val messages_sent : 'msg t -> int
 
 val bytes_sent : 'msg t -> int
@@ -58,6 +68,9 @@ val messages_dropped : 'msg t -> int
 (** Messages the fault hook decided to drop. *)
 
 val bytes_dropped : 'msg t -> int
+
+val messages_corrupted : 'msg t -> int
+(** Messages whose payload the fault hook garbled in flight. *)
 
 val transfer_time : 'msg t -> src:int -> dst:int -> bytes:int -> float
 (** The delay {!send} would apply right now (used by clients to record

@@ -18,6 +18,14 @@ type spec =
       until_t : float;
     }
   | Duplicate_messages of { p : float; extra : float; from_t : float; until_t : float }
+  | Corrupt_messages of {
+      src_site : string option;
+      dst_site : string option;
+      p : float;
+      from_t : float;
+      until_t : float;
+    }
+  | Corrupt_storage of { at : float; journal_records : int; checkpoints : bool }
 
 type counters = {
   crashes : int;
@@ -26,6 +34,8 @@ type counters = {
   dropped : int;
   delayed : int;
   duplicated : int;
+  corrupted : int;
+  storage_corruptions : int;
 }
 
 type t = {
@@ -38,10 +48,13 @@ type t = {
   mutable dropped : int;
   mutable delayed : int;
   mutable duplicated : int;
+  mutable corrupted : int;
+  mutable storage_corruptions : int;
 }
 
 let arm ~sim ~seed ~on_crash ~on_hang ?(on_master_crash = fun () -> ())
-    ?(on_master_restart = fun () -> ()) specs =
+    ?(on_master_restart = fun () -> ())
+    ?(on_storage_corrupt = fun ~journal_records:_ ~checkpoints:_ -> ()) specs =
   let t =
     {
       sim;
@@ -53,6 +66,8 @@ let arm ~sim ~seed ~on_crash ~on_hang ?(on_master_crash = fun () -> ())
       dropped = 0;
       delayed = 0;
       duplicated = 0;
+      corrupted = 0;
+      storage_corruptions = 0;
     }
   in
   List.iter
@@ -73,7 +88,14 @@ let arm ~sim ~seed ~on_crash ~on_hang ?(on_master_crash = fun () -> ())
                  t.master_crashes <- t.master_crashes + 1;
                  on_master_crash ()));
           ignore (Sim.schedule_at sim ~time:(at +. restart_after) (fun () -> on_master_restart ()))
-      | Drop_messages _ | Partition_site _ | Latency_spike _ | Duplicate_messages _ -> ())
+      | Corrupt_storage { at; journal_records; checkpoints } ->
+          ignore
+            (Sim.schedule_at sim ~time:at (fun () ->
+                 t.storage_corruptions <- t.storage_corruptions + 1;
+                 on_storage_corrupt ~journal_records ~checkpoints))
+      | Drop_messages _ | Partition_site _ | Latency_spike _ | Duplicate_messages _
+      | Corrupt_messages _ ->
+          ())
     specs;
   t
 
@@ -103,13 +125,29 @@ let decide t ~src_site ~dst_site ~bytes:_ =
             in_window now ~from_t ~until_t
             && link_matches ~a ~b ~src_site ~dst_site
             && Random.State.float t.rng 1.0 < p
-        | Crash_host _ | Hang_host _ | Crash_master _ | Latency_spike _ | Duplicate_messages _ ->
+        | Crash_host _ | Hang_host _ | Crash_master _ | Latency_spike _ | Duplicate_messages _
+        | Corrupt_messages _ | Corrupt_storage _ ->
             false)
       t.specs
   in
   if dropped then begin
     t.dropped <- t.dropped + 1;
     Everyware.Drop
+  end
+  else if
+    (* a lost message beats a garbled one; a garbled one beats mere lateness
+       (the payload is already trash, extra delay adds nothing to the model) *)
+    List.exists
+      (function
+        | Corrupt_messages { src_site = a; dst_site = b; p; from_t; until_t } ->
+            in_window now ~from_t ~until_t
+            && link_matches ~a ~b ~src_site ~dst_site
+            && Random.State.float t.rng 1.0 < p
+        | _ -> false)
+      t.specs
+  then begin
+    t.corrupted <- t.corrupted + 1;
+    Everyware.Corrupt
   end
   else begin
     let extra_delay =
@@ -154,4 +192,49 @@ let counters t =
     dropped = t.dropped;
     delayed = t.delayed;
     duplicated = t.duplicated;
+    corrupted = t.corrupted;
+    storage_corruptions = t.storage_corruptions;
   }
+
+let validate specs =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let prob what p = if p < 0. || p > 1. then Some (what, p) else None in
+  let window what ~from_t ~until_t =
+    if until_t < from_t then err "%s: until_t (%g) precedes from_t (%g)" what until_t from_t
+    else Ok ()
+  in
+  let check = function
+    | Crash_host { at; _ } | Hang_host { at; _ } ->
+        if at < 0. then err "crash/hang time must be non-negative, got %g" at else Ok ()
+    | Crash_master { at; restart_after } ->
+        if at < 0. then err "Crash_master: at must be non-negative, got %g" at
+        else if restart_after < 0. then
+          err "Crash_master: restart_after must be non-negative, got %g" restart_after
+        else Ok ()
+    | Drop_messages { p; from_t; until_t; _ } -> (
+        match prob "Drop_messages" p with
+        | Some (what, p) -> err "%s: probability %g outside [0, 1]" what p
+        | None -> window "Drop_messages" ~from_t ~until_t)
+    | Partition_site { from_t; until_t; _ } -> window "Partition_site" ~from_t ~until_t
+    | Latency_spike { extra; from_t; until_t; _ } ->
+        if extra < 0. then err "Latency_spike: extra must be non-negative, got %g" extra
+        else window "Latency_spike" ~from_t ~until_t
+    | Duplicate_messages { p; extra; from_t; until_t } -> (
+        match prob "Duplicate_messages" p with
+        | Some (what, p) -> err "%s: probability %g outside [0, 1]" what p
+        | None ->
+            if extra < 0. then err "Duplicate_messages: extra must be non-negative, got %g" extra
+            else window "Duplicate_messages" ~from_t ~until_t)
+    | Corrupt_messages { p; from_t; until_t; _ } -> (
+        match prob "Corrupt_messages" p with
+        | Some (what, p) -> err "%s: probability %g outside [0, 1]" what p
+        | None -> window "Corrupt_messages" ~from_t ~until_t)
+    | Corrupt_storage { at; journal_records; _ } ->
+        if at < 0. then err "Corrupt_storage: at must be non-negative, got %g" at
+        else if journal_records < 0 then
+          err "Corrupt_storage: journal_records must be non-negative, got %d" journal_records
+        else Ok ()
+  in
+  List.fold_left
+    (fun acc spec -> match acc with Error _ -> acc | Ok () -> check spec)
+    (Ok ()) specs

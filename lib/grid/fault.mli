@@ -47,6 +47,20 @@ type spec =
       until_t : float;
     }
   | Duplicate_messages of { p : float; extra : float; from_t : float; until_t : float }
+  | Corrupt_messages of {
+      src_site : string option;
+      dst_site : string option;
+      p : float;
+      from_t : float;
+      until_t : float;
+    }
+      (** each message on a matching link has its payload garbled in flight
+          with probability [p] during the window — the receiver gets the
+          message on time, but its content is trash.  A lost message beats a
+          garbled one when both fire. *)
+  | Corrupt_storage of { at : float; journal_records : int; checkpoints : bool }
+      (** at time [at], rot the newest [journal_records] write-ahead journal
+          records and (if [checkpoints]) every checkpoint snapshot at rest *)
 
 type counters = {
   crashes : int;
@@ -55,6 +69,8 @@ type counters = {
   dropped : int;  (** messages the plan decided to lose *)
   delayed : int;
   duplicated : int;
+  corrupted : int;  (** messages whose payload the plan garbled in flight *)
+  storage_corruptions : int;  (** [Corrupt_storage] actions fired *)
 }
 
 type t
@@ -66,13 +82,16 @@ val arm :
   on_hang:(int -> unit) ->
   ?on_master_crash:(unit -> unit) ->
   ?on_master_restart:(unit -> unit) ->
+  ?on_storage_corrupt:(journal_records:int -> checkpoints:bool -> unit) ->
   spec list ->
   t
 (** Schedules the plan's crash/hang actions on [sim] and returns the
     controller whose {!decide} implements the message faults.  [on_crash]
     and [on_hang] receive the host id at the scripted instant;
     [on_master_crash] / [on_master_restart] (default no-ops) fire at a
-    {!Crash_master} spec's [at] and [at +. restart_after]. *)
+    {!Crash_master} spec's [at] and [at +. restart_after];
+    [on_storage_corrupt] (default no-op) fires at a {!Corrupt_storage}
+    spec's [at] with the spec's scope. *)
 
 val decide :
   t -> src_site:string -> dst_site:string -> bytes:int -> Everyware.fault_decision
@@ -80,3 +99,9 @@ val decide :
 
 val counters : t -> counters
 (** How many faults the plan has injected so far. *)
+
+val validate : spec list -> (unit, string) result
+(** Rejects malformed plans with a descriptive message: probabilities
+    outside [[0, 1]], windows whose [until_t] precedes [from_t], negative
+    times, delays or record counts.  Called by the {!Gridsat} entry points
+    before a plan is armed. *)

@@ -110,32 +110,49 @@ let check_clause_rup cnf earlier clause =
   List.iter (Engine.add e) earlier;
   Engine.propagates_to_conflict e (List.map T.negate (Array.to_list clause))
 
-let check cnf proof =
-  let e = Engine.create (Cnf.nvars cnf) in
+(* Proof text arriving over the network is untrusted: a literal whose
+   variable exceeds the formula's range would index out of the engine's
+   arrays, so every step is bounds-checked before it touches the engine. *)
+let check_under cnf ~assumptions proof =
+  let nvars = Cnf.nvars cnf in
+  let in_bounds l =
+    let v = T.var l in
+    v >= 1 && v <= nvars
+  in
+  let bad_lits lits = List.find_opt (fun l -> not (in_bounds l)) (Array.to_list lits) in
+  let e = Engine.create nvars in
   Cnf.iter (Engine.add e) cnf;
   let rec replay i = function
     | [] ->
         (* implicit final empty clause: the accumulated database must be
-           unit-refutable *)
-        if Engine.propagates_to_conflict e [] then Ok ()
+           unit-refutable under the assumptions *)
+        if Engine.propagates_to_conflict e assumptions then Ok ()
         else Error "proof does not derive the empty clause"
     | Add [||] :: _ ->
-        if Engine.propagates_to_conflict e [] then Ok ()
+        if Engine.propagates_to_conflict e assumptions then Ok ()
         else Error (Printf.sprintf "step %d: explicit empty clause is not RUP" i)
-    | Add lits :: rest ->
-        let negated = List.map T.negate (Array.to_list lits) in
-        if Engine.propagates_to_conflict e negated then begin
-          Engine.add e lits;
-          replay (i + 1) rest
-        end
-        else
-          Error
-            (Format.asprintf "step %d: clause %a is not RUP" i T.pp_clause lits)
-    | Delete lits :: rest ->
-        Engine.delete e lits;
-        replay (i + 1) rest
+    | Add lits :: rest -> (
+        match bad_lits lits with
+        | Some l -> Error (Printf.sprintf "step %d: literal %d out of range" i (T.to_int l))
+        | None ->
+            let negated = List.map T.negate (Array.to_list lits) in
+            if Engine.propagates_to_conflict e (assumptions @ negated) then begin
+              Engine.add e lits;
+              replay (i + 1) rest
+            end
+            else Error (Format.asprintf "step %d: clause %a is not RUP" i T.pp_clause lits))
+    | Delete lits :: rest -> (
+        match bad_lits lits with
+        | Some l -> Error (Printf.sprintf "step %d: literal %d out of range" i (T.to_int l))
+        | None ->
+            Engine.delete e lits;
+            replay (i + 1) rest)
   in
-  if Cnf.has_empty_clause cnf then Ok () else replay 0 proof
+  match List.find_opt (fun l -> not (in_bounds l)) assumptions with
+  | Some l -> Error (Printf.sprintf "assumption literal %d out of range" (T.to_int l))
+  | None -> if Cnf.has_empty_clause cnf then Ok () else replay 0 proof
+
+let check cnf proof = check_under cnf ~assumptions:[] proof
 
 (* ---------- DRUP text format ---------- *)
 
@@ -167,6 +184,8 @@ let of_string text =
       in
       match List.rev ints with
       | 0 :: rev_lits ->
+          if List.mem 0 rev_lits then
+            failwith "Drup.of_string: 0 inside a clause (truncated or merged lines?)";
           let lits = Array.of_list (List.rev_map T.lit_of_int rev_lits) in
           Some (if is_delete then Delete lits else Add lits)
       | _ -> failwith "Drup.of_string: line not terminated by 0"

@@ -25,6 +25,20 @@ val check : Cnf.t -> t -> (unit, string) result
     and that the proof derives the empty clause (or an immediate root
     conflict).  Returns a diagnostic on failure. *)
 
+val check_under : Cnf.t -> assumptions:Types.lit list -> t -> (unit, string) result
+(** [check_under cnf ~assumptions proof] is {!check} relative to a set of
+    assumed literals: every RUP test (and the final empty-clause check) is
+    seeded with [assumptions] in addition to the negated clause.  A proof
+    that checks certifies that [cnf /\ assumptions] is unsatisfiable —
+    exactly what a guiding-path subproblem claims, with [assumptions] the
+    branch's path literals.  This is how the master certifies each
+    distributed UNSAT fragment: the fragment only needs to be valid under
+    its own branch, not for the global formula.  Unit propagation is
+    monotone under extra assumptions, so any proof accepted by {!check}
+    is accepted here too.  Proof steps (and assumptions) mentioning
+    variables outside the formula's range yield [Error], never an
+    exception — proof text that crossed the network is untrusted input. *)
+
 val check_clause_rup : Cnf.t -> Types.lit array list -> Types.lit array -> bool
 (** [check_clause_rup cnf earlier clause] checks a single RUP step:
     asserting the negation of [clause] and unit-propagating over

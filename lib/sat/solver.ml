@@ -214,11 +214,21 @@ let enqueue ?(taint = false) t l reason =
   t.assigns.(v) <- (if T.is_pos l then T.True else T.False);
   t.levels.(v) <- decision_level t;
   t.reasons.(v) <- reason;
-  if decision_level t = 0 then
+  if decision_level t = 0 then begin
     t.tainted.(v) <-
       (match reason with
       | Some c -> Array.exists (fun q -> T.var q <> v && t.tainted.(T.var q)) c.lits
-      | None -> taint)
+      | None -> taint);
+    (* Root assignments are permanent, but their antecedents are not:
+       [simplify_db] forgets them and [reduce_db] may then delete the
+       clause, after which a proof checker's unit propagation could no
+       longer re-derive the literal.  Persist each root literal as a unit
+       proof step while its derivation is still in the database (it is RUP
+       here: assumptions seed the guiding-path literals, propagation the
+       rest).  The [emit_proof] guard is repeated to keep the step
+       allocation off the hot path. *)
+    if t.cfg.emit_proof then log_proof t (Drup.Add [| l |])
+  end
   else t.tainted.(v) <- false;
   Vec.push t.trail l
 
@@ -472,7 +482,13 @@ let install_clause_root t ~learned ~activity lits =
         `Implication
     | _ ->
         let arr = Array.of_list (unknowns @ falses) in
-        log_proof t (Drup.Add (Array.copy arr));
+        (* an original clause installed verbatim is already in the checker's
+           database; logging it would only bloat transferred proof
+           fragments.  A proof step is owed only when the stored clause
+           differs from the formula: learned/foreign, or strengthened by
+           root-level stripping. *)
+        if learned || List.length kept < Array.length lits then
+          log_proof t (Drup.Add (Array.copy arr));
         let c = { lits = arr; learned; activity; deleted = false } in
         attach_clause t c;
         if learned then Vec.push t.learnts c else Vec.push t.clauses c;
@@ -875,7 +891,9 @@ let split t =
     done;
     backtrack t 0;
     (* commit this side of the branch: the whole first decision level moves
-       into the root as (tainted) guiding-path assumptions *)
+       into the root as (tainted) guiding-path assumptions ([enqueue] logs
+       each as a unit proof step, keeping the fragment checkable after the
+       original antecedents are forgotten) *)
     List.iter
       (fun l ->
         match value_of_lit t l with

@@ -55,6 +55,13 @@ let chaos_config =
     suspect_timeout = 30.;
   }
 
+(* Certified runs: every UNSAT claim must carry a DRUP fragment that
+   checks under the branch's journaled guiding path.  Clause sharing is
+   off (a foreign clause is not derivable from the receiver's own
+   fragment) and integrity framing is on, as [Config.validate] demands. *)
+let certify_config =
+  { chaos_config with Cfg.certify = true; integrity_checks = true; share_max_len = 0 }
+
 let workloads =
   [
     ("php-6-5", Workloads.Php.instance ~pigeons:6 ~holes:5);
@@ -132,6 +139,32 @@ let scenarios =
               { src_site = None; dst_site = None; p = 0.2; from_t = 0.; until_t = infinity };
           ]);
       proof = [ (function C.Events.Message_retried _ -> true | _ -> false) ];
+    };
+    {
+      sname = "corrupt-p02";
+      config = chaos_config;
+      plan =
+        (fun _ ->
+          [
+            F.Corrupt_messages
+              { src_site = None; dst_site = None; p = 0.02; from_t = 0.; until_t = infinity };
+          ]);
+      proof = [ (function C.Events.Corrupt_message_detected _ -> true | _ -> false) ];
+    };
+    {
+      sname = "corrupt-p05-certified";
+      config = certify_config;
+      plan =
+        (fun _ ->
+          [
+            F.Corrupt_messages
+              { src_site = None; dst_site = None; p = 0.05; from_t = 0.; until_t = infinity };
+          ]);
+      proof =
+        [
+          (function C.Events.Corrupt_message_detected _ -> true | _ -> false);
+          (function C.Events.Unsat_fragment_certified _ -> true | _ -> false);
+        ];
     };
     {
       sname = "master-crash";
@@ -288,6 +321,112 @@ let test_refutation_tombstone_survives_reorder () =
   check bool "tombstone survives compaction" false (Hashtbl.mem st2.live pid);
   check Alcotest.string "reordered replays agree" (digest st) (digest (replay j))
 
+(* ---------- integrity and certification ---------- *)
+
+(* The acceptance bar for certified runs: a multi-client UNSAT under 5%
+   payload corruption must still terminate with the right verdict, every
+   refuted branch covered by a checked fragment, and the corruption must
+   be visible in the counters — detected payloads, NACKed retransmits —
+   with zero quarantines (corruption is detected at the frame, it never
+   reaches the checker as a wrong answer). *)
+let test_certified_unsat_under_corruption () =
+  let cnf = Workloads.Php.instance ~pigeons:7 ~holes:6 in
+  let plan =
+    [
+      F.Corrupt_messages
+        { src_site = None; dst_site = None; p = 0.05; from_t = 0.; until_t = infinity };
+    ]
+  in
+  let r = solve ~config:certify_config ~fault_plan:plan cnf in
+  check Alcotest.string "certified UNSAT under 5% corruption" "UNSAT"
+    (answer_kind r.C.Master.answer);
+  check bool "the run actually split across clients" true (r.C.Master.splits > 0);
+  check bool "corrupt payloads were detected" true (r.C.Master.corrupt_detected > 0);
+  check bool "corrupt reliable envelopes were NACKed" true (r.C.Master.nacks > 0);
+  check bool "refuted branches carried certified fragments" true
+    (r.C.Master.certified_fragments > 0);
+  check Alcotest.int "no honest client was quarantined" 0 r.C.Master.quarantines
+
+(* A forged refutation: a busy client claims the initial subproblem is
+   unsatisfiable with a proof that derives nothing.  The fragment check
+   must fail, the forger must be quarantined and its own work re-derived
+   elsewhere, and the final verdict must be unaffected. *)
+let test_forged_refutation_quarantined () =
+  let cnf = Workloads.Php.instance ~pigeons:7 ~holes:6 in
+  let r =
+    solve ~config:certify_config
+      ~on_master:(fun m ->
+        C.Master.schedule m ~delay:3. (fun () ->
+            match C.Master.busy_client_ids m with
+            | [] -> ()
+            | c :: _ ->
+                C.Master.inject m ~src:c
+                  (C.Protocol.Finished_unsat { pid = (0, 0); proof = Some "" })))
+      cnf
+  in
+  check Alcotest.string "verdict survives a forged refutation" "UNSAT"
+    (answer_kind r.C.Master.answer);
+  check bool "certification failure logged" true
+    (has_event (function C.Events.Certification_failed _ -> true | _ -> false) r);
+  check bool "forger quarantined" true
+    (has_event (function C.Events.Client_quarantined _ -> true | _ -> false) r);
+  check bool "quarantine surfaced in the result" true (r.C.Master.quarantines > 0)
+
+(* Checkpoint rot: every snapshot's at-rest seal is flipped just before
+   the holder of the initial problem crashes.  The recovery path must
+   refuse the rotten snapshot and fall back to lineage re-derivation
+   instead of silently restoring garbage. *)
+let test_checkpoint_rot_falls_back_to_lineage () =
+  let cnf = Workloads.Php.instance ~pigeons:7 ~holes:6 in
+  let baseline = solve cnf in
+  let at = crash_time baseline.C.Master.time in
+  let plan =
+    [
+      F.Corrupt_storage { at; journal_records = 0; checkpoints = true };
+      F.Crash_host { host = 1; at = at +. 0.01 };
+    ]
+  in
+  let r = solve ~fault_plan:plan cnf in
+  check Alcotest.string "verdict survives checkpoint rot" "UNSAT" (answer_kind r.C.Master.answer);
+  check bool "storage corruption logged" true
+    (has_event (function C.Events.Storage_corrupted _ -> true | _ -> false) r);
+  check bool "rotten snapshot discarded" true (r.C.Master.checkpoints_discarded > 0);
+  check bool "lost work re-derived from lineage" true
+    (has_event (function C.Events.Rederived_from_lineage _ -> true | _ -> false) r)
+
+(* Journal tail rot: records whose seal no longer matches are scrubbed on
+   replay — the good prefix survives, the torn tail is dropped and
+   counted, never half-applied. *)
+let test_journal_corrupt_tail_scrubbed () =
+  let open C.Journal in
+  let j = create ~compact_every:100 () in
+  append j (Registered { client = 1 });
+  append j (Assigned { pid = (0, 0); dst = 1; path = [] });
+  append j (Refuted { pid = (0, 0) });
+  corrupt_tail j ~n:2;
+  let st = replay j in
+  check Alcotest.int "both rotten records dropped" 2 (records_dropped j);
+  check bool "good prefix survived: client registration applied" true
+    (Hashtbl.mem st.clients 1);
+  check bool "rotten refutation not applied" false (Hashtbl.mem st.refuted (0, 0))
+
+let test_checkpoint_corrupt_all_discards () =
+  let cnf = Workloads.Php.instance ~pigeons:4 ~holes:3 in
+  let ck = C.Checkpoint.create cnf in
+  let sp = C.Subproblem.initial cnf in
+  ignore (C.Checkpoint.save ck ~client:1 ~mode:Cfg.Heavy sp);
+  (match C.Checkpoint.restore ck ~client:1 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "intact snapshot must restore");
+  C.Checkpoint.corrupt_all ck;
+  (match C.Checkpoint.restore ck ~client:1 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "rotten snapshot must be refused");
+  check Alcotest.int "discard counted" 1 (C.Checkpoint.discarded ck);
+  (* discarding is destructive: a second restore finds nothing *)
+  check bool "rotten snapshot removed from the store" true
+    (C.Checkpoint.restore ck ~client:1 = None)
+
 let () =
   let matrix =
     List.concat_map
@@ -313,5 +452,18 @@ let () =
             test_client_dies_during_outage_no_checkpoint;
           Alcotest.test_case "refutation tombstone survives reorder" `Quick
             test_refutation_tombstone_survives_reorder;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "certified UNSAT under 5% corruption" `Slow
+            test_certified_unsat_under_corruption;
+          Alcotest.test_case "forged refutation quarantined" `Slow
+            test_forged_refutation_quarantined;
+          Alcotest.test_case "checkpoint rot falls back to lineage" `Slow
+            test_checkpoint_rot_falls_back_to_lineage;
+          Alcotest.test_case "journal corrupt tail scrubbed" `Quick
+            test_journal_corrupt_tail_scrubbed;
+          Alcotest.test_case "checkpoint corrupt_all discards" `Quick
+            test_checkpoint_corrupt_all_discards;
         ] );
     ]

@@ -405,6 +405,55 @@ let test_gridsat_migration () =
   check bool "migration happened" true
     (has_event (function C.Events.Migration { src = 1; dst = 2; _ } -> true | _ -> false) r)
 
+(* The migrated branch is moved, not copied or re-derived: after
+   Migrate_to -> transfer -> resume, the destination holds the same
+   subproblem and finishes it, and the timeline never shows the work
+   double-counted or lost. *)
+let test_gridsat_migration_preserves_subproblem () =
+  let slow =
+    Grid.Resource.make ~id:1 ~name:"slow" ~site:"a" ~speed:50. ~mem_bytes:(512 * 1024 * 1024)
+      ~kind:Grid.Resource.Interactive
+  in
+  let fast =
+    Grid.Resource.make ~id:2 ~name:"fast" ~site:"a" ~speed:1000. ~mem_bytes:(512 * 1024 * 1024)
+      ~kind:Grid.Resource.Interactive
+  in
+  let testbed =
+    {
+      C.Testbed.name = "mig-resume";
+      master_site = "a";
+      hosts =
+        [
+          { C.Testbed.resource = slow; trace = Grid.Trace.constant 1.0 };
+          { C.Testbed.resource = fast; trace = Grid.Trace.constant 1.0 };
+        ];
+      batch = None;
+      late_hosts = [];
+      configure_network = (fun _ -> ());
+    }
+  in
+  (* splitting off: exactly one subproblem exists for the whole run, so
+     whoever finishes must have resumed the migrated branch *)
+  let config = { eager_config with Cfg.split_timeout = 1000. } in
+  let r = C.Gridsat.solve ~config ~testbed (php ~pigeons:7 ~holes:6) in
+  check bool "unsat" true (is_unsat (answer_of_result r));
+  check (Alcotest.int) "no splits: a single preserved branch" 0 r.C.Master.splits;
+  let index p =
+    let rec go i = function
+      | [] -> -1
+      | e :: rest -> if p e.C.Events.kind then i else go (i + 1) rest
+    in
+    go 0 r.C.Master.events
+  in
+  let assigned = index (function C.Events.Problem_assigned { dst = 1; _ } -> true | _ -> false) in
+  let migrated = index (function C.Events.Migration { src = 1; dst = 2; _ } -> true | _ -> false) in
+  let finished = index (function C.Events.Client_finished_unsat 2 -> true | _ -> false) in
+  check bool "timeline records the migration" true (migrated >= 0);
+  check bool "migration follows the initial assignment" true (assigned >= 0 && assigned < migrated);
+  check bool "destination resumed and finished the migrated branch" true (finished > migrated);
+  let curve = C.Timeline.busy_curve r.C.Master.events in
+  check (Alcotest.int) "the branch is never double-counted" 1 (C.Timeline.peak curve)
+
 let test_gridsat_migration_disabled () =
   let config = { eager_config with Cfg.migration_enabled = false } in
   let r = C.Gridsat.solve ~config ~testbed:testbed4 (php ~pigeons:6 ~holes:5) in
@@ -683,7 +732,7 @@ let test_protocol_sizes () =
        (C.Protocol.Reliable { mid = 3; payload = C.Protocol.Problem { pid = (1, 0); sp; sent_at = 0. } })
     = Sub.bytes sp);
   check bool "critical classification" true
-    (C.Protocol.critical (C.Protocol.Finished_unsat { pid = (1, 0) })
+    (C.Protocol.critical (C.Protocol.Finished_unsat { pid = (1, 0); proof = None })
     && C.Protocol.critical (C.Protocol.Orphaned { pid = (1, 0); sp })
     && (not (C.Protocol.critical C.Protocol.Heartbeat))
     && not (C.Protocol.critical (C.Protocol.Shares { clauses = [] })));
@@ -790,9 +839,48 @@ let test_config_validate () =
   (match Cfg.validate { Cfg.default with Cfg.retry_max_attempts = -1 } with
   | Error msg -> check bool "error names the field" true (contains msg "retry")
   | Ok () -> Alcotest.fail "negative retry budget accepted");
+  check bool "certify requires integrity framing" true
+    (rejects
+       { Cfg.default with Cfg.certify = true; integrity_checks = false; share_max_len = 0 });
+  check bool "certify forbids clause sharing" true
+    (rejects { Cfg.default with Cfg.certify = true; integrity_checks = true; share_max_len = 10 });
+  check bool "certify with sharing off and framing on is valid" true
+    (ok { Cfg.default with Cfg.certify = true; integrity_checks = true; share_max_len = 0 });
   match Cfg.validate_exn { Cfg.default with Cfg.suspect_timeout = 1.; heartbeat_period = 5. } with
   | () -> Alcotest.fail "validate_exn let an inconsistent config through"
   | exception Invalid_argument _ -> ()
+
+let test_fault_plan_validate () =
+  let module F = Grid.Fault in
+  let ok specs = match F.validate specs with Ok () -> true | Error _ -> false in
+  let rejects specs = match F.validate specs with Error _ -> true | Ok () -> false in
+  check bool "empty plan is valid" true (ok []);
+  check bool "corruption probability above 1 rejected" true
+    (rejects
+       [
+         F.Corrupt_messages
+           { src_site = None; dst_site = None; p = 1.5; from_t = 0.; until_t = infinity };
+       ]);
+  check bool "negative corruption probability rejected" true
+    (rejects
+       [
+         F.Corrupt_messages
+           { src_site = None; dst_site = None; p = -0.1; from_t = 0.; until_t = infinity };
+       ]);
+  check bool "inverted corruption window rejected" true
+    (rejects
+       [
+         F.Corrupt_messages { src_site = None; dst_site = None; p = 0.1; from_t = 5.; until_t = 1. };
+       ]);
+  check bool "negative journal rot count rejected" true
+    (rejects [ F.Corrupt_storage { at = 0.; journal_records = -1; checkpoints = true } ]);
+  check bool "valid corruption plan accepted" true
+    (ok
+       [
+         F.Corrupt_messages
+           { src_site = None; dst_site = None; p = 0.05; from_t = 0.; until_t = infinity };
+         F.Corrupt_storage { at = 3.; journal_records = 2; checkpoints = true };
+       ])
 
 let test_events_printing () =
   (* every constructor renders without raising *)
@@ -992,6 +1080,8 @@ let () =
           Alcotest.test_case "no sharing still correct" `Slow test_gridsat_no_sharing_still_correct;
           Alcotest.test_case "heterogeneous testbed" `Slow test_gridsat_heterogeneous_testbed;
           Alcotest.test_case "migration" `Slow test_gridsat_migration;
+          Alcotest.test_case "migration preserves subproblem" `Slow
+            test_gridsat_migration_preserves_subproblem;
           Alcotest.test_case "migration disabled" `Slow test_gridsat_migration_disabled;
           Alcotest.test_case "late host joins" `Slow test_late_host_joins;
         ] );
@@ -1023,6 +1113,7 @@ let () =
           Alcotest.test_case "message sizes" `Quick test_protocol_sizes;
           Alcotest.test_case "event rendering" `Quick test_events_printing;
           Alcotest.test_case "config validation" `Quick test_config_validate;
+          Alcotest.test_case "fault plan validation" `Quick test_fault_plan_validate;
           Alcotest.test_case "experiment configs" `Quick test_config_experiment_sets;
           Alcotest.test_case "testbed shapes" `Quick test_testbed_shapes;
           Alcotest.test_case "answer strings" `Quick test_answer_strings;

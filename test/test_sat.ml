@@ -833,6 +833,52 @@ let test_drup_text_roundtrip () =
   Alcotest.check_raises "unterminated line" (Failure "Drup.of_string: line not terminated by 0")
     (fun () -> ignore (Drup.of_string "1 2\n"))
 
+(* Proof text that crossed the network is untrusted: every malformed
+   shape must yield a clean [Failure] from [of_string] (which the master
+   turns into a certification failure), never a crash or a silently
+   truncated proof. *)
+let test_drup_of_string_garbage () =
+  let rejects text =
+    match Drup.of_string text with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "garbage accepted: %S" text)
+  in
+  rejects "1 2\n";
+  (* merged lines: a 0 in the middle of a clause *)
+  rejects "1 0 2 0\n";
+  rejects "frobnicate 0\n";
+  rejects "1 2 zork 0\n";
+  rejects "d\n";
+  rejects "0 0\n";
+  (* well-formed text still parses, including blank lines and d-steps *)
+  match Drup.of_string "  \n\n1 -2 0\nd 1 -2 0\n0\n" with
+  | [ Drup.Add _; Drup.Delete _; Drup.Add [||] ] -> ()
+  | _ -> Alcotest.fail "valid proof text mangled"
+
+(* [check_under] certifies cnf /\ assumptions |= false: a branch's
+   refutation must be valid under its guiding path and invalid globally,
+   and out-of-range literals (in steps or assumptions) must come back as
+   [Error], not an exception. *)
+let test_drup_check_under () =
+  (* satisfiable formula, refutable under the branch ~2 *)
+  let cnf = Cnf.make ~nvars:2 [ [ 1; 2 ]; [ -1; 2 ] ] in
+  check bool "empty proof checks under the branch" true
+    (Drup.check_under cnf ~assumptions:[ T.neg 2 ] [] = Ok ());
+  check bool "same proof fails globally" true (Drup.check cnf [] <> Ok ());
+  (* a unit that is RUP only thanks to the assumptions is accepted *)
+  let proof = [ Drup.Add [| T.pos 1 |]; Drup.Add [||] ] in
+  check bool "assumption-dependent step accepted under the branch" true
+    (Drup.check_under cnf ~assumptions:[ T.neg 2 ] proof = Ok ());
+  check bool "assumption-dependent step rejected globally" true
+    (Drup.check cnf proof <> Ok ());
+  (* untrusted input: out-of-range literals are diagnosed, not fatal *)
+  (match Drup.check_under cnf ~assumptions:[] [ Drup.Add [| T.pos 99 |] ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range proof literal accepted");
+  match Drup.check_under cnf ~assumptions:[ T.pos 99 ] [] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range assumption accepted"
+
 let prop_drup_random_unsat_proofs_check =
   QCheck.Test.make ~name:"random UNSAT proofs check" ~count:120
     (QCheck.make (random_cnf_gen ~max_vars:8 ~max_clauses:40 ~max_len:3))
@@ -961,6 +1007,8 @@ let () =
           Alcotest.test_case "sat run refutes nothing" `Quick test_drup_sat_run_has_no_refutation;
           Alcotest.test_case "single RUP check" `Quick test_drup_rup_single;
           Alcotest.test_case "text roundtrip" `Quick test_drup_text_roundtrip;
+          Alcotest.test_case "garbage text rejected" `Quick test_drup_of_string_garbage;
+          Alcotest.test_case "check under assumptions" `Quick test_drup_check_under;
         ]
         @ qsuite [ prop_drup_random_unsat_proofs_check ] );
       ( "transfer",
