@@ -6,6 +6,9 @@
    gridsat solve --proof p.drup p.cnf        emit + self-check a DRUP proof
    gridsat solve --report r.json --trace t.json p.cnf
                                              telemetry: run report + Chrome trace
+   gridsat serve a.cnf b.cnf c.cnf           multi-tenant batch: many jobs,
+                                             one shared host pool (admission
+                                             control, deadlines, verdict cache)
    gridsat gen php --pigeons 9 --holes 8     generate instances to DIMACS
    gridsat check p.cnf p.drup                verify an UNSAT proof
    gridsat report r.json                     validate + summarise a run report
@@ -155,6 +158,11 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify 
           :: fault_plan
         else fault_plan
       in
+      match Gridsat_core.Config.validate config with
+      | Error e ->
+          Printf.eprintf "gridsat: bad configuration: %s\n" e;
+          2
+      | Ok () ->
       let result = Gridsat_core.Gridsat.solve ~config ~fault_plan ~obs ~testbed cnf in
       (match result.Gridsat_core.Master.answer with
       | Gridsat_core.Master.Sat model -> Format.printf "s SATISFIABLE@.v %a@." Sat.Model.pp model
@@ -208,7 +216,13 @@ let solve_cmd =
   let jobs = Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~doc:"domains for par mode") in
   let share_len = Arg.(value & opt int 10 & info [ "share-len" ] ~doc:"max shared clause length") in
   let timeout =
-    Arg.(value & opt float 100_000. & info [ "timeout" ] ~doc:"grid overall timeout (virtual s)")
+    Arg.(
+      value & opt float 100_000.
+      & info [ "timeout" ]
+          ~doc:
+            "grid mode: override Config.overall_timeout (virtual seconds, must be positive).  A \
+             run that hits the timeout ends UNKNOWN but still writes its --report/--trace \
+             artifacts.")
   in
   let budget = Arg.(value & opt (some int) None & info [ "budget" ] ~doc:"propagation budget") in
   let proof =
@@ -271,6 +285,228 @@ let solve_cmd =
     Term.(
       const run $ file $ mode $ testbed $ hosts $ jobs $ share_len $ timeout $ budget $ proof
       $ stats $ preprocess $ seed $ chaos $ certify $ corrupt_p $ report $ trace)
+
+(* ---------- serve ---------- *)
+
+module Svc = Gridsat_service.Service
+module Sjob = Gridsat_service.Job
+
+let split_commas s = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+
+let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tenants ~priorities
+    ~deadline ~seed ~chaos ~corrupt_p ~resubmit ~stats ~report =
+  match testbed_of_string ~hosts testbed with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok testbed -> (
+      let prios =
+        List.fold_right
+          (fun s acc ->
+            match (acc, Sjob.priority_of_string s) with
+            | Error e, _ -> Error e
+            | _, Error e -> Error e
+            | Ok ps, Ok p -> Ok (p :: ps))
+          (split_commas priorities) (Ok [])
+      in
+      match prios with
+      | Error e ->
+          prerr_endline e;
+          2
+      | Ok [] ->
+          prerr_endline "empty --priorities";
+          2
+      | Ok prios -> (
+          let tenants = match split_commas tenants with [] -> [ "default" ] | ts -> ts in
+          let rec read_all acc = function
+            | [] -> Ok (List.rev acc)
+            | f :: rest -> (
+                match read_cnf f with
+                | Error e -> Error e
+                | Ok cnf -> read_all ((f, cnf) :: acc) rest)
+          in
+          match read_all [] files with
+          | Error e ->
+              prerr_endline e;
+              2
+          | Ok cnfs ->
+              let obs = if report <> None then Obs.create () else Obs.disabled in
+              let run_config =
+                {
+                  Gridsat_core.Config.default with
+                  Gridsat_core.Config.split_timeout = 5.;
+                  seed;
+                }
+              in
+              (* --chaos targets the recovery machinery, so turn it on:
+                 light checkpoints, tight heartbeat lease, eager splits *)
+              let run_config =
+                if chaos then
+                  {
+                    run_config with
+                    Gridsat_core.Config.checkpoint = Gridsat_core.Config.Light;
+                    checkpoint_period = 2.;
+                    heartbeat_period = 2.;
+                    suspect_timeout = 8.;
+                    split_timeout = 1.;
+                    slice = 0.5;
+                  }
+                else run_config
+              in
+              let svc_chaos =
+                if chaos || corrupt_p > 0. then
+                  Some
+                    {
+                      Svc.master_crash = chaos;
+                      corrupt_p;
+                      crash_hosts = (if chaos then 1 else 0);
+                    }
+                else None
+              in
+              let cfg =
+                {
+                  Svc.default_config with
+                  Svc.run = run_config;
+                  hosts_per_job;
+                  max_concurrent;
+                  queue_capacity = queue_cap;
+                  seed;
+                  chaos = svc_chaos;
+                }
+              in
+              let svc =
+                try Ok (Svc.create ~obs ~cfg ~testbed ()) with Invalid_argument e -> Error e
+              in
+              (match svc with
+              | Error e ->
+                  Printf.eprintf "gridsat: bad configuration: %s\n" e;
+                  2
+              | Ok svc ->
+                  let pick l i = List.nth l (i mod List.length l) in
+                  let submit_batch tag =
+                    List.iteri
+                      (fun i (file, cnf) ->
+                        let tenant = pick tenants i and priority = pick prios i in
+                        let deadline_in = if deadline > 0. then Some deadline else None in
+                        let label = Printf.sprintf "%s%s" file tag in
+                        match Svc.submit svc ~tenant ~priority ?deadline_in ~label cnf with
+                        | Svc.Accepted -> ()
+                        | Svc.Cached a ->
+                            Format.printf "c %-28s served from cache: %s@." label
+                              (Sjob.answer_string a)
+                        | Svc.Rejected { retry_after } ->
+                            Format.printf "c %-28s shed (queue full), retry in %.0f s@." label
+                              retry_after)
+                      cnfs
+                  in
+                  submit_batch "";
+                  Svc.run svc;
+                  if resubmit then begin
+                    Format.printf "c --- resubmitting the batch (verdict cache) ---@.";
+                    submit_batch " (again)"
+                  end;
+                  List.iter
+                    (fun (j : Sjob.t) ->
+                      let wait =
+                        match j.Sjob.started_at with
+                        | Some st -> Printf.sprintf "wait %.1f s" (st -. j.Sjob.submitted_at)
+                        | None -> "no run"
+                      in
+                      Format.printf "c job %-3d %-28s %-8s %-6s -> %-16s (%s)@." j.Sjob.id
+                        j.Sjob.label j.Sjob.tenant
+                        (Sjob.priority_string j.Sjob.priority)
+                        (Sjob.state_string j.Sjob.state)
+                        wait)
+                    (Svc.jobs svc);
+                  let s = Svc.stats svc in
+                  Format.printf
+                    "c service: submitted %d admitted %d shed %d cache-hits %d deadlines %d \
+                     preempted %d cancelled %d completed %d@."
+                    s.Svc.submitted s.Svc.admitted s.Svc.shed s.Svc.cache_hits
+                    s.Svc.deadline_expired s.Svc.preempted s.Svc.cancelled s.Svc.completed;
+                  if stats then
+                    Format.printf "c pool: %d hosts, %d free; virtual time %.1f s@." s.Svc.hosts_total
+                      s.Svc.hosts_free
+                      (Grid.Sim.now (Svc.sim svc));
+                  (match report with
+                  | None -> ()
+                  | Some path ->
+                      write_doc path (Svc.report svc);
+                      Format.printf "c service report written to %s@." path);
+                  0)))
+
+let serve_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.cnf") in
+  let testbed =
+    Arg.(value & opt string "uniform" & info [ "t"; "testbed" ] ~doc:"uniform, grads or set2")
+  in
+  let hosts = Arg.(value & opt int 8 & info [ "hosts" ] ~doc:"hosts for the uniform testbed") in
+  let hosts_per_job =
+    Arg.(value & opt int 2 & info [ "hosts-per-job" ] ~doc:"lease size for each run")
+  in
+  let max_concurrent =
+    Arg.(value & opt int 4 & info [ "max-concurrent" ] ~doc:"cap on simultaneously running jobs")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-cap" ]
+          ~doc:"bounded admission queue size; submissions beyond it are shed with a retry hint")
+  in
+  let tenants =
+    Arg.(
+      value & opt string "default"
+      & info [ "tenants" ] ~doc:"comma-separated tenant names, assigned round-robin")
+  in
+  let priorities =
+    Arg.(
+      value & opt string "normal"
+      & info [ "priorities" ] ~doc:"comma-separated low|normal|high, cycled across jobs")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 0.
+      & info [ "deadline" ]
+          ~doc:
+            "per-job deadline in virtual seconds (0 = none); an expired job is cancelled \
+             gracefully and its hosts return to the pool")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"service seed") in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "arm the per-job chaos template: a master crash-failover and a host crash inside every \
+             run")
+  in
+  let corrupt_p =
+    Arg.(
+      value & opt float 0.
+      & info [ "corrupt-p" ] ~doc:"probability of corrupting each message payload in flight")
+  in
+  let resubmit =
+    Arg.(
+      value & flag
+      & info [ "resubmit" ]
+          ~doc:"resubmit every instance after the batch drains (demonstrates the verdict cache)")
+  in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"print pool statistics") in
+  let report =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~doc:"write the aggregated service report JSON here")
+  in
+  let run files testbed hosts hosts_per_job max_concurrent queue_cap tenants priorities deadline
+      seed chaos corrupt_p resubmit stats report =
+    serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tenants ~priorities
+      ~deadline ~seed ~chaos ~corrupt_p ~resubmit ~stats ~report
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Solve a batch of CNF files as a multi-tenant job service")
+    Term.(
+      const run $ files $ testbed $ hosts $ hosts_per_job $ max_concurrent $ queue_cap $ tenants
+      $ priorities $ deadline $ seed $ chaos $ corrupt_p $ resubmit $ stats $ report)
 
 (* ---------- gen ---------- *)
 
@@ -420,4 +656,6 @@ let registry_cmd =
 
 let () =
   let info = Cmd.info "gridsat" ~version:"1.0" ~doc:"GridSAT: a Chaff-based distributed SAT solver" in
-  exit (Cmd.eval' (Cmd.group info [ solve_cmd; gen_cmd; check_cmd; report_cmd; registry_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ solve_cmd; serve_cmd; gen_cmd; check_cmd; report_cmd; registry_cmd ]))

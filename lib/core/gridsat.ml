@@ -35,11 +35,13 @@ let solve ?(config = Config.default) ?(fault_plan = []) ?(obs = Obs.disabled) ?o
   while (not (Master.finished master)) && Grid.Sim.step sim do
     ()
   done;
-  if not (Master.finished master) then
-    (* queue drained without a verdict: should be impossible, but never
-       leave the caller without a result *)
-    invalid_arg "Gridsat.solve: simulation stalled before termination"
-  else Master.result master
+  (* The event queue draining without a verdict should be impossible (the
+     master always arms the overall timeout), but a caller who asked for
+     a run report must get one even then: close the run with a clean
+     Unknown instead of raising, so --report/--trace artifacts are still
+     emitted and the journal carries a verdict. *)
+  if not (Master.finished master) then Master.cancel master ~reason:"simulation stalled";
+  Master.result master
 
 let answer_string = function
   | Master.Sat _ -> "SAT"

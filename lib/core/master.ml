@@ -29,9 +29,13 @@ type result = {
   events : Events.t list;
 }
 
-type rstate = Launching | Idle | Reserved | Busy | Dead
+(* Pool state (hosts, lease states, NWS forecasters, reliable endpoint)
+   lives in [Pool]; re-export its state machine and host record so the
+   protocol code below reads unqualified.  Everything left in [t] is
+   per-run state: the split tree, journal, certification bookkeeping. *)
+type rstate = Pool.rstate = Launching | Idle | Reserved | Busy | Dead
 
-type hostinfo = {
+type hostinfo = Pool.host = {
   client : Client.t;
   resource : R.t;
   trace : Grid.Trace.t;
@@ -49,7 +53,7 @@ type t = {
   cfg : Config.t;
   cnf : Sat.Cnf.t;
   testbed : Testbed.t;
-  hosts : (int, hostinfo) Hashtbl.t;
+  pool : Pool.t;
   checkpoints : Checkpoint.t;
   mutable backlog : (int * float) list;  (* requester, busy-since at request time *)
   mutable pending_partner : (int * int) list;  (* requester -> reserved partner *)
@@ -93,7 +97,6 @@ type t = {
   mutable events : Events.t list;  (* newest first *)
   mutable batch_job : (Grid.Batch.t * Grid.Batch.job) option;
   mutable next_batch_id : int;
-  mutable rel : Reliable.t option;  (* set once in create; never None afterwards *)
   rng : Random.State.t;
   started_at : float;
   obs : Obs.t;
@@ -143,16 +146,13 @@ let events_so_far t = List.rev t.events
 
 let schedule t ~delay f = ignore (Grid.Sim.schedule t.sim ~delay f)
 
-let busy_clients t =
-  Hashtbl.fold (fun _ h acc -> if h.rstate = Busy then acc + 1 else acc) t.hosts 0
+let busy_clients t = Pool.busy_count t.pool
 
-let busy_client_ids t =
-  Hashtbl.fold (fun id h acc -> if h.rstate = Busy then id :: acc else acc) t.hosts []
-  |> List.sort compare
+let busy_client_ids t = Pool.busy_ids t.pool
 
 let finished t = t.finished
 
-let reliable t = match t.rel with Some r -> r | None -> assert false
+let reliable t = Pool.reliable t.pool
 
 (* A crashed master cannot transmit: its volatile state (and endpoint) are
    gone until restart.  Guarding here keeps stray timers harmless. *)
@@ -173,10 +173,7 @@ let update_max t =
   let b = busy_clients t in
   if b > t.max_clients then t.max_clients <- b
 
-let aggregate_stats t =
-  let acc = Sat.Stats.create () in
-  Hashtbl.iter (fun _ h -> Sat.Stats.add acc (Client.solver_stats h.client)) t.hosts;
-  acc
+let aggregate_stats t = Pool.aggregate_solver_stats t.pool
 
 let count_events t f = List.fold_left (fun acc e -> if f e.Events.kind then acc + 1 else acc) 0 t.events
 
@@ -218,16 +215,11 @@ let result t =
         events = events_so_far t;
       }
 
-let host t id = Hashtbl.find t.hosts id
+let host t id = Pool.find t.pool id
 
-let unreserve t id =
-  match Hashtbl.find_opt t.hosts id with
-  | Some h when h.rstate = Reserved -> h.rstate <- Idle
-  | _ -> ()
+let unreserve t id = Pool.unreserve t.pool id
 
-let reserved_hosts t =
-  Hashtbl.fold (fun id h acc -> if h.rstate = Reserved then id :: acc else acc) t.hosts []
-  |> List.sort compare
+let reserved_hosts t = Pool.reserved_ids t.pool
 
 let terminate t answer why =
   if not t.finished then begin
@@ -248,10 +240,10 @@ let terminate t answer why =
     Queue.clear t.pending_recovery;
     Hashtbl.reset t.pending_cert;
     Hashtbl.reset t.in_flight;
-    (match t.rel with Some r -> Reliable.stop r | None -> ());
-    Hashtbl.iter
+    Reliable.stop (reliable t);
+    Pool.iter
       (fun id h -> if h.rstate <> Dead && Client.is_alive h.client then send_raw t ~dst:id Protocol.Stop)
-      t.hosts;
+      t.pool;
     match t.batch_job with
     | Some (ctl, job)
       when Grid.Batch.state job = Grid.Batch.Queued || Grid.Batch.state job = Grid.Batch.Running ->
@@ -262,19 +254,7 @@ let terminate t answer why =
 
 (* ---------- scheduling ---------- *)
 
-let idle_candidates t =
-  (* while resyncing, "idle" hosts may in fact hold live work that has not
-     reported back yet: assign nothing until reconciliation closes *)
-  if t.resyncing then []
-  else
-    Hashtbl.fold
-      (fun _ h acc ->
-        if h.rstate = Idle && Client.is_alive h.client then
-          { Scheduler.resource = h.resource; forecast = Grid.Nws.forecast h.nws } :: acc
-        else acc)
-      t.hosts []
-    (* stable order so Random_pick and ties are reproducible *)
-    |> List.sort (fun a b -> compare a.Scheduler.resource.R.id b.Scheduler.resource.R.id)
+let idle_candidates t = Pool.idle_candidates t.pool ~resyncing:t.resyncing
 
 let grant_split t requester =
   match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
@@ -309,7 +289,7 @@ let release_partner t requester =
 (* A client that reported its subproblem finished is idle again: release
    everything the master held on its behalf. *)
 let free_finisher t src =
-  (match Hashtbl.find_opt t.hosts src with
+  (match Pool.find_opt t.pool src with
   | Some h when h.rstate = Busy ->
       h.rstate <- Idle;
       h.pid <- None
@@ -404,7 +384,7 @@ let rec serve_backlog t =
     let live =
       List.filter
         (fun (c, _) ->
-          match Hashtbl.find_opt t.hosts c with
+          match Pool.find_opt t.pool c with
           | Some h -> h.rstate = Busy && Client.is_alive h.client
           | None -> false)
         t.backlog
@@ -419,30 +399,16 @@ let rec serve_backlog t =
         end
   end
 
-let rank_of (h : hostinfo) =
-  Scheduler.rank { Scheduler.resource = h.resource; forecast = Grid.Nws.forecast h.nws }
-
 (* Migration (Section 3.4): with an empty backlog, move the subproblem of the
    weakest busy host onto a much stronger idle host. *)
 let consider_migration t =
   if (not t.finished) && t.cfg.migration_enabled && t.backlog = [] && t.migrating = [] then begin
-    let busy =
-      Hashtbl.fold (fun _ h acc -> if h.rstate = Busy then h :: acc else acc) t.hosts []
-    in
-    let weakest =
-      List.fold_left
-        (fun acc h ->
-          match acc with
-          | None -> Some h
-          | Some best -> if rank_of h < rank_of best then Some h else acc)
-        None busy
-    in
-    match (weakest, Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t)) with
+    match (Pool.weakest_busy t.pool, Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t)) with
     | Some src, Some cand ->
         let dst = cand.Scheduler.resource.R.id in
         if
           dst <> src.resource.R.id
-          && Scheduler.should_migrate ~enabled:true ~busy_rank:(rank_of src)
+          && Scheduler.should_migrate ~enabled:true ~busy_rank:(Pool.rank src)
                ~idle_rank:(Scheduler.rank cand)
         then begin
           (host t dst).rstate <- Reserved;
@@ -500,7 +466,7 @@ let refute_pid t pid =
    and free the reporting host instead of believing it busy forever. *)
 let absorb_if_refuted t ~holder pid =
   if Hashtbl.mem t.refuted_pids pid then begin
-    (match Hashtbl.find_opt t.hosts holder with
+    (match Pool.find_opt t.pool holder with
     | Some h when h.pid = Some pid ->
         if h.rstate = Busy then h.rstate <- Idle;
         h.pid <- None
@@ -522,7 +488,7 @@ let close_split_span t requester args =
    the failure detector (lease expiry), direct test injection, and the
    certification quarantine path. *)
 let declare_dead t id =
-  match Hashtbl.find_opt t.hosts id with
+  match Pool.find_opt t.pool id with
   | None -> ()
   | Some h ->
       if h.rstate <> Dead then begin
@@ -580,7 +546,7 @@ let declare_dead t id =
       end
 
 let kill_client t id =
-  match Hashtbl.find_opt t.hosts id with
+  match Pool.find_opt t.pool id with
   | None -> ()
   | Some h ->
       if h.rstate <> Dead then begin
@@ -608,7 +574,7 @@ let check_fragment t ~path proof =
           | Error reason -> Error reason))
 
 let pid_homed t pid =
-  Hashtbl.fold (fun _ h acc -> acc || (h.rstate = Busy && h.pid = Some pid)) t.hosts false
+  Pool.fold (fun _ h acc -> acc || (h.rstate = Busy && h.pid = Some pid)) t.pool false
   || Hashtbl.fold (fun _ (p, _) acc -> acc || p = pid) t.in_flight false
   || Queue.fold (fun acc (p, _, _, _) -> acc || p = pid) false t.pending_recovery
 
@@ -804,13 +770,13 @@ let on_shares t src clauses =
   t.share_batches <- t.share_batches + 1;
   t.shared_clauses <- t.shared_clauses + List.length clauses;
   let recipients = ref 0 in
-  Hashtbl.iter
+  Pool.iter
     (fun id h ->
       if id <> src && h.rstate = Busy && Client.is_alive h.client then begin
         incr recipients;
         send t ~dst:id (Protocol.Share_relay { origin = src; clauses })
       end)
-    t.hosts;
+    t.pool;
   jlog t (Journal.Shared { clauses = List.length clauses });
   if t.obs_on then begin
     Obs.Metrics.add t.c_shares_relayed (List.length clauses);
@@ -987,7 +953,7 @@ let handle_zombie t ~src h msg =
 
 let handle t ~src msg =
   if (not t.finished) && not t.down then
-    match Hashtbl.find_opt t.hosts src with
+    match Pool.find_opt t.pool src with
     | None -> ()
     | Some h -> (
         match Protocol.verify msg with
@@ -1021,7 +987,7 @@ let handle t ~src msg =
 (* Silent fault injection: the grid layer flips the host; the master only
    finds out when the failure detector's lease expires. *)
 let crash_host t id =
-  match Hashtbl.find_opt t.hosts id with
+  match Pool.find_opt t.pool id with
   | None -> ()
   | Some h ->
       if h.rstate <> Dead && Client.is_alive h.client then begin
@@ -1030,7 +996,7 @@ let crash_host t id =
       end
 
 let hang_host t id =
-  match Hashtbl.find_opt t.hosts id with
+  match Pool.find_opt t.pool id with
   | None -> ()
   | Some h ->
       if h.rstate <> Dead && Client.is_alive h.client && not (Client.is_hung h.client) then begin
@@ -1097,10 +1063,10 @@ let reconcile t =
       t.outage_span <- Obs.Span.none
     end;
     let held = Hashtbl.create 16 in
-    Hashtbl.iter
+    Pool.iter
       (fun _ h ->
         match (h.rstate, h.pid) with Busy, Some p -> Hashtbl.replace held p () | _ -> ())
-      t.hosts;
+      t.pool;
     Hashtbl.iter (fun _ (p, _) -> Hashtbl.replace held p ()) t.in_flight;
     let orphans =
       Hashtbl.fold (fun p () acc -> if Hashtbl.mem held p then acc else p :: acc) t.live_problems []
@@ -1160,7 +1126,7 @@ let restart_master t =
     t.share_batches <- st.Journal.share_batches;
     t.shared_clauses <- st.Journal.shared_clauses;
     let now = Grid.Sim.now t.sim in
-    Hashtbl.iter
+    Pool.iter
       (fun id h ->
         h.pid <- None;
         h.busy_since <- 0.;
@@ -1169,12 +1135,25 @@ let restart_master t =
         | Some Journal.Alive -> h.rstate <- Idle  (* provisional until its Resync *)
         | None -> h.rstate <- Launching);
         if h.rstate <> Dead then h.last_heard <- now)
-      t.hosts;
+      t.pool;
     t.resyncing <- true;
     log t Events.Master_restarted;
     minstant t ~parent:t.outage_span ~cat:"master" "master.restarted";
-    Hashtbl.iter (fun id h -> if h.rstate <> Dead then send t ~dst:id Protocol.Resync_request) t.hosts;
+    Pool.iter (fun id h -> if h.rstate <> Dead then send t ~dst:id Protocol.Resync_request) t.pool;
     schedule t ~delay:t.cfg.Config.resync_grace (fun () -> reconcile t)
+  end
+
+(* External cancellation (deadline expiry, preemption, operator abort) —
+   the graceful path the job service rides.  Unlike a raw [terminate],
+   cancelling a run whose master is currently down fails over first:
+   the replacement replays the journal and re-registers the endpoint, so
+   the Stop broadcast actually reaches the surviving clients and every
+   host comes back to the pool instead of solving a dead job forever.
+   The journal closes with a clean [Unknown reason] verdict either way. *)
+let cancel t ~reason =
+  if not t.finished then begin
+    if t.down then restart_master t;
+    terminate t (Unknown reason) reason
   end
 
 (* ---------- periodic monitoring ---------- *)
@@ -1185,16 +1164,7 @@ let rec monitor t =
        detector resumes cleanly after restart) *)
     if not (t.down || t.resyncing) then begin
       let now = Grid.Sim.now t.sim in
-      let expired =
-        Hashtbl.fold
-          (fun id h acc ->
-            match h.rstate with
-            | (Idle | Reserved | Busy) when now -. h.last_heard > t.cfg.Config.suspect_timeout ->
-                id :: acc
-            | _ -> acc)
-          t.hosts []
-        |> List.sort compare
-      in
+      let expired = Pool.expired t.pool ~now ~timeout:t.cfg.Config.suspect_timeout in
       List.iter
         (fun id ->
           if not t.finished then begin
@@ -1210,12 +1180,7 @@ let rec monitor t =
 
 let rec nws_probe t =
   if not t.finished then begin
-    if not t.down then
-      Hashtbl.iter
-        (fun _ h ->
-          if h.rstate <> Dead then
-            Grid.Nws.observe h.nws (Grid.Trace.availability h.trace (Grid.Sim.now t.sim)))
-        t.hosts;
+    if not t.down then Pool.observe_nws t.pool ~now:(Grid.Sim.now t.sim);
     ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.nws_probe_interval (fun () -> nws_probe t))
   end
 
@@ -1226,18 +1191,7 @@ let add_host t (th : Testbed.host) callbacks =
     Client.create ~obs:t.obs ~sim:t.sim ~bus:t.bus ~cfg:t.cfg ~resource:th.Testbed.resource
       ~trace:th.Testbed.trace ~master:master_id callbacks
   in
-  Hashtbl.replace t.hosts th.Testbed.resource.R.id
-    {
-      client;
-      resource = th.Testbed.resource;
-      trace = th.Testbed.trace;
-      nws = Grid.Nws.create ();
-      rstate = Launching;
-      busy_since = 0.;
-      last_heard = Grid.Sim.now t.sim;
-      fenced = false;
-      pid = None;
-    }
+  Pool.add t.pool ~sim:t.sim ~client ~resource:th.Testbed.resource ~trace:th.Testbed.trace
 
 let batch_hosts t (spec : Testbed.batch_spec) =
   List.init spec.Testbed.nodes (fun i ->
@@ -1261,7 +1215,7 @@ let create ?(obs = Obs.disabled) ~sim ~net ~bus ~cfg ~testbed cnf =
       cfg;
       cnf;
       testbed;
-      hosts = Hashtbl.create 64;
+      pool = Pool.create ();
       checkpoints = Checkpoint.create ~obs cnf;
       backlog = [];
       pending_partner = [];
@@ -1287,7 +1241,6 @@ let create ?(obs = Obs.disabled) ~sim ~net ~bus ~cfg ~testbed cnf =
       events = [];
       batch_job = None;
       next_batch_id = 1000;
-      rel = None;
       rng = Random.State.make [| cfg.Config.seed; 77 |];
       started_at = Grid.Sim.now sim;
       obs;
@@ -1310,9 +1263,8 @@ let create ?(obs = Obs.disabled) ~sim ~net ~bus ~cfg ~testbed cnf =
       h_share_fanout = Obs.Metrics.histogram m "master.share.fanout";
     }
   in
-  t.rel <-
-    Some
-      (Reliable.create ~obs ~obs_tid:Obs.Span.master_tid ~sim
+  Pool.set_reliable t.pool
+    (Reliable.create ~obs ~obs_tid:Obs.Span.master_tid ~sim
          ~send_raw:(fun ~dst msg -> send_raw t ~dst msg)
          ~active:(fun () -> not t.finished)
          ~retry_base:cfg.Config.retry_base ~max_attempts:cfg.Config.retry_max_attempts

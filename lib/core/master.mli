@@ -144,6 +144,15 @@ val restart_master : t -> unit
     from their last holder's checkpoint or re-derived from lineage, and
     dispatching resumes.  No-op unless currently down. *)
 
+val cancel : t -> reason:string -> unit
+(** Graceful external cancellation (deadline expiry, preemption, operator
+    abort): terminates the run with a clean [Unknown reason] verdict —
+    reservations released, the verdict journaled, Stop broadcast to every
+    surviving client.  If the master is down when the cancel lands (a
+    deadline racing a crash-failover window), a replacement is restarted
+    first so the Stop actually reaches the clients.  No-op once
+    finished. *)
+
 val journal : t -> Journal.t
 (** The master's write-ahead journal (for tests and bench: replay
     determinism, append/compaction counters). *)

@@ -1,0 +1,126 @@
+(* Pool state, split out of [Master]: everything about the grid hosts a
+   master (or the multi-tenant job service above it) schedules over —
+   who exists, what lease state each host is in, its NWS forecast, and
+   the reliable transport endpoint — and nothing about any particular
+   solve run.  Per-run state (split tree, journal, live-problem and
+   certification bookkeeping) stays in [Master]; the [lib/service]
+   front-end leases disjoint host subsets from one shared inventory and
+   hands each lease to a run as its own [Pool]. *)
+
+module R = Grid.Resource
+
+type rstate = Launching | Idle | Reserved | Busy | Dead
+
+type host = {
+  client : Client.t;
+  resource : R.t;
+  trace : Grid.Trace.t;
+  nws : Grid.Nws.t;
+  mutable rstate : rstate;
+  mutable busy_since : float;
+  mutable last_heard : float;  (* failure-detector lease anchor *)
+  mutable fenced : bool;  (* a declared-dead host that spoke again was told to stop *)
+  mutable pid : Protocol.pid option;  (* the subproblem this host is working on *)
+}
+
+type t = {
+  hosts : (int, host) Hashtbl.t;
+  mutable rel : Reliable.t option;
+      (* the pool's reliable transport endpoint; set once, right after
+         construction, and never [None] afterwards *)
+}
+
+let create () = { hosts = Hashtbl.create 64; rel = None }
+
+let add t ~sim ~client ~resource ~trace =
+  Hashtbl.replace t.hosts resource.R.id
+    {
+      client;
+      resource;
+      trace;
+      nws = Grid.Nws.create ();
+      rstate = Launching;
+      busy_since = 0.;
+      last_heard = Grid.Sim.now sim;
+      fenced = false;
+      pid = None;
+    }
+
+let find t id = Hashtbl.find t.hosts id
+
+let find_opt t id = Hashtbl.find_opt t.hosts id
+
+let iter f t = Hashtbl.iter f t.hosts
+
+let fold f t acc = Hashtbl.fold f t.hosts acc
+
+let size t = Hashtbl.length t.hosts
+
+let set_reliable t rel = t.rel <- Some rel
+
+let reliable t = match t.rel with Some r -> r | None -> assert false
+
+let busy_count t =
+  Hashtbl.fold (fun _ h acc -> if h.rstate = Busy then acc + 1 else acc) t.hosts 0
+
+let busy_ids t =
+  Hashtbl.fold (fun id h acc -> if h.rstate = Busy then id :: acc else acc) t.hosts []
+  |> List.sort compare
+
+let reserved_ids t =
+  Hashtbl.fold (fun id h acc -> if h.rstate = Reserved then id :: acc else acc) t.hosts []
+  |> List.sort compare
+
+let unreserve t id =
+  match Hashtbl.find_opt t.hosts id with
+  | Some h when h.rstate = Reserved -> h.rstate <- Idle
+  | _ -> ()
+
+(* The candidates the scheduler may hand new work to.  While the master is
+   resyncing after a crash, "idle" hosts may in fact hold live work that
+   has not reported back yet: offer nothing until reconciliation closes. *)
+let idle_candidates t ~resyncing =
+  if resyncing then []
+  else
+    Hashtbl.fold
+      (fun _ h acc ->
+        if h.rstate = Idle && Client.is_alive h.client then
+          { Scheduler.resource = h.resource; forecast = Grid.Nws.forecast h.nws } :: acc
+        else acc)
+      t.hosts []
+    (* stable order so Random_pick and ties are reproducible *)
+    |> List.sort (fun a b -> compare a.Scheduler.resource.R.id b.Scheduler.resource.R.id)
+
+let rank h = Scheduler.rank { Scheduler.resource = h.resource; forecast = Grid.Nws.forecast h.nws }
+
+(* Tie-breaking mirrors the historical master code exactly (collect then
+   scan, so ties resolve to the last host in table order): replayed runs
+   must keep producing byte-identical timelines. *)
+let weakest_busy t =
+  let busy = Hashtbl.fold (fun _ h acc -> if h.rstate = Busy then h :: acc else acc) t.hosts [] in
+  List.fold_left
+    (fun acc h ->
+      match acc with None -> Some h | Some best -> if rank h < rank best then Some h else acc)
+    None busy
+
+(* Monitored hosts whose heartbeat lease ran out, ascending.  Dead and
+   still-launching hosts are not monitored. *)
+let expired t ~now ~timeout =
+  Hashtbl.fold
+    (fun id h acc ->
+      match h.rstate with
+      | (Idle | Reserved | Busy) when now -. h.last_heard > timeout -> id :: acc
+      | _ -> acc)
+    t.hosts []
+  |> List.sort compare
+
+let observe_nws t ~now =
+  Hashtbl.iter
+    (fun _ h ->
+      if h.rstate <> Dead then Grid.Nws.observe h.nws (Grid.Trace.availability h.trace now))
+    t.hosts
+
+let aggregate_solver_stats t =
+  let acc = Sat.Stats.create () in
+  Hashtbl.iter (fun _ h -> Sat.Stats.add acc (Client.solver_stats h.client)) t.hosts;
+  acc

@@ -1,0 +1,73 @@
+(** Pool state, split out of {!Master}.
+
+    A pool is the host-side half of the old monolithic master: the
+    inventory of grid hosts with their lease states ([Launching] →
+    [Idle] → [Reserved] → [Busy], or [Dead]), the per-host NWS
+    forecasters the scheduler ranks by, the failure-detector anchors
+    ([last_heard]), and the reliable transport endpoint.  It knows
+    nothing about any particular solve run — the split tree, journal and
+    certification bookkeeping stay in {!Master} — which is what lets the
+    {!module:Gridsat_service} front-end schedule many concurrent runs
+    over one shared host inventory, leasing each run its own pool. *)
+
+type rstate = Launching | Idle | Reserved | Busy | Dead
+
+type host = {
+  client : Client.t;
+  resource : Grid.Resource.t;
+  trace : Grid.Trace.t;
+  nws : Grid.Nws.t;
+  mutable rstate : rstate;
+  mutable busy_since : float;
+  mutable last_heard : float;  (** failure-detector lease anchor *)
+  mutable fenced : bool;
+      (** a declared-dead host that spoke again was told to stop *)
+  mutable pid : Protocol.pid option;
+      (** the subproblem this host is working on *)
+}
+
+type t
+
+val create : unit -> t
+
+val add :
+  t -> sim:Grid.Sim.t -> client:Client.t -> resource:Grid.Resource.t -> trace:Grid.Trace.t -> unit
+(** Registers a freshly launched host, in [Launching] state with its
+    lease anchored at the current virtual time. *)
+
+val find : t -> int -> host
+val find_opt : t -> int -> host option
+val iter : (int -> host -> unit) -> t -> unit
+val fold : (int -> host -> 'a -> 'a) -> t -> 'a -> 'a
+val size : t -> int
+
+val set_reliable : t -> Reliable.t -> unit
+(** Installs the pool's reliable transport endpoint (once, at
+    construction). *)
+
+val reliable : t -> Reliable.t
+
+val busy_count : t -> int
+val busy_ids : t -> int list
+val reserved_ids : t -> int list
+
+val unreserve : t -> int -> unit
+(** Returns a [Reserved] host to [Idle]; no-op in any other state. *)
+
+val idle_candidates : t -> resyncing:bool -> Scheduler.candidate list
+(** Live idle hosts as scheduler candidates, ascending by resource id.
+    Empty while [resyncing]: an "idle" host may hold unreported work
+    until reconciliation closes. *)
+
+val rank : host -> float
+(** The host's scheduler rank under its current NWS forecast. *)
+
+val weakest_busy : t -> host option
+
+val expired : t -> now:float -> timeout:float -> int list
+(** Monitored hosts whose heartbeat lease ran out, ascending. *)
+
+val observe_nws : t -> now:float -> unit
+(** Feeds every live host's availability trace into its forecaster. *)
+
+val aggregate_solver_stats : t -> Sat.Stats.t

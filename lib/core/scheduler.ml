@@ -26,13 +26,22 @@ let pick policy ~rng candidates =
                  if c.resource.Grid.Resource.id < best.resource.Grid.Resource.id then c else best)
                first candidates))
 
+(* Longest-running-first (earliest busy-since wins).  Two clients that
+   became busy at the same instant — common right after a mass recovery
+   re-homes a batch of subproblems in one event — tie-break on the lower
+   client id, not on backlog insertion order, so the choice is a function
+   of the entries alone. *)
 let pick_backlog entries =
   match entries with
   | [] -> None
   | (c0, t0) :: rest ->
       let client, _ =
-        List.fold_left (fun (bc, bt) (c, t) -> if t < bt then (c, t) else (bc, bt)) (c0, t0) rest
+        List.fold_left
+          (fun (bc, bt) (c, t) -> if t < bt || (t = bt && c < bc) then (c, t) else (bc, bt))
+          (c0, t0) rest
       in
       Some client
 
+(* Exactly 2x counts: the paper's bar is "at least twice the forecast
+   rank", so the boundary itself migrates (>=, not >). *)
 let should_migrate ~enabled ~busy_rank ~idle_rank = enabled && idle_rank >= 2. *. busy_rank

@@ -1,0 +1,57 @@
+type t = {
+  capacity : int;
+  starvation_after : float;
+  mutable queue : Job.t list;  (* submission order *)
+}
+
+let create ~capacity ~starvation_after =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  { capacity; starvation_after; queue = [] }
+
+let length t = List.length t.queue
+
+let is_full t = List.length t.queue >= t.capacity
+
+let enqueue t job =
+  if is_full t then invalid_arg "Admission.enqueue: queue full";
+  t.queue <- t.queue @ [ job ]
+
+let requeue t job = t.queue <- t.queue @ [ job ]
+
+let remove t job = t.queue <- List.filter (fun (j : Job.t) -> j.id <> job.Job.id) t.queue
+
+let effective_priority t ~now (j : Job.t) =
+  let base = Job.priority_level j.priority in
+  if t.starvation_after <= 0. then base
+  else
+    let waited = now -. j.submitted_at in
+    base + int_of_float (waited /. t.starvation_after)
+
+(* Highest effective priority first; ties prefer the tenant with the
+   fewest running jobs, then the earliest submission (lowest id — ids are
+   handed out in submission order). *)
+let best t ~now ~tenant_load =
+  match t.queue with
+  | [] -> None
+  | first :: rest ->
+      let better (a : Job.t) (b : Job.t) =
+        let ea = effective_priority t ~now a and eb = effective_priority t ~now b in
+        if ea <> eb then ea > eb
+        else
+          let la = tenant_load a.tenant and lb = tenant_load b.tenant in
+          if la <> lb then la < lb else a.id < b.id
+      in
+      Some (List.fold_left (fun acc j -> if better j acc then j else acc) first rest)
+
+let peek t ~now ~tenant_load = best t ~now ~tenant_load
+
+let take t ~now ~tenant_load =
+  match best t ~now ~tenant_load with
+  | None -> None
+  | Some j ->
+      remove t j;
+      Some j
+
+let retry_after t ~base = base *. float_of_int (List.length t.queue + 1)
+
+let queued_jobs t = t.queue

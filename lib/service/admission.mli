@@ -1,0 +1,55 @@
+(** Bounded admission queue with priority, tenant fairness and a
+    starvation guard.
+
+    Admission is where overload turns into graceful degradation instead
+    of collapse: when the queue is full the job is {e shed} immediately
+    with a retry-after hint, rather than accepted into a backlog the
+    service cannot drain.
+
+    Dispatch order is by {e effective} priority: the job's base priority
+    plus an aging bonus of one level per [starvation_after] seconds
+    waited — so a Low job cannot be starved forever by a stream of High
+    arrivals.  Ties prefer the tenant with the fewest running jobs
+    (fairness), then FIFO by submission. *)
+
+type t
+
+val create : capacity:int -> starvation_after:float -> t
+(** [capacity] is the maximum number of queued (not running) jobs;
+    [starvation_after <= 0] disables aging. *)
+
+val length : t -> int
+
+val is_full : t -> bool
+
+val enqueue : t -> Job.t -> unit
+(** Raises [Invalid_argument] if the queue is full — callers must check
+    {!is_full} and shed instead. *)
+
+val requeue : t -> Job.t -> unit
+(** Re-admits a preemption victim.  Bypasses the capacity check: the job
+    was already admitted once, and shedding it now would break the
+    admitted-jobs-reach-a-real-terminal guarantee. *)
+
+val remove : t -> Job.t -> unit
+(** Drops the job from the queue if present (deadline expiry while
+    still queued). *)
+
+val effective_priority : t -> now:float -> Job.t -> int
+(** Base priority level plus the aging bonus earned so far. *)
+
+val peek : t -> now:float -> tenant_load:(string -> int) -> Job.t option
+(** The job that would be dispatched next, without removing it.
+    [tenant_load] reports how many jobs a tenant currently has
+    running. *)
+
+val take : t -> now:float -> tenant_load:(string -> int) -> Job.t option
+(** {!peek} and remove. *)
+
+val retry_after : t -> base:float -> float
+(** Backoff hint handed to a shed submitter: scales with queue depth, so
+    a deeper backlog pushes retries further out. *)
+
+val queued_jobs : t -> Job.t list
+(** Current contents in submission order (for reports and stall
+    cleanup). *)

@@ -1,0 +1,74 @@
+module Master = Gridsat_core.Master
+module Integrity = Gridsat_core.Integrity
+
+type entry = Model of Sat.Model.t | Unsat_proved
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable stores : int;
+}
+
+let create () = { table = Hashtbl.create 16; hits = 0; stores = 0 }
+
+(* Canonical rendering: each clause as its sorted DIMACS literals (Cnf
+   normalisation already removed duplicate literals), the clause list
+   itself sorted and deduplicated.  The formula's identity is exactly
+   this set-of-sets plus the variable count. *)
+let canonical cnf =
+  let clause arr =
+    Array.to_list arr |> List.map Sat.Types.to_int |> List.sort compare
+  in
+  let clauses = List.map clause (Sat.Cnf.clauses cnf) in
+  let clauses = List.sort_uniq compare clauses in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "p %d;" (Sat.Cnf.nvars cnf));
+  List.iter
+    (fun c ->
+      List.iter
+        (fun l ->
+          Buffer.add_string buf (string_of_int l);
+          Buffer.add_char buf ' ')
+        c;
+      Buffer.add_char buf ';')
+    clauses;
+  Buffer.contents buf
+
+let digest cnf =
+  let s = canonical cnf in
+  Printf.sprintf "%x-%x" (Integrity.fnv1a s) (Integrity.crc32 s)
+
+let find t ~digest ~cnf =
+  match Hashtbl.find_opt t.table digest with
+  | None -> None
+  | Some Unsat_proved ->
+      t.hits <- t.hits + 1;
+      Some Master.Unsat
+  | Some (Model m) ->
+      (* serve-time re-verification against the formula actually
+         submitted: a hit never trusts the digest alone *)
+      if Sat.Model.satisfies cnf m then begin
+        t.hits <- t.hits + 1;
+        Some (Master.Sat m)
+      end
+      else begin
+        Hashtbl.remove t.table digest;
+        None
+      end
+
+let store t ~digest answer =
+  if not (Hashtbl.mem t.table digest) then
+    match answer with
+    | Master.Sat m ->
+        Hashtbl.replace t.table digest (Model m);
+        t.stores <- t.stores + 1
+    | Master.Unsat ->
+        Hashtbl.replace t.table digest Unsat_proved;
+        t.stores <- t.stores + 1
+    | Master.Unknown _ -> ()
+
+let size t = Hashtbl.length t.table
+
+let hits t = t.hits
+
+let stores t = t.stores

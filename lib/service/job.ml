@@ -1,0 +1,55 @@
+type priority = Low | Normal | High
+
+let priority_level = function Low -> 0 | Normal -> 1 | High -> 2
+
+let priority_string = function Low -> "low" | Normal -> "normal" | High -> "high"
+
+let priority_of_string = function
+  | "low" -> Ok Low
+  | "normal" -> Ok Normal
+  | "high" -> Ok High
+  | s -> Error (Printf.sprintf "unknown priority %S (expected low|normal|high)" s)
+
+type terminal =
+  | Verdict of Gridsat_core.Master.answer
+  | Cached of Gridsat_core.Master.answer
+  | Shed of { retry_after : float }
+  | Deadline_expired
+  | Cancelled of string
+
+type state = Queued | Running | Done of terminal
+
+type t = {
+  id : int;
+  tenant : string;
+  priority : priority;
+  label : string;
+  cnf : Sat.Cnf.t;
+  digest : string;
+  deadline : float option;
+  submitted_at : float;
+  mutable state : state;
+  mutable started_at : float option;
+  mutable finished_at : float option;
+  mutable preemptions : int;
+  mutable result : Gridsat_core.Master.result option;
+}
+
+let answer_string = function
+  | Gridsat_core.Master.Sat _ -> "SAT"
+  | Gridsat_core.Master.Unsat -> "UNSAT"
+  | Gridsat_core.Master.Unknown reason -> Printf.sprintf "UNKNOWN(%s)" reason
+
+let terminal_string = function
+  | Verdict a -> "verdict:" ^ answer_string a
+  | Cached a -> "cached:" ^ answer_string a
+  | Shed _ -> "shed"
+  | Deadline_expired -> "deadline"
+  | Cancelled reason -> "cancelled:" ^ reason
+
+let state_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done t -> terminal_string t
+
+let is_terminal t = match t.state with Done _ -> true | _ -> false

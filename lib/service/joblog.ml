@@ -1,0 +1,136 @@
+module Integrity = Gridsat_core.Integrity
+
+type entry =
+  | Submitted of {
+      id : int;
+      tenant : string;
+      priority : string;
+      digest : string;
+      deadline : float option;
+    }
+  | Admitted of { id : int }
+  | Shed of { id : int; retry_after : float }
+  | Cache_hit of { id : int; answer : string }
+  | Started of { id : int; hosts : int list }
+  | Requeued of { id : int; reason : string }
+  | Finished of { id : int; terminal : string }
+
+type jstate = Queued | Running | Done of string
+
+type state = {
+  jobs : (int, jstate) Hashtbl.t;
+  mutable submitted : int;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable cache_hits : int;
+  mutable requeues : int;
+}
+
+(* Full-fidelity rendering: the at-rest seal covers every field. *)
+let pp_entry ppf = function
+  | Submitted { id; tenant; priority; digest; deadline } ->
+      Format.fprintf ppf "submitted %d %s %s %s %s" id tenant priority digest
+        (match deadline with None -> "-" | Some d -> Printf.sprintf "%.3f" d)
+  | Admitted { id } -> Format.fprintf ppf "admitted %d" id
+  | Shed { id; retry_after } -> Format.fprintf ppf "shed %d %.3f" id retry_after
+  | Cache_hit { id; answer } -> Format.fprintf ppf "cache-hit %d %s" id answer
+  | Started { id; hosts } ->
+      Format.fprintf ppf "started %d [%s]" id
+        (String.concat " " (List.map string_of_int hosts))
+  | Requeued { id; reason } -> Format.fprintf ppf "requeued %d %s" id reason
+  | Finished { id; terminal } -> Format.fprintf ppf "finished %d %s" id terminal
+
+type t = {
+  mutable records : (entry * int) list;  (* newest first, sealed *)
+  mutable appended : int;
+  mutable records_dropped : int;
+  obs_on : bool;
+  c_appends : Obs.Metrics.counter;
+  c_dropped : Obs.Metrics.counter;
+}
+
+let create ?(obs = Obs.disabled) () =
+  let m = Obs.metrics obs in
+  {
+    records = [];
+    appended = 0;
+    records_dropped = 0;
+    obs_on = Obs.enabled obs;
+    c_appends = Obs.Metrics.counter m "service.joblog.appends";
+    c_dropped = Obs.Metrics.counter m "service.joblog.records.dropped";
+  }
+
+let seal e = Integrity.crc32 (Format.asprintf "%a" pp_entry e)
+
+let append t e =
+  t.records <- (e, seal e) :: t.records;
+  t.appended <- t.appended + 1;
+  if t.obs_on then Obs.Metrics.incr t.c_appends
+
+let scrub t =
+  let ok, bad = List.partition (fun (e, d) -> seal e = d) t.records in
+  if bad <> [] then begin
+    t.records <- ok;
+    t.records_dropped <- t.records_dropped + List.length bad;
+    if t.obs_on then List.iter (fun _ -> Obs.Metrics.incr t.c_dropped) bad
+  end
+
+let empty_state () =
+  { jobs = Hashtbl.create 32; submitted = 0; admitted = 0; shed = 0; cache_hits = 0; requeues = 0 }
+
+let apply st = function
+  | Submitted { id; _ } ->
+      st.submitted <- st.submitted + 1;
+      Hashtbl.replace st.jobs id Queued
+  | Admitted { id } ->
+      st.admitted <- st.admitted + 1;
+      Hashtbl.replace st.jobs id Queued
+  | Shed { id; _ } ->
+      st.shed <- st.shed + 1;
+      Hashtbl.replace st.jobs id (Done "shed")
+  | Cache_hit { id; answer } ->
+      st.cache_hits <- st.cache_hits + 1;
+      Hashtbl.replace st.jobs id (Done ("cached:" ^ answer))
+  | Started { id; _ } -> Hashtbl.replace st.jobs id Running
+  | Requeued { id; _ } ->
+      st.requeues <- st.requeues + 1;
+      Hashtbl.replace st.jobs id Queued
+  | Finished { id; terminal } -> Hashtbl.replace st.jobs id (Done terminal)
+
+let replay t =
+  scrub t;
+  let st = empty_state () in
+  List.iter (fun (e, _) -> apply st e) (List.rev t.records);
+  st
+
+let corrupt_tail t ~n =
+  let rec rot k = function
+    | (e, d) :: rest when k > 0 -> (e, Integrity.corrupted d) :: rot (k - 1) rest
+    | rest -> rest
+  in
+  t.records <- rot n t.records
+
+let entries t = List.rev_map fst t.records
+
+let appended t = t.appended
+
+let records_dropped t = t.records_dropped
+
+let digest st =
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) st.jobs [] |> List.sort compare in
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "sub=%d adm=%d shed=%d hit=%d req=%d;" st.submitted st.admitted st.shed
+       st.cache_hits st.requeues);
+  List.iter
+    (fun id ->
+      let s =
+        match Hashtbl.find st.jobs id with
+        | Queued -> "queued"
+        | Running -> "running"
+        | Done term -> term
+      in
+      Buffer.add_string buf (Printf.sprintf "%d=%s;" id s))
+    ids;
+  let s = Buffer.contents buf in
+  Printf.sprintf "%x-%x" (Integrity.fnv1a s) (Integrity.crc32 s)

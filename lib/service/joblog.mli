@@ -1,0 +1,63 @@
+(** Job lifecycle journal: the service-level analogue of the master's
+    write-ahead {!Gridsat_core.Journal}.
+
+    Every admission decision and every job state transition is appended
+    as a CRC-sealed record, so a service brought back after a crash can
+    replay the log and recover which jobs were in flight, which had
+    already reached a terminal state, and what that state was — run-level
+    recovery (split trees, checkpoints) stays the per-run journal's
+    business.  Records whose seal no longer matches are scrubbed and
+    counted, never folded into replayed state. *)
+
+type entry =
+  | Submitted of {
+      id : int;
+      tenant : string;
+      priority : string;
+      digest : string;
+      deadline : float option;
+    }
+  | Admitted of { id : int }
+  | Shed of { id : int; retry_after : float }
+  | Cache_hit of { id : int; answer : string }
+  | Started of { id : int; hosts : int list }
+  | Requeued of { id : int; reason : string }  (** preempted back into the queue *)
+  | Finished of { id : int; terminal : string }
+      (** [terminal] is {!Job.terminal_string} of the outcome *)
+
+type jstate = Queued | Running | Done of string
+
+type state = {
+  jobs : (int, jstate) Hashtbl.t;
+  mutable submitted : int;
+  mutable admitted : int;
+  mutable shed : int;
+  mutable cache_hits : int;
+  mutable requeues : int;
+}
+
+type t
+
+val create : ?obs:Obs.t -> unit -> t
+
+val append : t -> entry -> unit
+
+val replay : t -> state
+(** Scrubs, then folds the surviving records in order. *)
+
+val entries : t -> entry list
+(** Surviving records, oldest first (test hook: lets the property test
+    count terminal records per job without replaying). *)
+
+val appended : t -> int
+
+val records_dropped : t -> int
+
+val corrupt_tail : t -> n:int -> unit
+(** Fault injection: rot the seals of the newest [n] records. *)
+
+val digest : state -> string
+(** Canonical digest of a replayed state (sorted job ids), for
+    determinism checks. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,563 @@
+module Core = Gridsat_core
+module Master = Core.Master
+module Config = Core.Config
+module Testbed = Core.Testbed
+module J = Obs.Json
+
+type chaos = { master_crash : bool; corrupt_p : float; crash_hosts : int }
+
+type config = {
+  queue_capacity : int;
+  hosts_per_job : int;
+  max_concurrent : int;
+  starvation_after : float;
+  retry_after_base : float;
+  pump_period : float;
+  preemption : bool;
+  run : Config.t;
+  chaos : chaos option;
+  seed : int;
+}
+
+let default_config =
+  {
+    queue_capacity = 16;
+    hosts_per_job = 3;
+    max_concurrent = 4;
+    starvation_after = 120.;
+    retry_after_base = 30.;
+    pump_period = 1.;
+    preemption = true;
+    run = Config.default;
+    chaos = None;
+    seed = 0;
+  }
+
+type submit_outcome =
+  | Accepted
+  | Cached of Master.answer
+  | Rejected of { retry_after : float }
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  shed : int;
+  cache_hits : int;
+  deadline_expired : int;
+  preempted : int;
+  cancelled : int;
+  completed : int;
+  hosts_total : int;
+  hosts_free : int;
+}
+
+(* Why a job's run is being torn down before its own verdict: set by the
+   service before Master.cancel, read back when the finished run is
+   finalised.  Tracking intent here (instead of parsing the master's
+   Unknown reason string) keeps the terminal-state decision in one
+   place. *)
+type intent = Deadline | Preempt | Abort of string
+
+type running = {
+  rjob : Job.t;
+  master : Master.t;
+  lease : Testbed.host list;
+  mutable cancel_intent : intent option;
+}
+
+type t = {
+  sim : Grid.Sim.t;
+  net : Grid.Network.t;
+  obs : Obs.t;
+  cfg : config;
+  base : Testbed.t;
+  mutable free_hosts : Testbed.host list;  (* ascending by resource id *)
+  hosts_total : int;
+  adm : Admission.t;
+  cache : Cache.t;
+  log : Joblog.t;
+  mutable running : running list;
+  mutable all_jobs : Job.t list;  (* newest first *)
+  mutable next_id : int;
+  mutable pump_armed : bool;
+  mutable pending_submissions : int;
+  rng : Random.State.t;
+  (* plain counters mirrored into Obs so they land in reports *)
+  mutable n_submitted : int;
+  mutable n_admitted : int;
+  mutable n_shed : int;
+  mutable n_cache_hits : int;
+  mutable n_deadline : int;
+  mutable n_preempted : int;
+  mutable n_cancelled : int;
+  mutable n_completed : int;
+  c_submitted : Obs.Metrics.counter;
+  c_admitted : Obs.Metrics.counter;
+  c_shed : Obs.Metrics.counter;
+  c_cache_hit : Obs.Metrics.counter;
+  c_deadline : Obs.Metrics.counter;
+  c_preempted : Obs.Metrics.counter;
+  c_cancelled : Obs.Metrics.counter;
+  c_completed : Obs.Metrics.counter;
+}
+
+let host_id (h : Testbed.host) = h.Testbed.resource.Grid.Resource.id
+
+let by_id a b = compare (host_id a) (host_id b)
+
+let create ?(obs = Obs.disabled) ~cfg ~testbed () =
+  Config.validate_exn cfg.run;
+  if cfg.queue_capacity < 1 then invalid_arg "Service.create: queue_capacity must be >= 1";
+  if cfg.max_concurrent < 1 then invalid_arg "Service.create: max_concurrent must be >= 1";
+  if cfg.pump_period <= 0. then invalid_arg "Service.create: pump_period must be positive";
+  if cfg.retry_after_base <= 0. then invalid_arg "Service.create: retry_after_base must be positive";
+  let pool = List.sort by_id testbed.Testbed.hosts in
+  let n = List.length pool in
+  if n = 0 then invalid_arg "Service.create: empty host pool";
+  if cfg.hosts_per_job < 1 || cfg.hosts_per_job > n then
+    invalid_arg "Service.create: hosts_per_job must be in [1, pool size]";
+  (match cfg.chaos with
+  | Some ch when ch.corrupt_p < 0. || ch.corrupt_p > 1. ->
+      invalid_arg "Service.create: chaos corrupt_p must be in [0,1]"
+  | _ -> ());
+  let sim = Grid.Sim.create ~obs () in
+  Obs.set_clock obs (fun () -> Grid.Sim.now sim);
+  let net = Grid.Network.create () in
+  testbed.Testbed.configure_network net;
+  let m = Obs.metrics obs in
+  {
+    sim;
+    net;
+    obs;
+    cfg;
+    base = testbed;
+    free_hosts = pool;
+    hosts_total = n;
+    adm = Admission.create ~capacity:cfg.queue_capacity ~starvation_after:cfg.starvation_after;
+    cache = Cache.create ();
+    log = Joblog.create ~obs ();
+    running = [];
+    all_jobs = [];
+    next_id = 1;
+    pump_armed = false;
+    pending_submissions = 0;
+    rng = Random.State.make [| cfg.seed; 0x5e47 |];
+    n_submitted = 0;
+    n_admitted = 0;
+    n_shed = 0;
+    n_cache_hits = 0;
+    n_deadline = 0;
+    n_preempted = 0;
+    n_cancelled = 0;
+    n_completed = 0;
+    c_submitted = Obs.Metrics.counter m "service.jobs.submitted";
+    c_admitted = Obs.Metrics.counter m "service.jobs.admitted";
+    c_shed = Obs.Metrics.counter m "service.jobs.shed";
+    c_cache_hit = Obs.Metrics.counter m "service.jobs.cache_hit";
+    c_deadline = Obs.Metrics.counter m "service.jobs.deadline_expired";
+    c_preempted = Obs.Metrics.counter m "service.jobs.preempted";
+    c_cancelled = Obs.Metrics.counter m "service.jobs.cancelled";
+    c_completed = Obs.Metrics.counter m "service.jobs.completed";
+  }
+
+let now t = Grid.Sim.now t.sim
+
+let outstanding t =
+  t.pending_submissions > 0 || Admission.length t.adm > 0 || t.running <> []
+
+let tenant_load t tenant =
+  List.length (List.filter (fun r -> r.rjob.Job.tenant = tenant) t.running)
+
+(* Terminal transition for every outcome except shed/cache-hit (those are
+   decided inside submit, before the job ever counts as admitted). *)
+let finish_job t (job : Job.t) terminal =
+  job.Job.state <- Job.Done terminal;
+  job.Job.finished_at <- Some (now t);
+  Joblog.append t.log (Joblog.Finished { id = job.Job.id; terminal = Job.terminal_string terminal });
+  match terminal with
+  | Job.Verdict _ ->
+      t.n_completed <- t.n_completed + 1;
+      Obs.Metrics.incr t.c_completed
+  | Job.Deadline_expired ->
+      t.n_deadline <- t.n_deadline + 1;
+      Obs.Metrics.incr t.c_deadline
+  | Job.Cancelled _ ->
+      t.n_cancelled <- t.n_cancelled + 1;
+      Obs.Metrics.incr t.c_cancelled
+  | Job.Cached _ | Job.Shed _ -> ()
+
+(* Return a finished run's lease to the pool and give its job a terminal
+   state (or requeue it, if it was preempted). *)
+let finalize_run t r =
+  let job = r.rjob in
+  t.running <- List.filter (fun x -> x != r) t.running;
+  t.free_hosts <- List.sort by_id (r.lease @ t.free_hosts);
+  let result = Master.result r.master in
+  job.Job.result <- Some result;
+  match r.cancel_intent with
+  | Some Preempt ->
+      job.Job.state <- Job.Queued;
+      job.Job.preemptions <- job.Job.preemptions + 1;
+      Joblog.append t.log (Joblog.Requeued { id = job.Job.id; reason = "preempted" });
+      Admission.requeue t.adm job
+  | Some Deadline -> finish_job t job Job.Deadline_expired
+  | Some (Abort reason) -> finish_job t job (Job.Cancelled reason)
+  | None ->
+      let answer = result.Master.answer in
+      Cache.store t.cache ~digest:job.Job.digest answer;
+      finish_job t job (Job.Verdict answer)
+
+(* Seeded per-job fault plan, offsets drawn from the service RNG (the
+   draw order follows the deterministic dispatch order, so the whole
+   schedule replays). *)
+let arm_chaos t ch ~(master : Master.t) ~bus ~(job : Job.t) ~lease =
+  let start = now t in
+  let frnd hi = Random.State.float t.rng hi in
+  let specs = ref [] in
+  if ch.corrupt_p > 0. then
+    specs :=
+      Grid.Fault.Corrupt_messages
+        { src_site = None; dst_site = None; p = ch.corrupt_p; from_t = start; until_t = start +. 1e6 }
+      :: !specs;
+  if ch.master_crash then begin
+    let at = start +. 1. +. frnd 1.5 in
+    specs := Grid.Fault.Crash_master { at; restart_after = 1. +. frnd 1. } :: !specs
+  end;
+  let crashes = min ch.crash_hosts (List.length lease - 1) in
+  List.iteri
+    (fun i h ->
+      if i < crashes then
+        specs :=
+          Grid.Fault.Crash_host { host = host_id h; at = start +. 0.8 +. (float_of_int i *. 0.7) +. frnd 0.7 }
+          :: !specs)
+    lease;
+  if !specs <> [] then begin
+    let ctl =
+      Grid.Fault.arm ~sim:t.sim
+        ~seed:(t.cfg.seed + (31 * job.Job.id))
+        ~on_crash:(fun host -> Master.crash_host master host)
+        ~on_hang:(fun host -> Master.hang_host master host)
+        ~on_master_crash:(fun () -> Master.crash_master master)
+        ~on_master_restart:(fun () -> Master.restart_master master)
+        ~on_storage_corrupt:(fun ~journal_records ~checkpoints ->
+          Master.corrupt_storage master ~journal_records ~checkpoints)
+        !specs
+    in
+    Grid.Everyware.set_corrupt bus Core.Protocol.corrupt;
+    Grid.Everyware.set_fault bus (fun ~src_site ~dst_site ~bytes ->
+        Grid.Fault.decide ctl ~src_site ~dst_site ~bytes)
+  end
+
+let start_job t (job : Job.t) =
+  let rec split n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | h :: rest -> split (n - 1) (h :: acc) rest
+  in
+  let lease, free = split t.cfg.hosts_per_job [] t.free_hosts in
+  t.free_hosts <- free;
+  (* Each run lives on its own bus over the shared sim+network: endpoint
+     ids (master 0, host resource ids) cannot collide across jobs, and
+     per-job fault hooks stay contained.  The sub-testbed's network hook
+     is a no-op — the service configured the links once at creation. *)
+  let sub =
+    {
+      Testbed.name = Printf.sprintf "%s/job-%d" t.base.Testbed.name job.Job.id;
+      master_site = t.base.Testbed.master_site;
+      hosts = lease;
+      batch = None;
+      late_hosts = [];
+      configure_network = (fun _ -> ());
+    }
+  in
+  let bus = Grid.Everyware.create ~obs:t.obs t.sim t.net in
+  let rcfg = { t.cfg.run with Config.seed = t.cfg.run.Config.seed + job.Job.id } in
+  let master = Master.create ~obs:t.obs ~sim:t.sim ~net:t.net ~bus ~cfg:rcfg ~testbed:sub job.Job.cnf in
+  (match t.cfg.chaos with None -> () | Some ch -> arm_chaos t ch ~master ~bus ~job ~lease);
+  job.Job.state <- Job.Running;
+  if job.Job.started_at = None then job.Job.started_at <- Some (now t);
+  Joblog.append t.log (Joblog.Started { id = job.Job.id; hosts = List.map host_id lease });
+  t.running <- { rjob = job; master; lease; cancel_intent = None } :: t.running
+
+let can_dispatch t =
+  List.length t.running < t.cfg.max_concurrent
+  && List.length t.free_hosts >= t.cfg.hosts_per_job
+
+let admit t =
+  let progress = ref true in
+  while !progress && can_dispatch t do
+    match Admission.take t.adm ~now:(now t) ~tenant_load:(tenant_load t) with
+    | Some job -> start_job t job
+    | None -> progress := false
+  done
+
+(* When the pool is exhausted and the next queued job outranks (by base
+   priority, not aging) the weakest running one, cancel that victim and
+   requeue it.  One victim per tick keeps the policy gradual and cheap. *)
+let maybe_preempt t =
+  if t.cfg.preemption && not (can_dispatch t) then
+    match Admission.peek t.adm ~now:(now t) ~tenant_load:(tenant_load t) with
+    | None -> ()
+    | Some waiting -> (
+        let level (r : running) = Job.priority_level r.rjob.Job.priority in
+        let weaker a b =
+          (* lowest priority; ties prefer the youngest run (least sunk
+             work), then the higher job id *)
+          level a < level b
+          || (level a = level b
+             && (a.rjob.Job.started_at > b.rjob.Job.started_at
+                || (a.rjob.Job.started_at = b.rjob.Job.started_at && a.rjob.Job.id > b.rjob.Job.id)))
+        in
+        let victim =
+          List.fold_left
+            (fun acc r ->
+              if r.cancel_intent <> None then acc
+              else match acc with None -> Some r | Some b -> if weaker r b then Some r else acc)
+            None t.running
+        in
+        match victim with
+        | Some r when level r < Job.priority_level waiting.Job.priority ->
+            t.n_preempted <- t.n_preempted + 1;
+            Obs.Metrics.incr t.c_preempted;
+            r.cancel_intent <- Some Preempt;
+            Master.cancel r.master ~reason:"preempted";
+            finalize_run t r
+        | _ -> ())
+
+let finalize_finished t =
+  let done_, live = List.partition (fun r -> Master.finished r.master) t.running in
+  ignore live;
+  (* oldest job first: finalization order (and thus requeue/cache order)
+     is a function of job ids, not of the running-list shape *)
+  List.iter (finalize_run t)
+    (List.sort (fun a b -> compare a.rjob.Job.id b.rjob.Job.id) done_)
+
+let rec pump t =
+  t.pump_armed <- false;
+  finalize_finished t;
+  maybe_preempt t;
+  admit t;
+  arm_pump t
+
+and arm_pump t =
+  if (not t.pump_armed) && outstanding t then begin
+    t.pump_armed <- true;
+    ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.pump_period (fun () -> pump t))
+  end
+
+let arm_deadline t (job : Job.t) =
+  match job.Job.deadline with
+  | None -> ()
+  | Some at ->
+      ignore
+        (Grid.Sim.schedule_at t.sim ~time:at (fun () ->
+             match job.Job.state with
+             | Job.Done _ -> ()
+             | Job.Queued ->
+                 Admission.remove t.adm job;
+                 finish_job t job Job.Deadline_expired
+             | Job.Running -> (
+                 match List.find_opt (fun r -> r.rjob == job) t.running with
+                 | None -> ()
+                 | Some r ->
+                     if Master.finished r.master then
+                       (* verdict reached before the deadline, finalization
+                          pending: let the pump credit the real answer *)
+                       ()
+                     else begin
+                       r.cancel_intent <- Some Deadline;
+                       (* Master.cancel restarts a downed master first, so a
+                          deadline landing inside a crash-failover window
+                          still stops the clients and closes the journal *)
+                       Master.cancel r.master ~reason:"deadline";
+                       finalize_run t r
+                     end)))
+
+let submit t ~tenant ~priority ?deadline_in ?label cnf =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let label = match label with Some l -> l | None -> Printf.sprintf "job-%d" id in
+  let digest = Cache.digest cnf in
+  let deadline = Option.map (fun d -> now t +. d) deadline_in in
+  let job =
+    {
+      Job.id;
+      tenant;
+      priority;
+      label;
+      cnf;
+      digest;
+      deadline;
+      submitted_at = now t;
+      state = Job.Queued;
+      started_at = None;
+      finished_at = None;
+      preemptions = 0;
+      result = None;
+    }
+  in
+  t.all_jobs <- job :: t.all_jobs;
+  t.n_submitted <- t.n_submitted + 1;
+  Obs.Metrics.incr t.c_submitted;
+  Joblog.append t.log
+    (Joblog.Submitted
+       { id; tenant; priority = Job.priority_string priority; digest; deadline });
+  match Cache.find t.cache ~digest ~cnf with
+  | Some answer ->
+      job.Job.state <- Job.Done (Job.Cached answer);
+      job.Job.finished_at <- Some (now t);
+      t.n_cache_hits <- t.n_cache_hits + 1;
+      Obs.Metrics.incr t.c_cache_hit;
+      Joblog.append t.log (Joblog.Cache_hit { id; answer = Job.answer_string answer });
+      Cached answer
+  | None ->
+      if Admission.is_full t.adm then begin
+        let retry_after = Admission.retry_after t.adm ~base:t.cfg.retry_after_base in
+        job.Job.state <- Job.Done (Job.Shed { retry_after });
+        job.Job.finished_at <- Some (now t);
+        t.n_shed <- t.n_shed + 1;
+        Obs.Metrics.incr t.c_shed;
+        Joblog.append t.log (Joblog.Shed { id; retry_after });
+        Rejected { retry_after }
+      end
+      else begin
+        Admission.enqueue t.adm job;
+        t.n_admitted <- t.n_admitted + 1;
+        Obs.Metrics.incr t.c_admitted;
+        Joblog.append t.log (Joblog.Admitted { id });
+        arm_deadline t job;
+        arm_pump t;
+        Accepted
+      end
+
+let submit_at t ~at ~tenant ~priority ?deadline_in ?label cnf =
+  t.pending_submissions <- t.pending_submissions + 1;
+  ignore
+    (Grid.Sim.schedule_at t.sim ~time:at (fun () ->
+         t.pending_submissions <- t.pending_submissions - 1;
+         ignore (submit t ~tenant ~priority ?deadline_in ?label cnf)))
+
+let cancel_job t ~id ~reason =
+  match List.find_opt (fun (j : Job.t) -> j.Job.id = id) t.all_jobs with
+  | None -> false
+  | Some job -> (
+      match job.Job.state with
+      | Job.Done _ -> false
+      | Job.Queued ->
+          Admission.remove t.adm job;
+          finish_job t job (Job.Cancelled reason);
+          true
+      | Job.Running -> (
+          match List.find_opt (fun r -> r.rjob == job) t.running with
+          | None -> false
+          | Some r ->
+              r.cancel_intent <- Some (Abort reason);
+              Master.cancel r.master ~reason;
+              finalize_run t r;
+              true))
+
+let run t =
+  pump t;
+  while outstanding t && Grid.Sim.step t.sim do
+    ()
+  done;
+  (* The pump re-arms itself while anything is outstanding, so the queue
+     draining early should be impossible; if it ever happens, close every
+     leftover with a clean terminal instead of raising. *)
+  if outstanding t then begin
+    List.iter
+      (fun r ->
+        r.cancel_intent <- Some (Abort "service stalled");
+        Master.cancel r.master ~reason:"service stalled")
+      t.running;
+    finalize_finished t;
+    List.iter
+      (fun (job : Job.t) ->
+        Admission.remove t.adm job;
+        finish_job t job (Job.Cancelled "service stalled"))
+      (Admission.queued_jobs t.adm)
+  end
+
+let jobs t = List.rev t.all_jobs
+
+let sim t = t.sim
+
+let joblog t = t.log
+
+let verdict_cache t = t.cache
+
+let running_masters t =
+  List.map (fun r -> (r.rjob.Job.id, r.master)) t.running
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let stats t =
+  {
+    submitted = t.n_submitted;
+    admitted = t.n_admitted;
+    shed = t.n_shed;
+    cache_hits = t.n_cache_hits;
+    deadline_expired = t.n_deadline;
+    preempted = t.n_preempted;
+    cancelled = t.n_cancelled;
+    completed = t.n_completed;
+    hosts_total = t.hosts_total;
+    hosts_free = List.length t.free_hosts;
+  }
+
+let job_json (j : Job.t) =
+  let fopt = function None -> J.Null | Some v -> J.Float v in
+  let run_fields =
+    match j.Job.result with
+    | None -> [ ("splits", J.Int 0); ("messages", J.Int 0) ]
+    | Some r -> [ ("splits", J.Int r.Master.splits); ("messages", J.Int r.Master.messages) ]
+  in
+  J.Obj
+    ([
+       ("id", J.Int j.Job.id);
+       ("tenant", J.String j.Job.tenant);
+       ("priority", J.String (Job.priority_string j.Job.priority));
+       ("label", J.String j.Job.label);
+       ("digest", J.String j.Job.digest);
+       ("state", J.String (Job.state_string j.Job.state));
+       ("submitted_at", J.Float j.Job.submitted_at);
+       ("started_at", fopt j.Job.started_at);
+       ("finished_at", fopt j.Job.finished_at);
+       ("deadline", fopt j.Job.deadline);
+       ("preemptions", J.Int j.Job.preemptions);
+     ]
+    @ run_fields)
+
+let report t =
+  let s = stats t in
+  let service =
+    J.Obj
+      [
+        ("submitted", J.Int s.submitted);
+        ("admitted", J.Int s.admitted);
+        ("shed", J.Int s.shed);
+        ("cache_hits", J.Int s.cache_hits);
+        ("deadline_expired", J.Int s.deadline_expired);
+        ("preempted", J.Int s.preempted);
+        ("cancelled", J.Int s.cancelled);
+        ("completed", J.Int s.completed);
+        ("hosts_total", J.Int s.hosts_total);
+        ("hosts_free", J.Int s.hosts_free);
+        ("cache_size", J.Int (Cache.size t.cache));
+        ("joblog_appends", J.Int (Joblog.appended t.log));
+        ("joblog_records_dropped", J.Int (Joblog.records_dropped t.log));
+        ("joblog_digest", J.String (Joblog.digest (Joblog.replay t.log)));
+      ]
+  in
+  Obs.Report.build
+    ~meta:
+      [
+        ("kind", J.String "service");
+        ("testbed", J.String t.base.Testbed.name);
+        ("seed", J.Int t.cfg.seed);
+        ("queue_capacity", J.Int t.cfg.queue_capacity);
+        ("hosts_per_job", J.Int t.cfg.hosts_per_job);
+        ("max_concurrent", J.Int t.cfg.max_concurrent);
+        ("virtual_time", J.Float (now t));
+      ]
+    ~sections:[ ("service", service); ("jobs", J.List (List.map job_json (jobs t))) ]
+    ~metrics:(Obs.metrics t.obs) ~spans:(Obs.spans t.obs) ()

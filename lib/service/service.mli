@@ -1,0 +1,144 @@
+(** Multi-tenant job service: many concurrent GridSAT runs over one
+    shared host pool.
+
+    The service owns the simulator, the network and the pool of hosts
+    described by a {!Gridsat_core.Testbed}.  Each admitted job gets its
+    own message bus and its own {!Gridsat_core.Master} over a sub-pool of
+    leased hosts; when the run terminates (verdict, deadline expiry,
+    preemption or cancellation) the lease returns to the pool and the
+    next queued job is dispatched.  Batch and late hosts of the base
+    testbed are ignored — the service schedules over the interactive
+    pool only.
+
+    Overload robustness:
+    - a bounded admission queue sheds excess submissions immediately,
+      with a retry-after hint that scales with queue depth;
+    - dispatch order is priority- and fairness-aware with a starvation
+      guard ({!Admission});
+    - per-job deadlines cancel runs gracefully through
+      {!Gridsat_core.Master.cancel} — hosts come back to the pool, the
+      run journal closes with a clean [Unknown] verdict, no subproblem is
+      orphaned — even when the deadline lands inside a master
+      crash-failover window;
+    - a strictly higher-priority queued job may preempt the weakest
+      running job when the pool is exhausted; the victim is requeued,
+      not lost;
+    - verdicts are cached by canonical CNF digest ({!Cache}), so
+      resubmitting a solved instance costs zero subproblems;
+    - every lifecycle transition is journaled ({!Joblog}) with CRC
+      seals, so a service restart can recover job states by replay.
+
+    Determinism: given the same config (including [seed]), testbed and
+    submission script, the whole multi-run schedule — admissions,
+    dispatches, preemptions, per-job chaos — replays identically. *)
+
+type chaos = {
+  master_crash : bool;
+      (** crash each job's master mid-run and restart it a few (seeded)
+          seconds later *)
+  corrupt_p : float;  (** per-message payload corruption probability *)
+  crash_hosts : int;
+      (** silently crash up to this many of each job's leased hosts
+          (always leaving at least one alive) *)
+}
+
+type config = {
+  queue_capacity : int;  (** bounded admission queue size *)
+  hosts_per_job : int;  (** lease size for each dispatched run *)
+  max_concurrent : int;  (** cap on simultaneously running jobs *)
+  starvation_after : float;
+      (** queued jobs gain one priority level per this many seconds *)
+  retry_after_base : float;  (** base of the shed retry-after hint *)
+  pump_period : float;  (** scheduler tick, virtual seconds *)
+  preemption : bool;
+  run : Gridsat_core.Config.t;  (** per-run master configuration *)
+  chaos : chaos option;  (** per-job fault plan template, if any *)
+  seed : int;  (** seeds the chaos offsets and nothing else *)
+}
+
+val default_config : config
+
+type submit_outcome =
+  | Accepted  (** queued; will run when resources allow *)
+  | Cached of Gridsat_core.Master.answer  (** served from the verdict cache *)
+  | Rejected of { retry_after : float }  (** shed: queue full, try later *)
+
+type stats = {
+  submitted : int;
+  admitted : int;
+  shed : int;
+  cache_hits : int;
+  deadline_expired : int;
+  preempted : int;  (** preemption events (a job can count several times) *)
+  cancelled : int;
+  completed : int;  (** jobs that reached a run verdict *)
+  hosts_total : int;
+  hosts_free : int;
+}
+
+type t
+
+val create : ?obs:Obs.t -> cfg:config -> testbed:Gridsat_core.Testbed.t -> unit -> t
+(** Validates the configuration ([Invalid_argument] on nonsense: empty
+    pool, [hosts_per_job] larger than the pool, non-positive capacities
+    or periods, invalid [run] config) and sets up the shared simulator,
+    network and host pool. *)
+
+val submit :
+  t ->
+  tenant:string ->
+  priority:Job.priority ->
+  ?deadline_in:float ->
+  ?label:string ->
+  Sat.Cnf.t ->
+  submit_outcome
+(** Submits a job at the current virtual time.  [deadline_in] is
+    relative to submission; when it expires the job is cancelled
+    gracefully wherever it is (queued or running).  Cache hits and sheds
+    are decided — and the job made terminal — before this returns. *)
+
+val submit_at :
+  t ->
+  at:float ->
+  tenant:string ->
+  priority:Job.priority ->
+  ?deadline_in:float ->
+  ?label:string ->
+  Sat.Cnf.t ->
+  unit
+(** Scripts a future submission at absolute virtual time [at]; {!run}
+    keeps driving the simulation until all scripted submissions have
+    landed and resolved. *)
+
+val cancel_job : t -> id:int -> reason:string -> bool
+(** External cancellation.  [false] if the job is unknown or already
+    terminal. *)
+
+val run : t -> unit
+(** Drives the simulation until every submitted and scripted job has
+    reached a terminal state.  If the event queue ever drains with jobs
+    still outstanding (should be impossible — the pump re-arms itself),
+    the leftovers are cancelled with a clean ["service stalled"] terminal
+    rather than raising. *)
+
+val outstanding : t -> bool
+
+val jobs : t -> Job.t list
+(** All jobs ever submitted, in submission order. *)
+
+val stats : t -> stats
+
+val joblog : t -> Joblog.t
+
+val verdict_cache : t -> Cache.t
+
+val sim : t -> Grid.Sim.t
+
+val running_masters : t -> (int * Gridsat_core.Master.t) list
+(** [(job id, master)] for currently running jobs — test hook for
+    injecting faults mid-run. *)
+
+val report : t -> Obs.Json.t
+(** Aggregated service report: meta, the counters above, per-job rows
+    (state, wait, outcome, splits/messages when a run happened), plus
+    the shared metrics registry and span summary. *)

@@ -213,12 +213,25 @@ let test_scheduler_pick_policies () =
 let test_scheduler_backlog () =
   check bool "longest-running first" true
     (C.Scheduler.pick_backlog [ (7, 100.); (3, 10.); (9, 50.) ] = Some 3);
-  check bool "empty backlog" true (C.Scheduler.pick_backlog [] = None)
+  check bool "empty backlog" true (C.Scheduler.pick_backlog [] = None);
+  (* two clients busy since the same instant (mass recovery re-homing a
+     batch in one event): the lower id wins, regardless of entry order *)
+  check bool "tie breaks on lower id" true
+    (C.Scheduler.pick_backlog [ (9, 10.); (3, 10.); (7, 50.) ] = Some 3);
+  check bool "tie break is order-independent" true
+    (C.Scheduler.pick_backlog [ (3, 10.); (9, 10.); (7, 50.) ] = Some 3);
+  check bool "older entry beats lower id" true
+    (C.Scheduler.pick_backlog [ (1, 20.); (9, 10.) ] = Some 9)
 
 let test_scheduler_migration_rule () =
   check bool "2x rule fires" true (C.Scheduler.should_migrate ~enabled:true ~busy_rank:10. ~idle_rank:20.);
   check bool "below 2x no" false (C.Scheduler.should_migrate ~enabled:true ~busy_rank:10. ~idle_rank:19.);
-  check bool "disabled" false (C.Scheduler.should_migrate ~enabled:false ~busy_rank:1. ~idle_rank:100.)
+  check bool "disabled" false (C.Scheduler.should_migrate ~enabled:false ~busy_rank:1. ~idle_rank:100.);
+  (* the paper's bar is "at least twice": the exact boundary migrates *)
+  check bool "exact 2x boundary migrates" true
+    (C.Scheduler.should_migrate ~enabled:true ~busy_rank:7.5 ~idle_rank:15.);
+  check bool "just under the boundary stays" false
+    (C.Scheduler.should_migrate ~enabled:true ~busy_rank:7.5 ~idle_rank:14.999)
 
 (* ---------- Checkpoint ---------- *)
 
@@ -286,7 +299,13 @@ let test_gridsat_timeout () =
   let config = { eager_config with Cfg.overall_timeout = 3. } in
   let r = C.Gridsat.solve ~config ~testbed:testbed4 cnf in
   check bool "unknown on timeout" true (is_unknown (answer_of_result r));
-  check bool "time at timeout" true (r.C.Master.time >= 3.)
+  check bool "time at timeout" true (r.C.Master.time >= 3.);
+  (* a timed-out run is still a complete run: the report document builds
+     and validates, so --report/--trace artifacts survive the timeout *)
+  let doc = C.Run_report.build ~meta:[ ("problem", Obs.Json.String "php-9-8") ] ~obs:Obs.disabled r in
+  match Obs.Report.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("timed-out run report invalid: " ^ e)
 
 let test_gridsat_figure3_sequence () =
   (* the five-message split protocol must appear in order in the log *)
@@ -823,6 +842,12 @@ let test_config_validate () =
     (rejects { Cfg.default with Cfg.suspect_timeout = Cfg.default.Cfg.heartbeat_period });
   check bool "checkpoint period must be positive" true
     (rejects { Cfg.default with Cfg.checkpoint_period = 0. });
+  (* the CLI's --timeout flag lands here: a non-positive override must be
+     refused before the run starts, not clamped or ignored *)
+  check bool "zero overall timeout rejected" true
+    (rejects { Cfg.default with Cfg.overall_timeout = 0. });
+  check bool "negative overall timeout rejected" true
+    (rejects { Cfg.default with Cfg.overall_timeout = -5. });
   check bool "at least one delivery attempt" true
     (rejects { Cfg.default with Cfg.retry_max_attempts = 0 });
   check bool "heartbeat must be positive" true

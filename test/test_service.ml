@@ -1,0 +1,536 @@
+(* Service suite: the multi-tenant job front-end must degrade gracefully
+   under overload and chaos.
+
+   The core property, checked under a seeded chaos plan: every submitted
+   job reaches exactly one terminal state — verdict, cached, shed,
+   deadline or cancelled — with every host back in the pool, and the
+   whole schedule replays deterministically. *)
+
+module C = Gridsat_core
+module Cfg = C.Config
+module S = Gridsat_service
+module Svc = S.Service
+module Job = S.Job
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ---------- apparatus ---------- *)
+
+let php ~pigeons ~holes = Workloads.Php.instance ~pigeons ~holes
+
+let planted ?(nvars = 20) seed = Workloads.Random_sat.planted ~nvars ~ratio:5.0 ~seed ()
+
+(* Eager splitting, light checkpoints, quick failure detection — same
+   tuning as the chaos suite, so the fault-tolerance machinery is
+   exercised even on tiny instances. *)
+let run_config =
+  {
+    Cfg.default with
+    Cfg.split_timeout = 2.;
+    slice = 0.5;
+    share_flush_interval = 1.;
+    overall_timeout = 100_000.;
+    nws_probe_interval = 5.;
+    checkpoint = Cfg.Light;
+    checkpoint_period = 5.;
+    heartbeat_period = 5.;
+    suspect_timeout = 30.;
+  }
+
+let svc_config =
+  {
+    Svc.default_config with
+    Svc.run = run_config;
+    hosts_per_job = 2;
+    max_concurrent = 2;
+    queue_capacity = 8;
+    starvation_after = 30.;
+  }
+
+let testbed n = C.Testbed.uniform ~n ~speed:500. ()
+
+let dummy_cnf = Sat.Cnf.make ~nvars:1 [ [ 1 ] ]
+
+let mk_job id tenant priority submitted_at =
+  {
+    Job.id;
+    tenant;
+    priority;
+    label = "";
+    cnf = dummy_cnf;
+    digest = "";
+    deadline = None;
+    submitted_at;
+    state = Job.Queued;
+    started_at = None;
+    finished_at = None;
+    preemptions = 0;
+    result = None;
+  }
+
+let job_by_id svc id =
+  match List.find_opt (fun (j : Job.t) -> j.Job.id = id) (Svc.jobs svc) with
+  | Some j -> j
+  | None -> Alcotest.fail (Printf.sprintf "job %d not found" id)
+
+(* ---------- admission policy ---------- *)
+
+let test_admission_priority_and_fairness () =
+  let adm = S.Admission.create ~capacity:8 ~starvation_after:0. in
+  let no_load _ = 0 in
+  let low = mk_job 1 "a" Job.Low 0. in
+  let high = mk_job 2 "a" Job.High 0. in
+  S.Admission.enqueue adm low;
+  S.Admission.enqueue adm high;
+  (match S.Admission.take adm ~now:0. ~tenant_load:no_load with
+  | Some j -> check int "higher priority first" 2 j.Job.id
+  | None -> Alcotest.fail "expected a job");
+  (match S.Admission.take adm ~now:0. ~tenant_load:no_load with
+  | Some j -> check int "then the low job" 1 j.Job.id
+  | None -> Alcotest.fail "expected a job");
+  (* equal priority: the tenant with fewer running jobs wins the tie *)
+  S.Admission.enqueue adm (mk_job 3 "busy" Job.Normal 0.);
+  S.Admission.enqueue adm (mk_job 4 "idle" Job.Normal 0.);
+  let load = function "busy" -> 2 | _ -> 0 in
+  (match S.Admission.take adm ~now:0. ~tenant_load:load with
+  | Some j -> check int "fair tenant first" 4 j.Job.id
+  | None -> Alcotest.fail "expected a job");
+  (* same tenant, same priority: FIFO by submission *)
+  S.Admission.enqueue adm (mk_job 6 "a" Job.Normal 0.);
+  S.Admission.enqueue adm (mk_job 5 "a" Job.Normal 0.);
+  match S.Admission.take adm ~now:0. ~tenant_load:no_load with
+  | Some j -> check int "fifo tie-break" 3 j.Job.id
+  | None -> Alcotest.fail "expected a job"
+
+let test_admission_starvation_guard () =
+  let adm = S.Admission.create ~capacity:8 ~starvation_after:100. in
+  let no_load _ = 0 in
+  let old_low = mk_job 1 "a" Job.Low 0. in
+  let fresh_high = mk_job 2 "b" Job.High 299. in
+  S.Admission.enqueue adm old_low;
+  S.Admission.enqueue adm fresh_high;
+  (* at t=300 the low job has aged 3 levels (effective 3), the fresh
+     high job none (effective 2): the starved job finally goes first *)
+  check int "aged low outranks fresh high" 3
+    (S.Admission.effective_priority adm ~now:300. old_low);
+  match S.Admission.take adm ~now:300. ~tenant_load:no_load with
+  | Some j -> check int "starvation guard fires" 1 j.Job.id
+  | None -> Alcotest.fail "expected a job"
+
+let test_admission_bounds_and_retry_hint () =
+  let adm = S.Admission.create ~capacity:2 ~starvation_after:0. in
+  check bool "empty not full" false (S.Admission.is_full adm);
+  S.Admission.enqueue adm (mk_job 1 "a" Job.Normal 0.);
+  let hint1 = S.Admission.retry_after adm ~base:10. in
+  S.Admission.enqueue adm (mk_job 2 "a" Job.Normal 0.);
+  let hint2 = S.Admission.retry_after adm ~base:10. in
+  check bool "full at capacity" true (S.Admission.is_full adm);
+  check bool "hint grows with depth" true (hint2 > hint1);
+  check bool "enqueue past capacity rejected" true
+    (try
+       S.Admission.enqueue adm (mk_job 3 "a" Job.Normal 0.);
+       false
+     with Invalid_argument _ -> true);
+  (* requeue (preemption victim) bypasses the bound *)
+  S.Admission.requeue adm (mk_job 4 "a" Job.Normal 0.);
+  check int "victim requeued over capacity" 3 (S.Admission.length adm)
+
+(* ---------- verdict cache ---------- *)
+
+let test_cache_digest_canonical () =
+  let a = Sat.Cnf.make ~nvars:4 [ [ 1; 2 ]; [ -1; 3 ]; [ 2; 4 ] ] in
+  (* same clause set: literals permuted, clauses permuted, one duplicated *)
+  let b = Sat.Cnf.make ~nvars:4 [ [ 4; 2 ]; [ 2; 1 ]; [ 3; -1 ]; [ 1; 2 ] ] in
+  let c = Sat.Cnf.make ~nvars:4 [ [ 1; 2 ]; [ -1; 3 ]; [ 2; -4 ] ] in
+  check bool "permutation-invariant" true (S.Cache.digest a = S.Cache.digest b);
+  check bool "different formula, different digest" false (S.Cache.digest a = S.Cache.digest c)
+
+let test_cache_store_and_verify () =
+  let cache = S.Cache.create () in
+  let cnf = Sat.Cnf.make ~nvars:2 [ [ 1 ]; [ 1; 2 ] ] in
+  let digest = S.Cache.digest cnf in
+  let model = Sat.Model.of_array [| false; true; false |] in
+  check bool "miss before store" true (S.Cache.find cache ~digest ~cnf = None);
+  S.Cache.store cache ~digest (C.Master.Unknown "timeout");
+  check bool "unknown never cached" true (S.Cache.find cache ~digest ~cnf = None);
+  S.Cache.store cache ~digest (C.Master.Sat model);
+  (match S.Cache.find cache ~digest ~cnf with
+  | Some (C.Master.Sat m) -> check bool "served model satisfies" true (Sat.Model.satisfies cnf m)
+  | _ -> Alcotest.fail "expected a SAT hit");
+  check int "hit counted" 1 (S.Cache.hits cache);
+  (* a stored model that does not satisfy the submitted formula (digest
+     collision, rotted entry) must read as a miss, not a wrong answer *)
+  let cache2 = S.Cache.create () in
+  let bad = Sat.Model.of_array [| false; false; false |] in
+  S.Cache.store cache2 ~digest (C.Master.Sat bad);
+  check bool "unverifiable hit is a miss" true (S.Cache.find cache2 ~digest ~cnf = None);
+  check int "poisoned entry evicted" 0 (S.Cache.size cache2)
+
+(* ---------- job log ---------- *)
+
+let test_joblog_replay_and_scrub () =
+  let mk () =
+    let log = S.Joblog.create () in
+    S.Joblog.append log
+      (S.Joblog.Submitted { id = 1; tenant = "a"; priority = "high"; digest = "d"; deadline = None });
+    S.Joblog.append log (S.Joblog.Admitted { id = 1 });
+    S.Joblog.append log (S.Joblog.Started { id = 1; hosts = [ 3; 4 ] });
+    S.Joblog.append log (S.Joblog.Requeued { id = 1; reason = "preempted" });
+    S.Joblog.append log (S.Joblog.Started { id = 1; hosts = [ 5; 6 ] });
+    S.Joblog.append log (S.Joblog.Finished { id = 1; terminal = "verdict:UNSAT" });
+    S.Joblog.append log
+      (S.Joblog.Submitted { id = 2; tenant = "b"; priority = "low"; digest = "e"; deadline = Some 9. });
+    S.Joblog.append log (S.Joblog.Shed { id = 2; retry_after = 30. });
+    log
+  in
+  let log = mk () in
+  let st = S.Joblog.replay log in
+  check int "submissions" 2 st.S.Joblog.submitted;
+  check int "requeues" 1 st.S.Joblog.requeues;
+  check bool "job 1 finished" true (Hashtbl.find st.S.Joblog.jobs 1 = S.Joblog.Done "verdict:UNSAT");
+  check bool "job 2 shed" true (Hashtbl.find st.S.Joblog.jobs 2 = S.Joblog.Done "shed");
+  check bool "replay digest deterministic" true
+    (S.Joblog.digest st = S.Joblog.digest (S.Joblog.replay (mk ())));
+  (* rot the newest record (job 2's shed): replay scrubs it instead of
+     trusting it *)
+  S.Joblog.corrupt_tail log ~n:1;
+  let st' = S.Joblog.replay log in
+  check int "rotted record dropped" 1 (S.Joblog.records_dropped log);
+  check bool "job 1 state survives" true (Hashtbl.find st'.S.Joblog.jobs 1 = S.Joblog.Done "verdict:UNSAT");
+  (* job 2's shed record was rotted away: it replays as still queued *)
+  check bool "job 2 degraded to queued" true (Hashtbl.find st'.S.Joblog.jobs 2 = S.Joblog.Queued)
+
+(* ---------- end-to-end scheduling ---------- *)
+
+let test_single_job_verdict () =
+  let svc = Svc.create ~cfg:svc_config ~testbed:(testbed 4) () in
+  (match Svc.submit svc ~tenant:"acme" ~priority:Job.Normal (php ~pigeons:6 ~holes:5) with
+  | Svc.Accepted -> ()
+  | _ -> Alcotest.fail "expected admission");
+  Svc.run svc;
+  let j = job_by_id svc 1 in
+  (match j.Job.state with
+  | Job.Done (Job.Verdict C.Master.Unsat) -> ()
+  | s -> Alcotest.fail ("expected UNSAT verdict, got " ^ Job.state_string s));
+  let s = Svc.stats svc in
+  check int "completed" 1 s.Svc.completed;
+  check int "all hosts back" s.Svc.hosts_total s.Svc.hosts_free;
+  check bool "nothing running" true (Svc.running_masters svc = [])
+
+let test_cache_hit_on_resubmission () =
+  let svc = Svc.create ~cfg:svc_config ~testbed:(testbed 4) () in
+  let cnf = planted ~nvars:25 3 in
+  ignore (Svc.submit svc ~tenant:"acme" ~priority:Job.Normal cnf);
+  Svc.run svc;
+  let first = job_by_id svc 1 in
+  check bool "first run solved SAT" true
+    (match first.Job.state with Job.Done (Job.Verdict (C.Master.Sat _)) -> true | _ -> false);
+  (* resubmit the same formula with clauses shuffled: instant verified
+     answer, no run, no subproblem dispatched *)
+  let shuffled =
+    let cls = List.rev_map (fun a -> List.rev_map Sat.Types.to_int (Array.to_list a)) (Sat.Cnf.clauses cnf) in
+    Sat.Cnf.make ~nvars:(Sat.Cnf.nvars cnf) cls
+  in
+  (match Svc.submit svc ~tenant:"other" ~priority:Job.Low shuffled with
+  | Svc.Cached (C.Master.Sat m) -> check bool "cached model verified" true (Sat.Model.satisfies shuffled m)
+  | _ -> Alcotest.fail "expected a cached SAT verdict");
+  let second = job_by_id svc 2 in
+  check bool "cache-hit job is terminal" true (Job.is_terminal second);
+  check bool "no run happened for the hit" true (second.Job.result = None);
+  let s = Svc.stats svc in
+  check int "cache hit counted" 1 s.Svc.cache_hits;
+  check int "still all hosts free" s.Svc.hosts_total s.Svc.hosts_free
+
+let test_deadline_expiry_releases_pool () =
+  let cfg = { svc_config with Svc.max_concurrent = 1 } in
+  let svc = Svc.create ~cfg ~testbed:(testbed 2) () in
+  (* far too hard to finish in 5 virtual seconds *)
+  ignore (Svc.submit svc ~tenant:"acme" ~priority:Job.High ~deadline_in:5. (php ~pigeons:9 ~holes:8));
+  (* a second job waits behind it and must still get served *)
+  ignore (Svc.submit svc ~tenant:"acme" ~priority:Job.Normal (php ~pigeons:5 ~holes:4));
+  Svc.run svc;
+  let j1 = job_by_id svc 1 and j2 = job_by_id svc 2 in
+  check bool "deadline terminal" true (j1.Job.state = Job.Done Job.Deadline_expired);
+  (match j1.Job.result with
+  | Some r ->
+      check bool "run closed with a clean verdict" true
+        (match r.C.Master.answer with C.Master.Unknown "deadline" -> true | _ -> false)
+  | None -> Alcotest.fail "expected a run result on the expired job");
+  check bool "queued job ran after the expiry" true
+    (j2.Job.state = Job.Done (Job.Verdict C.Master.Unsat));
+  let s = Svc.stats svc in
+  check int "one expiry" 1 s.Svc.deadline_expired;
+  check int "hosts all back" s.Svc.hosts_total s.Svc.hosts_free
+
+let test_burst_sheds_with_hint () =
+  let cfg = { svc_config with Svc.queue_capacity = 2; max_concurrent = 1 } in
+  let svc = Svc.create ~cfg ~testbed:(testbed 2) () in
+  let outcomes =
+    List.map
+      (fun i -> Svc.submit svc ~tenant:"burst" ~priority:Job.Normal (planted (10 + i)))
+      [ 0; 1; 2; 3 ]
+  in
+  let shed = List.filter (function Svc.Rejected _ -> true | _ -> false) outcomes in
+  check int "burst beyond the queue is shed" 2 (List.length shed);
+  List.iter
+    (function
+      | Svc.Rejected { retry_after } -> check bool "positive retry hint" true (retry_after > 0.)
+      | _ -> ())
+    shed;
+  Svc.run svc;
+  let s = Svc.stats svc in
+  check int "admitted jobs completed" 2 s.Svc.completed;
+  check int "shed counted" 2 s.Svc.shed;
+  check bool "shed jobs are terminal too" true (List.for_all Job.is_terminal (Svc.jobs svc))
+
+let test_preemption_requeues_victim () =
+  let cfg = { svc_config with Svc.max_concurrent = 1; queue_capacity = 4 } in
+  let svc = Svc.create ~cfg ~testbed:(testbed 2) () in
+  ignore (Svc.submit svc ~tenant:"batch" ~priority:Job.Low (php ~pigeons:7 ~holes:6));
+  Svc.submit_at svc ~at:3. ~tenant:"urgent" ~priority:Job.High (planted 4);
+  Svc.run svc;
+  let low = job_by_id svc 1 and high = job_by_id svc 2 in
+  check bool "victim was preempted" true (low.Job.preemptions >= 1);
+  check bool "victim still reached its verdict" true
+    (low.Job.state = Job.Done (Job.Verdict C.Master.Unsat));
+  check bool "high job solved" true
+    (match high.Job.state with Job.Done (Job.Verdict (C.Master.Sat _)) -> true | _ -> false);
+  let s = Svc.stats svc in
+  check bool "preemption counted" true (s.Svc.preempted >= 1);
+  check int "hosts all back" s.Svc.hosts_total s.Svc.hosts_free
+
+let test_deadline_races_master_failover () =
+  let cfg = { svc_config with Svc.max_concurrent = 1 } in
+  let svc = Svc.create ~cfg ~testbed:(testbed 2) () in
+  ignore (Svc.submit svc ~tenant:"acme" ~priority:Job.Normal ~deadline_in:6. (php ~pigeons:9 ~holes:8));
+  (* crash the job's master mid-run with no scripted restart: the
+     deadline at t=6 lands squarely inside the outage window *)
+  ignore
+    (Grid.Sim.schedule_at (Svc.sim svc) ~time:3. (fun () ->
+         match Svc.running_masters svc with
+         | [ (_, m) ] -> C.Master.crash_master m
+         | _ -> Alcotest.fail "expected exactly one running master"));
+  Svc.run svc;
+  let j = job_by_id svc 1 in
+  check bool "deadline terminal despite outage" true (j.Job.state = Job.Done Job.Deadline_expired);
+  (match j.Job.result with
+  | Some r ->
+      check int "the outage really happened" 1 r.C.Master.master_crashes;
+      check bool "journal closed with the deadline verdict" true
+        (match r.C.Master.answer with C.Master.Unknown "deadline" -> true | _ -> false)
+  | None -> Alcotest.fail "expected a run result");
+  let s = Svc.stats svc in
+  check int "hosts recovered from the downed run" s.Svc.hosts_total s.Svc.hosts_free
+
+let test_cancel_mid_run () =
+  let svc = Svc.create ~cfg:svc_config ~testbed:(testbed 2) () in
+  ignore (Svc.submit svc ~tenant:"acme" ~priority:Job.Normal (php ~pigeons:8 ~holes:7));
+  ignore
+    (Grid.Sim.schedule_at (Svc.sim svc) ~time:4. (fun () ->
+         check bool "cancel accepted" true (Svc.cancel_job svc ~id:1 ~reason:"operator abort")));
+  Svc.run svc;
+  let j = job_by_id svc 1 in
+  check bool "cancelled terminal" true (j.Job.state = Job.Done (Job.Cancelled "operator abort"));
+  check bool "second cancel refused" false (Svc.cancel_job svc ~id:1 ~reason:"again");
+  let s = Svc.stats svc in
+  check int "cancellation counted" 1 s.Svc.cancelled;
+  check int "hosts all back" s.Svc.hosts_total s.Svc.hosts_free
+
+(* ---------- the chaos matrix scenario ---------- *)
+
+(* >= 8 concurrent jobs with mixed priorities and deadlines, under
+   master crash-failover, host crashes and message corruption, plus a
+   scripted overload burst.  Returns everything a determinism check
+   needs to compare. *)
+let chaos_scenario ~seed =
+  let cfg =
+    {
+      Svc.default_config with
+      Svc.run = run_config;
+      hosts_per_job = 2;
+      max_concurrent = 8;
+      queue_capacity = 8;
+      starvation_after = 30.;
+      retry_after_base = 15.;
+      preemption = true;
+      seed;
+      chaos = Some { Svc.master_crash = true; corrupt_p = 0.03; crash_hosts = 1 };
+    }
+  in
+  let svc = Svc.create ~cfg ~testbed:(testbed 16) () in
+  let prio i = match i mod 3 with 0 -> Job.Low | 1 -> Job.Normal | _ -> Job.High in
+  (* first wave: eight jobs dispatched together at t=0 *)
+  for i = 0 to 7 do
+    ignore
+      (Svc.submit svc ~tenant:(Printf.sprintf "t%d" (i mod 3)) ~priority:(prio i)
+         ~label:(Printf.sprintf "wave1-%d" i)
+         (if i mod 2 = 0 then php ~pigeons:6 ~holes:5 else planted ~nvars:22 (40 + i)))
+  done;
+  (* second wave while all eight run: a hard high-priority job with a
+     deadline it cannot meet, plus queue pressure *)
+  Svc.submit_at svc ~at:3. ~tenant:"t0" ~priority:Job.High ~deadline_in:6. ~label:"doomed"
+    (php ~pigeons:9 ~holes:8);
+  for i = 0 to 4 do
+    Svc.submit_at svc ~at:3.2 ~tenant:(Printf.sprintf "t%d" (i mod 2)) ~priority:(prio (i + 1))
+      ~label:(Printf.sprintf "wave2-%d" i)
+      (planted ~nvars:22 (60 + i))
+  done;
+  (* overload burst: ten submissions into a queue of eight *)
+  for i = 0 to 9 do
+    Svc.submit_at svc ~at:3.4 ~tenant:"burst" ~priority:Job.Low
+      ~label:(Printf.sprintf "burst-%d" i)
+      (planted ~nvars:22 (80 + i))
+  done;
+  Svc.run svc;
+  svc
+
+let scenario_summary svc =
+  let job_line (j : Job.t) =
+    Printf.sprintf "%d %s %s %s p=%d" j.Job.id j.Job.tenant (Job.priority_string j.Job.priority)
+      (Job.state_string j.Job.state) j.Job.preemptions
+  in
+  String.concat "\n" (List.map job_line (Svc.jobs svc))
+
+let check_lifecycle_invariant svc =
+  let jobs = Svc.jobs svc in
+  check bool "every job is terminal" true (List.for_all Job.is_terminal jobs);
+  (* exactly one terminal record per job in the lifecycle log *)
+  let terminals = Hashtbl.create 64 in
+  let bump id = Hashtbl.replace terminals id (1 + Option.value ~default:0 (Hashtbl.find_opt terminals id)) in
+  List.iter
+    (function
+      | S.Joblog.Shed { id; _ } | S.Joblog.Cache_hit { id; _ } | S.Joblog.Finished { id; _ } -> bump id
+      | _ -> ())
+    (S.Joblog.entries (Svc.joblog svc));
+  List.iter
+    (fun (j : Job.t) ->
+      check int
+        (Printf.sprintf "job %d has exactly one terminal record" j.Job.id)
+        1
+        (Option.value ~default:0 (Hashtbl.find_opt terminals j.Job.id)))
+    jobs;
+  (* the replayed log agrees with the in-memory states *)
+  let st = S.Joblog.replay (Svc.joblog svc) in
+  List.iter
+    (fun (j : Job.t) ->
+      match Hashtbl.find_opt st.S.Joblog.jobs j.Job.id with
+      | Some (S.Joblog.Done s) ->
+          check Alcotest.string
+            (Printf.sprintf "job %d log/state agreement" j.Job.id)
+            (Job.state_string j.Job.state) s
+      | _ -> Alcotest.fail (Printf.sprintf "job %d not terminal in the replayed log" j.Job.id))
+    jobs;
+  (* no leaked resources, no orphaned runs *)
+  let s = Svc.stats svc in
+  check int "all hosts returned to the pool" s.Svc.hosts_total s.Svc.hosts_free;
+  check bool "no master left running" true (Svc.running_masters svc = []);
+  (* verdicts that did land are correct: php instances are UNSAT,
+     planted instances carry a model the master already verified *)
+  List.iter
+    (fun (j : Job.t) ->
+      match j.Job.state with
+      | Job.Done (Job.Verdict a) | Job.Done (Job.Cached a) -> (
+          match (j.Job.label, a) with
+          | _, C.Master.Sat m -> check bool "model satisfies" true (Sat.Model.satisfies j.Job.cnf m)
+          | label, C.Master.Unsat ->
+              check bool (label ^ " unsat is expected") true
+                (String.length label >= 5 && String.sub label 0 5 = "wave1")
+          | _, C.Master.Unknown _ -> ())
+      | _ -> ())
+    jobs
+
+let test_chaos_matrix_every_job_terminal () =
+  let svc = chaos_scenario ~seed:7 in
+  check_lifecycle_invariant svc;
+  let s = Svc.stats svc in
+  check bool "shed happened" true (s.Svc.shed >= 1);
+  check bool "deadline expiry happened" true (s.Svc.deadline_expired >= 1);
+  check bool "completions happened" true (s.Svc.completed >= 8);
+  (* the first wave really ran concurrently: eight runs overlap in time *)
+  let jobs = Svc.jobs svc in
+  let intervals =
+    List.filter_map
+      (fun (j : Job.t) ->
+        match (j.Job.started_at, j.Job.finished_at) with
+        | Some st, Some fin when j.Job.result <> None -> Some (st, fin)
+        | _ -> None)
+      jobs
+  in
+  let peak =
+    List.fold_left
+      (fun acc (st, _) ->
+        max acc (List.length (List.filter (fun (st', fin') -> st' <= st && st < fin') intervals)))
+      0 intervals
+  in
+  check bool "at least 8 concurrent runs" true (peak >= 8);
+  (* the chaos plan really fired: crash-failovers and wire corruption
+     survived inside the runs *)
+  let sum f = List.fold_left (fun acc (j : Job.t) -> match j.Job.result with Some r -> acc + f r | None -> acc) 0 jobs in
+  check bool "master crashes survived" true (sum (fun r -> r.C.Master.master_crashes) >= 4);
+  check bool "corruption detected and refused" true (sum (fun r -> r.C.Master.corrupt_detected) >= 1);
+  (* resubmitting an already-solved instance is served from the cache
+     with zero subproblems dispatched *)
+  (match Svc.submit svc ~tenant:"replay" ~priority:Job.Normal (php ~pigeons:6 ~holes:5) with
+  | Svc.Cached C.Master.Unsat -> ()
+  | _ -> Alcotest.fail "expected a cached UNSAT verdict");
+  let resub = List.rev (Svc.jobs svc) |> List.hd in
+  check bool "no run for the resubmission" true (resub.Job.result = None);
+  check bool "cache hit visible in counters" true ((Svc.stats svc).Svc.cache_hits >= 1);
+  (* the service report builds, validates, and carries the counters *)
+  let doc = Svc.report svc in
+  (match Obs.Report.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("service report invalid: " ^ e));
+  match Obs.Json.member "service" doc with
+  | Some (Obs.Json.Obj fields) ->
+      check bool "report exposes shed counter" true (List.mem_assoc "shed" fields);
+      check bool "report exposes cache hits" true (List.mem_assoc "cache_hits" fields)
+  | _ -> Alcotest.fail "service section missing from report"
+
+let test_chaos_matrix_deterministic_replay () =
+  let a = chaos_scenario ~seed:7 in
+  let b = chaos_scenario ~seed:7 in
+  check Alcotest.string "identical job outcomes" (scenario_summary a) (scenario_summary b);
+  check Alcotest.string "identical lifecycle digests"
+    (S.Joblog.digest (S.Joblog.replay (Svc.joblog a)))
+    (S.Joblog.digest (S.Joblog.replay (Svc.joblog b)))
+
+(* Property-style sweep: the lifecycle invariant holds whatever the
+   seeded chaos plan does. *)
+let test_lifecycle_invariant_across_seeds () =
+  List.iter (fun seed -> check_lifecycle_invariant (chaos_scenario ~seed)) [ 1; 13; 23 ]
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "admission",
+        [
+          Alcotest.test_case "priority and fairness" `Quick test_admission_priority_and_fairness;
+          Alcotest.test_case "starvation guard" `Quick test_admission_starvation_guard;
+          Alcotest.test_case "bounds and retry hint" `Quick test_admission_bounds_and_retry_hint;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "canonical digest" `Quick test_cache_digest_canonical;
+          Alcotest.test_case "store and verify" `Quick test_cache_store_and_verify;
+        ] );
+      ("joblog", [ Alcotest.test_case "replay and scrub" `Quick test_joblog_replay_and_scrub ]);
+      ( "scheduling",
+        [
+          Alcotest.test_case "single job verdict" `Quick test_single_job_verdict;
+          Alcotest.test_case "cache hit on resubmission" `Quick test_cache_hit_on_resubmission;
+          Alcotest.test_case "deadline releases pool" `Quick test_deadline_expiry_releases_pool;
+          Alcotest.test_case "burst sheds with hint" `Quick test_burst_sheds_with_hint;
+          Alcotest.test_case "preemption requeues victim" `Quick test_preemption_requeues_victim;
+          Alcotest.test_case "deadline races failover" `Quick test_deadline_races_master_failover;
+          Alcotest.test_case "cancel mid-run" `Quick test_cancel_mid_run;
+        ] );
+      ( "chaos-matrix",
+        [
+          Alcotest.test_case "every job terminal" `Quick test_chaos_matrix_every_job_terminal;
+          Alcotest.test_case "deterministic replay" `Quick test_chaos_matrix_deterministic_replay;
+          Alcotest.test_case "invariant across seeds" `Slow test_lifecycle_invariant_across_seeds;
+        ] );
+    ]
