@@ -10,7 +10,7 @@ let usage () =
   print_endline
     "usage: main.exe \
      [all|quick|table1|table2|bcp|sharing|pingpong|scheduler|bluehorizon|profile|ablation|faults|chaos \
-     [seed]|mastercrash|service|parmodes|micro|obs]"
+     [seed]|mastercrash|service|straggler|parmodes|micro|obs]"
 
 let section name f =
   Printf.printf "\n%s\n%s\n\n" (String.make 72 '=') name;
@@ -36,6 +36,7 @@ let () =
     section "Claim C10 (chaos)" (Bench_lib.Claims.chaos ?seed:None);
     section "Claim C11 (master crash)" Bench_lib.Claims.master_crash;
     section "Claim C12 (job service)" Bench_lib.Claims.service_overload;
+    section "Claim C13 (straggler hedging)" Bench_lib.Claims.straggler;
     section "Micro-benchmarks" Bench_lib.Micro.run;
     section "Telemetry overhead" Bench_lib.Micro.obs_overhead
   in
@@ -59,6 +60,7 @@ let () =
       | None -> usage ())
   | [ "mastercrash" ] -> Bench_lib.Claims.master_crash ()
   | [ "service" ] -> Bench_lib.Claims.service_overload ()
+  | [ "straggler" ] -> Bench_lib.Claims.straggler ()
   | [ "parmodes" ] -> Bench_lib.Claims.par_modes ()
   | [ "micro" ] -> Bench_lib.Micro.run ()
   | [ "obs" ] -> Bench_lib.Micro.obs_overhead ()

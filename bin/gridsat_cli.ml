@@ -111,8 +111,35 @@ let chaos_plan () =
     F.Duplicate_messages { p = 0.05; extra = 0.5; from_t = 0.; until_t = infinity };
   ]
 
-let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify ~corrupt_p ~report
-    ~trace cnf =
+(* Seeded straggler plan for --stragglers: the first [n] hosts slow down
+   (or oscillate, with --flaky) early in the run.  Heartbeats and acks
+   stay on time, so only the health model's progress-rate signal — and
+   hedging — can defend against these. *)
+let straggler_plan ~n ~flaky ~seed =
+  let module F = Grid.Fault in
+  let st = Random.State.make [| seed; 0x51084 |] in
+  List.init n (fun i ->
+      let host = i + 1 in
+      let at = 1. +. Random.State.float st 2. in
+      let factor = 6. +. Random.State.float st 4. in
+      if flaky then
+        F.Flaky_host { host; factor; period = 4. +. Random.State.float st 4.; from_t = at; until_t = infinity }
+      else F.Slow_host { host; at; factor })
+
+let print_health_table hm =
+  Format.printf "c %-5s %-6s %-10s %9s %9s %9s  %s@." "host" "score" "state" "ack-ewma" "hb-jit"
+    "rate" "crash/quar/corr/retry";
+  List.iter
+    (fun (v : Gridsat_core.Health.view) ->
+      Format.printf "c %-5d %-6.2f %-10s %9.3f %9.3f %9.1f  %d/%d/%d/%d@." v.Gridsat_core.Health.v_host
+        v.Gridsat_core.Health.v_score v.Gridsat_core.Health.v_state v.Gridsat_core.Health.v_ack_ewma
+        v.Gridsat_core.Health.v_hb_jitter v.Gridsat_core.Health.v_rate
+        v.Gridsat_core.Health.v_crashes v.Gridsat_core.Health.v_quarantines
+        v.Gridsat_core.Health.v_corruptions v.Gridsat_core.Health.v_retries)
+    (Gridsat_core.Health.views hm)
+
+let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify ~corrupt_p ~hedge
+    ~stragglers ~flaky ~health_report ~report ~trace cnf =
   match testbed_of_string ~hosts testbed with
   | Error e ->
       prerr_endline e;
@@ -150,7 +177,16 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify 
           { config with Gridsat_core.Config.certify = true; integrity_checks = true; share_max_len = 0 }
         else config
       in
+      (* --hedge arms the full straggler defense: hedged re-execution
+         plus percentile-driven (adaptive) lease and retry deadlines *)
+      let config =
+        if hedge then { config with Gridsat_core.Config.hedge = true; adaptive_timeouts = true }
+        else config
+      in
       let fault_plan = if chaos then chaos_plan () else [] in
+      let fault_plan =
+        if stragglers > 0 then straggler_plan ~n:stragglers ~flaky ~seed @ fault_plan else fault_plan
+      in
       let fault_plan =
         if corrupt_p > 0. then
           Grid.Fault.Corrupt_messages
@@ -163,7 +199,8 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify 
           Printf.eprintf "gridsat: bad configuration: %s\n" e;
           2
       | Ok () ->
-      let result = Gridsat_core.Gridsat.solve ~config ~fault_plan ~obs ~testbed cnf in
+      let health = if hedge || health_report then Some (Gridsat_core.Health.create ()) else None in
+      let result = Gridsat_core.Gridsat.solve ?health ~config ~fault_plan ~obs ~testbed cnf in
       (match result.Gridsat_core.Master.answer with
       | Gridsat_core.Master.Sat model -> Format.printf "s SATISFIABLE@.v %a@." Sat.Model.pp model
       | Gridsat_core.Master.Unsat -> Format.printf "s UNSATISFIABLE@."
@@ -178,6 +215,10 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify 
       (if corrupt_p > 0. then
          Format.printf "c corruption: %d payloads detected, %d nacked@."
            result.Gridsat_core.Master.corrupt_detected result.Gridsat_core.Master.nacks);
+      (if hedge then
+         Format.printf "c hedging: %d launched, %d losers fenced@."
+           result.Gridsat_core.Master.hedges result.Gridsat_core.Master.hedge_cancellations);
+      (match health with Some hm when health_report -> print_health_table hm | _ -> ());
       if stats then Format.printf "@.%a@." Gridsat_core.Gridsat.pp_result result;
       emit_telemetry ~report ~trace ~obs (fun () ->
           Gridsat_core.Run_report.build
@@ -188,6 +229,8 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify 
                 ("chaos", Obs.Json.Bool chaos);
                 ("certify", Obs.Json.Bool certify);
                 ("corrupt_p", Obs.Json.Float corrupt_p);
+                ("hedge", Obs.Json.Bool hedge);
+                ("stragglers", Obs.Json.Int stragglers);
               ]
             ~obs result);
       0
@@ -251,6 +294,35 @@ let solve_cmd =
       & info [ "corrupt-p" ]
           ~doc:"probability of corrupting each message payload in flight (grid mode fault injection)")
   in
+  let hedge =
+    Arg.(
+      value & flag
+      & info [ "hedge" ]
+          ~doc:
+            "grid mode: arm the straggler defense — health-aware ranking, adaptive lease/retry \
+             deadlines, and hedged re-execution (a subproblem running past the fleet p99 is cloned \
+             to an idle host; first result wins, the loser is cancelled and fenced)")
+  in
+  let stragglers =
+    Arg.(
+      value & opt int 0
+      & info [ "stragglers" ]
+          ~doc:
+            "grid mode fault injection: silently slow down this many hosts early in the run \
+             (seeded factors; heartbeats stay on time, so only --hedge defends)")
+  in
+  let flaky =
+    Arg.(
+      value & flag
+      & info [ "flaky" ]
+          ~doc:"make --stragglers oscillate between full and degraded speed instead of a one-shot slowdown")
+  in
+  let health_report =
+    Arg.(
+      value & flag
+      & info [ "health-report" ]
+          ~doc:"grid mode: print the per-host health table (score, breaker state, signal EWMAs) after the run")
+  in
   let report =
     Arg.(value & opt (some string) None & info [ "report" ] ~doc:"write the run report JSON here")
   in
@@ -261,7 +333,7 @@ let solve_cmd =
       & info [ "trace" ] ~doc:"write a Chrome trace_event file here (chrome://tracing, Perfetto)")
   in
   let run file mode testbed hosts jobs share_len timeout budget proof stats preprocess seed chaos
-      certify corrupt_p report trace =
+      certify corrupt_p hedge stragglers flaky health_report report trace =
     match read_cnf file with
     | Error e ->
         prerr_endline e;
@@ -271,7 +343,7 @@ let solve_cmd =
         | "seq" -> solve_sequential ~preprocess ~proof_out:proof ~stats ~budget ~report ~trace cnf
         | "grid" ->
             solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify ~corrupt_p
-              ~report ~trace cnf
+              ~hedge ~stragglers ~flaky ~health_report ~report ~trace cnf
         | "par" ->
             if report <> None || trace <> None then
               Format.printf "c note: --report/--trace are not wired into par mode@.";
@@ -284,7 +356,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve a DIMACS CNF file")
     Term.(
       const run $ file $ mode $ testbed $ hosts $ jobs $ share_len $ timeout $ budget $ proof
-      $ stats $ preprocess $ seed $ chaos $ certify $ corrupt_p $ report $ trace)
+      $ stats $ preprocess $ seed $ chaos $ certify $ corrupt_p $ hedge $ stragglers $ flaky
+      $ health_report $ report $ trace)
 
 (* ---------- serve ---------- *)
 
@@ -294,7 +367,7 @@ module Sjob = Gridsat_service.Job
 let split_commas s = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
 
 let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tenants ~priorities
-    ~deadline ~seed ~chaos ~corrupt_p ~resubmit ~stats ~report =
+    ~deadline ~seed ~chaos ~corrupt_p ~hedge ~slow_hosts ~flaky ~brownout ~resubmit ~stats ~report =
   match testbed_of_string ~hosts testbed with
   | Error e ->
       prerr_endline e;
@@ -353,13 +426,21 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
                   }
                 else run_config
               in
+              let run_config =
+                if hedge then
+                  { run_config with Gridsat_core.Config.hedge = true; adaptive_timeouts = true }
+                else run_config
+              in
               let svc_chaos =
-                if chaos || corrupt_p > 0. then
+                if chaos || corrupt_p > 0. || slow_hosts > 0 then
                   Some
                     {
+                      Svc.default_chaos with
                       Svc.master_crash = chaos;
                       corrupt_p;
                       crash_hosts = (if chaos then 1 else 0);
+                      slow_hosts;
+                      flaky;
                     }
                 else None
               in
@@ -372,6 +453,7 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
                   queue_capacity = queue_cap;
                   seed;
                   chaos = svc_chaos;
+                  brownout_threshold = brownout;
                 }
               in
               let svc =
@@ -424,10 +506,15 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
                      preempted %d cancelled %d completed %d@."
                     s.Svc.submitted s.Svc.admitted s.Svc.shed s.Svc.cache_hits
                     s.Svc.deadline_expired s.Svc.preempted s.Svc.cancelled s.Svc.completed;
-                  if stats then
-                    Format.printf "c pool: %d hosts, %d free; virtual time %.1f s@." s.Svc.hosts_total
-                      s.Svc.hosts_free
+                  if stats then begin
+                    Format.printf
+                      "c pool: %d hosts, %d free, %d healthy; brownouts %d (%d deadlines \
+                       stretched); virtual time %.1f s@."
+                      s.Svc.hosts_total s.Svc.hosts_free s.Svc.hosts_healthy s.Svc.brownouts
+                      s.Svc.deadlines_stretched
                       (Grid.Sim.now (Svc.sim svc));
+                    print_health_table (Svc.health svc)
+                  end;
                   (match report with
                   | None -> ()
                   | Some path ->
@@ -485,6 +572,34 @@ let serve_cmd =
       value & opt float 0.
       & info [ "corrupt-p" ] ~doc:"probability of corrupting each message payload in flight")
   in
+  let hedge =
+    Arg.(
+      value & flag
+      & info [ "hedge" ]
+          ~doc:
+            "arm the straggler defense in every run: health-aware ranking, adaptive timeouts and \
+             hedged re-execution")
+  in
+  let slow_hosts =
+    Arg.(
+      value & opt int 0
+      & info [ "slow-hosts" ]
+          ~doc:"chaos: silently slow down this many of each job's leased hosts (seeded stragglers)")
+  in
+  let flaky =
+    Arg.(
+      value & flag
+      & info [ "flaky" ]
+          ~doc:"make --slow-hosts oscillate between full and degraded speed on a seeded period")
+  in
+  let brownout =
+    Arg.(
+      value & opt float 0.
+      & info [ "brownout" ]
+          ~doc:
+            "brownout threshold: when the healthy fraction of the pool drops below this, shed \
+             low-priority queued jobs and stretch advisory deadlines (0 disables)")
+  in
   let resubmit =
     Arg.(
       value & flag
@@ -498,15 +613,16 @@ let serve_cmd =
       & info [ "report" ] ~doc:"write the aggregated service report JSON here")
   in
   let run files testbed hosts hosts_per_job max_concurrent queue_cap tenants priorities deadline
-      seed chaos corrupt_p resubmit stats report =
+      seed chaos corrupt_p hedge slow_hosts flaky brownout resubmit stats report =
     serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tenants ~priorities
-      ~deadline ~seed ~chaos ~corrupt_p ~resubmit ~stats ~report
+      ~deadline ~seed ~chaos ~corrupt_p ~hedge ~slow_hosts ~flaky ~brownout ~resubmit ~stats ~report
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Solve a batch of CNF files as a multi-tenant job service")
     Term.(
       const run $ files $ testbed $ hosts $ hosts_per_job $ max_concurrent $ queue_cap $ tenants
-      $ priorities $ deadline $ seed $ chaos $ corrupt_p $ resubmit $ stats $ report)
+      $ priorities $ deadline $ seed $ chaos $ corrupt_p $ hedge $ slow_hosts $ flaky $ brownout
+      $ resubmit $ stats $ report)
 
 (* ---------- gen ---------- *)
 

@@ -37,6 +37,7 @@ type t = {
   mutable state : state;
   mutable alive : bool;
   mutable hung : bool;  (* fault injection: process wedged, not known dead *)
+  mutable slow_factor : float;  (* fault injection: >1 divides the compute budget *)
   mutable token : int;  (* bumped on every state change to invalidate stale slices *)
   mutable next_branch : int;  (* stamps pids of branches this client donates *)
   mutable rel : Reliable.t option;  (* set once in create; never None afterwards *)
@@ -59,6 +60,13 @@ let is_busy t = match t.state with Solving _ -> true | Idle -> false
 let is_alive t = t.alive
 
 let is_hung t = t.hung
+
+(* A slowed host keeps heartbeating on schedule and acking promptly — the
+   only observable symptom is that solver work trickles.  That asymmetry
+   is the point: crash detection cannot see it. *)
+let set_slow_factor t factor = if factor > 0. then t.slow_factor <- factor
+
+let slow_factor t = t.slow_factor
 
 let busy_since t = match t.state with Solving s -> Some s.started_at | Idle -> None
 
@@ -228,7 +236,9 @@ and slice t token =
     | Idle -> ()
     | Solving s ->
         let avail = Grid.Trace.availability t.trace (now t) in
-        let budget = max 1 (int_of_float (t.cfg.slice *. t.resource.R.speed *. avail)) in
+        let budget =
+          max 1 (int_of_float (t.cfg.slice *. t.resource.R.speed *. avail /. t.slow_factor))
+        in
         (match Solver.run s.solver ~budget with
         | Solver.Sat model ->
             t.callbacks.log (Events.Client_found_model t.cid);
@@ -388,6 +398,14 @@ let handle_payload t ~src msg =
       | Solving s -> Solver.queue_foreign_clauses s.solver clauses
       | Idle -> ())
   | Protocol.Migrate_to { target } -> handle_migrate t target
+  | Protocol.Cancel { pid } -> (
+      (* stand down from a hedged copy that lost the race.  A cancel for a
+         pid we no longer hold (already finished, migrated, or a stale
+         re-delivery) is a no-op — the master's tombstone absorbs whatever
+         we already sent. *)
+      match t.state with
+      | Solving s when s.pid = pid -> finish_problem ~outcome:"cancelled" t
+      | Solving _ | Idle -> ())
   | Protocol.Resync_request ->
       (* a replacement master is reconciling: report what we are doing.
          Everything still unacked toward the master was transmitted into
@@ -410,7 +428,7 @@ let handle_payload t ~src msg =
       t.alive <- false
   | Protocol.Register | Protocol.Problem_received _ | Protocol.Split_request _
   | Protocol.Split_ok _ | Protocol.Split_failed | Protocol.Shares _ | Protocol.Finished_unsat _
-  | Protocol.Found_model _ | Protocol.Orphaned _ | Protocol.Resync _ | Protocol.Heartbeat ->
+  | Protocol.Found_model _ | Protocol.Orphaned _ | Protocol.Resync _ | Protocol.Heartbeat _ ->
       (* master-bound messages; a client should never receive them *)
       ()
   | Protocol.Corrupt_payload ->
@@ -450,7 +468,8 @@ let launch_delay = 1.0
 
 let rec heartbeat_loop t =
   if t.alive && not t.hung then begin
-    send_raw t ~dst:t.master Protocol.Heartbeat;
+    send_raw t ~dst:t.master
+      (Protocol.Heartbeat { decisions = (solver_stats t).Sat.Stats.decisions });
     ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.Config.heartbeat_period (fun () -> heartbeat_loop t))
   end
 
@@ -471,6 +490,7 @@ let create ?(obs = Obs.disabled) ~sim ~bus ~cfg ~resource ~trace ~master callbac
       state = Idle;
       alive = resource.R.mem_bytes >= cfg.Config.min_client_memory;
       hung = false;
+      slow_factor = 1.0;
       token = 0;
       next_branch = 0;
       rel = None;
@@ -487,7 +507,8 @@ let create ?(obs = Obs.disabled) ~sim ~bus ~cfg ~resource ~trace ~master callbac
     }
   in
   let rel =
-    Reliable.create ~obs ~obs_tid:t.cid ~sim ~send_raw:(fun ~dst msg -> send_raw t ~dst msg)
+    Reliable.create ~obs ~obs_tid:t.cid ~seed:cfg.Config.seed ~jitter:cfg.Config.retry_jitter
+      ~sim ~send_raw:(fun ~dst msg -> send_raw t ~dst msg)
       ~active:(fun () -> t.alive && not t.hung)
       ~retry_base:cfg.Config.retry_base ~max_attempts:cfg.Config.retry_max_attempts
       ~on_retry:(fun ~dst ~attempt ->

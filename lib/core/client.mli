@@ -65,6 +65,16 @@ val hang : t -> unit
     registered, so to the rest of the grid it is indistinguishable from a
     live-but-unreachable process. *)
 
+val set_slow_factor : t -> float -> unit
+(** Failure injection: divide the client's per-slice compute budget by
+    [factor] ([1.0] restores full speed; non-positive values are
+    ignored).  Unlike {!kill}/{!hang} the client stays fully responsive —
+    heartbeats, acks and protocol traffic are unaffected — so the
+    slowdown is invisible to crash detection and must be caught by the
+    health model's progress-rate signal. *)
+
+val slow_factor : t -> float
+
 val solver_stats : t -> Sat.Stats.t
 (** Accumulated statistics over every subproblem this client worked on. *)
 

@@ -37,6 +37,24 @@ type t = {
   retry_base : float;  (** first backoff delay of the reliable channel *)
   retry_max_attempts : int;
       (** reliable sends abandoned after this many unacked transmissions *)
+  retry_jitter : float;
+      (** relative spread (in [[0, 1]]) applied to every reliable backoff
+          delay from a per-endpoint seeded RNG: deterministic under the
+          run seed, but desynchronised across clients, so retries that
+          exhausted together during a master outage cannot stampede the
+          restarted master in lockstep *)
+  adaptive_timeouts : bool;
+      (** derive the failure-detector lease and the reliable retry base
+          from observed latency percentiles (heartbeat-gap p99, ack p99)
+          instead of the fixed constants.  Adaptive values may only
+          tighten the configured ones — [suspect_timeout]/[retry_base]
+          remain the worst-case bounds. *)
+  hedge : bool;
+      (** straggler hedging: when a subproblem's elapsed time exceeds the
+          fleet's p99 solve duration and an idle healthy host exists, the
+          master dispatches a second copy of the same branch; the first
+          result wins and the loser is cancelled.  Accounting stays
+          exactly-once — both copies share one pid. *)
   journal_compact_every : int;
       (** fold the master's write-ahead journal into a snapshot every this
           many entries (bounds replay work after a master crash) *)

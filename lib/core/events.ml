@@ -35,6 +35,11 @@ type kind =
   | Unsat_fragment_certified of { pid : Protocol.pid; client : int; steps : int }
   | Certification_failed of { pid : Protocol.pid; client : int; reason : string }
   | Client_quarantined of { client : int }
+  | Host_slowed of { host : int; factor : float }
+  | Hedge_launched of { pid : Protocol.pid; primary : int; backup : int }
+  | Hedge_cancelled of { pid : Protocol.pid; loser : int }
+  | Host_probation of { host : int; until_t : float }
+  | Host_readmitted of { host : int }
   | Terminated of string
 
 type t = { time : float; kind : kind }
@@ -106,6 +111,17 @@ let pp_kind ppf = function
       Format.fprintf ppf "certification of %d.%d from client %d FAILED: %s" a b client reason
   | Client_quarantined { client } ->
       Format.fprintf ppf "client %d quarantined (unverifiable answer); its work re-derived" client
+  | Host_slowed { host; factor } ->
+      if factor = 1.0 then Format.fprintf ppf "fault: host %d restored to full speed" host
+      else Format.fprintf ppf "fault: host %d slowed %gx" host factor
+  | Hedge_launched { pid = a, b; primary; backup } ->
+      Format.fprintf ppf "subproblem %d.%d on client %d hedged onto client %d" a b primary backup
+  | Hedge_cancelled { pid = a, b; loser } ->
+      Format.fprintf ppf "hedge %d.%d resolved; losing copy on client %d cancelled" a b loser
+  | Host_probation { host; until_t } ->
+      Format.fprintf ppf "host %d enters probation until t=%.1f (circuit breaker open)" host until_t
+  | Host_readmitted { host } ->
+      Format.fprintf ppf "host %d re-admitted (canary subproblem succeeded)" host
   | Terminated why -> Format.fprintf ppf "terminated: %s" why
 
 let pp ppf t = Format.fprintf ppf "[%10.1f] %a" t.time pp_kind t.kind

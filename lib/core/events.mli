@@ -62,6 +62,18 @@ type kind =
   | Client_quarantined of { client : int }
       (** the client's answer failed verification: it is written off and
           its subproblem re-derived from lineage onto another host *)
+  | Host_slowed of { host : int; factor : float }
+      (** fault injection ground truth: the host now computes [factor]×
+          slower ([1.0] restores full speed) *)
+  | Hedge_launched of { pid : Protocol.pid; primary : int; backup : int }
+      (** the subproblem outlived the fleet's p99 duration with idle
+          capacity available, so a second copy was dispatched *)
+  | Hedge_cancelled of { pid : Protocol.pid; loser : int }
+      (** one hedged copy answered; the other was told to stand down *)
+  | Host_probation of { host : int; until_t : float }
+      (** the host's circuit breaker tripped: no work until [until_t] *)
+  | Host_readmitted of { host : int }
+      (** a half-open host's canary subproblem succeeded; breaker closed *)
   | Terminated of string
 
 type t = { time : float; kind : kind }

@@ -1,5 +1,5 @@
-let solve ?(config = Config.default) ?(fault_plan = []) ?(obs = Obs.disabled) ?on_master ~testbed
-    cnf =
+let solve ?(config = Config.default) ?(fault_plan = []) ?(obs = Obs.disabled) ?health ?on_master
+    ~testbed cnf =
   Config.validate_exn config;
   let sim = Grid.Sim.create ~obs () in
   (* Spans carry virtual time: the whole run's trace lives on the
@@ -7,7 +7,7 @@ let solve ?(config = Config.default) ?(fault_plan = []) ?(obs = Obs.disabled) ?o
   Obs.set_clock obs (fun () -> Grid.Sim.now sim);
   let net = Grid.Network.create () in
   let bus = Grid.Everyware.create ~obs sim net in
-  let master = Master.create ~obs ~sim ~net ~bus ~cfg:config ~testbed cnf in
+  let master = Master.create ~obs ?health ~sim ~net ~bus ~cfg:config ~testbed cnf in
   (match fault_plan with
   | [] -> ()
   | specs ->
@@ -22,6 +22,7 @@ let solve ?(config = Config.default) ?(fault_plan = []) ?(obs = Obs.disabled) ?o
           ~on_master_restart:(fun () -> Master.restart_master master)
           ~on_storage_corrupt:(fun ~journal_records ~checkpoints ->
             Master.corrupt_storage master ~journal_records ~checkpoints)
+          ~on_slow:(fun host factor -> Master.slow_host master host factor)
           specs
       in
       (* the corruptor garbles a payload in place of delivering it intact:

@@ -18,6 +18,7 @@ val solve :
   ?config:Config.t ->
   ?fault_plan:Grid.Fault.spec list ->
   ?obs:Obs.t ->
+  ?health:Health.t ->
   ?on_master:(Master.t -> unit) ->
   testbed:Testbed.t ->
   Sat.Cnf.t ->
@@ -29,7 +30,9 @@ val solve :
     fire on the simulation clock, and message faults (drops, delays,
     duplicates, partitions) are applied to every send.  The plan is
     evaluated with a private RNG seeded from the config, so the same plan
-    and seed replay the identical failure schedule.  [on_master] exposes
+    and seed replay the identical failure schedule.  [health] wires a
+    (possibly shared) host-health model into the run's scheduling; see
+    {!Master.create}.  [on_master] exposes
     the master right after construction — tests use it to inject failures
     at scheduled times.  [obs] (default [Obs.disabled]) collects metrics
     and spans across every layer of the run; its span clock is pointed at

@@ -18,6 +18,8 @@ type result = {
   recoveries : int;
   rederivations : int;
   master_crashes : int;
+  hedges : int;
+  hedge_cancellations : int;
   checkpoint_bytes : int;
   corrupt_detected : int;
   nacks : int;
@@ -84,6 +86,12 @@ type t = {
          after the pid's refutation (a Split_ok or Problem_received
          reordered behind the holder's own Finished_unsat) must be
          absorbed, not resurrected as live work *)
+  hedged : (Protocol.pid, unit) Hashtbl.t;
+      (* pids currently solved by two hosts at once (straggler hedging).
+         A hedged pid must keep a stable identity until one copy wins:
+         split grants are denied, migration skips it, and losing its
+         entry here (master crash) only costs the loser-cancel
+         optimisation — pid-keyed accounting stays exactly-once *)
   mutable down : bool;  (* the master process is crashed right now *)
   mutable resyncing : bool;  (* restarted; waiting out the resync grace *)
   mutable problem_assigned : bool;
@@ -173,6 +181,30 @@ let update_max t =
   let b = busy_clients t in
   if b > t.max_clients then t.max_clients <- b
 
+let health t = Pool.health t.pool
+
+(* Health-signal feeds.  All of them are no-ops without a wired model, so
+   a plain master keeps its exact historical behaviour. *)
+let note_incident t host kind =
+  match health t with
+  | None -> ()
+  | Some hm -> (
+      match Health.incident hm ~host ~now:(Grid.Sim.now t.sim) kind with
+      | Some until_t -> log t (Events.Host_probation { host; until_t })
+      | None -> ())
+
+(* A host handed back a good result: feed the fleet duration histogram
+   (hedging compares against its p99) and let a half-open breaker close. *)
+let note_host_success t src =
+  match health t with
+  | None -> ()
+  | Some hm ->
+      (match Pool.find_opt t.pool src with
+      | Some h when h.rstate = Busy ->
+          Health.note_duration hm ~elapsed:(Grid.Sim.now t.sim -. h.busy_since)
+      | _ -> ());
+      if Health.note_success hm ~host:src then log t (Events.Host_readmitted { host = src })
+
 let aggregate_stats t = Pool.aggregate_solver_stats t.pool
 
 let count_events t f = List.fold_left (fun acc e -> if f e.Events.kind then acc + 1 else acc) 0 t.events
@@ -199,6 +231,9 @@ let result t =
         rederivations =
           count_events t (function Events.Rederived_from_lineage _ -> true | _ -> false);
         master_crashes = count_events t (function Events.Master_crashed -> true | _ -> false);
+        hedges = count_events t (function Events.Hedge_launched _ -> true | _ -> false);
+        hedge_cancellations =
+          count_events t (function Events.Hedge_cancelled _ -> true | _ -> false);
         checkpoint_bytes = t.checkpoint_bytes_peak;
         corrupt_detected =
           count_events t (function Events.Corrupt_message_detected _ -> true | _ -> false);
@@ -254,7 +289,8 @@ let terminate t answer why =
 
 (* ---------- scheduling ---------- *)
 
-let idle_candidates t = Pool.idle_candidates t.pool ~resyncing:t.resyncing
+let idle_candidates t =
+  Pool.idle_candidates t.pool ~resyncing:t.resyncing ~now:(Grid.Sim.now t.sim)
 
 let grant_split t requester =
   match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
@@ -289,6 +325,7 @@ let release_partner t requester =
 (* A client that reported its subproblem finished is idle again: release
    everything the master held on its behalf. *)
 let free_finisher t src =
+  note_host_success t src;
   (match Pool.find_opt t.pool src with
   | Some h when h.rstate = Busy ->
       h.rstate <- Idle;
@@ -305,6 +342,7 @@ let free_finisher t src =
    replacement master can re-derive the branch if everything else is
    lost. *)
 let send_problem t ~dst pid sp =
+  (match health t with Some hm -> Health.note_assigned hm ~host:dst | None -> ());
   (host t dst).rstate <- Reserved;
   Hashtbl.replace t.in_flight dst (pid, sp);
   Hashtbl.replace t.lineage pid sp.Subproblem.path;
@@ -390,7 +428,17 @@ let rec serve_backlog t =
         t.backlog
     in
     t.backlog <- live;
-    match Scheduler.pick_backlog live with
+    (* hedged requesters stay backlogged but are not eligible until their
+       hedge resolves (see [on_split_request]) *)
+    let eligible =
+      List.filter
+        (fun (c, _) ->
+          match Pool.find_opt t.pool c with
+          | Some { pid = Some p; _ } -> not (Hashtbl.mem t.hedged p)
+          | Some { pid = None; _ } | None -> true)
+        live
+    in
+    match Scheduler.pick_backlog eligible with
     | None -> ()
     | Some requester ->
         if grant_split t requester then begin
@@ -408,7 +456,10 @@ let consider_migration t =
         let dst = cand.Scheduler.resource.R.id in
         if
           dst <> src.resource.R.id
-          && Scheduler.should_migrate ~enabled:true ~busy_rank:(Pool.rank src)
+          && (match src.pid with
+             | Some p -> not (Hashtbl.mem t.hedged p)
+             | None -> true)
+          && Scheduler.should_migrate ~enabled:true ~busy_rank:(Pool.rank t.pool src)
                ~idle_rank:(Scheduler.rank cand)
         then begin
           (host t dst).rstate <- Reserved;
@@ -452,6 +503,34 @@ let refute_pid t pid =
       Hashtbl.remove t.pending_cert pid;
       free_finisher t client
   | None -> ());
+  (* a hedged pid just resolved: the first copy to report won.  Fence the
+     losing copies — cancel live holders (the Cancel rides the reliable
+     channel) and drop the still-in-flight backup — so the pool returns
+     whole and no loser's late answer is ever double-counted. *)
+  if Hashtbl.mem t.hedged pid then begin
+    Hashtbl.remove t.hedged pid;
+    Pool.iter
+      (fun id h ->
+        if h.rstate = Busy && h.pid = Some pid then begin
+          log t (Events.Hedge_cancelled { pid; loser = id });
+          send t ~dst:id (Protocol.Cancel { pid });
+          h.rstate <- Idle;
+          h.pid <- None;
+          Checkpoint.drop t.checkpoints ~client:id;
+          t.backlog <- List.filter (fun (c, _) -> c <> id) t.backlog
+        end)
+      t.pool;
+    let stale =
+      Hashtbl.fold (fun dst (p, _) acc -> if p = pid then dst :: acc else acc) t.in_flight []
+    in
+    List.iter
+      (fun dst ->
+        log t (Events.Hedge_cancelled { pid; loser = dst });
+        Hashtbl.remove t.in_flight dst;
+        unreserve t dst;
+        send t ~dst (Protocol.Cancel { pid }))
+      stale
+  end;
   if
     Hashtbl.length t.live_problems = 0
     && Queue.is_empty t.pending_recovery
@@ -469,7 +548,11 @@ let absorb_if_refuted t ~holder pid =
     (match Pool.find_opt t.pool holder with
     | Some h when h.pid = Some pid ->
         if h.rstate = Busy then h.rstate <- Idle;
-        h.pid <- None
+        h.pid <- None;
+        (* hedge mode: the loser's copy outraced its own cancellation
+           (registration reordered behind the refutation); tell it to
+           stop instead of letting it grind the dead branch to the end *)
+        if t.cfg.Config.hedge then send t ~dst:holder (Protocol.Cancel { pid })
     | _ -> ());
     refute_pid t pid
   end
@@ -484,6 +567,11 @@ let close_split_span t requester args =
 
 (* ---------- client death (also the teeth behind quarantine) ---------- *)
 
+let pid_homed t pid =
+  Pool.fold (fun _ h acc -> acc || (h.rstate = Busy && h.pid = Some pid)) t.pool false
+  || Hashtbl.fold (fun _ (p, _) acc -> acc || p = pid) t.in_flight false
+  || Queue.fold (fun acc (p, _, _, _) -> acc || p = pid) false t.pending_recovery
+
 (* Write [id] off and recover whatever it was responsible for.  Shared by
    the failure detector (lease expiry), direct test injection, and the
    certification quarantine path. *)
@@ -497,6 +585,7 @@ let declare_dead t id =
         h.rstate <- Dead;
         h.pid <- None;
         jlog t (Journal.Died { client = id });
+        note_incident t id `Crash;
         if t.obs_on then Obs.Metrics.incr t.c_deaths;
         minstant t ~cat:"master" ~args:[ ("client", Obs.Json.Int id) ] "client.dead";
         close_split_span t id [ ("outcome", Obs.Json.String "requester-died") ];
@@ -519,11 +608,22 @@ let declare_dead t id =
           | Some (pid, sp) ->
               (* we still hold the very subproblem we sent it *)
               Hashtbl.remove t.in_flight id;
-              assign_recovered t ~failed:id ~from_checkpoint:false pid sp
+              if Hashtbl.mem t.hedged pid && pid_homed t pid then begin
+                (* the dead host was the hedge backup; the primary still
+                   holds the branch — the hedge simply collapses *)
+                Hashtbl.remove t.hedged pid;
+                log t (Events.Hedge_cancelled { pid; loser = id })
+              end
+              else assign_recovered t ~failed:id ~from_checkpoint:false pid sp
           | None -> (
               if prev = Busy then
                 match prev_pid with
                 | None -> ()
+                | Some pid when Hashtbl.mem t.hedged pid && pid_homed t pid ->
+                    (* one copy of a hedged pid died; the survivor keeps
+                       the branch homed, so nothing needs re-deriving *)
+                    Hashtbl.remove t.hedged pid;
+                    log t (Events.Hedge_cancelled { pid; loser = id })
                 | Some pid -> (
                     (* a certified run never restores a dead client's
                        checkpoint: the snapshot carries facts and clauses
@@ -573,11 +673,6 @@ let check_fragment t ~path proof =
           | Ok () -> Ok (List.length fragment)
           | Error reason -> Error reason))
 
-let pid_homed t pid =
-  Pool.fold (fun _ h acc -> acc || (h.rstate = Busy && h.pid = Some pid)) t.pool false
-  || Hashtbl.fold (fun _ (p, _) acc -> acc || p = pid) t.in_flight false
-  || Queue.fold (fun acc (p, _, _, _) -> acc || p = pid) false t.pending_recovery
-
 (* A client whose answer failed verification is written off entirely: its
    solver state, checkpoint and future messages are all suspect.  Its
    branch is re-derived from the original CNF and the journaled lineage
@@ -588,6 +683,7 @@ let quarantine t ~client ~pid ~reason =
   minstant t ~cat:"master"
     ~args:[ ("client", Obs.Json.Int client); ("reason", Obs.Json.String reason) ]
     "quarantine";
+  note_incident t client `Quarantine;
   kill_client t client;
   (* [kill_client] re-homed whatever the master believed [client] held;
      if the disputed pid was not that (the claim raced ahead of its
@@ -674,8 +770,15 @@ let on_problem_received t src ~pid ~from ~bytes ~path =
   dispatch t
 
 let on_split_request t src _reason =
-  (* the requesting client already logged the Split_requested event *)
-  if not (grant_split t src) then begin
+  (* the requesting client already logged the Split_requested event.  A
+     hedged requester is never granted: a split advances the donor's
+     lineage, and the other copy of the branch would then overlap both
+     children — the request parks in the backlog until the hedge
+     resolves. *)
+  let hedged_requester =
+    match (host t src).pid with Some p -> Hashtbl.mem t.hedged p | None -> false
+  in
+  if hedged_requester || not (grant_split t src) then begin
     let h = host t src in
     t.backlog <- t.backlog @ [ (src, h.busy_since) ];
     if t.obs_on then Obs.Metrics.incr t.c_splits_denied;
@@ -911,9 +1014,15 @@ let handle_payload t ~src msg =
   | Protocol.Found_model m -> on_found_model t src m
   | Protocol.Orphaned { pid; sp } -> on_orphaned t src pid sp
   | Protocol.Resync { pid; path; busy_since } -> on_resync t src ~pid ~path ~busy_since
-  | Protocol.Heartbeat -> ()
+  | Protocol.Heartbeat { decisions } -> (
+      (* the beat already refreshed the failure-detector lease in
+         [handle]; its payload feeds the health model's gap-jitter and
+         progress-rate signals *)
+      match health t with
+      | Some hm -> Health.note_heartbeat hm ~host:src ~now:(Grid.Sim.now t.sim) ~decisions
+      | None -> ())
   | Protocol.Problem _ | Protocol.Split_partner _ | Protocol.Share_relay _
-  | Protocol.Migrate_to _ | Protocol.Resync_request | Protocol.Stop ->
+  | Protocol.Migrate_to _ | Protocol.Cancel _ | Protocol.Resync_request | Protocol.Stop ->
       (* client-bound messages; the master should never receive them *)
       ()
   | Protocol.Corrupt_payload ->
@@ -932,7 +1041,7 @@ let handle_zombie t ~src h msg =
     if not h.fenced then begin
       h.fenced <- true;
       (match msg with
-      | Protocol.Heartbeat -> log t (Events.False_suspicion { client = src })
+      | Protocol.Heartbeat _ -> log t (Events.False_suspicion { client = src })
       | _ -> ());
       send_raw t ~dst:src Protocol.Stop
     end
@@ -963,6 +1072,7 @@ let handle t ~src msg =
                NACKed so the sender retransmits immediately instead of
                waiting out its backoff timer. *)
             if h.rstate <> Dead then (
+              note_incident t src `Corruption;
               match payload with
               | Protocol.Reliable { mid; _ } ->
                   log t (Events.Corrupt_message_detected { receiver = master_id; nacked = true });
@@ -1004,6 +1114,21 @@ let hang_host t id =
         Client.hang h.client
       end
 
+(* Silent fault injection: the host's compute slices shrink by [factor]
+   (1.0 restores full speed) while its heartbeats, acks and protocol
+   traffic stay perfectly on time — a straggler, invisible to the failure
+   detector, that only the health model's progress-rate signal and the
+   hedging comparison against the fleet's duration p99 can catch. *)
+let slow_host t id factor =
+  match Pool.find_opt t.pool id with
+  | None -> ()
+  | Some h ->
+      if h.rstate <> Dead && Client.is_alive h.client && Client.slow_factor h.client <> factor
+      then begin
+        log t (Events.Host_slowed { host = id; factor });
+        Client.set_slow_factor h.client factor
+      end
+
 (* At-rest fault injection: rot the newest [journal_records] seals of the
    write-ahead journal and (optionally) every checkpoint snapshot.  The
    damage is silent; it surfaces when a replay scrubs the journal tail or
@@ -1043,6 +1168,7 @@ let crash_master t =
     Hashtbl.reset t.lineage;
     Hashtbl.reset t.last_holder;
     Hashtbl.reset t.refuted_pids;
+    Hashtbl.reset t.hedged;
     t.pending_partner <- [];
     t.migrating <- [];
     t.backlog <- [];
@@ -1158,13 +1284,85 @@ let cancel t ~reason =
 
 (* ---------- periodic monitoring ---------- *)
 
+(* Straggler hedging (at most one clone per monitor tick): when a busy
+   host has been grinding the same subproblem for longer than the fleet's
+   p99 duration and an admissible idle host exists, re-derive the branch
+   from its journaled lineage and race a second copy.  Both copies carry
+   the same pid, so the live-problem accounting cannot drift; the first
+   result wins and [refute_pid] fences the loser.  Split donors in
+   flight, migration sources and already-hedged pids are skipped — all
+   three would let the branch's lineage move under the clone. *)
+let consider_hedge t ~now =
+  if t.cfg.Config.hedge && not (t.down || t.resyncing) then
+    match health t with
+    | None -> ()
+    | Some hm -> (
+        match Health.duration_p99 hm with
+        | None -> ()
+        | Some p99 -> (
+            let stragglers =
+              Pool.fold
+                (fun id h acc ->
+                  match h.pid with
+                  | Some pid
+                    when h.rstate = Busy && Client.is_alive h.client
+                         && (not (Hashtbl.mem t.hedged pid))
+                         && Hashtbl.mem t.live_problems pid
+                         && (not (Hashtbl.mem t.pending_cert pid))
+                         && (not (List.mem_assoc id t.pending_partner))
+                         && (not (List.mem_assoc id t.migrating))
+                         && now -. h.busy_since > p99 ->
+                      (now -. h.busy_since, id, pid) :: acc
+                  | _ -> acc)
+                t.pool []
+              |> List.sort (fun (e1, i1, _) (e2, i2, _) ->
+                     if e1 <> e2 then compare e2 e1 else compare i1 i2)
+            in
+            match stragglers with
+            | [] -> ()
+            | (_, primary, pid) :: _ -> (
+                match Hashtbl.find_opt t.lineage pid with
+                | None -> ()
+                | Some path -> (
+                    match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
+                    | None -> ()
+                    | Some cand ->
+                        let backup = cand.Scheduler.resource.R.id in
+                        let sp = Subproblem.of_lineage t.cnf path in
+                        Hashtbl.replace t.hedged pid ();
+                        log t (Events.Hedge_launched { pid; primary; backup });
+                        minstant t ~cat:"master"
+                          ~args:
+                            [
+                              ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst pid) (snd pid)));
+                              ("primary", Obs.Json.Int primary);
+                              ("backup", Obs.Json.Int backup);
+                            ]
+                          "hedge";
+                        send_problem t ~dst:backup pid sp))))
+
 let rec monitor t =
   if not t.finished then begin
     (* a crashed master observes nothing (the loop keeps ticking so the
        detector resumes cleanly after restart) *)
     if not (t.down || t.resyncing) then begin
       let now = Grid.Sim.now t.sim in
-      let expired = Pool.expired t.pool ~now ~timeout:t.cfg.Config.suspect_timeout in
+      (* adaptive timeouts: once enough latency samples exist the lease
+         and the retry base tighten toward what the fleet actually
+         delivers — never past the configured constants *)
+      let suspect =
+        match health t with
+        | Some hm when t.cfg.Config.adaptive_timeouts ->
+            Health.suspect_timeout hm ~heartbeat_period:t.cfg.Config.heartbeat_period
+              ~default:t.cfg.Config.suspect_timeout
+        | _ -> t.cfg.Config.suspect_timeout
+      in
+      (match health t with
+      | Some hm when t.cfg.Config.adaptive_timeouts ->
+          Reliable.set_retry_base (reliable t)
+            (Health.retry_base hm ~default:t.cfg.Config.retry_base)
+      | _ -> ());
+      let expired = Pool.expired t.pool ~now ~timeout:suspect in
       List.iter
         (fun id ->
           if not t.finished then begin
@@ -1172,7 +1370,8 @@ let rec monitor t =
             log t (Events.Client_suspected { client = id });
             declare_dead t id
           end)
-        expired
+        expired;
+      if not t.finished then consider_hedge t ~now
     end;
     if not t.finished then
       schedule t ~delay:t.cfg.Config.heartbeat_period (fun () -> monitor t)
@@ -1205,9 +1404,19 @@ let batch_hosts t (spec : Testbed.batch_spec) =
         trace = Grid.Trace.constant 1.0 (* batch nodes run dedicated *);
       })
 
-let create ?(obs = Obs.disabled) ~sim ~net ~bus ~cfg ~testbed cnf =
+let create ?(obs = Obs.disabled) ?health ~sim ~net ~bus ~cfg ~testbed cnf =
   testbed.Testbed.configure_network net;
   let m = Obs.metrics obs in
+  (* hedging and adaptive timeouts read their percentiles from the health
+     model: wire one up even when the caller (who may share a model
+     across runs, as the service does) did not pass one *)
+  let health =
+    match health with
+    | Some _ as h -> h
+    | None ->
+        if cfg.Config.hedge || cfg.Config.adaptive_timeouts then Some (Health.create ())
+        else None
+  in
   let t =
     {
       sim;
@@ -1228,6 +1437,7 @@ let create ?(obs = Obs.disabled) ~sim ~net ~bus ~cfg ~testbed cnf =
       lineage = Hashtbl.create 64;
       last_holder = Hashtbl.create 64;
       refuted_pids = Hashtbl.create 64;
+      hedged = Hashtbl.create 8;
       down = false;
       resyncing = false;
       problem_assigned = false;
@@ -1263,14 +1473,23 @@ let create ?(obs = Obs.disabled) ~sim ~net ~bus ~cfg ~testbed cnf =
       h_share_fanout = Obs.Metrics.histogram m "master.share.fanout";
     }
   in
+  (match health with Some hm -> Pool.set_health t.pool hm | None -> ());
   Pool.set_reliable t.pool
-    (Reliable.create ~obs ~obs_tid:Obs.Span.master_tid ~sim
+    (Reliable.create ~obs ~obs_tid:Obs.Span.master_tid ~seed:cfg.Config.seed
+         ~jitter:cfg.Config.retry_jitter
+         ~on_ack:(fun ~dst ~latency ->
+           match Pool.health t.pool with
+           | Some hm -> Health.note_ack hm ~host:dst ~latency
+           | None -> ())
+         ~sim
          ~send_raw:(fun ~dst msg -> send_raw t ~dst msg)
          ~active:(fun () -> not t.finished)
          ~retry_base:cfg.Config.retry_base ~max_attempts:cfg.Config.retry_max_attempts
          ~on_retry:(fun ~dst ~attempt ->
+           note_incident t dst `Retry;
            log t (Events.Message_retried { src = master_id; dst; attempt }))
          ~on_exhausted:(fun ~dst ~attempts ->
+           note_incident t dst `Exhausted;
            log t (Events.Retries_exhausted { src = master_id; dst; attempts }))
          ~on_give_up:(fun ~dst msg ->
            log t (Events.Message_given_up { src = master_id; dst });

@@ -49,6 +49,11 @@ type result = {
   rederivations : int;
       (** lost subproblems rebuilt from the original CNF + journaled lineage *)
   master_crashes : int;  (** injected master failures survived *)
+  hedges : int;
+      (** straggling subproblems cloned onto a second host (first result
+          wins, the loser is cancelled and fenced) *)
+  hedge_cancellations : int;
+      (** losing hedge copies fenced after their pid resolved elsewhere *)
   checkpoint_bytes : int;
   corrupt_detected : int;
       (** wire payloads that failed their integrity-frame digest check
@@ -72,6 +77,7 @@ type t
 
 val create :
   ?obs:Obs.t ->
+  ?health:Health.t ->
   sim:Grid.Sim.t ->
   net:Grid.Network.t ->
   bus:Protocol.msg Grid.Everyware.t ->
@@ -86,7 +92,12 @@ val create :
     master owns (journal, checkpoints, reliable channel, clients and
     their solvers): scheduling/recovery counters and instant-spans land
     on the master track, and the five-message split sequence is covered
-    by a ["split"] span from grant to Split_ok/Split_failed. *)
+    by a ["split"] span from grant to Split_ok/Split_failed.
+    [health] wires a host-health model into scheduling (probation
+    withholding, score-blended ranking, hedging/adaptive-timeout
+    percentiles); the service passes one shared across runs.  When
+    omitted, a private model is created whenever the config enables
+    hedging or adaptive timeouts. *)
 
 val finished : t -> bool
 
@@ -114,6 +125,16 @@ val crash_host : t -> int -> unit
 val hang_host : t -> int -> unit
 (** Silent fault injection: the process wedges (stops computing and
     heartbeating) but stays registered on the network. *)
+
+val slow_host : t -> int -> float -> unit
+(** Silent fault injection: [slow_host t id factor] divides the host's
+    per-slice compute budget by [factor] ([1.0] restores full speed).
+    The host stays perfectly responsive — heartbeats and acks on time —
+    so only the health model's progress-rate signal and the hedging
+    comparison against the fleet duration p99 can catch it. *)
+
+val health : t -> Health.t option
+(** The health model wired into this run's pool, if any. *)
 
 val corrupt_storage : t -> journal_records:int -> checkpoints:bool -> unit
 (** At-rest fault injection: flips the integrity seals of the newest

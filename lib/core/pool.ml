@@ -28,9 +28,12 @@ type t = {
   mutable rel : Reliable.t option;
       (* the pool's reliable transport endpoint; set once, right after
          construction, and never [None] afterwards *)
+  mutable health : Health.t option;
+      (* host-health model; optional so the plain-master tests and
+         baselines keep the pure NWS ranking *)
 }
 
-let create () = { hosts = Hashtbl.create 64; rel = None }
+let create () = { hosts = Hashtbl.create 64; rel = None; health = None }
 
 let add t ~sim ~client ~resource ~trace =
   Hashtbl.replace t.hosts resource.R.id
@@ -60,6 +63,16 @@ let set_reliable t rel = t.rel <- Some rel
 
 let reliable t = match t.rel with Some r -> r | None -> assert false
 
+let set_health t health = t.health <- Some health
+
+let health t = t.health
+
+let health_score t id =
+  match t.health with None -> 1.0 | Some h -> Health.score h ~host:id
+
+let health_admissible t ~now id =
+  match t.health with None -> true | Some h -> Health.admissible h ~host:id ~now
+
 let busy_count t =
   Hashtbl.fold (fun _ h acc -> if h.rstate = Busy then acc + 1 else acc) t.hosts 0
 
@@ -78,20 +91,33 @@ let unreserve t id =
 
 (* The candidates the scheduler may hand new work to.  While the master is
    resyncing after a crash, "idle" hosts may in fact hold live work that
-   has not reported back yet: offer nothing until reconciliation closes. *)
-let idle_candidates t ~resyncing =
+   has not reported back yet: offer nothing until reconciliation closes.
+   Hosts whose circuit breaker is open (probation) are withheld entirely;
+   admissible ones carry their health score into the rank. *)
+let idle_candidates t ~resyncing ~now =
   if resyncing then []
   else
     Hashtbl.fold
-      (fun _ h acc ->
-        if h.rstate = Idle && Client.is_alive h.client then
-          { Scheduler.resource = h.resource; forecast = Grid.Nws.forecast h.nws } :: acc
+      (fun id h acc ->
+        if h.rstate = Idle && Client.is_alive h.client && health_admissible t ~now id then
+          {
+            Scheduler.resource = h.resource;
+            forecast = Grid.Nws.forecast h.nws;
+            health = health_score t id;
+          }
+          :: acc
         else acc)
       t.hosts []
     (* stable order so Random_pick and ties are reproducible *)
     |> List.sort (fun a b -> compare a.Scheduler.resource.R.id b.Scheduler.resource.R.id)
 
-let rank h = Scheduler.rank { Scheduler.resource = h.resource; forecast = Grid.Nws.forecast h.nws }
+let rank t h =
+  Scheduler.rank
+    {
+      Scheduler.resource = h.resource;
+      forecast = Grid.Nws.forecast h.nws;
+      health = health_score t h.resource.R.id;
+    }
 
 (* Tie-breaking mirrors the historical master code exactly (collect then
    scan, so ties resolve to the last host in table order): replayed runs
@@ -100,7 +126,9 @@ let weakest_busy t =
   let busy = Hashtbl.fold (fun _ h acc -> if h.rstate = Busy then h :: acc else acc) t.hosts [] in
   List.fold_left
     (fun acc h ->
-      match acc with None -> Some h | Some best -> if rank h < rank best then Some h else acc)
+      match acc with
+      | None -> Some h
+      | Some best -> if rank t h < rank t best then Some h else acc)
     None busy
 
 (* Monitored hosts whose heartbeat lease ran out, ascending.  Dead and

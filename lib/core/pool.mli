@@ -47,6 +47,19 @@ val set_reliable : t -> Reliable.t -> unit
 
 val reliable : t -> Reliable.t
 
+val set_health : t -> Health.t -> unit
+(** Wires a host-health model into scheduling: {!idle_candidates}
+    withholds hosts whose circuit breaker is open and attaches each
+    admissible host's health score to its candidate, and {!rank} blends
+    the score in.  Without a model every host scores 1.0 (the pure NWS
+    ranking). *)
+
+val health : t -> Health.t option
+
+val health_score : t -> int -> float
+
+val health_admissible : t -> now:float -> int -> bool
+
 val busy_count : t -> int
 val busy_ids : t -> int list
 val reserved_ids : t -> int list
@@ -54,13 +67,15 @@ val reserved_ids : t -> int list
 val unreserve : t -> int -> unit
 (** Returns a [Reserved] host to [Idle]; no-op in any other state. *)
 
-val idle_candidates : t -> resyncing:bool -> Scheduler.candidate list
-(** Live idle hosts as scheduler candidates, ascending by resource id.
-    Empty while [resyncing]: an "idle" host may hold unreported work
-    until reconciliation closes. *)
+val idle_candidates : t -> resyncing:bool -> now:float -> Scheduler.candidate list
+(** Live, admissible idle hosts as scheduler candidates, ascending by
+    resource id.  Empty while [resyncing]: an "idle" host may hold
+    unreported work until reconciliation closes.  Hosts in health
+    probation are withheld. *)
 
-val rank : host -> float
-(** The host's scheduler rank under its current NWS forecast. *)
+val rank : t -> host -> float
+(** The host's scheduler rank under its current NWS forecast and health
+    score. *)
 
 val weakest_busy : t -> host option
 

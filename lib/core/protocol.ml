@@ -19,11 +19,12 @@ type msg =
   | Finished_unsat of { pid : pid; proof : string option }
   | Found_model of Sat.Model.t
   | Migrate_to of { target : int }
+  | Cancel of { pid : pid }
   | Orphaned of { pid : pid; sp : Subproblem.t }
   | Resync_request
   | Resync of { pid : pid option; path : Sat.Types.lit list; busy_since : float }
   | Stop
-  | Heartbeat
+  | Heartbeat of { decisions : int }
   | Ack of { mid : int }
   | Nack of { mid : int }
   | Reliable of { mid : int; payload : msg }
@@ -50,8 +51,8 @@ let rec size = function
       control_bytes + (8 * (List.length path + List.length donor_path))
   | Finished_unsat { proof; _ } ->
       control_bytes + (match proof with None -> 0 | Some p -> String.length p)
-  | Register | Split_request _ | Split_partner _ | Split_failed | Migrate_to _ | Resync_request
-  | Stop | Heartbeat | Ack _ | Nack _ | Corrupt_payload ->
+  | Register | Split_request _ | Split_partner _ | Split_failed | Migrate_to _ | Cancel _
+  | Resync_request | Stop | Heartbeat _ | Ack _ | Nack _ | Corrupt_payload ->
       control_bytes
 
 (* Clause shares are semantically safe to lose (a learned clause is only an
@@ -60,10 +61,10 @@ let rec size = function
    the run and must ride the ack/retry layer. *)
 let critical = function
   | Register | Problem _ | Problem_received _ | Split_request _ | Split_partner _ | Split_ok _
-  | Split_failed | Finished_unsat _ | Found_model _ | Migrate_to _ | Orphaned _ | Resync_request
-  | Resync _ ->
+  | Split_failed | Finished_unsat _ | Found_model _ | Migrate_to _ | Cancel _ | Orphaned _
+  | Resync_request | Resync _ ->
       true
-  | Shares _ | Share_relay _ | Stop | Heartbeat | Ack _ | Nack _ | Reliable _ | Framed _
+  | Shares _ | Share_relay _ | Stop | Heartbeat _ | Ack _ | Nack _ | Reliable _ | Framed _
   | Corrupt_payload ->
       false
 
@@ -110,6 +111,7 @@ let rec render buf msg =
       Option.iter (Buffer.add_string buf) proof
   | Found_model m -> List.iter (pf "%d ") (Sat.Model.true_literals m)
   | Migrate_to { target } -> pf "migrate %d" target
+  | Cancel { pid = o, n } -> pf "cancel %d.%d" o n
   | Orphaned { pid = o, n; sp } ->
       pf "orphaned %d.%d " o n;
       Buffer.add_string buf (Subproblem.to_string sp)
@@ -119,7 +121,7 @@ let rec render buf msg =
       pf "%h " busy_since;
       lits path
   | Stop -> pf "stop"
-  | Heartbeat -> pf "hb"
+  | Heartbeat { decisions } -> pf "hb %d" decisions
   | Ack { mid } -> pf "ack %d" mid
   | Nack { mid } -> pf "nack %d" mid
   | Reliable { mid; payload } ->

@@ -53,6 +53,11 @@ type msg =
           under the branch's journaled guiding path before believing it. *)
   | Found_model of Sat.Model.t  (** client -> master: candidate assignment *)
   | Migrate_to of { target : int }  (** master -> client directive *)
+  | Cancel of { pid : pid }
+      (** master -> client: stop working on [pid] and report idle.  Sent to
+          the losing copy of a hedged subproblem once the winner's result
+          is in; a client no longer holding [pid] ignores it, so late or
+          re-delivered cancels are harmless. *)
   | Orphaned of { pid : pid; sp : Subproblem.t }
       (** donor -> master: a peer-to-peer handoff was given up on after
           exhausting retries; the branch comes back for re-homing so a dead
@@ -65,7 +70,11 @@ type msg =
           guiding-path lineage if busy (the master adopts the work),
           [None] if idle *)
   | Stop  (** master -> everyone: run is over *)
-  | Heartbeat  (** client -> master liveness beacon, fire-and-forget *)
+  | Heartbeat of { decisions : int }
+      (** client -> master liveness beacon, fire-and-forget.  Carries the
+          client's cumulative solver decision count so the master's health
+          model can derive a progress rate: a straggler that heartbeats on
+          time but decides slowly is visible here and nowhere else. *)
   | Ack of { mid : int }  (** receiver -> sender: reliable envelope received *)
   | Nack of { mid : int }
       (** receiver -> sender: reliable envelope [mid] arrived corrupt;

@@ -11,10 +11,14 @@ type t = {
   send_raw : dst:int -> Protocol.msg -> unit;
   active : unit -> bool;
   retry_base : float;
+  mutable base_override : float option;  (* adaptive base from Health, ≤ retry_base *)
+  jitter : float;  (* relative spread in [0, 1]; 0 = the old fixed schedule *)
+  rng : Random.State.t;  (* private, seeded: jitter draws replay identically *)
   max_attempts : int;
   on_retry : dst:int -> attempt:int -> unit;
   on_exhausted : dst:int -> attempts:int -> unit;
   on_give_up : dst:int -> Protocol.msg -> unit;
+  on_ack : dst:int -> latency:float -> unit;
   mutable next_mid : int;
   outstanding : (int, pending) Hashtbl.t;
   seen : (int * int, unit) Hashtbl.t;  (* (src, mid) already delivered *)
@@ -30,9 +34,9 @@ type t = {
   h_ack : Obs.Metrics.histogram;
 }
 
-let create ?(obs = Obs.disabled) ?(obs_tid = Obs.Span.run_tid) ~sim ~send_raw ~active
-    ~retry_base ~max_attempts ~on_retry ?(on_exhausted = fun ~dst:_ ~attempts:_ -> ())
-    ~on_give_up () =
+let create ?(obs = Obs.disabled) ?(obs_tid = Obs.Span.run_tid) ?(seed = 0) ?(jitter = 0.)
+    ?(on_ack = fun ~dst:_ ~latency:_ -> ()) ~sim ~send_raw ~active ~retry_base ~max_attempts
+    ~on_retry ?(on_exhausted = fun ~dst:_ ~attempts:_ -> ()) ~on_give_up () =
   let m = Obs.metrics obs in
   let labels = [ ("owner", string_of_int obs_tid) ] in
   {
@@ -40,10 +44,14 @@ let create ?(obs = Obs.disabled) ?(obs_tid = Obs.Span.run_tid) ~sim ~send_raw ~a
     send_raw;
     active;
     retry_base = Float.max 0.001 retry_base;
+    base_override = None;
+    jitter = Float.max 0. (Float.min 1. jitter);
+    rng = Random.State.make [| seed; obs_tid; 0xbac0ff |];
     max_attempts = max 1 max_attempts;
     on_retry;
     on_exhausted;
     on_give_up;
+    on_ack;
     next_mid = 0;
     outstanding = Hashtbl.create 16;
     seen = Hashtbl.create 64;
@@ -59,9 +67,20 @@ let create ?(obs = Obs.disabled) ?(obs_tid = Obs.Span.run_tid) ~sim ~send_raw ~a
     h_ack = Obs.Metrics.histogram m ~labels "reliable.ack.latency";
   }
 
+let base t =
+  match t.base_override with
+  | Some b -> Float.max 0.001 (Float.min t.retry_base b)
+  | None -> t.retry_base
+
+let set_retry_base t b = t.base_override <- b
+
 let backoff t attempt =
-  (* bounded exponential: base, 2*base, 4*base, ... capped at 32*base *)
-  t.retry_base *. Float.min 32. (Float.pow 2. (float_of_int attempt))
+  (* bounded exponential: base, 2*base, 4*base, ... capped at 32*base,
+     spread by ±jitter so channels that exhausted in lockstep during a
+     master outage do not retransmit in lockstep at its recovery *)
+  let d = base t *. Float.min 32. (Float.pow 2. (float_of_int attempt)) in
+  if t.jitter <= 0. then d
+  else d *. (1. -. t.jitter +. (2. *. t.jitter *. Random.State.float t.rng 1.0))
 
 let rec arm_timer t mid p =
   p.timer <-
@@ -124,7 +143,9 @@ let handle_ack t ~mid =
   | Some p ->
       Grid.Sim.cancel t.sim p.timer;
       Hashtbl.remove t.outstanding mid;
-      if t.obs_on then Obs.Metrics.observe t.h_ack (Grid.Sim.now t.sim -. p.sent_at)
+      let latency = Grid.Sim.now t.sim -. p.sent_at in
+      if t.obs_on then Obs.Metrics.observe t.h_ack latency;
+      t.on_ack ~dst:p.dst ~latency
 
 (* The receiver saw envelope [mid] arrive corrupt: the link works, the
    payload rotted.  Retransmit immediately instead of waiting out the

@@ -16,6 +16,9 @@ type t
 val create :
   ?obs:Obs.t ->
   ?obs_tid:int ->
+  ?seed:int ->
+  ?jitter:float ->
+  ?on_ack:(dst:int -> latency:float -> unit) ->
   sim:Grid.Sim.t ->
   send_raw:(dst:int -> Protocol.msg -> unit) ->
   active:(unit -> bool) ->
@@ -31,11 +34,29 @@ val create :
     owning endpoint.
     [active] gates retries: a dead client must not keep transmitting.
     [retry_base] is the first backoff delay; attempt [k] waits
-    [retry_base * 2^k], capped at [32 * retry_base].  After
-    [max_attempts] unacked (re)transmissions, [on_exhausted] fires (a
-    distinct signal that the budget ran dry — clients use it to detect a
-    master outage) and then [on_give_up] fires with the original
-    payload. *)
+    [retry_base * 2^k], capped at [32 * retry_base].  [jitter] (clamped
+    to [[0, 1]], default 0) spreads every delay uniformly over
+    [±jitter×delay] using a private RNG seeded from [(seed, obs_tid)] —
+    deterministic under a fixed seed, but desynchronised across
+    endpoints, so channels that all exhausted during a master outage do
+    not stampede the restarted master in lockstep.  [on_ack] (default
+    no-op) reports each settled send's round-trip latency — the health
+    model's ack-latency feed, deliberately separate from the obs-gated
+    histogram.  After [max_attempts] unacked (re)transmissions,
+    [on_exhausted] fires (a distinct signal that the budget ran dry —
+    clients use it to detect a master outage) and then [on_give_up]
+    fires with the original payload. *)
+
+val set_retry_base : t -> float option -> unit
+(** Adaptive override of the backoff base ([None] restores the
+    configured constant).  The override is clamped to
+    [[0.001, retry_base]]: observed-latency tuning may tighten the
+    schedule but never slow it past the configured worst case. *)
+
+val backoff : t -> int -> float
+(** The delay the channel would arm for retry attempt [k]: the bounded
+    exponential above, with one fresh jitter draw when jitter is on
+    (exposed so tests can pin the cap and the jitter envelope). *)
 
 val send : t -> dst:int -> Protocol.msg -> unit
 (** Transmits the envelope immediately and arms the first retry timer. *)

@@ -23,6 +23,8 @@ let run_section (r : Master.result) =
       ("recoveries", J.Int r.Master.recoveries);
       ("rederivations", J.Int r.Master.rederivations);
       ("master_crashes", J.Int r.Master.master_crashes);
+      ("hedges", J.Int r.Master.hedges);
+      ("hedge_cancellations", J.Int r.Master.hedge_cancellations);
       ("checkpoint_bytes", J.Int r.Master.checkpoint_bytes);
       ("corrupt_detected", J.Int r.Master.corrupt_detected);
       ("nacks", J.Int r.Master.nacks);

@@ -1,11 +1,15 @@
-type candidate = { resource : Grid.Resource.t; forecast : float }
+type candidate = { resource : Grid.Resource.t; forecast : float; health : float }
 
 (* Rank = forecast effective speed, weighted by a slowly growing memory
    factor: a host with four times the memory ranks twice as high at equal
-   speed.  Clients are memory-bound as often as CPU-bound (Section 1). *)
+   speed.  Clients are memory-bound as often as CPU-bound (Section 1).
+   The health multiplier sits beside the forecast: both are observations
+   of how much of the advertised capacity is actually being delivered —
+   NWS for the machine, the health model for the solver process. *)
 let rank c =
   let mem_gb = float_of_int c.resource.Grid.Resource.mem_bytes /. (1024. *. 1024. *. 1024.) in
-  c.resource.Grid.Resource.speed *. c.forecast *. sqrt (Float.max 0.25 mem_gb)
+  c.resource.Grid.Resource.speed *. c.forecast *. c.health
+  *. sqrt (Float.max 0.25 mem_gb)
 
 let pick policy ~rng candidates =
   match candidates with

@@ -6,12 +6,14 @@
 type candidate = {
   resource : Grid.Resource.t;
   forecast : float;  (** NWS availability forecast in [0, 1] *)
+  health : float;  (** {!Health.score} in [(0, 1]]; 1.0 when no model is wired *)
 }
 
 val rank : candidate -> float
 (** The master's resource rank: forecast processing power scaled by a
     memory-capacity factor (the paper ranks by "processing power and
-    memory capacity as forecast by the NWS"). *)
+    memory capacity as forecast by the NWS"), multiplied by the host's
+    observed health score. *)
 
 val pick :
   Config.scheduler_policy -> rng:Random.State.t -> candidate list -> candidate option

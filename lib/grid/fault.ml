@@ -26,6 +26,14 @@ type spec =
       until_t : float;
     }
   | Corrupt_storage of { at : float; journal_records : int; checkpoints : bool }
+  | Slow_host of { host : int; at : float; factor : float }
+  | Flaky_host of {
+      host : int;
+      factor : float;
+      period : float;
+      from_t : float;
+      until_t : float;
+    }
 
 type counters = {
   crashes : int;
@@ -36,6 +44,7 @@ type counters = {
   duplicated : int;
   corrupted : int;
   storage_corruptions : int;
+  slowdowns : int;
 }
 
 type t = {
@@ -50,11 +59,13 @@ type t = {
   mutable duplicated : int;
   mutable corrupted : int;
   mutable storage_corruptions : int;
+  mutable slowdowns : int;
 }
 
 let arm ~sim ~seed ~on_crash ~on_hang ?(on_master_crash = fun () -> ())
     ?(on_master_restart = fun () -> ())
-    ?(on_storage_corrupt = fun ~journal_records:_ ~checkpoints:_ -> ()) specs =
+    ?(on_storage_corrupt = fun ~journal_records:_ ~checkpoints:_ -> ())
+    ?(on_slow = fun _host _factor -> ()) specs =
   let t =
     {
       sim;
@@ -68,6 +79,7 @@ let arm ~sim ~seed ~on_crash ~on_hang ?(on_master_crash = fun () -> ())
       duplicated = 0;
       corrupted = 0;
       storage_corruptions = 0;
+      slowdowns = 0;
     }
   in
   List.iter
@@ -93,6 +105,29 @@ let arm ~sim ~seed ~on_crash ~on_hang ?(on_master_crash = fun () -> ())
             (Sim.schedule_at sim ~time:at (fun () ->
                  t.storage_corruptions <- t.storage_corruptions + 1;
                  on_storage_corrupt ~journal_records ~checkpoints))
+      | Slow_host { host; at; factor } ->
+          ignore
+            (Sim.schedule_at sim ~time:at (fun () ->
+                 t.slowdowns <- t.slowdowns + 1;
+                 on_slow host factor))
+      | Flaky_host { host; factor; period; from_t; until_t } ->
+          (* Oscillation: slow for the first half of each period, restored
+             for the second.  Each toggle schedules the next, so the chain
+             supports an unbounded window without flooding the calendar. *)
+          let rec toggle time slow_next =
+            if time < until_t then
+              ignore
+                (Sim.schedule_at sim ~time (fun () ->
+                     if slow_next then begin
+                       t.slowdowns <- t.slowdowns + 1;
+                       on_slow host factor
+                     end
+                     else on_slow host 1.0;
+                     toggle (time +. (period /. 2.)) (not slow_next)))
+          in
+          toggle from_t true;
+          if until_t < infinity then
+            ignore (Sim.schedule_at sim ~time:until_t (fun () -> on_slow host 1.0))
       | Drop_messages _ | Partition_site _ | Latency_spike _ | Duplicate_messages _
       | Corrupt_messages _ ->
           ())
@@ -126,7 +161,7 @@ let decide t ~src_site ~dst_site ~bytes:_ =
             && link_matches ~a ~b ~src_site ~dst_site
             && Random.State.float t.rng 1.0 < p
         | Crash_host _ | Hang_host _ | Crash_master _ | Latency_spike _ | Duplicate_messages _
-        | Corrupt_messages _ | Corrupt_storage _ ->
+        | Corrupt_messages _ | Corrupt_storage _ | Slow_host _ | Flaky_host _ ->
             false)
       t.specs
   in
@@ -194,6 +229,7 @@ let counters t =
     duplicated = t.duplicated;
     corrupted = t.corrupted;
     storage_corruptions = t.storage_corruptions;
+    slowdowns = t.slowdowns;
   }
 
 let validate specs =
@@ -234,7 +270,39 @@ let validate specs =
         else if journal_records < 0 then
           err "Corrupt_storage: journal_records must be non-negative, got %d" journal_records
         else Ok ()
+    | Slow_host { at; factor; _ } ->
+        if at < 0. then err "Slow_host: at must be non-negative, got %g" at
+        else if factor <= 0. then err "Slow_host: factor must be positive, got %g" factor
+        else Ok ()
+    | Flaky_host { factor; period; from_t; until_t; _ } ->
+        if factor <= 0. then err "Flaky_host: factor must be positive, got %g" factor
+        else if period <= 0. then err "Flaky_host: period must be positive, got %g" period
+        else window "Flaky_host" ~from_t ~until_t
+  in
+  (* Two speed faults targeting the same host with overlapping windows
+     would fight over the slowdown factor (last toggle wins), making the
+     injected schedule ambiguous — reject the plan instead. *)
+  let speed_windows =
+    List.filter_map
+      (function
+        | Slow_host { host; at; _ } -> Some (host, at, infinity, "Slow_host")
+        | Flaky_host { host; from_t; until_t; _ } -> Some (host, from_t, until_t, "Flaky_host")
+        | _ -> None)
+      specs
+  in
+  let rec overlap = function
+    | [] -> Ok ()
+    | (host, f1, u1, n1) :: rest -> (
+        match
+          List.find_opt (fun (h, f2, u2, _) -> h = host && f1 < u2 && f2 < u1) rest
+        with
+        | Some (_, _, _, n2) ->
+            err "%s and %s overlap on host %d: one slowdown factor at a time" n1 n2 host
+        | None -> overlap rest)
   in
   List.fold_left
     (fun acc spec -> match acc with Error _ -> acc | Ok () -> check spec)
     (Ok ()) specs
+  |> function
+  | Error _ as e -> e
+  | Ok () -> overlap speed_windows

@@ -61,6 +61,22 @@ type spec =
   | Corrupt_storage of { at : float; journal_records : int; checkpoints : bool }
       (** at time [at], rot the newest [journal_records] write-ahead journal
           records and (if [checkpoints]) every checkpoint snapshot at rest *)
+  | Slow_host of { host : int; at : float; factor : float }
+      (** from time [at] on, the host computes [factor]× slower than its
+          advertised speed ([factor] > 1 is a straggler; [factor] < 1 a
+          speedup).  The host never misses a heartbeat — the slowdown is
+          invisible to crash detection and must be caught by the health
+          model's progress-rate signal. *)
+  | Flaky_host of {
+      host : int;
+      factor : float;
+      period : float;
+      from_t : float;
+      until_t : float;
+    }
+      (** oscillating speed: during [[from_t, until_t)] the host alternates
+          between [factor]× slowdown (first half of each [period]) and full
+          speed (second half); restored to full speed at [until_t]. *)
 
 type counters = {
   crashes : int;
@@ -71,6 +87,7 @@ type counters = {
   duplicated : int;
   corrupted : int;  (** messages whose payload the plan garbled in flight *)
   storage_corruptions : int;  (** [Corrupt_storage] actions fired *)
+  slowdowns : int;  (** slowdown applications ([Slow_host] firings plus [Flaky_host] slow phases) *)
 }
 
 type t
@@ -83,6 +100,7 @@ val arm :
   ?on_master_crash:(unit -> unit) ->
   ?on_master_restart:(unit -> unit) ->
   ?on_storage_corrupt:(journal_records:int -> checkpoints:bool -> unit) ->
+  ?on_slow:(int -> float -> unit) ->
   spec list ->
   t
 (** Schedules the plan's crash/hang actions on [sim] and returns the
@@ -91,7 +109,9 @@ val arm :
     [on_master_crash] / [on_master_restart] (default no-ops) fire at a
     {!Crash_master} spec's [at] and [at +. restart_after];
     [on_storage_corrupt] (default no-op) fires at a {!Corrupt_storage}
-    spec's [at] with the spec's scope. *)
+    spec's [at] with the spec's scope; [on_slow] (default no-op) receives
+    [(host, factor)] at every {!Slow_host} / {!Flaky_host} speed change
+    ([factor = 1.0] restores full speed). *)
 
 val decide :
   t -> src_site:string -> dst_site:string -> bytes:int -> Everyware.fault_decision
@@ -103,5 +123,7 @@ val counters : t -> counters
 val validate : spec list -> (unit, string) result
 (** Rejects malformed plans with a descriptive message: probabilities
     outside [[0, 1]], windows whose [until_t] precedes [from_t], negative
-    times, delays or record counts.  Called by the {!Gridsat} entry points
-    before a plan is armed. *)
+    times, delays or record counts, non-positive slowdown factors or
+    periods, and overlapping {!Slow_host}/{!Flaky_host} windows on one
+    host (the last toggle would win, making the schedule ambiguous).
+    Called by the {!Gridsat} entry points before a plan is armed. *)

@@ -26,7 +26,9 @@ type t = {
   label : string;
   cnf : Sat.Cnf.t;
   digest : string;
-  deadline : float option;
+  mutable deadline : float option;
+      (* advisory: brownout stretches it, so the armed expiry timer
+         re-checks this field before cancelling *)
   submitted_at : float;
   mutable state : state;
   mutable started_at : float option;

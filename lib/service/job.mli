@@ -35,7 +35,10 @@ type t = {
   label : string;
   cnf : Sat.Cnf.t;
   digest : string;  (** canonical CNF digest (see {!Cache.digest}) *)
-  deadline : float option;  (** absolute virtual time, if any *)
+  mutable deadline : float option;
+      (** absolute virtual time, if any.  Advisory: a service brownout
+          stretches it, and the armed expiry timer re-checks this field
+          before cancelling. *)
   submitted_at : float;
   mutable state : state;
   mutable started_at : float option;  (** first dispatch (not re-set on requeue) *)

@@ -4,7 +4,14 @@ module Config = Core.Config
 module Testbed = Core.Testbed
 module J = Obs.Json
 
-type chaos = { master_crash : bool; corrupt_p : float; crash_hosts : int }
+type chaos = {
+  master_crash : bool;
+  corrupt_p : float;
+  crash_hosts : int;
+  slow_hosts : int;
+  slow_factor : float;
+  flaky : bool;
+}
 
 type config = {
   queue_capacity : int;
@@ -14,10 +21,22 @@ type config = {
   retry_after_base : float;
   pump_period : float;
   preemption : bool;
+  brownout_threshold : float;
+  brownout_stretch : float;
   run : Config.t;
   chaos : chaos option;
   seed : int;
 }
+
+let default_chaos =
+  {
+    master_crash = false;
+    corrupt_p = 0.;
+    crash_hosts = 0;
+    slow_hosts = 0;
+    slow_factor = 8.;
+    flaky = false;
+  }
 
 let default_config =
   {
@@ -28,6 +47,8 @@ let default_config =
     retry_after_base = 30.;
     pump_period = 1.;
     preemption = true;
+    brownout_threshold = 0.;
+    brownout_stretch = 1.5;
     run = Config.default;
     chaos = None;
     seed = 0;
@@ -49,6 +70,10 @@ type stats = {
   completed : int;
   hosts_total : int;
   hosts_free : int;
+  hosts_healthy : int;
+  brownout : bool;
+  brownouts : int;
+  deadlines_stretched : int;
 }
 
 (* Why a job's run is being torn down before its own verdict: set by the
@@ -82,6 +107,13 @@ type t = {
   mutable pump_armed : bool;
   mutable pending_submissions : int;
   rng : Random.State.t;
+  health : Core.Health.t;
+      (* one model shared across every run the service dispatches: host
+         ids are pool-global, so a host that misbehaved under one job
+         starts its next lease already demoted (or in probation) *)
+  mutable brownout : bool;
+  mutable n_brownouts : int;
+  mutable n_stretched : int;
   (* plain counters mirrored into Obs so they land in reports *)
   mutable n_submitted : int;
   mutable n_admitted : int;
@@ -119,7 +151,13 @@ let create ?(obs = Obs.disabled) ~cfg ~testbed () =
   (match cfg.chaos with
   | Some ch when ch.corrupt_p < 0. || ch.corrupt_p > 1. ->
       invalid_arg "Service.create: chaos corrupt_p must be in [0,1]"
+  | Some ch when ch.slow_hosts > 0 && ch.slow_factor <= 0. ->
+      invalid_arg "Service.create: chaos slow_factor must be positive"
   | _ -> ());
+  if cfg.brownout_threshold < 0. || cfg.brownout_threshold > 1. then
+    invalid_arg "Service.create: brownout_threshold must be in [0,1]";
+  if cfg.brownout_stretch < 1. then
+    invalid_arg "Service.create: brownout_stretch must be >= 1";
   let sim = Grid.Sim.create ~obs () in
   Obs.set_clock obs (fun () -> Grid.Sim.now sim);
   let net = Grid.Network.create () in
@@ -142,6 +180,10 @@ let create ?(obs = Obs.disabled) ~cfg ~testbed () =
     pump_armed = false;
     pending_submissions = 0;
     rng = Random.State.make [| cfg.seed; 0x5e47 |];
+    health = Core.Health.create ();
+    brownout = false;
+    n_brownouts = 0;
+    n_stretched = 0;
     n_submitted = 0;
     n_admitted = 0;
     n_shed = 0;
@@ -231,6 +273,29 @@ let arm_chaos t ch ~(master : Master.t) ~bus ~(job : Job.t) ~lease =
           Grid.Fault.Crash_host { host = host_id h; at = start +. 0.8 +. (float_of_int i *. 0.7) +. frnd 0.7 }
           :: !specs)
     lease;
+  (* stragglers take the tail of the lease, so crash and slowdown targets
+     only overlap when the lease is smaller than both counts *)
+  let n_lease = List.length lease in
+  let slows = min ch.slow_hosts n_lease in
+  List.iteri
+    (fun i h ->
+      if i >= n_lease - slows then begin
+        let at = start +. 0.5 +. frnd 1.0 in
+        if ch.flaky then
+          specs :=
+            Grid.Fault.Flaky_host
+              {
+                host = host_id h;
+                factor = ch.slow_factor;
+                period = 4. +. frnd 4.;
+                from_t = at;
+                until_t = at +. 1e6;
+              }
+            :: !specs
+        else
+          specs := Grid.Fault.Slow_host { host = host_id h; at; factor = ch.slow_factor } :: !specs
+      end)
+    lease;
   if !specs <> [] then begin
     let ctl =
       Grid.Fault.arm ~sim:t.sim
@@ -241,6 +306,7 @@ let arm_chaos t ch ~(master : Master.t) ~bus ~(job : Job.t) ~lease =
         ~on_master_restart:(fun () -> Master.restart_master master)
         ~on_storage_corrupt:(fun ~journal_records ~checkpoints ->
           Master.corrupt_storage master ~journal_records ~checkpoints)
+        ~on_slow:(fun host factor -> Master.slow_host master host factor)
         !specs
     in
     Grid.Everyware.set_corrupt bus Core.Protocol.corrupt;
@@ -272,7 +338,10 @@ let start_job t (job : Job.t) =
   in
   let bus = Grid.Everyware.create ~obs:t.obs t.sim t.net in
   let rcfg = { t.cfg.run with Config.seed = t.cfg.run.Config.seed + job.Job.id } in
-  let master = Master.create ~obs:t.obs ~sim:t.sim ~net:t.net ~bus ~cfg:rcfg ~testbed:sub job.Job.cnf in
+  let master =
+    Master.create ~obs:t.obs ~health:t.health ~sim:t.sim ~net:t.net ~bus ~cfg:rcfg ~testbed:sub
+      job.Job.cnf
+  in
   (match t.cfg.chaos with None -> () | Some ch -> arm_chaos t ch ~master ~bus ~job ~lease);
   job.Job.state <- Job.Running;
   if job.Job.started_at = None then job.Job.started_at <- Some (now t);
@@ -324,6 +393,69 @@ let maybe_preempt t =
             finalize_run t r
         | _ -> ())
 
+(* ---------- brownout ---------- *)
+
+(* A host counts as healthy when it may receive work (breaker not open)
+   and its blended score has not collapsed.  Unknown hosts score 1.0, so
+   a fresh service starts at full health. *)
+let healthy_hosts t =
+  let tnow = now t in
+  List.fold_left
+    (fun acc h ->
+      let id = host_id h in
+      if
+        Core.Health.admissible t.health ~host:id ~now:tnow
+        && Core.Health.score t.health ~host:id >= 0.4
+      then acc + 1
+      else acc)
+    0 t.base.Testbed.hosts
+
+(* Advisory deadlines stretch under brownout: the capacity the submitter
+   sized its deadline against is partly gone, so expiring jobs on
+   schedule would turn a capacity dip into an outage.  The armed expiry
+   timers re-check [Job.deadline] before cancelling (see
+   [arm_deadline]). *)
+let stretch_deadlines t =
+  let tnow = now t in
+  List.iter
+    (fun (job : Job.t) ->
+      match (job.Job.state, job.Job.deadline) with
+      | (Job.Queued | Job.Running), Some d when d > tnow ->
+          job.Job.deadline <- Some (tnow +. ((d -. tnow) *. t.cfg.brownout_stretch));
+          t.n_stretched <- t.n_stretched + 1
+      | _ -> ())
+    (List.rev t.all_jobs)
+
+let shed_low_queued t =
+  List.iter
+    (fun (job : Job.t) ->
+      if job.Job.state = Job.Queued && job.Job.priority = Job.Low then begin
+        Admission.remove t.adm job;
+        let retry_after = Admission.retry_after t.adm ~base:t.cfg.retry_after_base in
+        job.Job.state <- Job.Done (Job.Shed { retry_after });
+        job.Job.finished_at <- Some (now t);
+        t.n_shed <- t.n_shed + 1;
+        Obs.Metrics.incr t.c_shed;
+        Joblog.append t.log (Joblog.Shed { id = job.Job.id; retry_after })
+      end)
+    (Admission.queued_jobs t.adm)
+
+(* Entered when the healthy fraction of the pool drops below the
+   threshold; exited with hysteresis (threshold + 0.1) so an oscillating
+   host cannot flap the policy.  On entry, queued low-priority work is
+   shed and every outstanding advisory deadline stretches. *)
+let update_brownout t =
+  if t.cfg.brownout_threshold > 0. then begin
+    let frac = float_of_int (healthy_hosts t) /. float_of_int t.hosts_total in
+    if (not t.brownout) && frac < t.cfg.brownout_threshold then begin
+      t.brownout <- true;
+      t.n_brownouts <- t.n_brownouts + 1;
+      shed_low_queued t;
+      stretch_deadlines t
+    end
+    else if t.brownout && frac >= t.cfg.brownout_threshold +. 0.1 then t.brownout <- false
+  end
+
 let finalize_finished t =
   let done_, live = List.partition (fun r -> Master.finished r.master) t.running in
   ignore live;
@@ -335,6 +467,7 @@ let finalize_finished t =
 let rec pump t =
   t.pump_armed <- false;
   finalize_finished t;
+  update_brownout t;
   maybe_preempt t;
   admit t;
   arm_pump t
@@ -345,12 +478,18 @@ and arm_pump t =
     ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.pump_period (fun () -> pump t))
   end
 
-let arm_deadline t (job : Job.t) =
+let rec arm_deadline t (job : Job.t) =
   match job.Job.deadline with
   | None -> ()
   | Some at ->
       ignore
         (Grid.Sim.schedule_at t.sim ~time:at (fun () ->
+             match job.Job.deadline with
+             | Some at' when at' > at +. 1e-9 ->
+                 (* a brownout stretched the deadline after this timer was
+                    armed: chase the new one instead of expiring early *)
+                 arm_deadline t job
+             | Some _ | None -> (
              match job.Job.state with
              | Job.Done _ -> ()
              | Job.Queued ->
@@ -371,7 +510,7 @@ let arm_deadline t (job : Job.t) =
                           still stops the clients and closes the journal *)
                        Master.cancel r.master ~reason:"deadline";
                        finalize_run t r
-                     end)))
+                     end))))
 
 let submit t ~tenant ~priority ?deadline_in ?label cnf =
   let id = t.next_id in
@@ -411,7 +550,9 @@ let submit t ~tenant ~priority ?deadline_in ?label cnf =
       Joblog.append t.log (Joblog.Cache_hit { id; answer = Job.answer_string answer });
       Cached answer
   | None ->
-      if Admission.is_full t.adm then begin
+      (* brownout sheds lowest-priority first: Low submissions bounce at
+         the door while degraded capacity is reserved for the rest *)
+      if Admission.is_full t.adm || (t.brownout && priority = Job.Low) then begin
         let retry_after = Admission.retry_after t.adm ~base:t.cfg.retry_after_base in
         job.Job.state <- Job.Done (Job.Shed { retry_after });
         job.Job.finished_at <- Some (now t);
@@ -482,6 +623,8 @@ let jobs t = List.rev t.all_jobs
 
 let sim t = t.sim
 
+let health t = t.health
+
 let joblog t = t.log
 
 let verdict_cache t = t.cache
@@ -502,6 +645,10 @@ let stats t =
     completed = t.n_completed;
     hosts_total = t.hosts_total;
     hosts_free = List.length t.free_hosts;
+    hosts_healthy = healthy_hosts t;
+    brownout = t.brownout;
+    brownouts = t.n_brownouts;
+    deadlines_stretched = t.n_stretched;
   }
 
 let job_json (j : Job.t) =
@@ -542,6 +689,10 @@ let report t =
         ("completed", J.Int s.completed);
         ("hosts_total", J.Int s.hosts_total);
         ("hosts_free", J.Int s.hosts_free);
+        ("hosts_healthy", J.Int s.hosts_healthy);
+        ("brownout", J.Bool s.brownout);
+        ("brownouts", J.Int s.brownouts);
+        ("deadlines_stretched", J.Int s.deadlines_stretched);
         ("cache_size", J.Int (Cache.size t.cache));
         ("joblog_appends", J.Int (Joblog.appended t.log));
         ("joblog_records_dropped", J.Int (Joblog.records_dropped t.log));
@@ -559,5 +710,10 @@ let report t =
         ("max_concurrent", J.Int t.cfg.max_concurrent);
         ("virtual_time", J.Float (now t));
       ]
-    ~sections:[ ("service", service); ("jobs", J.List (List.map job_json (jobs t))) ]
+    ~sections:
+      [
+        ("service", service);
+        ("health", Core.Health.to_json t.health);
+        ("jobs", J.List (List.map job_json (jobs t)));
+      ]
     ~metrics:(Obs.metrics t.obs) ~spans:(Obs.spans t.obs) ()

@@ -40,7 +40,22 @@ type chaos = {
   crash_hosts : int;
       (** silently crash up to this many of each job's leased hosts
           (always leaving at least one alive) *)
+  slow_hosts : int;
+      (** silently slow down up to this many of each job's leased hosts
+          (taken from the tail of the lease, so crash and slowdown
+          targets only overlap on tiny leases) *)
+  slow_factor : float;
+      (** compute-budget divisor applied to slowed hosts; heartbeats and
+          acks stay on time, so the straggler is invisible to crash
+          detection *)
+  flaky : bool;
+      (** oscillate slowed hosts between full and [slow_factor] speed on
+          a seeded period instead of a one-shot permanent slowdown *)
 }
+
+val default_chaos : chaos
+(** No chaos armed: all counts zero, [slow_factor] 8, [flaky] off —
+    the base record to override per field. *)
 
 type config = {
   queue_capacity : int;  (** bounded admission queue size *)
@@ -51,6 +66,13 @@ type config = {
   retry_after_base : float;  (** base of the shed retry-after hint *)
   pump_period : float;  (** scheduler tick, virtual seconds *)
   preemption : bool;
+  brownout_threshold : float;
+      (** enter brownout when the healthy fraction of the pool drops
+          below this ([0.] disables the policy, the default).  Exit has
+          [+0.1] hysteresis so an oscillating host cannot flap it. *)
+  brownout_stretch : float;
+      (** multiplier applied to outstanding advisory deadlines when a
+          brownout begins (>= 1) *)
   run : Gridsat_core.Config.t;  (** per-run master configuration *)
   chaos : chaos option;  (** per-job fault plan template, if any *)
   seed : int;  (** seeds the chaos offsets and nothing else *)
@@ -74,6 +96,12 @@ type stats = {
   completed : int;  (** jobs that reached a run verdict *)
   hosts_total : int;
   hosts_free : int;
+  hosts_healthy : int;
+      (** hosts currently admissible with a health score >= 0.4 *)
+  brownout : bool;  (** the service is in brownout right now *)
+  brownouts : int;  (** brownout entries so far *)
+  deadlines_stretched : int;
+      (** advisory deadlines stretched by brownout entries *)
 }
 
 type t
@@ -134,11 +162,17 @@ val verdict_cache : t -> Cache.t
 
 val sim : t -> Grid.Sim.t
 
+val health : t -> Gridsat_core.Health.t
+(** The pool-global host-health model shared across every run the
+    service dispatches: a host that misbehaved under one job starts its
+    next lease already demoted (or in probation). *)
+
 val running_masters : t -> (int * Gridsat_core.Master.t) list
 (** [(job id, master)] for currently running jobs — test hook for
     injecting faults mid-run. *)
 
 val report : t -> Obs.Json.t
-(** Aggregated service report: meta, the counters above, per-job rows
-    (state, wait, outcome, splits/messages when a run happened), plus
-    the shared metrics registry and span summary. *)
+(** Aggregated service report: meta, the counters above (including
+    brownout state), a per-host health table, per-job rows (state, wait,
+    outcome, splits/messages when a run happened), plus the shared
+    metrics registry and span summary. *)

@@ -62,6 +62,22 @@ let chaos_config =
 let certify_config =
   { chaos_config with Cfg.certify = true; integrity_checks = true; share_max_len = 0 }
 
+(* Straggler defense on: health-aware ranking, adaptive deadlines and
+   hedged re-execution, with jittered retry backoff. *)
+let hedge_config =
+  {
+    chaos_config with
+    Cfg.hedge = true;
+    adaptive_timeouts = true;
+    retry_jitter = 0.1;
+    (* a fine monitor tick so the p99 crossing is noticed promptly *)
+    heartbeat_period = 2.;
+    (* no clause sharing: a straggler's branch cannot be refuted for free
+       by imported clauses, so the stuck copy really is stuck — the
+       scenario the hedge exists for *)
+    share_max_len = 0;
+  }
+
 let workloads =
   [
     ("php-6-5", Workloads.Php.instance ~pigeons:6 ~holes:5);
@@ -76,8 +92,9 @@ let answer_kind = function
 
 let has_event p (r : C.Master.result) = List.exists (fun e -> p e.C.Events.kind) r.C.Master.events
 
-let solve ?(config = chaos_config) ?(fault_plan = []) ?on_master cnf =
-  C.Gridsat.solve ~config ~fault_plan ?on_master ~testbed:(testbed2site ()) cnf
+let solve ?(config = chaos_config) ?(fault_plan = []) ?on_master ?testbed cnf =
+  let testbed = match testbed with Some tb -> tb | None -> testbed2site () in
+  C.Gridsat.solve ~config ~fault_plan ?on_master ~testbed cnf
 
 (* A scenario bundles a fault plan (parameterised by the fault-free run
    time) with the events that prove the machinery reacted.  Proof events
@@ -165,6 +182,29 @@ let scenarios =
           (function C.Events.Corrupt_message_detected _ -> true | _ -> false);
           (function C.Events.Unsat_fragment_certified _ -> true | _ -> false);
         ];
+    };
+    {
+      sname = "straggler";
+      config = hedge_config;
+      plan = (fun t -> [ F.Slow_host { host = 1; at = Float.max 2. (0.2 *. t); factor = 20. } ]);
+      proof = [ (function C.Events.Host_slowed { host = 1; _ } -> true | _ -> false) ];
+    };
+    {
+      sname = "flaky";
+      config = hedge_config;
+      plan =
+        (fun t ->
+          [
+            F.Flaky_host
+              {
+                host = 1;
+                factor = 10.;
+                period = Float.max 2. (0.2 *. t);
+                from_t = Float.max 1. (0.1 *. t);
+                until_t = infinity;
+              };
+          ]);
+      proof = [ (function C.Events.Host_slowed { host = 1; _ } -> true | _ -> false) ];
     };
     {
       sname = "master-crash";
@@ -427,6 +467,107 @@ let test_checkpoint_corrupt_all_discards () =
   check bool "rotten snapshot removed from the store" true
     (C.Checkpoint.restore ck ~client:1 = None)
 
+(* ---------- straggler defense and hedged execution ---------- *)
+
+(* A scenario engineered so hedging must fire: the host holding the
+   initial problem turns into an extreme straggler early, the rest of the
+   fleet populates the duration histogram with quick results, and idle
+   capacity appears as branches drain — the monitor then clones the
+   straggler's subproblem to an idle host. *)
+let straggler_plan _t = [ F.Slow_host { host = 1; at = 2.; factor = 10_000. } ]
+
+(* A wider fleet than the matrix testbed: idle hosts must exist at the
+   moment the straggler's elapsed time crosses the fleet p99, or the
+   hedge gate (straggler AND spare capacity) never opens. *)
+let hedge_testbed () = C.Testbed.uniform ~n:10 ~speed:500. ()
+let hedge_cnf = Workloads.Php.instance ~pigeons:8 ~holes:7
+
+let hedge_ledger (r : C.Master.result) =
+  List.fold_left
+    (fun (launched, fenced) e ->
+      match e.C.Events.kind with
+      | C.Events.Hedge_launched { pid; _ } -> (pid :: launched, fenced)
+      | C.Events.Hedge_cancelled { pid; _ } -> (launched, pid :: fenced)
+      | _ -> (launched, fenced))
+    ([], []) r.C.Master.events
+
+let test_hedge_exactly_once () =
+  let cnf = hedge_cnf in
+  let baseline = solve ~config:hedge_config ~testbed:(hedge_testbed ()) cnf in
+  check Alcotest.string "baseline is unsat" "UNSAT" (answer_kind baseline.C.Master.answer);
+  let plan = straggler_plan baseline.C.Master.time in
+  let captured = ref None in
+  let r =
+    solve ~config:hedge_config ~fault_plan:plan ~testbed:(hedge_testbed ())
+      ~on_master:(fun m -> captured := Some m)
+      cnf
+  in
+  check Alcotest.string "verdict survives the straggler" "UNSAT" (answer_kind r.C.Master.answer);
+  check bool "a hedge was launched" true (r.C.Master.hedges > 0);
+  (* exactly-once: every hedged pid resolves to one winner and one fenced
+     loser — launch and fence ledgers must match pid for pid *)
+  let launched, fenced = hedge_ledger r in
+  check Alcotest.int "hedge counter matches the event ledger" r.C.Master.hedges
+    (List.length launched);
+  check Alcotest.int "fence counter matches the event ledger" r.C.Master.hedge_cancellations
+    (List.length fenced);
+  check bool "every launched hedge was fenced exactly once" true
+    (List.sort compare launched = List.sort compare fenced);
+  (* the pool came back: nobody is still marked busy after the verdict *)
+  (match !captured with
+  | None -> Alcotest.fail "master not captured"
+  | Some m -> check (Alcotest.list Alcotest.int) "no busy client left" [] (C.Master.busy_client_ids m));
+  (* same plan, same seed: the hedged timeline replays exactly *)
+  let again = solve ~config:hedge_config ~fault_plan:plan ~testbed:(hedge_testbed ()) cnf in
+  check bool "identical event timeline on replay" true (r.C.Master.events = again.C.Master.events)
+
+let test_hedge_beats_no_hedge () =
+  (* C13 in miniature: with an extreme straggler holding a branch, the
+     hedged run must finish no later than the defenseless one *)
+  let cnf = hedge_cnf in
+  let no_hedge = { hedge_config with Cfg.hedge = false; adaptive_timeouts = false } in
+  let baseline = solve ~config:no_hedge ~testbed:(hedge_testbed ()) cnf in
+  let plan = straggler_plan baseline.C.Master.time in
+  let slow = solve ~config:no_hedge ~fault_plan:plan ~testbed:(hedge_testbed ()) cnf in
+  let hedged = solve ~config:hedge_config ~fault_plan:plan ~testbed:(hedge_testbed ()) cnf in
+  check Alcotest.string "same verdict either way" (answer_kind slow.C.Master.answer)
+    (answer_kind hedged.C.Master.answer);
+  check bool "the straggler actually hurt the defenseless run" true
+    (slow.C.Master.time > baseline.C.Master.time +. 1e-6);
+  check bool "hedging recovers (most of) the loss" true
+    (hedged.C.Master.time <= slow.C.Master.time +. 1e-6)
+
+let test_hedge_certify_stable () =
+  (* hedging must not break split-tree certification: duplicate copies of
+     a branch are fenced before they can double-cover it *)
+  let config = { certify_config with Cfg.hedge = true; adaptive_timeouts = true } in
+  let cnf = hedge_cnf in
+  let baseline = solve ~config ~testbed:(hedge_testbed ()) cnf in
+  let r =
+    solve ~config
+      ~fault_plan:(straggler_plan baseline.C.Master.time)
+      ~testbed:(hedge_testbed ()) cnf
+  in
+  check Alcotest.string "certified UNSAT under a straggler" "UNSAT"
+    (answer_kind r.C.Master.answer);
+  check bool "refuted branches carried certified fragments" true
+    (r.C.Master.certified_fragments > 0);
+  check Alcotest.int "no honest client was quarantined" 0 r.C.Master.quarantines;
+  let launched, fenced = hedge_ledger r in
+  check bool "hedge fences stay exactly-once under certification" true
+    (List.sort compare launched = List.sort compare fenced)
+
+let test_probation_on_crash () =
+  (* a crash trips the circuit breaker: the host enters probation and the
+     transition is visible in the event log *)
+  let cnf = Workloads.Php.instance ~pigeons:7 ~holes:6 in
+  let baseline = solve ~config:hedge_config cnf in
+  let plan = [ F.Crash_host { host = 1; at = crash_time baseline.C.Master.time } ] in
+  let r = solve ~config:hedge_config ~fault_plan:plan cnf in
+  check Alcotest.string "verdict survives" "UNSAT" (answer_kind r.C.Master.answer);
+  check bool "crash put the host on probation" true
+    (has_event (function C.Events.Host_probation { host = 1; _ } -> true | _ -> false) r)
+
 let () =
   let matrix =
     List.concat_map
@@ -465,5 +606,12 @@ let () =
             test_journal_corrupt_tail_scrubbed;
           Alcotest.test_case "checkpoint corrupt_all discards" `Quick
             test_checkpoint_corrupt_all_discards;
+        ] );
+      ( "stragglers",
+        [
+          Alcotest.test_case "hedge exactly-once" `Slow test_hedge_exactly_once;
+          Alcotest.test_case "hedge beats no-hedge" `Slow test_hedge_beats_no_hedge;
+          Alcotest.test_case "hedge under certification" `Slow test_hedge_certify_stable;
+          Alcotest.test_case "probation on crash" `Slow test_probation_on_crash;
         ] );
     ]

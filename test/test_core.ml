@@ -179,20 +179,21 @@ let prop_prune_never_grows =
 
 (* ---------- Scheduler ---------- *)
 
-let cand ~id ~speed ~mem_gb ~forecast =
+let cand ?(health = 1.0) ~id ~speed ~mem_gb ~forecast () =
   {
     C.Scheduler.resource =
       Grid.Resource.make ~id ~name:(Printf.sprintf "r%d" id) ~site:"s" ~speed
         ~mem_bytes:(int_of_float (mem_gb *. 1024. *. 1024. *. 1024.))
         ~kind:Grid.Resource.Interactive;
     forecast;
+    health;
   }
 
 let test_scheduler_rank_monotone () =
-  let base = cand ~id:1 ~speed:100. ~mem_gb:1. ~forecast:0.5 in
-  let faster = cand ~id:2 ~speed:200. ~mem_gb:1. ~forecast:0.5 in
-  let freer = cand ~id:3 ~speed:100. ~mem_gb:1. ~forecast:1.0 in
-  let bigger = cand ~id:4 ~speed:100. ~mem_gb:4. ~forecast:0.5 in
+  let base = cand ~id:1 ~speed:100. ~mem_gb:1. ~forecast:0.5 () in
+  let faster = cand ~id:2 ~speed:200. ~mem_gb:1. ~forecast:0.5 () in
+  let freer = cand ~id:3 ~speed:100. ~mem_gb:1. ~forecast:1.0 () in
+  let bigger = cand ~id:4 ~speed:100. ~mem_gb:4. ~forecast:0.5 () in
   check bool "speed raises rank" true (C.Scheduler.rank faster > C.Scheduler.rank base);
   check bool "availability raises rank" true (C.Scheduler.rank freer > C.Scheduler.rank base);
   check bool "memory raises rank" true (C.Scheduler.rank bigger > C.Scheduler.rank base)
@@ -200,7 +201,7 @@ let test_scheduler_rank_monotone () =
 let test_scheduler_pick_policies () =
   let rng = Random.State.make [| 1 |] in
   let cands =
-    [ cand ~id:1 ~speed:100. ~mem_gb:1. ~forecast:0.9; cand ~id:2 ~speed:300. ~mem_gb:1. ~forecast:0.9 ]
+    [ cand ~id:1 ~speed:100. ~mem_gb:1. ~forecast:0.9 (); cand ~id:2 ~speed:300. ~mem_gb:1. ~forecast:0.9 () ]
   in
   (match C.Scheduler.pick Cfg.Nws_rank ~rng cands with
   | Some c -> check int "nws picks fastest" 2 c.C.Scheduler.resource.Grid.Resource.id
@@ -744,7 +745,7 @@ let test_protocol_sizes () =
   check bool "control messages are small" true
     (C.Protocol.size C.Protocol.Stop = C.Protocol.control_bytes);
   check bool "heartbeats and acks are small" true
-    (C.Protocol.size C.Protocol.Heartbeat = C.Protocol.control_bytes
+    (C.Protocol.size (C.Protocol.Heartbeat { decisions = 0 }) = C.Protocol.control_bytes
     && C.Protocol.size (C.Protocol.Ack { mid = 7 }) = C.Protocol.control_bytes);
   check bool "reliable envelope weighs what its payload weighs" true
     (C.Protocol.size
@@ -753,7 +754,7 @@ let test_protocol_sizes () =
   check bool "critical classification" true
     (C.Protocol.critical (C.Protocol.Finished_unsat { pid = (1, 0); proof = None })
     && C.Protocol.critical (C.Protocol.Orphaned { pid = (1, 0); sp })
-    && (not (C.Protocol.critical C.Protocol.Heartbeat))
+    && (not (C.Protocol.critical (C.Protocol.Heartbeat { decisions = 0 })))
     && not (C.Protocol.critical (C.Protocol.Shares { clauses = [] })));
   let shares = [ [| T.pos 1; T.neg 2 |]; [| T.pos 3 |] ] in
   check bool "share size counts literals" true

@@ -186,6 +186,46 @@ let test_nws_adaptive_beats_worst () =
   check bool "adaptive error bounded" true (Nws.mae f <= 0.65);
   check int "observation count" 200 (Nws.observations f)
 
+(* Adversarial series: the mixture of experts must converge onto a
+   responsive predictor and keep its cumulative error bounded whatever
+   shape the availability trace takes. *)
+
+let test_nws_step_change () =
+  let f = Nws.create () in
+  for _ = 1 to 100 do
+    Nws.observe f 0.9
+  done;
+  for _ = 1 to 200 do
+    Nws.observe f 0.3
+  done;
+  check flt "forecast converged to the new regime" 0.3 (Nws.forecast f);
+  (* the running mean stays polluted by the old regime forever; the
+     winner must be one of the responsive experts *)
+  check bool "best predictor abandoned the stale mean" true (Nws.best_predictor f <> "mean");
+  check bool "one step only costs one error spike" true (Nws.mae f <= 0.05)
+
+let test_nws_oscillation_bounded () =
+  (* worst case for any point predictor: a square wave.  The adaptive
+     error must stay within the wave's amplitude and the forecast
+     between its rails. *)
+  let f = Nws.create () in
+  for i = 1 to 300 do
+    Nws.observe f (if i mod 2 = 0 then 0.1 else 0.9)
+  done;
+  check bool "mae bounded by the amplitude" true (Nws.mae f <= 0.5);
+  let fc = Nws.forecast f in
+  check bool "forecast between the rails" true (fc >= 0.1 && fc <= 0.9)
+
+let test_nws_slow_drift () =
+  let f = Nws.create () in
+  for i = 0 to 499 do
+    Nws.observe f (0.2 +. (0.6 *. float_of_int i /. 499.))
+  done;
+  let fc = Nws.forecast f in
+  check bool "forecast tracks the head of the drift" true (Float.abs (fc -. 0.8) < 0.15);
+  check bool "tracking error stays small" true (Nws.mae f < 0.05);
+  check bool "drift winner is a responsive expert" true (Nws.best_predictor f <> "mean")
+
 (* ---------- Network ---------- *)
 
 let test_network_intra_vs_inter () =
@@ -348,6 +388,67 @@ let test_fault_drop_probability_and_determinism () =
   check bool "different seed differs" true (a <> c);
   let drops = List.length (List.filter (fun d -> d = Everyware.Drop) a) in
   check bool "drop rate in the ballpark of p" true (drops > 100 && drops < 200)
+
+let test_fault_slow_flaky_schedule () =
+  let sim = Sim.create () in
+  let changes = ref [] in
+  let ctl =
+    Grid.Fault.arm ~sim ~seed:1 ~on_crash:ignore ~on_hang:ignore
+      ~on_slow:(fun h f -> changes := (Sim.now sim, h, f) :: !changes)
+      [
+        Grid.Fault.Slow_host { host = 2; at = 3.; factor = 8. };
+        Grid.Fault.Flaky_host { host = 5; factor = 4.; period = 10.; from_t = 0.; until_t = 20. };
+      ]
+  in
+  Sim.run sim ~until:100.;
+  let changes = List.rev !changes in
+  check bool "one-shot slowdown fired at its instant" true (List.mem (3., 2, 8.) changes);
+  let host5 = List.filter_map (fun (t, h, f) -> if h = 5 then Some (t, f) else None) changes in
+  (* two periods: slow at 0 and 10, restored at 5 and 15, final restore at 20 *)
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.float 1e-9) (Alcotest.float 1e-9)))
+    "flaky oscillation schedule"
+    [ (0., 4.); (5., 1.); (10., 4.); (15., 1.); (20., 1.) ]
+    host5;
+  let c = Grid.Fault.counters ctl in
+  check int "slow phases counted" 3 c.Grid.Fault.slowdowns
+
+let test_fault_validate_speed_faults () =
+  let ok plan = check bool "plan accepted" true (Grid.Fault.validate plan = Ok ()) in
+  let rejected plan =
+    check bool "plan rejected" true (Result.is_error (Grid.Fault.validate plan))
+  in
+  ok [ Grid.Fault.Slow_host { host = 1; at = 0.; factor = 20. } ];
+  rejected [ Grid.Fault.Slow_host { host = 1; at = 0.; factor = 0. } ];
+  rejected [ Grid.Fault.Slow_host { host = 1; at = 0.; factor = -2. } ];
+  rejected [ Grid.Fault.Slow_host { host = 1; at = -1.; factor = 2. } ];
+  rejected [ Grid.Fault.Flaky_host { host = 1; factor = 0.; period = 5.; from_t = 0.; until_t = 9. } ];
+  rejected [ Grid.Fault.Flaky_host { host = 1; factor = 4.; period = 0.; from_t = 0.; until_t = 9. } ];
+  rejected [ Grid.Fault.Flaky_host { host = 1; factor = 4.; period = 5.; from_t = 9.; until_t = 0. } ];
+  (* a Slow_host lasts forever, so any later speed fault on the same
+     host overlaps it; distinct hosts never conflict *)
+  rejected
+    [
+      Grid.Fault.Slow_host { host = 3; at = 5.; factor = 8. };
+      Grid.Fault.Flaky_host { host = 3; factor = 4.; period = 2.; from_t = 50.; until_t = 60. };
+    ];
+  rejected
+    [
+      Grid.Fault.Slow_host { host = 3; at = 5.; factor = 8. };
+      Grid.Fault.Slow_host { host = 3; at = 9.; factor = 2. };
+    ];
+  rejected
+    [
+      Grid.Fault.Flaky_host { host = 4; factor = 4.; period = 2.; from_t = 0.; until_t = 10. };
+      Grid.Fault.Flaky_host { host = 4; factor = 2.; period = 3.; from_t = 8.; until_t = 20. };
+    ];
+  ok
+    [
+      Grid.Fault.Slow_host { host = 1; at = 5.; factor = 8. };
+      Grid.Fault.Slow_host { host = 2; at = 5.; factor = 8. };
+      Grid.Fault.Flaky_host { host = 4; factor = 4.; period = 2.; from_t = 0.; until_t = 10. };
+      Grid.Fault.Flaky_host { host = 4; factor = 2.; period = 3.; from_t = 10.; until_t = 20. };
+    ]
 
 (* ---------- Batch ---------- *)
 
@@ -547,6 +648,9 @@ let () =
           Alcotest.test_case "constant series" `Quick test_nws_constant_series;
           Alcotest.test_case "regime shift" `Quick test_nws_tracks_shift;
           Alcotest.test_case "adaptive error bounded" `Quick test_nws_adaptive_beats_worst;
+          Alcotest.test_case "adversarial: step change" `Quick test_nws_step_change;
+          Alcotest.test_case "adversarial: oscillation" `Quick test_nws_oscillation_bounded;
+          Alcotest.test_case "adversarial: slow drift" `Quick test_nws_slow_drift;
         ] );
       ( "network",
         [
@@ -569,6 +673,8 @@ let () =
           Alcotest.test_case "crash/hang schedule" `Quick test_fault_crash_hang_schedule;
           Alcotest.test_case "partition window" `Quick test_fault_partition_window;
           Alcotest.test_case "drop probability" `Quick test_fault_drop_probability_and_determinism;
+          Alcotest.test_case "slow/flaky schedule" `Quick test_fault_slow_flaky_schedule;
+          Alcotest.test_case "validate speed faults" `Quick test_fault_validate_speed_faults;
         ] );
       ( "batch",
         [

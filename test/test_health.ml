@@ -1,0 +1,227 @@
+(* Unit tests for the host-health model (circuit breaker, blended score,
+   percentile-derived deadlines) and the jittered Reliable backoff. *)
+
+module H = Gridsat_core.Health
+module R = Gridsat_core.Reliable
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let flt = Alcotest.float 1e-9
+
+(* ---------- circuit breaker ---------- *)
+
+let test_breaker_lifecycle () =
+  let h = H.create ~probation_base:10. () in
+  check bool "unknown host admissible" true (H.admissible h ~host:1 ~now:0.);
+  check flt "unknown host scores 1" 1.0 (H.score h ~host:1);
+  (match H.incident h ~host:1 ~now:0. `Crash with
+  | Some until_t -> check flt "first probation is the base" 10. until_t
+  | None -> Alcotest.fail "crash must trip the breaker");
+  check bool "open breaker inadmissible" false (H.admissible h ~host:1 ~now:5.);
+  check flt "open breaker scores 0" 0. (H.score h ~host:1);
+  (* probation expiry flips to half-open: one canary slot *)
+  check bool "half-open admissible" true (H.admissible h ~host:1 ~now:11.);
+  check bool "half-open score is halved" true (H.score h ~host:1 <= 0.5);
+  H.note_assigned h ~host:1;
+  check bool "canary outstanding blocks a second problem" false (H.admissible h ~host:1 ~now:12.);
+  check bool "canary success closes the breaker" true (H.note_success h ~host:1);
+  check bool "closed again" true (H.admissible h ~host:1 ~now:13.);
+  (* a success on a closed breaker is not a canary *)
+  check bool "ordinary success is not a canary" false (H.note_success h ~host:1)
+
+let test_breaker_exponential_probation () =
+  let h = H.create ~probation_base:10. () in
+  let trip now =
+    match H.incident h ~host:3 ~now `Exhausted with
+    | Some until_t -> until_t -. now
+    | None -> Alcotest.fail "exhaustion must trip the breaker"
+  in
+  check flt "first trip: base" 10. (trip 0.);
+  check flt "second trip: doubled" 20. (trip 100.);
+  check flt "third trip: doubled again" 40. (trip 200.);
+  (* a canary success resets the streak *)
+  ignore (H.admissible h ~host:3 ~now:1000.);
+  H.note_assigned h ~host:3;
+  check bool "canary closes" true (H.note_success h ~host:3);
+  check flt "streak reset after re-admission" 10. (trip 2000.)
+
+let test_soft_incidents_do_not_trip () =
+  let h = H.create () in
+  check bool "corruption does not trip" true (H.incident h ~host:2 ~now:0. `Corruption = None);
+  check bool "retry does not trip" true (H.incident h ~host:2 ~now:0. `Retry = None);
+  check bool "still admissible" true (H.admissible h ~host:2 ~now:1.);
+  check bool "but the score dropped" true (H.score h ~host:2 < 1.0)
+
+(* ---------- blended score ---------- *)
+
+let test_score_progress_rate () =
+  let h = H.create () in
+  (* host 1 decides 100/s, host 2 only 10/s; same heartbeat cadence *)
+  for i = 0 to 20 do
+    let now = float_of_int i *. 2. in
+    H.note_heartbeat h ~host:1 ~now ~decisions:(i * 200);
+    H.note_heartbeat h ~host:2 ~now ~decisions:(i * 20)
+  done;
+  check bool "straggler scores below the healthy host" true
+    (H.score h ~host:2 < H.score h ~host:1);
+  check bool "straggler clearly demoted" true (H.score h ~host:2 <= 0.5);
+  check bool "score floor holds" true (H.score h ~host:2 >= 0.05)
+
+let test_score_ack_latency () =
+  let h = H.create () in
+  for _ = 1 to 30 do
+    H.note_ack h ~host:1 ~latency:0.01;
+    H.note_ack h ~host:2 ~latency:0.01;
+    H.note_ack h ~host:3 ~latency:1.0
+  done;
+  check bool "slow-acking host scores below fast ones" true
+    (H.score h ~host:3 < H.score h ~host:1)
+
+(* ---------- percentile queries and adaptive deadlines ---------- *)
+
+let test_duration_percentile_gate () =
+  let h = H.create () in
+  for _ = 1 to 4 do
+    H.note_duration h ~elapsed:5.
+  done;
+  check bool "no p99 under 5 samples" true (H.duration_p99 h = None);
+  H.note_duration h ~elapsed:5.;
+  match H.duration_p99 h with
+  | None -> Alcotest.fail "5 samples must yield a p99"
+  | Some p -> check bool "p99 near the sample value" true (p >= 4. && p <= 6.)
+
+let test_suspect_timeout_tightens_only () =
+  let h = H.create () in
+  check flt "no samples: the configured default" 30. (H.suspect_timeout h ~heartbeat_period:2. ~default:30.);
+  (* steady 2-second gaps: 3 * p99 ~ 6, well under the default *)
+  for i = 0 to 25 do
+    H.note_heartbeat h ~host:1 ~now:(float_of_int i *. 2.) ~decisions:(i * 10)
+  done;
+  let s = H.suspect_timeout h ~heartbeat_period:2. ~default:30. in
+  check bool "adaptive lease tightened" true (s < 30.);
+  check bool "never below 2.5 heartbeats" true (s >= 5.);
+  (* a tiny default is a hard ceiling, whatever the percentile says *)
+  check flt "cannot loosen past the default" 4.
+    (H.suspect_timeout h ~heartbeat_period:1. ~default:4.)
+
+let test_retry_base_clamps () =
+  let h = H.create () in
+  check bool "no samples: no override" true (H.retry_base h ~default:2. = None);
+  for _ = 1 to 25 do
+    H.note_ack h ~host:1 ~latency:0.05
+  done;
+  (match H.retry_base h ~default:2. with
+  | None -> Alcotest.fail "enough samples must yield an override"
+  | Some b ->
+      check bool "tightened toward 2 * ack p99" true (b < 2.);
+      check bool "floored at default/4" true (b >= 0.5));
+  (* huge latencies cannot push the base past the configured worst case *)
+  let h2 = H.create () in
+  for _ = 1 to 25 do
+    H.note_ack h2 ~host:1 ~latency:100.
+  done;
+  match H.retry_base h2 ~default:2. with
+  | Some b -> check flt "capped at the default" 2. b
+  | None -> Alcotest.fail "expected an override"
+
+(* ---------- reporting ---------- *)
+
+let test_views_and_json () =
+  let h = H.create ~probation_base:10. () in
+  H.note_ack h ~host:2 ~latency:0.1;
+  ignore (H.incident h ~host:1 ~now:0. `Crash);
+  let vs = H.views h in
+  check int "one row per host" 2 (List.length vs);
+  let v1 = List.hd vs and v2 = List.nth vs 1 in
+  check int "sorted by host id" 1 v1.H.v_host;
+  check Alcotest.string "tripped host in probation" "probation" v1.H.v_state;
+  check int "crash counted" 1 v1.H.v_crashes;
+  check Alcotest.string "healthy host ok" "ok" v2.H.v_state;
+  ignore (H.admissible h ~host:1 ~now:20.);
+  let v1' = List.hd (H.views h) in
+  check Alcotest.string "half-open renders as canary" "canary" v1'.H.v_state;
+  match H.to_json h with
+  | Obs.Json.List rows -> check int "json row per host" 2 (List.length rows)
+  | _ -> Alcotest.fail "to_json must be a list"
+
+(* ---------- Reliable: seeded jitter and backoff caps ---------- *)
+
+let mk_reliable ?(seed = 7) ?(jitter = 0.) ?(obs_tid = 1) ?(retry_base = 1.) () =
+  R.create ~seed ~jitter ~obs_tid
+    ~sim:(Grid.Sim.create ())
+    ~send_raw:(fun ~dst:_ _ -> ())
+    ~active:(fun () -> true)
+    ~retry_base ~max_attempts:5
+    ~on_retry:(fun ~dst:_ ~attempt:_ -> ())
+    ~on_give_up:(fun ~dst:_ _ -> ())
+    ()
+
+let test_backoff_exact_without_jitter () =
+  let r = mk_reliable ~retry_base:1. () in
+  check flt "attempt 0" 1. (R.backoff r 0);
+  check flt "attempt 1" 2. (R.backoff r 1);
+  check flt "attempt 3" 8. (R.backoff r 3);
+  check flt "attempt 5 capped" 32. (R.backoff r 5);
+  check flt "attempt 20 still capped" 32. (R.backoff r 20)
+
+let test_backoff_jitter_envelope_and_determinism () =
+  let draws ?(obs_tid = 1) seed =
+    let r = mk_reliable ~seed ~jitter:0.25 ~obs_tid ~retry_base:1. () in
+    List.init 50 (fun i -> R.backoff r (i mod 6))
+  in
+  let a = draws 42 and b = draws 42 in
+  check bool "same seed replays the same jitter" true (a = b);
+  check bool "different seed differs" true (a <> draws 43);
+  check bool "different endpoint differs" true (a <> draws ~obs_tid:2 42);
+  (* every draw inside +/- 25% of its nominal delay, cap included *)
+  List.iteri
+    (fun i d ->
+      let nominal = Float.min 32. (Float.pow 2. (float_of_int (i mod 6))) in
+      check bool "draw inside the envelope" true
+        (d >= 0.75 *. nominal -. 1e-9 && d <= 1.25 *. nominal +. 1e-9))
+    a;
+  check bool "jitter actually varies" true
+    (List.sort_uniq compare (List.map (fun d -> Float.round (d *. 1e6)) a) |> List.length > 10)
+
+let test_set_retry_base_clamped () =
+  let r = mk_reliable ~retry_base:2. () in
+  R.set_retry_base r (Some 0.5);
+  check flt "tightened base" 0.5 (R.backoff r 0);
+  R.set_retry_base r (Some 100.);
+  check flt "cannot loosen past the configured base" 2. (R.backoff r 0);
+  R.set_retry_base r (Some 1e-9);
+  check flt "floored at 1ms" 0.001 (R.backoff r 0);
+  R.set_retry_base r None;
+  check flt "None restores the constant" 2. (R.backoff r 0)
+
+let () =
+  Alcotest.run "health"
+    [
+      ( "breaker",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_breaker_lifecycle;
+          Alcotest.test_case "exponential probation" `Quick test_breaker_exponential_probation;
+          Alcotest.test_case "soft incidents" `Quick test_soft_incidents_do_not_trip;
+        ] );
+      ( "score",
+        [
+          Alcotest.test_case "progress rate" `Quick test_score_progress_rate;
+          Alcotest.test_case "ack latency" `Quick test_score_ack_latency;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "duration percentile gate" `Quick test_duration_percentile_gate;
+          Alcotest.test_case "suspect timeout tightens only" `Quick test_suspect_timeout_tightens_only;
+          Alcotest.test_case "retry base clamps" `Quick test_retry_base_clamps;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "views and json" `Quick test_views_and_json ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "exact backoff without jitter" `Quick test_backoff_exact_without_jitter;
+          Alcotest.test_case "jitter envelope and determinism" `Quick
+            test_backoff_jitter_envelope_and_determinism;
+          Alcotest.test_case "set_retry_base clamped" `Quick test_set_retry_base_clamped;
+        ] );
+    ]

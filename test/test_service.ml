@@ -356,7 +356,7 @@ let chaos_scenario ~seed =
       retry_after_base = 15.;
       preemption = true;
       seed;
-      chaos = Some { Svc.master_crash = true; corrupt_p = 0.03; crash_hosts = 1 };
+      chaos = Some { Svc.default_chaos with Svc.master_crash = true; corrupt_p = 0.03; crash_hosts = 1 };
     }
   in
   let svc = Svc.create ~cfg ~testbed:(testbed 16) () in
@@ -440,6 +440,112 @@ let check_lifecycle_invariant svc =
           | _, C.Master.Unknown _ -> ())
       | _ -> ())
     jobs
+
+(* ---------- brownout and health reporting ---------- *)
+
+let job_by_label svc label =
+  match List.find_opt (fun (j : Job.t) -> j.Job.label = label) (Svc.jobs svc) with
+  | Some j -> j
+  | None -> Alcotest.fail (Printf.sprintf "job %S not found" label)
+
+(* Two of six leased hosts turn into silent stragglers: their progress
+   rate collapses, the healthy fraction drops under the threshold, and
+   the service enters brownout — shedding queued low-priority work and
+   stretching outstanding advisory deadlines instead of failing jobs on
+   a schedule the pool can no longer meet. *)
+let test_brownout_sheds_and_stretches () =
+  let cfg =
+    {
+      svc_config with
+      Svc.hosts_per_job = 6;
+      max_concurrent = 1;
+      brownout_threshold = 0.7;
+      brownout_stretch = 2.;
+      chaos = Some { Svc.default_chaos with Svc.slow_hosts = 2; slow_factor = 1000. };
+      run = { run_config with Cfg.heartbeat_period = 2. };
+    }
+  in
+  let svc = Svc.create ~cfg ~testbed:(testbed 6) () in
+  (* the long job leases the whole pool while two of its hosts rot *)
+  (match Svc.submit svc ~tenant:"t0" ~priority:Job.Normal ~label:"long" (php ~pigeons:8 ~holes:7) with
+  | Svc.Accepted -> ()
+  | _ -> Alcotest.fail "long job must be accepted");
+  ignore (Svc.submit svc ~tenant:"t1" ~priority:Job.Low ~label:"sacrificial" (planted 3));
+  ignore
+    (Svc.submit svc ~tenant:"t2" ~priority:Job.Normal ~deadline_in:10_000. ~label:"stretchy"
+       (planted 4));
+  Svc.run svc;
+  let s = Svc.stats svc in
+  check bool "brownout entered" true (s.Svc.brownouts >= 1);
+  check bool "low-priority queued job shed on entry" true
+    (match (job_by_label svc "sacrificial").Job.state with
+    | Job.Done (Job.Shed _) -> true
+    | _ -> false);
+  check bool "advisory deadline stretched" true (s.Svc.deadlines_stretched >= 1);
+  check bool "stretched job still reached a verdict" true
+    (match (job_by_label svc "stretchy").Job.state with
+    | Job.Done (Job.Verdict _) | Job.Done (Job.Cached _) -> true
+    | _ -> false);
+  check int "hosts all returned" s.Svc.hosts_total s.Svc.hosts_free;
+  (* the brownout state is visible in the service report *)
+  match Obs.Json.member "service" (Svc.report svc) with
+  | Some (Obs.Json.Obj fields) ->
+      check bool "report carries brownout count" true (List.mem_assoc "brownouts" fields);
+      check bool "report carries brownout flag" true (List.mem_assoc "brownout" fields)
+  | _ -> Alcotest.fail "service section missing from report"
+
+(* The per-host health table round-trips through the service report:
+   one row per host the model has seen, every column present, and the
+   straggler's row visibly demoted. *)
+let test_report_health_table_roundtrip () =
+  let cfg =
+    {
+      svc_config with
+      Svc.hosts_per_job = 4;
+      max_concurrent = 1;
+      chaos = Some { Svc.default_chaos with Svc.slow_hosts = 1; slow_factor = 1000. };
+      run = { run_config with Cfg.heartbeat_period = 2. };
+    }
+  in
+  let svc = Svc.create ~cfg ~testbed:(testbed 4) () in
+  ignore (Svc.submit svc ~tenant:"t" ~priority:Job.Normal (php ~pigeons:7 ~holes:6));
+  Svc.run svc;
+  let doc = Svc.report svc in
+  (match Obs.Report.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("service report invalid: " ^ e));
+  match Obs.Json.member "health" doc with
+  | Some (Obs.Json.List rows) ->
+      check bool "at least one host row" true (List.length rows >= 1);
+      let scores =
+        List.map
+          (function
+            | Obs.Json.Obj fields ->
+                List.iter
+                  (fun k ->
+                    check bool (k ^ " column present") true (List.mem_assoc k fields))
+                  [
+                    "host";
+                    "score";
+                    "state";
+                    "ack_ewma_s";
+                    "hb_jitter_s";
+                    "progress_rate";
+                    "crashes";
+                    "quarantines";
+                    "corruptions";
+                    "retries";
+                  ];
+                (match List.assoc "score" fields with
+                | Obs.Json.Float f -> f
+                | _ -> Alcotest.fail "score must be a float")
+            | _ -> Alcotest.fail "health row must be an object")
+          rows
+      in
+      check bool "the straggler's score is visibly demoted" true
+        (List.exists (fun f -> f < 0.5) scores);
+      check bool "healthy hosts still score high" true (List.exists (fun f -> f > 0.8) scores)
+  | _ -> Alcotest.fail "health table missing from report"
 
 let test_chaos_matrix_every_job_terminal () =
   let svc = chaos_scenario ~seed:7 in
@@ -526,6 +632,12 @@ let () =
           Alcotest.test_case "preemption requeues victim" `Quick test_preemption_requeues_victim;
           Alcotest.test_case "deadline races failover" `Quick test_deadline_races_master_failover;
           Alcotest.test_case "cancel mid-run" `Quick test_cancel_mid_run;
+        ] );
+      ( "brownout",
+        [
+          Alcotest.test_case "sheds low and stretches deadlines" `Quick
+            test_brownout_sheds_and_stretches;
+          Alcotest.test_case "health table round-trips" `Quick test_report_health_table_roundtrip;
         ] );
       ( "chaos-matrix",
         [
