@@ -631,4 +631,21 @@ let straggler () =
   Printf.printf
     "(the straggler is invisible to crash detection; only the duration-percentile\n\
      monitor catches it, and the clone races it on an idle healthy host)\n";
-  Snapshot.write "straggler" (Obs.Json.Obj (List.rev !rows))
+  (* A summary block with the tail percentiles joins the per-placement
+     rows so `gridsat report --diff` can gate on a stable p99 leaf. *)
+  let summary =
+    Obs.Json.Obj
+      [
+        ( "no_hedge",
+          Obs.Json.Obj
+            [ ("mean", Obs.Json.Float (mean slow_times)); ("p99", Obs.Json.Float (p99 slow_times)) ]
+        );
+        ( "hedged",
+          Obs.Json.Obj
+            [
+              ("mean", Obs.Json.Float (mean hedged_times));
+              ("p99", Obs.Json.Float (p99 hedged_times));
+            ] );
+      ]
+  in
+  Snapshot.write "straggler" (Obs.Json.Obj (("summary", summary) :: List.rev !rows))

@@ -366,8 +366,26 @@ module Sjob = Gridsat_service.Job
 
 let split_commas s = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
 
+let ensure_dir d =
+  if not (Sys.file_exists d) then Sys.mkdir d 0o755
+  else if not (Sys.is_directory d) then invalid_arg (Printf.sprintf "%s exists and is not a directory" d)
+
 let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tenants ~priorities
-    ~deadline ~seed ~chaos ~corrupt_p ~hedge ~slow_hosts ~flaky ~brownout ~resubmit ~stats ~report =
+    ~deadline ~seed ~chaos ~corrupt_p ~hedge ~slow_hosts ~flaky ~brownout ~resubmit ~stats ~report
+    ~slo ~flight_dir ~metrics_dir =
+  let slo_spec =
+    match slo with
+    | None -> Ok None
+    | Some s -> (
+        match Obs.Slo.parse s with
+        | Ok spec -> Ok (Some spec)
+        | Error e -> Error (Printf.sprintf "bad --slo spec: %s" e))
+  in
+  match slo_spec with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok slo_spec -> (
   match testbed_of_string ~hosts testbed with
   | Error e ->
       prerr_endline e;
@@ -403,7 +421,14 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
               prerr_endline e;
               2
           | Ok cnfs ->
-              let obs = if report <> None then Obs.create () else Obs.disabled in
+              let observing =
+                report <> None || slo_spec <> None || flight_dir <> None || metrics_dir <> None
+              in
+              let obs =
+                if observing then
+                  Obs.create ~flight:(Obs.Flight.create ()) ~anomaly:(Obs.Anomaly.create ()) ()
+                else Obs.disabled
+              in
               let run_config =
                 {
                   Gridsat_core.Config.default with
@@ -456,8 +481,28 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
                   brownout_threshold = brownout;
                 }
               in
+              let on_flight =
+                Option.map
+                  (fun dir ->
+                    ensure_dir dir;
+                    fun ~name doc ->
+                      let path = Filename.concat dir name in
+                      write_doc path doc;
+                      Format.printf "c flight dump written to %s@." path)
+                  flight_dir
+              in
+              let on_expo =
+                Option.map
+                  (fun dir ->
+                    ensure_dir dir;
+                    fun text ->
+                      Out_channel.with_open_text (Filename.concat dir "metrics.prom")
+                        (fun oc -> Out_channel.output_string oc text))
+                  metrics_dir
+              in
               let svc =
-                try Ok (Svc.create ~obs ~cfg ~testbed ()) with Invalid_argument e -> Error e
+                try Ok (Svc.create ~obs ?slo:slo_spec ?on_flight ?on_expo ~cfg ~testbed ())
+                with Invalid_argument e -> Error e
               in
               (match svc with
               | Error e ->
@@ -515,12 +560,25 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
                       (Grid.Sim.now (Svc.sim svc));
                     print_health_table (Svc.health svc)
                   end;
+                  (match Svc.slo svc with
+                  | None -> ()
+                  | Some tracker ->
+                      print_string
+                        (Obs.Slo.summary tracker ~now:(Grid.Sim.now (Svc.sim svc))));
+                  (let triggers = Svc.anomalies svc in
+                   if observing && triggers <> [] then
+                     Format.printf "c anomalies: %d trigger(s)%s@." (List.length triggers)
+                       (String.concat ""
+                          (List.map
+                             (fun (tr : Obs.Anomaly.trigger) ->
+                               Printf.sprintf " [%s@%.1f]" tr.Obs.Anomaly.rule tr.Obs.Anomaly.at)
+                             triggers)));
                   (match report with
                   | None -> ()
                   | Some path ->
                       write_doc path (Svc.report svc);
                       Format.printf "c service report written to %s@." path);
-                  0)))
+                  0))))
 
 let serve_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.cnf") in
@@ -612,17 +670,43 @@ let serve_cmd =
       value & opt (some string) None
       & info [ "report" ] ~doc:"write the aggregated service report JSON here")
   in
+  let slo =
+    Arg.(
+      value & opt (some string) None
+      & info [ "slo" ]
+          ~doc:
+            "per-tenant SLO spec, e.g. 'acme:queue_wait<5,solve<60\\@0.95,errors<0.1;*:solve<120'; \
+             budget burn is tracked live and surfaced in the report's slo section")
+  in
+  let flight_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flight-dir" ]
+          ~doc:
+            "write anomaly-triggered flight-recorder incident dumps (FLIGHT-*.json) into this \
+             directory as they fire")
+  in
+  let metrics_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-dir" ]
+          ~doc:
+            "write a Prometheus-style text exposition of the metrics registry to \
+             DIR/metrics.prom periodically and at the end of the run")
+  in
   let run files testbed hosts hosts_per_job max_concurrent queue_cap tenants priorities deadline
-      seed chaos corrupt_p hedge slow_hosts flaky brownout resubmit stats report =
+      seed chaos corrupt_p hedge slow_hosts flaky brownout resubmit stats report slo flight_dir
+      metrics_dir =
     serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tenants ~priorities
       ~deadline ~seed ~chaos ~corrupt_p ~hedge ~slow_hosts ~flaky ~brownout ~resubmit ~stats ~report
+      ~slo ~flight_dir ~metrics_dir
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Solve a batch of CNF files as a multi-tenant job service")
     Term.(
       const run $ files $ testbed $ hosts $ hosts_per_job $ max_concurrent $ queue_cap $ tenants
       $ priorities $ deadline $ seed $ chaos $ corrupt_p $ hedge $ slow_hosts $ flaky $ brownout
-      $ resubmit $ stats $ report)
+      $ resubmit $ stats $ report $ slo $ flight_dir $ metrics_dir)
 
 (* ---------- gen ---------- *)
 
@@ -727,26 +811,125 @@ let check_cmd =
 
 (* ---------- report ---------- *)
 
+(* Flatten a JSON document to its numeric leaves, addressed by dotted
+   path ("metrics.service.e2e_s.p99", list items by index).  The diff
+   mode compares two reports leaf-by-leaf on these paths. *)
+let numeric_leaves doc =
+  let acc = ref [] in
+  let join prefix k = if prefix = "" then k else prefix ^ "." ^ k in
+  let rec walk prefix (j : Obs.Json.t) =
+    match j with
+    | Obs.Json.Int i -> acc := (prefix, float_of_int i) :: !acc
+    | Obs.Json.Float f -> acc := (prefix, f) :: !acc
+    | Obs.Json.Obj kvs -> List.iter (fun (k, v) -> walk (join prefix k) v) kvs
+    | Obs.Json.List items -> List.iteri (fun i v -> walk (join prefix (string_of_int i)) v) items
+    | Obs.Json.Null | Obs.Json.Bool _ | Obs.Json.String _ -> ()
+  in
+  walk "" doc;
+  List.rev !acc
+
+let last_segment path =
+  match String.rindex_opt path '.' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+let diff_reports ~fail_above ~gate doc_a doc_b =
+  let leaves_a = numeric_leaves doc_a and leaves_b = numeric_leaves doc_b in
+  let tbl_b = Hashtbl.create 256 in
+  List.iter (fun (p, v) -> Hashtbl.replace tbl_b p v) leaves_b;
+  let regressions = ref [] in
+  let changed = ref 0 in
+  List.iter
+    (fun (path, a) ->
+      match Hashtbl.find_opt tbl_b path with
+      | None -> ()
+      | Some b when a = b -> ()
+      | Some b ->
+          incr changed;
+          let pct = if a = 0. then infinity else (b -. a) /. Float.abs a *. 100. in
+          let pct_s = if a = 0. then "+inf%" else Printf.sprintf "%+.1f%%" pct in
+          Printf.printf "%-56s %14s -> %-14s %s\n" path (Obs.Json.float_repr a)
+            (Obs.Json.float_repr b) pct_s;
+          if last_segment path = gate && b > a && (a = 0. || pct > fail_above) then
+            regressions := (path, a, b, pct) :: !regressions)
+    leaves_a;
+  let only_in side leaves tbl =
+    let missing = List.filter (fun (p, _) -> not (Hashtbl.mem tbl p)) leaves in
+    if missing <> [] then
+      Printf.printf "(%d metric path(s) only in %s)\n" (List.length missing) side
+  in
+  let tbl_a = Hashtbl.create 256 in
+  List.iter (fun (p, v) -> Hashtbl.replace tbl_a p v) leaves_a;
+  only_in "A" leaves_a tbl_b;
+  only_in "B" leaves_b tbl_a;
+  if !changed = 0 then print_endline "no numeric differences";
+  match List.rev !regressions with
+  | [] -> 0
+  | regs ->
+      Printf.printf "FAIL: %d %s leaf(s) regressed beyond %.1f%%:\n" (List.length regs) gate
+        fail_above;
+      List.iter
+        (fun (path, a, b, pct) ->
+          Printf.printf "  %s: %s -> %s (%s)\n" path (Obs.Json.float_repr a)
+            (Obs.Json.float_repr b)
+            (if pct = infinity then "+inf%" else Printf.sprintf "%+.1f%%" pct))
+        regs;
+      1
+
 let report_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"REPORT.json") in
-  let run file =
+  let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"REPORT.json") in
+  let file_b =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"OTHER.json"
+          ~doc:"when given, diff the two reports metric-by-metric instead of summarising")
+  in
+  let fail_above =
+    Arg.(
+      value & opt float 20.
+      & info [ "fail-above" ]
+          ~doc:
+            "diff mode: exit non-zero when a gated metric leaf grows by more than this percentage")
+  in
+  let gate =
+    Arg.(
+      value & opt string "p99"
+      & info [ "gate" ]
+          ~doc:"diff mode: leaf name whose growth is gated by --fail-above (default p99)")
+  in
+  let load file =
     let text = In_channel.with_open_text file In_channel.input_all in
     match Obs.Json.of_string text with
-    | Error e ->
-        Printf.eprintf "%s: not valid JSON: %s\n" file e;
-        1
-    | Ok doc -> (
-        match Obs.Report.validate doc with
+    | Error e -> Error (Printf.sprintf "%s: not valid JSON: %s" file e)
+    | Ok doc -> Ok doc
+  in
+  let run file_a file_b fail_above gate =
+    match file_b with
+    | None -> (
+        match load file_a with
         | Error e ->
-            Printf.eprintf "%s: not a gridsat report: %s\n" file e;
+            prerr_endline e;
             1
-        | Ok () ->
-            print_string (Obs.Report.summary doc);
-            0)
+        | Ok doc -> (
+            match Obs.Report.validate doc with
+            | Error e ->
+                Printf.eprintf "%s: not a gridsat report: %s\n" file_a e;
+                1
+            | Ok () ->
+                print_string (Obs.Report.summary doc);
+                0))
+    | Some file_b -> (
+        match (load file_a, load file_b) with
+        | Error e, _ | _, Error e ->
+            prerr_endline e;
+            1
+        | Ok doc_a, Ok doc_b -> diff_reports ~fail_above ~gate doc_a doc_b)
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Validate and summarise a gridsat run report")
-    Term.(const run $ file)
+    (Cmd.info "report"
+       ~doc:"Validate and summarise a gridsat run report, or diff two reports with a p99 gate")
+    Term.(const run $ file_a $ file_b $ fail_above $ gate)
 
 (* ---------- registry ---------- *)
 

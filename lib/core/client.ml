@@ -47,6 +47,8 @@ type t = {
   stats_acc : Sat.Stats.t;
   obs : Obs.t;
   obs_on : bool;
+  flight : Obs.Flight.t;
+  flight_on : bool;
   c_problems : Obs.Metrics.counter;
   c_shares_flushed : Obs.Metrics.counter;
   c_splits_donated : Obs.Metrics.counter;
@@ -164,6 +166,15 @@ let finish_problem ?(outcome = "done") t =
   (match t.state with
   | Solving s ->
       Sat.Stats.add t.stats_acc (Solver.stats s.solver);
+      if t.flight_on then
+        Obs.Flight.note t.flight ~sub:"client"
+          ~args:
+            [
+              ("client", Obs.Json.Int t.cid);
+              ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst s.pid) (snd s.pid)));
+              ("outcome", Obs.Json.String outcome);
+            ]
+          "solve_finished";
       if t.obs_on then
         Obs.Span.exit (Obs.spans t.obs) s.span
           ~args:[ ("outcome", Obs.Json.String outcome) ]
@@ -174,6 +185,8 @@ let finish_problem ?(outcome = "done") t =
 let die t =
   if t.alive then begin
     t.alive <- false;
+    if t.flight_on then
+      Obs.Flight.note t.flight ~sub:"client" ~args:[ ("client", Obs.Json.Int t.cid) ] "died";
     (match t.state with
     | Solving s when t.obs_on ->
         Obs.Span.exit (Obs.spans t.obs) s.span
@@ -282,6 +295,16 @@ let start_problem t ~src ~pid ~transfer_time sp =
     }
   in
   let solver = Subproblem.to_solver ~config:solver_config ~obs:t.obs ~obs_tid:t.cid sp in
+  if t.flight_on then
+    Obs.Flight.note t.flight ~sub:"client"
+      ~args:
+        [
+          ("client", Obs.Json.Int t.cid);
+          ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst pid) (snd pid)));
+          ("from", Obs.Json.Int src);
+          ("bytes", Obs.Json.Int (Subproblem.bytes sp));
+        ]
+      "problem_received";
   let span =
     if t.obs_on then begin
       Obs.Metrics.incr t.c_problems;
@@ -347,6 +370,15 @@ let handle_split_partner t partner =
           let pid = fresh_branch_pid t in
           s.split_epoch <- now t;
           s.hard_mem_strikes <- 0;
+          if t.flight_on then
+            Obs.Flight.note t.flight ~sub:"client"
+              ~args:
+                [
+                  ("client", Obs.Json.Int t.cid);
+                  ("pid", Obs.Json.String (Printf.sprintf "%d.%d" (fst pid) (snd pid)));
+                  ("partner", Obs.Json.Int partner);
+                ]
+              "split_donated";
           if t.obs_on then begin
             Obs.Metrics.incr t.c_splits_donated;
             ignore
@@ -500,6 +532,8 @@ let create ?(obs = Obs.disabled) ~sim ~bus ~cfg ~resource ~trace ~master callbac
       stats_acc = Sat.Stats.create ();
       obs;
       obs_on = Obs.enabled obs;
+      flight = Obs.flight obs;
+      flight_on = Obs.Flight.is_enabled (Obs.flight obs);
       c_problems = Obs.Metrics.counter m ~labels "client.problems.received";
       c_shares_flushed = Obs.Metrics.counter m ~labels "client.shares.flushed";
       c_splits_donated = Obs.Metrics.counter m ~labels "client.splits.donated";

@@ -125,3 +125,71 @@ let pp_kind ppf = function
   | Terminated why -> Format.fprintf ppf "terminated: %s" why
 
 let pp ppf t = Format.fprintf ppf "[%10.1f] %a" t.time pp_kind t.kind
+
+(* Compact structured view for the flight recorder: a stable snake_case
+   name plus the identifying arguments, cheap enough to build on every
+   logged event when the recorder is live. *)
+let flight_view kind : string * (string * Obs.Json.t) list =
+  let i n v = (n, Obs.Json.Int v) in
+  let f n v = (n, Obs.Json.Float v) in
+  let s n v = (n, Obs.Json.String v) in
+  let b n v = (n, Obs.Json.Bool v) in
+  let pid (a, p) = [ i "pid_src" a; i "pid_seq" p ] in
+  match kind with
+  | Client_started id -> ("client_started", [ i "client" id ])
+  | Problem_assigned { src; dst; bytes; depth } ->
+      ("problem_assigned", [ i "src" src; i "dst" dst; i "bytes" bytes; i "depth" depth ])
+  | Split_requested { client; reason } ->
+      ( "split_requested",
+        [ i "client" client; s "reason" (match reason with `Memory -> "memory" | `Long_running -> "long_running") ] )
+  | Split_granted { client; partner } -> ("split_granted", [ i "client" client; i "partner" partner ])
+  | Split_denied { client } -> ("split_denied", [ i "client" client ])
+  | Split_completed { src; dst; bytes } ->
+      ("split_completed", [ i "src" src; i "dst" dst; i "bytes" bytes ])
+  | Migration { src; dst; bytes } -> ("migration", [ i "src" src; i "dst" dst; i "bytes" bytes ])
+  | Shares_broadcast { origin; count; recipients } ->
+      ("shares_broadcast", [ i "origin" origin; i "count" count; i "recipients" recipients ])
+  | Client_finished_unsat id -> ("client_finished_unsat", [ i "client" id ])
+  | Client_found_model id -> ("client_found_model", [ i "client" id ])
+  | Model_verified ok -> ("model_verified", [ b "ok" ok ])
+  | Client_killed id -> ("client_killed", [ i "client" id ])
+  | Host_crashed id -> ("host_crashed", [ i "host" id ])
+  | Host_hung id -> ("host_hung", [ i "host" id ])
+  | Client_suspected { client } -> ("client_suspected", [ i "client" client ])
+  | False_suspicion { client } -> ("false_suspicion", [ i "client" client ])
+  | Message_retried { src; dst; attempt } ->
+      ("message_retried", [ i "src" src; i "dst" dst; i "attempt" attempt ])
+  | Message_given_up { src; dst } -> ("message_given_up", [ i "src" src; i "dst" dst ])
+  | Recovery_requeued { client } -> ("recovery_requeued", [ i "client" client ])
+  | Orphan_returned { donor } -> ("orphan_returned", [ i "donor" donor ])
+  | Retries_exhausted { src; dst; attempts } ->
+      ("retries_exhausted", [ i "src" src; i "dst" dst; i "attempts" attempts ])
+  | Checkpoint_saved { client; bytes } -> ("checkpoint_saved", [ i "client" client; i "bytes" bytes ])
+  | Recovered_from_checkpoint { client; onto } ->
+      ("recovered_from_checkpoint", [ i "client" client; i "onto" onto ])
+  | Rederived_from_lineage { holder; depth } ->
+      ( "rederived_from_lineage",
+        (match holder with Some h -> [ i "holder" h ] | None -> []) @ [ i "depth" depth ] )
+  | Master_crashed -> ("master_crashed", [])
+  | Master_restarted -> ("master_restarted", [])
+  | Master_outage_detected { client } -> ("master_outage_detected", [ i "client" client ])
+  | Client_resynced { client; busy } -> ("client_resynced", [ i "client" client; b "busy" busy ])
+  | Batch_job_submitted { nodes } -> ("batch_job_submitted", [ i "nodes" nodes ])
+  | Batch_job_started { nodes } -> ("batch_job_started", [ i "nodes" nodes ])
+  | Batch_job_cancelled -> ("batch_job_cancelled", [])
+  | Corrupt_message_detected { receiver; nacked } ->
+      ("corrupt_message_detected", [ i "receiver" receiver; b "nacked" nacked ])
+  | Storage_corrupted { journal_records; checkpoints } ->
+      ("storage_corrupted", [ i "journal_records" journal_records; b "checkpoints" checkpoints ])
+  | Unsat_fragment_certified { pid = p; client; steps } ->
+      ("unsat_fragment_certified", pid p @ [ i "client" client; i "steps" steps ])
+  | Certification_failed { pid = p; client; reason } ->
+      ("certification_failed", pid p @ [ i "client" client; s "reason" reason ])
+  | Client_quarantined { client } -> ("client_quarantined", [ i "client" client ])
+  | Host_slowed { host; factor } -> ("host_slowed", [ i "host" host; f "factor" factor ])
+  | Hedge_launched { pid = p; primary; backup } ->
+      ("hedge_launched", pid p @ [ i "primary" primary; i "backup" backup ])
+  | Hedge_cancelled { pid = p; loser } -> ("hedge_cancelled", pid p @ [ i "loser" loser ])
+  | Host_probation { host; until_t } -> ("host_probation", [ i "host" host; f "until" until_t ])
+  | Host_readmitted { host } -> ("host_readmitted", [ i "host" host ])
+  | Terminated why -> ("terminated", [ s "why" why ])

@@ -81,3 +81,7 @@ type t = { time : float; kind : kind }
 val make : float -> kind -> t
 
 val pp : Format.formatter -> t -> unit
+
+val flight_view : kind -> string * (string * Obs.Json.t) list
+(** Stable structured rendering for the flight recorder: a snake_case
+    event name plus identifying arguments. *)

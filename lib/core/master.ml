@@ -125,6 +125,13 @@ type t = {
   c_certified : Obs.Metrics.counter;
   c_quarantines : Obs.Metrics.counter;
   h_share_fanout : Obs.Metrics.histogram;
+  flight : Obs.Flight.t;
+  flight_on : bool;
+  anomaly : Obs.Anomaly.t;
+  anomaly_on : bool;
+  d_hb_gap : Obs.Anomaly.detector;  (* fleet-wide heartbeat inter-arrival gaps *)
+  d_share_volume : Obs.Anomaly.detector;  (* bytes per relayed share batch *)
+  last_hb : (int, float) Hashtbl.t;  (* per-host previous heartbeat time *)
 }
 
 let master_id = 0
@@ -142,6 +149,18 @@ let log t kind =
          if nacked then Obs.Metrics.incr t.c_nacks
      | Events.Unsat_fragment_certified _ -> Obs.Metrics.incr t.c_certified
      | Events.Client_quarantined _ -> Obs.Metrics.incr t.c_quarantines
+     | _ -> ());
+  (if t.flight_on then
+     let name, args = Events.flight_view kind in
+     Obs.Flight.note t.flight ~sub:"master" ~args name);
+  (if t.anomaly_on then
+     let trip rule detail =
+       Obs.Anomaly.trip t.anomaly ~at:(Grid.Sim.now t.sim) ~rule ~detail ()
+     in
+     match kind with
+     | Events.Client_quarantined { client } -> trip "quarantine" (Printf.sprintf "client %d" client)
+     | Events.Host_probation { host; _ } -> trip "probation" (Printf.sprintf "host %d" host)
+     | Events.Master_restarted -> trip "master-failover" ""
      | _ -> ());
   t.events <- Events.make (Grid.Sim.now t.sim) kind :: t.events
 
@@ -872,6 +891,10 @@ let on_split_failed t src =
 let on_shares t src clauses =
   t.share_batches <- t.share_batches + 1;
   t.shared_clauses <- t.shared_clauses + List.length clauses;
+  (if t.anomaly_on then
+     (* rough wire size: one word per literal plus a header per clause *)
+     let bytes = List.fold_left (fun a c -> a + 8 + (8 * Array.length c)) 0 clauses in
+     Obs.Anomaly.observe t.d_share_volume ~at:(Grid.Sim.now t.sim) (float_of_int bytes));
   let recipients = ref 0 in
   Pool.iter
     (fun id h ->
@@ -1018,6 +1041,13 @@ let handle_payload t ~src msg =
       (* the beat already refreshed the failure-detector lease in
          [handle]; its payload feeds the health model's gap-jitter and
          progress-rate signals *)
+      (if t.anomaly_on then begin
+         let now = Grid.Sim.now t.sim in
+         (match Hashtbl.find_opt t.last_hb src with
+         | Some prev -> Obs.Anomaly.observe t.d_hb_gap ~at:now (now -. prev)
+         | None -> ());
+         Hashtbl.replace t.last_hb src now
+       end);
       match health t with
       | Some hm -> Health.note_heartbeat hm ~host:src ~now:(Grid.Sim.now t.sim) ~decisions
       | None -> ())
@@ -1455,6 +1485,17 @@ let create ?(obs = Obs.disabled) ?health ~sim ~net ~bus ~cfg ~testbed cnf =
       started_at = Grid.Sim.now sim;
       obs;
       obs_on = Obs.enabled obs;
+      flight = Obs.flight obs;
+      flight_on = Obs.Flight.is_enabled (Obs.flight obs);
+      anomaly = Obs.anomaly obs;
+      anomaly_on = Obs.Anomaly.is_enabled (Obs.anomaly obs);
+      d_hb_gap =
+        Obs.Anomaly.detector (Obs.anomaly obs) ~name:"heartbeat-gap" ~direction:`High
+          ~min_n:16 ();
+      d_share_volume =
+        Obs.Anomaly.detector (Obs.anomaly obs) ~name:"share-volume" ~direction:`High
+          ~min_n:16 ();
+      last_hb = Hashtbl.create 16;
       split_spans = Hashtbl.create 8;
       outage_span = Obs.Span.none;
       c_splits_granted = Obs.Metrics.counter m "master.splits.granted";

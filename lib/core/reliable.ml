@@ -28,6 +28,9 @@ type t = {
   obs : Obs.t;
   obs_on : bool;
   obs_tid : int;
+  flight : Obs.Flight.t;
+  flight_on : bool;
+  d_ack : Obs.Anomaly.detector;  (* streaming ack-latency outlier detector *)
   c_sends : Obs.Metrics.counter;
   c_retries : Obs.Metrics.counter;
   c_exhausted : Obs.Metrics.counter;
@@ -61,6 +64,11 @@ let create ?(obs = Obs.disabled) ?(obs_tid = Obs.Span.run_tid) ?(seed = 0) ?(jit
     obs;
     obs_on = Obs.enabled obs;
     obs_tid;
+    flight = Obs.flight obs;
+    flight_on = Obs.Flight.is_enabled (Obs.flight obs);
+    d_ack =
+      Obs.Anomaly.detector (Obs.anomaly obs) ~name:"ack-latency" ~direction:`High ~min_n:16
+        ();
     c_sends = Obs.Metrics.counter m ~labels "reliable.sends";
     c_retries = Obs.Metrics.counter m ~labels "reliable.retries";
     c_exhausted = Obs.Metrics.counter m ~labels "reliable.exhausted";
@@ -101,6 +109,15 @@ and fire t mid =
                ~args:[ ("dst", Obs.Json.Int p.dst); ("attempts", Obs.Json.Int p.attempt) ]
                "reliable.exhausted")
         end;
+        if t.flight_on then
+          Obs.Flight.note t.flight ~sub:"net"
+            ~args:
+              [
+                ("owner", Obs.Json.Int t.obs_tid);
+                ("dst", Obs.Json.Int p.dst);
+                ("attempts", Obs.Json.Int p.attempt);
+              ]
+            "exhausted";
         t.on_exhausted ~dst:p.dst ~attempts:p.attempt;
         t.on_give_up ~dst:p.dst p.msg
       end
@@ -114,6 +131,15 @@ and fire t mid =
                ~args:[ ("dst", Obs.Json.Int p.dst); ("attempt", Obs.Json.Int p.attempt) ]
                "reliable.retry")
         end;
+        if t.flight_on then
+          Obs.Flight.note t.flight ~sub:"net"
+            ~args:
+              [
+                ("owner", Obs.Json.Int t.obs_tid);
+                ("dst", Obs.Json.Int p.dst);
+                ("attempt", Obs.Json.Int p.attempt);
+              ]
+            "retry";
         t.on_retry ~dst:p.dst ~attempt:p.attempt;
         t.send_raw ~dst:p.dst (Protocol.Reliable { mid; payload = p.msg });
         arm_timer t mid p
@@ -134,6 +160,10 @@ let send t ~dst msg =
   Grid.Sim.cancel t.sim p.timer;
   Hashtbl.replace t.outstanding mid p;
   if t.obs_on then Obs.Metrics.incr t.c_sends;
+  if t.flight_on then
+    Obs.Flight.note t.flight ~sub:"net"
+      ~args:[ ("owner", Obs.Json.Int t.obs_tid); ("dst", Obs.Json.Int dst); ("mid", Obs.Json.Int mid) ]
+      "send";
   t.send_raw ~dst (Protocol.Reliable { mid; payload = msg });
   arm_timer t mid p
 
@@ -145,6 +175,17 @@ let handle_ack t ~mid =
       Hashtbl.remove t.outstanding mid;
       let latency = Grid.Sim.now t.sim -. p.sent_at in
       if t.obs_on then Obs.Metrics.observe t.h_ack latency;
+      Obs.Anomaly.observe t.d_ack ~at:(Grid.Sim.now t.sim) latency;
+      if t.flight_on then
+        Obs.Flight.note t.flight ~sub:"net"
+          ~args:
+            [
+              ("owner", Obs.Json.Int t.obs_tid);
+              ("dst", Obs.Json.Int p.dst);
+              ("mid", Obs.Json.Int mid);
+              ("latency", Obs.Json.Float latency);
+            ]
+          "ack";
       t.on_ack ~dst:p.dst ~latency
 
 (* The receiver saw envelope [mid] arrive corrupt: the link works, the

@@ -1,0 +1,125 @@
+type trigger = {
+  at : float;
+  rule : string;
+  value : float;
+  threshold : float;
+  detail : string;
+}
+
+type t = {
+  enabled : bool;
+  mutable handlers : (trigger -> unit) list;
+  mutable fired : trigger list;  (** newest first *)
+}
+
+let create () = { enabled = true; handlers = []; fired = [] }
+
+let disabled = { enabled = false; handlers = []; fired = [] }
+
+let is_enabled t = t.enabled
+
+let on_trigger t f = if t.enabled then t.handlers <- t.handlers @ [ f ]
+
+let trip t ~at ~rule ?(value = 0.0) ?(threshold = 0.0) ?(detail = "") () =
+  if t.enabled then begin
+    let tr = { at; rule; value; threshold; detail } in
+    t.fired <- tr :: t.fired;
+    List.iter (fun f -> f tr) t.handlers
+  end
+
+let triggers t = List.rev t.fired
+
+let json_of_trigger tr =
+  Json.Obj
+    [
+      ("at", Json.Float tr.at);
+      ("rule", Json.String tr.rule);
+      ("value", Json.Float tr.value);
+      ("threshold", Json.Float tr.threshold);
+      ("detail", Json.String tr.detail);
+    ]
+
+let to_json t = Json.List (List.map json_of_trigger (triggers t))
+
+(* ---------- streaming detectors ---------- *)
+
+type detector = {
+  owner : t;
+  name : string;
+  alpha : float;
+  z : float;
+  min_n : int;
+  cooldown : float;
+  direction : [ `High | `Low | `Both ];
+  mutable n : int;
+  mutable mean : float;
+  mutable dev : float;  (** EWMA of |x - mean|, a robust spread estimate *)
+  mutable last_fire : float;
+}
+
+let inert_detector =
+  {
+    owner = disabled;
+    name = "";
+    alpha = 0.0;
+    z = 0.0;
+    min_n = 0;
+    cooldown = 0.0;
+    direction = `Both;
+    n = 0;
+    mean = 0.0;
+    dev = 0.0;
+    last_fire = 0.0;
+  }
+
+let detector t ~name ?(alpha = 0.2) ?(z = 4.0) ?(min_n = 8) ?(cooldown = 30.0)
+    ?(direction = `Both) () =
+  if not t.enabled then inert_detector
+  else
+    {
+      owner = t;
+      name;
+      alpha;
+      z;
+      min_n;
+      cooldown;
+      direction;
+      n = 0;
+      mean = 0.0;
+      dev = 0.0;
+      last_fire = neg_infinity;
+    }
+
+let eps = 1e-9
+
+let observe d ~at x =
+  if d.owner.enabled then begin
+    (* score against the state *before* folding x in, so a step change is
+       judged against the established baseline *)
+    if d.n >= d.min_n && at >= d.last_fire +. d.cooldown then begin
+      let spread = d.dev +. eps in
+      let score = (x -. d.mean) /. spread in
+      let out =
+        match d.direction with
+        | `High -> score >= d.z
+        | `Low -> score <= -.d.z
+        | `Both -> Float.abs score >= d.z
+      in
+      if out then begin
+        d.last_fire <- at;
+        trip d.owner ~at ~rule:d.name ~value:x ~threshold:d.z
+          ~detail:
+            (Printf.sprintf "z=%.2f mean=%.6g dev=%.6g" score d.mean d.dev)
+          ()
+      end
+    end;
+    if d.n = 0 then begin
+      d.mean <- x;
+      d.dev <- 0.0
+    end
+    else begin
+      d.mean <- d.mean +. (d.alpha *. (x -. d.mean));
+      d.dev <- d.dev +. (d.alpha *. (Float.abs (x -. d.mean) -. d.dev))
+    end;
+    d.n <- d.n + 1
+  end

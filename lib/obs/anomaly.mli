@@ -1,0 +1,69 @@
+(** Streaming anomaly triggers on virtual time.
+
+    Two kinds of trigger flow through one funnel: discrete rule trips
+    ({!trip} — quarantine, probation, brownout entry, deadline miss,
+    master failover, SLO fast-burn) and statistical detectors
+    ({!detector}/{!observe} — EWMA mean / EWMA absolute-deviation
+    z-scores over live signals such as ack latency, share volume, cache
+    hit rate and heartbeat gaps).  Every trigger is recorded and fanned
+    out to the registered handlers (the service uses one to dump the
+    flight recorder).  All state advances only on observed samples and
+    virtual timestamps, so triggers are deterministic per seed. *)
+
+type t
+
+type trigger = {
+  at : float;
+  rule : string;
+  value : float;
+  threshold : float;
+  detail : string;
+}
+
+val create : unit -> t
+
+val disabled : t
+(** Shared inert funnel: trips and observations are single branches. *)
+
+val is_enabled : t -> bool
+
+val on_trigger : t -> (trigger -> unit) -> unit
+(** Register a handler; handlers run in registration order on every
+    trigger. *)
+
+val trip :
+  t ->
+  at:float ->
+  rule:string ->
+  ?value:float ->
+  ?threshold:float ->
+  ?detail:string ->
+  unit ->
+  unit
+(** Fire a discrete trigger. *)
+
+val triggers : t -> trigger list
+(** All fired triggers, oldest first. *)
+
+val to_json : t -> Json.t
+
+type detector
+
+val detector :
+  t ->
+  name:string ->
+  ?alpha:float ->
+  ?z:float ->
+  ?min_n:int ->
+  ?cooldown:float ->
+  ?direction:[ `High | `Low | `Both ] ->
+  unit ->
+  detector
+
+val observe : detector -> at:float -> float -> unit
+(** Feed one sample at virtual time [at].  The sample is scored against
+    the EWMA baseline established by earlier samples; a z-score beyond
+    the threshold (in the watched direction) trips the owner funnel
+    under the detector's name, rate-limited by [cooldown] seconds.  The
+    first [min_n] samples only warm the baseline.  On a disabled
+    funnel's detector this is a single branch. *)

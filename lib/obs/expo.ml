@@ -1,0 +1,105 @@
+(* Prometheus-style text exposition of a metrics registry.
+
+   Instrument names like "service.jobs.completed" become
+   "service_jobs_completed"; labels survive as {k="v",...}; histograms
+   render as summaries (quantile series plus _sum/_count).  Output is
+   sorted and uses the canonical float representation, so the same
+   registry state always renders the same bytes. *)
+
+let sanitize name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+(* Split a registry key "name{k=v,k2=v2}" back into name + label pairs. *)
+let split_key k =
+  match String.index_opt k '{' with
+  | None -> (k, [])
+  | Some i ->
+      let name = String.sub k 0 i in
+      let inner = String.sub k (i + 1) (String.length k - i - 2) in
+      let labels =
+        String.split_on_char ',' inner
+        |> List.filter_map (fun pair ->
+               match String.index_opt pair '=' with
+               | None -> None
+               | Some j ->
+                   Some
+                     ( String.sub pair 0 j,
+                       String.sub pair (j + 1) (String.length pair - j - 1) ))
+      in
+      (name, labels)
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v))
+             labels)
+      ^ "}"
+
+let num f = Json.float_repr f
+
+let render_exports exports =
+  let buf = Buffer.create 4096 in
+  let typed = Hashtbl.create 32 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.add typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (key, export) ->
+      let raw_name, labels = split_key key in
+      let name = sanitize raw_name in
+      match export with
+      | Metrics.Counter v ->
+          type_line name "counter";
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" name (render_labels labels) v)
+      | Metrics.Gauge v ->
+          type_line name "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" name (render_labels labels) (num v))
+      | Metrics.Histogram h ->
+          type_line name "summary";
+          let q quantile v =
+            Buffer.add_string buf
+              (Printf.sprintf "%s%s %s\n" name
+                 (render_labels (labels @ [ ("quantile", quantile) ]))
+                 (num v))
+          in
+          q "0.5" h.p50;
+          q "0.9" h.p90;
+          q "0.99" h.p99;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" name (render_labels labels) (num h.sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" name (render_labels labels) h.count))
+    exports;
+  Buffer.contents buf
+
+let render metrics = render_exports (Metrics.export_all metrics)
+
+let render_merged metrics = render_exports (Metrics.export_merged metrics)

@@ -1,0 +1,15 @@
+(** Prometheus-style text exposition of a metrics registry.
+
+    Dotted instrument names are sanitised to underscores
+    ([service.jobs.completed] → [service_jobs_completed]), labels are
+    rendered as [{k="v",...}], and histograms render as summaries: one
+    series per quantile (0.5/0.9/0.99) plus [_sum] and [_count].  The
+    output is sorted and byte-deterministic for a given registry state,
+    so scrapers and CI can diff it. *)
+
+val render : Metrics.t -> string
+(** The full registry (labels included), one exposition document. *)
+
+val render_merged : Metrics.t -> string
+(** The label-stripped service-level view (see
+    {!Metrics.merged_json}). *)

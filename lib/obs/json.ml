@@ -207,7 +207,13 @@ let parse_number c =
     | None -> (
         match float_of_string_opt s with Some f -> Float f | None -> fail c "bad number")
 
-let rec parse_value c =
+(* Nesting bound: recursive descent burns native stack per level, so a
+   hostile [[[[... input would otherwise overflow it.  512 is far above
+   anything our own writer produces. *)
+let max_depth = 512
+
+let rec parse_value c depth =
+  if depth > max_depth then fail c "nesting too deep";
   skip_ws c;
   match peek c with
   | None -> fail c "unexpected end of input"
@@ -225,7 +231,7 @@ let rec parse_value c =
       else begin
         let items = ref [] in
         let rec loop () =
-          items := parse_value c :: !items;
+          items := parse_value c (depth + 1) :: !items;
           skip_ws c;
           match peek c with
           | Some ',' ->
@@ -251,7 +257,7 @@ let rec parse_value c =
           let k = parse_string c in
           skip_ws c;
           expect c ':';
-          let v = parse_value c in
+          let v = parse_value c (depth + 1) in
           members := (k, v) :: !members;
           skip_ws c;
           match peek c with
@@ -269,7 +275,7 @@ let rec parse_value c =
 
 let of_string text =
   let c = { text; pos = 0 } in
-  match parse_value c with
+  match parse_value c 0 with
   | v ->
       skip_ws c;
       if c.pos <> String.length text then Error (Printf.sprintf "trailing data at byte %d" c.pos)

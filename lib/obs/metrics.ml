@@ -12,13 +12,23 @@ type histogram = {
 
 type instrument = C of counter | G of gauge | H of histogram
 
-type t = { enabled : bool; table : (string, instrument) Hashtbl.t }
+type t = {
+  enabled : bool;
+  table : (string, instrument) Hashtbl.t;
+  scope_labels : (string * string) list;
+      (** appended to the labels of every instrument created through this
+          handle; scoped handles share [table] with their parent *)
+}
 
-let create ~enabled = { enabled; table = Hashtbl.create (if enabled then 64 else 1) }
+let create ~enabled =
+  { enabled; table = Hashtbl.create (if enabled then 64 else 1); scope_labels = [] }
 
 let disabled = create ~enabled:false
 
 let is_enabled t = t.enabled
+
+let scope t ~labels =
+  if not t.enabled then t else { t with scope_labels = t.scope_labels @ labels }
 
 (* Dummy instruments handed out by a disabled registry: recording into
    them is harmless and they are never exported. *)
@@ -36,8 +46,10 @@ let canonical_labels labels =
       |> List.map (fun (k, v) -> k ^ "=" ^ v)
       |> String.concat ","
 
-let key name labels =
-  match canonical_labels labels with "" -> name | l -> name ^ "{" ^ l ^ "}"
+let key t name labels =
+  match canonical_labels (t.scope_labels @ labels) with
+  | "" -> name
+  | l -> name ^ "{" ^ l ^ "}"
 
 let sub_octaves = 4
 
@@ -75,7 +87,7 @@ let bucket_mid i =
 let counter t ?(labels = []) name =
   if not t.enabled then dummy_counter
   else
-    let k = key name labels in
+    let k = key t name labels in
     match Hashtbl.find_opt t.table k with
     | Some (C c) -> c
     | Some _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is not a counter" k)
@@ -87,7 +99,7 @@ let counter t ?(labels = []) name =
 let gauge t ?(labels = []) name =
   if not t.enabled then dummy_gauge
   else
-    let k = key name labels in
+    let k = key t name labels in
     match Hashtbl.find_opt t.table k with
     | Some (G g) -> g
     | Some _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is not a gauge" k)
@@ -99,7 +111,7 @@ let gauge t ?(labels = []) name =
 let histogram t ?(labels = []) name =
   if not t.enabled then dummy_histogram
   else
-    let k = key name labels in
+    let k = key t name labels in
     match Hashtbl.find_opt t.table k with
     | Some (H h) -> h
     | Some _ -> invalid_arg (Printf.sprintf "Obs.Metrics: %s is not a histogram" k)
@@ -183,7 +195,91 @@ let json_of_instrument = function
           ("p99", Json.Float (quantile h 0.99));
         ]
 
-let to_json t =
+let sorted_entries t =
   let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] in
-  let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
-  Json.Obj (List.map (fun (k, v) -> (k, json_of_instrument v)) entries)
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let to_json t =
+  Json.Obj (List.map (fun (k, v) -> (k, json_of_instrument v)) (sorted_entries t))
+
+(* ---------- merged (label-stripped) service-level view ---------- *)
+
+let base_name k = match String.index_opt k '{' with None -> k | Some i -> String.sub k 0 i
+
+let copy_histogram h =
+  { buckets = Array.copy h.buckets; count = h.count; sum = h.sum; lo = h.lo; hi = h.hi }
+
+let merge_histogram_into dst src =
+  Array.iteri
+    (fun i n -> if i < Array.length dst.buckets then dst.buckets.(i) <- dst.buckets.(i) + n)
+    src.buckets;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  if src.lo < dst.lo then dst.lo <- src.lo;
+  if src.hi > dst.hi then dst.hi <- src.hi
+
+(* Merge instruments sharing a base name (labels stripped): counters sum,
+   gauges keep the max, histograms add bucket-wise.  A type clash across
+   labels keeps the first (lexicographically smallest) instrument. *)
+let merged_entries t =
+  let tbl : (string, instrument) Hashtbl.t = Hashtbl.create 64 in
+  let names = ref [] in
+  List.iter
+    (fun (k, v) ->
+      let b = base_name k in
+      match (Hashtbl.find_opt tbl b, v) with
+      | None, C c ->
+          Hashtbl.add tbl b (C { c = c.c });
+          names := b :: !names
+      | None, G g ->
+          Hashtbl.add tbl b (G { g = g.g });
+          names := b :: !names
+      | None, H h ->
+          Hashtbl.add tbl b (H (copy_histogram h));
+          names := b :: !names
+      | Some (C dst), C src -> dst.c <- dst.c + src.c
+      | Some (G dst), G src -> if src.g > dst.g then dst.g <- src.g
+      | Some (H dst), H src -> merge_histogram_into dst src
+      | Some _, _ -> ())
+    (sorted_entries t);
+  List.sort (fun a b -> String.compare a b) !names
+  |> List.map (fun b -> (b, Hashtbl.find tbl b))
+
+let merged_json t =
+  Json.Obj (List.map (fun (k, v) -> (k, json_of_instrument v)) (merged_entries t))
+
+(* ---------- flat export (feeds the Prometheus exposition) ---------- *)
+
+type export =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : float;
+      lo : float;
+      hi : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+    }
+
+let export_of_instrument = function
+  | C c -> Counter c.c
+  | G g -> Gauge g.g
+  | H h ->
+      let empty = bucketed_total h = 0 in
+      Histogram
+        {
+          count = h.count;
+          sum = h.sum;
+          lo = (if empty then 0.0 else h.lo);
+          hi = (if empty then 0.0 else h.hi);
+          p50 = quantile h 0.50;
+          p90 = quantile h 0.90;
+          p99 = quantile h 0.99;
+        }
+
+let export_all t = List.map (fun (k, v) -> (k, export_of_instrument v)) (sorted_entries t)
+
+let export_merged t =
+  List.map (fun (k, v) -> (k, export_of_instrument v)) (merged_entries t)

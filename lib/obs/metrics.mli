@@ -26,6 +26,14 @@ val disabled : t
 
 val is_enabled : t -> bool
 
+val scope : t -> labels:(string * string) list -> t
+(** A scoped handle sharing this registry's table: [labels] are appended
+    to the labels of every instrument created through it.  This is how
+    the service isolates concurrent jobs — each job's subsystems get a
+    handle scoped by [job]/[tenant] labels, so their samples land in
+    distinct instruments instead of bleeding into each other.  Scoping a
+    disabled registry returns it unchanged. *)
+
 val counter : t -> ?labels:(string * string) list -> string -> counter
 (** Find-or-create.  Same [(name, labels)] returns the same handle. *)
 
@@ -64,3 +72,30 @@ val to_json : t -> Json.t
 (** Deterministic export: instruments sorted by name then labels.
     Counters/gauges carry their value; histograms carry count, sum,
     min/max and p50/p90/p99. *)
+
+val merged_json : t -> Json.t
+(** Label-stripped service-level view: instruments sharing a base name
+    are merged — counters sum, gauges keep the max, histograms add
+    bucket-wise (count/sum add, min/max widen), so merged quantiles stay
+    within the bucket resolution of the per-label quantile envelope. *)
+
+type export =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : float;
+      lo : float;
+      hi : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+    }
+
+val export_all : t -> (string * export) list
+(** Flat deterministic snapshot (sorted by full key, labels included);
+    feeds {!Expo}. *)
+
+val export_merged : t -> (string * export) list
+(** Like {!export_all} over the label-stripped merged view of
+    {!merged_json}. *)

@@ -45,6 +45,8 @@ type t = {
   mutable appended : int;
   mutable records_dropped : int;
   obs_on : bool;
+  flight : Obs.Flight.t;
+  flight_on : bool;
   c_appends : Obs.Metrics.counter;
   c_dropped : Obs.Metrics.counter;
 }
@@ -56,15 +58,34 @@ let create ?(obs = Obs.disabled) () =
     appended = 0;
     records_dropped = 0;
     obs_on = Obs.enabled obs;
+    flight = Obs.flight obs;
+    flight_on = Obs.Flight.is_enabled (Obs.flight obs);
     c_appends = Obs.Metrics.counter m "service.joblog.appends";
     c_dropped = Obs.Metrics.counter m "service.joblog.records.dropped";
   }
 
 let seal e = Integrity.crc32 (Format.asprintf "%a" pp_entry e)
 
+(* Compact structured view for the flight recorder. *)
+let flight_view e : string * (string * Obs.Json.t) list =
+  let i n v = (n, Obs.Json.Int v) in
+  let s n v = (n, Obs.Json.String v) in
+  match e with
+  | Submitted { id; tenant; priority; _ } ->
+      ("job_submitted", [ i "job" id; s "tenant" tenant; s "priority" priority ])
+  | Admitted { id } -> ("job_admitted", [ i "job" id ])
+  | Shed { id; retry_after } -> ("job_shed", [ i "job" id; ("retry_after", Obs.Json.Float retry_after) ])
+  | Cache_hit { id; answer } -> ("job_cache_hit", [ i "job" id; s "answer" answer ])
+  | Started { id; hosts } -> ("job_started", [ i "job" id; i "hosts" (List.length hosts) ])
+  | Requeued { id; reason } -> ("job_requeued", [ i "job" id; s "reason" reason ])
+  | Finished { id; terminal } -> ("job_finished", [ i "job" id; s "terminal" terminal ])
+
 let append t e =
   t.records <- (e, seal e) :: t.records;
   t.appended <- t.appended + 1;
+  (if t.flight_on then
+     let name, args = flight_view e in
+     Obs.Flight.note t.flight ~sub:"service" ~args name);
   if t.obs_on then Obs.Metrics.incr t.c_appends
 
 let scrub t =

@@ -94,6 +94,12 @@ type t = {
   sim : Grid.Sim.t;
   net : Grid.Network.t;
   obs : Obs.t;
+  slo : Obs.Slo.t option;
+  on_flight : (name:string -> J.t -> unit) option;
+  on_expo : (string -> unit) option;
+  expo_period : float;
+  mutable flight_dumps : (string * J.t) list;  (* newest first *)
+  d_cache_hit : Obs.Anomaly.detector;  (* 0/1 stream; fires on hit-rate collapse *)
   cfg : config;
   base : Testbed.t;
   mutable free_hosts : Testbed.host list;  (* ascending by resource id *)
@@ -137,7 +143,9 @@ let host_id (h : Testbed.host) = h.Testbed.resource.Grid.Resource.id
 
 let by_id a b = compare (host_id a) (host_id b)
 
-let create ?(obs = Obs.disabled) ~cfg ~testbed () =
+let create ?(obs = Obs.disabled) ?slo ?on_flight ?on_expo ?(expo_period = 30.) ~cfg
+    ~testbed () =
+  if expo_period <= 0. then invalid_arg "Service.create: expo_period must be positive";
   Config.validate_exn cfg.run;
   if cfg.queue_capacity < 1 then invalid_arg "Service.create: queue_capacity must be >= 1";
   if cfg.max_concurrent < 1 then invalid_arg "Service.create: max_concurrent must be >= 1";
@@ -163,10 +171,19 @@ let create ?(obs = Obs.disabled) ~cfg ~testbed () =
   let net = Grid.Network.create () in
   testbed.Testbed.configure_network net;
   let m = Obs.metrics obs in
+  let t =
   {
     sim;
     net;
     obs;
+    slo = Option.map Obs.Slo.create slo;
+    on_flight;
+    on_expo;
+    expo_period;
+    flight_dumps = [];
+    d_cache_hit =
+      Obs.Anomaly.detector (Obs.anomaly obs) ~name:"cache-hit-rate" ~direction:`Low
+        ~min_n:16 ();
     cfg;
     base = testbed;
     free_hosts = pool;
@@ -201,6 +218,26 @@ let create ?(obs = Obs.disabled) ~cfg ~testbed () =
     c_cancelled = Obs.Metrics.counter m "service.jobs.cancelled";
     c_completed = Obs.Metrics.counter m "service.jobs.completed";
   }
+  in
+  (* every anomaly trigger dumps the flight recorder: the rings hold the
+     causally-ordered window that led up to the trigger *)
+  (if Obs.Anomaly.is_enabled (Obs.anomaly obs) && Obs.Flight.is_enabled (Obs.flight obs)
+   then
+     Obs.Anomaly.on_trigger (Obs.anomaly obs) (fun tr ->
+         let doc =
+           Obs.Flight.dump (Obs.flight obs) ~at:tr.Obs.Anomaly.at ~trigger:tr.rule
+             ~detail:tr.detail ()
+         in
+         let name = Obs.Flight.file_name ~at:tr.Obs.Anomaly.at ~trigger:tr.rule in
+         t.flight_dumps <- (name, doc) :: t.flight_dumps;
+         match t.on_flight with Some f -> f ~name doc | None -> ()));
+  (match t.slo with
+  | Some slo ->
+      Obs.Slo.on_fast_burn slo (fun ~tenant ~target ~burn ->
+          Obs.Anomaly.trip (Obs.anomaly obs) ~at:(Grid.Sim.now sim) ~rule:"slo-fast-burn"
+            ~value:burn ~detail:(tenant ^ "/" ^ target) ())
+  | None -> ());
+  t
 
 let now t = Grid.Sim.now t.sim
 
@@ -216,13 +253,28 @@ let finish_job t (job : Job.t) terminal =
   job.Job.state <- Job.Done terminal;
   job.Job.finished_at <- Some (now t);
   Joblog.append t.log (Joblog.Finished { id = job.Job.id; terminal = Job.terminal_string terminal });
+  let tenant = job.Job.tenant in
+  (match (t.slo, terminal) with
+  | Some slo, Job.Verdict _ ->
+      Obs.Slo.note_solved slo ~now:(now t) ~tenant (now t -. job.Job.submitted_at)
+  | Some slo, (Job.Deadline_expired | Job.Cancelled _ | Job.Shed _) ->
+      Obs.Slo.note_error slo ~now:(now t) ~tenant
+  | Some slo, Job.Cached _ ->
+      Obs.Slo.note_solved slo ~now:(now t) ~tenant (now t -. job.Job.submitted_at)
+  | None, _ -> ());
   match terminal with
   | Job.Verdict _ ->
       t.n_completed <- t.n_completed + 1;
-      Obs.Metrics.incr t.c_completed
+      Obs.Metrics.incr t.c_completed;
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram (Obs.metrics t.obs) ~labels:[ ("tenant", tenant) ]
+           "service.e2e_s")
+        (now t -. job.Job.submitted_at)
   | Job.Deadline_expired ->
       t.n_deadline <- t.n_deadline + 1;
-      Obs.Metrics.incr t.c_deadline
+      Obs.Metrics.incr t.c_deadline;
+      Obs.Anomaly.trip (Obs.anomaly t.obs) ~at:(now t) ~rule:"deadline-miss"
+        ~detail:(Printf.sprintf "job %d tenant %s" job.Job.id tenant) ()
   | Job.Cancelled _ ->
       t.n_cancelled <- t.n_cancelled + 1;
       Obs.Metrics.incr t.c_cancelled
@@ -234,6 +286,15 @@ let finalize_run t r =
   let job = r.rjob in
   t.running <- List.filter (fun x -> x != r) t.running;
   t.free_hosts <- List.sort by_id (r.lease @ t.free_hosts);
+  (let flight = Obs.flight t.obs in
+   if Obs.Flight.is_enabled flight then
+     Obs.Flight.note flight ~sub:"pool"
+       ~args:
+         [
+           ("job", J.Int job.Job.id);
+           ("hosts", J.List (List.map (fun h -> J.Int (host_id h)) r.lease));
+         ]
+       "lease_returned");
   let result = Master.result r.master in
   job.Job.result <- Some result;
   match r.cancel_intent with
@@ -336,15 +397,40 @@ let start_job t (job : Job.t) =
       configure_network = (fun _ -> ());
     }
   in
-  let bus = Grid.Everyware.create ~obs:t.obs t.sim t.net in
+  (* every instrument a job's master/clients/solvers create goes through
+     a scoped handle: samples land in job/tenant-labeled series instead
+     of bleeding into the instruments of concurrently running jobs *)
+  let job_obs =
+    Obs.scope t.obs
+      ~labels:[ ("job", string_of_int job.Job.id); ("tenant", job.Job.tenant) ]
+  in
+  let bus = Grid.Everyware.create ~obs:job_obs t.sim t.net in
   let rcfg = { t.cfg.run with Config.seed = t.cfg.run.Config.seed + job.Job.id } in
   let master =
-    Master.create ~obs:t.obs ~health:t.health ~sim:t.sim ~net:t.net ~bus ~cfg:rcfg ~testbed:sub
-      job.Job.cnf
+    Master.create ~obs:job_obs ~health:t.health ~sim:t.sim ~net:t.net ~bus ~cfg:rcfg
+      ~testbed:sub job.Job.cnf
   in
   (match t.cfg.chaos with None -> () | Some ch -> arm_chaos t ch ~master ~bus ~job ~lease);
   job.Job.state <- Job.Running;
   if job.Job.started_at = None then job.Job.started_at <- Some (now t);
+  let wait = now t -. job.Job.submitted_at in
+  (match t.slo with
+  | Some slo -> Obs.Slo.note_queue_wait slo ~now:(now t) ~tenant:job.Job.tenant wait
+  | None -> ());
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram (Obs.metrics t.obs)
+       ~labels:[ ("tenant", job.Job.tenant) ]
+       "service.queue_wait_s")
+    wait;
+  (let flight = Obs.flight t.obs in
+   if Obs.Flight.is_enabled flight then
+     Obs.Flight.note flight ~sub:"pool"
+       ~args:
+         [
+           ("job", J.Int job.Job.id);
+           ("hosts", J.List (List.map (fun h -> J.Int (host_id h)) lease));
+         ]
+       "lease_granted");
   Joblog.append t.log (Joblog.Started { id = job.Job.id; hosts = List.map host_id lease });
   t.running <- { rjob = job; master; lease; cancel_intent = None } :: t.running
 
@@ -436,6 +522,9 @@ let shed_low_queued t =
         job.Job.finished_at <- Some (now t);
         t.n_shed <- t.n_shed + 1;
         Obs.Metrics.incr t.c_shed;
+        (match t.slo with
+        | Some slo -> Obs.Slo.note_error slo ~now:(now t) ~tenant:job.Job.tenant
+        | None -> ());
         Joblog.append t.log (Joblog.Shed { id = job.Job.id; retry_after })
       end)
     (Admission.queued_jobs t.adm)
@@ -450,6 +539,8 @@ let update_brownout t =
     if (not t.brownout) && frac < t.cfg.brownout_threshold then begin
       t.brownout <- true;
       t.n_brownouts <- t.n_brownouts + 1;
+      Obs.Anomaly.trip (Obs.anomaly t.obs) ~at:(now t) ~rule:"brownout" ~value:frac
+        ~threshold:t.cfg.brownout_threshold ();
       shed_low_queued t;
       stretch_deadlines t
     end
@@ -543,13 +634,18 @@ let submit t ~tenant ~priority ?deadline_in ?label cnf =
        { id; tenant; priority = Job.priority_string priority; digest; deadline });
   match Cache.find t.cache ~digest ~cnf with
   | Some answer ->
+      Obs.Anomaly.observe t.d_cache_hit ~at:(now t) 1.0;
       job.Job.state <- Job.Done (Job.Cached answer);
       job.Job.finished_at <- Some (now t);
       t.n_cache_hits <- t.n_cache_hits + 1;
       Obs.Metrics.incr t.c_cache_hit;
+      (match t.slo with
+      | Some slo -> Obs.Slo.note_solved slo ~now:(now t) ~tenant 0.0
+      | None -> ());
       Joblog.append t.log (Joblog.Cache_hit { id; answer = Job.answer_string answer });
       Cached answer
   | None ->
+      Obs.Anomaly.observe t.d_cache_hit ~at:(now t) 0.0;
       (* brownout sheds lowest-priority first: Low submissions bounce at
          the door while degraded capacity is reserved for the rest *)
       if Admission.is_full t.adm || (t.brownout && priority = Job.Low) then begin
@@ -558,6 +654,9 @@ let submit t ~tenant ~priority ?deadline_in ?label cnf =
         job.Job.finished_at <- Some (now t);
         t.n_shed <- t.n_shed + 1;
         Obs.Metrics.incr t.c_shed;
+        (match t.slo with
+        | Some slo -> Obs.Slo.note_error slo ~now:(now t) ~tenant
+        | None -> ());
         Joblog.append t.log (Joblog.Shed { id; retry_after });
         Rejected { retry_after }
       end
@@ -597,7 +696,20 @@ let cancel_job t ~id ~reason =
               finalize_run t r;
               true))
 
+let render_expo t =
+  match t.on_expo with
+  | None -> ()
+  | Some f -> f (Obs.Expo.render (Obs.metrics t.obs))
+
+let rec arm_expo t =
+  if t.on_expo <> None then
+    ignore
+      (Grid.Sim.schedule t.sim ~delay:t.expo_period (fun () ->
+           render_expo t;
+           if outstanding t then arm_expo t))
+
 let run t =
+  arm_expo t;
   pump t;
   while outstanding t && Grid.Sim.step t.sim do
     ()
@@ -617,7 +729,9 @@ let run t =
         Admission.remove t.adm job;
         finish_job t job (Job.Cancelled "service stalled"))
       (Admission.queued_jobs t.adm)
-  end
+  end;
+  (* a final exposition write captures the terminal state *)
+  render_expo t
 
 let jobs t = List.rev t.all_jobs
 
@@ -628,6 +742,12 @@ let health t = t.health
 let joblog t = t.log
 
 let verdict_cache t = t.cache
+
+let slo t = t.slo
+
+let anomalies t = Obs.Anomaly.triggers (Obs.anomaly t.obs)
+
+let flight_dumps t = List.rev t.flight_dumps
 
 let running_masters t =
   List.map (fun r -> (r.rjob.Job.id, r.master)) t.running
@@ -711,9 +831,16 @@ let report t =
         ("virtual_time", J.Float (now t));
       ]
     ~sections:
-      [
-        ("service", service);
-        ("health", Core.Health.to_json t.health);
-        ("jobs", J.List (List.map job_json (jobs t)));
-      ]
+      ([
+         ("service", service);
+         ("health", Core.Health.to_json t.health);
+         ("jobs", J.List (List.map job_json (jobs t)));
+       ]
+      @ (match t.slo with
+        | Some slo -> [ ("slo", Obs.Slo.to_json slo ~now:(now t)) ]
+        | None -> [])
+      @ (if Obs.Anomaly.is_enabled (Obs.anomaly t.obs) then
+           [ ("anomalies", Obs.Anomaly.to_json (Obs.anomaly t.obs)) ]
+         else [])
+      @ [ ("metrics_merged", Obs.Metrics.merged_json (Obs.metrics t.obs)) ])
     ~metrics:(Obs.metrics t.obs) ~spans:(Obs.spans t.obs) ()

@@ -106,11 +106,31 @@ type stats = {
 
 type t
 
-val create : ?obs:Obs.t -> cfg:config -> testbed:Gridsat_core.Testbed.t -> unit -> t
+val create :
+  ?obs:Obs.t ->
+  ?slo:Obs.Slo.spec ->
+  ?on_flight:(name:string -> Obs.Json.t -> unit) ->
+  ?on_expo:(string -> unit) ->
+  ?expo_period:float ->
+  cfg:config ->
+  testbed:Gridsat_core.Testbed.t ->
+  unit ->
+  t
 (** Validates the configuration ([Invalid_argument] on nonsense: empty
     pool, [hosts_per_job] larger than the pool, non-positive capacities
     or periods, invalid [run] config) and sets up the shared simulator,
-    network and host pool. *)
+    network and host pool.
+
+    Observability wiring (all optional):
+    - [slo]: a parsed {!Obs.Slo} spec; the service feeds it at
+      schedule/terminal transitions, surfaces it in the report's ["slo"]
+      section, and trips an [slo-fast-burn] anomaly on fast burn;
+    - [on_flight]: called with the canonical file name and document each
+      time an anomaly trigger dumps the flight recorder of [obs] (the
+      dumps are also retained, see {!flight_dumps});
+    - [on_expo]: called with the Prometheus-style exposition of the
+      metrics registry every [expo_period] (default 30) virtual seconds
+      while jobs are outstanding, and once more when {!run} returns. *)
 
 val submit :
   t ->
@@ -166,6 +186,16 @@ val health : t -> Gridsat_core.Health.t
 (** The pool-global host-health model shared across every run the
     service dispatches: a host that misbehaved under one job starts its
     next lease already demoted (or in probation). *)
+
+val slo : t -> Obs.Slo.t option
+(** The live SLO tracker, when the service was created with a spec. *)
+
+val anomalies : t -> Obs.Anomaly.trigger list
+(** All anomaly triggers fired so far (oldest first). *)
+
+val flight_dumps : t -> (string * Obs.Json.t) list
+(** Flight-recorder incident dumps captured so far, oldest first, as
+    [(canonical file name, document)]. *)
 
 val running_masters : t -> (int * Gridsat_core.Master.t) list
 (** [(job id, master)] for currently running jobs — test hook for

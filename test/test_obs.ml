@@ -136,6 +136,305 @@ let test_metrics_registry () =
   M.incr d;
   check string "disabled exports empty" "{}" (J.to_string (M.to_json M.disabled))
 
+(* ---------- JSON parser hardening ---------- *)
+
+let test_json_hardening () =
+  let bad s =
+    match J.of_string s with Ok _ -> fail (s ^ " should not parse") | Error _ -> ()
+  in
+  (* malformed and truncated escapes *)
+  bad "\"\\u12\"";
+  bad "\"\\u12G4\"";
+  bad "\"\\x41\"";
+  bad "\"\\";
+  bad "\"\\u\"";
+  (* truncated documents *)
+  bad "{\"a\": [1, 2";
+  bad "[1,2";
+  bad "{\"a\"";
+  bad "{\"a\":";
+  bad "[{\"k\": \"v\"}";
+  (* duplicate keys parse; member resolves to the first binding *)
+  (match J.of_string "{\"a\":1,\"a\":2}" with
+  | Ok doc -> (
+      match J.member "a" doc with
+      | Some (J.Int 1) -> ()
+      | _ -> fail "duplicate key: first binding must win")
+  | Error e -> fail e);
+  (* nesting: bounded recursion returns Error instead of crashing *)
+  let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match J.of_string (deep 400) with Ok _ -> () | Error e -> fail e);
+  bad (deep 100_000);
+  bad (String.make 100_000 '[');
+  (* same bound through object nesting *)
+  let deep_obj n =
+    String.concat "" (List.init n (fun _ -> "{\"k\":")) ^ "1" ^ String.make n '}'
+  in
+  (match J.of_string (deep_obj 400) with Ok _ -> () | Error e -> fail e);
+  bad (deep_obj 100_000)
+
+(* ---------- histogram merge preserves quantiles (property) ---------- *)
+
+(* Scoped registries share one table, so observing the same instrument
+   name under two label scopes and reading the merged view is the merge
+   under test.  Merging is bucket-wise count addition, so the merged
+   quantiles must equal those of a single histogram fed the union, and
+   sit inside the union's [min, max]. *)
+let test_histogram_merge_prop =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 120) (float_range 0.01 10_000.))
+        (list_size (int_range 1 120) (float_range 0.01 10_000.)))
+  in
+  QCheck.Test.make ~name:"histogram merge preserves quantile bounds" ~count:200
+    (QCheck.make gen) (fun (xs, ys) ->
+      let m = M.create ~enabled:true in
+      let h1 = M.histogram (M.scope m ~labels:[ ("job", "1") ]) "lat" in
+      let h2 = M.histogram (M.scope m ~labels:[ ("job", "2") ]) "lat" in
+      List.iter (M.observe h1) xs;
+      List.iter (M.observe h2) ys;
+      let direct = M.histogram (M.create ~enabled:true) "lat" in
+      List.iter (M.observe direct) (xs @ ys);
+      let union = List.sort compare (xs @ ys) in
+      let mn = List.hd union and mx = List.nth union (List.length union - 1) in
+      match List.assoc_opt "lat" (M.export_merged m) with
+      | Some (M.Histogram e) ->
+          let close a b =
+            Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+          in
+          e.count = List.length union
+          && close e.lo mn && close e.hi mx
+          && List.for_all
+               (fun (q, merged_q) ->
+                 close merged_q (M.quantile direct q)
+                 && merged_q >= mn -. 1e-9 && merged_q <= mx +. 1e-9)
+               [ (0.5, e.p50); (0.9, e.p90); (0.99, e.p99) ]
+      | _ -> false)
+
+(* ---------- scoped registries and the merged view ---------- *)
+
+let test_metrics_scoping () =
+  let m = M.create ~enabled:true in
+  let s1 = M.scope m ~labels:[ ("job", "1") ] in
+  let s2 = M.scope m ~labels:[ ("job", "2") ] in
+  M.add (M.counter s1 "jobs.done") 3;
+  M.add (M.counter s2 "jobs.done") 4;
+  (* a scoped handle is the same instrument as explicit labels on the base *)
+  check int "scoped = labeled" 3 (M.counter_value (M.counter m ~labels:[ ("job", "1") ] "jobs.done"));
+  (* nested scopes append their labels *)
+  let s1t = M.scope s1 ~labels:[ ("tenant", "acme") ] in
+  M.incr (M.counter s1t "jobs.done");
+  check int "nested scope"
+    1
+    (M.counter_value (M.counter m ~labels:[ ("job", "1"); ("tenant", "acme") ] "jobs.done"));
+  (* the merged view strips labels and sums counters *)
+  (match List.assoc_opt "jobs.done" (M.export_merged m) with
+  | Some (M.Counter n) -> check int "merged counter sums" 8 n
+  | _ -> fail "merged counter missing");
+  (* gauges merge by max *)
+  M.set (M.gauge s1 "depth") 2.;
+  M.set (M.gauge s2 "depth") 5.;
+  (match List.assoc_opt "depth" (M.export_merged m) with
+  | Some (M.Gauge g) -> check (float 1e-9) "merged gauge max" 5. g
+  | _ -> fail "merged gauge missing");
+  (* scoping a disabled registry stays inert *)
+  let d = M.scope M.disabled ~labels:[ ("job", "9") ] in
+  M.incr (M.counter d "z");
+  check string "disabled scope exports empty" "{}" (J.to_string (M.to_json M.disabled))
+
+(* ---------- flight recorder ---------- *)
+
+module F = Obs.Flight
+
+let test_flight_ring () =
+  let f = F.create ~capacity:4 () in
+  let t = ref 0. in
+  F.set_clock f (fun () -> !t);
+  for i = 1 to 10 do
+    t := float_of_int i;
+    F.note f ~sub:"pool" (Printf.sprintf "e%d" i)
+  done;
+  check int "all notes counted" 10 (F.recorded f);
+  check int "overflow evicted" 6 (F.evicted f);
+  let evs = F.events f in
+  check int "ring keeps capacity" 4 (List.length evs);
+  check (list string) "newest survive" [ "e7"; "e8"; "e9"; "e10" ]
+    (List.map (fun (e : F.event) -> e.F.name) evs);
+  (* disabled recorder is inert *)
+  F.note F.disabled ~sub:"pool" "x";
+  check int "disabled records nothing" 0 (F.recorded F.disabled)
+
+let test_flight_causal_dump () =
+  let mk () =
+    let f = F.create ~capacity:8 () in
+    let t = ref 0. in
+    F.set_clock f (fun () -> !t);
+    List.iter
+      (fun (at, sub, name) ->
+        t := at;
+        F.note f ~sub ~args:[ ("k", J.Int 1) ] name)
+      [
+        (1., "master", "assign"); (1., "net", "send"); (2., "client", "recv");
+        (2., "master", "ack"); (3., "service", "finish");
+      ];
+    f
+  in
+  let f = mk () in
+  let evs = F.events f in
+  (* the global sequence is a causal total order: strictly increasing,
+     interleaving all subsystems *)
+  let seqs = List.map (fun (e : F.event) -> e.F.seq) evs in
+  check bool "seq strictly increasing" true
+    (List.for_all2 ( < ) (List.filteri (fun i _ -> i < 4) seqs) (List.tl seqs));
+  check (list string) "interleaved order" [ "master"; "net"; "client"; "master"; "service" ]
+    (List.map (fun (e : F.event) -> e.F.sub) evs);
+  (* a dump is byte-deterministic for the same recorded history *)
+  let d1 = J.to_string (F.dump f ~at:3. ~trigger:"quarantine" ~detail:"client 2" ()) in
+  let d2 = J.to_string (F.dump (mk ()) ~at:3. ~trigger:"quarantine" ~detail:"client 2" ()) in
+  check string "dump deterministic" d1 d2;
+  check bool "dump carries the trigger" true (contains d1 "\"trigger\":\"quarantine\"");
+  check bool "dump carries events" true (contains d1 "\"finish\"");
+  check string "file name canonical" "FLIGHT-00000003.500-slo-fast-burn.json"
+    (F.file_name ~at:3.5 ~trigger:"slo fast/burn")
+
+(* ---------- anomaly detection ---------- *)
+
+module A = Obs.Anomaly
+
+let test_anomaly_detector () =
+  let a = A.create () in
+  let d = A.detector a ~name:"lat" ~min_n:8 ~z:4.0 ~cooldown:30. ~direction:`High () in
+  (* warmup: a steady baseline must not fire *)
+  for i = 1 to 20 do
+    A.observe d ~at:(float_of_int i) 1.0
+  done;
+  check int "steady stream quiet" 0 (List.length (A.triggers a));
+  (* a large spike fires once... *)
+  A.observe d ~at:21. 100.;
+  check int "spike fires" 1 (List.length (A.triggers a));
+  (* ...and the cooldown suppresses an immediate repeat *)
+  A.observe d ~at:22. 100.;
+  check int "cooldown holds" 1 (List.length (A.triggers a));
+  (* past the cooldown the (still-anomalous) signal may fire again *)
+  A.observe d ~at:60. 1_000_000.;
+  check int "re-arms after cooldown" 2 (List.length (A.triggers a));
+  (match A.triggers a with
+  | tr :: _ ->
+      check string "rule name" "lat" tr.A.rule;
+      check (float 1e-9) "trigger time" 21. tr.A.at
+  | [] -> fail "no trigger");
+  (* discrete trips call handlers and record *)
+  let seen = ref [] in
+  A.on_trigger a (fun tr -> seen := tr.A.rule :: !seen);
+  A.trip a ~at:70. ~rule:"brownout" ~value:0.3 ~threshold:0.5 ();
+  check (list string) "handler saw the trip" [ "brownout" ] !seen;
+  check int "trip recorded" 3 (List.length (A.triggers a));
+  (* a `Low detector fires on collapses, not spikes *)
+  let low = A.detector a ~name:"hit-rate" ~min_n:8 ~direction:`Low () in
+  for i = 1 to 10 do
+    A.observe low ~at:(float_of_int (100 + i)) 0.9
+  done;
+  A.observe low ~at:111. 0.9001;
+  let before = List.length (A.triggers a) in
+  A.observe low ~at:112. (-100.);
+  check int "low fires on collapse" (before + 1) (List.length (A.triggers a));
+  (* inert detector on a disabled owner *)
+  let di = A.detector A.disabled ~name:"x" () in
+  for i = 1 to 50 do
+    A.observe di ~at:(float_of_int i) (float_of_int (i * 1000))
+  done;
+  check int "disabled never fires" 0 (List.length (A.triggers A.disabled))
+
+(* ---------- SLOs ---------- *)
+
+module Slo = Obs.Slo
+
+let test_slo_parse () =
+  let bad s =
+    match Slo.parse s with
+    | Ok _ -> fail (s ^ " should not parse")
+    | Error _ -> ()
+  in
+  bad "";
+  bad "   ;  ";
+  bad "acme";
+  bad "acme:";
+  bad "acme:latency<5";
+  bad "acme:solve<0";
+  bad "acme:solve<-3";
+  bad "acme:solve<5@1.5";
+  bad "acme:solve<5@0";
+  bad "acme:errors<1.5";
+  bad "acme:errors<0.1@0.9";
+  bad "acme:solve<10;acme:solve<20";
+  match Slo.parse "acme:queue_wait<5,solve<60@0.95,errors<0.1;*:solve<120" with
+  | Error e -> fail e
+  | Ok spec ->
+      check string "raw spec preserved" "acme:queue_wait<5,solve<60@0.95,errors<0.1;*:solve<120"
+        (Slo.spec_string spec)
+
+let test_slo_burn () =
+  let spec =
+    match Slo.parse "acme:solve<10" with Ok s -> s | Error e -> fail e
+  in
+  let t = Slo.create ~window_short:60. ~window_long:600. ~fast_burn:6. spec in
+  let alerts = ref [] in
+  Slo.on_fast_burn t (fun ~tenant ~target ~burn:_ -> alerts := (tenant, target) :: !alerts);
+  (* nine good jobs: budget untouched, no alert *)
+  for i = 1 to 9 do
+    Slo.note_solved t ~now:(float_of_int i) ~tenant:"acme" 1.0
+  done;
+  check int "no alert while good" 0 (List.length !alerts);
+  (* one breach of the bound: 1 bad / 10 events over a 0.1 budget is
+     burn 1.0 — on budget, below the 6.0 fast-burn line *)
+  Slo.note_solved t ~now:10. ~tenant:"acme" 50.0;
+  check int "single breach below fast-burn" 0 (List.length !alerts);
+  (* a burst of breaches pushes both windows past the line, once *)
+  for i = 11 to 30 do
+    Slo.note_solved t ~now:(float_of_int i) ~tenant:"acme" 50.0
+  done;
+  check (list (pair string string)) "fast-burn fired once, edge-triggered"
+    [ ("acme", "solve") ] !alerts;
+  (* wildcard fallback tracks tenants the spec never named *)
+  let wspec = match Slo.parse "*:errors<0.5" with Ok s -> s | Error e -> fail e in
+  let w = Slo.create wspec in
+  Slo.note_error w ~now:1. ~tenant:"stranger";
+  Slo.note_solved w ~now:2. ~tenant:"stranger" 1.0;
+  let doc = Slo.to_json w ~now:2. in
+  check bool "wildcard stream exists" true (contains (J.to_string doc) "\"stranger\"");
+  check bool "counts both events" true (contains (J.to_string doc) "\"events\":2");
+  (* the json section is deterministic *)
+  check string "slo json deterministic" (J.to_string doc) (J.to_string (Slo.to_json w ~now:2.))
+
+(* ---------- exposition ---------- *)
+
+let test_expo_render () =
+  let m = M.create ~enabled:true in
+  M.add (M.counter (M.scope m ~labels:[ ("job", "1"); ("tenant", "acme") ]) "service.jobs.done") 3;
+  M.set (M.gauge m "pool.free") 7.;
+  let h = M.histogram m ~labels:[ ("tenant", "acme") ] "service.e2e_s" in
+  List.iter (M.observe h) [ 1.0; 2.0; 4.0 ];
+  let text = Obs.Expo.render m in
+  List.iter
+    (fun line -> check bool ("exposition has " ^ line) true (contains text line))
+    [
+      "# TYPE service_jobs_done counter";
+      "service_jobs_done{job=\"1\",tenant=\"acme\"} 3";
+      "# TYPE pool_free gauge";
+      "pool_free 7";
+      "# TYPE service_e2e_s summary";
+      "service_e2e_s{tenant=\"acme\",quantile=\"0.5\"}";
+      "service_e2e_s_sum{tenant=\"acme\"} 7";
+      "service_e2e_s_count{tenant=\"acme\"} 3";
+    ];
+  (* byte-deterministic for a given registry state *)
+  check string "exposition deterministic" text (Obs.Expo.render m);
+  (* the merged view drops the labels *)
+  let merged = Obs.Expo.render_merged m in
+  check bool "merged strips labels" true (contains merged "service_jobs_done 3");
+  check bool "merged has no label braces" false (contains merged "{job=")
+
 (* ---------- span nesting ---------- *)
 
 let test_span_nesting () =
@@ -281,6 +580,7 @@ let () =
           test_case "roundtrip" `Quick test_json_roundtrip;
           test_case "parse errors" `Quick test_json_parse_errors;
           test_case "float repr" `Quick test_json_float_repr;
+          test_case "parser hardening" `Quick test_json_hardening;
         ] );
       ( "histogram",
         [
@@ -289,7 +589,21 @@ let () =
           test_case "point mass" `Quick test_histogram_point_mass;
           test_case "edge samples" `Quick test_histogram_edge_samples;
           test_case "registry semantics" `Quick test_metrics_registry;
+          test_case "scoped registries + merged view" `Quick test_metrics_scoping;
+          QCheck_alcotest.to_alcotest test_histogram_merge_prop;
         ] );
+      ( "flight",
+        [
+          test_case "ring eviction" `Quick test_flight_ring;
+          test_case "causal order + dump" `Quick test_flight_causal_dump;
+        ] );
+      ( "anomaly", [ test_case "detectors, cooldown, trips" `Quick test_anomaly_detector ] );
+      ( "slo",
+        [
+          test_case "spec parsing" `Quick test_slo_parse;
+          test_case "burn rates + fast-burn alert" `Quick test_slo_burn;
+        ] );
+      ( "expo", [ test_case "prometheus rendering" `Quick test_expo_render ] );
       ( "span",
         [
           test_case "nesting invariants" `Quick test_span_nesting;
