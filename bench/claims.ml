@@ -649,3 +649,139 @@ let straggler () =
       ]
   in
   Snapshot.write "straggler" (Obs.Json.Obj (("summary", summary) :: List.rev !rows))
+
+(* C14: hot-standby failover vs journal-replay restart.  The same master
+   crash is injected into two otherwise identical runs per seed: one that
+   waits for a cold replacement master to replay the journal (the C11
+   path), and one with a hot standby that has been consuming shipped
+   journal batches and promotes itself when the primary's lease expires.
+   Downtime is measured the way a client feels it — from the crash to the
+   first client re-adopted by a live master — and the claim is that the
+   standby's p99 downtime sits strictly below the replay-restart
+   baseline at equal fault seeds, with zero replication divergences. *)
+let failover () =
+  Printf.printf "== C14: hot-standby promotion vs replay-restart (8 hosts) ==\n\n";
+  let module F = Grid.Fault in
+  let cnf = W.Php.instance ~pigeons:7 ~holes:6 in
+  let testbed () = C.Testbed.uniform ~n:8 ~speed:1000. () in
+  let base seed =
+    {
+      C.Config.default with
+      C.Config.split_timeout = 2.;
+      slice = 0.5;
+      overall_timeout = 100_000.;
+      checkpoint = C.Config.Light;
+      checkpoint_period = 5.;
+      heartbeat_period = 2.;
+      suspect_timeout = 30.;
+      retry_base = 0.5;
+      retry_max_attempts = 6;
+      resync_grace = 5.;
+      seed;
+    }
+  in
+  (* the cold-replacement arm provisions a fresh master 12 virtual
+     seconds after the crash; the standby arm never gets a replacement
+     (restart_after = infinity) and must live off the promotion *)
+  let cold_restart = 12. in
+  let standby_cfg seed =
+    { (base seed) with C.Config.standby = true; ship_interval = 1.; standby_lease = 4. }
+  in
+  let baseline = C.Gridsat.solve ~config:(base 0) ~testbed:(testbed ()) cnf in
+  let t = baseline.C.Master.time in
+  let crash_at = Float.max 4. (0.3 *. t) in
+  Printf.printf "fault-free baseline: %s in %s s, crash injected at %.1fs\n\n"
+    (C.Gridsat.answer_string baseline.C.Master.answer)
+    (String.trim (grid_time baseline))
+    crash_at;
+  Printf.printf "%-6s %-8s %-8s %10s %10s %8s %8s %8s\n" "seed" "restart" "standby" "down(re)"
+    "down(st)" "ships" "promote" "diverge";
+  let downtime (r : C.Master.result) =
+    let crash = ref None and back = ref None in
+    List.iter
+      (fun e ->
+        match e.C.Events.kind with
+        | C.Events.Master_crashed when !crash = None -> crash := Some e.C.Events.time
+        | C.Events.Client_resynced _ when !back = None && !crash <> None ->
+            back := Some e.C.Events.time
+        | _ -> ())
+      r.C.Master.events;
+    match (!crash, !back) with Some c, Some b -> b -. c | _ -> nan
+  in
+  let rows = ref [] in
+  let samples =
+    List.map
+      (fun seed ->
+        (* seeded background loss keeps the per-seed downtimes from being
+           degenerate: retries around the crash window land differently
+           under each fault RNG, so the p99 is a real tail, not a copy of
+           the mean *)
+        let loss =
+          F.Drop_messages { src_site = None; dst_site = None; p = 0.05; from_t = 0.; until_t = infinity }
+        in
+        let restart =
+          C.Gridsat.solve ~config:(base seed)
+            ~fault_plan:[ loss; F.Crash_master { at = crash_at; restart_after = cold_restart } ]
+            ~testbed:(testbed ()) cnf
+        in
+        let standby =
+          C.Gridsat.solve ~config:(standby_cfg seed)
+            ~fault_plan:[ loss; F.Crash_master { at = crash_at; restart_after = infinity } ]
+            ~testbed:(testbed ()) cnf
+        in
+        let d_re = downtime restart and d_st = downtime standby in
+        Printf.printf "%-6d %-8s %-8s %9.1fs %9.1fs %8d %8d %8d\n%!" seed
+          (String.trim (grid_time restart))
+          (String.trim (grid_time standby))
+          d_re d_st standby.C.Master.ships standby.C.Master.promotions
+          standby.C.Master.replication_divergences;
+        rows :=
+          ( Printf.sprintf "seed%d" seed,
+            Obs.Json.Obj
+              [
+                ("restart_downtime", Obs.Json.Float d_re);
+                ("standby_downtime", Obs.Json.Float d_st);
+                ("restart_time", Obs.Json.Float restart.C.Master.time);
+                ("standby_time", Obs.Json.Float standby.C.Master.time);
+                ("ships", Obs.Json.Int standby.C.Master.ships);
+                ("promotions", Obs.Json.Int standby.C.Master.promotions);
+                ("divergences", Obs.Json.Int standby.C.Master.replication_divergences);
+              ] )
+          :: !rows;
+        let ok =
+          C.Gridsat.answer_string restart.C.Master.answer
+          = C.Gridsat.answer_string baseline.C.Master.answer
+          && C.Gridsat.answer_string standby.C.Master.answer
+             = C.Gridsat.answer_string baseline.C.Master.answer
+          && standby.C.Master.promotions = 1
+          && standby.C.Master.replication_divergences = 0
+        in
+        (d_re, d_st, ok))
+      [ 0; 3; 7; 11; 23 ]
+  in
+  let p99 xs = List.fold_left Float.max 0. xs in
+  let mean xs = List.fold_left ( +. ) 0. xs /. float (List.length xs) in
+  let re = List.map (fun (d, _, _) -> d) samples in
+  let st = List.map (fun (_, d, _) -> d) samples in
+  let all_ok = List.for_all (fun (_, _, ok) -> ok) samples in
+  Printf.printf
+    "\np99 downtime: %.1fs replay-restart, %.1fs hot standby — mean %.1fs vs %.1fs\n"
+    (p99 re) (p99 st) (mean re) (mean st);
+  Printf.printf "standby p99 strictly below replay-restart: %s\n"
+    (if p99 st < p99 re then "yes" else "NO");
+  Printf.printf "verdicts preserved, one promotion each, zero divergences: %s\n"
+    (if all_ok then "yes" else "NO");
+  Printf.printf
+    "(the standby's shadow state machine is already caught up when the lease\n\
+    \ expires, so promotion pays only the lease + resync grace, never the\n\
+    \ replacement provisioning + journal replay of the cold path)\n";
+  let summary =
+    Obs.Json.Obj
+      [
+        ( "restart",
+          Obs.Json.Obj [ ("mean", Obs.Json.Float (mean re)); ("p99", Obs.Json.Float (p99 re)) ] );
+        ( "standby",
+          Obs.Json.Obj [ ("mean", Obs.Json.Float (mean st)); ("p99", Obs.Json.Float (p99 st)) ] );
+      ]
+  in
+  Snapshot.write "failover" (Obs.Json.Obj (("summary", summary) :: List.rev !rows))

@@ -102,11 +102,24 @@ let testbed_of_string ~hosts = function
 (* A canned deterministic fault plan for demo/CI runs: one host crash,
    one master outage, background message loss and duplication.  Times are
    absolute virtual seconds, early enough to fire on small instances. *)
-let chaos_plan () =
+let chaos_plan ~standby ~partition () =
   let module F = Grid.Fault in
+  let master_fault =
+    if partition then
+      (* instead of killing the primary, cut the standby's site off.  The
+         shipping stream stops, the lease expires and the standby promotes
+         anyway — leaving a usurped primary on the wrong side of the
+         partition whose stale-epoch frames must be observably fenced
+         after the heal *)
+      F.Partition_site { site = Gridsat_core.Replica.site; from_t = 6.; until_t = 18. }
+    else
+      (* with a hot standby armed the crashed primary never restarts: the
+         standby's lease expiry promotes it instead *)
+      F.Crash_master { at = 6.; restart_after = (if standby then infinity else 4.) }
+  in
   [
     F.Crash_host { host = 1; at = 2. };
-    F.Crash_master { at = 6.; restart_after = 4. };
+    master_fault;
     F.Drop_messages { src_site = None; dst_site = None; p = 0.1; from_t = 0.; until_t = infinity };
     F.Duplicate_messages { p = 0.05; extra = 0.5; from_t = 0.; until_t = infinity };
   ]
@@ -138,11 +151,17 @@ let print_health_table hm =
         v.Gridsat_core.Health.v_corruptions v.Gridsat_core.Health.v_retries)
     (Gridsat_core.Health.views hm)
 
-let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify ~corrupt_p ~hedge
-    ~stragglers ~flaky ~health_report ~report ~trace cnf =
+let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~chaos_partition ~certify
+    ~corrupt_p ~hedge ~standby ~ship ~stragglers ~flaky ~health_report ~report ~trace cnf =
   match testbed_of_string ~hosts testbed with
   | Error e ->
       prerr_endline e;
+      2
+  | Ok _ when ship <> "async" && ship <> "sync" ->
+      Printf.eprintf "gridsat: bad --ship %S (async|sync)\n" ship;
+      2
+  | Ok _ when chaos_partition && not (chaos && standby) ->
+      Printf.eprintf "gridsat: --chaos-partition requires both --chaos and --standby\n";
       2
   | Ok testbed ->
       let obs = obs_of ~report ~trace in
@@ -183,7 +202,21 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify 
         if hedge then { config with Gridsat_core.Config.hedge = true; adaptive_timeouts = true }
         else config
       in
-      let fault_plan = if chaos then chaos_plan () else [] in
+      (* --standby arms hot-standby master replication; under --chaos the
+         lease and ship interval tighten so the canned early crash
+         promotes within the demo run's horizon *)
+      let config =
+        if standby then
+          {
+            config with
+            Gridsat_core.Config.standby = true;
+            ship_sync = ship = "sync";
+            standby_lease = (if chaos then 6. else config.Gridsat_core.Config.standby_lease);
+            ship_interval = (if chaos then 1. else config.Gridsat_core.Config.ship_interval);
+          }
+        else config
+      in
+      let fault_plan = if chaos then chaos_plan ~standby ~partition:chaos_partition () else [] in
       let fault_plan =
         if stragglers > 0 then straggler_plan ~n:stragglers ~flaky ~seed @ fault_plan else fault_plan
       in
@@ -218,6 +251,13 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify 
       (if hedge then
          Format.printf "c hedging: %d launched, %d losers fenced@."
            result.Gridsat_core.Master.hedges result.Gridsat_core.Master.hedge_cancellations);
+      (if standby then
+         Format.printf
+           "c failover: %d promotion(s), %d journal batches shipped, %d stale frames rejected, %d \
+            divergences@."
+           result.Gridsat_core.Master.promotions result.Gridsat_core.Master.ships
+           result.Gridsat_core.Master.stale_epoch_rejections
+           result.Gridsat_core.Master.replication_divergences);
       (match health with Some hm when health_report -> print_health_table hm | _ -> ());
       if stats then Format.printf "@.%a@." Gridsat_core.Gridsat.pp_result result;
       emit_telemetry ~report ~trace ~obs (fun () ->
@@ -230,6 +270,7 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify 
                 ("certify", Obs.Json.Bool certify);
                 ("corrupt_p", Obs.Json.Float corrupt_p);
                 ("hedge", Obs.Json.Bool hedge);
+                ("standby", Obs.Json.Bool standby);
                 ("stragglers", Obs.Json.Int stragglers);
               ]
             ~obs result);
@@ -279,6 +320,16 @@ let solve_cmd =
   let chaos =
     Arg.(value & flag & info [ "chaos" ] ~doc:"arm a canned fault plan (grid mode)")
   in
+  let chaos_partition =
+    Arg.(
+      value & flag
+      & info [ "chaos-partition" ]
+          ~doc:
+            "with --chaos --standby: swap the canned master crash for a partition of the \
+             standby's site.  The lease still expires and promotes the replica, but the old \
+             primary survives as a dueling master — after the heal its stale-epoch frames must \
+             be rejected and the zombie fenced")
+  in
   let certify =
     Arg.(
       value & flag
@@ -302,6 +353,25 @@ let solve_cmd =
             "grid mode: arm the straggler defense — health-aware ranking, adaptive lease/retry \
              deadlines, and hedged re-execution (a subproblem running past the fleet p99 is cloned \
              to an idle host; first result wins, the loser is cancelled and fenced)")
+  in
+  let standby =
+    Arg.(
+      value & flag
+      & info [ "standby" ]
+          ~doc:
+            "grid mode: arm a hot-standby master — journal records ship to a shadow replica that \
+             continuously checks its replay digest against the primary's; if the primary falls \
+             silent past the standby lease, the replica bumps the master epoch and takes the run \
+             over without restarting the clients")
+  in
+  let ship =
+    Arg.(
+      value & opt string "async"
+      & info [ "ship" ] ~docv:"MODE"
+          ~doc:
+            "journal shipping mode with --standby: $(b,async) batches records on the ship \
+             interval (bounded replication lag), $(b,sync) ships every record as it is appended \
+             (zero lag, one extra message per append)")
   in
   let stragglers =
     Arg.(
@@ -333,7 +403,8 @@ let solve_cmd =
       & info [ "trace" ] ~doc:"write a Chrome trace_event file here (chrome://tracing, Perfetto)")
   in
   let run file mode testbed hosts jobs share_len timeout budget proof stats preprocess seed chaos
-      certify corrupt_p hedge stragglers flaky health_report report trace =
+      chaos_partition certify corrupt_p hedge standby ship stragglers flaky health_report report
+      trace =
     match read_cnf file with
     | Error e ->
         prerr_endline e;
@@ -342,8 +413,9 @@ let solve_cmd =
         match mode with
         | "seq" -> solve_sequential ~preprocess ~proof_out:proof ~stats ~budget ~report ~trace cnf
         | "grid" ->
-            solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~certify ~corrupt_p
-              ~hedge ~stragglers ~flaky ~health_report ~report ~trace cnf
+            solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~chaos_partition
+              ~certify ~corrupt_p ~hedge ~standby ~ship ~stragglers ~flaky ~health_report ~report
+              ~trace cnf
         | "par" ->
             if report <> None || trace <> None then
               Format.printf "c note: --report/--trace are not wired into par mode@.";
@@ -356,8 +428,8 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Solve a DIMACS CNF file")
     Term.(
       const run $ file $ mode $ testbed $ hosts $ jobs $ share_len $ timeout $ budget $ proof
-      $ stats $ preprocess $ seed $ chaos $ certify $ corrupt_p $ hedge $ stragglers $ flaky
-      $ health_report $ report $ trace)
+      $ stats $ preprocess $ seed $ chaos $ chaos_partition $ certify $ corrupt_p $ hedge $ standby
+      $ ship $ stragglers $ flaky $ health_report $ report $ trace)
 
 (* ---------- serve ---------- *)
 
@@ -371,8 +443,8 @@ let ensure_dir d =
   else if not (Sys.is_directory d) then invalid_arg (Printf.sprintf "%s exists and is not a directory" d)
 
 let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tenants ~priorities
-    ~deadline ~seed ~chaos ~corrupt_p ~hedge ~slow_hosts ~flaky ~brownout ~resubmit ~stats ~report
-    ~slo ~flight_dir ~metrics_dir =
+    ~deadline ~seed ~chaos ~corrupt_p ~hedge ~standby ~ship ~slow_hosts ~flaky ~brownout ~resubmit
+    ~stats ~report ~slo ~flight_dir ~metrics_dir =
   let slo_spec =
     match slo with
     | None -> Ok None
@@ -384,6 +456,9 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
   match slo_spec with
   | Error e ->
       prerr_endline e;
+      2
+  | Ok _ when ship <> "async" && ship <> "sync" ->
+      Printf.eprintf "bad --ship %S (async|sync)\n" ship;
       2
   | Ok slo_spec -> (
   match testbed_of_string ~hosts testbed with
@@ -454,6 +529,24 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
               let run_config =
                 if hedge then
                   { run_config with Gridsat_core.Config.hedge = true; adaptive_timeouts = true }
+                else run_config
+              in
+              (* --standby keeps a hot replica fed with journal batches so
+                 a chaos-injected master crash promotes instead of waiting
+                 for a replay-restart; under --chaos, tighten the standby
+                 lease and ship cadence so the takeover fits the short
+                 per-job horizon (the lease must exceed heartbeat_period) *)
+              let run_config =
+                if standby then
+                  {
+                    run_config with
+                    Gridsat_core.Config.standby = true;
+                    ship_sync = ship = "sync";
+                    standby_lease =
+                      (if chaos then 6. else run_config.Gridsat_core.Config.standby_lease);
+                    ship_interval =
+                      (if chaos then 1. else run_config.Gridsat_core.Config.ship_interval);
+                  }
                 else run_config
               in
               let svc_chaos =
@@ -551,6 +644,23 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
                      preempted %d cancelled %d completed %d@."
                     s.Svc.submitted s.Svc.admitted s.Svc.shed s.Svc.cache_hits
                     s.Svc.deadline_expired s.Svc.preempted s.Svc.cancelled s.Svc.completed;
+                  if standby then begin
+                    let promotions, ships, stale =
+                      List.fold_left
+                        (fun (p, sh, st) (j : Sjob.t) ->
+                          match j.Sjob.result with
+                          | None -> (p, sh, st)
+                          | Some r ->
+                              ( p + r.Gridsat_core.Master.promotions,
+                                sh + r.Gridsat_core.Master.ships,
+                                st + r.Gridsat_core.Master.stale_epoch_rejections ))
+                        (0, 0, 0) (Svc.jobs svc)
+                    in
+                    Format.printf
+                      "c failover: %d promotion(s), %d journal batches shipped, %d stale frames \
+                       rejected@."
+                      promotions ships stale
+                  end;
                   if stats then begin
                     Format.printf
                       "c pool: %d hosts, %d free, %d healthy; brownouts %d (%d deadlines \
@@ -638,6 +748,22 @@ let serve_cmd =
             "arm the straggler defense in every run: health-aware ranking, adaptive timeouts and \
              hedged re-execution")
   in
+  let standby =
+    Arg.(
+      value & flag
+      & info [ "standby" ]
+          ~doc:
+            "run every job with a hot-standby master replica: the journal is shipped to a shadow \
+             state machine whose lease expiry promotes it (epoch-fenced) if the primary dies")
+  in
+  let ship =
+    Arg.(
+      value & opt string "async"
+      & info [ "ship" ]
+          ~doc:
+            "journal shipping mode for --standby: async batches entries on a timer (bounded lag), \
+             sync ships every append before proceeding (zero lag, higher overhead)")
+  in
   let slow_hosts =
     Arg.(
       value & opt int 0
@@ -695,18 +821,18 @@ let serve_cmd =
              DIR/metrics.prom periodically and at the end of the run")
   in
   let run files testbed hosts hosts_per_job max_concurrent queue_cap tenants priorities deadline
-      seed chaos corrupt_p hedge slow_hosts flaky brownout resubmit stats report slo flight_dir
-      metrics_dir =
+      seed chaos corrupt_p hedge standby ship slow_hosts flaky brownout resubmit stats report slo
+      flight_dir metrics_dir =
     serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tenants ~priorities
-      ~deadline ~seed ~chaos ~corrupt_p ~hedge ~slow_hosts ~flaky ~brownout ~resubmit ~stats ~report
-      ~slo ~flight_dir ~metrics_dir
+      ~deadline ~seed ~chaos ~corrupt_p ~hedge ~standby ~ship ~slow_hosts ~flaky ~brownout
+      ~resubmit ~stats ~report ~slo ~flight_dir ~metrics_dir
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Solve a batch of CNF files as a multi-tenant job service")
     Term.(
       const run $ files $ testbed $ hosts $ hosts_per_job $ max_concurrent $ queue_cap $ tenants
-      $ priorities $ deadline $ seed $ chaos $ corrupt_p $ hedge $ slow_hosts $ flaky $ brownout
-      $ resubmit $ stats $ report $ slo $ flight_dir $ metrics_dir)
+      $ priorities $ deadline $ seed $ chaos $ corrupt_p $ hedge $ standby $ ship $ slow_hosts
+      $ flaky $ brownout $ resubmit $ stats $ report $ slo $ flight_dir $ metrics_dir)
 
 (* ---------- gen ---------- *)
 

@@ -26,7 +26,10 @@ type state = Idle | Solving of solving
 
 type t = {
   cid : int;
-  master : int;
+  mutable master : int;
+      (* the master's bus endpoint: re-pointed when a frame from a newer
+         epoch announces that a promoted standby took the run over *)
+  mutable epoch : int;  (* highest master epoch seen; stamps every frame we send *)
   sim : Grid.Sim.t;
   bus : Protocol.msg Grid.Everyware.t;
   cfg : Config.t;
@@ -80,7 +83,7 @@ let solver_stats t =
   acc
 
 let send_raw t ~dst msg =
-  let msg = if t.cfg.Config.integrity_checks then Protocol.frame msg else msg in
+  let msg = if t.cfg.Config.integrity_checks then Protocol.frame ~epoch:t.epoch msg else msg in
   Grid.Everyware.send t.bus ~src:t.cid ~dst ~bytes:(Protocol.size msg) msg
 
 let reliable t = match t.rel with Some r -> r | None -> assert false
@@ -458,10 +461,15 @@ let handle_payload t ~src msg =
       finish_problem ~outcome:"stopped" t;
       (match t.rel with Some r -> Reliable.stop r | None -> ());
       t.alive <- false
+  | Protocol.Epoch_notice ->
+      (* succession announcement: the adoption already happened in
+         [handle] off the frame header *)
+      ()
   | Protocol.Register | Protocol.Problem_received _ | Protocol.Split_request _
   | Protocol.Split_ok _ | Protocol.Split_failed | Protocol.Shares _ | Protocol.Finished_unsat _
-  | Protocol.Found_model _ | Protocol.Orphaned _ | Protocol.Resync _ | Protocol.Heartbeat _ ->
-      (* master-bound messages; a client should never receive them *)
+  | Protocol.Found_model _ | Protocol.Orphaned _ | Protocol.Resync _ | Protocol.Heartbeat _
+  | Protocol.Ship _ | Protocol.Ship_ack _ ->
+      (* master- or standby-bound messages; a client should never receive them *)
       ()
   | Protocol.Corrupt_payload ->
       (* garbled content that slipped through because integrity framing is
@@ -472,6 +480,10 @@ let handle_payload t ~src msg =
 
 let handle t ~src msg =
   if t.alive && not t.hung then
+    (* read the epoch off the raw frame header before [verify] strips the
+       frame — like a reliable mid, the header survives even when the
+       payload digest check fails *)
+    let frame_epoch = Protocol.epoch_of msg in
     match Protocol.verify msg with
     | `Corrupt payload -> (
         (* the frame's digest check failed: refuse the payload.  If the
@@ -484,15 +496,39 @@ let handle t ~src msg =
             send_raw t ~dst:src (Protocol.Nack { mid })
         | _ -> t.callbacks.log (Events.Corrupt_message_detected { receiver = t.cid; nacked = false })
         )
-    | `Ok msg -> (
-        if src = t.master then master_reachable t;
-        match msg with
-        | Protocol.Reliable { mid; payload } ->
-            send_raw t ~dst:src (Protocol.Ack { mid });
-            if Reliable.admit (reliable t) ~src ~mid then handle_payload t ~src payload
-        | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
-        | Protocol.Nack { mid } -> Reliable.handle_nack (reliable t) ~mid
-        | _ -> handle_payload t ~src msg)
+    | `Ok msg ->
+        (* Epoch fencing rides the frame header.  A frame older than the
+           highest epoch we have seen is a superseded master's traffic:
+           refuse it and answer with an [Epoch_notice] (framed at our
+           epoch) so the zombie learns it was fenced.  A frame from a
+           newer epoch coming from a master endpoint (id <= 0) announces
+           a promoted standby: adopt the epoch and re-point [t.master] —
+           the failover redirects clients, it never restarts them.
+           Non-standby runs frame everything at epoch 0 and always fall
+           straight through. *)
+        if frame_epoch < t.epoch then begin
+          t.callbacks.log
+            (Events.Stale_epoch_rejected
+               { receiver = t.cid; src; epoch = frame_epoch; current = t.epoch });
+          send_raw t ~dst:src Protocol.Epoch_notice
+        end
+        else begin
+          if frame_epoch > t.epoch then begin
+            t.epoch <- frame_epoch;
+            (* only master endpoints (id <= 0) can announce a succession;
+               [master_reachable] below ends any outage and flushes the
+               outbox toward the new address *)
+            if src <= 0 && src <> t.master then t.master <- src
+          end;
+          if src = t.master then master_reachable t;
+          match msg with
+          | Protocol.Reliable { mid; payload } ->
+              send_raw t ~dst:src (Protocol.Ack { mid });
+              if Reliable.admit (reliable t) ~src ~mid then handle_payload t ~src payload
+          | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
+          | Protocol.Nack { mid } -> Reliable.handle_nack (reliable t) ~mid
+          | _ -> handle_payload t ~src msg
+        end
 
 (* Empty clients take a moment to launch before they can register
    (process start-up on the remote host). *)
@@ -512,6 +548,7 @@ let create ?(obs = Obs.disabled) ~sim ~bus ~cfg ~resource ~trace ~master callbac
     {
       cid = resource.R.id;
       master;
+      epoch = 0;
       sim;
       bus;
       cfg;

@@ -26,6 +26,10 @@ type t = {
   resync_grace : float;
   integrity_checks : bool;
   certify : bool;
+  standby : bool;
+  ship_sync : bool;
+  ship_interval : float;
+  standby_lease : float;
   solver_config : Sat.Solver.config;
   seed : int;
 }
@@ -55,6 +59,10 @@ let default =
     resync_grace = 10.;
     integrity_checks = true;
     certify = false;
+    standby = false;
+    ship_sync = false;
+    ship_interval = 2.;
+    standby_lease = 30.;
     solver_config = Sat.Solver.default_config;
     seed = 0;
   }
@@ -103,6 +111,17 @@ let validate t =
     err
       "certify requires share_max_len = 0: foreign clauses are not locally derivable, so \
        clause-sharing runs cannot produce checkable per-branch proofs"
+  else if t.ship_sync && not t.standby then
+    err
+      "ship_sync requires standby: synchronous journal shipping with zero standbys would \
+       block every append on an ack that can never arrive"
+  else if t.standby && t.ship_interval <= 0. then
+    err "ship_interval must be positive, got %g" t.ship_interval
+  else if t.standby && t.standby_lease <= t.heartbeat_period then
+    err
+      "standby_lease (%g) must exceed heartbeat_period (%g): a lease shorter than one ship \
+       interval's worth of silence would promote the standby against a healthy primary"
+      t.standby_lease t.heartbeat_period
   else Ok ()
 
 let validate_exn t =

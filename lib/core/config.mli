@@ -74,6 +74,26 @@ type t = {
           clients whose answers fail.  Requires [integrity_checks] and
           [share_max_len = 0] (foreign clauses are not locally derivable,
           so sharing runs cannot produce checkable per-branch proofs). *)
+  standby : bool;
+      (** hot-standby master replication: the master ships its journal
+          records to a shadow replica that continuously verifies its
+          replay digest against the primary's; when the standby's lease
+          on the primary expires it bumps the master epoch and promotes
+          itself, reconciling through the normal resync path — clients
+          are redirected, not restarted *)
+  ship_sync : bool;
+      (** ship every journal record the moment it is appended (zero
+          replication lag at the cost of one wire message per append)
+          instead of batching on [ship_interval].  Requires [standby]. *)
+  ship_interval : float;
+      (** how often (virtual seconds) the primary flushes the pending
+          journal records to the standby in async ship mode; an empty
+          batch is still shipped so the shipment stream doubles as the
+          standby's liveness signal on an idle master *)
+  standby_lease : float;
+      (** how long the standby tolerates silence from the primary before
+          promoting itself.  Must comfortably exceed [heartbeat_period]
+          (the ship stream ticks at [ship_interval] <= lease). *)
   solver_config : Sat.Solver.config;
   seed : int;
 }
@@ -91,8 +111,10 @@ val validate : t -> (unit, string) result
     non-positive periods/timeouts, [suspect_timeout <= heartbeat_period]
     (every healthy client would be declared dead), [retry_max_attempts <
     1], [mem_headroom] outside [(0, 1]], [certify] without
-    [integrity_checks] or with clause sharing enabled, and similar
-    contradictions that would silently wedge or corrupt a run. *)
+    [integrity_checks] or with clause sharing enabled, [ship_sync]
+    without [standby], non-positive [ship_interval], [standby_lease]
+    not exceeding [heartbeat_period], and similar contradictions that
+    would silently wedge or corrupt a run. *)
 
 val validate_exn : t -> unit
 (** Raises [Invalid_argument] where {!validate} returns [Error].  Called

@@ -40,6 +40,12 @@ type kind =
   | Hedge_cancelled of { pid : Protocol.pid; loser : int }
   | Host_probation of { host : int; until_t : float }
   | Host_readmitted of { host : int }
+  | Journal_shipped of { seq : int; entries : int }
+  | Ship_applied of { seq : int; applied : int; ok : bool }
+  | Replication_diverged of { seq : int }
+  | Standby_promoted of { epoch : int }
+  | Stale_epoch_rejected of { receiver : int; src : int; epoch : int; current : int }
+  | Stale_primary_fenced of { epoch : int }
   | Terminated of string
 
 type t = { time : float; kind : kind }
@@ -122,6 +128,20 @@ let pp_kind ppf = function
       Format.fprintf ppf "host %d enters probation until t=%.1f (circuit breaker open)" host until_t
   | Host_readmitted { host } ->
       Format.fprintf ppf "host %d re-admitted (canary subproblem succeeded)" host
+  | Journal_shipped { seq; entries } ->
+      Format.fprintf ppf "journal batch #%d shipped to the standby (%d entries)" seq entries
+  | Ship_applied { seq; applied; ok } ->
+      Format.fprintf ppf "standby applied batch #%d (%d entries total, digest %s)" seq applied
+        (if ok then "ok" else "MISMATCH")
+  | Replication_diverged { seq } ->
+      Format.fprintf ppf "standby replay digest DIVERGED from the primary's at batch #%d" seq
+  | Standby_promoted { epoch } ->
+      Format.fprintf ppf "standby promoted to primary (epoch %d); resyncing clients" epoch
+  | Stale_epoch_rejected { receiver; src; epoch; current } ->
+      Format.fprintf ppf "endpoint %d rejected a frame from %d at stale epoch %d (current %d)"
+        receiver src epoch current
+  | Stale_primary_fenced { epoch } ->
+      Format.fprintf ppf "superseded primary (epoch %d) saw a newer epoch and fenced itself" epoch
   | Terminated why -> Format.fprintf ppf "terminated: %s" why
 
 let pp ppf t = Format.fprintf ppf "[%10.1f] %a" t.time pp_kind t.kind
@@ -192,4 +212,13 @@ let flight_view kind : string * (string * Obs.Json.t) list =
   | Hedge_cancelled { pid = p; loser } -> ("hedge_cancelled", pid p @ [ i "loser" loser ])
   | Host_probation { host; until_t } -> ("host_probation", [ i "host" host; f "until" until_t ])
   | Host_readmitted { host } -> ("host_readmitted", [ i "host" host ])
+  | Journal_shipped { seq; entries } -> ("journal_shipped", [ i "seq" seq; i "entries" entries ])
+  | Ship_applied { seq; applied; ok } ->
+      ("ship_applied", [ i "seq" seq; i "applied" applied; b "ok" ok ])
+  | Replication_diverged { seq } -> ("replication_diverged", [ i "seq" seq ])
+  | Standby_promoted { epoch } -> ("standby_promoted", [ i "epoch" epoch ])
+  | Stale_epoch_rejected { receiver; src; epoch; current } ->
+      ( "stale_epoch_rejected",
+        [ i "receiver" receiver; i "src" src; i "epoch" epoch; i "current" current ] )
+  | Stale_primary_fenced { epoch } -> ("stale_primary_fenced", [ i "epoch" epoch ])
   | Terminated why -> ("terminated", [ s "why" why ])

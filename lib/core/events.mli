@@ -74,6 +74,24 @@ type kind =
       (** the host's circuit breaker tripped: no work until [until_t] *)
   | Host_readmitted of { host : int }
       (** a half-open host's canary subproblem succeeded; breaker closed *)
+  | Journal_shipped of { seq : int; entries : int }
+      (** the primary flushed a journal batch to the hot standby *)
+  | Ship_applied of { seq : int; applied : int; ok : bool }
+      (** the standby applied batch [seq]; [ok] is the continuous
+          consistency check — its shadow replay digest matched the
+          primary's *)
+  | Replication_diverged of { seq : int }
+      (** the standby's shadow replay digest did not match the primary's
+          at batch [seq] — replication is unsound (should never happen) *)
+  | Standby_promoted of { epoch : int }
+      (** the standby's lease on the primary expired: it bumped the master
+          epoch, took over the run, and is resyncing the clients *)
+  | Stale_epoch_rejected of { receiver : int; src : int; epoch : int; current : int }
+      (** an endpoint refused a frame whose epoch predates the one it has
+          seen — a zombie primary's traffic after a partition heal *)
+  | Stale_primary_fenced of { epoch : int }
+      (** a superseded primary observed a frame from a newer epoch and
+          stood down for good *)
   | Terminated of string
 
 type t = { time : float; kind : kind }

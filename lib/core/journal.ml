@@ -1,6 +1,10 @@
 module T = Sat.Types
 
-type entry =
+(* The entry type itself lives in [Protocol] (so the wire can ship
+   entries to a hot standby without a dependency cycle); re-exporting the
+   constructors here keeps every [Journal.Assigned ...] call site — and
+   the journal's ownership of the format — unchanged. *)
+type entry = Protocol.journal_entry =
   | Registered of { client : int }
   | Assigned of { pid : Protocol.pid; dst : int; path : T.lit list }
   | Started of { pid : Protocol.pid; client : int }
@@ -92,7 +96,12 @@ let apply st = function
         Hashtbl.fold (fun pid h acc -> if h = client then pid :: acc else acc) st.holder []
       in
       List.iter (Hashtbl.remove st.holder) held
-  | Adopted { pid; client; path } -> register st pid path client
+  | Adopted { pid; client; path } ->
+      (* a client busy on any subproblem proves the root was assigned,
+         even when the Assigned record itself predates this log (a
+         standby's shadow only holds the shipped suffix) *)
+      st.problem_assigned <- true;
+      register st pid path client
   | Verdict { answer } -> st.verdict <- Some answer
 
 (* Full-fidelity rendering: every field of every entry lands in the

@@ -17,7 +17,11 @@
     canonical (sorted) order, so two replays of the same journal always
     produce identical digests. *)
 
-type entry =
+(** Re-export of {!Protocol.journal_entry}: the constructors are defined
+    on the protocol side so a {!Protocol.Ship} message can carry entries
+    to a hot-standby replica, but the journal remains the authority on
+    their meaning. *)
+type entry = Protocol.journal_entry =
   | Registered of { client : int }
   | Assigned of { pid : Protocol.pid; dst : int; path : Sat.Types.lit list }
       (** the master sent [pid] (with guiding-path lineage [path]) to [dst] *)

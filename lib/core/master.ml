@@ -27,6 +27,10 @@ type result = {
   quarantines : int;
   checkpoints_discarded : int;
   journal_records_dropped : int;
+  ships : int;
+  promotions : int;
+  stale_epoch_rejections : int;
+  replication_divergences : int;
   solver_stats : Sat.Stats.t;
   events : Events.t list;
 }
@@ -75,8 +79,26 @@ type t = {
       (* certify mode: UNSAT claims that overtook the registration
          recording their branch's guiding path (client, proof); settled
          when the lineage arrives *)
-  journal : Journal.t;
-      (* write-ahead log on stable storage: survives a master crash *)
+  mutable journal : Journal.t;
+      (* write-ahead log on stable storage: survives a master crash.
+         Mutable because promotion swaps in the standby's shadow journal:
+         the shipped prefix becomes the authoritative log of the run *)
+  mutable replica : Replica.t option;  (* hot standby (cfg.standby) *)
+  mutable epoch : int;
+      (* master epoch: stamped into every outgoing integrity frame and
+         bumped at promotion, so traffic from a superseded primary is
+         recognisably stale everywhere *)
+  mutable active_id : int;
+      (* bus endpoint this master speaks from: [master_id], or
+         [Replica.standby_id] once the standby has been promoted *)
+  mutable promoted : bool;  (* the standby took over this run *)
+  mutable ship_buffer : Protocol.journal_entry list;
+      (* journal entries appended since the last shipment, newest first *)
+  mutable shipped_seq : int;  (* entries shipped so far *)
+  mutable standby_applied : int;  (* from the standby's latest Ship_ack *)
+  mutable outage_started : float option;
+      (* when the current master outage began (crash or usurpation) —
+         closed into the failover histogram at reconciliation *)
   lineage : (Protocol.pid, Sat.Types.lit list) Hashtbl.t;
       (* guiding-path lineage of every live subproblem — enough to
          re-derive any of them from the original CNF *)
@@ -124,6 +146,10 @@ type t = {
   c_nacks : Obs.Metrics.counter;
   c_certified : Obs.Metrics.counter;
   c_quarantines : Obs.Metrics.counter;
+  c_ships : Obs.Metrics.counter;
+  c_stale_rejected : Obs.Metrics.counter;
+  g_repl_lag : Obs.Metrics.gauge;
+  h_failover : Obs.Metrics.histogram;
   h_share_fanout : Obs.Metrics.histogram;
   flight : Obs.Flight.t;
   flight_on : bool;
@@ -149,6 +175,7 @@ let log t kind =
          if nacked then Obs.Metrics.incr t.c_nacks
      | Events.Unsat_fragment_certified _ -> Obs.Metrics.incr t.c_certified
      | Events.Client_quarantined _ -> Obs.Metrics.incr t.c_quarantines
+     | Events.Stale_epoch_rejected _ -> Obs.Metrics.incr t.c_stale_rejected
      | _ -> ());
   (if t.flight_on then
      let name, args = Events.flight_view kind in
@@ -161,6 +188,7 @@ let log t kind =
      | Events.Client_quarantined { client } -> trip "quarantine" (Printf.sprintf "client %d" client)
      | Events.Host_probation { host; _ } -> trip "probation" (Printf.sprintf "host %d" host)
      | Events.Master_restarted -> trip "master-failover" ""
+     | Events.Standby_promoted { epoch } -> trip "master-failover" (Printf.sprintf "epoch %d" epoch)
      | _ -> ());
   t.events <- Events.make (Grid.Sim.now t.sim) kind :: t.events
 
@@ -185,16 +213,54 @@ let reliable t = Pool.reliable t.pool
    gone until restart.  Guarding here keeps stray timers harmless. *)
 let send_raw t ~dst msg =
   if not t.down then begin
-    let msg = if t.cfg.Config.integrity_checks then Protocol.frame msg else msg in
-    Grid.Everyware.send t.bus ~src:master_id ~dst ~bytes:(Protocol.size msg) msg
+    let msg =
+      if t.cfg.Config.integrity_checks then Protocol.frame ~epoch:t.epoch msg else msg
+    in
+    Grid.Everyware.send t.bus ~src:t.active_id ~dst ~bytes:(Protocol.size msg) msg
   end
-
-let jlog t entry = Journal.append t.journal entry
 
 let journal t = t.journal
 
+let epoch t = t.epoch
+
+let promoted t = t.promoted
+
+let replica t = t.replica
+
 let send t ~dst msg =
   if Protocol.critical msg then Reliable.send (reliable t) ~dst msg else send_raw t ~dst msg
+
+(* Flush the pending journal entries to the standby.  The shipped digest
+   is the primary's replay digest *after* this batch: every flush drains
+   the whole buffer, so the standby's shadow journal — the shipped prefix
+   — must render to exactly this digest once it applies the batch.  An
+   empty flush still goes out: the shipment stream is the standby's
+   liveness signal, so an idle primary must keep ticking it. *)
+let ship_flush t =
+  match t.replica with
+  | Some _ when (not t.down) && (not t.promoted) && not t.finished ->
+      let entries = List.rev t.ship_buffer in
+      t.ship_buffer <- [];
+      let seq = t.shipped_seq in
+      t.shipped_seq <- seq + List.length entries;
+      let state_digest = Journal.digest (Journal.replay t.journal) in
+      log t (Events.Journal_shipped { seq; entries = List.length entries });
+      if t.obs_on then Obs.Metrics.incr t.c_ships;
+      send t ~dst:Replica.standby_id (Protocol.Ship { seq; entries; state_digest })
+  | _ -> ()
+
+let rec ship_loop t =
+  if (not t.finished) && t.replica <> None && not t.promoted then begin
+    if not t.down then ship_flush t;
+    schedule t ~delay:t.cfg.Config.ship_interval (fun () -> ship_loop t)
+  end
+
+let jlog t entry =
+  Journal.append t.journal entry;
+  if t.replica <> None && not t.promoted then begin
+    t.ship_buffer <- entry :: t.ship_buffer;
+    if t.cfg.Config.ship_sync then ship_flush t
+  end
 
 let update_max t =
   let b = busy_clients t in
@@ -265,6 +331,12 @@ let result t =
         quarantines = count_events t (function Events.Client_quarantined _ -> true | _ -> false);
         checkpoints_discarded = Checkpoint.discarded t.checkpoints;
         journal_records_dropped = Journal.records_dropped t.journal;
+        ships = count_events t (function Events.Journal_shipped _ -> true | _ -> false);
+        promotions = count_events t (function Events.Standby_promoted _ -> true | _ -> false);
+        stale_epoch_rejections =
+          count_events t (function Events.Stale_epoch_rejected _ -> true | _ -> false);
+        replication_divergences =
+          count_events t (function Events.Replication_diverged _ -> true | _ -> false);
         solver_stats = aggregate_stats t;
         events = events_so_far t;
       }
@@ -295,6 +367,7 @@ let terminate t answer why =
     Hashtbl.reset t.pending_cert;
     Hashtbl.reset t.in_flight;
     Reliable.stop (reliable t);
+    (match t.replica with Some r -> Replica.stop r | None -> ());
     Pool.iter
       (fun id h -> if h.rstate <> Dead && Client.is_alive h.client then send_raw t ~dst:id Protocol.Stop)
       t.pool;
@@ -994,6 +1067,11 @@ let on_orphaned t src pid sp =
 let on_resync t src ~pid ~path ~busy_since =
   let h = host t src in
   log t (Events.Client_resynced { client = src; busy = pid <> None });
+  (* any busy client proves the search started, even when this master's
+     journal (a standby's shadow is only the shipped prefix) never saw
+     the Assigned record — without this the final refutation could never
+     satisfy the problem_assigned guard on the UNSAT verdict *)
+  if pid <> None then t.problem_assigned <- true;
   (match pid with
   | Some p when Hashtbl.mem t.refuted_pids p ->
       (* the client is still solving a branch another copy of which was
@@ -1018,8 +1096,11 @@ let on_resync t src ~pid ~path ~busy_since =
       settle_pending_cert t p
   | None ->
       (match h.rstate with
-      | Busy | Reserved -> h.rstate <- Idle
-      | Launching | Idle | Dead -> ());
+      (* Launching: this master's journal never saw the client register
+         (a standby's shadow can predate it), but answering a resync
+         proves it did — it is alive and idle, not still booting *)
+      | Busy | Reserved | Launching -> h.rstate <- Idle
+      | Idle | Dead -> ());
       h.pid <- None);
   dispatch t
 
@@ -1059,6 +1140,10 @@ let handle_payload t ~src msg =
       (* garbled content that slipped through because integrity framing is
          off: indistinguishable from a lost message *)
       ()
+  | Protocol.Ship _ | Protocol.Ship_ack _ | Protocol.Epoch_notice ->
+      (* replication-link traffic is dispatched in [handle] before the
+         pool lookup; a pool host never speaks it *)
+      ()
   | Protocol.Ack _ | Protocol.Nack _ | Protocol.Reliable _ | Protocol.Framed _ ->
       (* unwrapped by [handle]; never nested *) ()
 
@@ -1090,11 +1175,51 @@ let handle_zombie t ~src h msg =
       on_found_model t src m
   | _ -> fence ()
 
+(* Replication-link traffic: the standby is not a pool host, so its raw
+   acks and ship acks are dispatched before the pool lookup.  A ship ack
+   is where the primary learns the replication lag. *)
+let handle_standby t msg =
+  match Protocol.verify msg with
+  | `Corrupt _ -> log t (Events.Corrupt_message_detected { receiver = t.active_id; nacked = false })
+  | `Ok msg -> (
+      match msg with
+      | Protocol.Ack { mid } -> Reliable.handle_ack (reliable t) ~mid
+      | Protocol.Nack { mid } -> Reliable.handle_nack (reliable t) ~mid
+      | Protocol.Ship_ack { applied; _ } ->
+          t.standby_applied <- max t.standby_applied applied;
+          if t.obs_on then
+            Obs.Metrics.set t.g_repl_lag
+              (float_of_int (max 0 (Journal.appended t.journal - t.standby_applied)))
+      | _ -> ())
+
 let handle t ~src msg =
-  if (not t.finished) && not t.down then
-    match Pool.find_opt t.pool src with
-    | None -> ()
-    | Some h -> (
+  if (not t.finished) && not t.down then begin
+    (* The epoch rides in the frame header (like a reliable mid, it is
+       readable even when the payload digest fails), so fencing happens
+       before anything else.  A frame from a newer epoch means another
+       master has been promoted past this one: stand down for good.  A
+       frame from an older epoch is a superseded sender: refuse it and
+       tell it about the succession.  Non-standby runs frame everything
+       at epoch 0 and never take either branch. *)
+    let frame_epoch = Protocol.epoch_of msg in
+    if frame_epoch > t.epoch then begin
+      log t (Events.Stale_primary_fenced { epoch = frame_epoch });
+      t.down <- true;
+      t.resyncing <- false;
+      Reliable.stop (reliable t);
+      Grid.Everyware.unregister t.bus ~id:t.active_id
+    end
+    else if frame_epoch < t.epoch then begin
+      log t
+        (Events.Stale_epoch_rejected
+           { receiver = t.active_id; src; epoch = frame_epoch; current = t.epoch });
+      send_raw t ~dst:src Protocol.Epoch_notice
+    end
+    else if src = Replica.standby_id then handle_standby t msg
+    else
+      match Pool.find_opt t.pool src with
+      | None -> ()
+      | Some h -> (
         match Protocol.verify msg with
         | `Corrupt payload ->
             (* never act on rotten bytes, dead sender or not.  A live
@@ -1121,6 +1246,7 @@ let handle t ~src msg =
               | Protocol.Nack { mid } -> Reliable.handle_nack (reliable t) ~mid
               | _ -> handle_payload t ~src msg
             end)
+  end
 
 (* ---------- failure handling ---------- *)
 
@@ -1181,6 +1307,19 @@ let inject t ~src msg = handle_payload t ~src msg
    backlog, the recovery queue — is lost.  Only the journal and the
    checkpoint store (both stable storage) survive.  Clients notice via
    retry exhaustion and keep solving autonomously. *)
+let drop_volatile t =
+  Hashtbl.reset t.in_flight;
+  Hashtbl.reset t.live_problems;
+  Hashtbl.reset t.lineage;
+  Hashtbl.reset t.last_holder;
+  Hashtbl.reset t.refuted_pids;
+  Hashtbl.reset t.hedged;
+  t.pending_partner <- [];
+  t.migrating <- [];
+  t.backlog <- [];
+  Queue.clear t.pending_recovery;
+  Hashtbl.reset t.pending_cert
+
 let crash_master t =
   if (not t.finished) && not t.down then begin
     log t Events.Master_crashed;
@@ -1191,19 +1330,10 @@ let crash_master t =
     end;
     t.down <- true;
     t.resyncing <- false;
+    t.outage_started <- Some (Grid.Sim.now t.sim);
     Reliable.stop (reliable t);
-    Grid.Everyware.unregister t.bus ~id:master_id;
-    Hashtbl.reset t.in_flight;
-    Hashtbl.reset t.live_problems;
-    Hashtbl.reset t.lineage;
-    Hashtbl.reset t.last_holder;
-    Hashtbl.reset t.refuted_pids;
-    Hashtbl.reset t.hedged;
-    t.pending_partner <- [];
-    t.migrating <- [];
-    t.backlog <- [];
-    Queue.clear t.pending_recovery;
-    Hashtbl.reset t.pending_cert
+    Grid.Everyware.unregister t.bus ~id:t.active_id;
+    drop_volatile t
   end
 
 (* Reconciliation closes: any journaled live subproblem that no surviving
@@ -1218,6 +1348,11 @@ let reconcile t =
       Obs.Span.exit (spanr t) t.outage_span;
       t.outage_span <- Obs.Span.none
     end;
+    (match t.outage_started with
+    | Some t0 ->
+        t.outage_started <- None;
+        if t.obs_on then Obs.Metrics.observe t.h_failover (Grid.Sim.now t.sim -. t0)
+    | None -> ());
     let held = Hashtbl.create 16 in
     Pool.iter
       (fun _ h ->
@@ -1246,6 +1381,15 @@ let reconcile t =
                  re-derivable in the next holder's proof fragment) *)
               rederive_lost t ~holder p)
       orphans;
+    (* a standby's shadow can predate the very first assignment (the
+       primary died before any non-empty ship flush).  If nothing — no
+       journal record, no busy resync — proves the search ever started,
+       start it from the root now: clients already registered with the
+       old primary will never send another Register to trigger it *)
+    if (not t.finished) && not t.problem_assigned then (
+      match Scheduler.pick t.cfg.scheduler ~rng:t.rng (idle_candidates t) with
+      | Some cand -> assign_initial_problem t cand.Scheduler.resource.R.id
+      | None -> ());
     (* the verdict may have become decidable during the window: results
        that arrived while UNSAT was deferred could have drained the pool *)
     if
@@ -1259,44 +1403,137 @@ let reconcile t =
     else dispatch t
   end
 
-(* A replacement master comes up: replay the journal from stable storage,
-   re-register the endpoint, reset the failure detector's leases (the old
-   [last_heard] anchors died with the old process), and ask every
+(* The shared recovery routine of a replacement master — whether it is
+   the old process restarted from stable storage or the hot standby
+   promoted onto its shadow journal.  Replays [t.journal] into the
+   volatile tables, resets the failure detector's leases (the old
+   [last_heard] anchors died with the old process), and asks every
    not-known-dead client to resync.  Assignment stays gated until the
    resync grace elapses and [reconcile] runs. *)
+let recover_from_journal t =
+  let st = Journal.replay t.journal in
+  Hashtbl.iter
+    (fun pid path ->
+      Hashtbl.replace t.live_problems pid ();
+      Hashtbl.replace t.lineage pid path)
+    st.Journal.live;
+  Hashtbl.iter (fun pid h -> Hashtbl.replace t.last_holder pid h) st.Journal.holder;
+  Hashtbl.iter (fun pid () -> Hashtbl.replace t.refuted_pids pid ()) st.Journal.refuted;
+  t.problem_assigned <- st.Journal.problem_assigned;
+  t.splits <- st.Journal.splits;
+  t.share_batches <- st.Journal.share_batches;
+  t.shared_clauses <- st.Journal.shared_clauses;
+  let now = Grid.Sim.now t.sim in
+  Pool.iter
+    (fun id h ->
+      h.pid <- None;
+      h.busy_since <- 0.;
+      (match Hashtbl.find_opt st.Journal.clients id with
+      | Some Journal.Dead -> h.rstate <- Dead  (* journal-dead stays fenced *)
+      | Some Journal.Alive -> h.rstate <- Idle  (* provisional until its Resync *)
+      | None -> h.rstate <- Launching);
+      if h.rstate <> Dead then h.last_heard <- now)
+    t.pool;
+  t.resyncing <- true;
+  Pool.iter (fun id h -> if h.rstate <> Dead then send t ~dst:id Protocol.Resync_request) t.pool;
+  schedule t ~delay:t.cfg.Config.resync_grace (fun () -> reconcile t)
+
+(* A superseded primary that is still (or again) running: it holds the
+   old epoch, so every frame it emits is recognisably stale.  The ghost
+   keeps broadcasting resync requests the way a freshly restarted master
+   would — until the first reply framed at the successor's epoch fences
+   it for good.  It never acks reliable envelopes: clients that still
+   address it fall into their ordinary master-outage autonomy until the
+   promoted master's own resync reaches them. *)
+let spawn_ghost t ~epoch =
+  let fenced = ref false in
+  let ghost_send ~dst msg =
+    let msg = if t.cfg.Config.integrity_checks then Protocol.frame ~epoch msg else msg in
+    Grid.Everyware.send t.bus ~src:master_id ~dst ~bytes:(Protocol.size msg) msg
+  in
+  Grid.Everyware.register t.bus ~id:master_id ~site:t.testbed.Testbed.master_site
+    ~handler:(fun ~src:_ msg ->
+      if (not !fenced) && Protocol.epoch_of msg > epoch then begin
+        fenced := true;
+        log t (Events.Stale_primary_fenced { epoch });
+        Grid.Everyware.unregister t.bus ~id:master_id
+      end);
+  let rec haunt () =
+    if (not !fenced) && not t.finished then begin
+      Pool.iter
+        (fun id h -> if h.rstate <> Dead then ghost_send ~dst:id Protocol.Resync_request)
+        t.pool;
+      (* a zombie primary also keeps shipping to what it believes is its
+         standby.  The promoted master's stale-epoch rejection of that
+         batch is the observable proof of succession, and the
+         [Epoch_notice] it answers with is what fences the ghost. *)
+      ghost_send ~dst:Replica.standby_id (Protocol.Ship { seq = 0; entries = []; state_digest = "" });
+      ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.Config.heartbeat_period haunt)
+    end
+  in
+  haunt ()
+
+(* The standby's lease on the primary expired: promote it.  The shadow
+   journal — the shipped prefix of the primary's — becomes the
+   authoritative log, the epoch is bumped so the whole fleet can tell
+   successor from superseded, and the standby's endpoint is re-registered
+   with the full master handler.  Anything in the replication lag window
+   (appended but never shipped) is re-derived through the ordinary
+   resync/orphan path, exactly as after a restart.  If the old primary
+   is not actually down — a partition, not a crash: dueling masters —
+   its persona is handed to a stale-epoch ghost that the first
+   new-epoch frame fences. *)
+let promote t =
+  if (not t.finished) && not t.promoted then begin
+    match t.replica with
+    | None -> ()
+    | Some r ->
+        Replica.mark_promoted r;
+        let old_epoch = t.epoch in
+        let dueling = not t.down in
+        if t.outage_started = None then t.outage_started <- Some (Grid.Sim.now t.sim);
+        if t.obs_on && t.outage_span = Obs.Span.none then
+          t.outage_span <-
+            Obs.Span.enter (spanr t) ~tid:Obs.Span.master_tid ~cat:"master" "master.outage";
+        (* the old primary's authority dies here: whatever it still had in
+           flight is cancelled (a live duelist keeps only its ghost) *)
+        Reliable.stop (reliable t);
+        if dueling then begin
+          drop_volatile t;
+          Grid.Everyware.unregister t.bus ~id:master_id
+        end;
+        t.epoch <- old_epoch + 1;
+        t.promoted <- true;
+        t.down <- false;
+        t.resyncing <- false;
+        t.active_id <- Replica.standby_id;
+        t.journal <- Replica.journal r;
+        t.ship_buffer <- [];
+        Grid.Everyware.register t.bus ~id:Replica.standby_id ~site:Replica.site
+          ~handler:(fun ~src msg -> handle t ~src msg);
+        if dueling then spawn_ghost t ~epoch:old_epoch;
+        log t (Events.Standby_promoted { epoch = t.epoch });
+        minstant t ~parent:t.outage_span ~cat:"master" "master.promoted";
+        recover_from_journal t
+  end
+
+(* A replacement master comes up at the old endpoint.  If the standby
+   already took the run over, the restarted process is a zombie: it
+   rejoins at its superseded epoch and lives only until fenced. *)
 let restart_master t =
-  if (not t.finished) && t.down then begin
-    t.down <- false;
-    Grid.Everyware.register t.bus ~id:master_id ~site:t.testbed.Testbed.master_site
-      ~handler:(fun ~src msg -> handle t ~src msg);
-    let st = Journal.replay t.journal in
-    Hashtbl.iter
-      (fun pid path ->
-        Hashtbl.replace t.live_problems pid ();
-        Hashtbl.replace t.lineage pid path)
-      st.Journal.live;
-    Hashtbl.iter (fun pid h -> Hashtbl.replace t.last_holder pid h) st.Journal.holder;
-    Hashtbl.iter (fun pid () -> Hashtbl.replace t.refuted_pids pid ()) st.Journal.refuted;
-    t.problem_assigned <- st.Journal.problem_assigned;
-    t.splits <- st.Journal.splits;
-    t.share_batches <- st.Journal.share_batches;
-    t.shared_clauses <- st.Journal.shared_clauses;
-    let now = Grid.Sim.now t.sim in
-    Pool.iter
-      (fun id h ->
-        h.pid <- None;
-        h.busy_since <- 0.;
-        (match Hashtbl.find_opt st.Journal.clients id with
-        | Some Journal.Dead -> h.rstate <- Dead  (* journal-dead stays fenced *)
-        | Some Journal.Alive -> h.rstate <- Idle  (* provisional until its Resync *)
-        | None -> h.rstate <- Launching);
-        if h.rstate <> Dead then h.last_heard <- now)
-      t.pool;
-    t.resyncing <- true;
-    log t Events.Master_restarted;
-    minstant t ~parent:t.outage_span ~cat:"master" "master.restarted";
-    Pool.iter (fun id h -> if h.rstate <> Dead then send t ~dst:id Protocol.Resync_request) t.pool;
-    schedule t ~delay:t.cfg.Config.resync_grace (fun () -> reconcile t)
+  if not t.finished then begin
+    if t.promoted then begin
+      if not (Grid.Everyware.registered t.bus ~id:master_id) then
+        spawn_ghost t ~epoch:(t.epoch - 1)
+    end
+    else if t.down then begin
+      t.down <- false;
+      Grid.Everyware.register t.bus ~id:master_id ~site:t.testbed.Testbed.master_site
+        ~handler:(fun ~src msg -> handle t ~src msg);
+      log t Events.Master_restarted;
+      minstant t ~parent:t.outage_span ~cat:"master" "master.restarted";
+      recover_from_journal t
+    end
   end
 
 (* External cancellation (deadline expiry, preemption, operator abort) —
@@ -1464,6 +1701,14 @@ let create ?(obs = Obs.disabled) ?health ~sim ~net ~bus ~cfg ~testbed cnf =
       pending_recovery = Queue.create ();
       pending_cert = Hashtbl.create 8;
       journal = Journal.create ~obs ~compact_every:cfg.Config.journal_compact_every ();
+      replica = None;
+      epoch = 0;
+      active_id = master_id;
+      promoted = false;
+      ship_buffer = [];
+      shipped_seq = 0;
+      standby_applied = 0;
+      outage_started = None;
       lineage = Hashtbl.create 64;
       last_holder = Hashtbl.create 64;
       refuted_pids = Hashtbl.create 64;
@@ -1511,6 +1756,10 @@ let create ?(obs = Obs.disabled) ?health ~sim ~net ~bus ~cfg ~testbed cnf =
       c_nacks = Obs.Metrics.counter m "integrity.nacks";
       c_certified = Obs.Metrics.counter m "certify.unsat_fragments";
       c_quarantines = Obs.Metrics.counter m "certify.quarantines";
+      c_ships = Obs.Metrics.counter m "master.journal.ships";
+      c_stale_rejected = Obs.Metrics.counter m "epoch.stale.rejected";
+      g_repl_lag = Obs.Metrics.gauge m "standby.replication.lag";
+      h_failover = Obs.Metrics.histogram m "master.failover.seconds";
       h_share_fanout = Obs.Metrics.histogram m "master.share.fanout";
     }
   in
@@ -1562,6 +1811,15 @@ let create ?(obs = Obs.disabled) ?health ~sim ~net ~bus ~cfg ~testbed cnf =
          ());
   Grid.Everyware.register bus ~id:master_id ~site:testbed.Testbed.master_site
     ~handler:(fun ~src msg -> handle t ~src msg);
+  if cfg.Config.standby then begin
+    t.replica <-
+      Some
+        (Replica.create ~obs ~sim ~bus ~cfg
+           ~log:(fun kind -> log t kind)
+           ~on_lease_expired:(fun () -> promote t)
+           ());
+    ship_loop t
+  end;
   let callbacks =
     {
       Client.log = (fun kind -> log t kind);

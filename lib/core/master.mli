@@ -69,6 +69,17 @@ type result = {
       (** checkpoint snapshots rejected by their at-rest seal *)
   journal_records_dropped : int;
       (** journal records rejected by their at-rest seal during replay *)
+  ships : int;  (** journal batches shipped to the hot standby *)
+  promotions : int;
+      (** standby promotions (0 or 1 with a single standby): the lease on
+          the primary expired and the shadow journal took over the run *)
+  stale_epoch_rejections : int;
+      (** frames refused, at any endpoint, because their epoch predates
+          the highest one the receiver had seen — a superseded primary's
+          traffic after a partition heal or zombie restart *)
+  replication_divergences : int;
+      (** standby shadow-replay digests that failed to match the
+          primary's shipped digest — must be 0 in any sound run *)
   solver_stats : Sat.Stats.t;  (** aggregated over all clients *)
   events : Events.t list;  (** chronological *)
 }
@@ -163,7 +174,10 @@ val restart_master : t -> unit
     to every not-known-dead client, and after [resync_grace] reconciles:
     subproblems the clients still hold are adopted, orphans are re-homed
     from their last holder's checkpoint or re-derived from lineage, and
-    dispatching resumes.  No-op unless currently down. *)
+    dispatching resumes.  No-op unless currently down — except after a
+    standby promotion, where the restarted process is a superseded
+    zombie: it rejoins at its old epoch and lives only until the first
+    new-epoch frame fences it. *)
 
 val cancel : t -> reason:string -> unit
 (** Graceful external cancellation (deadline expiry, preemption, operator
@@ -176,7 +190,21 @@ val cancel : t -> reason:string -> unit
 
 val journal : t -> Journal.t
 (** The master's write-ahead journal (for tests and bench: replay
-    determinism, append/compaction counters). *)
+    determinism, append/compaction counters).  After a promotion this is
+    the standby's shadow journal — the shipped prefix that took over as
+    the authoritative log. *)
+
+val epoch : t -> int
+(** The current master epoch: 0 until a promotion bumps it.  Stamped into
+    every outgoing integrity frame so stale-primary traffic is
+    recognisable fleet-wide. *)
+
+val promoted : t -> bool
+(** Whether the hot standby has taken this run over. *)
+
+val replica : t -> Replica.t option
+(** The hot-standby replica, when the config enables [standby] (for
+    tests: applied counts, divergences, shadow digests). *)
 
 val events_so_far : t -> Events.t list
 

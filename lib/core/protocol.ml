@@ -1,5 +1,29 @@
 type pid = int * int
 
+(* The master's write-ahead journal entries are defined here (and
+   re-exported by [Journal]) so the wire protocol can ship them to a
+   hot-standby replica without a dependency cycle: [Journal] depends on
+   [Protocol] for pids, and [Ship] must carry entries. *)
+type journal_entry =
+  | Registered of { client : int }
+  | Assigned of { pid : pid; dst : int; path : Sat.Types.lit list }
+  | Started of { pid : pid; client : int }
+  | Granted of { requester : int; partner : int }
+  | Split of {
+      donor : int;
+      donor_pid : pid;
+      donor_path : Sat.Types.lit list;
+      pid : pid;
+      dst : int;
+      path : Sat.Types.lit list;
+    }
+  | Refuted of { pid : pid }
+  | Shared of { clauses : int }
+  | Suspected of { client : int }
+  | Died of { client : int }
+  | Adopted of { pid : pid; client : int; path : Sat.Types.lit list }
+  | Verdict of { answer : string }
+
 type msg =
   | Register
   | Problem of { pid : pid; sp : Subproblem.t; sent_at : float }
@@ -25,10 +49,13 @@ type msg =
   | Resync of { pid : pid option; path : Sat.Types.lit list; busy_since : float }
   | Stop
   | Heartbeat of { decisions : int }
+  | Ship of { seq : int; entries : journal_entry list; state_digest : string }
+  | Ship_ack of { seq : int; applied : int; ok : bool }
+  | Epoch_notice
   | Ack of { mid : int }
   | Nack of { mid : int }
   | Reliable of { mid : int; payload : msg }
-  | Framed of { digest : int; payload : msg }
+  | Framed of { digest : int; epoch : int; payload : msg }
   | Corrupt_payload
 
 let control_bytes = 64
@@ -39,6 +66,13 @@ let shares_bytes clauses =
 let model_bytes m = control_bytes + Sat.Model.nvars m
 
 let frame_bytes = 8
+
+let entry_bytes = function
+  | Assigned { path; _ } | Adopted { path; _ } -> 16 + (8 * List.length path)
+  | Split { donor_path; path; _ } -> 16 + (8 * (List.length donor_path + List.length path))
+  | Registered _ | Started _ | Granted _ | Refuted _ | Shared _ | Suspected _ | Died _
+  | Verdict _ ->
+      16
 
 let rec size = function
   | Problem { sp; _ } | Orphaned { sp; _ } -> Subproblem.bytes sp
@@ -51,8 +85,13 @@ let rec size = function
       control_bytes + (8 * (List.length path + List.length donor_path))
   | Finished_unsat { proof; _ } ->
       control_bytes + (match proof with None -> 0 | Some p -> String.length p)
+  | Ship { entries; state_digest; _ } ->
+      control_bytes
+      + String.length state_digest
+      + List.fold_left (fun acc e -> acc + entry_bytes e) 0 entries
   | Register | Split_request _ | Split_partner _ | Split_failed | Migrate_to _ | Cancel _
-  | Resync_request | Stop | Heartbeat _ | Ack _ | Nack _ | Corrupt_payload ->
+  | Resync_request | Stop | Heartbeat _ | Ship_ack _ | Epoch_notice | Ack _ | Nack _
+  | Corrupt_payload ->
       control_bytes
 
 (* Clause shares are semantically safe to lose (a learned clause is only an
@@ -62,10 +101,10 @@ let rec size = function
 let critical = function
   | Register | Problem _ | Problem_received _ | Split_request _ | Split_partner _ | Split_ok _
   | Split_failed | Finished_unsat _ | Found_model _ | Migrate_to _ | Cancel _ | Orphaned _
-  | Resync_request | Resync _ ->
+  | Resync_request | Resync _ | Ship _ ->
       true
-  | Shares _ | Share_relay _ | Stop | Heartbeat _ | Ack _ | Nack _ | Reliable _ | Framed _
-  | Corrupt_payload ->
+  | Shares _ | Share_relay _ | Stop | Heartbeat _ | Ship_ack _ | Epoch_notice | Ack _ | Nack _
+  | Reliable _ | Framed _ | Corrupt_payload ->
       false
 
 (* ---------- integrity framing ---------- *)
@@ -73,6 +112,30 @@ let critical = function
 (* Canonical rendering for digesting: every field that matters lands in the
    buffer, in a fixed order.  Not a wire format — just a deterministic byte
    string two ends can agree on. *)
+let render_entry buf e =
+  let pf fmt = Printf.bprintf buf fmt in
+  let lits ls = List.iter (fun l -> pf "%d " (Sat.Types.to_int l)) ls in
+  match e with
+  | Registered { client } -> pf "jreg %d" client
+  | Assigned { pid = o, n; dst; path } ->
+      pf "jasn %d.%d %d " o n dst;
+      lits path
+  | Started { pid = o, n; client } -> pf "jsta %d.%d %d" o n client
+  | Granted { requester; partner } -> pf "jgra %d %d" requester partner
+  | Split { donor; donor_pid = a, b; donor_path; pid = o, n; dst; path } ->
+      pf "jspl %d %d.%d " donor a b;
+      lits donor_path;
+      pf "-> %d.%d %d " o n dst;
+      lits path
+  | Refuted { pid = o, n } -> pf "jref %d.%d" o n
+  | Shared { clauses } -> pf "jshr %d" clauses
+  | Suspected { client } -> pf "jsus %d" client
+  | Died { client } -> pf "jdie %d" client
+  | Adopted { pid = o, n; client; path } ->
+      pf "jado %d.%d %d " o n client;
+      lits path
+  | Verdict { answer } -> pf "jver %s" answer
+
 let rec render buf msg =
   let pf fmt = Printf.bprintf buf fmt in
   let lits ls = List.iter (fun l -> pf "%d " (Sat.Types.to_int l)) ls in
@@ -122,13 +185,22 @@ let rec render buf msg =
       lits path
   | Stop -> pf "stop"
   | Heartbeat { decisions } -> pf "hb %d" decisions
+  | Ship { seq; entries; state_digest } ->
+      pf "ship %d %s " seq state_digest;
+      List.iter
+        (fun e ->
+          render_entry buf e;
+          Buffer.add_char buf '/')
+        entries
+  | Ship_ack { seq; applied; ok } -> pf "ship_ack %d %d %b" seq applied ok
+  | Epoch_notice -> pf "epoch!"
   | Ack { mid } -> pf "ack %d" mid
   | Nack { mid } -> pf "nack %d" mid
   | Reliable { mid; payload } ->
       pf "rel %d " mid;
       render buf payload
-  | Framed { digest; payload } ->
-      pf "frame %d " digest;
+  | Framed { digest; epoch; payload } ->
+      pf "frame %d @%d " digest epoch;
       render buf payload
   | Corrupt_payload -> pf "garbage"
 
@@ -137,10 +209,17 @@ let digest msg =
   render buf msg;
   Integrity.fnv1a (Buffer.contents buf)
 
-let frame msg = Framed { digest = digest msg; payload = msg }
+(* The epoch is a header field, not part of the digested payload: like a
+   reliable envelope's mid it survives in-flight corruption (it carries
+   its own header CRC in any real encoding), so receivers can fence a
+   stale sender even when the payload is trash. *)
+let frame ?(epoch = 0) msg = Framed { digest = digest msg; epoch; payload = msg }
+
+let epoch_of = function Framed { epoch; _ } -> epoch | _ -> 0
 
 let verify = function
-  | Framed { digest = d; payload } -> if digest payload = d then `Ok payload else `Corrupt payload
+  | Framed { digest = d; payload; _ } ->
+      if digest payload = d then `Ok payload else `Corrupt payload
   | msg -> `Ok msg
 
 (* In-flight bit rot: the payload content becomes unreadable trash, while
@@ -154,5 +233,5 @@ let corrupt msg =
     | _ -> Corrupt_payload
   in
   match msg with
-  | Framed { digest; payload } -> Framed { digest; payload = garble payload }
+  | Framed { digest; epoch; payload } -> Framed { digest; epoch; payload = garble payload }
   | m -> garble m

@@ -19,6 +19,30 @@ type pid = int * int
     initial problem is [(0, 0)]; a split branch is stamped by its donor.
     Pids make re-delivery and recovery idempotent at the master. *)
 
+(** The master's write-ahead journal entries.  Defined here — and
+    re-exported verbatim by {!Journal} — so {!Ship} can carry them to a
+    hot-standby replica without a [Journal]/[Protocol] dependency cycle.
+    See {!Journal} for the per-constructor semantics. *)
+type journal_entry =
+  | Registered of { client : int }
+  | Assigned of { pid : pid; dst : int; path : Sat.Types.lit list }
+  | Started of { pid : pid; client : int }
+  | Granted of { requester : int; partner : int }
+  | Split of {
+      donor : int;
+      donor_pid : pid;
+      donor_path : Sat.Types.lit list;
+      pid : pid;
+      dst : int;
+      path : Sat.Types.lit list;
+    }
+  | Refuted of { pid : pid }
+  | Shared of { clauses : int }
+  | Suspected of { client : int }
+  | Died of { client : int }
+  | Adopted of { pid : pid; client : int; path : Sat.Types.lit list }
+  | Verdict of { answer : string }
+
 type msg =
   | Register  (** client -> master: the empty client is up *)
   | Problem of { pid : pid; sp : Subproblem.t; sent_at : float }
@@ -75,16 +99,36 @@ type msg =
           client's cumulative solver decision count so the master's health
           model can derive a progress rate: a straggler that heartbeats on
           time but decides slowly is visible here and nowhere else. *)
+  | Ship of { seq : int; entries : journal_entry list; state_digest : string }
+      (** primary master -> hot standby: journal records appended since the
+          last shipment, numbered by the batch's first entry index [seq],
+          plus the primary's deterministic replay digest after the batch —
+          the standby applies the entries to its shadow journal and checks
+          its own replay digest against [state_digest] (continuous
+          consistency verification).  Critical: rides the reliable
+          channel. *)
+  | Ship_ack of { seq : int; applied : int; ok : bool }
+      (** standby -> primary: batch [seq] applied; [applied] is the
+          standby's total applied-entry count (the primary derives the
+          replication-lag gauge from it) and [ok] reports whether the
+          shadow replay digest matched *)
+  | Epoch_notice
+      (** receiver -> stale sender: your frame carried an epoch below
+          mine.  Tells a fenced zombie primary that it has been superseded
+          (the current epoch rides in the notice's own frame header). *)
   | Ack of { mid : int }  (** receiver -> sender: reliable envelope received *)
   | Nack of { mid : int }
       (** receiver -> sender: reliable envelope [mid] arrived corrupt;
           retransmit now instead of waiting out the backoff timer *)
   | Reliable of { mid : int; payload : msg }
       (** retry envelope for critical control messages *)
-  | Framed of { digest : int; payload : msg }
+  | Framed of { digest : int; epoch : int; payload : msg }
       (** integrity frame sealing every message put on the wire when
           [Config.integrity_checks] is on; receivers verify with {!verify}
-          and refuse payloads whose digest does not match *)
+          and refuse payloads whose digest does not match.  [epoch] is the
+          sender's master epoch (0 for the whole run unless a standby was
+          promoted): receivers reject frames from stale epochs, which
+          structurally fences zombie primaries after a partition heals. *)
   | Corrupt_payload
       (** what a garbled message reads as at the receiver: unparseable
           trash.  Never sent deliberately — produced by {!corrupt} under
@@ -113,8 +157,17 @@ val digest : msg -> int
 (** FNV-1a digest of the message's canonical rendering (every semantic
     field, in a fixed order).  Deterministic across runs. *)
 
-val frame : msg -> msg
-(** Seals a message for the wire: [Framed { digest = digest msg; payload = msg }]. *)
+val frame : ?epoch:int -> msg -> msg
+(** Seals a message for the wire:
+    [Framed { digest = digest msg; epoch; payload = msg }].  [epoch]
+    (default 0) is a header field alongside the digest — it is {e not}
+    digested, so (like a reliable envelope's mid) it survives in-flight
+    payload corruption and a receiver can fence a stale sender even when
+    the payload is trash. *)
+
+val epoch_of : msg -> int
+(** The epoch carried in a message's frame header (0 for unframed
+    messages). *)
 
 val verify : msg -> [ `Ok of msg | `Corrupt of msg ]
 (** Checks and strips a {!frame}.  Unframed messages pass through as

@@ -1,0 +1,80 @@
+(** Hot-standby master replica (the receive side of journal shipping).
+
+    The standby owns a shadow {!Journal} fed exclusively by the primary's
+    {!Protocol.Ship} batches.  Batches are applied strictly in sequence —
+    out-of-order arrivals (network reordering, retransmissions racing a
+    late original) are buffered and drained once the gap fills, so the
+    shadow journal is always a prefix of the primary's.  After every
+    applied batch the standby replays its shadow journal and compares the
+    digest against the [state_digest] the primary computed at flush time:
+    a mismatch is a {!Events.Replication_diverged} — replication is
+    unsound and the run's tests treat it as fatal.
+
+    The shipment stream doubles as the standby's liveness signal: the
+    primary flushes on [ship_interval] even when the batch is empty.
+    When the standby hears nothing for [standby_lease] virtual seconds it
+    fires [on_lease_expired] exactly once — the hook through which
+    {!Master} promotes the standby into a primary at a bumped epoch.
+
+    The replica deliberately owns no {!Reliable} channel of its own: it
+    raw-acks every reliable envelope it receives and keeps a [(src, mid)]
+    table for dedup, mirroring {!Reliable.admit} without the retry
+    machinery it never needs ([Ship_ack] loss is repaired by the
+    primary's own retries of the next batch). *)
+
+type t
+
+val standby_id : int
+(** Bus endpoint id of the standby ([-1]; client ids are positive and the
+    primary master is [0]). *)
+
+val site : string
+(** The standby's grid site (["standby"]), distinct from the master's so
+    a {!Grid.Fault.Partition_site} on it cuts exactly the replication
+    link. *)
+
+val create :
+  ?obs:Obs.t ->
+  sim:Grid.Sim.t ->
+  bus:Protocol.msg Grid.Everyware.t ->
+  cfg:Config.t ->
+  log:(Events.kind -> unit) ->
+  on_lease_expired:(unit -> unit) ->
+  unit ->
+  t
+(** Registers the standby endpoint on [bus] at {!standby_id}/{!site} and
+    arms the lease watchdog.  [log] receives
+    {!Events.Ship_applied} / {!Events.Replication_diverged} /
+    {!Events.Stale_epoch_rejected} ground truth. *)
+
+val journal : t -> Journal.t
+(** The shadow journal — handed to the promoting master as its
+    authoritative write-ahead log. *)
+
+val applied : t -> int
+(** Journal entries applied so far (the primary subtracts this, as
+    reported by [Ship_ack], from its own appended count to compute the
+    replication-lag gauge). *)
+
+val batches : t -> int
+(** Ship batches applied (including empty liveness ticks). *)
+
+val divergences : t -> int
+(** Digest mismatches observed — must be zero in any sound run. *)
+
+val digest : t -> string
+(** Replay digest of the shadow journal right now. *)
+
+val epoch : t -> int
+(** Highest master epoch this replica has seen. *)
+
+val promoted : t -> bool
+(** Whether [on_lease_expired] has fired (set before the callback runs,
+    so re-entrant shipping cannot race the promotion). *)
+
+val mark_promoted : t -> unit
+(** Force the replica inert without firing the lease callback (the master
+    promotes it for an external reason, e.g. an explicit handover). *)
+
+val stop : t -> unit
+(** The run is over: cancel the watchdog and ignore further traffic. *)

@@ -32,6 +32,10 @@ let run_section (r : Master.result) =
       ("quarantines", J.Int r.Master.quarantines);
       ("checkpoints_discarded", J.Int r.Master.checkpoints_discarded);
       ("journal_records_dropped", J.Int r.Master.journal_records_dropped);
+      ("ships", J.Int r.Master.ships);
+      ("promotions", J.Int r.Master.promotions);
+      ("stale_epoch_rejections", J.Int r.Master.stale_epoch_rejections);
+      ("replication_divergences", J.Int r.Master.replication_divergences);
       ("events", J.Int (List.length r.Master.events));
     ]
 

@@ -99,7 +99,11 @@ let arm ~sim ~seed ~on_crash ~on_hang ?(on_master_crash = fun () -> ())
             (Sim.schedule_at sim ~time:at (fun () ->
                  t.master_crashes <- t.master_crashes + 1;
                  on_master_crash ()));
-          ignore (Sim.schedule_at sim ~time:(at +. restart_after) (fun () -> on_master_restart ()))
+          (* restart_after = infinity means the old master never comes
+             back (a hot standby is expected to take over); scheduling an
+             infinite-time event would drag the virtual clock along *)
+          if restart_after < infinity then
+            ignore (Sim.schedule_at sim ~time:(at +. restart_after) (fun () -> on_master_restart ()))
       | Corrupt_storage { at; journal_records; checkpoints } ->
           ignore
             (Sim.schedule_at sim ~time:at (fun () ->

@@ -30,7 +30,10 @@ type spec =
   | Crash_master of { at : float; restart_after : float }
       (** the master process dies at [at] (volatile state lost, endpoint
           gone) and a replacement replays the journal [restart_after]
-          seconds later.  Clients keep solving autonomously in between. *)
+          seconds later.  Clients keep solving autonomously in between.
+          [restart_after = infinity] means no replacement ever starts —
+          the shape used under hot-standby replication, where the
+          standby's lease expiry promotes it instead. *)
   | Drop_messages of {
       src_site : string option;
       dst_site : string option;

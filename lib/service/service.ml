@@ -324,7 +324,13 @@ let arm_chaos t ch ~(master : Master.t) ~bus ~(job : Job.t) ~lease =
       :: !specs;
   if ch.master_crash then begin
     let at = start +. 1. +. frnd 1.5 in
-    specs := Grid.Fault.Crash_master { at; restart_after = 1. +. frnd 1. } :: !specs
+    (* under hot-standby replication the crashed primary never restarts —
+       the standby's lease expiry promotes it instead.  The draw still
+       happens so the rest of the chaos schedule stays aligned with the
+       equivalent non-standby run at the same seed. *)
+    let drawn = 1. +. frnd 1. in
+    let restart_after = if t.cfg.run.Config.standby then infinity else drawn in
+    specs := Grid.Fault.Crash_master { at; restart_after } :: !specs
   end;
   let crashes = min ch.crash_hosts (List.length lease - 1) in
   List.iteri
@@ -775,8 +781,13 @@ let job_json (j : Job.t) =
   let fopt = function None -> J.Null | Some v -> J.Float v in
   let run_fields =
     match j.Job.result with
-    | None -> [ ("splits", J.Int 0); ("messages", J.Int 0) ]
-    | Some r -> [ ("splits", J.Int r.Master.splits); ("messages", J.Int r.Master.messages) ]
+    | None -> [ ("splits", J.Int 0); ("messages", J.Int 0); ("promotions", J.Int 0) ]
+    | Some r ->
+        [
+          ("splits", J.Int r.Master.splits);
+          ("messages", J.Int r.Master.messages);
+          ("promotions", J.Int r.Master.promotions);
+        ]
   in
   J.Obj
     ([

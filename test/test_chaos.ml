@@ -568,6 +568,213 @@ let test_probation_on_crash () =
   check bool "crash put the host on probation" true
     (has_event (function C.Events.Host_probation { host = 1; _ } -> true | _ -> false) r)
 
+(* ---------- hot-standby failover ---------- *)
+
+(* Replication on over the chaos base: a one-second ship cadence so the
+   shadow journal tracks closely, a lease comfortably above the heartbeat
+   period, and a retry schedule wide enough that the promoted master's
+   resync broadcasts survive a partition window (the retries re-frame at
+   the successor's epoch, so a heal delivers the succession notice). *)
+let standby_config =
+  {
+    chaos_config with
+    Cfg.standby = true;
+    ship_interval = 1.;
+    standby_lease = 8.;
+    retry_base = 1.;
+    retry_max_attempts = 6;
+    resync_grace = 8.;
+  }
+
+(* The primary dies mid-run and never comes back; the standby's lease
+   expires and its shadow journal takes over.  Zero jobs lost: the
+   verdict is identical to the fault-free run, with no [Master_restarted]
+   anywhere — the failover redirected the fleet instead of replaying a
+   replacement at the old endpoint. *)
+let test_failover_crash_during_ship () =
+  let cnf = Workloads.Php.instance ~pigeons:7 ~holes:6 in
+  let baseline = solve ~config:standby_config cnf in
+  check Alcotest.string "standby baseline is unsat" "UNSAT" (answer_kind baseline.C.Master.answer);
+  check bool "journal batches shipped fault-free" true (baseline.C.Master.ships > 0);
+  check Alcotest.int "no promotion without a fault" 0 baseline.C.Master.promotions;
+  check Alcotest.int "replication never diverged fault-free" 0
+    baseline.C.Master.replication_divergences;
+  let at = Float.max 4. (0.3 *. baseline.C.Master.time) in
+  let plan = [ F.Crash_master { at; restart_after = infinity } ] in
+  let captured = ref None in
+  let r =
+    solve ~config:standby_config ~fault_plan:plan ~on_master:(fun m -> captured := Some m) cnf
+  in
+  check Alcotest.string "zero jobs lost: verdict survives without a replay-restart" "UNSAT"
+    (answer_kind r.C.Master.answer);
+  check Alcotest.int "exactly one promotion" 1 r.C.Master.promotions;
+  check Alcotest.int "replication never diverged" 0 r.C.Master.replication_divergences;
+  check bool "promotion visible in the event log" true
+    (has_event (function C.Events.Standby_promoted _ -> true | _ -> false) r);
+  check bool "the old endpoint never restarted" false
+    (has_event (function C.Events.Master_restarted -> true | _ -> false) r);
+  check bool "clients resynced to the promoted master" true
+    (has_event (function C.Events.Client_resynced _ -> true | _ -> false) r);
+  (match !captured with
+  | None -> Alcotest.fail "master not captured"
+  | Some m ->
+      check Alcotest.int "run concluded at epoch 1" 1 (C.Master.epoch m);
+      check bool "master reports itself promoted" true (C.Master.promoted m));
+  (* same seed, same plan: the joblog digest must be byte-stable *)
+  let captured2 = ref None in
+  let again =
+    solve ~config:standby_config ~fault_plan:plan ~on_master:(fun m -> captured2 := Some m) cnf
+  in
+  check bool "identical event timeline on replay" true
+    (r.C.Master.events = again.C.Master.events);
+  match (!captured, !captured2) with
+  | Some a, Some b ->
+      check Alcotest.string "journal digest byte-stable across same-seed replays"
+        (C.Journal.digest (C.Journal.replay (C.Master.journal a)))
+        (C.Journal.digest (C.Journal.replay (C.Master.journal b)))
+  | _ -> Alcotest.fail "masters not captured"
+
+(* Synchronous shipping: every append reaches the standby before the
+   primary proceeds, so the shadow journal has zero lag when the crash
+   lands.  The failover contract is the same. *)
+let test_failover_ship_sync () =
+  let config = { standby_config with Cfg.ship_sync = true } in
+  let cnf = Workloads.Php.instance ~pigeons:6 ~holes:5 in
+  let baseline = solve ~config cnf in
+  check Alcotest.string "sync-ship baseline is unsat" "UNSAT"
+    (answer_kind baseline.C.Master.answer);
+  let at = Float.max 4. (0.3 *. baseline.C.Master.time) in
+  let r =
+    solve ~config ~fault_plan:[ F.Crash_master { at; restart_after = infinity } ] cnf
+  in
+  check Alcotest.string "verdict survives under sync shipping" "UNSAT"
+    (answer_kind r.C.Master.answer);
+  check Alcotest.int "exactly one promotion" 1 r.C.Master.promotions;
+  check Alcotest.int "replication never diverged" 0 r.C.Master.replication_divergences
+
+(* Dueling masters: a partition cuts the standby off while the primary is
+   perfectly healthy.  The lease expires, the standby promotes, and when
+   the partition heals the fleet must observably refuse the superseded
+   primary's traffic (stale-epoch rejections) and fence it for good. *)
+let test_failover_partition_then_heal () =
+  (* a longer grace so reconciliation happens after the heal delivers the
+     retried resync broadcasts to the fleet *)
+  let config = { standby_config with Cfg.resync_grace = 15. } in
+  let cnf = Workloads.Php.instance ~pigeons:7 ~holes:6 in
+  let baseline = solve ~config cnf in
+  let p0 = Float.max 3. (0.2 *. baseline.C.Master.time) in
+  let plan =
+    [ F.Partition_site { site = C.Replica.site; from_t = p0; until_t = p0 +. 12. } ]
+  in
+  let captured = ref None in
+  let r = solve ~config ~fault_plan:plan ~on_master:(fun m -> captured := Some m) cnf in
+  check Alcotest.string "verdict survives dueling masters" "UNSAT"
+    (answer_kind r.C.Master.answer);
+  check Alcotest.int "exactly one promotion" 1 r.C.Master.promotions;
+  check bool "stale-epoch frames observably rejected after the heal" true
+    (r.C.Master.stale_epoch_rejections > 0);
+  check bool "stale rejection visible in the event log" true
+    (has_event (function C.Events.Stale_epoch_rejected _ -> true | _ -> false) r);
+  check bool "the superseded primary was fenced" true
+    (has_event (function C.Events.Stale_primary_fenced _ -> true | _ -> false) r);
+  check Alcotest.int "replication never diverged" 0 r.C.Master.replication_divergences;
+  (match !captured with
+  | None -> Alcotest.fail "master not captured"
+  | Some m -> check Alcotest.int "run concluded at epoch 1" 1 (C.Master.epoch m));
+  (* same plan, same seed: the dueling timeline replays exactly *)
+  let again = solve ~config ~fault_plan:plan cnf in
+  check bool "identical event timeline on replay" true (r.C.Master.events = again.C.Master.events)
+
+(* Dueling masters must never double-grant: run the same partition under
+   full certification.  If the superseded primary's traffic could still
+   place or resolve work, a branch would end up double-covered or a
+   conflicting claim would fail its fragment check — either way a
+   quarantine.  A clean certified UNSAT with zero quarantines is the
+   strongest exactly-once witness the pipeline has. *)
+let test_failover_dueling_never_double_grants () =
+  let config =
+    {
+      certify_config with
+      Cfg.standby = true;
+      ship_interval = 1.;
+      standby_lease = 8.;
+      retry_base = 1.;
+      retry_max_attempts = 6;
+      resync_grace = 15.;
+    }
+  in
+  let cnf = Workloads.Php.instance ~pigeons:7 ~holes:6 in
+  let baseline = solve ~config cnf in
+  let p0 = Float.max 3. (0.2 *. baseline.C.Master.time) in
+  let plan =
+    [ F.Partition_site { site = C.Replica.site; from_t = p0; until_t = p0 +. 12. } ]
+  in
+  let r = solve ~config ~fault_plan:plan cnf in
+  check Alcotest.string "certified UNSAT under dueling masters" "UNSAT"
+    (answer_kind r.C.Master.answer);
+  check Alcotest.int "exactly one promotion" 1 r.C.Master.promotions;
+  check bool "refuted branches carried certified fragments" true
+    (r.C.Master.certified_fragments > 0);
+  check Alcotest.int "no client was quarantined: nothing was double-granted" 0
+    r.C.Master.quarantines
+
+(* The replication-lag worst case: the primary dies before its first
+   non-empty ship flush, so the standby promotes onto an effectively
+   empty shadow journal.  Two sub-cases: the crash lands before any
+   client even got the root problem (everything must be bootstrapped
+   from the CNF), or just after the root was assigned (the sole record
+   of the search is a busy client's resync reply).  Both must still end
+   in the fault-free verdict with one promotion and no replay-restart. *)
+let test_failover_empty_shadow () =
+  let cnf = Workloads.Php.instance ~pigeons:6 ~holes:5 in
+  let baseline = solve ~config:standby_config cnf in
+  check Alcotest.string "empty-shadow baseline is unsat" "UNSAT"
+    (answer_kind baseline.C.Master.answer);
+  List.iter
+    (fun (label, at) ->
+      let r =
+        solve ~config:standby_config
+          ~fault_plan:[ F.Crash_master { at; restart_after = infinity } ]
+          cnf
+      in
+      check Alcotest.string (label ^ ": verdict survives an empty shadow") "UNSAT"
+        (answer_kind r.C.Master.answer);
+      check Alcotest.int (label ^ ": exactly one promotion") 1 r.C.Master.promotions;
+      check bool (label ^ ": no replay-restart") false
+        (has_event (function C.Events.Master_restarted -> true | _ -> false) r))
+    [ ("crash before first assignment", 0.5); ("crash right after first assignment", 1.4) ]
+
+(* Property (satellite): the continuous consistency check never trips.
+   Every acknowledged ship batch compares the standby's shadow replay
+   digest against the primary's journal digest at flush time; under
+   arbitrary seeded loss/duplication plans — the reliable channel's
+   retries and receiver-side dedup absorbing the noise — and in either
+   shipping mode, the digests must match at every ack. *)
+let prop_shadow_digest_matches =
+  let gen =
+    let open QCheck.Gen in
+    float_bound_inclusive 0.2 >>= fun drop_p ->
+    float_bound_inclusive 0.2 >>= fun dup_p ->
+    bool >|= fun sync -> (drop_p, dup_p, sync)
+  in
+  let print (drop_p, dup_p, sync) =
+    Printf.sprintf "drop_p=%g dup_p=%g ship=%s" drop_p dup_p (if sync then "sync" else "async")
+  in
+  QCheck.Test.make ~count:10 ~name:"standby shadow digest matches at every ship ack"
+    (QCheck.make ~print gen) (fun (drop_p, dup_p, sync) ->
+      let config = { standby_config with Cfg.ship_sync = sync } in
+      let plan =
+        [
+          F.Drop_messages
+            { src_site = None; dst_site = None; p = drop_p; from_t = 0.; until_t = infinity };
+          F.Duplicate_messages { p = dup_p; extra = 0.1; from_t = 0.; until_t = infinity };
+        ]
+      in
+      let r = solve ~config ~fault_plan:plan (Workloads.Php.instance ~pigeons:6 ~holes:5) in
+      answer_kind r.C.Master.answer = "UNSAT"
+      && r.C.Master.ships > 0
+      && r.C.Master.replication_divergences = 0)
+
 let () =
   let matrix =
     List.concat_map
@@ -613,5 +820,15 @@ let () =
           Alcotest.test_case "hedge beats no-hedge" `Slow test_hedge_beats_no_hedge;
           Alcotest.test_case "hedge under certification" `Slow test_hedge_certify_stable;
           Alcotest.test_case "probation on crash" `Slow test_probation_on_crash;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "crash during ship" `Slow test_failover_crash_during_ship;
+          Alcotest.test_case "empty shadow journal" `Slow test_failover_empty_shadow;
+          Alcotest.test_case "sync shipping" `Slow test_failover_ship_sync;
+          Alcotest.test_case "partition then heal" `Slow test_failover_partition_then_heal;
+          Alcotest.test_case "dueling masters never double-grant" `Slow
+            test_failover_dueling_never_double_grants;
+          QCheck_alcotest.to_alcotest prop_shadow_digest_matches;
         ] );
     ]
