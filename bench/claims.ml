@@ -785,3 +785,136 @@ let failover () =
       ]
   in
   Snapshot.write "failover" (Obs.Json.Obj (("summary", summary) :: List.rev !rows))
+
+(* C15: resource-exhaustion defense.  Per seed, the same instance runs
+   unconstrained and then under the full resource gauntlet — per-link
+   share budget, bounded outage outbox, a choked fabric and a mid-run
+   disk-full window.  The claim: every verdict is unchanged, the largest
+   byte total any share link carried inside one window never exceeds the
+   budget (it is bounded by construction, so this doubles as a harness
+   check), no queue grows without bound, the journal enters and exits
+   degraded mode exactly inside the injected disk-full window, and the
+   whole constrained run is byte-stable across same-seed repeats. *)
+let resource () =
+  Printf.printf "== C15: resource exhaustion — budgets, quotas, chokes (6 hosts) ==\n\n";
+  let module F = Grid.Fault in
+  let cnf = W.Php.instance ~pigeons:7 ~holes:6 in
+  let testbed () = C.Testbed.uniform ~n:6 ~speed:500. () in
+  let share_budget = 512 and outbox_cap = 8 in
+  let base seed =
+    {
+      C.Config.default with
+      C.Config.split_timeout = 2.;
+      slice = 0.5;
+      share_flush_interval = 1.;
+      overall_timeout = 100_000.;
+      checkpoint = C.Config.Light;
+      checkpoint_period = 5.;
+      heartbeat_period = 5.;
+      suspect_timeout = 30.;
+      seed;
+    }
+  in
+  let constrained seed =
+    {
+      (base seed) with
+      C.Config.share_budget;
+      share_window = 5.;
+      outbox_cap;
+    }
+  in
+  Printf.printf "%-6s %-8s %-8s %7s %9s %9s %7s %8s %8s\n" "seed" "free" "bound" "shed"
+    "linkpeak" "dups" "outbox" "degraded" "stable";
+  let rows = ref [] in
+  let ok_all = ref true in
+  List.iter
+    (fun seed ->
+      let free = C.Gridsat.solve ~config:(base seed) ~testbed:(testbed ()) cnf in
+      let t = free.C.Master.time in
+      let disk_at = 0.3 *. t and disk_until = 0.6 *. t in
+      let plan =
+        [
+          F.Choke_link
+            {
+              src_site = None;
+              dst_site = None;
+              bytes_per_window = 4096;
+              window = 2.;
+              from_t = 0.;
+              until_t = Float.max 3. (0.25 *. t);
+            };
+          F.Disk_full { at = disk_at; quota = 1; until_t = disk_until };
+        ]
+      in
+      let run () =
+        C.Gridsat.solve ~config:(constrained seed) ~fault_plan:plan ~testbed:(testbed ()) cnf
+      in
+      let r = run () in
+      let again = run () in
+      let event_time p =
+        List.fold_left
+          (fun acc (e : C.Events.t) ->
+            match acc with None when p e.C.Events.kind -> Some e.C.Events.time | _ -> acc)
+          None r.C.Master.events
+      in
+      let degraded_at =
+        event_time (function C.Events.Journal_degraded _ -> true | _ -> false)
+      in
+      let recovered_at =
+        event_time (function C.Events.Journal_recovered _ -> true | _ -> false)
+      in
+      let degraded_in_window =
+        match (degraded_at, recovered_at) with
+        | Some d, Some rcv ->
+            d >= disk_at -. 1e-9 && d <= disk_until +. 1e-9 && rcv >= disk_until -. 1e-9
+        | _ -> false
+      in
+      let stable =
+        r.C.Master.events = again.C.Master.events
+        && r.C.Master.share_bytes = again.C.Master.share_bytes
+        && r.C.Master.shares_shed = again.C.Master.shares_shed
+        && r.C.Master.journal_bytes = again.C.Master.journal_bytes
+      in
+      let ok =
+        C.Gridsat.answer_string r.C.Master.answer
+        = C.Gridsat.answer_string free.C.Master.answer
+        && r.C.Master.share_link_peak <= share_budget
+        && r.C.Master.outbox_peak <= outbox_cap
+        && degraded_in_window && stable
+      in
+      ok_all := !ok_all && ok;
+      Printf.printf "%-6d %-8s %-8s %7d %9d %9d %7d %8s %8s\n%!" seed
+        (String.trim (grid_time free))
+        (String.trim (grid_time r))
+        r.C.Master.shares_shed r.C.Master.share_link_peak r.C.Master.dup_suppressed
+        r.C.Master.outbox_peak
+        (if degraded_in_window then "in-win" else "NO")
+        (if stable then "yes" else "NO");
+      rows :=
+        ( Printf.sprintf "seed%d" seed,
+          Obs.Json.Obj
+            [
+              ("free_time", Obs.Json.Float free.C.Master.time);
+              ("bound_time", Obs.Json.Float r.C.Master.time);
+              ("shares_shed", Obs.Json.Int r.C.Master.shares_shed);
+              ("share_bytes", Obs.Json.Int r.C.Master.share_bytes);
+              ("share_link_peak", Obs.Json.Int r.C.Master.share_link_peak);
+              ("dup_suppressed", Obs.Json.Int r.C.Master.dup_suppressed);
+              ("outbox_peak", Obs.Json.Int r.C.Master.outbox_peak);
+              ("forced_compactions", Obs.Json.Int r.C.Master.forced_compactions);
+              ("degraded_entries", Obs.Json.Int r.C.Master.degraded_entries);
+              ("journal_bytes", Obs.Json.Int r.C.Master.journal_bytes);
+            ] )
+        :: !rows)
+    [ 0; 3; 7; 11; 23 ];
+  Printf.printf
+    "\nverdicts preserved, link peaks <= %d B/window, outbox peaks <= %d,\n\
+     degraded mode entered and left inside the injected window, byte-stable: %s\n"
+    share_budget outbox_cap
+    (if !ok_all then "yes" else "NO");
+  Printf.printf
+    "(exhaustion degrades sharing and durability headroom, never correctness:\n\
+    \ shed traffic is the shortest-clause prefix's complement and control\n\
+    \ envelopes are unsheddable by construction)\n";
+  let summary = Obs.Json.Obj [ ("all_ok", Obs.Json.Bool !ok_all) ] in
+  Snapshot.write "resource" (Obs.Json.Obj (("summary", summary) :: List.rev !rows))

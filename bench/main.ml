@@ -10,7 +10,7 @@ let usage () =
   print_endline
     "usage: main.exe \
      [all|quick|table1|table2|bcp|sharing|pingpong|scheduler|bluehorizon|profile|ablation|faults|chaos \
-     [seed]|mastercrash|service|straggler|failover|parmodes|micro|obs]"
+     [seed]|mastercrash|service|straggler|failover|resource|parmodes|micro|obs]"
 
 let section name f =
   Printf.printf "\n%s\n%s\n\n" (String.make 72 '=') name;
@@ -38,6 +38,7 @@ let () =
     section "Claim C12 (job service)" Bench_lib.Claims.service_overload;
     section "Claim C13 (straggler hedging)" Bench_lib.Claims.straggler;
     section "Claim C14 (standby failover)" Bench_lib.Claims.failover;
+    section "Claim C15 (resource exhaustion)" Bench_lib.Claims.resource;
     section "Micro-benchmarks" Bench_lib.Micro.run;
     section "Telemetry overhead" Bench_lib.Micro.obs_overhead
   in
@@ -63,6 +64,7 @@ let () =
   | [ "service" ] -> Bench_lib.Claims.service_overload ()
   | [ "straggler" ] -> Bench_lib.Claims.straggler ()
   | [ "failover" ] -> Bench_lib.Claims.failover ()
+  | [ "resource" ] -> Bench_lib.Claims.resource ()
   | [ "parmodes" ] -> Bench_lib.Claims.par_modes ()
   | [ "micro" ] -> Bench_lib.Micro.run ()
   | [ "obs" ] -> Bench_lib.Micro.obs_overhead ()

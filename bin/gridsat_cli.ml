@@ -152,7 +152,8 @@ let print_health_table hm =
     (Gridsat_core.Health.views hm)
 
 let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~chaos_partition ~certify
-    ~corrupt_p ~hedge ~standby ~ship ~stragglers ~flaky ~health_report ~report ~trace cnf =
+    ~corrupt_p ~hedge ~standby ~ship ~stragglers ~flaky ~share_budget ~journal_quota ~outbox_cap
+    ~choke ~health_report ~report ~trace cnf =
   match testbed_of_string ~hosts testbed with
   | Error e ->
       prerr_endline e;
@@ -171,6 +172,9 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~chaos_pa
           Gridsat_core.Config.share_max_len = share_len;
           overall_timeout = timeout;
           split_timeout = 5.;
+          share_budget;
+          journal_quota;
+          outbox_cap;
           seed;
         }
       in
@@ -227,6 +231,20 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~chaos_pa
           :: fault_plan
         else fault_plan
       in
+      let fault_plan =
+        if choke > 0 then
+          Grid.Fault.Choke_link
+            {
+              src_site = None;
+              dst_site = None;
+              bytes_per_window = choke;
+              window = config.Gridsat_core.Config.share_window;
+              from_t = 0.;
+              until_t = infinity;
+            }
+          :: fault_plan
+        else fault_plan
+      in
       match Gridsat_core.Config.validate config with
       | Error e ->
           Printf.eprintf "gridsat: bad configuration: %s\n" e;
@@ -259,6 +277,14 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~chaos_pa
            result.Gridsat_core.Master.stale_epoch_rejections
            result.Gridsat_core.Master.replication_divergences);
       (match health with Some hm when health_report -> print_health_table hm | _ -> ());
+      (if share_budget > 0 || journal_quota > 0 || choke > 0 then
+         Format.printf
+           "c resources: %d clauses shed (link peak %d B), %d dups suppressed, outbox peak %d \
+            (%d shed), %d forced compactions, %d degraded entries@."
+           result.Gridsat_core.Master.shares_shed result.Gridsat_core.Master.share_link_peak
+           result.Gridsat_core.Master.dup_suppressed result.Gridsat_core.Master.outbox_peak
+           result.Gridsat_core.Master.outbox_shed result.Gridsat_core.Master.forced_compactions
+           result.Gridsat_core.Master.degraded_entries);
       if stats then Format.printf "@.%a@." Gridsat_core.Gridsat.pp_result result;
       emit_telemetry ~report ~trace ~obs (fun () ->
           Gridsat_core.Run_report.build
@@ -272,6 +298,10 @@ let solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~chaos_pa
                 ("hedge", Obs.Json.Bool hedge);
                 ("standby", Obs.Json.Bool standby);
                 ("stragglers", Obs.Json.Int stragglers);
+                ("share_budget", Obs.Json.Int share_budget);
+                ("journal_quota", Obs.Json.Int journal_quota);
+                ("outbox_cap", Obs.Json.Int outbox_cap);
+                ("choke", Obs.Json.Int choke);
               ]
             ~obs result);
       0
@@ -387,6 +417,41 @@ let solve_cmd =
       & info [ "flaky" ]
           ~doc:"make --stragglers oscillate between full and degraded speed instead of a one-shot slowdown")
   in
+  let share_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "share-budget" ]
+          ~doc:
+            "grid mode: per-recipient-link clause-share byte budget per share window (0 = \
+             unconditional broadcast).  Shortest clauses are relayed first; whatever exceeds a \
+             link's window budget is shed and counted")
+  in
+  let journal_quota =
+    Arg.(
+      value & opt int 0
+      & info [ "journal-quota" ]
+          ~doc:
+            "grid mode: disk quota for the master's write-ahead journal in estimated bytes (0 = \
+             unlimited).  Crossing it forces an emergency compaction; if still over, the run \
+             enters journaled-degraded mode until occupancy drops")
+  in
+  let outbox_cap =
+    Arg.(
+      value & opt int 32
+      & info [ "outbox-cap" ]
+          ~doc:
+            "grid mode: high watermark of each client's master-outage outbox.  Above it the \
+             biggest buffered clause-share batches are shed first; control messages are never \
+             shed")
+  in
+  let choke =
+    Arg.(
+      value & opt int 0
+      & info [ "choke" ]
+          ~doc:
+            "grid mode fault injection: saturate every link — at most this many bytes per share \
+             window per link, the rest dropped (deterministic, 0 disables)")
+  in
   let health_report =
     Arg.(
       value & flag
@@ -403,8 +468,8 @@ let solve_cmd =
       & info [ "trace" ] ~doc:"write a Chrome trace_event file here (chrome://tracing, Perfetto)")
   in
   let run file mode testbed hosts jobs share_len timeout budget proof stats preprocess seed chaos
-      chaos_partition certify corrupt_p hedge standby ship stragglers flaky health_report report
-      trace =
+      chaos_partition certify corrupt_p hedge standby ship stragglers flaky share_budget
+      journal_quota outbox_cap choke health_report report trace =
     match read_cnf file with
     | Error e ->
         prerr_endline e;
@@ -414,8 +479,8 @@ let solve_cmd =
         | "seq" -> solve_sequential ~preprocess ~proof_out:proof ~stats ~budget ~report ~trace cnf
         | "grid" ->
             solve_grid ~testbed ~hosts ~stats ~share_len ~timeout ~seed ~chaos ~chaos_partition
-              ~certify ~corrupt_p ~hedge ~standby ~ship ~stragglers ~flaky ~health_report ~report
-              ~trace cnf
+              ~certify ~corrupt_p ~hedge ~standby ~ship ~stragglers ~flaky ~share_budget
+              ~journal_quota ~outbox_cap ~choke ~health_report ~report ~trace cnf
         | "par" ->
             if report <> None || trace <> None then
               Format.printf "c note: --report/--trace are not wired into par mode@.";
@@ -429,7 +494,8 @@ let solve_cmd =
     Term.(
       const run $ file $ mode $ testbed $ hosts $ jobs $ share_len $ timeout $ budget $ proof
       $ stats $ preprocess $ seed $ chaos $ chaos_partition $ certify $ corrupt_p $ hedge $ standby
-      $ ship $ stragglers $ flaky $ health_report $ report $ trace)
+      $ ship $ stragglers $ flaky $ share_budget $ journal_quota $ outbox_cap $ choke
+      $ health_report $ report $ trace)
 
 (* ---------- serve ---------- *)
 
@@ -443,8 +509,9 @@ let ensure_dir d =
   else if not (Sys.is_directory d) then invalid_arg (Printf.sprintf "%s exists and is not a directory" d)
 
 let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tenants ~priorities
-    ~deadline ~seed ~chaos ~corrupt_p ~hedge ~standby ~ship ~slow_hosts ~flaky ~brownout ~resubmit
-    ~stats ~report ~slo ~flight_dir ~metrics_dir =
+    ~deadline ~seed ~chaos ~corrupt_p ~hedge ~standby ~ship ~slow_hosts ~flaky ~share_budget
+    ~journal_quota ~outbox_cap ~choke ~brownout ~resubmit ~stats ~report ~slo ~flight_dir
+    ~metrics_dir =
   let slo_spec =
     match slo with
     | None -> Ok None
@@ -508,6 +575,9 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
                 {
                   Gridsat_core.Config.default with
                   Gridsat_core.Config.split_timeout = 5.;
+                  share_budget;
+                  journal_quota;
+                  outbox_cap;
                   seed;
                 }
               in
@@ -550,7 +620,7 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
                 else run_config
               in
               let svc_chaos =
-                if chaos || corrupt_p > 0. || slow_hosts > 0 then
+                if chaos || corrupt_p > 0. || slow_hosts > 0 || choke > 0 then
                   Some
                     {
                       Svc.default_chaos with
@@ -559,6 +629,7 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
                       crash_hosts = (if chaos then 1 else 0);
                       slow_hosts;
                       flaky;
+                      choke;
                     }
                 else None
               in
@@ -661,12 +732,29 @@ let serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tena
                        rejected@."
                       promotions ships stale
                   end;
+                  (if share_budget > 0 || journal_quota > 0 || choke > 0 then
+                     let shed, peak, dups, degr =
+                       List.fold_left
+                         (fun (sh, pk, du, de) (j : Sjob.t) ->
+                           match j.Sjob.result with
+                           | None -> (sh, pk, du, de)
+                           | Some r ->
+                               ( sh + r.Gridsat_core.Master.shares_shed,
+                                 max pk r.Gridsat_core.Master.share_link_peak,
+                                 du + r.Gridsat_core.Master.dup_suppressed,
+                                 de + r.Gridsat_core.Master.degraded_entries ))
+                         (0, 0, 0, 0) (Svc.jobs svc)
+                     in
+                     Format.printf
+                       "c resources: %d clauses shed (link peak %d B), %d dups suppressed, %d \
+                        degraded entries, joblog degraded %d@."
+                       shed peak dups degr s.Svc.joblog_degraded_entries);
                   if stats then begin
                     Format.printf
                       "c pool: %d hosts, %d free, %d healthy; brownouts %d (%d deadlines \
-                       stretched); virtual time %.1f s@."
+                       stretched); resource pressure %b; virtual time %.1f s@."
                       s.Svc.hosts_total s.Svc.hosts_free s.Svc.hosts_healthy s.Svc.brownouts
-                      s.Svc.deadlines_stretched
+                      s.Svc.deadlines_stretched s.Svc.resource_pressure
                       (Grid.Sim.now (Svc.sim svc));
                     print_health_table (Svc.health svc)
                   end;
@@ -776,6 +864,37 @@ let serve_cmd =
       & info [ "flaky" ]
           ~doc:"make --slow-hosts oscillate between full and degraded speed on a seeded period")
   in
+  let share_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "share-budget" ]
+          ~doc:
+            "per-recipient-link clause-share byte budget per share window inside every run (0 = \
+             unconditional broadcast)")
+  in
+  let journal_quota =
+    Arg.(
+      value & opt int 0
+      & info [ "journal-quota" ]
+          ~doc:
+            "disk quota in estimated bytes for each run's write-ahead journal and the service \
+             joblog (0 = unlimited); crossing it forces compaction / degraded mode and feeds the \
+             resource-pressure brownout dimension")
+  in
+  let outbox_cap =
+    Arg.(
+      value & opt int 32
+      & info [ "outbox-cap" ]
+          ~doc:"high watermark of each client's master-outage outbox inside every run")
+  in
+  let choke =
+    Arg.(
+      value & opt int 0
+      & info [ "choke" ]
+          ~doc:
+            "chaos: saturate every link of each run — at most this many bytes per share window \
+             per link, the rest dropped (deterministic, 0 disables)")
+  in
   let brownout =
     Arg.(
       value & opt float 0.
@@ -821,18 +940,20 @@ let serve_cmd =
              DIR/metrics.prom periodically and at the end of the run")
   in
   let run files testbed hosts hosts_per_job max_concurrent queue_cap tenants priorities deadline
-      seed chaos corrupt_p hedge standby ship slow_hosts flaky brownout resubmit stats report slo
-      flight_dir metrics_dir =
+      seed chaos corrupt_p hedge standby ship slow_hosts flaky share_budget journal_quota
+      outbox_cap choke brownout resubmit stats report slo flight_dir metrics_dir =
     serve ~files ~testbed ~hosts ~hosts_per_job ~max_concurrent ~queue_cap ~tenants ~priorities
-      ~deadline ~seed ~chaos ~corrupt_p ~hedge ~standby ~ship ~slow_hosts ~flaky ~brownout
-      ~resubmit ~stats ~report ~slo ~flight_dir ~metrics_dir
+      ~deadline ~seed ~chaos ~corrupt_p ~hedge ~standby ~ship ~slow_hosts ~flaky ~share_budget
+      ~journal_quota ~outbox_cap ~choke ~brownout ~resubmit ~stats ~report ~slo ~flight_dir
+      ~metrics_dir
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Solve a batch of CNF files as a multi-tenant job service")
     Term.(
       const run $ files $ testbed $ hosts $ hosts_per_job $ max_concurrent $ queue_cap $ tenants
       $ priorities $ deadline $ seed $ chaos $ corrupt_p $ hedge $ standby $ ship $ slow_hosts
-      $ flaky $ brownout $ resubmit $ stats $ report $ slo $ flight_dir $ metrics_dir)
+      $ flaky $ share_budget $ journal_quota $ outbox_cap $ choke $ brownout $ resubmit $ stats
+      $ report $ slo $ flight_dir $ metrics_dir)
 
 (* ---------- gen ---------- *)
 

@@ -4,6 +4,8 @@ module Solver = Sat.Solver
 type callbacks = {
   log : Events.kind -> unit;
   save_checkpoint : client:int -> Subproblem.t -> unit;
+  note_dup : int -> unit;
+  note_outbox : depth:int -> shed:int -> unit;
 }
 
 type solving = {
@@ -45,8 +47,13 @@ type t = {
   mutable next_branch : int;  (* stamps pids of branches this client donates *)
   mutable rel : Reliable.t option;  (* set once in create; never None afterwards *)
   mutable master_down : bool;  (* retry exhaustion toward the master flipped this *)
-  mutable outbox : Protocol.msg list;  (* master-bound traffic parked during the outage *)
+  outbox : Protocol.msg Flow.queue;  (* master-bound traffic parked during the outage *)
   mutable probing : bool;  (* the outage probe loop is armed *)
+  seen_shares : (string, unit) Hashtbl.t;
+      (* canonical keys of every foreign clause already enqueued into a
+         solver here: a clause relayed twice (duplicate delivery, or two
+         masters' relays racing across a failover) is suppressed *)
+  mutable dup_suppressed : int;
   stats_acc : Sat.Stats.t;
   obs : Obs.t;
   obs_on : bool;
@@ -55,6 +62,9 @@ type t = {
   c_problems : Obs.Metrics.counter;
   c_shares_flushed : Obs.Metrics.counter;
   c_splits_donated : Obs.Metrics.counter;
+  c_dups : Obs.Metrics.counter;
+  c_outbox_shed : Obs.Metrics.counter;
+  g_outbox : Obs.Metrics.gauge;
   h_transfer : Obs.Metrics.histogram;
 }
 
@@ -90,19 +100,33 @@ let reliable t = match t.rel with Some r -> r | None -> assert false
 
 let master_down t = t.master_down
 
-(* During a master outage the client keeps solving autonomously and parks
-   its master-bound traffic here instead of burning retries into a void.
-   Shares are capped (they are only accelerants and accrue every flush
-   interval); control messages are never dropped. *)
-let max_buffered_shares = 32
+let outbox_depth t = Flow.depth t.outbox
 
-let buffer_for_master t msg =
-  match msg with
-  | Protocol.Shares _
-    when List.length (List.filter (function Protocol.Shares _ -> true | _ -> false) t.outbox)
-         >= max_buffered_shares ->
-      ()
-  | _ -> t.outbox <- t.outbox @ [ msg ]
+let outbox_peak t = Flow.peak t.outbox
+
+let outbox_shed t = Flow.shed_count t.outbox
+
+let outbox_pressured t = Flow.under_pressure t.outbox
+
+let dup_suppressed t = t.dup_suppressed
+
+(* During a master outage the client keeps solving autonomously and parks
+   its master-bound traffic in a watermark-bounded outbox instead of
+   burning retries into a void.  Crossing the high watermark
+   ([Config.outbox_cap]) sheds the biggest buffered share batches first
+   (they are only accelerants and accrue every flush interval); control
+   messages are unsheddable by construction and always survive the
+   outage. *)
+let report_shed t shed =
+  let n = List.length shed in
+  if n > 0 then t.callbacks.log (Events.Outbox_shed { client = t.cid; shed = n });
+  t.callbacks.note_outbox ~depth:(Flow.depth t.outbox) ~shed:n;
+  if t.obs_on then begin
+    if n > 0 then Obs.Metrics.add t.c_outbox_shed n;
+    Obs.Metrics.set t.g_outbox (float_of_int (Flow.depth t.outbox))
+  end
+
+let buffer_for_master t msg = report_shed t (Flow.push t.outbox msg)
 
 (* Critical control messages ride the ack/retry channel; shares and other
    safe-to-lose traffic goes straight out.  Anything aimed at a downed
@@ -113,8 +137,8 @@ let send t ~dst msg =
   else send_raw t ~dst msg
 
 let flush_outbox t =
-  let pending = t.outbox in
-  t.outbox <- [];
+  let pending = Flow.drain t.outbox in
+  if t.obs_on then Obs.Metrics.set t.g_outbox 0.;
   List.iter (fun m -> send t ~dst:t.master m) pending
 
 (* Any delivery from the master is proof of life: end the outage and
@@ -125,11 +149,6 @@ let master_reachable t =
     flush_outbox t
   end
 
-let rec take_first_critical acc = function
-  | [] -> None
-  | m :: rest when Protocol.critical m -> Some (m, List.rev_append acc rest)
-  | m :: rest -> take_first_critical (m :: acc) rest
-
 (* While the master is down, periodically re-offer the oldest buffered
    control message through the reliable channel (one probe chain at a
    time).  If the master is still gone the send exhausts its retries and
@@ -138,10 +157,8 @@ let rec take_first_critical acc = function
 let rec probe_master t =
   if t.alive && (not t.hung) && t.master_down then begin
     (if Reliable.outstanding_to (reliable t) ~dst:t.master = 0 then
-       match take_first_critical [] t.outbox with
-       | Some (m, rest) ->
-           t.outbox <- rest;
-           Reliable.send (reliable t) ~dst:t.master m
+       match Flow.take_first t.outbox Protocol.critical with
+       | Some m -> Reliable.send (reliable t) ~dst:t.master m
        | None -> ());
     ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.Config.heartbeat_period (fun () -> probe_master t))
   end
@@ -153,7 +170,7 @@ let note_master_down t msg =
     t.callbacks.log (Events.Master_outage_detected { client = t.cid })
   end;
   (* the given-up message is the oldest outstanding one: requeue it first *)
-  t.outbox <- msg :: t.outbox;
+  report_shed t (Flow.push_front t.outbox msg);
   if not t.probing then begin
     t.probing <- true;
     ignore (Grid.Sim.schedule t.sim ~delay:t.cfg.Config.heartbeat_period (fun () -> probe_master t))
@@ -430,7 +447,34 @@ let handle_payload t ~src msg =
   | Protocol.Split_partner { partner } -> handle_split_partner t partner
   | Protocol.Share_relay { origin = _; clauses } -> (
       match t.state with
-      | Solving s -> Solver.queue_foreign_clauses s.solver clauses
+      | Solving s ->
+          (* duplicate suppression: a clause relayed twice (duplicate
+             delivery, overlapping relays across a failover) is counted,
+             not re-enqueued.  The key is the sorted literal set, so the
+             same clause arriving in any literal order still matches. *)
+          let fresh =
+            List.filter
+              (fun c ->
+                let key =
+                  Array.to_list c
+                  |> List.map Sat.Types.to_int
+                  |> List.sort compare
+                  |> List.map string_of_int
+                  |> String.concat ","
+                in
+                if Hashtbl.mem t.seen_shares key then begin
+                  t.dup_suppressed <- t.dup_suppressed + 1;
+                  t.callbacks.note_dup 1;
+                  if t.obs_on then Obs.Metrics.incr t.c_dups;
+                  false
+                end
+                else begin
+                  Hashtbl.add t.seen_shares key ();
+                  true
+                end)
+              clauses
+          in
+          if fresh <> [] then Solver.queue_foreign_clauses s.solver fresh
       | Idle -> ())
   | Protocol.Migrate_to { target } -> handle_migrate t target
   | Protocol.Cancel { pid } -> (
@@ -564,8 +608,15 @@ let create ?(obs = Obs.disabled) ~sim ~bus ~cfg ~resource ~trace ~master callbac
       next_branch = 0;
       rel = None;
       master_down = false;
-      outbox = [];
+      outbox =
+        (* the biggest buffered share batch is the least valuable message:
+           shares are accelerants, control messages are the run *)
+        Flow.queue ~high:cfg.Config.outbox_cap ~critical:Protocol.critical
+          ~value:(fun m -> -Protocol.size m)
+          ();
       probing = false;
+      seen_shares = Hashtbl.create 64;
+      dup_suppressed = 0;
       stats_acc = Sat.Stats.create ();
       obs;
       obs_on = Obs.enabled obs;
@@ -574,6 +625,9 @@ let create ?(obs = Obs.disabled) ~sim ~bus ~cfg ~resource ~trace ~master callbac
       c_problems = Obs.Metrics.counter m ~labels "client.problems.received";
       c_shares_flushed = Obs.Metrics.counter m ~labels "client.shares.flushed";
       c_splits_donated = Obs.Metrics.counter m ~labels "client.splits.donated";
+      c_dups = Obs.Metrics.counter m ~labels "client.shares.dup_suppressed";
+      c_outbox_shed = Obs.Metrics.counter m ~labels "client.outbox.shed";
+      g_outbox = Obs.Metrics.gauge m ~labels "client.outbox.depth";
       h_transfer = Obs.Metrics.histogram m ~labels "client.transfer.seconds";
     }
   in

@@ -30,6 +30,10 @@ type t = {
   ship_sync : bool;
   ship_interval : float;
   standby_lease : float;
+  share_budget : int;
+  share_window : float;
+  journal_quota : int;
+  outbox_cap : int;
   solver_config : Sat.Solver.config;
   seed : int;
 }
@@ -63,6 +67,10 @@ let default =
     ship_sync = false;
     ship_interval = 2.;
     standby_lease = 30.;
+    share_budget = 0;
+    share_window = 10.;
+    journal_quota = 0;
+    outbox_cap = 32;
     solver_config = Sat.Solver.default_config;
     seed = 0;
   }
@@ -122,6 +130,17 @@ let validate t =
       "standby_lease (%g) must exceed heartbeat_period (%g): a lease shorter than one ship \
        interval's worth of silence would promote the standby against a healthy primary"
       t.standby_lease t.heartbeat_period
+  else if t.share_budget < 0 then
+    err "share_budget must be non-negative (0 disables the budget), got %d" t.share_budget
+  else if t.share_window <= 0. then
+    err "share_window must be positive, got %g" t.share_window
+  else if t.journal_quota < 0 then
+    err "journal_quota must be non-negative (0 disables the quota), got %d" t.journal_quota
+  else if t.outbox_cap < 1 then
+    err
+      "outbox_cap must be at least 1, got %d: a zero-capacity outbox would shed every \
+       envelope buffered during a master outage"
+      t.outbox_cap
   else Ok ()
 
 let validate_exn t =

@@ -94,6 +94,24 @@ type t = {
       (** how long the standby tolerates silence from the primary before
           promoting itself.  Must comfortably exceed [heartbeat_period]
           (the ship stream ticks at [ship_interval] <= lease). *)
+  share_budget : int;
+      (** per-link clause-sharing byte budget per [share_window] of
+          virtual time (HordeSat-style bandwidth cap).  When a relay
+          would exceed a recipient link's budget, the longest (lowest
+          value) clauses are shed first and counted; 0 disables the
+          budget and restores unconditional broadcast. *)
+  share_window : float;
+      (** length (virtual seconds) of the clause-sharing budget window *)
+  journal_quota : int;
+      (** disk quota (estimated bytes) for the master's write-ahead
+          journal.  Crossing it forces an emergency snapshot compaction;
+          if the journal is still over quota it enters journaled-degraded
+          mode (durability alert, replica shipping paused) instead of
+          raising.  0 disables the quota. *)
+  outbox_cap : int;
+      (** high watermark of a client's master-outage outbox: beyond this
+          depth buffered share batches are shed (control-plane envelopes
+          are unsheddable and may exceed the cap) *)
   solver_config : Sat.Solver.config;
   seed : int;
 }
@@ -113,8 +131,9 @@ val validate : t -> (unit, string) result
     1], [mem_headroom] outside [(0, 1]], [certify] without
     [integrity_checks] or with clause sharing enabled, [ship_sync]
     without [standby], non-positive [ship_interval], [standby_lease]
-    not exceeding [heartbeat_period], and similar contradictions that
-    would silently wedge or corrupt a run. *)
+    not exceeding [heartbeat_period], negative [share_budget] or
+    [journal_quota], non-positive [share_window], [outbox_cap < 1], and
+    similar contradictions that would silently wedge or corrupt a run. *)
 
 val validate_exn : t -> unit
 (** Raises [Invalid_argument] where {!validate} returns [Error].  Called

@@ -46,6 +46,11 @@ type kind =
   | Standby_promoted of { epoch : int }
   | Stale_epoch_rejected of { receiver : int; src : int; epoch : int; current : int }
   | Stale_primary_fenced of { epoch : int }
+  | Shares_shed of { origin : int; clauses : int; bytes : int }
+  | Outbox_shed of { client : int; shed : int }
+  | Forced_compaction of { occupancy : int; quota : int }
+  | Journal_degraded of { occupancy : int; quota : int }
+  | Journal_recovered of { occupancy : int; quota : int }
   | Terminated of string
 
 type t = { time : float; kind : kind }
@@ -142,6 +147,22 @@ let pp_kind ppf = function
         receiver src epoch current
   | Stale_primary_fenced { epoch } ->
       Format.fprintf ppf "superseded primary (epoch %d) saw a newer epoch and fenced itself" epoch
+  | Shares_shed { origin; clauses; bytes } ->
+      Format.fprintf ppf "share budget: %d clauses (%d bytes) from client %d shed" clauses bytes
+        origin
+  | Outbox_shed { client; shed } ->
+      Format.fprintf ppf "client %d outbox hit its watermark: %d share batches shed" client shed
+  | Forced_compaction { occupancy; quota } ->
+      Format.fprintf ppf "journal over quota (%d > %d bytes): emergency compaction forced"
+        occupancy quota
+  | Journal_degraded { occupancy; quota } ->
+      Format.fprintf ppf
+        "journal DEGRADED: still %d bytes over a %d-byte quota after compaction; replica \
+         shipping paused"
+        occupancy quota
+  | Journal_recovered { occupancy; quota } ->
+      Format.fprintf ppf "journal recovered from degraded mode (%d bytes%s)" occupancy
+        (if quota = 0 then ", quota lifted" else Printf.sprintf " under a %d-byte quota" quota)
   | Terminated why -> Format.fprintf ppf "terminated: %s" why
 
 let pp ppf t = Format.fprintf ppf "[%10.1f] %a" t.time pp_kind t.kind
@@ -221,4 +242,13 @@ let flight_view kind : string * (string * Obs.Json.t) list =
       ( "stale_epoch_rejected",
         [ i "receiver" receiver; i "src" src; i "epoch" epoch; i "current" current ] )
   | Stale_primary_fenced { epoch } -> ("stale_primary_fenced", [ i "epoch" epoch ])
+  | Shares_shed { origin; clauses; bytes } ->
+      ("shares_shed", [ i "origin" origin; i "clauses" clauses; i "bytes" bytes ])
+  | Outbox_shed { client; shed } -> ("outbox_shed", [ i "client" client; i "shed" shed ])
+  | Forced_compaction { occupancy; quota } ->
+      ("forced_compaction", [ i "occupancy" occupancy; i "quota" quota ])
+  | Journal_degraded { occupancy; quota } ->
+      ("journal_degraded", [ i "occupancy" occupancy; i "quota" quota ])
+  | Journal_recovered { occupancy; quota } ->
+      ("journal_recovered", [ i "occupancy" occupancy; i "quota" quota ])
   | Terminated why -> ("terminated", [ s "why" why ])

@@ -92,6 +92,22 @@ type kind =
   | Stale_primary_fenced of { epoch : int }
       (** a superseded primary observed a frame from a newer epoch and
           stood down for good *)
+  | Shares_shed of { origin : int; clauses : int; bytes : int }
+      (** the per-link share budget refused these clauses (longest
+          first); they were dropped, not queued *)
+  | Outbox_shed of { client : int; shed : int }
+      (** a client's master-outage outbox crossed its high watermark and
+          shed buffered share batches (control envelopes are kept) *)
+  | Forced_compaction of { occupancy : int; quota : int }
+      (** an append pushed the journal past its disk quota; an emergency
+          snapshot compaction was forced *)
+  | Journal_degraded of { occupancy : int; quota : int }
+      (** even compacted, the journal exceeds its quota: the run enters
+          journaled-degraded mode — appends continue to be counted,
+          replica shipping pauses, a durability alert trips *)
+  | Journal_recovered of { occupancy : int; quota : int }
+      (** quota relief (or compaction shrinkage) brought the journal back
+          under quota; durability guarantees resume *)
   | Terminated of string
 
 type t = { time : float; kind : kind }

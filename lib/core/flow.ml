@@ -1,0 +1,194 @@
+(* Watermark-bounded queues and windowed byte budgets: the primitives of
+   the resource-exhaustion layer.  Both are deterministic — shed decisions
+   depend only on queue content, configured watermarks and virtual time,
+   never on wall clock or unseeded randomness — so a bounded run replays
+   byte-identically under the same seed. *)
+
+(* ---------- watermark queue ---------- *)
+
+type 'a queue = {
+  low : int;
+  high : int;
+  critical : 'a -> bool;
+  value : 'a -> int;
+  (* oldest first; the int is an admission sequence number used as the
+     deterministic tie-break of the shed policy *)
+  mutable items : (int * 'a) list;
+  mutable seq : int;
+  mutable depth : int;
+  mutable peak : int;
+  mutable shed : int;
+  mutable pressured : bool;
+}
+
+let queue ?low ~high ~critical ~value () =
+  if high < 1 then invalid_arg "Flow.queue: high watermark must be >= 1";
+  let low = match low with Some l -> l | None -> high / 2 in
+  if low < 0 || low > high then
+    invalid_arg "Flow.queue: low watermark must lie in [0, high]";
+  {
+    low;
+    high;
+    critical;
+    value;
+    items = [];
+    seq = 0;
+    depth = 0;
+    peak = 0;
+    shed = 0;
+    pressured = false;
+  }
+
+let depth t = t.depth
+
+let peak t = t.peak
+
+let shed_count t = t.shed
+
+let is_empty t = t.items = []
+
+let under_pressure t = t.pressured
+
+let update_pressure t =
+  if t.depth >= t.high then t.pressured <- true
+  else if t.depth <= t.low then t.pressured <- false
+
+(* Shed the lowest-value non-critical item; among equal values the oldest
+   goes first (stale data-plane traffic is the least useful).  Critical
+   items are unsheddable by construction: a queue holding only critical
+   items is allowed to exceed the high watermark. *)
+let shed_one t =
+  let victim =
+    List.fold_left
+      (fun acc (seq, x) ->
+        if t.critical x then acc
+        else
+          match acc with
+          | None -> Some (seq, x)
+          | Some (_, best) -> if t.value x < t.value best then Some (seq, x) else acc)
+      None t.items
+  in
+  match victim with
+  | None -> None
+  | Some (vseq, x) ->
+      t.items <- List.filter (fun (s, _) -> s <> vseq) t.items;
+      t.depth <- t.depth - 1;
+      t.shed <- t.shed + 1;
+      Some x
+
+let rec enforce t acc =
+  if t.depth > t.high then
+    match shed_one t with
+    | Some x -> enforce t (x :: acc)
+    | None -> List.rev acc
+  else List.rev acc
+
+let admit t x append =
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  if append then t.items <- t.items @ [ (seq, x) ] else t.items <- (seq, x) :: t.items;
+  t.depth <- t.depth + 1;
+  if t.depth > t.peak then t.peak <- t.depth;
+  let out = enforce t [] in
+  update_pressure t;
+  out
+
+let push t x = admit t x true
+
+let push_front t x = admit t x false
+
+let pop t =
+  match t.items with
+  | [] -> None
+  | (_, x) :: rest ->
+      t.items <- rest;
+      t.depth <- t.depth - 1;
+      update_pressure t;
+      Some x
+
+let drain t =
+  let out = List.map snd t.items in
+  t.items <- [];
+  t.depth <- 0;
+  update_pressure t;
+  out
+
+let take_first t pred =
+  let rec go acc = function
+    | [] -> None
+    | (_, x) :: rest when pred x ->
+        t.items <- List.rev_append acc rest;
+        t.depth <- t.depth - 1;
+        update_pressure t;
+        Some x
+    | it :: rest -> go (it :: acc) rest
+  in
+  go [] t.items
+
+let iter t f = List.iter (fun (_, x) -> f x) t.items
+
+let count t pred = List.fold_left (fun n (_, x) -> if pred x then n + 1 else n) 0 t.items
+
+(* ---------- windowed byte budget ---------- *)
+
+(* Per-key (per-link) byte budget per virtual-time window.  Window index
+   is [floor (now / window)], so two runs observing the same virtual
+   instants charge identically. *)
+
+type budget = {
+  bytes_per_window : int;
+  window : float;
+  (* key -> (window index, bytes charged in that window) *)
+  charges : (int, int * int) Hashtbl.t;
+  mutable charged_total : int;
+  mutable shed_bytes : int;
+  mutable shed_items : int;
+  mutable window_peak : int;
+}
+
+let budget ~bytes_per_window ~window =
+  if bytes_per_window < 1 then invalid_arg "Flow.budget: bytes_per_window must be >= 1";
+  if window <= 0. then invalid_arg "Flow.budget: window must be positive";
+  {
+    bytes_per_window;
+    window;
+    charges = Hashtbl.create 16;
+    charged_total = 0;
+    shed_bytes = 0;
+    shed_items = 0;
+    window_peak = 0;
+  }
+
+let window_index t now = int_of_float (floor (now /. t.window))
+
+let used t ~key ~now =
+  let w = window_index t now in
+  match Hashtbl.find_opt t.charges key with
+  | Some (w', used) when w' = w -> used
+  | _ -> 0
+
+let remaining t ~key ~now = max 0 (t.bytes_per_window - used t ~key ~now)
+
+let admit t ~key ~now ~bytes =
+  let w = window_index t now in
+  let u = used t ~key ~now in
+  if u + bytes <= t.bytes_per_window then begin
+    let u' = u + bytes in
+    Hashtbl.replace t.charges key (w, u');
+    t.charged_total <- t.charged_total + bytes;
+    if u' > t.window_peak then t.window_peak <- u';
+    true
+  end
+  else begin
+    t.shed_bytes <- t.shed_bytes + bytes;
+    t.shed_items <- t.shed_items + 1;
+    false
+  end
+
+let charged_total t = t.charged_total
+
+let budget_shed_bytes t = t.shed_bytes
+
+let budget_shed_items t = t.shed_items
+
+let window_peak t = t.window_peak

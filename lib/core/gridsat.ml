@@ -23,6 +23,7 @@ let solve ?(config = Config.default) ?(fault_plan = []) ?(obs = Obs.disabled) ?h
           ~on_storage_corrupt:(fun ~journal_records ~checkpoints ->
             Master.corrupt_storage master ~journal_records ~checkpoints)
           ~on_slow:(fun host factor -> Master.slow_host master host factor)
+          ~on_disk_full:(fun ~quota -> Master.set_journal_quota master ~quota)
           specs
       in
       (* the corruptor garbles a payload in place of delivering it intact:

@@ -130,6 +130,18 @@ let pp_entry ppf e =
       Format.fprintf ppf "adopted %a @ %d [%a]" pid p client lits path
   | Verdict { answer } -> Format.fprintf ppf "verdict %s" answer
 
+(* Byte occupancy is an estimate (this journal models stable storage, it
+   does not serialise to a real file), but a deterministic one: the same
+   entries always cost the same bytes, so quota crossings replay at the
+   same virtual instants. *)
+let state_bytes st =
+  let b = ref 64 in
+  Hashtbl.iter (fun _ _ -> b := !b + 8) st.clients;
+  Hashtbl.iter (fun _ path -> b := !b + 16 + (8 * List.length path)) st.live;
+  Hashtbl.iter (fun _ _ -> b := !b + 8) st.holder;
+  Hashtbl.iter (fun _ _ -> b := !b + 8) st.refuted;
+  !b
+
 type t = {
   compact_every : int;
   mutable base : state;  (* the last snapshot *)
@@ -140,28 +152,49 @@ type t = {
   mutable appended : int;
   mutable compactions : int;
   mutable records_dropped : int;
+  mutable quota : int;  (* bytes; 0 = unlimited *)
+  mutable base_bytes : int;
+  mutable pending_bytes : int;
+  mutable bytes_peak : int;
+  mutable forced_compactions : int;
+  mutable degraded : bool;
+  mutable degraded_entries : int;
   obs : Obs.t;
   obs_on : bool;
   c_appends : Obs.Metrics.counter;
   c_compactions : Obs.Metrics.counter;
   c_dropped : Obs.Metrics.counter;
+  c_forced : Obs.Metrics.counter;
+  c_degraded : Obs.Metrics.counter;
+  g_bytes : Obs.Metrics.gauge;
 }
 
-let create ?(obs = Obs.disabled) ~compact_every () =
+let create ?(obs = Obs.disabled) ?(quota = 0) ~compact_every () =
   let m = Obs.metrics obs in
+  let base = empty_state () in
   {
     compact_every = max 1 compact_every;
-    base = empty_state ();
+    base;
     pending = [];
     pending_n = 0;
     appended = 0;
     compactions = 0;
     records_dropped = 0;
+    quota = max 0 quota;
+    base_bytes = state_bytes base;
+    pending_bytes = 0;
+    bytes_peak = 0;
+    forced_compactions = 0;
+    degraded = false;
+    degraded_entries = 0;
     obs;
     obs_on = Obs.enabled obs;
     c_appends = Obs.Metrics.counter m "journal.appends";
     c_compactions = Obs.Metrics.counter m "journal.compactions";
     c_dropped = Obs.Metrics.counter m "journal.records.dropped";
+    c_forced = Obs.Metrics.counter m "journal.forced_compactions";
+    c_degraded = Obs.Metrics.counter m "journal.degraded_entries";
+    g_bytes = Obs.Metrics.gauge m "journal.bytes";
   }
 
 let seal e = Integrity.crc32 (Format.asprintf "%a" pp_entry e)
@@ -177,6 +210,7 @@ let scrub t =
   if bad <> [] then begin
     t.pending <- ok;
     t.pending_n <- List.length ok;
+    t.pending_bytes <- List.fold_left (fun a (e, _) -> a + Protocol.entry_bytes e) 0 ok;
     t.records_dropped <- t.records_dropped + List.length bad;
     if t.obs_on then
       List.iter (fun _ -> Obs.Metrics.incr t.c_dropped) bad
@@ -188,6 +222,8 @@ let compact t =
   List.iter (fun (e, _) -> apply t.base e) (List.rev t.pending);
   t.pending <- [];
   t.pending_n <- 0;
+  t.pending_bytes <- 0;
+  t.base_bytes <- state_bytes t.base;
   t.compactions <- t.compactions + 1;
   if t.obs_on then begin
     Obs.Metrics.incr t.c_compactions;
@@ -197,12 +233,57 @@ let compact t =
          "journal.compact")
   end
 
+let occupancy t = t.base_bytes + t.pending_bytes
+
+let over_quota t = t.quota > 0 && occupancy t > t.quota
+
+(* Quota discipline: the first crossing forces an emergency compaction
+   (folding pending entries into the snapshot is the only way this
+   storage can shrink).  If the snapshot alone still exceeds the quota,
+   the journal enters degraded mode — appends keep landing (losing
+   recovery records would be worse than overrunning an advisory quota)
+   but each one is counted, and the owner is expected to alarm and pause
+   replica shipping.  Degraded mode exits as soon as occupancy drops back
+   under quota, whether by compaction shrinkage or quota relief. *)
+let enforce_quota t =
+  if (not t.degraded) && over_quota t then begin
+    t.forced_compactions <- t.forced_compactions + 1;
+    if t.obs_on then Obs.Metrics.incr t.c_forced;
+    compact t;
+    if over_quota t then t.degraded <- true
+  end
+  else if t.degraded && not (over_quota t) then t.degraded <- false
+
 let append t e =
   t.pending <- (e, seal e) :: t.pending;
   t.pending_n <- t.pending_n + 1;
+  t.pending_bytes <- t.pending_bytes + Protocol.entry_bytes e;
   t.appended <- t.appended + 1;
   if t.obs_on then Obs.Metrics.incr t.c_appends;
-  if t.pending_n >= t.compact_every then compact t
+  let occ = occupancy t in
+  if occ > t.bytes_peak then t.bytes_peak <- occ;
+  if t.pending_n >= t.compact_every then compact t;
+  enforce_quota t;
+  if t.degraded then begin
+    t.degraded_entries <- t.degraded_entries + 1;
+    if t.obs_on then Obs.Metrics.incr t.c_degraded
+  end;
+  if t.obs_on then Obs.Metrics.set t.g_bytes (float_of_int (occupancy t))
+
+let set_quota t ~quota =
+  t.quota <- max 0 quota;
+  enforce_quota t;
+  if t.obs_on then Obs.Metrics.set t.g_bytes (float_of_int (occupancy t))
+
+let quota t = t.quota
+
+let degraded t = t.degraded
+
+let degraded_entries t = t.degraded_entries
+
+let forced_compactions t = t.forced_compactions
+
+let bytes_peak t = t.bytes_peak
 
 let replay t =
   scrub t;

@@ -69,9 +69,11 @@ type state = {
 
 type t
 
-val create : ?obs:Obs.t -> compact_every:int -> unit -> t
-(** [obs] (default [Obs.disabled]) receives append/compaction counters
-    and a compaction instant-span on the master track. *)
+val create : ?obs:Obs.t -> ?quota:int -> compact_every:int -> unit -> t
+(** [obs] (default [Obs.disabled]) receives append/compaction counters,
+    an occupancy gauge, and a compaction instant-span on the master
+    track.  [quota] (estimated bytes, default 0 = unlimited) is the disk
+    quota enforced by {!append}/{!set_quota}. *)
 
 val append : t -> entry -> unit
 (** Appends one entry, compacting into the snapshot when [compact_every]
@@ -88,6 +90,38 @@ val digest : state -> string
 
 val appended : t -> int
 (** Total entries ever appended. *)
+
+val set_quota : t -> quota:int -> unit
+(** Change the disk quota (0 lifts it).  Tightening below the current
+    occupancy forces an emergency compaction immediately; if the
+    compacted snapshot alone still exceeds the quota the journal enters
+    degraded mode.  Relief above the occupancy exits degraded mode. *)
+
+val quota : t -> int
+
+val occupancy : t -> int
+(** Estimated on-disk bytes: the snapshot plus the pending records.  The
+    estimate is deterministic, so quota crossings replay at the same
+    virtual instants under the same seed. *)
+
+val bytes_peak : t -> int
+(** Highest occupancy ever observed. *)
+
+val over_quota : t -> bool
+
+val degraded : t -> bool
+(** Journaled-degraded mode: occupancy exceeds the quota even after a
+    forced compaction.  Appends continue (dropping recovery records
+    would be strictly worse than overrunning an advisory quota) but each
+    is counted in {!degraded_entries}; the owner is expected to raise a
+    durability alert and pause replica shipping until recovery. *)
+
+val degraded_entries : t -> int
+(** Entries appended while the journal was in degraded mode. *)
+
+val forced_compactions : t -> int
+(** Emergency compactions forced by a quota crossing (in addition to the
+    periodic [compact_every] ones, which {!compactions} also counts). *)
 
 val compactions : t -> int
 (** How many times pending entries were folded into the snapshot. *)

@@ -31,6 +31,15 @@ type result = {
   promotions : int;
   stale_epoch_rejections : int;
   replication_divergences : int;
+  shares_shed : int;
+  share_bytes : int;
+  share_link_peak : int;
+  dup_suppressed : int;
+  outbox_shed : int;
+  outbox_peak : int;
+  forced_compactions : int;
+  degraded_entries : int;
+  journal_bytes : int;
   solver_stats : Sat.Stats.t;
   events : Events.t list;
 }
@@ -123,6 +132,15 @@ type t = {
   mutable splits : int;
   mutable share_batches : int;
   mutable shared_clauses : int;
+  share_budget : Flow.budget option;
+      (* per-recipient-link byte budget per virtual-time window
+         ([cfg.share_budget] > 0); [None] keeps unconditional broadcast *)
+  mutable shares_shed : int;  (* clause relays refused by the budget *)
+  mutable share_bytes : int;  (* share bytes actually put on the wire *)
+  mutable last_share_shed : float;  (* resource-pressure recency signal *)
+  mutable n_dup : int;  (* duplicate clauses suppressed across all clients *)
+  mutable n_outbox_shed : int;  (* outage-outbox messages shed across all clients *)
+  mutable outbox_peak : int;  (* deepest any client's outage outbox ever got *)
   mutable checkpoint_bytes_peak : int;
   mutable events : Events.t list;  (* newest first *)
   mutable batch_job : (Grid.Batch.t * Grid.Batch.job) option;
@@ -148,6 +166,8 @@ type t = {
   c_quarantines : Obs.Metrics.counter;
   c_ships : Obs.Metrics.counter;
   c_stale_rejected : Obs.Metrics.counter;
+  c_shares_shed : Obs.Metrics.counter;
+  c_share_bytes : Obs.Metrics.counter;
   g_repl_lag : Obs.Metrics.gauge;
   h_failover : Obs.Metrics.histogram;
   h_share_fanout : Obs.Metrics.histogram;
@@ -189,6 +209,8 @@ let log t kind =
      | Events.Host_probation { host; _ } -> trip "probation" (Printf.sprintf "host %d" host)
      | Events.Master_restarted -> trip "master-failover" ""
      | Events.Standby_promoted { epoch } -> trip "master-failover" (Printf.sprintf "epoch %d" epoch)
+     | Events.Journal_degraded { occupancy; quota } ->
+         trip "journal-degraded" (Printf.sprintf "%d bytes over a %d quota" occupancy quota)
      | _ -> ());
   t.events <- Events.make (Grid.Sim.now t.sim) kind :: t.events
 
@@ -251,15 +273,42 @@ let ship_flush t =
 
 let rec ship_loop t =
   if (not t.finished) && t.replica <> None && not t.promoted then begin
-    if not t.down then ship_flush t;
+    if (not t.down) && not (Journal.degraded t.journal) then ship_flush t;
     schedule t ~delay:t.cfg.Config.ship_interval (fun () -> ship_loop t)
   end
 
+(* Watch the journal's quota machinery across an operation: emit the
+   durability alert the moment a forced compaction fires or degraded mode
+   is entered/left (the entry alarm also trips the anomaly log via the
+   [log] rules, which dumps the flight recorder where the service wires
+   it). *)
+let watch_journal t f =
+  let fc_before = Journal.forced_compactions t.journal in
+  let deg_before = Journal.degraded t.journal in
+  f ();
+  let occupancy = Journal.occupancy t.journal and quota = Journal.quota t.journal in
+  if Journal.forced_compactions t.journal > fc_before then
+    log t (Events.Forced_compaction { occupancy; quota });
+  if Journal.degraded t.journal && not deg_before then
+    log t (Events.Journal_degraded { occupancy; quota })
+  else if deg_before && not (Journal.degraded t.journal) then
+    log t (Events.Journal_recovered { occupancy; quota })
+
+let set_journal_quota t ~quota = watch_journal t (fun () -> Journal.set_quota t.journal ~quota)
+
 let jlog t entry =
-  Journal.append t.journal entry;
+  watch_journal t (fun () -> Journal.append t.journal entry);
   if t.replica <> None && not t.promoted then begin
     t.ship_buffer <- entry :: t.ship_buffer;
-    if t.cfg.Config.ship_sync then ship_flush t
+    (* degraded storage pauses shipment (the standby must not ack a prefix
+       the primary may be forced to drop); the buffer keeps accumulating
+       and the lag gauge rises until recovery resumes the stream *)
+    if Journal.degraded t.journal then begin
+      if t.obs_on then
+        Obs.Metrics.set t.g_repl_lag
+          (float_of_int (max 0 (Journal.appended t.journal - t.standby_applied)))
+    end
+    else if t.cfg.Config.ship_sync then ship_flush t
   end
 
 let update_max t =
@@ -337,9 +386,30 @@ let result t =
           count_events t (function Events.Stale_epoch_rejected _ -> true | _ -> false);
         replication_divergences =
           count_events t (function Events.Replication_diverged _ -> true | _ -> false);
+        shares_shed = t.shares_shed;
+        share_bytes = t.share_bytes;
+        share_link_peak =
+          (match t.share_budget with Some b -> Flow.window_peak b | None -> 0);
+        dup_suppressed = t.n_dup;
+        outbox_shed = t.n_outbox_shed;
+        outbox_peak = t.outbox_peak;
+        forced_compactions = Journal.forced_compactions t.journal;
+        degraded_entries = Journal.degraded_entries t.journal;
+        journal_bytes = Journal.bytes_peak t.journal;
         solver_stats = aggregate_stats t;
         events = events_so_far t;
       }
+
+(* Resource pressure (a service-brownout input): degraded stable storage,
+   any client's outage outbox latched above its high watermark, or a
+   share-budget shed within the last budget window. *)
+let resource_pressure t =
+  Journal.degraded t.journal
+  || Grid.Sim.now t.sim -. t.last_share_shed <= t.cfg.Config.share_window
+  ||
+  let pressured = ref false in
+  Pool.iter (fun _ h -> if Client.outbox_pressured h.client then pressured := true) t.pool;
+  !pressured
 
 let host t id = Pool.find t.pool id
 
@@ -968,14 +1038,65 @@ let on_shares t src clauses =
      (* rough wire size: one word per literal plus a header per clause *)
      let bytes = List.fold_left (fun a c -> a + 8 + (8 * Array.length c)) 0 clauses in
      Obs.Anomaly.observe t.d_share_volume ~at:(Grid.Sim.now t.sim) (float_of_int bytes));
+  let clause_bytes c = 16 + (8 * Array.length c) in
   let recipients = ref 0 in
-  Pool.iter
-    (fun id h ->
-      if id <> src && h.rstate = Busy && Client.is_alive h.client then begin
-        incr recipients;
-        send t ~dst:id (Protocol.Share_relay { origin = src; clauses })
-      end)
-    t.pool;
+  (match t.share_budget with
+  | None ->
+      (* no budget configured: the paper's unconditional broadcast *)
+      let batch_bytes = List.fold_left (fun a c -> a + clause_bytes c) 0 clauses in
+      Pool.iter
+        (fun id h ->
+          if id <> src && h.rstate = Busy && Client.is_alive h.client then begin
+            incr recipients;
+            t.share_bytes <- t.share_bytes + batch_bytes;
+            if t.obs_on then Obs.Metrics.add t.c_share_bytes batch_bytes;
+            send t ~dst:id (Protocol.Share_relay { origin = src; clauses })
+          end)
+        t.pool
+  | Some budget ->
+      (* HordeSat-style value ordering: the solver exports no LBD, so
+         clause length is the value signal — shortest (most valuable)
+         first; each recipient link admits the prefix that fits its byte
+         budget for the current virtual-time window and sheds the tail.
+         Ordered ascending, one refusal implies every later clause is
+         refused too, so the filter below admits exactly a prefix. *)
+      let ordered =
+        List.stable_sort (fun a b -> compare (Array.length a) (Array.length b)) clauses
+      in
+      let tnow = Grid.Sim.now t.sim in
+      let shed_clauses = ref 0 and shed_bytes = ref 0 and sent_bytes = ref 0 in
+      Pool.iter
+        (fun id h ->
+          if id <> src && h.rstate = Busy && Client.is_alive h.client then begin
+            let admitted =
+              List.filter
+                (fun c ->
+                  let bytes = clause_bytes c in
+                  if Flow.admit budget ~key:id ~now:tnow ~bytes then begin
+                    sent_bytes := !sent_bytes + bytes;
+                    true
+                  end
+                  else begin
+                    incr shed_clauses;
+                    shed_bytes := !shed_bytes + bytes;
+                    false
+                  end)
+                ordered
+            in
+            if admitted <> [] then begin
+              incr recipients;
+              send t ~dst:id (Protocol.Share_relay { origin = src; clauses = admitted })
+            end
+          end)
+        t.pool;
+      t.share_bytes <- t.share_bytes + !sent_bytes;
+      if t.obs_on then Obs.Metrics.add t.c_share_bytes !sent_bytes;
+      if !shed_clauses > 0 then begin
+        t.shares_shed <- t.shares_shed + !shed_clauses;
+        t.last_share_shed <- tnow;
+        log t (Events.Shares_shed { origin = src; clauses = !shed_clauses; bytes = !shed_bytes });
+        if t.obs_on then Obs.Metrics.add t.c_shares_shed !shed_clauses
+      end);
   jlog t (Journal.Shared { clauses = List.length clauses });
   if t.obs_on then begin
     Obs.Metrics.add t.c_shares_relayed (List.length clauses);
@@ -1700,7 +1821,9 @@ let create ?(obs = Obs.disabled) ?health ~sim ~net ~bus ~cfg ~testbed cnf =
       in_flight = Hashtbl.create 16;
       pending_recovery = Queue.create ();
       pending_cert = Hashtbl.create 8;
-      journal = Journal.create ~obs ~compact_every:cfg.Config.journal_compact_every ();
+      journal =
+        Journal.create ~obs ~compact_every:cfg.Config.journal_compact_every
+          ~quota:cfg.Config.journal_quota ();
       replica = None;
       epoch = 0;
       active_id = master_id;
@@ -1722,6 +1845,18 @@ let create ?(obs = Obs.disabled) ?health ~sim ~net ~bus ~cfg ~testbed cnf =
       splits = 0;
       share_batches = 0;
       shared_clauses = 0;
+      share_budget =
+        (if cfg.Config.share_budget > 0 then
+           Some
+             (Flow.budget ~bytes_per_window:cfg.Config.share_budget
+                ~window:cfg.Config.share_window)
+         else None);
+      shares_shed = 0;
+      share_bytes = 0;
+      last_share_shed = neg_infinity;
+      n_dup = 0;
+      n_outbox_shed = 0;
+      outbox_peak = 0;
       checkpoint_bytes_peak = 0;
       events = [];
       batch_job = None;
@@ -1758,6 +1893,8 @@ let create ?(obs = Obs.disabled) ?health ~sim ~net ~bus ~cfg ~testbed cnf =
       c_quarantines = Obs.Metrics.counter m "certify.quarantines";
       c_ships = Obs.Metrics.counter m "master.journal.ships";
       c_stale_rejected = Obs.Metrics.counter m "epoch.stale.rejected";
+      c_shares_shed = Obs.Metrics.counter m "master.shares.shed";
+      c_share_bytes = Obs.Metrics.counter m "master.shares.bytes";
       g_repl_lag = Obs.Metrics.gauge m "standby.replication.lag";
       h_failover = Obs.Metrics.histogram m "master.failover.seconds";
       h_share_fanout = Obs.Metrics.histogram m "master.share.fanout";
@@ -1831,6 +1968,11 @@ let create ?(obs = Obs.disabled) ?health ~sim ~net ~bus ~cfg ~testbed cnf =
             let total = Checkpoint.total_bytes t.checkpoints in
             if total > t.checkpoint_bytes_peak then t.checkpoint_bytes_peak <- total
           end);
+      note_dup = (fun n -> t.n_dup <- t.n_dup + n);
+      note_outbox =
+        (fun ~depth ~shed ->
+          if depth > t.outbox_peak then t.outbox_peak <- depth;
+          t.n_outbox_shed <- t.n_outbox_shed + shed);
     }
   in
   List.iter (fun th -> add_host t th callbacks) testbed.Testbed.hosts;

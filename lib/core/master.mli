@@ -80,6 +80,25 @@ type result = {
   replication_divergences : int;
       (** standby shadow-replay digests that failed to match the
           primary's shipped digest — must be 0 in any sound run *)
+  shares_shed : int;
+      (** clause relays refused because a recipient link's share-budget
+          window was exhausted (0 without a budget) *)
+  share_bytes : int;  (** share-relay bytes actually put on the wire *)
+  share_link_peak : int;
+      (** most share bytes any one recipient link carried in any single
+          budget window — bounded by [Config.share_budget] by
+          construction when a budget is set *)
+  dup_suppressed : int;
+      (** foreign clauses clients refused on ingestion as duplicates *)
+  outbox_shed : int;
+      (** outage-outbox messages shed by the watermark policy across all
+          clients (always share batches, never control messages) *)
+  outbox_peak : int;  (** deepest any client's outage outbox ever got *)
+  forced_compactions : int;
+      (** emergency journal compactions forced by the disk quota *)
+  degraded_entries : int;
+      (** journal records appended while in journaled-degraded mode *)
+  journal_bytes : int;  (** peak estimated journal occupancy in bytes *)
   solver_stats : Sat.Stats.t;  (** aggregated over all clients *)
   events : Events.t list;  (** chronological *)
 }
@@ -146,6 +165,19 @@ val slow_host : t -> int -> float -> unit
 
 val health : t -> Health.t option
 (** The health model wired into this run's pool, if any. *)
+
+val set_journal_quota : t -> quota:int -> unit
+(** Fault injection / operations: change the journal's disk quota at run
+    time (0 lifts it).  Crossing the quota forces an emergency compaction
+    and, if the journal is still over, enters journaled-degraded mode
+    (durability alert logged, anomaly tripped, standby shipment paused);
+    relief or shrinkage exits it.  This is the [Fault.Disk_full] hook. *)
+
+val resource_pressure : t -> bool
+(** Whether the run is under resource pressure right now: the journal is
+    in degraded mode, a client's outage outbox is latched above its high
+    watermark, or the share budget shed within the last window.  A
+    service-brownout input. *)
 
 val corrupt_storage : t -> journal_records:int -> checkpoints:bool -> unit
 (** At-rest fault injection: flips the integrity seals of the newest

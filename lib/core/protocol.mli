@@ -140,6 +140,10 @@ val control_bytes : int
 val shares_bytes : Sat.Types.lit array list -> int
 (** Serialised size of a clause-share batch. *)
 
+val entry_bytes : journal_entry -> int
+(** Serialised size of one journal record — the unit of the journal's
+    disk-quota accounting and of [Ship] batch sizing. *)
+
 val model_bytes : Sat.Model.t -> int
 
 val size : msg -> int

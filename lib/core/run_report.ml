@@ -36,6 +36,15 @@ let run_section (r : Master.result) =
       ("promotions", J.Int r.Master.promotions);
       ("stale_epoch_rejections", J.Int r.Master.stale_epoch_rejections);
       ("replication_divergences", J.Int r.Master.replication_divergences);
+      ("shares_shed", J.Int r.Master.shares_shed);
+      ("share_bytes", J.Int r.Master.share_bytes);
+      ("share_link_peak", J.Int r.Master.share_link_peak);
+      ("dup_suppressed", J.Int r.Master.dup_suppressed);
+      ("outbox_shed", J.Int r.Master.outbox_shed);
+      ("outbox_peak", J.Int r.Master.outbox_peak);
+      ("forced_compactions", J.Int r.Master.forced_compactions);
+      ("degraded_entries", J.Int r.Master.degraded_entries);
+      ("journal_bytes", J.Int r.Master.journal_bytes);
       ("events", J.Int (List.length r.Master.events));
     ]
 

@@ -34,6 +34,15 @@ type spec =
       from_t : float;
       until_t : float;
     }
+  | Choke_link of {
+      src_site : string option;
+      dst_site : string option;
+      bytes_per_window : int;
+      window : float;
+      from_t : float;
+      until_t : float;
+    }
+  | Disk_full of { at : float; quota : int; until_t : float }
 
 type counters = {
   crashes : int;
@@ -45,11 +54,28 @@ type counters = {
   corrupted : int;
   storage_corruptions : int;
   slowdowns : int;
+  choked : int;
+  disk_fulls : int;
+}
+
+(* Armed state of one Choke_link spec: per-link byte ledger for the
+   current window.  Window indices are [floor ((now - from_t) / window)],
+   a pure function of virtual time, so the same messages at the same
+   instants always hit the same windows — no RNG involved. *)
+type choke = {
+  c_src : string option;
+  c_dst : string option;
+  c_budget : int;
+  c_window : float;
+  c_from : float;
+  c_until : float;
+  ledger : (string, int * int) Hashtbl.t;  (* link key -> (window idx, bytes used) *)
 }
 
 type t = {
   sim : Sim.t;
   specs : spec list;
+  chokes : choke list;
   rng : Random.State.t;
   mutable crashes : int;
   mutable hangs : int;
@@ -60,16 +86,37 @@ type t = {
   mutable corrupted : int;
   mutable storage_corruptions : int;
   mutable slowdowns : int;
+  mutable choked : int;
+  mutable disk_fulls : int;
 }
 
 let arm ~sim ~seed ~on_crash ~on_hang ?(on_master_crash = fun () -> ())
     ?(on_master_restart = fun () -> ())
     ?(on_storage_corrupt = fun ~journal_records:_ ~checkpoints:_ -> ())
-    ?(on_slow = fun _host _factor -> ()) specs =
+    ?(on_slow = fun _host _factor -> ())
+    ?(on_disk_full = fun ~quota:_ -> ()) specs =
+  let chokes =
+    List.filter_map
+      (function
+        | Choke_link { src_site; dst_site; bytes_per_window; window; from_t; until_t } ->
+            Some
+              {
+                c_src = src_site;
+                c_dst = dst_site;
+                c_budget = bytes_per_window;
+                c_window = window;
+                c_from = from_t;
+                c_until = until_t;
+                ledger = Hashtbl.create 16;
+              }
+        | _ -> None)
+      specs
+  in
   let t =
     {
       sim;
       specs;
+      chokes;
       rng = Random.State.make [| seed; 0x5eed |];
       crashes = 0;
       hangs = 0;
@@ -80,6 +127,8 @@ let arm ~sim ~seed ~on_crash ~on_hang ?(on_master_crash = fun () -> ())
       corrupted = 0;
       storage_corruptions = 0;
       slowdowns = 0;
+      choked = 0;
+      disk_fulls = 0;
     }
   in
   List.iter
@@ -132,8 +181,16 @@ let arm ~sim ~seed ~on_crash ~on_hang ?(on_master_crash = fun () -> ())
           toggle from_t true;
           if until_t < infinity then
             ignore (Sim.schedule_at sim ~time:until_t (fun () -> on_slow host 1.0))
+      | Disk_full { at; quota; until_t } ->
+          ignore
+            (Sim.schedule_at sim ~time:at (fun () ->
+                 t.disk_fulls <- t.disk_fulls + 1;
+                 on_disk_full ~quota));
+          (* quota relief: the disk was cleaned up / extended *)
+          if until_t < infinity then
+            ignore (Sim.schedule_at sim ~time:until_t (fun () -> on_disk_full ~quota:0))
       | Drop_messages _ | Partition_site _ | Latency_spike _ | Duplicate_messages _
-      | Corrupt_messages _ ->
+      | Corrupt_messages _ | Choke_link _ ->
           ())
     specs;
   t
@@ -149,10 +206,43 @@ let link_matches ~a ~b ~src_site ~dst_site =
 
 let in_window now ~from_t ~until_t = now >= from_t && now < until_t
 
+(* A choked link's ledger is keyed by the unordered site pair — the model
+   is a saturated physical link, whose capacity both directions share. *)
+let choke_key ~src_site ~dst_site =
+  if String.compare src_site dst_site <= 0 then src_site ^ "|" ^ dst_site
+  else dst_site ^ "|" ^ src_site
+
+(* Charge [bytes] against every matching choke's current window; the
+   first refusal chokes the message.  Purely arithmetic on virtual time —
+   same messages at the same instants always choke identically. *)
+let choke_admits t ~now ~src_site ~dst_site ~bytes =
+  List.for_all
+    (fun c ->
+      if
+        in_window now ~from_t:c.c_from ~until_t:c.c_until
+        && link_matches ~a:c.c_src ~b:c.c_dst ~src_site ~dst_site
+      then begin
+        let key = choke_key ~src_site ~dst_site in
+        let w = int_of_float (floor ((now -. c.c_from) /. c.c_window)) in
+        let used =
+          match Hashtbl.find_opt c.ledger key with
+          | Some (w', u) when w' = w -> u
+          | _ -> 0
+        in
+        if used + bytes <= c.c_budget then begin
+          Hashtbl.replace c.ledger key (w, used + bytes);
+          true
+        end
+        else false
+      end
+      else true)
+    t.chokes
+
 (* Evaluated once per message at send time.  A partition or probabilistic
-   drop short-circuits; otherwise latency spikes accumulate and a
-   duplication draw may fire on top. *)
-let decide t ~src_site ~dst_site ~bytes:_ =
+   drop short-circuits, then a choked link's exhausted byte window;
+   otherwise latency spikes accumulate and a duplication draw may fire on
+   top. *)
+let decide t ~src_site ~dst_site ~bytes =
   let now = Sim.now t.sim in
   let dropped =
     List.exists
@@ -165,11 +255,17 @@ let decide t ~src_site ~dst_site ~bytes:_ =
             && link_matches ~a ~b ~src_site ~dst_site
             && Random.State.float t.rng 1.0 < p
         | Crash_host _ | Hang_host _ | Crash_master _ | Latency_spike _ | Duplicate_messages _
-        | Corrupt_messages _ | Corrupt_storage _ | Slow_host _ | Flaky_host _ ->
+        | Corrupt_messages _ | Corrupt_storage _ | Slow_host _ | Flaky_host _ | Choke_link _
+        | Disk_full _ ->
             false)
       t.specs
   in
   if dropped then begin
+    t.dropped <- t.dropped + 1;
+    Everyware.Drop
+  end
+  else if t.chokes <> [] && not (choke_admits t ~now ~src_site ~dst_site ~bytes) then begin
+    t.choked <- t.choked + 1;
     t.dropped <- t.dropped + 1;
     Everyware.Drop
   end
@@ -234,6 +330,8 @@ let counters t =
     corrupted = t.corrupted;
     storage_corruptions = t.storage_corruptions;
     slowdowns = t.slowdowns;
+    choked = t.choked;
+    disk_fulls = t.disk_fulls;
   }
 
 let validate specs =
@@ -282,6 +380,17 @@ let validate specs =
         if factor <= 0. then err "Flaky_host: factor must be positive, got %g" factor
         else if period <= 0. then err "Flaky_host: period must be positive, got %g" period
         else window "Flaky_host" ~from_t ~until_t
+    | Choke_link { bytes_per_window; window = w; from_t; until_t; _ } ->
+        if bytes_per_window < 1 then
+          err "Choke_link: bytes_per_window must be at least 1, got %d" bytes_per_window
+        else if w <= 0. then err "Choke_link: window must be positive, got %g" w
+        else window "Choke_link" ~from_t ~until_t
+    | Disk_full { at; quota; until_t } ->
+        if at < 0. then err "Disk_full: at must be non-negative, got %g" at
+        else if quota < 1 then err "Disk_full: quota must be at least 1 byte, got %d" quota
+        else if until_t < at then
+          err "Disk_full: until_t (%g) precedes at (%g)" until_t at
+        else Ok ()
   in
   (* Two speed faults targeting the same host with overlapping windows
      would fight over the slowdown factor (last toggle wins), making the

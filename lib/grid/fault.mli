@@ -80,6 +80,26 @@ type spec =
       (** oscillating speed: during [[from_t, until_t)] the host alternates
           between [factor]× slowdown (first half of each [period]) and full
           speed (second half); restored to full speed at [until_t]. *)
+  | Choke_link of {
+      src_site : string option;
+      dst_site : string option;
+      bytes_per_window : int;
+      window : float;
+      from_t : float;
+      until_t : float;
+    }
+      (** a saturated link: during the window, each matching link (both
+          directions share one ledger — the model is a physical pipe)
+          delivers at most [bytes_per_window] bytes per [window] virtual
+          seconds; messages beyond the budget are dropped and counted in
+          [choked].  Deterministic — windows are a pure function of
+          virtual time, no RNG draw is consumed. *)
+  | Disk_full of { at : float; quota : int; until_t : float }
+      (** the master's stable storage fills up: at [at] the journal's
+          disk quota is forced down to [quota] bytes (emergency
+          compaction, then journaled-degraded mode if still over); at
+          [until_t] (if finite) the quota is lifted — relief after an
+          operator cleaned the disk. *)
 
 type counters = {
   crashes : int;
@@ -91,6 +111,8 @@ type counters = {
   corrupted : int;  (** messages whose payload the plan garbled in flight *)
   storage_corruptions : int;  (** [Corrupt_storage] actions fired *)
   slowdowns : int;  (** slowdown applications ([Slow_host] firings plus [Flaky_host] slow phases) *)
+  choked : int;  (** messages dropped because a [Choke_link] byte window was exhausted *)
+  disk_fulls : int;  (** [Disk_full] actions fired (relief events are not counted) *)
 }
 
 type t
@@ -104,6 +126,7 @@ val arm :
   ?on_master_restart:(unit -> unit) ->
   ?on_storage_corrupt:(journal_records:int -> checkpoints:bool -> unit) ->
   ?on_slow:(int -> float -> unit) ->
+  ?on_disk_full:(quota:int -> unit) ->
   spec list ->
   t
 (** Schedules the plan's crash/hang actions on [sim] and returns the
@@ -114,7 +137,9 @@ val arm :
     [on_storage_corrupt] (default no-op) fires at a {!Corrupt_storage}
     spec's [at] with the spec's scope; [on_slow] (default no-op) receives
     [(host, factor)] at every {!Slow_host} / {!Flaky_host} speed change
-    ([factor = 1.0] restores full speed). *)
+    ([factor = 1.0] restores full speed); [on_disk_full] (default no-op)
+    fires at a {!Disk_full} spec's [at] with the injected quota and again
+    at [until_t] with [quota = 0] (relief). *)
 
 val decide :
   t -> src_site:string -> dst_site:string -> bytes:int -> Everyware.fault_decision

@@ -40,28 +40,55 @@ let pp_entry ppf = function
   | Requeued { id; reason } -> Format.fprintf ppf "requeued %d %s" id reason
   | Finished { id; terminal } -> Format.fprintf ppf "finished %d %s" id terminal
 
+(* Deterministic per-record byte estimate (the joblog models an
+   append-only file; same records, same cost, so quota crossings replay
+   at the same points). *)
+let entry_bytes = function
+  | Submitted { tenant; priority; digest; _ } ->
+      24 + String.length tenant + String.length priority + String.length digest
+  | Admitted _ -> 16
+  | Shed _ -> 24
+  | Cache_hit { answer; _ } -> 16 + String.length answer
+  | Started { hosts; _ } -> 16 + (8 * List.length hosts)
+  | Requeued { reason; _ } -> 16 + String.length reason
+  | Finished { terminal; _ } -> 16 + String.length terminal
+
 type t = {
   mutable records : (entry * int) list;  (* newest first, sealed *)
   mutable appended : int;
   mutable records_dropped : int;
+  mutable quota : int;  (* bytes; 0 = unlimited *)
+  mutable bytes : int;
+  mutable bytes_peak : int;
+  mutable degraded : bool;
+  mutable degraded_entries : int;
   obs_on : bool;
   flight : Obs.Flight.t;
   flight_on : bool;
   c_appends : Obs.Metrics.counter;
   c_dropped : Obs.Metrics.counter;
+  c_degraded : Obs.Metrics.counter;
+  g_bytes : Obs.Metrics.gauge;
 }
 
-let create ?(obs = Obs.disabled) () =
+let create ?(obs = Obs.disabled) ?(quota = 0) () =
   let m = Obs.metrics obs in
   {
     records = [];
     appended = 0;
     records_dropped = 0;
+    quota = max 0 quota;
+    bytes = 0;
+    bytes_peak = 0;
+    degraded = false;
+    degraded_entries = 0;
     obs_on = Obs.enabled obs;
     flight = Obs.flight obs;
     flight_on = Obs.Flight.is_enabled (Obs.flight obs);
     c_appends = Obs.Metrics.counter m "service.joblog.appends";
     c_dropped = Obs.Metrics.counter m "service.joblog.records.dropped";
+    c_degraded = Obs.Metrics.counter m "service.joblog.degraded_entries";
+    g_bytes = Obs.Metrics.gauge m "service.joblog.bytes";
   }
 
 let seal e = Integrity.crc32 (Format.asprintf "%a" pp_entry e)
@@ -80,9 +107,25 @@ let flight_view e : string * (string * Obs.Json.t) list =
   | Requeued { id; reason } -> ("job_requeued", [ i "job" id; s "reason" reason ])
   | Finished { id; terminal } -> ("job_finished", [ i "job" id; s "terminal" terminal ])
 
+(* The joblog is append-only (there is no snapshot to compact into), so
+   the quota defense is purely the explicit degraded mode: records keep
+   landing — losing lifecycle records would be worse than overrunning an
+   advisory quota — but each over-quota append is counted, and the
+   service alarms on the transition. *)
+let update_quota t =
+  t.degraded <- t.quota > 0 && t.bytes > t.quota;
+  if t.bytes > t.bytes_peak then t.bytes_peak <- t.bytes;
+  if t.obs_on then Obs.Metrics.set t.g_bytes (float_of_int t.bytes)
+
 let append t e =
   t.records <- (e, seal e) :: t.records;
   t.appended <- t.appended + 1;
+  t.bytes <- t.bytes + entry_bytes e;
+  update_quota t;
+  if t.degraded then begin
+    t.degraded_entries <- t.degraded_entries + 1;
+    if t.obs_on then Obs.Metrics.incr t.c_degraded
+  end;
   (if t.flight_on then
      let name, args = flight_view e in
      Obs.Flight.note t.flight ~sub:"service" ~args name);
@@ -93,8 +136,24 @@ let scrub t =
   if bad <> [] then begin
     t.records <- ok;
     t.records_dropped <- t.records_dropped + List.length bad;
+    t.bytes <- List.fold_left (fun a (e, _) -> a + entry_bytes e) 0 ok;
+    update_quota t;
     if t.obs_on then List.iter (fun _ -> Obs.Metrics.incr t.c_dropped) bad
   end
+
+let set_quota t ~quota =
+  t.quota <- max 0 quota;
+  update_quota t
+
+let quota t = t.quota
+
+let bytes t = t.bytes
+
+let bytes_peak t = t.bytes_peak
+
+let degraded t = t.degraded
+
+let degraded_entries t = t.degraded_entries
 
 let empty_state () =
   { jobs = Hashtbl.create 32; submitted = 0; admitted = 0; shed = 0; cache_hits = 0; requeues = 0 }

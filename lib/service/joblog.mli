@@ -38,9 +38,30 @@ type state = {
 
 type t
 
-val create : ?obs:Obs.t -> unit -> t
+val create : ?obs:Obs.t -> ?quota:int -> unit -> t
+(** [quota] (estimated bytes, default 0 = unlimited) is the disk quota of
+    the joblog's backing store. *)
 
 val append : t -> entry -> unit
+
+val set_quota : t -> quota:int -> unit
+(** Change the disk quota (0 lifts it); the degraded flag re-evaluates
+    immediately. *)
+
+val quota : t -> int
+
+val bytes : t -> int
+(** Deterministic estimate of the log's on-disk size. *)
+
+val bytes_peak : t -> int
+
+val degraded : t -> bool
+(** True while the estimated size exceeds a non-zero quota.  The joblog
+    is append-only (nothing to compact), so degraded mode only exits on
+    quota relief; appends continue but are counted. *)
+
+val degraded_entries : t -> int
+(** Records appended while over quota. *)
 
 val replay : t -> state
 (** Scrubs, then folds the surviving records in order. *)

@@ -11,6 +11,7 @@ type chaos = {
   slow_hosts : int;
   slow_factor : float;
   flaky : bool;
+  choke : int;
 }
 
 type config = {
@@ -36,6 +37,7 @@ let default_chaos =
     slow_hosts = 0;
     slow_factor = 8.;
     flaky = false;
+    choke = 0;
   }
 
 let default_config =
@@ -74,6 +76,8 @@ type stats = {
   brownout : bool;
   brownouts : int;
   deadlines_stretched : int;
+  resource_pressure : bool;
+  joblog_degraded_entries : int;
 }
 
 (* Why a job's run is being torn down before its own verdict: set by the
@@ -119,6 +123,7 @@ type t = {
          starts its next lease already demoted (or in probation) *)
   mutable brownout : bool;
   mutable n_brownouts : int;
+  mutable joblog_degraded_seen : bool;  (* edge detector for the durability alarm *)
   mutable n_stretched : int;
   (* plain counters mirrored into Obs so they land in reports *)
   mutable n_submitted : int;
@@ -190,7 +195,7 @@ let create ?(obs = Obs.disabled) ?slo ?on_flight ?on_expo ?(expo_period = 30.) ~
     hosts_total = n;
     adm = Admission.create ~capacity:cfg.queue_capacity ~starvation_after:cfg.starvation_after;
     cache = Cache.create ();
-    log = Joblog.create ~obs ();
+    log = Joblog.create ~obs ~quota:cfg.run.Config.journal_quota ();
     running = [];
     all_jobs = [];
     next_id = 1;
@@ -200,6 +205,7 @@ let create ?(obs = Obs.disabled) ?slo ?on_flight ?on_expo ?(expo_period = 30.) ~
     health = Core.Health.create ();
     brownout = false;
     n_brownouts = 0;
+    joblog_degraded_seen = false;
     n_stretched = 0;
     n_submitted = 0;
     n_admitted = 0;
@@ -322,6 +328,18 @@ let arm_chaos t ch ~(master : Master.t) ~bus ~(job : Job.t) ~lease =
       Grid.Fault.Corrupt_messages
         { src_site = None; dst_site = None; p = ch.corrupt_p; from_t = start; until_t = start +. 1e6 }
       :: !specs;
+  if ch.choke > 0 then
+    specs :=
+      Grid.Fault.Choke_link
+        {
+          src_site = None;
+          dst_site = None;
+          bytes_per_window = ch.choke;
+          window = t.cfg.run.Config.share_window;
+          from_t = start;
+          until_t = start +. 1e6;
+        }
+      :: !specs;
   if ch.master_crash then begin
     let at = start +. 1. +. frnd 1.5 in
     (* under hot-standby replication the crashed primary never restarts —
@@ -374,6 +392,7 @@ let arm_chaos t ch ~(master : Master.t) ~bus ~(job : Job.t) ~lease =
         ~on_storage_corrupt:(fun ~journal_records ~checkpoints ->
           Master.corrupt_storage master ~journal_records ~checkpoints)
         ~on_slow:(fun host factor -> Master.slow_host master host factor)
+        ~on_disk_full:(fun ~quota -> Master.set_journal_quota master ~quota)
         !specs
     in
     Grid.Everyware.set_corrupt bus Core.Protocol.corrupt;
@@ -535,22 +554,47 @@ let shed_low_queued t =
       end)
     (Admission.queued_jobs t.adm)
 
+(* Resource pressure is the second brownout dimension: a degraded joblog,
+   or any running master reporting pressure (degraded run journal, a
+   client outbox latched over its watermark, recent share-budget sheds).
+   Healthy-fraction measures missing capacity; this measures capacity
+   that is present but saturating its queues and disks. *)
+let resource_pressure t =
+  Joblog.degraded t.log || List.exists (fun r -> Master.resource_pressure r.master) t.running
+
+(* Edge-trigger the joblog durability alarm: the joblog cannot compact
+   (append-only), so crossing its quota is an operator page, not a
+   recoverable hiccup. *)
+let check_joblog t =
+  let deg = Joblog.degraded t.log in
+  if deg && not t.joblog_degraded_seen then
+    Obs.Anomaly.trip (Obs.anomaly t.obs) ~at:(now t) ~rule:"joblog-degraded"
+      ~detail:
+        (Printf.sprintf "%d bytes over a %d quota" (Joblog.bytes t.log) (Joblog.quota t.log))
+      ();
+  t.joblog_degraded_seen <- deg
+
 (* Entered when the healthy fraction of the pool drops below the
-   threshold; exited with hysteresis (threshold + 0.1) so an oscillating
-   host cannot flap the policy.  On entry, queued low-priority work is
-   shed and every outstanding advisory deadline stretches. *)
+   threshold OR the service is under resource pressure; exited with
+   hysteresis (threshold + 0.1) and only once the pressure has cleared,
+   so an oscillating host or a flapping queue cannot flap the policy.
+   On entry, queued low-priority work is shed and every outstanding
+   advisory deadline stretches. *)
 let update_brownout t =
   if t.cfg.brownout_threshold > 0. then begin
     let frac = float_of_int (healthy_hosts t) /. float_of_int t.hosts_total in
-    if (not t.brownout) && frac < t.cfg.brownout_threshold then begin
+    let pressure = resource_pressure t in
+    if (not t.brownout) && (frac < t.cfg.brownout_threshold || pressure) then begin
       t.brownout <- true;
       t.n_brownouts <- t.n_brownouts + 1;
-      Obs.Anomaly.trip (Obs.anomaly t.obs) ~at:(now t) ~rule:"brownout" ~value:frac
+      let rule = if frac < t.cfg.brownout_threshold then "brownout" else "brownout-resource" in
+      Obs.Anomaly.trip (Obs.anomaly t.obs) ~at:(now t) ~rule ~value:frac
         ~threshold:t.cfg.brownout_threshold ();
       shed_low_queued t;
       stretch_deadlines t
     end
-    else if t.brownout && frac >= t.cfg.brownout_threshold +. 0.1 then t.brownout <- false
+    else if t.brownout && frac >= t.cfg.brownout_threshold +. 0.1 && not pressure then
+      t.brownout <- false
   end
 
 let finalize_finished t =
@@ -564,6 +608,7 @@ let finalize_finished t =
 let rec pump t =
   t.pump_armed <- false;
   finalize_finished t;
+  check_joblog t;
   update_brownout t;
   maybe_preempt t;
   admit t;
@@ -775,6 +820,8 @@ let stats t =
     brownout = t.brownout;
     brownouts = t.n_brownouts;
     deadlines_stretched = t.n_stretched;
+    resource_pressure = resource_pressure t;
+    joblog_degraded_entries = Joblog.degraded_entries t.log;
   }
 
 let job_json (j : Job.t) =
@@ -825,8 +872,14 @@ let report t =
         ("brownouts", J.Int s.brownouts);
         ("deadlines_stretched", J.Int s.deadlines_stretched);
         ("cache_size", J.Int (Cache.size t.cache));
+        ("resource_pressure", J.Bool s.resource_pressure);
         ("joblog_appends", J.Int (Joblog.appended t.log));
         ("joblog_records_dropped", J.Int (Joblog.records_dropped t.log));
+        ("joblog_bytes", J.Int (Joblog.bytes t.log));
+        ("joblog_bytes_peak", J.Int (Joblog.bytes_peak t.log));
+        ("joblog_quota", J.Int (Joblog.quota t.log));
+        ("joblog_degraded", J.Bool (Joblog.degraded t.log));
+        ("joblog_degraded_entries", J.Int s.joblog_degraded_entries);
         ("joblog_digest", J.String (Joblog.digest (Joblog.replay t.log)));
       ]
   in

@@ -51,11 +51,15 @@ type chaos = {
   flaky : bool;
       (** oscillate slowed hosts between full and [slow_factor] speed on
           a seeded period instead of a one-shot permanent slowdown *)
+  choke : int;
+      (** saturate every link of each job's run: at most this many bytes
+          per [run.share_window] virtual seconds per link, excess dropped
+          (0 disables).  Deterministic — no RNG draw is consumed. *)
 }
 
 val default_chaos : chaos
-(** No chaos armed: all counts zero, [slow_factor] 8, [flaky] off —
-    the base record to override per field. *)
+(** No chaos armed: all counts zero, [slow_factor] 8, [flaky] off,
+    [choke] 0 — the base record to override per field. *)
 
 type config = {
   queue_capacity : int;  (** bounded admission queue size *)
@@ -102,6 +106,13 @@ type stats = {
   brownouts : int;  (** brownout entries so far *)
   deadlines_stretched : int;
       (** advisory deadlines stretched by brownout entries *)
+  resource_pressure : bool;
+      (** the second brownout dimension is asserted right now: the joblog
+          is over its disk quota, or a running master reports pressure
+          (degraded run journal, a client outbox latched over its
+          watermark, recent share-budget sheds) *)
+  joblog_degraded_entries : int;
+      (** joblog records appended while over its disk quota *)
 }
 
 type t

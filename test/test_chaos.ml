@@ -207,6 +207,69 @@ let scenarios =
       proof = [ (function C.Events.Host_slowed { host = 1; _ } -> true | _ -> false) ];
     };
     {
+      sname = "choke";
+      (* a saturated fabric for the first 60% of the run: every site pair
+         shares a 4 KB window, so the burst of initial problem transfers
+         overruns it and the reliable channel must retry into later
+         windows; the choke lifts before exhausted retry chains could
+         wedge a transfer whose payload exceeds a whole window *)
+      config = chaos_config;
+      plan =
+        (fun t ->
+          [
+            F.Choke_link
+              {
+                src_site = None;
+                dst_site = None;
+                bytes_per_window = 4096;
+                window = 2.;
+                from_t = 0.;
+                until_t = Float.max 3. (0.6 *. t);
+              };
+          ]);
+      proof = [ (function C.Events.Message_retried _ -> true | _ -> false) ];
+    };
+    {
+      sname = "disk-full";
+      config = chaos_config;
+      (* a 1-byte quota no compaction can satisfy, lifted mid-run: the
+         journal must enter degraded mode and recover on relief.  The
+         fault perturbs no messages, so the faulted run keeps the
+         baseline timeline and both instants land inside it. *)
+      plan = (fun t -> [ F.Disk_full { at = 0.3 *. t; quota = 1; until_t = 0.6 *. t } ]);
+      proof =
+        [
+          (function C.Events.Forced_compaction _ -> true | _ -> false);
+          (function C.Events.Journal_degraded _ -> true | _ -> false);
+          (function C.Events.Journal_recovered _ -> true | _ -> false);
+        ];
+    };
+    {
+      sname = "choke-disk-full";
+      config = chaos_config;
+      (* both resource faults at once; the disk never recovers, so the
+         journal stays degraded to the verdict *)
+      plan =
+        (fun t ->
+          [
+            F.Choke_link
+              {
+                src_site = None;
+                dst_site = None;
+                bytes_per_window = 4096;
+                window = 2.;
+                from_t = 0.;
+                until_t = Float.max 3. (0.6 *. t);
+              };
+            F.Disk_full { at = Float.max 2. (0.2 *. t); quota = 1; until_t = infinity };
+          ]);
+      proof =
+        [
+          (function C.Events.Message_retried _ -> true | _ -> false);
+          (function C.Events.Journal_degraded _ -> true | _ -> false);
+        ];
+    };
+    {
       sname = "master-crash";
       (* a tight retry schedule so clients detect the outage quickly, and a
          short grace so reconciliation lands well before the run ends *)
